@@ -1,0 +1,411 @@
+//! The end-to-end auto-LF generator.
+
+use crate::estimate::estimate_precision;
+use crate::select::{greedy_select, SelectionInput};
+use panda_lf::lf::LfProvenance;
+use panda_lf::SimilarityLf;
+use panda_table::{CandidateSet, TablePair};
+use panda_text::config::default_config_grid;
+use panda_text::preprocess::{apply_pipeline, standard_pipeline};
+use panda_text::tokenize::Tokenizer;
+use panda_text::{CorpusStats, SimilarityConfig, Weighting};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Generator knobs.
+#[derive(Debug, Clone)]
+pub struct AutoLfConfig {
+    /// Estimated precision every emitted rule (and the union) must meet.
+    pub precision_target: f64,
+    /// Maximum LFs to emit.
+    pub max_lfs: usize,
+    /// Threshold grid searched per config (ascending).
+    pub thresholds: Vec<f64>,
+    /// Minimum estimated support for a rule to be considered.
+    pub min_support: usize,
+    /// Minimum new pairs a rule must add to the union.
+    pub min_gain: usize,
+    /// Attributes to join on; `None` auto-detects text attributes present
+    /// in both schemas.
+    pub attributes: Option<Vec<String>>,
+    /// Attribute *pairs* `(left, right)` for schema-mismatched tasks
+    /// (walmart `title` vs amazon `name`). Used in addition to
+    /// `attributes` / the auto-detected shared set.
+    pub attribute_pairs: Vec<(String, String)>,
+    /// The emitted LF's −1 threshold as a fraction of its +1 threshold
+    /// (0 disables the negative side).
+    pub lower_ratio: f64,
+}
+
+impl Default for AutoLfConfig {
+    fn default() -> Self {
+        AutoLfConfig {
+            precision_target: 0.85,
+            max_lfs: 6,
+            thresholds: (5..=19).map(|i| i as f64 * 0.05).collect(),
+            min_support: 5,
+            min_gain: 3,
+            attributes: None,
+            attribute_pairs: Vec::new(),
+            lower_ratio: 0.3,
+        }
+    }
+}
+
+/// One emitted LF plus the evidence that justified it.
+#[derive(Debug, Clone)]
+pub struct GeneratedLf {
+    /// The ready-to-register LF (`auto_lf_<k>`).
+    pub lf: SimilarityLf,
+    /// Estimated precision at the chosen threshold.
+    pub est_precision: f64,
+    /// Estimated correct pairs at the chosen threshold.
+    pub est_support: usize,
+    /// The config id (`lower+ws|space|uniform|jaccard`).
+    pub config_id: String,
+    /// Attribute the rule joins on (left side; right side may differ for
+    /// schema-mismatched tasks, see [`GeneratedLf::right_attribute`]).
+    pub attribute: String,
+    /// Right-side attribute of the rule.
+    pub right_attribute: String,
+    /// Chosen +1 threshold.
+    pub threshold: f64,
+}
+
+/// Attributes present as text in both schemas (id-ish columns excluded).
+fn shared_text_attributes(tables: &TablePair) -> Vec<String> {
+    tables
+        .left
+        .schema()
+        .names()
+        .filter(|n| tables.right.schema().contains(n))
+        .filter(|n| {
+            let lower = n.to_lowercase();
+            lower != "id" && !lower.ends_with("_id")
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Generate auto LFs for a task.
+pub fn generate_auto_lfs(
+    tables: &TablePair,
+    candidates: &CandidateSet,
+    cfg: &AutoLfConfig,
+) -> Vec<GeneratedLf> {
+    let mut attr_pairs: Vec<(String, String)> = cfg
+        .attributes
+        .clone()
+        .unwrap_or_else(|| shared_text_attributes(tables))
+        .into_iter()
+        .map(|a| (a.clone(), a))
+        .collect();
+    attr_pairs.extend(cfg.attribute_pairs.iter().cloned());
+    attr_pairs.retain(|(l, r)| {
+        tables.left.schema().contains(l) && tables.right.schema().contains(r)
+    });
+    attr_pairs.dedup();
+    if attr_pairs.is_empty() || candidates.is_empty() {
+        return Vec::new();
+    }
+
+    // Corpus stats per (attribute pair, word|gram) for TF-IDF configs:
+    // both sides' values of the paired attributes form one corpus.
+    let mut stats: HashMap<(String, String, bool), Arc<CorpusStats>> = HashMap::new();
+    for (la, ra) in &attr_pairs {
+        for grams in [false, true] {
+            let tokenizer = if grams { Tokenizer::QGram(3) } else { Tokenizer::Whitespace };
+            let mut s = CorpusStats::new();
+            for (table, attr) in [(&tables.left, la), (&tables.right, ra)] {
+                for rec in table.records() {
+                    let cleaned = apply_pipeline(&standard_pipeline(), &rec.text(attr));
+                    s.add_document(&tokenizer.tokens(&cleaned));
+                }
+            }
+            stats.insert((la.clone(), ra.clone(), grams), Arc::new(s));
+        }
+    }
+
+    // Score every candidate under every (attribute, config); search the
+    // threshold grid.
+    struct Survivor {
+        attr: String,
+        right_attr: String,
+        config: SimilarityConfig,
+        corpus: Option<Arc<CorpusStats>>,
+        threshold: f64,
+        est_precision: f64,
+        est_support: usize,
+        joined: Vec<usize>,
+    }
+    let mut survivors: Vec<Survivor> = Vec::new();
+
+    for (la, ra) in &attr_pairs {
+        for config in default_config_grid() {
+            let grams = matches!(config.tokenizer, Tokenizer::QGram(_));
+            let corpus = (config.weighting == Weighting::TfIdf)
+                .then(|| stats[&(la.clone(), ra.clone(), grams)].clone());
+            let scored: Vec<(usize, f64)> = candidates
+                .iter()
+                .map(|(idx, pair)| {
+                    let p = tables.pair_ref(pair).expect("candidate in range");
+                    let a = p.left.text(la);
+                    let b = p.right.text(ra);
+                    if a.trim().is_empty() || b.trim().is_empty() {
+                        (idx, -1.0) // missing text never joins
+                    } else {
+                        (idx, config.score(&a, &b, corpus.as_deref()))
+                    }
+                })
+                .collect();
+
+            // Smallest threshold meeting the precision target = max recall
+            // subject to precision.
+            for &theta in &cfg.thresholds {
+                let est = estimate_precision(&scored, candidates, theta);
+                if est.est_precision >= cfg.precision_target
+                    && est.est_support >= cfg.min_support
+                {
+                    let joined = scored
+                        .iter()
+                        .filter(|(_, s)| *s >= theta)
+                        .map(|(i, _)| *i)
+                        .collect();
+                    survivors.push(Survivor {
+                        attr: la.clone(),
+                        right_attr: ra.clone(),
+                        config: config.clone(),
+                        corpus: corpus.clone(),
+                        threshold: theta,
+                        est_precision: est.est_precision,
+                        est_support: est.est_support,
+                        joined,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // Greedy union selection.
+    let inputs: Vec<SelectionInput> = survivors
+        .iter()
+        .map(|s| SelectionInput { joined: s.joined.clone(), est_support: s.est_support })
+        .collect();
+    let mut picked = greedy_select(
+        &inputs,
+        candidates,
+        cfg.precision_target,
+        cfg.min_gain,
+        cfg.max_lfs,
+    );
+
+    // Data programming wants *multiple* voters: a single LF cannot carry a
+    // labeling model. When the union-gain criterion leaves fewer than
+    // three LFs, pad with the next-best survivors (highest support first,
+    // one per distinct (attribute, config) so the padding stays diverse);
+    // correlated-but-distinct LFs are fine — the labeling model discounts
+    // redundancy.
+    if picked.len() < 3 {
+        let mut order: Vec<usize> = (0..survivors.len()).collect();
+        order.sort_by(|&a, &b| survivors[b].est_support.cmp(&survivors[a].est_support));
+        for idx in order {
+            if picked.len() >= 3.min(cfg.max_lfs.max(1)) {
+                break;
+            }
+            let dup = picked.iter().any(|&p| {
+                survivors[p].attr == survivors[idx].attr
+                    && survivors[p].config.id() == survivors[idx].config.id()
+            });
+            if !dup && !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+    }
+
+    picked
+        .into_iter()
+        .enumerate()
+        .map(|(k, idx)| {
+            let s = &survivors[idx];
+            let lower = if cfg.lower_ratio > 0.0 {
+                s.threshold * cfg.lower_ratio
+            } else {
+                -1.0
+            };
+            // `> upper` vs `≥ theta`: nudge upper below theta so pairs at
+            // exactly the chosen threshold still vote +1.
+            let mut lf = SimilarityLf::new(
+                format!("auto_lf_{k}"),
+                s.attr.clone(),
+                s.config.clone(),
+                s.threshold - 1e-9,
+                lower,
+            )
+            .with_attrs(s.attr.clone(), s.right_attr.clone())
+            .with_provenance(LfProvenance::Auto);
+            if let Some(corpus) = &s.corpus {
+                lf = lf.with_corpus(corpus.clone());
+            }
+            GeneratedLf {
+                lf,
+                est_precision: s.est_precision,
+                est_support: s.est_support,
+                config_id: s.config.id(),
+                attribute: s.attr.clone(),
+                right_attribute: s.right_attr.clone(),
+                threshold: s.threshold,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+    use panda_embed::{Blocker, EmbeddingLshBlocker};
+    use panda_lf::{LabelMatrix, LabelingFunction, LfRegistry};
+
+    fn abt_task() -> (TablePair, CandidateSet) {
+        let tables = generate(
+            DatasetFamily::AbtBuy,
+            &GeneratorConfig::new(77).with_entities(120),
+        );
+        let cands = EmbeddingLshBlocker::new(7).candidates(&tables);
+        (tables, cands)
+    }
+
+    #[test]
+    fn generates_lfs_on_abt_buy() {
+        let (tables, cands) = abt_task();
+        let lfs = generate_auto_lfs(&tables, &cands, &AutoLfConfig::default());
+        assert!(!lfs.is_empty(), "should find at least one viable config");
+        assert!(lfs.len() <= 6);
+        for (k, g) in lfs.iter().enumerate() {
+            assert_eq!(g.lf.name(), format!("auto_lf_{k}"));
+            assert!(g.est_precision >= 0.85);
+            assert!(g.est_support >= 5);
+            assert_eq!(g.lf.provenance(), LfProvenance::Auto);
+        }
+    }
+
+    #[test]
+    fn estimated_precision_tracks_true_precision() {
+        let (tables, cands) = abt_task();
+        let lfs = generate_auto_lfs(&tables, &cands, &AutoLfConfig::default());
+        let gold = tables.gold.as_ref().unwrap();
+        for g in &lfs {
+            // True precision of the +1 votes of this LF.
+            let mut tp = 0usize;
+            let mut pos = 0usize;
+            for (_, pair) in cands.iter() {
+                let p = tables.pair_ref(pair).unwrap();
+                if g.lf.label(&p) == panda_lf::Label::Match {
+                    pos += 1;
+                    if gold.contains(&pair) {
+                        tp += 1;
+                    }
+                }
+            }
+            assert!(pos > 0);
+            let true_p = tp as f64 / pos as f64;
+            assert!(
+                true_p >= g.est_precision - 0.25,
+                "estimator shouldn't wildly overpromise: est {:.2} true {:.2} ({})",
+                g.est_precision,
+                true_p,
+                g.config_id
+            );
+        }
+    }
+
+    #[test]
+    fn auto_lfs_power_a_useful_label_model() {
+        use panda_model::{LabelModel, PandaModel};
+        let (tables, cands) = abt_task();
+        let lfs = generate_auto_lfs(&tables, &cands, &AutoLfConfig::default());
+        let mut reg = LfRegistry::new();
+        for g in lfs {
+            reg.upsert(Arc::new(g.lf));
+        }
+        let mut matrix = LabelMatrix::new();
+        let report = matrix.apply(&reg, &tables, &cands);
+        assert!(report.failed.is_empty());
+        let gamma = PandaModel::new().fit_predict(&matrix, Some(&cands));
+        let gold = panda_eval::gold_vector(&tables, &cands);
+        let m = panda_eval::metrics::metrics_at_half(&gamma, &gold);
+        assert!(
+            m.f1 > 0.5,
+            "auto LFs alone should reach F1 > 0.5 on abt-buy-like data, got {:.3}",
+            m.f1
+        );
+    }
+
+    #[test]
+    fn respects_attribute_override_and_empty_candidates() {
+        let (tables, _) = abt_task();
+        let empty = CandidateSet::new();
+        let lfs = generate_auto_lfs(&tables, &empty, &AutoLfConfig::default());
+        assert!(lfs.is_empty());
+
+        let cfg = AutoLfConfig {
+            attributes: Some(vec!["name".to_string()]),
+            ..AutoLfConfig::default()
+        };
+        let cands = EmbeddingLshBlocker::new(7).candidates(&tables);
+        let lfs = generate_auto_lfs(&tables, &cands, &cfg);
+        for g in &lfs {
+            assert_eq!(g.attribute, "name");
+        }
+    }
+}
+
+#[cfg(test)]
+mod pair_tests {
+    use super::*;
+    use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+    use panda_embed::{Blocker, EmbeddingLshBlocker};
+    use panda_lf::LabelingFunction;
+
+    /// Walmart-Amazon has NO shared text attribute, so auto-detection
+    /// yields nothing — attribute pairs unlock the task.
+    #[test]
+    fn attribute_pairs_enable_schema_mismatched_tasks() {
+        let tables = generate(
+            DatasetFamily::WalmartAmazon,
+            &GeneratorConfig::new(55).with_entities(120),
+        );
+        let cands = EmbeddingLshBlocker::new(55).candidates(&tables);
+
+        let without = generate_auto_lfs(&tables, &cands, &AutoLfConfig::default());
+        // Only "price" is shared (numeric; similarity configs on its text
+        // rendering rarely clear the precision bar) — the interesting
+        // signal needs the pairs.
+        let with_pairs = generate_auto_lfs(
+            &tables,
+            &cands,
+            &AutoLfConfig {
+                attribute_pairs: vec![
+                    ("title".into(), "name".into()),
+                    ("modelno".into(), "model".into()),
+                ],
+                ..AutoLfConfig::default()
+            },
+        );
+        // Without pairs only the shared "price" column is joinable; with
+        // pairs the generator finds cross-attribute rules.
+        assert!(without.iter().all(|g| g.attribute == g.right_attribute));
+        assert!(
+            with_pairs.iter().any(|g| g.attribute != g.right_attribute),
+            "pairs produce cross-attribute rules"
+        );
+        // The emitted LF actually reads both attributes.
+        let g = with_pairs
+            .iter()
+            .find(|g| g.attribute == "title")
+            .expect("a title/name rule survives");
+        let pair = cands.iter().next().unwrap().1;
+        let _ = g.lf.label(&tables.pair_ref(pair).unwrap());
+    }
+}

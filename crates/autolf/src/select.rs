@@ -1,0 +1,102 @@
+//! Greedy precision-constrained union selection.
+
+use crate::estimate::estimate_union;
+use panda_table::CandidateSet;
+
+/// One config that survived threshold search, ready for selection.
+#[derive(Debug, Clone)]
+pub struct SelectionInput {
+    /// Candidate indices the rule joins at its chosen threshold.
+    pub joined: Vec<usize>,
+    /// Estimated support (recall proxy) of the rule alone.
+    pub est_support: usize,
+}
+
+/// Greedily pick rules, best supported first, keeping the estimated
+/// precision of the *union* at or above `precision_target` and requiring
+/// every accepted rule to contribute at least `min_gain` new pairs.
+/// Returns the indices of accepted rules.
+pub fn greedy_select(
+    inputs: &[SelectionInput],
+    candidates: &CandidateSet,
+    precision_target: f64,
+    min_gain: usize,
+    max_rules: usize,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..inputs.len()).collect();
+    order.sort_by(|&a, &b| inputs[b].est_support.cmp(&inputs[a].est_support));
+
+    let mut accepted: Vec<usize> = Vec::new();
+    let mut union: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    for idx in order {
+        if accepted.len() >= max_rules {
+            break;
+        }
+        let gain = inputs[idx]
+            .joined
+            .iter()
+            .filter(|p| !union.contains(p))
+            .count();
+        if gain < min_gain {
+            continue;
+        }
+        // Tentatively add and re-estimate the union.
+        let mut sets: Vec<&Vec<usize>> = accepted.iter().map(|&i| &inputs[i].joined).collect();
+        sets.push(&inputs[idx].joined);
+        let est = estimate_union(&sets, candidates);
+        if est.est_precision >= precision_target {
+            union.extend(inputs[idx].joined.iter().copied());
+            accepted.push(idx);
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_table::CandidatePair;
+
+    fn cands(n: u32) -> CandidateSet {
+        CandidateSet::from_pairs((0..n).map(|i| CandidatePair::new(i, i)))
+    }
+
+    #[test]
+    fn picks_high_support_first_and_respects_cap() {
+        let inputs = vec![
+            SelectionInput { joined: vec![0, 1], est_support: 2 },
+            SelectionInput { joined: vec![0, 1, 2, 3], est_support: 4 },
+            SelectionInput { joined: vec![4], est_support: 1 },
+        ];
+        let picked = greedy_select(&inputs, &cands(6), 0.8, 1, 2);
+        assert_eq!(picked[0], 1, "largest support first");
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn skips_rules_without_gain() {
+        let inputs = vec![
+            SelectionInput { joined: vec![0, 1, 2], est_support: 3 },
+            SelectionInput { joined: vec![1, 2], est_support: 2 }, // subset
+        ];
+        let picked = greedy_select(&inputs, &cands(4), 0.5, 1, 8);
+        assert_eq!(picked, vec![0]);
+    }
+
+    #[test]
+    fn rejects_rules_that_break_union_precision() {
+        // Rule 1 joins distinct rights; rule 2 joins the same right 0
+        // from two lefts (half its pairs are violations once unioned).
+        let candidates = CandidateSet::from_pairs([
+            CandidatePair::new(0, 0),
+            CandidatePair::new(1, 1),
+            CandidatePair::new(2, 0), // same right as index 0
+        ]);
+        let inputs = vec![
+            SelectionInput { joined: vec![0, 1], est_support: 2 },
+            SelectionInput { joined: vec![2], est_support: 1 },
+        ];
+        let picked = greedy_select(&inputs, &candidates, 0.9, 1, 8);
+        assert_eq!(picked, vec![0], "second rule would drop union precision to 2/3");
+    }
+}

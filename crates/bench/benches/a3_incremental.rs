@@ -1,0 +1,87 @@
+//! **A3 — ablation: incremental LF application** (paper §2.2: "LFs are
+//! applied incrementally, i.e. only the new and modified LFs are
+//! executed"). We measure `labeler.apply()` after editing ONE LF, with
+//! the label matrix already holding N applied LFs:
+//!
+//! * `incremental`: the session's real path — cached columns are reused,
+//!   only the edited LF executes;
+//! * `full`: a fresh matrix — every LF executes (what a system without
+//!   version tracking would do).
+//!
+//! Run: `cargo bench -p panda-bench --bench a3_incremental`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda_embed::{Blocker, EmbeddingLshBlocker};
+use panda_lf::{ClosureLf, Label, LabelMatrix, LfRegistry, SimilarityLf};
+use panda_text::{Measure, SimilarityConfig, Tokenizer, Weighting};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn build_registry(n_lfs: usize) -> LfRegistry {
+    let mut reg = LfRegistry::new();
+    for i in 0..n_lfs {
+        // Realistic work per LF: a token-Jaccard similarity with varying
+        // thresholds so columns differ.
+        reg.upsert(Arc::new(SimilarityLf::new(
+            format!("lf_{i}"),
+            "name",
+            SimilarityConfig {
+                preprocess: panda_text::preprocess::standard_pipeline(),
+                tokenizer: if i % 2 == 0 { Tokenizer::Whitespace } else { Tokenizer::QGram(3) },
+                weighting: Weighting::Uniform,
+                measure: if i % 3 == 0 { Measure::Jaccard } else { Measure::Cosine },
+            },
+            0.3 + 0.02 * i as f64,
+            0.05,
+        )));
+    }
+    reg
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(3).with_entities(200),
+    );
+    let cands = EmbeddingLshBlocker::new(3).candidates(&task);
+
+    let mut group = c.benchmark_group("apply_after_one_edit");
+    // The full-recompute baseline at 32 LFs costs ~0.5s per apply; keep
+    // criterion's sampling budget sane.
+    group.sample_size(10);
+    for &n_lfs in &[1usize, 4, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("incremental", n_lfs), &n_lfs, |b, &n| {
+            let mut reg = build_registry(n);
+            let mut matrix = LabelMatrix::new();
+            matrix.apply(&reg, &task, &cands);
+            let mut flip = 0u64;
+            b.iter(|| {
+                // Edit one LF (cheap closure so the measured cost is the
+                // bookkeeping + one column, not similarity math).
+                flip += 1;
+                let vote = if flip % 2 == 0 { Label::Match } else { Label::Abstain };
+                reg.upsert(Arc::new(ClosureLf::new("edited", move |_| vote)));
+                let report = matrix.apply(&reg, &task, &cands);
+                black_box(report.applied.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("full", n_lfs), &n_lfs, |b, &n| {
+            let mut reg = build_registry(n);
+            let mut flip = 0u64;
+            b.iter(|| {
+                flip += 1;
+                let vote = if flip % 2 == 0 { Label::Match } else { Label::Abstain };
+                reg.upsert(Arc::new(ClosureLf::new("edited", move |_| vote)));
+                // A fresh matrix recomputes every column.
+                let mut matrix = LabelMatrix::new();
+                let report = matrix.apply(&reg, &task, &cands);
+                black_box(report.applied.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! **A1 — ablation: class-conditional accuracies** (§2.1 feature 3, first
+//! property). The paper argues a single accuracy parameter is
+//! insufficient under EM's class imbalance. We isolate exactly that
+//! mechanism with planted data: LFs with *asymmetric* class-conditional
+//! accuracies, and a match prior swept from balanced (0.5) down to 1:200.
+//! At each prior we fit the single-accuracy (Snorkel) model and the
+//! class-conditional (Panda) model on identical vote matrices.
+//!
+//! Run: `cargo run --release -p panda-bench --bin a1_class_conditional`
+
+use panda_bench::{mean, write_csv};
+use panda_eval::TextTable;
+use panda_model::testutil::{f1, plant, PlantedLf};
+use panda_model::{LabelModel, PandaModel, SnorkelModel};
+
+fn main() {
+    // LFs with *asymmetric class-conditional accuracies* (match-precise
+    // vs unmatch-precise) but uniform propensities, so the sweep isolates
+    // exactly the paper's first property: one accuracy parameter cannot
+    // represent an LF that is 92% right on matches but only 55% right on
+    // non-matches, and the mis-weighting worsens as the class prior
+    // shifts the single estimate toward the majority class's behaviour.
+    let specs = [
+        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.92, acc_u: 0.55 },
+        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.90, acc_u: 0.60 },
+        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.55, acc_u: 0.90 },
+        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.60, acc_u: 0.93 },
+        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.88, acc_u: 0.50 },
+    ];
+
+    let mut table = TextTable::new(&[
+        "match_prior", "imbalance", "snorkel_f1", "panda_f1", "delta",
+    ]);
+    println!("A1: class-conditional accuracies vs class imbalance (planted LFs, 8000 pairs)\n");
+    for &pi in &[0.5, 0.2, 0.1, 0.05, 0.02, 0.01] {
+        let mut sn = Vec::new();
+        let mut pd = Vec::new();
+        for seed in [101u64, 102, 103] {
+            let p = plant(8000, pi, &specs, seed);
+            // Lift the learned-prior cap (an EM-regime default) so the
+            // sweep isolates the accuracy parametrization, including at
+            // the balanced control point.
+            sn.push(f1(
+                &SnorkelModel::new().with_max_prior(0.6).fit_predict(&p.matrix, None),
+                &p.truth,
+            ));
+            pd.push(f1(
+                &PandaModel::new().with_max_prior(0.6).fit_predict(&p.matrix, None),
+                &p.truth,
+            ));
+        }
+        let (s, d) = (mean(&sn), mean(&pd));
+        table.row(&[
+            format!("{pi:.2}"),
+            format!("1:{:.0}", (1.0 - pi) / pi),
+            format!("{s:.3}"),
+            format!("{d:.3}"),
+            format!("{:+.3}", d - s),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("The shape to check: the class-conditional model dominates at every");
+    println!("prior (the LFs are genuinely asymmetric), both models degrade as");
+    println!("imbalance grows, and the single-accuracy model collapses first —");
+    println!("the paper's first property.");
+    write_csv("a1_class_conditional", &table);
+}

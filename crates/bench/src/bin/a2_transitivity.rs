@@ -1,0 +1,64 @@
+//! **A2 — ablation: the transitivity constraint** (§2.1 feature 3, second
+//! property; ZeroER). Transitivity binds where one tuple can match
+//! several others — duplicate clusters. We sweep the cluster size of a
+//! Cora-style dedup task and compare the Panda model with and without the
+//! transitivity projection (identical LFs, identical matrices).
+//!
+//! Run: `cargo run --release -p panda-bench --bin a2_transitivity`
+
+use panda_bench::{curated_lfs, mean, write_csv};
+use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda_eval::TextTable;
+use panda_model::TransitivityMode;
+use panda_session::{ModelChoice, PandaSession, SessionConfig};
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "max_cluster_size", "gold_pairs", "panda_f1", "panda+trans_f1", "delta",
+    ]);
+    println!("A2: transitivity projection vs duplicate-cluster size (cora-dedup)\n");
+    for cluster in [2usize, 3, 4, 5, 6] {
+        let mut base = Vec::new();
+        let mut trans = Vec::new();
+        let mut gold_sizes = Vec::new();
+        for seed in [41u64, 42, 43] {
+            let task = generate(
+                DatasetFamily::CoraDedup,
+                &GeneratorConfig::new(seed)
+                    .with_entities(120)
+                    .with_right_dups(cluster),
+            );
+            gold_sizes.push(task.gold.as_ref().unwrap().len() as f64);
+            for (choice, out) in [
+                (ModelChoice::Panda, &mut base),
+                (
+                    ModelChoice::PandaTransitive(TransitivityMode::SelfJoin),
+                    &mut trans,
+                ),
+            ] {
+                let mut s = PandaSession::load(
+                    task.clone(),
+                    SessionConfig { model: choice, ..SessionConfig::default() },
+                );
+                for lf in curated_lfs(DatasetFamily::CoraDedup) {
+                    s.upsert_lf(lf);
+                }
+                s.apply();
+                out.push(s.current_metrics().unwrap().f1);
+            }
+        }
+        let (b, t) = (mean(&base), mean(&trans));
+        table.row(&[
+            cluster.to_string(),
+            format!("{:.0}", mean(&gold_sizes)),
+            format!("{b:.3}"),
+            format!("{t:.3}"),
+            format!("{:+.3}", t - b),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("The shape to check: at cluster size 2 there are few triangles and the");
+    println!("projection is nearly a no-op; as clusters grow, transitive boosting of");
+    println!("missed within-cluster edges lifts recall and F1 (the ZeroER property).");
+    write_csv("a2_transitivity", &table);
+}

@@ -1,0 +1,105 @@
+//! **E1 — the headline claim** (paper §2.1, feature 3): "our labeling
+//! model improves the F1-score of the state-of-the-art labeling model
+//! [Snorkel] by 12% on average" on real-world benchmark datasets.
+//!
+//! For every benchmark family (the extended suite: the five standard
+//! tasks plus the dirty and schema-mismatched product variants) we build
+//! the full LF set (auto-generated + curated), apply it once, then fit
+//! majority vote, the Snorkel-style generative model, and the Panda model
+//! on the *same* label matrix.
+//! Averaged over seeds; the last rows report the average F1 and the
+//! relative uplift of Panda over Snorkel.
+//!
+//! Run: `cargo run --release -p panda-bench --bin e1_labeling_models`
+
+use panda_bench::{curated_lfs, mean, write_csv};
+use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda_eval::metrics::metrics_at_half;
+use panda_eval::TextTable;
+use panda_model::{LabelModel, MajorityVote, PandaModel, SnorkelModel};
+use panda_session::{PandaSession, SessionConfig};
+
+fn main() {
+    let seeds = [1u64, 2, 3];
+    let mut table = TextTable::new(&[
+        "dataset",
+        "majority",
+        "snorkel-2021",
+        "snorkel-robust",
+        "panda",
+        "vs-2021",
+        "vs-robust",
+    ]);
+    let mut uplift_plain = Vec::new();
+    let mut uplift_robust = Vec::new();
+    let mut avg = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+
+    for family in DatasetFamily::extended_suite() {
+        let mut f1 = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for &seed in &seeds {
+            let task = generate(family, &GeneratorConfig::new(seed).with_entities(250));
+            let mut session = PandaSession::load(task, SessionConfig::default());
+            for lf in curated_lfs(family) {
+                session.upsert_lf(lf);
+            }
+            session.apply();
+            let gold = session.gold_vector().expect("benchmark gold");
+            let matrix = session.matrix();
+            let cands = session.candidates();
+
+            // Two baselines bracket the comparison:
+            //  * snorkel-2021: the conditionally-independent model as the
+            //    paper compared against — no correlation handling, so the
+            //    intentionally-correlated auto LFs get double counted;
+            //  * snorkel-robust: the same model with our near-duplicate
+            //    evidence discounts, the strongest generic baseline we can
+            //    build. Panda gets the discounts too, so the vs-robust
+            //    column isolates the EM-specific parametrization.
+            let mv = MajorityVote::default().fit_predict(matrix, Some(cands));
+            let sn_plain = SnorkelModel::new().fit_predict(matrix, Some(cands));
+            let sn_robust = SnorkelModel::new()
+                .with_correlation_discounts(0.95)
+                .fit_predict(matrix, Some(cands));
+            let pd = PandaModel::new()
+                .with_correlation_discounts(0.95)
+                .fit_predict(matrix, Some(cands));
+            f1[0].push(metrics_at_half(&mv, &gold).f1);
+            f1[1].push(metrics_at_half(&sn_plain, &gold).f1);
+            f1[2].push(metrics_at_half(&sn_robust, &gold).f1);
+            f1[3].push(metrics_at_half(&pd, &gold).f1);
+        }
+        let means: Vec<f64> = f1.iter().map(|v| mean(v)).collect();
+        let up_plain = if means[1] > 0.0 { (means[3] - means[1]) / means[1] * 100.0 } else { 0.0 };
+        let up_robust = if means[2] > 0.0 { (means[3] - means[2]) / means[2] * 100.0 } else { 0.0 };
+        uplift_plain.push(up_plain);
+        uplift_robust.push(up_robust);
+        for (slot, m) in avg.iter_mut().zip(&means) {
+            slot.push(*m);
+        }
+        table.row(&[
+            family.name().to_string(),
+            format!("{:.3}", means[0]),
+            format!("{:.3}", means[1]),
+            format!("{:.3}", means[2]),
+            format!("{:.3}", means[3]),
+            format!("{up_plain:+.1}%"),
+            format!("{up_robust:+.1}%"),
+        ]);
+    }
+    table.row(&[
+        "AVERAGE".to_string(),
+        format!("{:.3}", mean(&avg[0])),
+        format!("{:.3}", mean(&avg[1])),
+        format!("{:.3}", mean(&avg[2])),
+        format!("{:.3}", mean(&avg[3])),
+        format!("{:+.1}%", mean(&uplift_plain)),
+        format!("{:+.1}%", mean(&uplift_robust)),
+    ]);
+
+    println!("E1: labeling model comparison, F1 at threshold 0.5 (mean of {} seeds)\n", seeds.len());
+    println!("{}", table.render());
+    println!(
+        "Paper's claim: Panda model improves F1 over the Snorkel labeling model by 12% on average."
+    );
+    write_csv("e1_labeling_models", &table);
+}

@@ -1,0 +1,64 @@
+//! **E2 — semantic debugging** (Figure 3(1) + §3 Step 4): the demo user
+//! sorts the LF Stats Panel by estimated FPR, finds `name_overlap` at
+//! 0.1402, inspects its likely false positives, tightens the match
+//! threshold from 0.4 to 0.6, and watches the FPR drop to 0.0094.
+//!
+//! We sweep the threshold over a grid and report the model-estimated FPR
+//! next to the true FPR (available because the benchmark has gold),
+//! showing (a) FPR falls monotonically-ish as the threshold tightens and
+//! (b) the model's estimate tracks the truth without using it.
+//!
+//! Run: `cargo run --release -p panda-bench --bin e2_lf_debugging`
+
+use panda_bench::write_csv;
+use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda_eval::TextTable;
+use panda_session::{PandaSession, SessionConfig};
+use panda_text::SimilarityConfig;
+use std::sync::Arc;
+
+fn main() {
+    let task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(11).with_entities(300),
+    );
+    let mut session = PandaSession::load(task, SessionConfig::default());
+
+    let mut table = TextTable::new(&[
+        "threshold", "votes_+1", "est_fpr", "true_fpr", "est_fnr", "true_fnr",
+    ]);
+    println!("E2: name_overlap threshold sweep (the Step-4 debugging loop)\n");
+
+    for threshold in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        session.upsert_lf(Arc::new(
+            panda_lf::SimilarityLf::new(
+                "name_overlap",
+                "name",
+                SimilarityConfig::default_jaccard(),
+                threshold,
+                0.1_f64.min(threshold / 2.0),
+            ),
+        ));
+        session.apply();
+        let row = session
+            .lf_stats()
+            .into_iter()
+            .find(|r| r.name == "name_overlap")
+            .expect("LF registered");
+        table.row(&[
+            format!("{threshold:.1}"),
+            row.n_match.to_string(),
+            format!("{:.4}", row.est_fpr.unwrap_or(f64::NAN)),
+            format!("{:.4}", row.true_fpr.unwrap_or(f64::NAN)),
+            format!("{:.4}", row.est_fnr.unwrap_or(f64::NAN)),
+            format!("{:.4}", row.true_fnr.unwrap_or(f64::NAN)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Paper's narration: est. FPR 0.1402 at threshold 0.4 → 0.0094 after tightening to 0.6."
+    );
+    println!("The shape to check: est_fpr drops by an order of magnitude between 0.4 and 0.6,");
+    println!("and est_fpr tracks true_fpr without access to ground truth.");
+    write_csv("e2_lf_debugging", &table);
+}

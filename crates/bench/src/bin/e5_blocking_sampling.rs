@@ -1,0 +1,119 @@
+//! **E5 — blocking and smart sampling** (§2.1 feature 1.1, §4):
+//!
+//! (a) Blocking: the paper blocks with sentence embeddings + LSH. We
+//!     compare that pipeline against token blocking and sorted
+//!     neighbourhood on candidate-set size vs gold recall.
+//! (b) Smart sampling: "randomly sampled pairs are likely non-matches…
+//!     not very useful." We count how many *true* matches (that the
+//!     current model missed) appear in the top-k sample, smart vs random.
+//!
+//! Run: `cargo run --release -p panda-bench --bin e5_blocking_sampling`
+
+use panda_bench::write_csv;
+use panda_datasets::{standard_suite, generate, DatasetFamily, GeneratorConfig};
+use panda_embed::{
+    blocking_stats, Blocker, EmbeddingLshBlocker, SortedNeighborhoodBlocker, TokenBlocker,
+};
+use panda_eval::TextTable;
+use panda_session::{PandaSession, SessionConfig};
+
+fn main() {
+    // ---------------- (a) blocking comparison ----------------
+    let mut t1 = TextTable::new(&[
+        "dataset", "blocker", "candidates", "recall", "reduction",
+    ]);
+    for (name, task) in standard_suite(17) {
+        let blockers: Vec<Box<dyn Blocker>> = vec![
+            Box::new(EmbeddingLshBlocker::new(17)),
+            Box::new(panda_embed::MinHashBlocker::new(17)),
+            Box::new(TokenBlocker::default()),
+            Box::new(SortedNeighborhoodBlocker::default()),
+        ];
+        for b in blockers {
+            let cands = b.candidates(&task);
+            let s = blocking_stats(&task, &cands);
+            t1.row(&[
+                name.clone(),
+                b.name().to_string(),
+                s.candidates.to_string(),
+                format!("{:.3}", s.recall),
+                format!("{:.4}", s.reduction_ratio),
+            ]);
+        }
+    }
+    println!("E5a: blocking — candidate set size vs gold recall\n");
+    println!("{}", t1.render());
+    println!("The shape to check: embedding-LSH keeps recall high (≥0.9) at a small");
+    println!("fraction of the cross product; sorted neighbourhood trades recall away.\n");
+    write_csv("e5a_blocking", &t1);
+
+    // ---------------- (b) sampler comparison ----------------
+    // The Step-2 situation: the user has only a weak, low-recall LF set,
+    // so plenty of true matches are still missed. A useful sampler
+    // surfaces those missed matches; random sampling mostly shows junk
+    // (the §2.1 class-imbalance argument).
+    let mut t2 = TextTable::new(&["k", "smart", "uncertainty", "random", "missed_total"]);
+    let task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(19).with_entities(300),
+    );
+    println!("E5b: missed true matches surfaced in one k-pair sample\n");
+    let weak_session = || {
+        let mut s = PandaSession::load(
+            task.clone(),
+            SessionConfig { auto_lfs: false, ..SessionConfig::default() },
+        );
+        // One deliberately strict LF: high precision, poor recall.
+        s.upsert_lf(std::sync::Arc::new(panda_lf::SimilarityLf::new(
+            "name_overlap_strict",
+            "name",
+            panda_text::SimilarityConfig::default_jaccard(),
+            0.85,
+            0.1,
+        )));
+        s.apply();
+        s
+    };
+    // A surfaced pair counts only if it is a gold match the model missed.
+    let hit = |r: &panda_session::DataViewerRow| {
+        r.gold == Some(true) && r.model_gamma.unwrap_or(1.0) < 0.5
+    };
+    {
+        let s = weak_session();
+        let gold = s.gold_vector().unwrap();
+        let missed = s
+            .posteriors()
+            .iter()
+            .zip(&gold)
+            .filter(|(&g, &t)| t && g < 0.5)
+            .count();
+        println!("(weak LF set leaves {missed} of {} gold matches unfound)\n",
+            gold.iter().filter(|&&t| t).count());
+    }
+    for k in [10usize, 25, 50, 100] {
+        // Fresh sessions so "already shown" state doesn't leak between ks.
+        let smart = weak_session().smart_sample(k).iter().filter(|r| hit(r)).count();
+        let unc = weak_session().uncertainty_sample(k).iter().filter(|r| hit(r)).count();
+        let rand = weak_session().random_sample(k).iter().filter(|r| hit(r)).count();
+        let s = weak_session();
+        let gold = s.gold_vector().unwrap();
+        let missed = s
+            .posteriors()
+            .iter()
+            .zip(&gold)
+            .filter(|(&g, &t)| t && g < 0.5)
+            .count();
+        t2.row(&[
+            k.to_string(),
+            smart.to_string(),
+            unc.to_string(),
+            rand.to_string(),
+            missed.to_string(),
+        ]);
+    }
+    println!("{}", t2.render());
+    println!("The shape to check: smart sampling surfaces several× more missed true");
+    println!("matches per click than random sampling (the class-imbalance argument");
+    println!("of §2.1); uncertainty sampling sits between (it hunts the boundary).");
+    write_csv("e5b_sampling", &t2);
+}

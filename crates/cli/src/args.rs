@@ -1,0 +1,97 @@
+//! Minimal `--key value` / `--flag` argument parsing (no external deps,
+//! per the workspace dependency policy).
+
+use std::collections::HashMap;
+
+/// Parsed flags: `--key value` pairs plus bare `--switch`es.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse an argv slice. `known_switches` take no value; everything
+    /// else starting with `--` expects one.
+    pub fn parse(argv: &[String], known_switches: &[&str]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {arg:?}"));
+            };
+            if known_switches.contains(&key) {
+                out.switches.push(key.to_string());
+                i += 1;
+            } else {
+                let Some(value) = argv.get(i + 1) else {
+                    return Err(format!("--{key} expects a value"));
+                };
+                if out.values.insert(key.to_string(), value.clone()).is_some() {
+                    return Err(format!("--{key} given twice"));
+                }
+                i += 2;
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string value.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// An optional string value.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Was a bare switch given?
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs_and_switches() {
+        let a = Args::parse(&v(&["--seed", "7", "--no-auto-lfs", "--out", "x.csv"]), &["no-auto-lfs"]).unwrap();
+        assert_eq!(a.required("seed").unwrap(), "7");
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+        assert!(a.has_switch("no-auto-lfs"));
+        assert_eq!(a.optional("out"), Some("x.csv"));
+        assert_eq!(a.optional("missing"), None);
+        assert_eq!(a.get_or("entities", 200usize).unwrap(), 200);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Args::parse(&v(&["positional"]), &[]).is_err());
+        assert!(Args::parse(&v(&["--seed"]), &[]).is_err());
+        assert!(Args::parse(&v(&["--seed", "1", "--seed", "2"]), &[]).is_err());
+        let a = Args::parse(&v(&["--seed", "x"]), &[]).unwrap();
+        assert!(a.get_or("seed", 0u64).is_err());
+        assert!(a.required("other").is_err());
+    }
+}

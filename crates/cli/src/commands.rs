@@ -1,0 +1,246 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use panda_datasets::{generate as gen_task, loader, DatasetFamily, GeneratorConfig};
+use panda_session::{ModelChoice, PandaSession, SessionConfig};
+use panda_table::{MatchSet, Table, TablePair};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+panda — weakly supervised entity matching
+
+USAGE:
+  panda generate --family <name> [--entities N] [--seed N] [--noise light|heavy] --out <dir>
+  panda match --left <csv> --right <csv> [--gold <csv>] [--model panda|snorkel|majority]
+              [--threshold T] [--seed N] [--no-auto-lfs] [--out <csv>]
+  panda families
+  panda help
+
+`generate` writes <family>_left.csv / _right.csv / _gold.csv into --out.
+`match` runs blocking → auto-LF discovery → labeling model over two CSV
+tables (first line = header) and writes predicted match row pairs.";
+
+fn parse_family(name: &str) -> Result<DatasetFamily, String> {
+    match name {
+        "abt-buy" => Ok(DatasetFamily::AbtBuy),
+        "amazon-google" => Ok(DatasetFamily::AmazonGoogle),
+        "walmart-amazon" => Ok(DatasetFamily::WalmartAmazon),
+        "abt-buy-dirty" => Ok(DatasetFamily::AbtBuyDirty),
+        "dblp-acm" => Ok(DatasetFamily::DblpAcm),
+        "dblp-scholar" => Ok(DatasetFamily::DblpScholar),
+        "fodors-zagats" => Ok(DatasetFamily::FodorsZagats),
+        "cora-dedup" => Ok(DatasetFamily::CoraDedup),
+        other => Err(format!(
+            "unknown family {other:?} (run `panda families` for the list)"
+        )),
+    }
+}
+
+/// `panda families`
+pub fn families() -> Result<(), String> {
+    println!("available benchmark families:");
+    for f in DatasetFamily::extended_suite() {
+        println!("  {}", f.name());
+    }
+    println!("  {}  (single-table deduplication)", DatasetFamily::CoraDedup.name());
+    Ok(())
+}
+
+/// `panda generate`
+pub fn generate(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let family = parse_family(args.required("family")?)?;
+    let entities: usize = args.get_or("entities", 200)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out = args.required("out")?;
+    let mut cfg = GeneratorConfig::new(seed).with_entities(entities);
+    match args.optional("noise") {
+        None | Some("light") => {}
+        Some("heavy") => cfg = cfg.with_noise(panda_datasets::PerturbConfig::heavy()),
+        Some(other) => return Err(format!("--noise must be light|heavy, got {other:?}")),
+    }
+    let task = gen_task(family, &cfg);
+    loader::save_task(Path::new(out), family.name(), &task)
+        .map_err(|e| format!("writing dataset: {e}"))?;
+    println!(
+        "wrote {}_left.csv ({} rows), {}_right.csv ({} rows), {}_gold.csv ({} matches) to {}",
+        family.name(),
+        task.left.len(),
+        family.name(),
+        task.right.len(),
+        family.name(),
+        task.gold.as_ref().map(MatchSet::len).unwrap_or(0),
+        out
+    );
+    Ok(())
+}
+
+fn read_table(path: &str, name: &str) -> Result<Table, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Table::from_csv_str(name, &text, true).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn read_gold(path: &str) -> Result<MatchSet, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut set = MatchSet::new();
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let mut it = line.split(',');
+        let parse = |s: Option<&str>| -> Result<u32, String> {
+            s.and_then(|x| x.trim().parse().ok())
+                .ok_or_else(|| format!("{path}:{}: bad gold line {line:?}", i + 1))
+        };
+        let l = parse(it.next())?;
+        let r = parse(it.next())?;
+        set.insert(panda_table::RecordId(l), panda_table::RecordId(r));
+    }
+    Ok(set)
+}
+
+/// `panda match`
+pub fn run_match(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["no-auto-lfs"])?;
+    let left = read_table(args.required("left")?, "left")?;
+    let right = read_table(args.required("right")?, "right")?;
+    let gold = match args.optional("gold") {
+        Some(path) => Some(read_gold(path)?),
+        None => None,
+    };
+    let threshold: f64 = args.get_or("threshold", 0.5)?;
+    let model = match args.optional("model").unwrap_or("panda") {
+        "panda" => ModelChoice::Panda,
+        "snorkel" => ModelChoice::Snorkel,
+        "majority" => ModelChoice::Majority,
+        other => return Err(format!("--model must be panda|snorkel|majority, got {other:?}")),
+    };
+    let tables = TablePair { left, right, gold };
+    let config = SessionConfig {
+        seed: args.get_or("seed", 0)?,
+        auto_lfs: !args.has_switch("no-auto-lfs"),
+        model,
+        ..SessionConfig::default()
+    };
+    let session = PandaSession::load(tables, config);
+
+    // EM Stats Panel.
+    let em = session.em_stats();
+    println!("left rows        {}", em.left_rows);
+    println!("right rows       {}", em.right_rows);
+    println!("candidate pairs  {}", em.candidate_pairs);
+    println!("auto LFs         {}", em.n_lfs);
+    println!("matches found    {}", em.matches_found);
+
+    // LF Stats Panel.
+    if em.n_lfs > 0 {
+        println!("\nLF stats:");
+        println!(
+            "  {:<14} {:>7} {:>7} {:>8} {:>9} {:>9}",
+            "name", "+1", "-1", "abstain", "est.FPR", "est.FNR"
+        );
+        for row in session.lf_stats() {
+            println!(
+                "  {:<14} {:>7} {:>7} {:>8} {:>9.4} {:>9.4}",
+                row.name,
+                row.n_match,
+                row.n_nonmatch,
+                row.n_abstain,
+                row.est_fpr.unwrap_or(f64::NAN),
+                row.est_fnr.unwrap_or(f64::NAN)
+            );
+        }
+    }
+
+    // Quality against gold, if provided.
+    if let Some(m) = session.current_metrics() {
+        println!(
+            "\nvs gold: precision {:.3}  recall {:.3}  F1 {:.3}",
+            m.precision, m.recall, m.f1
+        );
+    }
+
+    // Predicted matches.
+    let mut out = String::from("left_row,right_row,probability\n");
+    let mut n = 0usize;
+    for (i, pair) in session.candidates().iter() {
+        let gamma = session.posteriors()[i];
+        if gamma >= threshold {
+            out.push_str(&format!("{},{},{gamma:.4}\n", pair.left.0, pair.right.0));
+            n += 1;
+        }
+    }
+    match args.optional("out") {
+        Some(path) => {
+            std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("\nwrote {n} predicted matches (γ ≥ {threshold}) to {path}");
+        }
+        None => {
+            println!("\n{n} predicted matches (γ ≥ {threshold}); pass --out <csv> to save them");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_parsing() {
+        assert!(parse_family("abt-buy").is_ok());
+        assert!(parse_family("cora-dedup").is_ok());
+        assert!(parse_family("nope").is_err());
+    }
+
+    #[test]
+    fn generate_then_match_round_trip() {
+        let dir = std::env::temp_dir().join("panda-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_string_lossy().to_string();
+        generate(&[
+            "--family".into(),
+            "fodors-zagats".into(),
+            "--entities".into(),
+            "60".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out".into(),
+            dirs.clone(),
+        ])
+        .unwrap();
+        let out_csv = dir.join("matches.csv").to_string_lossy().to_string();
+        run_match(&[
+            "--left".into(),
+            format!("{dirs}/fodors-zagats_left.csv"),
+            "--right".into(),
+            format!("{dirs}/fodors-zagats_right.csv"),
+            "--gold".into(),
+            format!("{dirs}/fodors-zagats_gold.csv"),
+            "--out".into(),
+            out_csv.clone(),
+        ])
+        .unwrap();
+        let written = std::fs::read_to_string(&out_csv).unwrap();
+        assert!(written.starts_with("left_row,right_row,probability\n"));
+        assert!(written.lines().count() > 10, "found a useful number of matches");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn match_rejects_bad_model() {
+        let err = run_match(&[
+            "--left".into(),
+            "/nonexistent.csv".into(),
+            "--right".into(),
+            "/nonexistent.csv".into(),
+            "--model".into(),
+            "gpt".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("reading") || err.contains("--model"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `panda` — the command-line face of the system.
+//!
+//! ```text
+//! panda generate --family abt-buy --entities 300 --seed 1 --out data/
+//! panda match --left data/abt-buy_left.csv --right data/abt-buy_right.csv \
+//!             [--gold data/abt-buy_gold.csv] [--model panda|snorkel|majority] \
+//!             [--threshold 0.5] [--no-auto-lfs] [--out matches.csv]
+//! panda families
+//! ```
+//!
+//! `match` runs the full weakly-supervised pipeline (blocking → auto-LF
+//! discovery → labeling model) on two CSV tables and writes the predicted
+//! match pairs; with `--gold` it also scores against ground truth.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{}", commands::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => commands::generate(rest),
+        "match" => commands::run_match(rest),
+        "families" => commands::families(),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

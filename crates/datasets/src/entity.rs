@@ -1,0 +1,396 @@
+//! Ground-truth entity catalogs and their textual renderings.
+//!
+//! Each generator first samples *entities* (the real-world objects), then
+//! renders each entity once per table with table-specific conventions.
+//! Renderings of the same entity are gold matches.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+// ---------------------------------------------------------------------------
+// Vocabularies
+// ---------------------------------------------------------------------------
+
+pub(crate) const BRANDS: &[&str] = &[
+    "sony", "samsung", "panasonic", "toshiba", "sharp", "philips", "lg", "jvc", "pioneer",
+    "canon", "nikon", "olympus", "kodak", "apple", "sandisk", "garmin", "tomtom", "bose",
+    "yamaha", "denon", "onkyo", "logitech", "netgear", "linksys",
+];
+
+pub(crate) const PRODUCT_CATEGORIES: &[(&str, bool)] = &[
+    // (category, has_screen_size)
+    ("lcd tv", true),
+    ("plasma hdtv", true),
+    ("led monitor", true),
+    ("digital camera", false),
+    ("camcorder", false),
+    ("gps navigator", true),
+    ("av receiver", false),
+    ("blu-ray player", false),
+    ("home theater system", false),
+    ("wireless router", false),
+    ("mp3 player", false),
+    ("speaker system", false),
+];
+
+pub(crate) const COLORS: &[&str] =
+    &["black", "silver", "white", "titanium", "graphite", "red", "blue"];
+
+pub(crate) const FEATURES: &[&str] = &[
+    "1080p", "720p", "hdmi", "usb", "wifi", "bluetooth", "remote control", "wall mountable",
+    "energy star", "widescreen", "progressive scan", "image stabilization", "zoom lens",
+    "touch screen", "dolby digital", "surround sound",
+];
+
+pub(crate) const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "wei", "anna", "david", "elena", "rajesh", "yuki", "carlos", "sofia",
+    "michael", "li", "ahmed", "julia", "peter", "nina", "thomas", "sara", "ivan", "grace",
+];
+
+pub(crate) const LAST_NAMES: &[&str] = &[
+    "smith", "johnson", "chen", "kumar", "garcia", "mueller", "tanaka", "ivanov", "rossi",
+    "kim", "nguyen", "brown", "davis", "wilson", "martin", "anderson", "taylor", "thomas",
+    "lee", "white", "harris", "clark", "lewis", "walker", "hall", "young",
+];
+
+pub(crate) const TITLE_TOPICS: &[&str] = &[
+    "query optimization", "entity matching", "data integration", "stream processing",
+    "transaction management", "index structures", "schema mapping", "data cleaning",
+    "graph databases", "distributed joins", "approximate counting", "workload forecasting",
+    "concurrency control", "columnar storage", "view maintenance", "provenance tracking",
+];
+
+pub(crate) const TITLE_MODIFIERS: &[&str] = &[
+    "efficient", "scalable", "adaptive", "robust", "incremental", "parallel", "learned",
+    "probabilistic", "distributed", "online",
+];
+
+pub(crate) const TITLE_PATTERNS: &[&str] = &[
+    "towards", "a survey of", "on the complexity of", "rethinking", "a framework for",
+    "benchmarking",
+];
+
+pub(crate) const VENUES_FULL: &[(&str, &str)] = &[
+    // (full, abbreviated)
+    ("proceedings of the vldb endowment", "pvldb"),
+    ("acm sigmod international conference on management of data", "sigmod"),
+    ("ieee international conference on data engineering", "icde"),
+    ("international conference on extending database technology", "edbt"),
+    ("acm symposium on principles of database systems", "pods"),
+    ("conference on innovative data systems research", "cidr"),
+];
+
+pub(crate) const RESTAURANT_NAMES: &[&str] = &[
+    "golden dragon", "la piazza", "blue bayou", "the grill house", "sakura garden",
+    "casa bonita", "le petit bistro", "spice route", "ocean pearl", "mountain view cafe",
+    "red lantern", "olive grove", "the copper pot", "bella notte", "saffron palace",
+    "harbor lights", "green bamboo", "rustic table", "silver spoon", "maple and oak",
+];
+
+pub(crate) const STREETS: &[&str] = &[
+    "main st", "oak ave", "broadway", "sunset blvd", "5th ave", "park rd", "elm st",
+    "lake shore dr", "market st", "hill crest way",
+];
+
+pub(crate) const CITIES: &[&str] = &[
+    "new york", "los angeles", "chicago", "san francisco", "atlanta", "seattle", "boston",
+    "austin", "denver", "portland",
+];
+
+pub(crate) const CUISINES: &[&str] = &[
+    "chinese", "italian", "cajun", "american", "japanese", "mexican", "french", "indian",
+    "seafood", "fusion", "thai", "mediterranean",
+];
+
+// ---------------------------------------------------------------------------
+// Entities
+// ---------------------------------------------------------------------------
+
+/// A consumer-electronics product (Abt-Buy / Amazon-Google style).
+#[derive(Debug, Clone)]
+pub struct ProductEntity {
+    /// Brand name.
+    pub brand: &'static str,
+    /// Model code, unique per entity (e.g. `kdl-40v2500`).
+    pub model_code: String,
+    /// Category phrase.
+    pub category: &'static str,
+    /// Screen size in inches, when the category has one.
+    pub size_in: Option<u32>,
+    /// Color.
+    pub color: &'static str,
+    /// Feature phrases for the description.
+    pub features: Vec<&'static str>,
+    /// List price.
+    pub price: f64,
+}
+
+impl ProductEntity {
+    /// Sample a product. `serial` is baked into the model code so entities
+    /// are pairwise distinct (keeps the reference table duplicate-free).
+    pub fn sample(rng: &mut SmallRng, serial: usize) -> Self {
+        let brand = BRANDS[rng.gen_range(0..BRANDS.len())];
+        let (category, has_size) = PRODUCT_CATEGORIES[rng.gen_range(0..PRODUCT_CATEGORIES.len())];
+        let size_in = has_size.then(|| *[19u32, 22, 26, 32, 37, 40, 42, 46, 50, 52, 55, 58, 60]
+            .iter()
+            .nth(rng.gen_range(0..13))
+            .unwrap());
+        let prefix: String = (0..3)
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
+        let model_code = format!(
+            "{}-{}{}{}",
+            prefix,
+            size_in.unwrap_or_else(|| rng.gen_range(1..99)),
+            (b'a' + (serial % 26) as u8) as char,
+            1000 + serial
+        );
+        let n_features = rng.gen_range(2..5);
+        let mut features = Vec::with_capacity(n_features);
+        while features.len() < n_features {
+            let f = FEATURES[rng.gen_range(0..FEATURES.len())];
+            if !features.contains(&f) {
+                features.push(f);
+            }
+        }
+        ProductEntity {
+            brand,
+            model_code,
+            category,
+            size_in,
+            color: COLORS[rng.gen_range(0..COLORS.len())],
+            features,
+            price: rng.gen_range(40..2400) as f64 + 0.99,
+        }
+    }
+
+    /// Render the product name in one of several styles (tables differ in
+    /// style systematically, like real catalogs do).
+    pub fn render_name(&self, style: NameStyle) -> String {
+        let size = |unit: &str| {
+            self.size_in
+                .map(|s| format!("{s}{unit} "))
+                .unwrap_or_default()
+        };
+        match style {
+            NameStyle::BrandFirst => format!(
+                "{} {} {}{}",
+                self.brand,
+                self.model_code,
+                size("in"),
+                self.category
+            ),
+            NameStyle::SizeQuoted => format!(
+                "{} {}{} {} {}",
+                self.brand,
+                size("'").trim_end().to_string() + " ",
+                self.category,
+                self.model_code,
+                self.color
+            ),
+            NameStyle::Terse => format!("{} {}", self.brand, self.model_code),
+        }
+    }
+
+    /// Render the long description.
+    pub fn render_description(&self) -> String {
+        format!(
+            "{} {} {} with {} in {}",
+            self.brand,
+            self.category,
+            self.size_in
+                .map(|s| format!("{s} inch"))
+                .unwrap_or_else(|| "compact".to_string()),
+            self.features.join(" "),
+            self.color
+        )
+    }
+}
+
+/// Name rendering conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameStyle {
+    /// `sony kdl-40v2500 40in lcd tv`
+    BrandFirst,
+    /// `sony 40' lcd tv kdl-40v2500 black`
+    SizeQuoted,
+    /// `sony kdl-40v2500`
+    Terse,
+}
+
+/// A bibliographic record (DBLP-ACM / DBLP-Scholar style).
+#[derive(Debug, Clone)]
+pub struct PaperEntity {
+    /// Author names, `(first, last)`.
+    pub authors: Vec<(&'static str, &'static str)>,
+    /// Paper title.
+    pub title: String,
+    /// `(full venue, abbreviation)`.
+    pub venue: (&'static str, &'static str),
+    /// Publication year.
+    pub year: u32,
+    /// Page range start.
+    pub first_page: u32,
+}
+
+impl PaperEntity {
+    /// Sample a paper; `serial` disambiguates titles.
+    pub fn sample(rng: &mut SmallRng, serial: usize) -> Self {
+        let n_authors = rng.gen_range(1..5);
+        let mut authors = Vec::with_capacity(n_authors);
+        while authors.len() < n_authors {
+            let a = (
+                FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())],
+            );
+            if !authors.contains(&a) {
+                authors.push(a);
+            }
+        }
+        let title = format!(
+            "{} {} {} {}",
+            TITLE_PATTERNS[rng.gen_range(0..TITLE_PATTERNS.len())],
+            TITLE_MODIFIERS[rng.gen_range(0..TITLE_MODIFIERS.len())],
+            TITLE_TOPICS[rng.gen_range(0..TITLE_TOPICS.len())],
+            // Serial keeps titles pairwise distinct without looking odd.
+            roman(serial % 40 + 1),
+        );
+        PaperEntity {
+            authors,
+            title,
+            venue: VENUES_FULL[rng.gen_range(0..VENUES_FULL.len())],
+            year: rng.gen_range(1995..2021),
+            first_page: rng.gen_range(1..2000),
+        }
+    }
+
+    /// `"j. smith, w. chen"` (abbreviated) or `"james smith, wei chen"`.
+    pub fn render_authors(&self, abbreviated: bool) -> String {
+        self.authors
+            .iter()
+            .map(|(f, l)| {
+                if abbreviated {
+                    format!("{}. {}", &f[..1], l)
+                } else {
+                    format!("{f} {l}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A restaurant record (Fodors-Zagats style).
+#[derive(Debug, Clone)]
+pub struct RestaurantEntity {
+    /// Restaurant name.
+    pub name: String,
+    /// Street number.
+    pub street_no: u32,
+    /// Street name.
+    pub street: &'static str,
+    /// City.
+    pub city: &'static str,
+    /// Phone number digits.
+    pub phone: String,
+    /// Cuisine label.
+    pub cuisine: &'static str,
+}
+
+impl RestaurantEntity {
+    /// Sample a restaurant; `serial` disambiguates names.
+    pub fn sample(rng: &mut SmallRng, serial: usize) -> Self {
+        let base = RESTAURANT_NAMES[rng.gen_range(0..RESTAURANT_NAMES.len())];
+        // Distinct names: suffix a neighbourhood-ish qualifier per serial.
+        let name = format!("{} {}", base, CITIES[serial % CITIES.len()]);
+        RestaurantEntity {
+            name,
+            street_no: rng.gen_range(1..9999),
+            street: STREETS[rng.gen_range(0..STREETS.len())],
+            city: CITIES[rng.gen_range(0..CITIES.len())],
+            phone: format!(
+                "{:03}-{:03}-{:04}",
+                rng.gen_range(200..999),
+                rng.gen_range(200..999),
+                rng.gen_range(0..9999)
+            ),
+            cuisine: CUISINES[rng.gen_range(0..CUISINES.len())],
+        }
+    }
+}
+
+/// Lowercase roman numerals 1..=40 (used to disambiguate paper titles the
+/// way real series do: "part iv").
+fn roman(mut n: usize) -> String {
+    const VALS: &[(usize, &str)] = &[
+        (10, "x"),
+        (9, "ix"),
+        (5, "v"),
+        (4, "iv"),
+        (1, "i"),
+    ];
+    let mut out = String::new();
+    for &(v, s) in VALS {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn products_are_pairwise_distinct() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let names: Vec<String> = (0..200)
+            .map(|i| ProductEntity::sample(&mut rng, i).model_code)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "model codes must be unique");
+    }
+
+    #[test]
+    fn name_styles_share_the_model_code() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = ProductEntity::sample(&mut rng, 7);
+        for style in [NameStyle::BrandFirst, NameStyle::SizeQuoted, NameStyle::Terse] {
+            let name = p.render_name(style);
+            assert!(name.contains(&p.model_code), "style {style:?}: {name}");
+            assert!(name.contains(p.brand));
+        }
+    }
+
+    #[test]
+    fn paper_author_rendering() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let p = PaperEntity::sample(&mut rng, 1);
+        let full = p.render_authors(false);
+        let abbr = p.render_authors(true);
+        assert!(full.len() >= abbr.len());
+        assert!(abbr.contains(". "));
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(1), "i");
+        assert_eq!(roman(4), "iv");
+        assert_eq!(roman(9), "ix");
+        assert_eq!(roman(14), "xiv");
+        assert_eq!(roman(39), "xxxix");
+    }
+
+    #[test]
+    fn restaurants_have_valid_phone_shape() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let r = RestaurantEntity::sample(&mut rng, 3);
+        assert_eq!(r.phone.len(), 12);
+        assert_eq!(r.phone.matches('-').count(), 2);
+    }
+}

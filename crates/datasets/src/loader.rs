@@ -1,0 +1,106 @@
+//! Save/load generated tasks as CSV files (the format the paper's "upload
+//! dataset" step consumes: two table files plus a perfect-mapping file).
+
+use panda_table::{CandidatePair, MatchSet, Table, TablePair};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Write a task to `<dir>/<stem>_left.csv`, `<dir>/<stem>_right.csv` and
+/// (when gold is present) `<dir>/<stem>_gold.csv` with columns
+/// `left_row,right_row`.
+pub fn save_task(dir: &Path, stem: &str, task: &TablePair) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join(format!("{stem}_left.csv")), task.left.to_csv_string())?;
+    fs::write(dir.join(format!("{stem}_right.csv")), task.right.to_csv_string())?;
+    if let Some(gold) = &task.gold {
+        let mut out = String::from("left_row,right_row\n");
+        let mut pairs: Vec<_> = gold.iter().copied().collect();
+        pairs.sort();
+        for p in pairs {
+            out.push_str(&format!("{},{}\n", p.left.0, p.right.0));
+        }
+        fs::write(dir.join(format!("{stem}_gold.csv")), out)?;
+    }
+    Ok(())
+}
+
+/// Load a task previously written by [`save_task`].
+pub fn load_task(dir: &Path, stem: &str) -> io::Result<TablePair> {
+    let read_table = |suffix: &str, name: &str| -> io::Result<Table> {
+        let text = fs::read_to_string(dir.join(format!("{stem}_{suffix}.csv")))?;
+        Table::from_csv_str(name, &text, true)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    };
+    let left = read_table("left", "left")?;
+    let right = read_table("right", "right")?;
+    let gold_path = dir.join(format!("{stem}_gold.csv"));
+    let gold = if gold_path.exists() {
+        let text = fs::read_to_string(gold_path)?;
+        let mut set = MatchSet::new();
+        for (i, line) in text.lines().enumerate() {
+            if i == 0 || line.trim().is_empty() {
+                continue;
+            }
+            let mut it = line.split(',');
+            let parse = |s: Option<&str>| -> io::Result<u32> {
+                s.and_then(|v| v.trim().parse().ok()).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad gold line {}: {line:?}", i + 1),
+                    )
+                })
+            };
+            let l = parse(it.next())?;
+            let r = parse(it.next())?;
+            let p = CandidatePair::new(l, r);
+            set.insert(p.left, p.right);
+        }
+        Some(set)
+    } else {
+        None
+    };
+    Ok(TablePair { left, right, gold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, DatasetFamily, GeneratorConfig};
+
+    #[test]
+    fn round_trip_through_disk() {
+        let dir = std::env::temp_dir().join("panda-datasets-test");
+        let task = generate(
+            DatasetFamily::FodorsZagats,
+            &GeneratorConfig::new(2).with_entities(40),
+        );
+        save_task(&dir, "fz", &task).unwrap();
+        let back = load_task(&dir, "fz").unwrap();
+        assert_eq!(back.left.len(), task.left.len());
+        assert_eq!(back.right.len(), task.right.len());
+        assert_eq!(
+            back.gold.as_ref().unwrap().len(),
+            task.gold.as_ref().unwrap().len()
+        );
+        // Every original gold pair survives.
+        for p in task.gold.as_ref().unwrap().iter() {
+            assert!(back.gold.as_ref().unwrap().contains(p));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_gold_loads_as_none() {
+        let dir = std::env::temp_dir().join("panda-datasets-test-nogold");
+        let mut task = generate(
+            DatasetFamily::FodorsZagats,
+            &GeneratorConfig::new(3).with_entities(10),
+        );
+        task.gold = None;
+        save_task(&dir, "ng", &task).unwrap();
+        let back = load_task(&dir, "ng").unwrap();
+        assert!(back.gold.is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

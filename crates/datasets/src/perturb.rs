@@ -1,0 +1,291 @@
+//! The perturbation engine: renders "the same entity, written differently".
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Per-field perturbation rates (each in `[0,1]`).
+#[derive(Debug, Clone, Copy)]
+pub struct PerturbConfig {
+    /// Probability of injecting one keyboard typo into a token.
+    pub typo_rate: f64,
+    /// Probability of dropping each non-leading token.
+    pub drop_rate: f64,
+    /// Probability of abbreviating a token (`"panasonic"` → `"p."`).
+    pub abbrev_rate: f64,
+    /// Probability of swapping a pair of adjacent tokens.
+    pub reorder_rate: f64,
+    /// Probability of rewriting a unit annotation (`40'` ↔ `40 inch`).
+    pub unit_rate: f64,
+    /// Probability of blanking the whole field.
+    pub missing_rate: f64,
+}
+
+impl PerturbConfig {
+    /// Mild noise: occasional typos, rare drops.
+    pub fn light() -> Self {
+        PerturbConfig {
+            typo_rate: 0.03,
+            drop_rate: 0.05,
+            abbrev_rate: 0.02,
+            reorder_rate: 0.05,
+            unit_rate: 0.3,
+            missing_rate: 0.02,
+        }
+    }
+
+    /// Heavy noise: the "dirty" benchmark variants.
+    pub fn heavy() -> Self {
+        PerturbConfig {
+            typo_rate: 0.10,
+            drop_rate: 0.15,
+            abbrev_rate: 0.10,
+            reorder_rate: 0.15,
+            unit_rate: 0.5,
+            missing_rate: 0.10,
+        }
+    }
+
+    /// Scale every rate by `factor` (clamped to `[0,1]`).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let s = |r: f64| (r * factor).clamp(0.0, 1.0);
+        PerturbConfig {
+            typo_rate: s(self.typo_rate),
+            drop_rate: s(self.drop_rate),
+            abbrev_rate: s(self.abbrev_rate),
+            reorder_rate: s(self.reorder_rate),
+            unit_rate: s(self.unit_rate),
+            missing_rate: s(self.missing_rate),
+        }
+    }
+}
+
+/// Applies [`PerturbConfig`]-driven noise using an owned RNG forked from a
+/// caller-provided seed (so the whole dataset generation is reproducible
+/// from one master seed without aliasing the caller's RNG).
+pub struct Perturber {
+    rng: SmallRng,
+    cfg: PerturbConfig,
+}
+
+impl Perturber {
+    /// Fork a perturber from a seed and a noise config.
+    pub fn new(seed: u64, cfg: PerturbConfig) -> Self {
+        Perturber { rng: rand::SeedableRng::seed_from_u64(seed), cfg }
+    }
+
+    /// Perturb one free-text field. Returns `None` when the field goes
+    /// missing.
+    pub fn text(&mut self, input: &str) -> Option<String> {
+        if self.rng.gen_bool(self.cfg.missing_rate) {
+            return None;
+        }
+        let mut tokens: Vec<String> = input.split_whitespace().map(str::to_string).collect();
+        if tokens.is_empty() {
+            return Some(String::new());
+        }
+        // Token drops (never the first token — heads carry identity).
+        let mut i = 1;
+        while i < tokens.len() {
+            if tokens.len() > 1 && self.rng.gen_bool(self.cfg.drop_rate) {
+                tokens.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        // Adjacent swaps.
+        if tokens.len() >= 2 && self.rng.gen_bool(self.cfg.reorder_rate) {
+            let i = self.rng.gen_range(0..tokens.len() - 1);
+            tokens.swap(i, i + 1);
+        }
+        // Per-token typos / abbreviations / unit rewrites.
+        for tok in tokens.iter_mut() {
+            if self.rng.gen_bool(self.cfg.unit_rate) {
+                if let Some(rewritten) = self.rewrite_unit(tok) {
+                    *tok = rewritten;
+                    continue;
+                }
+            }
+            if tok.len() >= 4 && self.rng.gen_bool(self.cfg.abbrev_rate) {
+                *tok = abbreviate(tok);
+            } else if tok.len() >= 3 && self.rng.gen_bool(self.cfg.typo_rate) {
+                *tok = self.typo(tok);
+            }
+        }
+        Some(tokens.join(" "))
+    }
+
+    /// Perturb a numeric field (e.g. price): small relative jitter plus
+    /// missingness.
+    pub fn number(&mut self, value: f64, rel_jitter: f64) -> Option<f64> {
+        if self.rng.gen_bool(self.cfg.missing_rate) {
+            return None;
+        }
+        let jitter = 1.0 + self.rng.gen_range(-rel_jitter..=rel_jitter);
+        Some((value * jitter * 100.0).round() / 100.0)
+    }
+
+    /// Inject one keyboard-plausible edit into a token.
+    pub fn typo(&mut self, token: &str) -> String {
+        let chars: Vec<char> = token.chars().collect();
+        if chars.len() < 2 {
+            return token.to_string();
+        }
+        let mut out = chars.clone();
+        let pos = self.rng.gen_range(0..chars.len());
+        match self.rng.gen_range(0..4u8) {
+            0 => {
+                // substitution with a keyboard neighbour
+                out[pos] = keyboard_neighbor(chars[pos], &mut self.rng);
+            }
+            1 => {
+                // deletion
+                out.remove(pos);
+            }
+            2 => {
+                // duplication (fat finger)
+                out.insert(pos, chars[pos]);
+            }
+            _ => {
+                // transposition
+                if pos + 1 < out.len() {
+                    out.swap(pos, pos + 1);
+                }
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Rewrite unit-bearing tokens between equivalent forms:
+    /// `40'` ↔ `40in` ↔ `40-inch` ↔ `40inch`.
+    fn rewrite_unit(&mut self, token: &str) -> Option<String> {
+        let lower = token.to_lowercase();
+        let digits: String = lower.chars().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        let suffix = &lower[digits.len()..];
+        let is_size = matches!(suffix, "'" | "\"" | "in" | "inch" | "-inch" | "in.");
+        if !is_size {
+            return None;
+        }
+        let forms = ["'", "in", "inch", "-inch"];
+        let pick = forms[self.rng.gen_range(0..forms.len())];
+        Some(format!("{digits}{pick}"))
+    }
+}
+
+/// First letter + `.`: `"panasonic"` → `"p."`.
+fn abbreviate(token: &str) -> String {
+    let mut c = token.chars();
+    match c.next() {
+        Some(first) => format!("{first}."),
+        None => token.to_string(),
+    }
+}
+
+fn keyboard_neighbor(c: char, rng: &mut SmallRng) -> char {
+    const ROWS: [&str; 3] = ["qwertyuiop", "asdfghjkl", "zxcvbnm"];
+    let lower = c.to_ascii_lowercase();
+    for row in ROWS {
+        if let Some(idx) = row.find(lower) {
+            let row: Vec<char> = row.chars().collect();
+            let neighbors: Vec<char> = match idx {
+                0 => vec![row[1]],
+                i if i == row.len() - 1 => vec![row[i - 1]],
+                i => vec![row[i - 1], row[i + 1]],
+            };
+            let pick = neighbors[rng.gen_range(0..neighbors.len())];
+            return if c.is_uppercase() {
+                pick.to_ascii_uppercase()
+            } else {
+                pick
+            };
+        }
+    }
+    // Digits / punctuation: nudge digits, keep the rest.
+    if let Some(d) = c.to_digit(10) {
+        return char::from_digit((d + 1) % 10, 10).unwrap();
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    #[test]
+    fn zero_rates_are_identity() {
+        let cfg = PerturbConfig {
+            typo_rate: 0.0,
+            drop_rate: 0.0,
+            abbrev_rate: 0.0,
+            reorder_rate: 0.0,
+            unit_rate: 0.0,
+            missing_rate: 0.0,
+        };
+        let mut p = Perturber::new(9, cfg);
+        assert_eq!(p.text("sony bravia 40in tv").as_deref(), Some("sony bravia 40in tv"));
+        assert_eq!(p.number(99.0, 0.0), Some(99.0));
+    }
+
+    #[test]
+    fn missing_rate_one_always_blanks() {
+        let cfg = PerturbConfig { missing_rate: 1.0, ..PerturbConfig::light() };
+        let mut p = Perturber::new(9, cfg);
+        assert_eq!(p.text("anything"), None);
+        assert_eq!(p.number(5.0, 0.1), None);
+    }
+
+    #[test]
+    fn heavy_noise_changes_text_but_keeps_head_token() {
+        let mut p = Perturber::new(3, PerturbConfig::heavy());
+        let mut changed = 0;
+        for _ in 0..50 {
+            if let Some(t) = p.text("sony bravia kdl 40in lcd tv") {
+                if t != "sony bravia kdl 40in lcd tv" {
+                    changed += 1;
+                }
+                // The head token may get typos but never disappears.
+                assert!(!t.is_empty());
+            }
+        }
+        assert!(changed > 25, "heavy noise should usually change text: {changed}/50");
+    }
+
+    #[test]
+    fn typo_is_a_small_edit() {
+        let mut p = Perturber::new(4, PerturbConfig::light());
+        for _ in 0..30 {
+            let t = p.typo("bravia");
+            let len_diff = (t.chars().count() as i64 - 6).abs();
+            assert!(len_diff <= 1, "typo {t:?} changed length too much");
+        }
+    }
+
+    #[test]
+    fn unit_rewrites_preserve_the_number() {
+        let cfg = PerturbConfig { unit_rate: 1.0, missing_rate: 0.0, ..PerturbConfig::light() };
+        let mut p = Perturber::new(9, cfg);
+        for _ in 0..20 {
+            let t = p.text("40'").unwrap();
+            assert!(t.starts_with("40"), "rewrite kept the number: {t:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut p = Perturber::new(42, PerturbConfig::heavy());
+            (0..10).map(|_| p.text("panasonic viera 50in plasma")).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn scaled_clamps() {
+        let c = PerturbConfig::heavy().scaled(100.0);
+        assert!(c.typo_rate <= 1.0 && c.missing_rate <= 1.0);
+        let z = PerturbConfig::heavy().scaled(0.0);
+        assert_eq!(z.typo_rate, 0.0);
+    }
+}

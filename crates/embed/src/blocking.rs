@@ -1,0 +1,406 @@
+//! Blocking strategies: embedding-LSH (the paper's), plus token blocking
+//! and sorted neighbourhood as baselines for experiment E5.
+
+use crate::embedding::{cosine, TupleEmbedder};
+use crate::lsh::HyperplaneLsh;
+use panda_table::{CandidatePair, CandidateSet, Record, TablePair};
+use panda_text::preprocess::{apply_pipeline, standard_pipeline};
+use panda_text::tokenize::Tokenizer;
+use std::collections::{HashMap, HashSet};
+
+/// The text blocking keys are built from: every non-missing attribute
+/// *except* id-like columns. Surrogate ids are unique per row and often
+/// systematically different between tables (`10042` vs `58731`), so
+/// including them poisons sort keys and adds pure noise to token sets.
+pub fn blocking_text(rec: &Record<'_>) -> String {
+    let mut out = String::new();
+    for (field, value) in rec.schema().fields().iter().zip(rec.values()) {
+        let lower = field.name.to_lowercase();
+        if lower == "id" || lower.ends_with("_id") || value.is_missing() {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&value.to_text());
+    }
+    out
+}
+
+/// A blocking strategy: reduce `left × right` to a candidate set.
+pub trait Blocker {
+    /// Produce the candidate pairs for an EM task.
+    fn candidates(&self, tables: &TablePair) -> CandidateSet;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Embedding + LSH (the paper's scheme)
+// ---------------------------------------------------------------------------
+
+/// The paper's blocking pipeline: embed every tuple, band-hash the
+/// embeddings, and emit all left-right collisions. An optional cosine
+/// floor prunes accidental collisions; an optional per-record cap bounds
+/// worst-case candidate counts.
+#[derive(Debug, Clone)]
+pub struct EmbeddingLshBlocker {
+    embedder: TupleEmbedder,
+    bands: usize,
+    bits_per_band: usize,
+    seed: u64,
+    /// Drop collisions whose embedding cosine falls below this.
+    pub min_cosine: f32,
+    /// Keep at most this many candidates per left record (by cosine).
+    pub max_per_record: Option<usize>,
+}
+
+impl EmbeddingLshBlocker {
+    /// Reasonable defaults: 256-dim embeddings, 24 bands × 6 bits, cosine
+    /// floor 0.25. Wide-band/low-bit LSH over-generates collisions on
+    /// purpose — the exact-cosine floor then prunes them — because recall
+    /// lost at the LSH stage is unrecoverable while spurious collisions
+    /// only cost a dot product each.
+    pub fn new(seed: u64) -> Self {
+        EmbeddingLshBlocker {
+            embedder: TupleEmbedder::new(256),
+            bands: 24,
+            bits_per_band: 6,
+            seed,
+            min_cosine: 0.25,
+            max_per_record: Some(32),
+        }
+    }
+
+    /// Override LSH shape.
+    pub fn with_lsh(mut self, bands: usize, bits_per_band: usize) -> Self {
+        self.bands = bands;
+        self.bits_per_band = bits_per_band;
+        self
+    }
+
+    /// Override the embedder.
+    pub fn with_embedder(mut self, embedder: TupleEmbedder) -> Self {
+        self.embedder = embedder;
+        self
+    }
+
+    /// Embed all records of both tables (exposed so the smart sampler can
+    /// reuse the vectors instead of re-embedding).
+    pub fn embed_tables(&self, tables: &TablePair) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let left = tables
+            .left
+            .records()
+            .map(|r| self.embedder.embed_record(&r))
+            .collect();
+        let right = tables
+            .right
+            .records()
+            .map(|r| self.embedder.embed_record(&r))
+            .collect();
+        (left, right)
+    }
+}
+
+impl Blocker for EmbeddingLshBlocker {
+    fn candidates(&self, tables: &TablePair) -> CandidateSet {
+        let (lvecs, rvecs) = self.embed_tables(tables);
+        let lsh = HyperplaneLsh::new(self.embedder.dim(), self.bands, self.bits_per_band, self.seed);
+
+        // Bucket right records by (band, key).
+        let mut buckets: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
+        for (rid, v) in rvecs.iter().enumerate() {
+            for (band, key) in lsh.signature(v).into_iter().enumerate() {
+                buckets.entry((band, key)).or_default().push(rid as u32);
+            }
+        }
+
+        let mut seen: HashSet<CandidatePair> = HashSet::new();
+        let mut per_left: Vec<Vec<(f32, u32)>> = vec![Vec::new(); lvecs.len()];
+        for (lid, v) in lvecs.iter().enumerate() {
+            for (band, key) in lsh.signature(v).into_iter().enumerate() {
+                let Some(rids) = buckets.get(&(band, key)) else { continue };
+                for &rid in rids {
+                    let pair = CandidatePair::new(lid as u32, rid);
+                    if !seen.insert(pair) {
+                        continue;
+                    }
+                    let c = cosine(v, &rvecs[rid as usize]);
+                    if c >= self.min_cosine {
+                        per_left[lid].push((c, rid));
+                    }
+                }
+            }
+        }
+
+        // Per-record cap, keeping the highest-cosine candidates.
+        let mut pairs = Vec::new();
+        for (lid, mut cands) in per_left.into_iter().enumerate() {
+            if let Some(cap) = self.max_per_record {
+                if cands.len() > cap {
+                    cands.sort_by(|a, b| b.0.total_cmp(&a.0));
+                    cands.truncate(cap);
+                }
+            }
+            // Deterministic order within a record.
+            cands.sort_by_key(|&(_, rid)| rid);
+            for (_, rid) in cands {
+                pairs.push(CandidatePair::new(lid as u32, rid));
+            }
+        }
+        CandidateSet::from_pairs(pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "embedding-lsh"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token blocking baseline
+// ---------------------------------------------------------------------------
+
+/// Classic token blocking: pairs sharing at least one non-frequent token
+/// become candidates. `max_token_df` skips tokens whose blocks would be
+/// huge (stop words, "tv").
+#[derive(Debug, Clone)]
+pub struct TokenBlocker {
+    /// Skip tokens appearing in more than this fraction of right records.
+    pub max_token_df: f64,
+}
+
+impl Default for TokenBlocker {
+    fn default() -> Self {
+        TokenBlocker { max_token_df: 0.05 }
+    }
+}
+
+impl Blocker for TokenBlocker {
+    fn candidates(&self, tables: &TablePair) -> CandidateSet {
+        let clean = |s: String| apply_pipeline(&standard_pipeline(), &s);
+        let mut token_to_rights: HashMap<String, Vec<u32>> = HashMap::new();
+        for rec in tables.right.records() {
+            let text = clean(blocking_text(&rec));
+            let mut seen_tok: HashSet<String> = HashSet::new();
+            for t in Tokenizer::Whitespace.tokens(&text) {
+                if seen_tok.insert(t.clone()) {
+                    token_to_rights.entry(t).or_default().push(rec.id().0);
+                }
+            }
+        }
+        let cap = ((tables.right.len() as f64) * self.max_token_df).ceil() as usize;
+        let cap = cap.max(2);
+
+        let mut seen: HashSet<CandidatePair> = HashSet::new();
+        let mut pairs = Vec::new();
+        for rec in tables.left.records() {
+            let text = clean(blocking_text(&rec));
+            for t in Tokenizer::Whitespace.tokens(&text) {
+                let Some(rights) = token_to_rights.get(&t) else { continue };
+                if rights.len() > cap {
+                    continue; // frequent token: block too big to be useful
+                }
+                for &rid in rights {
+                    let p = CandidatePair::new(rec.id().0, rid);
+                    if seen.insert(p) {
+                        pairs.push(p);
+                    }
+                }
+            }
+        }
+        pairs.sort();
+        CandidateSet::from_pairs(pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "token"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted neighbourhood baseline
+// ---------------------------------------------------------------------------
+
+/// Sorted neighbourhood: sort all records (both tables) by a key — here
+/// the cleaned full text — then slide a window and pair up left/right
+/// records that co-occur within it.
+#[derive(Debug, Clone)]
+pub struct SortedNeighborhoodBlocker {
+    /// Window size (number of records).
+    pub window: usize,
+}
+
+impl Default for SortedNeighborhoodBlocker {
+    fn default() -> Self {
+        SortedNeighborhoodBlocker { window: 10 }
+    }
+}
+
+impl Blocker for SortedNeighborhoodBlocker {
+    fn candidates(&self, tables: &TablePair) -> CandidateSet {
+        #[derive(Clone)]
+        struct Entry {
+            key: String,
+            side_left: bool,
+            id: u32,
+        }
+        let clean = |s: String| apply_pipeline(&standard_pipeline(), &s);
+        let mut entries: Vec<Entry> = Vec::with_capacity(tables.left.len() + tables.right.len());
+        for rec in tables.left.records() {
+            entries.push(Entry { key: clean(blocking_text(&rec)), side_left: true, id: rec.id().0 });
+        }
+        for rec in tables.right.records() {
+            entries.push(Entry {
+                key: clean(blocking_text(&rec)),
+                side_left: false,
+                id: rec.id().0,
+            });
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+
+        let w = self.window.max(2);
+        let mut seen: HashSet<CandidatePair> = HashSet::new();
+        let mut pairs = Vec::new();
+        for i in 0..entries.len() {
+            let end = (i + w).min(entries.len());
+            for j in i + 1..end {
+                let (a, b) = (&entries[i], &entries[j]);
+                let p = match (a.side_left, b.side_left) {
+                    (true, false) => CandidatePair::new(a.id, b.id),
+                    (false, true) => CandidatePair::new(b.id, a.id),
+                    _ => continue,
+                };
+                if seen.insert(p) {
+                    pairs.push(p);
+                }
+            }
+        }
+        pairs.sort();
+        CandidateSet::from_pairs(pairs)
+    }
+
+    fn name(&self) -> &'static str {
+        "sorted-neighborhood"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Blocking quality: candidate-set size vs gold recall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingStats {
+    /// Candidate pairs emitted.
+    pub candidates: usize,
+    /// Gold matches present in the candidate set.
+    pub matches_covered: usize,
+    /// Total gold matches.
+    pub total_matches: usize,
+    /// `matches_covered / total_matches` (1.0 when no gold).
+    pub recall: f64,
+    /// `candidates / (|L| × |R|)`.
+    pub reduction_ratio: f64,
+}
+
+/// Compute [`BlockingStats`] for a candidate set against the pair's gold.
+pub fn blocking_stats(tables: &TablePair, candidates: &CandidateSet) -> BlockingStats {
+    let total = tables.gold.as_ref().map(|g| g.len()).unwrap_or(0);
+    let covered = match &tables.gold {
+        Some(gold) => candidates
+            .pairs()
+            .iter()
+            .filter(|p| gold.contains(p))
+            .count(),
+        None => 0,
+    };
+    let cross = (tables.left.len() * tables.right.len()).max(1);
+    BlockingStats {
+        candidates: candidates.len(),
+        matches_covered: covered,
+        total_matches: total,
+        recall: if total == 0 { 1.0 } else { covered as f64 / total as f64 },
+        reduction_ratio: candidates.len() as f64 / cross as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_table::{MatchSet, RecordId, Schema, Table};
+
+    /// A tiny product task: 4 left, 4 right, 3 true matches.
+    fn tiny_task() -> TablePair {
+        let schema = Schema::of_text(&["name", "price"]);
+        let mut left = Table::new("abt", schema.clone());
+        left.push(vec!["sony bravia kdl-40v2500 40 lcd tv", "999"]).unwrap();
+        left.push(vec!["apple ipod nano 8gb silver", "149"]).unwrap();
+        left.push(vec!["canon powershot sd1000 digital camera", "299"]).unwrap();
+        left.push(vec!["panasonic viera 50 plasma hdtv", "1299"]).unwrap();
+        let mut right = Table::new("buy", schema);
+        right.push(vec!["sony bravia 40in kdl40v2500 lcd hdtv", "989"]).unwrap();
+        right.push(vec!["apple ipod nano 8 gb (silver)", "145"]).unwrap();
+        right.push(vec!["panasonic 50in viera plasma television", "1250"]).unwrap();
+        right.push(vec!["nikon coolpix 10mp camera bundle", "399"]).unwrap();
+        let mut gold = MatchSet::new();
+        gold.insert(RecordId(0), RecordId(0));
+        gold.insert(RecordId(1), RecordId(1));
+        gold.insert(RecordId(3), RecordId(2));
+        TablePair::with_gold(left, right, gold)
+    }
+
+    #[test]
+    fn embedding_lsh_recovers_matches() {
+        let task = tiny_task();
+        let blocker = EmbeddingLshBlocker::new(7);
+        let cands = blocker.candidates(&task);
+        let stats = blocking_stats(&task, &cands);
+        assert_eq!(stats.total_matches, 3);
+        assert_eq!(stats.matches_covered, 3, "all matches must survive blocking");
+        assert!(stats.candidates < 16, "should prune the cross product");
+    }
+
+    #[test]
+    fn token_blocking_recovers_matches() {
+        let task = tiny_task();
+        let blocker = TokenBlocker { max_token_df: 0.6 };
+        let cands = blocker.candidates(&task);
+        let stats = blocking_stats(&task, &cands);
+        assert_eq!(stats.matches_covered, 3);
+    }
+
+    #[test]
+    fn sorted_neighborhood_produces_cross_side_pairs_only() {
+        let task = tiny_task();
+        let blocker = SortedNeighborhoodBlocker { window: 4 };
+        let cands = blocker.candidates(&task);
+        assert!(!cands.is_empty());
+        for p in cands.pairs() {
+            assert!(p.left.idx() < task.left.len());
+            assert!(p.right.idx() < task.right.len());
+        }
+    }
+
+    #[test]
+    fn stats_on_cross_product_have_full_recall() {
+        let task = tiny_task();
+        let stats = blocking_stats(&task, &task.cross_product());
+        assert_eq!(stats.recall, 1.0);
+        assert_eq!(stats.reduction_ratio, 1.0);
+    }
+
+    #[test]
+    fn per_record_cap_is_enforced() {
+        let task = tiny_task();
+        let mut blocker = EmbeddingLshBlocker::new(3);
+        blocker.min_cosine = -1.0; // keep everything LSH emits
+        blocker.max_per_record = Some(1);
+        let cands = blocker.candidates(&task);
+        let mut per_left = std::collections::HashMap::new();
+        for p in cands.pairs() {
+            *per_left.entry(p.left).or_insert(0) += 1;
+        }
+        assert!(per_left.values().all(|&c| c <= 1));
+    }
+}

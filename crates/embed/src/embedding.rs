@@ -1,0 +1,173 @@
+//! Feature-hashed tuple embeddings (the sentence-model substitute).
+
+use crate::hashing::fnv1a_seeded;
+use panda_table::Record;
+use panda_text::preprocess::{apply_pipeline, standard_pipeline};
+use panda_text::tokenize::Tokenizer;
+
+/// Embeds a tuple's concatenated text into a fixed-dimension dense vector
+/// by feature hashing.
+///
+/// Features are (a) word tokens and (b) character trigrams of the cleaned
+/// text. Each feature `f` maps to bucket `h(f) mod dim` with sign
+/// `±1` from an independent hash bit; word features carry more weight than
+/// trigram features (words are more discriminative; trigrams provide
+/// typo robustness). Vectors are L2-normalised, so dot product = cosine.
+///
+/// The construction guarantees the property blocking relies on: strings
+/// with high weighted n-gram overlap get high cosine similarity, in
+/// expectation proportional to the overlap (standard feature-hashing
+/// inner-product preservation).
+#[derive(Debug, Clone)]
+pub struct TupleEmbedder {
+    dim: usize,
+    word_weight: f32,
+    trigram_weight: f32,
+    seed: u64,
+}
+
+impl TupleEmbedder {
+    /// Embedder with the given dimension (≥ 8 recommended; 256 default).
+    pub fn new(dim: usize) -> Self {
+        TupleEmbedder {
+            dim: dim.max(2),
+            word_weight: 1.0,
+            trigram_weight: 0.4,
+            seed: 0x9e1e_55ed_u64,
+        }
+    }
+
+    /// Override the feature weights (word, trigram).
+    pub fn with_weights(mut self, word: f32, trigram: f32) -> Self {
+        self.word_weight = word;
+        self.trigram_weight = trigram;
+        self
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed arbitrary text.
+    pub fn embed_text(&self, text: &str) -> Vec<f32> {
+        let cleaned = apply_pipeline(&standard_pipeline(), text);
+        let mut v = vec![0.0f32; self.dim];
+        for word in Tokenizer::Whitespace.tokens(&cleaned) {
+            self.add_feature(&mut v, word.as_bytes(), self.word_weight);
+        }
+        for gram in Tokenizer::QGram(3).tokens(&cleaned) {
+            self.add_feature(&mut v, gram.as_bytes(), self.trigram_weight);
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// Embed a whole record: all non-null attributes concatenated — the
+    /// "sentence" of the tuple, as the paper embeds whole tuples — except
+    /// id-like columns (see [`crate::blocking::blocking_text`]).
+    pub fn embed_record(&self, record: &Record<'_>) -> Vec<f32> {
+        self.embed_text(&crate::blocking::blocking_text(record))
+    }
+
+    fn add_feature(&self, v: &mut [f32], feature: &[u8], weight: f32) {
+        let h = fnv1a_seeded(feature, self.seed);
+        let bucket = (h % self.dim as u64) as usize;
+        // An independent bit decides the sign (unbiased estimator of the
+        // inner product).
+        let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+        v[bucket] += sign * weight;
+    }
+}
+
+impl Default for TupleEmbedder {
+    fn default() -> Self {
+        TupleEmbedder::new(256)
+    }
+}
+
+/// Cosine similarity of two same-length vectors (0 for zero vectors).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+fn normalize(v: &mut [f32]) {
+    let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_text_identical_embedding() {
+        let e = TupleEmbedder::new(64);
+        let a = e.embed_text("Sony Bravia 40 LCD TV");
+        let b = e.embed_text("Sony Bravia 40 LCD TV");
+        assert_eq!(a, b);
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn similar_beats_dissimilar() {
+        let e = TupleEmbedder::new(256);
+        let base = e.embed_text("sony bravia kdl-40v2500 40 inch lcd tv");
+        let near = e.embed_text("sony bravia kdl 40v2500 lcd hdtv 40in");
+        let far = e.embed_text("apple ipod nano 8gb silver music player");
+        assert!(
+            cosine(&base, &near) > cosine(&base, &far) + 0.2,
+            "near {} far {}",
+            cosine(&base, &near),
+            cosine(&base, &far)
+        );
+    }
+
+    #[test]
+    fn typo_robustness_via_trigrams() {
+        let e = TupleEmbedder::new(256);
+        let a = e.embed_text("panasonic viera plasma");
+        let b = e.embed_text("panasonik viera plasma"); // typo
+        assert!(cosine(&a, &b) > 0.7, "typo cosine {}", cosine(&a, &b));
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = TupleEmbedder::new(32);
+        let v = e.embed_text("");
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(cosine(&v, &v), 0.0);
+    }
+
+    proptest! {
+        /// Embeddings are unit-length (or zero) and cosine stays in [-1,1].
+        #[test]
+        fn embedding_invariants(a in ".{0,30}", b in ".{0,30}") {
+            let e = TupleEmbedder::new(64);
+            let va = e.embed_text(&a);
+            let vb = e.embed_text(&b);
+            let na: f32 = va.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(na < 1.0 + 1e-4, "norm {na}");
+            let c = cosine(&va, &vb);
+            prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c));
+            prop_assert!((cosine(&va, &vb) - cosine(&vb, &va)).abs() < 1e-6);
+        }
+    }
+}

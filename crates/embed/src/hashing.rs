@@ -1,0 +1,58 @@
+//! Deterministic string hashing.
+//!
+//! `std`'s `DefaultHasher` is not guaranteed stable across releases, and
+//! embeddings must be reproducible run-to-run for experiments to be
+//! comparable — so feature hashing uses an in-tree FNV-1a with explicit
+//! seed mixing.
+
+/// 64-bit FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// FNV-1a with a seed mixed in (different seeds give independent-ish hash
+/// families — used for signs vs buckets).
+pub fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
+    splitmix64(fnv1a(bytes) ^ splitmix64(seed))
+}
+
+/// SplitMix64 finaliser — a cheap, well-distributed 64-bit mixer.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_spread() {
+        assert_eq!(fnv1a(b"sony"), fnv1a(b"sony"));
+        assert_ne!(fnv1a(b"sony"), fnv1a(b"sonz"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+
+    #[test]
+    fn seeds_give_different_families() {
+        let a = fnv1a_seeded(b"token", 1);
+        let b = fnv1a_seeded(b"token", 2);
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a_seeded(b"token", 1));
+    }
+
+    #[test]
+    fn splitmix_changes_all_zero_input() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -1,0 +1,279 @@
+//! Entity clustering: from predicted match pairs to entity groups.
+//!
+//! Pairwise match decisions are rarely the final product — a catalog wants
+//! *entities*, i.e. the connected components (or better) of the match
+//! graph. This module provides:
+//!
+//! * [`UnionFind`] — path-halving + union-by-size disjoint sets,
+//! * [`clusters_from_pairs`] — connected-component clustering of predicted
+//!   matches over the two-table node space,
+//! * [`dense_clusters_from_pairs`] — a stricter variant that peels off
+//!   weakly-connected nodes (single edge into a big component), the usual
+//!   cheap guard against hub records chaining clusters together,
+//! * [`pairwise_cluster_metrics`] — precision/recall/F1 of the pairs
+//!   *implied* by a clustering against gold pairs (the standard cluster
+//!   evaluation for ER).
+
+use crate::metrics::Metrics;
+use panda_table::{CandidatePair, MatchSet, RecordId};
+use std::collections::HashMap;
+
+/// Disjoint-set forest with union by size and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand; // path halving
+            x = grand;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false when already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// A node of the match graph: a record in the left or right table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// Row of the left table.
+    Left(RecordId),
+    /// Row of the right table.
+    Right(RecordId),
+}
+
+/// One entity cluster: the records (from both tables) resolved together.
+pub type Cluster = Vec<Node>;
+
+fn encode(node: Node, n_left: u32) -> u32 {
+    match node {
+        Node::Left(id) => id.0,
+        Node::Right(id) => n_left + id.0,
+    }
+}
+
+fn decode(idx: u32, n_left: u32) -> Node {
+    if idx < n_left {
+        Node::Left(RecordId(idx))
+    } else {
+        Node::Right(RecordId(idx - n_left))
+    }
+}
+
+/// Connected components of the predicted match pairs. Returns clusters
+/// with ≥ 2 records, largest first (singletons are unmatched records and
+/// are omitted).
+pub fn clusters_from_pairs(
+    pairs: &MatchSet,
+    n_left: usize,
+    n_right: usize,
+) -> Vec<Cluster> {
+    let n_left = n_left as u32;
+    let mut uf = UnionFind::new((n_left as usize) + n_right);
+    for p in pairs.iter() {
+        uf.union(
+            encode(Node::Left(p.left), n_left),
+            encode(Node::Right(p.right), n_left),
+        );
+    }
+    let mut by_root: HashMap<u32, Cluster> = HashMap::new();
+    for idx in 0..uf.parent.len() as u32 {
+        let root = uf.find(idx);
+        by_root.entry(root).or_default().push(decode(idx, n_left));
+    }
+    let mut clusters: Vec<Cluster> = by_root
+        .into_values()
+        .filter(|c| c.len() >= 2)
+        .collect();
+    for c in &mut clusters {
+        c.sort();
+    }
+    clusters.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    clusters
+}
+
+/// Connected components, then peel nodes attached to their component by a
+/// single edge when the component is larger than `max_chain` — the classic
+/// guard against one spurious pair chaining two real entities.
+pub fn dense_clusters_from_pairs(
+    pairs: &MatchSet,
+    n_left: usize,
+    n_right: usize,
+    max_chain: usize,
+) -> Vec<Cluster> {
+    let n_left_u = n_left as u32;
+    // Degree per node.
+    let mut degree: HashMap<u32, u32> = HashMap::new();
+    for p in pairs.iter() {
+        *degree.entry(encode(Node::Left(p.left), n_left_u)).or_insert(0) += 1;
+        *degree.entry(encode(Node::Right(p.right), n_left_u)).or_insert(0) += 1;
+    }
+    let clusters = clusters_from_pairs(pairs, n_left, n_right);
+    clusters
+        .into_iter()
+        .map(|c| {
+            if c.len() <= max_chain {
+                return c;
+            }
+            let kept: Cluster = c
+                .iter()
+                .copied()
+                .filter(|&node| degree.get(&encode(node, n_left_u)).copied().unwrap_or(0) >= 2)
+                .collect();
+            if kept.len() >= 2 {
+                kept
+            } else {
+                c
+            }
+        })
+        .filter(|c| c.len() >= 2)
+        .collect()
+}
+
+/// Precision/recall/F1 of the left-right pairs implied by a clustering
+/// against the gold match set. Within a cluster, every (left, right)
+/// combination counts as a predicted match.
+pub fn pairwise_cluster_metrics(clusters: &[Cluster], gold: &MatchSet) -> Metrics {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut implied = MatchSet::new();
+    for c in clusters {
+        let lefts: Vec<RecordId> = c
+            .iter()
+            .filter_map(|n| match n {
+                Node::Left(id) => Some(*id),
+                Node::Right(_) => None,
+            })
+            .collect();
+        let rights: Vec<RecordId> = c
+            .iter()
+            .filter_map(|n| match n {
+                Node::Right(id) => Some(*id),
+                Node::Left(_) => None,
+            })
+            .collect();
+        for &l in &lefts {
+            for &r in &rights {
+                if implied.insert(l, r) {
+                    if gold.contains(&CandidatePair { left: l, right: r }) {
+                        tp += 1;
+                    } else {
+                        fp += 1;
+                    }
+                }
+            }
+        }
+    }
+    let fn_ = gold.len().saturating_sub(tp);
+    crate::metrics::ConfusionCounts { tp, fp, fn_, tn: 0 }.metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(ps: &[(u32, u32)]) -> MatchSet {
+        let mut m = MatchSet::new();
+        for &(l, r) in ps {
+            m.insert(RecordId(l), RecordId(r));
+        }
+        m
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already connected");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn components_from_pairs() {
+        // L0-R0, L1-R0 (shared right), L2-R2.
+        let clusters = clusters_from_pairs(&pairs(&[(0, 0), (1, 0), (2, 2)]), 4, 4);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 3, "largest first");
+        assert!(clusters[0].contains(&Node::Left(RecordId(0))));
+        assert!(clusters[0].contains(&Node::Left(RecordId(1))));
+        assert!(clusters[0].contains(&Node::Right(RecordId(0))));
+        assert_eq!(clusters[1].len(), 2);
+    }
+
+    #[test]
+    fn singletons_are_omitted() {
+        let clusters = clusters_from_pairs(&pairs(&[(0, 0)]), 10, 10);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 2);
+    }
+
+    #[test]
+    fn dense_variant_peels_chain_nodes() {
+        // A 4-node chain: L0-R0, L1-R0, L1-R1 … plus a hub edge L2-R1
+        // chaining in a third record with degree 1.
+        let p = pairs(&[(0, 0), (1, 0), (1, 1), (2, 1)]);
+        let loose = clusters_from_pairs(&p, 4, 4);
+        assert_eq!(loose[0].len(), 5);
+        let dense = dense_clusters_from_pairs(&p, 4, 4, 3);
+        // L0 (deg 1), L2 (deg 1) peeled; R0, L1, R1 (deg ≥ 2) remain.
+        assert_eq!(dense[0].len(), 3, "{dense:?}");
+    }
+
+    #[test]
+    fn cluster_metrics_count_implied_pairs() {
+        // Cluster {L0, L1, R0}: implies (0,0) and (1,0). Gold has (0,0)
+        // only → precision 1/2; gold also has (2,2) unmatched → recall 1/2.
+        let clusters = vec![vec![
+            Node::Left(RecordId(0)),
+            Node::Left(RecordId(1)),
+            Node::Right(RecordId(0)),
+        ]];
+        let gold = pairs(&[(0, 0), (2, 2)]);
+        let m = pairwise_cluster_metrics(&clusters, &gold);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let clusters = clusters_from_pairs(&MatchSet::new(), 3, 3);
+        assert!(clusters.is_empty());
+        let m = pairwise_cluster_metrics(&[], &MatchSet::new());
+        assert_eq!(m.recall, 1.0); // vacuous
+    }
+}

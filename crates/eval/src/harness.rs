@@ -1,0 +1,107 @@
+//! Dataset × model sweeps.
+
+use crate::metrics::{confusion, Metrics};
+use panda_lf::LabelMatrix;
+use panda_model::LabelModel;
+use panda_table::{CandidateSet, TablePair};
+use serde::{Deserialize, Serialize};
+
+/// The result of one model on one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRun {
+    /// Model name.
+    pub model: String,
+    /// Dataset / task name.
+    pub dataset: String,
+    /// Quality at threshold 0.5.
+    pub metrics: Metrics,
+    /// Wall time of `fit_predict` in milliseconds.
+    pub fit_ms: f64,
+}
+
+/// The gold label vector aligned with a candidate set (panics without
+/// gold — harness runs are benchmark-only).
+pub fn gold_vector(tables: &TablePair, candidates: &CandidateSet) -> Vec<bool> {
+    let gold = tables
+        .gold
+        .as_ref()
+        .expect("harness requires ground truth");
+    candidates
+        .pairs()
+        .iter()
+        .map(|p| gold.contains(p))
+        .collect()
+}
+
+/// Fit one model and evaluate its thresholded posteriors against gold.
+pub fn evaluate_posteriors(
+    model: &mut dyn LabelModel,
+    dataset: &str,
+    matrix: &LabelMatrix,
+    candidates: &CandidateSet,
+    gold: &[bool],
+) -> ModelRun {
+    let start = std::time::Instant::now();
+    let posteriors = model.fit_predict(matrix, Some(candidates));
+    let fit_ms = start.elapsed().as_secs_f64() * 1e3;
+    let preds: Vec<bool> = posteriors.iter().map(|&g| g >= 0.5).collect();
+    ModelRun {
+        model: model.name().to_string(),
+        dataset: dataset.to_string(),
+        metrics: confusion(&preds, gold).metrics(),
+        fit_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_model::MajorityVote;
+    use panda_table::{CandidatePair, MatchSet, RecordId, Schema, Table};
+
+    #[test]
+    fn gold_vector_alignment() {
+        let schema = Schema::of_text(&["k"]);
+        let mut l = Table::new("l", schema.clone());
+        let mut r = Table::new("r", schema);
+        l.push(vec!["a"]).unwrap();
+        r.push(vec!["a"]).unwrap();
+        r.push(vec!["b"]).unwrap();
+        let mut gold = MatchSet::new();
+        gold.insert(RecordId(0), RecordId(0));
+        let tp = TablePair::with_gold(l, r, gold);
+        let cands = CandidateSet::from_pairs([
+            CandidatePair::new(0, 1),
+            CandidatePair::new(0, 0),
+        ]);
+        assert_eq!(gold_vector(&tp, &cands), vec![false, true]);
+    }
+
+    #[test]
+    fn evaluate_produces_sane_run() {
+        let schema = Schema::of_text(&["k"]);
+        let mut l = Table::new("l", schema.clone());
+        let mut r = Table::new("r", schema);
+        l.push(vec!["a"]).unwrap();
+        r.push(vec!["a"]).unwrap();
+        let mut gold = MatchSet::new();
+        gold.insert(RecordId(0), RecordId(0));
+        let tp = TablePair::with_gold(l, r, gold);
+        let cands = CandidateSet::from_pairs([CandidatePair::new(0, 0)]);
+        let matrix = LabelMatrix::new();
+        // No LFs → majority falls back to its prior (< 0.5) → recall 0.
+        let mut mv = MajorityVote::default();
+        let gold_v = gold_vector(&tp, &cands);
+        // Empty matrix has 0 pairs; build a real one.
+        let mut reg = panda_lf::LfRegistry::new();
+        reg.upsert(std::sync::Arc::new(panda_lf::ClosureLf::new("yes", |_| {
+            panda_lf::Label::Match
+        })));
+        let mut matrix2 = matrix;
+        matrix2.apply(&reg, &tp, &cands);
+        let run = evaluate_posteriors(&mut mv, "tiny", &matrix2, &cands, &gold_v);
+        assert_eq!(run.model, "majority-vote");
+        assert_eq!(run.metrics.f1, 1.0);
+        assert!(run.fit_ms >= 0.0);
+    }
+}

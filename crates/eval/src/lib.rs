@@ -1,0 +1,17 @@
+//! Evaluation metrics and the experiment harness.
+//!
+//! [`metrics`] provides the standard EM quality numbers
+//! (precision/recall/F1, confusion counts, PR curves); [`harness`] runs
+//! `dataset × model` sweeps and [`report`] renders aligned text tables —
+//! the same row format the experiment binaries print and EXPERIMENTS.md
+//! records.
+
+pub mod clustering;
+pub mod harness;
+pub mod metrics;
+pub mod report;
+
+pub use clustering::{clusters_from_pairs, dense_clusters_from_pairs, pairwise_cluster_metrics, UnionFind};
+pub use harness::{evaluate_posteriors, gold_vector, ModelRun};
+pub use metrics::{confusion, pr_curve, ConfusionCounts, Metrics, PrPoint};
+pub use report::TextTable;

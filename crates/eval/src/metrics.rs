@@ -1,0 +1,191 @@
+//! Precision / recall / F1 and PR curves.
+
+use serde::{Deserialize, Serialize};
+
+/// Confusion counts for binary match/non-match decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Predicted match, truly match.
+    pub tp: usize,
+    /// Predicted match, truly non-match.
+    pub fp: usize,
+    /// Predicted non-match, truly match.
+    pub fn_: usize,
+    /// Predicted non-match, truly non-match.
+    pub tn: usize,
+}
+
+/// Precision / recall / F1 / accuracy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// `tp / (tp + fp)` (1.0 when no positives predicted — vacuous).
+    pub precision: f64,
+    /// `tp / (tp + fn)` (1.0 when no true positives exist — vacuous).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0 when tp = 0).
+    pub f1: f64,
+    /// `(tp + tn) / total`.
+    pub accuracy: f64,
+}
+
+/// Count the confusion matrix of predictions vs gold.
+pub fn confusion(predictions: &[bool], gold: &[bool]) -> ConfusionCounts {
+    assert_eq!(predictions.len(), gold.len(), "length mismatch");
+    let mut c = ConfusionCounts::default();
+    for (&p, &g) in predictions.iter().zip(gold) {
+        match (p, g) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+impl ConfusionCounts {
+    /// Derive [`Metrics`] from the counts.
+    pub fn metrics(&self) -> Metrics {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        let precision = if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let recall = if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let f1 = if self.tp == 0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        let accuracy = if total == 0 {
+            1.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        };
+        Metrics { precision, recall, f1, accuracy }
+    }
+}
+
+/// Shorthand: metrics of thresholded posteriors (≥ 0.5).
+pub fn metrics_at_half(posteriors: &[f64], gold: &[bool]) -> Metrics {
+    let preds: Vec<bool> = posteriors.iter().map(|&g| g >= 0.5).collect();
+    confusion(&preds, gold).metrics()
+}
+
+/// One point of a precision-recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Decision threshold.
+    pub threshold: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// F1 at this threshold.
+    pub f1: f64,
+}
+
+/// Precision-recall curve over the given thresholds.
+pub fn pr_curve(posteriors: &[f64], gold: &[bool], thresholds: &[f64]) -> Vec<PrPoint> {
+    thresholds
+        .iter()
+        .map(|&t| {
+            let preds: Vec<bool> = posteriors.iter().map(|&g| g >= t).collect();
+            let m = confusion(&preds, gold).metrics();
+            PrPoint { threshold: t, precision: m.precision, recall: m.recall, f1: m.f1 }
+        })
+        .collect()
+}
+
+/// The threshold (among candidates) maximising F1 — useful for oracle
+/// upper bounds in ablations.
+pub fn best_f1_threshold(posteriors: &[f64], gold: &[bool]) -> (f64, Metrics) {
+    let thresholds: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+    pr_curve(posteriors, gold, &thresholds)
+        .into_iter()
+        .max_by(|a, b| a.f1.total_cmp(&b.f1))
+        .map(|p| {
+            let preds: Vec<bool> = posteriors.iter().map(|&g| g >= p.threshold).collect();
+            (p.threshold, confusion(&preds, gold).metrics())
+        })
+        .expect("non-empty threshold grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_confusion() {
+        let preds = [true, true, false, false, true];
+        let gold = [true, false, true, false, true];
+        let c = confusion(&preds, &gold);
+        assert_eq!(c, ConfusionCounts { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        let m = c.metrics();
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        // No predicted positives.
+        let m = confusion(&[false, false], &[true, false]).metrics();
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        // No true positives in gold.
+        let m = confusion(&[false, false], &[false, false]).metrics();
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 0.0); // tp = 0 → F1 defined as 0
+        assert_eq!(m.accuracy, 1.0);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let post = [0.9, 0.8, 0.4, 0.2, 0.05];
+        let gold = [true, true, true, false, false];
+        let pts = pr_curve(&post, &gold, &[0.1, 0.3, 0.5, 0.85]);
+        // Recall is non-increasing in the threshold.
+        for w in pts.windows(2) {
+            assert!(w[0].recall >= w[1].recall);
+        }
+    }
+
+    #[test]
+    fn best_threshold_beats_half_when_calibration_is_off() {
+        // Posteriors systematically low: everything < 0.5 but ranked
+        // perfectly.
+        let post = [0.45, 0.4, 0.1, 0.05];
+        let gold = [true, true, false, false];
+        assert_eq!(metrics_at_half(&post, &gold).f1, 0.0);
+        let (t, m) = best_f1_threshold(&post, &gold);
+        assert!(t < 0.5);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    proptest! {
+        /// Metrics stay in [0,1] and accuracy matches a direct count.
+        #[test]
+        fn metric_bounds(
+            data in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..50)
+        ) {
+            let preds: Vec<bool> = data.iter().map(|d| d.0).collect();
+            let gold: Vec<bool> = data.iter().map(|d| d.1).collect();
+            let m = confusion(&preds, &gold).metrics();
+            for v in [m.precision, m.recall, m.f1, m.accuracy] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            let direct = data.iter().filter(|(p, g)| p == g).count() as f64
+                / data.len() as f64;
+            prop_assert!((m.accuracy - direct).abs() < 1e-12);
+        }
+    }
+}

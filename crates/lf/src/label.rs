@@ -1,0 +1,109 @@
+//! The three-valued LF vote.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An LF's vote on one candidate pair.
+///
+/// The numeric encoding (+1 / 0 / −1) matches the paper's Figure 2 and the
+/// data-programming literature; [`Label::as_i8`] / [`Label::from_i8`]
+/// convert to the compact matrix representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Label {
+    /// The pair refers to the same entity (+1).
+    Match,
+    /// No opinion (0).
+    #[default]
+    Abstain,
+    /// The pair refers to different entities (−1).
+    NonMatch,
+}
+
+impl Label {
+    /// Compact encoding: +1 / 0 / −1.
+    #[inline]
+    pub fn as_i8(self) -> i8 {
+        match self {
+            Label::Match => 1,
+            Label::Abstain => 0,
+            Label::NonMatch => -1,
+        }
+    }
+
+    /// Decode from the compact encoding. Any positive value maps to
+    /// `Match`, any negative to `NonMatch`.
+    #[inline]
+    pub fn from_i8(v: i8) -> Label {
+        match v {
+            1.. => Label::Match,
+            0 => Label::Abstain,
+            _ => Label::NonMatch,
+        }
+    }
+
+    /// True unless the vote is [`Label::Abstain`].
+    #[inline]
+    pub fn is_vote(self) -> bool {
+        self != Label::Abstain
+    }
+
+    /// Build from a boolean decision (`true` → match).
+    #[inline]
+    pub fn from_bool(is_match: bool) -> Label {
+        if is_match {
+            Label::Match
+        } else {
+            Label::NonMatch
+        }
+    }
+
+    /// Build from a tri-state decision (`None` → abstain).
+    #[inline]
+    pub fn from_option(is_match: Option<bool>) -> Label {
+        match is_match {
+            Some(true) => Label::Match,
+            Some(false) => Label::NonMatch,
+            None => Label::Abstain,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Label::Match => "+1",
+            Label::Abstain => "0",
+            Label::NonMatch => "-1",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for l in [Label::Match, Label::Abstain, Label::NonMatch] {
+            assert_eq!(Label::from_i8(l.as_i8()), l);
+        }
+        assert_eq!(Label::from_i8(5), Label::Match);
+        assert_eq!(Label::from_i8(-3), Label::NonMatch);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Label::from_bool(true), Label::Match);
+        assert_eq!(Label::from_option(None), Label::Abstain);
+        assert_eq!(Label::from_option(Some(false)), Label::NonMatch);
+        assert!(Label::Match.is_vote());
+        assert!(!Label::Abstain.is_vote());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Label::Match.to_string(), "+1");
+        assert_eq!(Label::NonMatch.to_string(), "-1");
+        assert_eq!(Label::Abstain.to_string(), "0");
+    }
+}

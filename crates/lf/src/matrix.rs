@@ -1,0 +1,409 @@
+//! The `pairs × LFs` label matrix with incremental application.
+
+use crate::lf::LfRegistry;
+use crate::Label;
+use panda_table::{CandidateSet, TablePair};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+/// One LF's votes over the candidate set.
+#[derive(Debug, Clone)]
+struct Column {
+    name: String,
+    version: u64,
+    labels: Vec<i8>,
+}
+
+/// What one `apply` call did — surfaced in the IDE after
+/// `labeler.apply()`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ApplyReport {
+    /// LFs that were (re-)executed this call.
+    pub applied: Vec<String>,
+    /// LFs whose cached column was still valid (incremental skip).
+    pub reused: Vec<String>,
+    /// Columns dropped because their LF left the registry.
+    pub removed: Vec<String>,
+    /// LFs that panicked: `(name, panic message)`. Their columns are
+    /// dropped; the session keeps running (quarantine, not crash).
+    pub failed: Vec<(String, String)>,
+}
+
+/// The label matrix: for every candidate pair, every LF's vote.
+///
+/// Applying is *incremental*: a column is recomputed only when its LF is
+/// new or has a bumped version (paper §2.2, "LFs are applied
+/// incrementally"). Changing the candidate set invalidates everything.
+#[derive(Debug, Clone, Default)]
+pub struct LabelMatrix {
+    n_pairs: usize,
+    fingerprint: u64,
+    columns: Vec<Column>,
+}
+
+impl LabelMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of candidate pairs (rows).
+    pub fn n_pairs(&self) -> usize {
+        self.n_pairs
+    }
+
+    /// Number of LF columns currently materialised.
+    pub fn n_lfs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in registry order.
+    pub fn lf_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// One LF's votes (`+1/0/-1` per pair).
+    pub fn column(&self, name: &str) -> Option<&[i8]> {
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.labels.as_slice())
+    }
+
+    /// Iterate `(lf name, votes)` in registry order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &[i8])> {
+        self.columns.iter().map(|c| (c.name.as_str(), c.labels.as_slice()))
+    }
+
+    /// The votes of all LFs on pair `i` (registry order).
+    pub fn row(&self, i: usize) -> Vec<i8> {
+        self.columns.iter().map(|c| c.labels[i]).collect()
+    }
+
+    /// `(matches, non-matches, abstains)` voted by one LF.
+    pub fn counts(&self, name: &str) -> Option<(usize, usize, usize)> {
+        let col = self.column(name)?;
+        let mut m = 0;
+        let mut u = 0;
+        let mut a = 0;
+        for &v in col {
+            match v {
+                1.. => m += 1,
+                0 => a += 1,
+                _ => u += 1,
+            }
+        }
+        Some((m, u, a))
+    }
+
+    /// Apply the registry to the candidate set, reusing any column whose
+    /// LF version is unchanged. LFs run in parallel; a panicking LF is
+    /// quarantined into [`ApplyReport::failed`].
+    pub fn apply(
+        &mut self,
+        registry: &LfRegistry,
+        tables: &TablePair,
+        candidates: &CandidateSet,
+    ) -> ApplyReport {
+        let fp = fingerprint(candidates);
+        if fp != self.fingerprint || candidates.len() != self.n_pairs {
+            // New candidate set: all cached columns are meaningless.
+            self.columns.clear();
+            self.fingerprint = fp;
+            self.n_pairs = candidates.len();
+        }
+
+        let mut report = ApplyReport::default();
+
+        // Drop columns for LFs that were removed from the registry.
+        let keep: Vec<String> = registry.names();
+        self.columns.retain(|c| {
+            let stays = keep.iter().any(|n| n == &c.name);
+            if !stays {
+                report.removed.push(c.name.clone());
+            }
+            stays
+        });
+
+        // Decide what needs computing.
+        let mut jobs: Vec<usize> = Vec::new(); // indices into registry
+        for (idx, lf) in registry.lfs().iter().enumerate() {
+            let version = registry.version(lf.name()).unwrap_or(0);
+            match self.columns.iter().find(|c| c.name == lf.name()) {
+                Some(c) if c.version == version && c.labels.len() == candidates.len() => {
+                    report.reused.push(lf.name().to_string());
+                }
+                _ => jobs.push(idx),
+            }
+        }
+
+        // Compute missing columns in parallel (one thread per LF, bounded
+        // by available parallelism via simple chunking of the job list).
+        let results: Mutex<Vec<(usize, Result<Vec<i8>, String>)>> =
+            Mutex::new(Vec::with_capacity(jobs.len()));
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(jobs.len().max(1));
+        std::thread::scope(|scope| {
+            for chunk in jobs.chunks(jobs.len().div_ceil(workers).max(1)) {
+                let results = &results;
+                scope.spawn(move || {
+                    for &idx in chunk {
+                        let lf = &registry.lfs()[idx];
+                        let out = catch_unwind(AssertUnwindSafe(|| {
+                            let mut col = Vec::with_capacity(candidates.len());
+                            for (_, pair) in candidates.iter() {
+                                let label = match tables.pair_ref(pair) {
+                                    Ok(p) => lf.label(&p),
+                                    Err(_) => Label::Abstain,
+                                };
+                                col.push(label.as_i8());
+                            }
+                            col
+                        }))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                        results.lock().expect("no poisoned lock").push((idx, out));
+                    }
+                });
+            }
+        });
+
+        let mut results = results.into_inner().expect("scope joined");
+        results.sort_by_key(|(idx, _)| *idx);
+        for (idx, out) in results {
+            let lf = &registry.lfs()[idx];
+            let name = lf.name().to_string();
+            let version = registry.version(&name).unwrap_or(0);
+            match out {
+                Ok(labels) => {
+                    report.applied.push(name.clone());
+                    match self.columns.iter_mut().find(|c| c.name == name) {
+                        Some(c) => {
+                            c.version = version;
+                            c.labels = labels;
+                        }
+                        None => self.columns.push(Column { name, version, labels }),
+                    }
+                }
+                Err(msg) => {
+                    // Quarantine: drop any stale column, report the panic.
+                    self.columns.retain(|c| c.name != name);
+                    report.failed.push((name, msg));
+                }
+            }
+        }
+
+        // Keep matrix column order aligned with registry order.
+        let order: Vec<&str> = registry.lfs().iter().map(|lf| lf.name()).collect();
+        self.columns.sort_by_key(|c| {
+            order
+                .iter()
+                .position(|n| *n == c.name)
+                .unwrap_or(usize::MAX)
+        });
+        report
+    }
+}
+
+fn fingerprint(candidates: &CandidateSet) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for p in candidates.pairs() {
+        for v in [p.left.0, p.right.0] {
+            h ^= u64::from(v);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h ^ candidates.len() as u64
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "LF panicked (non-string payload)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::ClosureLf;
+    use crate::lf::LfRegistry;
+    use panda_table::{CandidatePair, Schema, Table};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn tiny() -> (TablePair, CandidateSet) {
+        let schema = Schema::of_text(&["name"]);
+        let mut left = Table::new("l", schema.clone());
+        left.push(vec!["a"]).unwrap();
+        left.push(vec!["b"]).unwrap();
+        let mut right = Table::new("r", schema);
+        right.push(vec!["a"]).unwrap();
+        right.push(vec!["c"]).unwrap();
+        let tables = TablePair::new(left, right);
+        let cands = CandidateSet::from_pairs([
+            CandidatePair::new(0, 0),
+            CandidatePair::new(0, 1),
+            CandidatePair::new(1, 0),
+            CandidatePair::new(1, 1),
+        ]);
+        (tables, cands)
+    }
+
+    fn eq_lf(name: &str) -> Arc<ClosureLf> {
+        Arc::new(ClosureLf::new(name, |p| {
+            Label::from_bool(p.left.text("name") == p.right.text("name"))
+        }))
+    }
+
+    #[test]
+    fn apply_builds_columns() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("eq"));
+        let mut m = LabelMatrix::new();
+        let report = m.apply(&reg, &tables, &cands);
+        assert_eq!(report.applied, vec!["eq"]);
+        assert_eq!(m.n_pairs(), 4);
+        assert_eq!(m.column("eq").unwrap(), &[1, -1, -1, -1]);
+        assert_eq!(m.counts("eq"), Some((1, 3, 0)));
+    }
+
+    #[test]
+    fn second_apply_is_incremental() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = calls.clone();
+        reg.upsert(Arc::new(ClosureLf::new("counting", move |_| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            Label::Abstain
+        })));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        let report = m.apply(&reg, &tables, &cands);
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "no re-execution");
+        assert_eq!(report.reused, vec!["counting"]);
+        assert!(report.applied.is_empty());
+    }
+
+    #[test]
+    fn version_bump_recomputes_only_that_lf() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("stable"));
+        reg.upsert(Arc::new(ClosureLf::new("edited", |_| Label::Abstain)));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        // Replace "edited".
+        reg.upsert(Arc::new(ClosureLf::new("edited", |_| Label::Match)));
+        let report = m.apply(&reg, &tables, &cands);
+        assert_eq!(report.applied, vec!["edited"]);
+        assert_eq!(report.reused, vec!["stable"]);
+        assert_eq!(m.column("edited").unwrap(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn removed_lf_drops_column() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("gone"));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        reg.remove("gone");
+        let report = m.apply(&reg, &tables, &cands);
+        assert_eq!(report.removed, vec!["gone"]);
+        assert!(m.column("gone").is_none());
+        assert_eq!(m.n_lfs(), 0);
+    }
+
+    #[test]
+    fn panicking_lf_is_quarantined() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("good"));
+        reg.upsert(Arc::new(ClosureLf::new("buggy", |_| {
+            panic!("index out of bounds in user code")
+        })));
+        let mut m = LabelMatrix::new();
+        let report = m.apply(&reg, &tables, &cands);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, "buggy");
+        assert!(report.failed[0].1.contains("index out of bounds"));
+        // The good LF still applied.
+        assert!(m.column("good").is_some());
+        assert!(m.column("buggy").is_none());
+    }
+
+    #[test]
+    fn candidate_set_change_invalidates_cache() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("eq"));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        let smaller = CandidateSet::from_pairs([CandidatePair::new(0, 0)]);
+        let report = m.apply(&reg, &tables, &smaller);
+        assert_eq!(report.applied, vec!["eq"]);
+        assert_eq!(m.n_pairs(), 1);
+        assert_eq!(m.column("eq").unwrap(), &[1]);
+    }
+
+    #[test]
+    fn rows_follow_registry_order() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(Arc::new(ClosureLf::new("z_first", |_| Label::Match)));
+        reg.upsert(Arc::new(ClosureLf::new("a_second", |_| Label::NonMatch)));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        assert_eq!(m.lf_names(), vec!["z_first", "a_second"]);
+        assert_eq!(m.row(0), vec![1, -1]);
+    }
+
+    /// Incremental apply must be observationally identical to a fresh
+    /// full apply (property check over a few random edit sequences).
+    #[test]
+    fn incremental_equals_full() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let strategy = proptest::collection::vec(0u8..4, 1..12);
+        runner
+            .run(&strategy, |ops| {
+                let (tables, cands) = tiny();
+                let mut reg = LfRegistry::new();
+                let mut inc = LabelMatrix::new();
+                for (step, op) in ops.iter().enumerate() {
+                    match op {
+                        0 => {
+                            reg.upsert(eq_lf(&format!("lf{step}")));
+                        }
+                        1 => {
+                            reg.upsert(Arc::new(ClosureLf::new(
+                                format!("lf{}", step.saturating_sub(1)),
+                                |_| Label::Match,
+                            )));
+                        }
+                        2 => {
+                            reg.remove(&format!("lf{}", step.saturating_sub(2)));
+                        }
+                        _ => {}
+                    }
+                    inc.apply(&reg, &tables, &cands);
+                    let mut fresh = LabelMatrix::new();
+                    fresh.apply(&reg, &tables, &cands);
+                    prop_assert_eq!(inc.lf_names(), fresh.lf_names());
+                    for name in inc.lf_names() {
+                        prop_assert_eq!(inc.column(name), fresh.column(name));
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! Per-LF statistics — the data behind the paper's **LF Stats Panel**.
+//!
+//! For every LF the panel shows: name, #matches / #non-matches / #abstains,
+//! and the estimated false-positive / false-negative rates. The estimates
+//! come from the labeling model's probabilistic labels (no ground truth
+//! needed); when gold labels are available (benchmarks), the true rates are
+//! reported alongside so estimation quality is visible.
+
+use crate::matrix::LabelMatrix;
+use serde::{Deserialize, Serialize};
+
+/// One row of the LF Stats Panel.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct LfStatsRow {
+    /// LF name.
+    pub name: String,
+    /// Pairs voted +1.
+    pub n_match: usize,
+    /// Pairs voted −1.
+    pub n_nonmatch: usize,
+    /// Pairs abstained.
+    pub n_abstain: usize,
+    /// Fraction of pairs with a non-abstain vote.
+    pub coverage: f64,
+    /// Fraction of pairs where this LF and ≥1 other LF both vote.
+    pub overlap: f64,
+    /// Fraction of pairs where this LF disagrees with ≥1 other voting LF.
+    pub conflict: f64,
+    /// Model-estimated FPR: `E[1 − γ | vote = +1]` under the labeling
+    /// model's posteriors γ. `None` until a model has run.
+    pub est_fpr: Option<f64>,
+    /// Model-estimated FNR: `E[γ | vote = −1]`.
+    pub est_fnr: Option<f64>,
+    /// True FPR against gold (benchmarks only).
+    pub true_fpr: Option<f64>,
+    /// True FNR against gold (benchmarks only).
+    pub true_fnr: Option<f64>,
+}
+
+/// Compute the stats panel rows.
+///
+/// * `posteriors` — the labeling model's `P(match)` per pair, if a model
+///   has been fit.
+/// * `gold` — per-pair ground truth, if known.
+pub fn lf_stats(
+    matrix: &LabelMatrix,
+    posteriors: Option<&[f64]>,
+    gold: Option<&[bool]>,
+) -> Vec<LfStatsRow> {
+    let n = matrix.n_pairs();
+    if let Some(p) = posteriors {
+        assert_eq!(p.len(), n, "posteriors length must equal pair count");
+    }
+    if let Some(g) = gold {
+        assert_eq!(g.len(), n, "gold length must equal pair count");
+    }
+    let columns: Vec<(&str, &[i8])> = matrix.columns().collect();
+
+    // votes_per_pair[i] = number of non-abstain votes on pair i.
+    let mut votes_per_pair = vec![0usize; n];
+    for (_, col) in &columns {
+        for (i, &v) in col.iter().enumerate() {
+            if v != 0 {
+                votes_per_pair[i] += 1;
+            }
+        }
+    }
+
+    columns
+        .iter()
+        .map(|(name, col)| {
+            let mut n_match = 0usize;
+            let mut n_nonmatch = 0usize;
+            let mut overlap = 0usize;
+            let mut conflict = 0usize;
+            for (i, &v) in col.iter().enumerate() {
+                match v {
+                    1.. => n_match += 1,
+                    0 => {}
+                    _ => n_nonmatch += 1,
+                }
+                if v != 0 && votes_per_pair[i] >= 2 {
+                    overlap += 1;
+                    // Does any other LF vote the other way on pair i?
+                    let disagrees = columns.iter().any(|(other, ocol)| {
+                        *other != *name && ocol[i] != 0 && ocol[i] != v
+                    });
+                    if disagrees {
+                        conflict += 1;
+                    }
+                }
+            }
+            let n_abstain = n - n_match - n_nonmatch;
+            let frac = |x: usize| if n == 0 { 0.0 } else { x as f64 / n as f64 };
+
+            let est = posteriors.map(|gamma| {
+                rates(col, |i| gamma[i])
+            });
+            let tru = gold.map(|g| rates(col, |i| f64::from(u8::from(g[i]))));
+
+            LfStatsRow {
+                name: name.to_string(),
+                n_match,
+                n_nonmatch,
+                n_abstain,
+                coverage: frac(n_match + n_nonmatch),
+                overlap: frac(overlap),
+                conflict: frac(conflict),
+                est_fpr: est.map(|(fpr, _)| fpr),
+                est_fnr: est.map(|(_, fnr)| fnr),
+                true_fpr: tru.map(|(fpr, _)| fpr),
+                true_fnr: tru.map(|(_, fnr)| fnr),
+            }
+        })
+        .collect()
+}
+
+/// `(fpr, fnr)` of a vote column against a (possibly probabilistic)
+/// reference `p_match(i)`. FPR is over the LF's +1 votes; FNR over its −1
+/// votes. An LF with no votes of a polarity gets rate 0 for it.
+fn rates(col: &[i8], p_match: impl Fn(usize) -> f64) -> (f64, f64) {
+    let mut fp = 0.0;
+    let mut pos = 0usize;
+    let mut fnr_mass = 0.0;
+    let mut neg = 0usize;
+    for (i, &v) in col.iter().enumerate() {
+        if v > 0 {
+            fp += 1.0 - p_match(i);
+            pos += 1;
+        } else if v < 0 {
+            fnr_mass += p_match(i);
+            neg += 1;
+        }
+    }
+    (
+        if pos == 0 { 0.0 } else { fp / pos as f64 },
+        if neg == 0 { 0.0 } else { fnr_mass / neg as f64 },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::ClosureLf;
+    use crate::lf::LfRegistry;
+    use crate::Label;
+    use panda_table::{CandidatePair, CandidateSet, Schema, Table, TablePair};
+    use std::sync::Arc;
+
+    /// 4 pairs; gold: pair 0 match, rest non-match.
+    fn setup(lfs: Vec<(&'static str, Vec<i8>)>) -> (LabelMatrix, Vec<bool>) {
+        let schema = Schema::of_text(&["k"]);
+        let mut left = Table::new("l", schema.clone());
+        let mut right = Table::new("r", schema);
+        for i in 0..2 {
+            left.push(vec![format!("{i}")]).unwrap();
+            right.push(vec![format!("{i}")]).unwrap();
+        }
+        let tables = TablePair::new(left, right);
+        let cands = CandidateSet::from_pairs([
+            CandidatePair::new(0, 0),
+            CandidatePair::new(0, 1),
+            CandidatePair::new(1, 0),
+            CandidatePair::new(1, 1),
+        ]);
+        let mut reg = LfRegistry::new();
+        for (name, votes) in lfs {
+            let votes = votes.clone();
+            reg.upsert(Arc::new(ClosureLf::new(name, move |p| {
+                // Index the fixed vote vector by pair identity.
+                let idx = (p.pair.left.0 * 2 + p.pair.right.0) as usize;
+                Label::from_i8(votes[idx])
+            })));
+        }
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        (m, vec![true, false, false, true])
+    }
+
+    #[test]
+    fn counts_and_coverage() {
+        let (m, _) = setup(vec![("a", vec![1, 0, -1, 0])]);
+        let rows = lf_stats(&m, None, None);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert_eq!((r.n_match, r.n_nonmatch, r.n_abstain), (1, 1, 2));
+        assert!((r.coverage - 0.5).abs() < 1e-12);
+        assert_eq!(r.est_fpr, None);
+        assert_eq!(r.true_fpr, None);
+    }
+
+    #[test]
+    fn overlap_and_conflict() {
+        let (m, _) = setup(vec![
+            ("a", vec![1, 1, 0, 0]),
+            ("b", vec![1, -1, -1, 0]),
+        ]);
+        let rows = lf_stats(&m, None, None);
+        let a = &rows[0];
+        // a votes on pairs 0,1; b also votes there → overlap 2/4.
+        assert!((a.overlap - 0.5).abs() < 1e-12);
+        // They disagree on pair 1 only → conflict 1/4.
+        assert!((a.conflict - 0.25).abs() < 1e-12);
+        let b = &rows[1];
+        assert!((b.conflict - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_rates_against_gold() {
+        // LF votes +1 on pairs {0,1}: pair 0 is a true match, pair 1 isn't
+        // → true FPR 0.5. Votes −1 on pair 3 which IS a match → FNR 1.0.
+        let (m, gold) = setup(vec![("a", vec![1, 1, 0, -1])]);
+        let rows = lf_stats(&m, None, Some(&gold));
+        let r = &rows[0];
+        assert!((r.true_fpr.unwrap() - 0.5).abs() < 1e-12);
+        assert!((r.true_fnr.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimated_rates_from_posteriors() {
+        let (m, _) = setup(vec![("a", vec![1, 1, -1, -1])]);
+        let gamma = [0.9, 0.2, 0.1, 0.8];
+        let rows = lf_stats(&m, Some(&gamma), None);
+        let r = &rows[0];
+        // est FPR = mean(1-γ over +1 votes) = (0.1 + 0.8)/2
+        assert!((r.est_fpr.unwrap() - 0.45).abs() < 1e-12);
+        // est FNR = mean(γ over −1 votes) = (0.1 + 0.8)/2
+        assert!((r.est_fnr.unwrap() - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lf_with_no_positive_votes_has_zero_fpr() {
+        let (m, gold) = setup(vec![("neg_only", vec![0, -1, -1, 0])]);
+        let rows = lf_stats(&m, None, Some(&gold));
+        assert_eq!(rows[0].true_fpr, Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "posteriors length")]
+    fn posterior_length_is_validated() {
+        let (m, _) = setup(vec![("a", vec![1, 0, 0, 0])]);
+        lf_stats(&m, Some(&[0.5]), None);
+    }
+}

@@ -1,0 +1,139 @@
+//! Labeling models: from noisy LF votes to probabilistic labels.
+//!
+//! Given the label matrix `Λ ∈ {−1,0,+1}^{pairs × LFs}`, a labeling model
+//! estimates `γ_i = P(y_i = match | Λ_i)` for every candidate pair. This
+//! crate implements three models plus the transitivity constraint:
+//!
+//! * [`MajorityVote`] — the trivial baseline: fraction of +1 among
+//!   non-abstain votes.
+//! * [`SnorkelModel`] — the data-programming generative model of
+//!   Ratner et al. (the model behind Snorkel): one accuracy and one
+//!   propensity parameter per LF, conditionally independent given `y`,
+//!   fit by EM. This is the "state-of-the-art labeling model [11]" the
+//!   paper compares against.
+//! * [`PandaModel`] — the paper's EM-specific model (§2.1 feature 3):
+//!   **class-conditional** accuracies `α_M` (on matches) and `α_U` (on
+//!   non-matches) with class-conditional propensities, fit by EM. Under
+//!   EM's heavy class imbalance a single accuracy parameter conflates
+//!   "right on matches" with "right on non-matches" (a constant −1 LF
+//!   looks 99% accurate); splitting the parameter fixes that. Optionally,
+//!   each E-step projects the posteriors onto the **transitivity-feasible
+//!   set** `γ_ij · γ_ik ≤ γ_jk` (ZeroER, [`transitivity`]).
+//!
+//! All models implement [`LabelModel`] and return calibrated-ish
+//! probabilities in `[0,1]`; `predictions` thresholds at 0.5.
+//!
+//! ```
+//! use panda_model::{LabelModel, PandaModel, testutil};
+//!
+//! // A planted problem: 500 pairs, 20% matches, three noisy LFs.
+//! let planted = testutil::plant(
+//!     500,
+//!     0.2,
+//!     &[testutil::PlantedLf::symmetric(0.9, 0.85); 3],
+//!     7,
+//! );
+//! let mut model = PandaModel::new();
+//! let posteriors = model.fit_predict(&planted.matrix, Some(&planted.candidates));
+//! let f1 = testutil::f1(&posteriors, &planted.truth);
+//! assert!(f1 > 0.7, "recovers the planted labels: F1 {f1:.3}");
+//! ```
+
+pub mod correlation;
+pub mod majority;
+pub mod panda;
+pub mod snorkel;
+pub mod transitivity;
+pub mod weighted;
+#[doc(hidden)]
+pub mod testutil;
+
+pub use correlation::{evidence_discounts, redundancy_clusters, vote_agreement};
+pub use majority::MajorityVote;
+pub use panda::PandaModel;
+pub use snorkel::SnorkelModel;
+pub use transitivity::{project_transitivity, TransitivityGraph, TransitivityMode};
+pub use weighted::WeightedVote;
+
+use panda_lf::LabelMatrix;
+use panda_table::CandidateSet;
+
+/// A labeling model: fits to a label matrix and produces per-pair match
+/// posteriors.
+pub trait LabelModel {
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Fit to the matrix and return `P(match)` per candidate pair.
+    ///
+    /// `candidates` supplies the pair graph for models that exploit
+    /// structure between pairs (transitivity); models that don't need it
+    /// ignore it.
+    fn fit_predict(&mut self, matrix: &LabelMatrix, candidates: Option<&CandidateSet>) -> Vec<f64>;
+}
+
+/// Threshold posteriors into hard decisions at `0.5`.
+pub fn predictions(posteriors: &[f64]) -> Vec<bool> {
+    posteriors.iter().map(|&g| g >= 0.5).collect()
+}
+
+/// Smoothed majority-vote initialisation for EM models: a pair with `p`
+/// positive and `n` negative votes starts at `(p + k·prior) / (p + n + k)`
+/// with `k = 2` pseudo-votes. Unlike hard majority vote, a *single* weak
+/// +1 vote cannot saturate the posterior to 1.0 — which under class
+/// imbalance would hand EM a huge spurious "match" cluster (e.g. every
+/// chance price coincidence) and let it converge to an inverted labeling.
+pub(crate) fn smoothed_majority_init(matrix: &panda_lf::LabelMatrix, prior: f64) -> Vec<f64> {
+    const K: f64 = 2.0;
+    let n = matrix.n_pairs();
+    let mut pos = vec![0.0f64; n];
+    let mut tot = vec![0.0f64; n];
+    for (_, col) in matrix.columns() {
+        for (i, &v) in col.iter().enumerate() {
+            if v > 0 {
+                pos[i] += 1.0;
+                tot[i] += 1.0;
+            } else if v < 0 {
+                tot[i] += 1.0;
+            }
+        }
+    }
+    (0..n)
+        .map(|i| (pos[i] + K * prior) / (tot[i] + K))
+        .collect()
+}
+
+/// Numerically safe logit.
+pub(crate) fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-9, 1.0 - 1e-9);
+    (p / (1.0 - p)).ln()
+}
+
+/// Numerically safe sigmoid.
+pub(crate) fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_logit_inverse() {
+        for p in [0.01, 0.3, 0.5, 0.77, 0.99] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+        }
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+    }
+
+    #[test]
+    fn predictions_threshold() {
+        assert_eq!(predictions(&[0.2, 0.5, 0.9]), vec![false, true, true]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Majority vote baseline.
+
+use crate::LabelModel;
+use panda_lf::LabelMatrix;
+use panda_table::CandidateSet;
+
+/// Majority vote: `γ = #(+1) / #votes`, falling back to `prior` when every
+/// LF abstains.
+#[derive(Debug, Clone)]
+pub struct MajorityVote {
+    /// Posterior assigned to pairs with no votes at all.
+    pub prior: f64,
+}
+
+impl Default for MajorityVote {
+    fn default() -> Self {
+        // EM default: an unvoted pair is almost surely a non-match.
+        MajorityVote { prior: 0.05 }
+    }
+}
+
+impl MajorityVote {
+    /// Majority vote with the given no-vote prior.
+    pub fn new(prior: f64) -> Self {
+        MajorityVote { prior }
+    }
+}
+
+impl LabelModel for MajorityVote {
+    fn name(&self) -> &'static str {
+        "majority-vote"
+    }
+
+    fn fit_predict(&mut self, matrix: &LabelMatrix, _: Option<&CandidateSet>) -> Vec<f64> {
+        let n = matrix.n_pairs();
+        let mut pos = vec![0u32; n];
+        let mut tot = vec![0u32; n];
+        for (_, col) in matrix.columns() {
+            for (i, &v) in col.iter().enumerate() {
+                if v > 0 {
+                    pos[i] += 1;
+                    tot[i] += 1;
+                } else if v < 0 {
+                    tot[i] += 1;
+                }
+            }
+        }
+        (0..n)
+            .map(|i| {
+                if tot[i] == 0 {
+                    self.prior
+                } else {
+                    f64::from(pos[i]) / f64::from(tot[i])
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{plant, PlantedLf};
+
+    #[test]
+    fn unanimous_votes_saturate() {
+        let p = plant(200, 0.3, &[PlantedLf::symmetric(1.0, 1.0); 3], 1);
+        let gamma = MajorityVote::default().fit_predict(&p.matrix, None);
+        for (g, t) in gamma.iter().zip(&p.truth) {
+            assert_eq!(*g >= 0.5, *t);
+            assert!(*g == 0.0 || *g == 1.0);
+        }
+    }
+
+    #[test]
+    fn no_votes_fall_back_to_prior() {
+        let p = plant(10, 0.5, &[PlantedLf::symmetric(0.0, 0.9)], 2);
+        let gamma = MajorityVote::new(0.07).fit_predict(&p.matrix, None);
+        assert!(gamma.iter().all(|&g| (g - 0.07).abs() < 1e-12));
+    }
+
+    #[test]
+    fn split_vote_is_half() {
+        let p = plant(50, 0.5, &[PlantedLf::symmetric(1.0, 1.0), PlantedLf::symmetric(1.0, 0.0)], 3);
+        // One always right, one always wrong → every pair splits 1-1.
+        let gamma = MajorityVote::default().fit_predict(&p.matrix, None);
+        assert!(gamma.iter().all(|&g| (g - 0.5).abs() < 1e-12));
+    }
+}

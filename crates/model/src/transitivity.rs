@@ -1,0 +1,334 @@
+//! The ZeroER transitivity constraint.
+//!
+//! Match probabilities are not free: if `(t_i, t_j)` and `(t_i, t_k)` are
+//! both matches then `(t_j, t_k)` must be too. ZeroER relaxes this to the
+//! probabilistic inequality `γ_ij · γ_ik ≤ γ_jk` over all triples whose
+//! three pairs are in the candidate set, and enforces it by projecting the
+//! E-step posteriors onto the feasible set `Q`.
+//!
+//! In log space each constraint is a half-space `l_ij + l_ik − l_jk ≤ 0`
+//! (`l = ln γ`), so the projection of a violated triple is the usual
+//! Euclidean half-space projection along the normal `(1, 1, −1)`.
+//! [`project_transitivity`] runs cyclic sweeps over all violated
+//! constraints (a Dykstra-flavoured heuristic: cheap, monotone in
+//! violation, and exact for a single constraint).
+//!
+//! Triangles require all three pairs to be candidates. In a clean
+//! two-table task (both tables duplicate-free) no triangles exist and the
+//! constraint is vacuous — consistent with the theory, since transitivity
+//! only binds when a tuple can match several others. Deduplication tasks
+//! ([`TransitivityMode::SelfJoin`]) are where it bites.
+
+use panda_table::CandidateSet;
+use std::collections::{HashMap, HashSet};
+
+/// How to map record ids to graph nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitivityMode {
+    /// Left and right tables are distinct relations: left id `i` and right
+    /// id `i` are different nodes.
+    TwoTable,
+    /// The candidate set is a self-join of one table (deduplication):
+    /// left id `i` and right id `i` are the *same* node.
+    SelfJoin,
+}
+
+/// The pair graph and its triangle list.
+#[derive(Debug, Clone)]
+pub struct TransitivityGraph {
+    /// Each triangle as three candidate-pair indices `[e_ij, e_ik, e_jk]`
+    /// (unordered; all three cyclic constraints are applied).
+    triangles: Vec<[usize; 3]>,
+}
+
+impl TransitivityGraph {
+    /// Build the triangle list for a candidate set. `max_triangles` bounds
+    /// worst-case work on dense graphs (0 = unlimited).
+    pub fn build(candidates: &CandidateSet, mode: TransitivityMode, max_triangles: usize) -> Self {
+        // Node encoding.
+        let node = |side_right: bool, id: u32| -> u64 {
+            match mode {
+                TransitivityMode::TwoTable => (u64::from(id) << 1) | u64::from(side_right),
+                TransitivityMode::SelfJoin => u64::from(id),
+            }
+        };
+
+        let mut edge: HashMap<(u64, u64), usize> = HashMap::with_capacity(candidates.len());
+        let mut adjacency: HashMap<u64, Vec<u64>> = HashMap::new();
+        for (idx, pair) in candidates.iter() {
+            let a = node(false, pair.left.0);
+            let b = node(true, pair.right.0);
+            if a == b {
+                continue; // self pair in a self-join: no information
+            }
+            let key = if a < b { (a, b) } else { (b, a) };
+            if edge.insert(key, idx).is_none() {
+                adjacency.entry(a).or_default().push(b);
+                adjacency.entry(b).or_default().push(a);
+            }
+        }
+
+        let mut triangles = Vec::new();
+        let mut seen: HashSet<[usize; 3]> = HashSet::new();
+        'outer: for (&v, neighbors) in &adjacency {
+            for (x, &u1) in neighbors.iter().enumerate() {
+                for &u2 in &neighbors[x + 1..] {
+                    let key = if u1 < u2 { (u1, u2) } else { (u2, u1) };
+                    if let Some(&e3) = edge.get(&key) {
+                        let e1 = edge[&if v < u1 { (v, u1) } else { (u1, v) }];
+                        let e2 = edge[&if v < u2 { (v, u2) } else { (u2, v) }];
+                        let mut tri = [e1, e2, e3];
+                        tri.sort_unstable();
+                        if seen.insert(tri) {
+                            triangles.push(tri);
+                            if max_triangles > 0 && triangles.len() >= max_triangles {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        TransitivityGraph { triangles }
+    }
+
+    /// Number of triangles found.
+    pub fn n_triangles(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// The triangles (candidate-pair index triples).
+    pub fn triangles(&self) -> &[[usize; 3]] {
+        &self.triangles
+    }
+
+    /// Maximum constraint violation `max(γ_a·γ_b − γ_c)` over all cyclic
+    /// orderings of all triangles (≤ 0 means feasible).
+    pub fn max_violation(&self, gamma: &[f64]) -> f64 {
+        let mut worst = f64::NEG_INFINITY;
+        for &[a, b, c] in &self.triangles {
+            worst = worst
+                .max(gamma[a] * gamma[b] - gamma[c])
+                .max(gamma[a] * gamma[c] - gamma[b])
+                .max(gamma[b] * gamma[c] - gamma[a]);
+        }
+        if worst == f64::NEG_INFINITY {
+            0.0
+        } else {
+            worst
+        }
+    }
+}
+
+/// Transitive boost: for every triangle ordering `(x, y, z)` where edge
+/// `z` is `movable` (typically: no LF voted on it, so its posterior is
+/// pure abstention prior), raise `γ_z` to at least `γ_x · γ_y`.
+///
+/// This is the constructive direction of the transitivity constraint —
+/// two confident matches sharing a tuple *imply* the third pair — and is
+/// the step that recovers matches the LFs missed. Runs `sweeps` passes so
+/// implications propagate along chains. Returns how many posteriors were
+/// raised in total.
+pub fn transitive_boost(
+    gamma: &mut [f64],
+    graph: &TransitivityGraph,
+    movable: &[bool],
+    sweeps: usize,
+) -> usize {
+    let mut raised = 0;
+    for _ in 0..sweeps {
+        let mut changed = false;
+        for &[a, b, c] in &graph.triangles {
+            for (x, y, z) in [(a, b, c), (a, c, b), (b, c, a)] {
+                if !movable[z] {
+                    continue;
+                }
+                let implied = gamma[x] * gamma[y];
+                if implied > gamma[z] + 1e-12 {
+                    gamma[z] = implied.min(1.0 - 1e-6);
+                    raised += 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    raised
+}
+
+/// Project posteriors toward the transitivity-feasible set in place
+/// (uniform evidence weights). See [`project_transitivity_weighted`].
+pub fn project_transitivity(
+    gamma: &mut [f64],
+    graph: &TransitivityGraph,
+    sweeps: usize,
+    tol: f64,
+) -> usize {
+    project_transitivity_weighted(gamma, graph, None, sweeps, tol)
+}
+
+/// Project posteriors toward the transitivity-feasible set in place.
+///
+/// Runs up to `sweeps` cyclic passes over all triangle constraints,
+/// stopping early once the largest log-space violation falls below `tol`.
+/// Returns the number of sweeps executed.
+///
+/// `weights` (one per candidate pair, higher = more trusted) select
+/// *which* posterior absorbs a violation: the projection onto the
+/// half-space `l_x + l_y − l_z ≤ 0` is taken in the `W`-weighted norm, so
+/// a low-weight edge (few LF votes) moves much more than a high-weight
+/// one. This matches the intended use: two confidently-matched edges of a
+/// triangle should pull up a third edge the LFs abstained on, rather than
+/// being dragged down by it. `None` = uniform weights (the plain
+/// Euclidean projection).
+pub fn project_transitivity_weighted(
+    gamma: &mut [f64],
+    graph: &TransitivityGraph,
+    weights: Option<&[f64]>,
+    sweeps: usize,
+    tol: f64,
+) -> usize {
+    if graph.triangles.is_empty() {
+        return 0;
+    }
+    const EPS: f64 = 1e-6;
+    let mut l: Vec<f64> = gamma.iter().map(|&g| g.clamp(EPS, 1.0 - EPS).ln()).collect();
+    let w = |i: usize| -> f64 {
+        weights
+            .map(|ws| ws[i].max(1e-3))
+            .unwrap_or(1.0)
+    };
+
+    let mut done_sweeps = 0;
+    for _ in 0..sweeps {
+        done_sweeps += 1;
+        let mut max_viol = 0.0f64;
+        for &[a, b, c] in &graph.triangles {
+            // All three cyclic constraints of the triangle.
+            for (x, y, z) in [(a, b, c), (a, c, b), (b, c, a)] {
+                let viol = l[x] + l[y] - l[z];
+                if viol > 0.0 {
+                    max_viol = max_viol.max(viol);
+                    // W-weighted projection onto {l_x + l_y − l_z ≤ 0}:
+                    // move ∝ 1/w along the constraint normal.
+                    let (ix, iy, iz) = (1.0 / w(x), 1.0 / w(y), 1.0 / w(z));
+                    let denom = ix + iy + iz;
+                    l[x] -= viol * ix / denom;
+                    l[y] -= viol * iy / denom;
+                    l[z] += viol * iz / denom;
+                    // γ ≤ 1 ⇒ l ≤ ~0.
+                    l[z] = l[z].min((1.0 - EPS).ln());
+                }
+            }
+        }
+        if max_viol <= tol {
+            break;
+        }
+    }
+    for (g, &li) in gamma.iter_mut().zip(&l) {
+        *g = li.exp().clamp(EPS, 1.0 - EPS);
+    }
+    done_sweeps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_table::CandidatePair;
+
+    /// A self-join triangle over records {0,1,2}.
+    fn triangle_set() -> CandidateSet {
+        CandidateSet::from_pairs([
+            CandidatePair::new(0, 1),
+            CandidatePair::new(0, 2),
+            CandidatePair::new(1, 2),
+        ])
+    }
+
+    #[test]
+    fn two_table_mode_has_no_triangles_on_bipartite_candidates() {
+        let cands = CandidateSet::from_pairs([
+            CandidatePair::new(0, 0),
+            CandidatePair::new(0, 1),
+            CandidatePair::new(1, 0),
+            CandidatePair::new(1, 1),
+        ]);
+        let g = TransitivityGraph::build(&cands, TransitivityMode::TwoTable, 0);
+        assert_eq!(g.n_triangles(), 0);
+    }
+
+    #[test]
+    fn self_join_finds_the_triangle() {
+        let g = TransitivityGraph::build(&triangle_set(), TransitivityMode::SelfJoin, 0);
+        assert_eq!(g.n_triangles(), 1);
+    }
+
+    #[test]
+    fn feasible_input_is_unchanged() {
+        let g = TransitivityGraph::build(&triangle_set(), TransitivityMode::SelfJoin, 0);
+        let mut gamma = vec![0.9, 0.9, 0.9]; // 0.81 ≤ 0.9 ✓ all orderings
+        let before = gamma.clone();
+        project_transitivity(&mut gamma, &g, 10, 1e-9);
+        for (a, b) in gamma.iter().zip(&before) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!(g.max_violation(&gamma) <= 1e-9);
+    }
+
+    #[test]
+    fn violated_triangle_moves_toward_feasibility() {
+        let g = TransitivityGraph::build(&triangle_set(), TransitivityMode::SelfJoin, 0);
+        // Two strong matches sharing a node, third pair near zero:
+        // 0.9·0.9 = 0.81 > 0.05 → infeasible.
+        let mut gamma = vec![0.9, 0.9, 0.05];
+        let v0 = g.max_violation(&gamma);
+        project_transitivity(&mut gamma, &g, 50, 1e-6);
+        let v1 = g.max_violation(&gamma);
+        assert!(v1 < v0, "violation must shrink: {v0} → {v1}");
+        assert!(v1 < 0.05, "nearly feasible after sweeps: {v1}");
+        // The third edge was pulled *up*, the other two *down*.
+        assert!(gamma[2] > 0.05);
+        assert!(gamma[0] < 0.9);
+    }
+
+    #[test]
+    fn projection_is_idempotent_ish() {
+        let g = TransitivityGraph::build(&triangle_set(), TransitivityMode::SelfJoin, 0);
+        let mut gamma = vec![0.95, 0.8, 0.1];
+        project_transitivity(&mut gamma, &g, 100, 1e-9);
+        let once = gamma.clone();
+        project_transitivity(&mut gamma, &g, 100, 1e-9);
+        for (a, b) in gamma.iter().zip(&once) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn self_pairs_are_ignored_in_self_join() {
+        let cands = CandidateSet::from_pairs([
+            CandidatePair::new(0, 0), // self pair
+            CandidatePair::new(0, 1),
+            CandidatePair::new(1, 0), // duplicate edge, other orientation
+        ]);
+        let g = TransitivityGraph::build(&cands, TransitivityMode::SelfJoin, 0);
+        assert_eq!(g.n_triangles(), 0);
+    }
+
+    #[test]
+    fn triangle_cap_bounds_enumeration() {
+        // Complete self-join graph over 10 nodes → C(10,3)=120 triangles.
+        let mut pairs = Vec::new();
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                pairs.push(CandidatePair::new(i, j));
+            }
+        }
+        let cands = CandidateSet::from_pairs(pairs);
+        let full = TransitivityGraph::build(&cands, TransitivityMode::SelfJoin, 0);
+        assert_eq!(full.n_triangles(), 120);
+        let capped = TransitivityGraph::build(&cands, TransitivityMode::SelfJoin, 25);
+        assert_eq!(capped.n_triangles(), 25);
+    }
+}

@@ -1,0 +1,125 @@
+//! Weighted vote: a fixed-weight baseline between majority vote and the
+//! EM-fitted models.
+//!
+//! Each LF gets a weight `w_j` (log-odds of an assumed or externally
+//! estimated accuracy); the posterior is
+//! `σ(logit(prior) + Σ_j w_j · λ_ij)`. With all weights equal this
+//! reduces to a soft majority vote; with weights from gold accuracy it is
+//! the "oracle-weighted" upper baseline some ablations report.
+
+use crate::{logit, sigmoid, LabelModel};
+use panda_lf::LabelMatrix;
+use panda_table::CandidateSet;
+
+/// Fixed-weight vote combiner.
+#[derive(Debug, Clone)]
+pub struct WeightedVote {
+    /// Per-LF weights, aligned with matrix column order. Missing entries
+    /// default to `default_weight`.
+    pub weights: Vec<f64>,
+    /// Weight used for LFs beyond `weights`.
+    pub default_weight: f64,
+    /// Class prior fed into the bias term.
+    pub prior: f64,
+}
+
+impl Default for WeightedVote {
+    fn default() -> Self {
+        // ln(0.8/0.2): every LF treated as 80% accurate.
+        WeightedVote { weights: Vec::new(), default_weight: (0.8f64 / 0.2).ln(), prior: 0.1 }
+    }
+}
+
+impl WeightedVote {
+    /// Equal weights derived from one assumed accuracy.
+    pub fn uniform(assumed_accuracy: f64, prior: f64) -> Self {
+        let a = assumed_accuracy.clamp(0.05, 0.95);
+        WeightedVote { weights: Vec::new(), default_weight: (a / (1.0 - a)).ln(), prior }
+    }
+
+    /// Weights from per-LF accuracies (e.g. measured on gold — an oracle
+    /// baseline for ablations).
+    pub fn from_accuracies(accuracies: &[f64], prior: f64) -> Self {
+        WeightedVote {
+            weights: accuracies
+                .iter()
+                .map(|&a| {
+                    let a = a.clamp(0.05, 0.95);
+                    (a / (1.0 - a)).ln()
+                })
+                .collect(),
+            default_weight: 0.0,
+            prior,
+        }
+    }
+}
+
+impl LabelModel for WeightedVote {
+    fn name(&self) -> &'static str {
+        "weighted-vote"
+    }
+
+    fn fit_predict(&mut self, matrix: &LabelMatrix, _: Option<&CandidateSet>) -> Vec<f64> {
+        let n = matrix.n_pairs();
+        let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
+        (0..n)
+            .map(|i| {
+                let mut lo = logit(self.prior);
+                for (j, col) in cols.iter().enumerate() {
+                    let w = self.weights.get(j).copied().unwrap_or(self.default_weight);
+                    lo += w * f64::from(col[i]);
+                }
+                sigmoid(lo)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{f1, plant, PlantedLf};
+
+    #[test]
+    fn uniform_weights_act_like_soft_majority() {
+        let p = plant(500, 0.5, &[PlantedLf::symmetric(1.0, 0.95); 3], 51);
+        let gamma = WeightedVote::uniform(0.8, 0.5).fit_predict(&p.matrix, None);
+        let correct = gamma
+            .iter()
+            .zip(&p.truth)
+            .filter(|(g, t)| (**g >= 0.5) == **t)
+            .count();
+        assert!(correct as f64 / 500.0 > 0.9);
+    }
+
+    #[test]
+    fn oracle_weights_beat_uniform_with_heterogeneous_lfs() {
+        let specs = [
+            PlantedLf::symmetric(0.95, 0.95),
+            PlantedLf::symmetric(0.9, 0.55),
+            PlantedLf::symmetric(0.9, 0.55),
+        ];
+        let p = plant(4000, 0.5, &specs, 53);
+        let f1_oracle = f1(
+            &WeightedVote::from_accuracies(&[0.95, 0.55, 0.55], 0.5).fit_predict(&p.matrix, None),
+            &p.truth,
+        );
+        let f1_uniform = f1(
+            &WeightedVote::uniform(0.8, 0.5).fit_predict(&p.matrix, None),
+            &p.truth,
+        );
+        assert!(
+            f1_oracle >= f1_uniform,
+            "oracle {f1_oracle:.3} vs uniform {f1_uniform:.3}"
+        );
+    }
+
+    #[test]
+    fn no_votes_yields_prior() {
+        let p = plant(5, 0.5, &[PlantedLf::symmetric(0.0, 0.9)], 54);
+        let gamma = WeightedVote::uniform(0.8, 0.2).fit_predict(&p.matrix, None);
+        for g in gamma {
+            assert!((g - 0.2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Abstract syntax tree for parsed patterns.
+
+use crate::classes::CharClass;
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// The empty pattern (matches the empty string).
+    Empty,
+    /// A single literal character.
+    Literal(char),
+    /// `.` — any character except `\n`.
+    AnyChar,
+    /// A character class `[...]`, or a class escape like `\d`.
+    Class(CharClass),
+    /// Concatenation of sub-patterns.
+    Concat(Vec<Ast>),
+    /// Alternation `a|b|c`.
+    Alternate(Vec<Ast>),
+    /// Repetition of a sub-pattern.
+    Repeat {
+        /// The repeated sub-pattern.
+        node: Box<Ast>,
+        /// Minimum repetitions.
+        min: u32,
+        /// Maximum repetitions; `None` = unbounded.
+        max: Option<u32>,
+        /// Greedy (`a*`) vs lazy (`a*?`).
+        greedy: bool,
+    },
+    /// A group. `index` is `Some(n)` for capturing groups (1-based),
+    /// `None` for `(?:...)`.
+    Group {
+        /// Capture index, if capturing.
+        index: Option<u32>,
+        /// Grouped sub-pattern.
+        node: Box<Ast>,
+    },
+    /// `^` — start of input.
+    StartAnchor,
+    /// `$` — end of input.
+    EndAnchor,
+    /// `\b` (true) or `\B` (false).
+    WordBoundary(bool),
+}
+
+impl Ast {
+    /// Number of capturing groups in the tree.
+    pub fn count_groups(&self) -> usize {
+        match self {
+            Ast::Concat(items) | Ast::Alternate(items) => {
+                items.iter().map(Ast::count_groups).sum()
+            }
+            Ast::Repeat { node, .. } => node.count_groups(),
+            Ast::Group { index, node } => {
+                usize::from(index.is_some()) + node.count_groups()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Can this pattern match the empty string? (Used by tests and by the
+    /// reference matcher to guard against infinite loops.)
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty | Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_) => true,
+            Ast::Literal(_) | Ast::AnyChar | Ast::Class(_) => false,
+            Ast::Concat(items) => items.iter().all(Ast::is_nullable),
+            Ast::Alternate(items) => items.iter().any(Ast::is_nullable),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+            Ast::Group { node, .. } => node.is_nullable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+
+    #[test]
+    fn group_counting() {
+        let ast = crate::parser::parse(r"(a)(?:b)((c))").unwrap();
+        assert_eq!(ast.count_groups(), 3);
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(crate::parser::parse("a*").unwrap().is_nullable());
+        assert!(!crate::parser::parse("a+").unwrap().is_nullable());
+        assert!(crate::parser::parse("a|").unwrap().is_nullable());
+        assert!(crate::parser::parse("^$").unwrap().is_nullable());
+        assert!(!crate::parser::parse("(ab)").unwrap().is_nullable());
+    }
+}

@@ -1,0 +1,202 @@
+//! Character classes.
+
+/// A character class: a union of inclusive ranges, possibly negated.
+///
+/// Ranges are kept sorted and merged so membership is a binary search and
+/// classes have a canonical form (useful for equality in tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharClass {
+    ranges: Vec<(char, char)>,
+    negated: bool,
+}
+
+impl CharClass {
+    /// An empty, non-negated class (matches nothing).
+    pub fn new() -> Self {
+        CharClass { ranges: Vec::new(), negated: false }
+    }
+
+    /// Class containing exactly one char.
+    pub fn single(c: char) -> Self {
+        let mut cls = CharClass::new();
+        cls.push_range(c, c);
+        cls
+    }
+
+    /// Add an inclusive range (order-normalising).
+    pub fn push_range(&mut self, lo: char, hi: char) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        self.ranges.push((lo, hi));
+        self.normalize();
+    }
+
+    /// Add a single char.
+    pub fn push_char(&mut self, c: char) {
+        self.push_range(c, c);
+    }
+
+    /// Merge another class's ranges into this one (ignores its negation).
+    pub fn push_class(&mut self, other: &CharClass) {
+        self.ranges.extend_from_slice(&other.ranges);
+        self.normalize();
+    }
+
+    /// Negate the class.
+    pub fn negate(&mut self) {
+        self.negated = !self.negated;
+    }
+
+    /// Is the class negated?
+    pub fn is_negated(&self) -> bool {
+        self.negated
+    }
+
+    /// The canonical (sorted, merged) ranges.
+    pub fn ranges(&self) -> &[(char, char)] {
+        &self.ranges
+    }
+
+    /// Does the class contain `c`?
+    pub fn contains(&self, c: char) -> bool {
+        let inside = self
+            .ranges
+            .binary_search_by(|&(lo, hi)| {
+                if c < lo {
+                    std::cmp::Ordering::Greater
+                } else if c > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok();
+        inside != self.negated
+    }
+
+    /// Case-insensitive variant: for every ASCII letter range, add the
+    /// other case. (Full Unicode case folding is out of scope; EM data is
+    /// predominantly ASCII after preprocessing.)
+    pub fn to_case_insensitive(&self) -> CharClass {
+        let mut out = self.clone();
+        for &(lo, hi) in &self.ranges {
+            // Lowercase letters overlapped by [lo, hi] → add uppercase.
+            let add = |out: &mut CharClass, a: char, b: char, delta: i32| {
+                let lo2 = lo.max(a);
+                let hi2 = hi.min(b);
+                if lo2 <= hi2 {
+                    let l = char::from_u32((lo2 as i32 + delta) as u32).unwrap();
+                    let h = char::from_u32((hi2 as i32 + delta) as u32).unwrap();
+                    out.ranges.push((l, h));
+                }
+            };
+            add(&mut out, 'a', 'z', -32);
+            add(&mut out, 'A', 'Z', 32);
+        }
+        out.normalize();
+        out
+    }
+
+    fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(char, char)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some(&mut (_, ref mut phi)) if lo as u32 <= *phi as u32 + 1 => {
+                    if hi > *phi {
+                        *phi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// `\d`: ASCII digits.
+    pub fn digit() -> Self {
+        let mut c = CharClass::new();
+        c.push_range('0', '9');
+        c
+    }
+
+    /// `\w`: word chars `[A-Za-z0-9_]`.
+    pub fn word() -> Self {
+        let mut c = CharClass::new();
+        c.push_range('a', 'z');
+        c.push_range('A', 'Z');
+        c.push_range('0', '9');
+        c.push_char('_');
+        c
+    }
+
+    /// `\s`: ASCII whitespace.
+    pub fn space() -> Self {
+        let mut c = CharClass::new();
+        for ch in [' ', '\t', '\n', '\r', '\x0b', '\x0c'] {
+            c.push_char(ch);
+        }
+        c
+    }
+}
+
+impl Default for CharClass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Is `c` a word character (for `\b`)?
+pub fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let mut c = CharClass::new();
+        c.push_range('a', 'f');
+        c.push_char('z');
+        assert!(c.contains('c'));
+        assert!(c.contains('z'));
+        assert!(!c.contains('g'));
+    }
+
+    #[test]
+    fn negation() {
+        let mut c = CharClass::digit();
+        c.negate();
+        assert!(!c.contains('5'));
+        assert!(c.contains('x'));
+    }
+
+    #[test]
+    fn ranges_merge() {
+        let mut c = CharClass::new();
+        c.push_range('a', 'd');
+        c.push_range('c', 'h');
+        c.push_range('i', 'k'); // adjacent → merges
+        assert_eq!(c.ranges(), &[('a', 'k')]);
+    }
+
+    #[test]
+    fn case_insensitive_expansion() {
+        let mut c = CharClass::new();
+        c.push_range('a', 'c');
+        let ci = c.to_case_insensitive();
+        assert!(ci.contains('B'));
+        assert!(ci.contains('b'));
+        assert!(!ci.contains('d'));
+    }
+
+    #[test]
+    fn builtin_classes() {
+        assert!(CharClass::word().contains('_'));
+        assert!(!CharClass::word().contains('-'));
+        assert!(CharClass::space().contains('\t'));
+        assert!(is_word_char('9'));
+        assert!(!is_word_char(' '));
+    }
+}

@@ -1,0 +1,459 @@
+//! A small from-scratch regular-expression engine.
+//!
+//! Panda's labeling functions use regular expressions for attribute
+//! extraction — the paper's `size_unmatch` LF pulls product sizes like
+//! `40'` out of names and descriptions. This crate implements the subset
+//! of Perl-style regex those LFs need, without the `regex` crate:
+//!
+//! * literals, `.`, character classes `[a-z0-9_]` / `[^…]`,
+//!   escapes `\d \D \w \W \s \S` and punctuation escapes,
+//! * quantifiers `* + ? {n} {n,} {n,m}` with non-greedy `?` variants,
+//! * alternation `|`, capturing `(...)` and non-capturing `(?:...)` groups,
+//! * anchors `^`, `$` and the word boundary `\b` / `\B`,
+//! * a case-insensitive mode (`(?i)` prefix or [`Regex::new_ci`]).
+//!
+//! Matching uses a Pike VM over a Thompson NFA: linear time in
+//! `pattern × text` with correct leftmost-greedy (Perl-like thread
+//! priority) semantics and capture slots — no exponential backtracking, so
+//! hostile user LF patterns cannot hang the IDE.
+//!
+//! Positions in [`Match`] and [`Captures`] are **byte offsets** into the
+//! input `&str`, always on UTF-8 boundaries, so `&text[m.start..m.end]`
+//! is safe.
+
+pub mod ast;
+pub mod classes;
+pub mod nfa;
+pub mod parser;
+pub mod pikevm;
+#[doc(hidden)]
+pub mod testutil;
+
+use std::fmt;
+
+pub use ast::Ast;
+pub use classes::CharClass;
+pub use nfa::Program;
+
+/// A compile error, with the byte position in the pattern where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset into the pattern.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    program: Program,
+    pattern: String,
+    n_groups: usize,
+    case_insensitive: bool,
+}
+
+/// One successful match: byte offsets plus the matched text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'t> {
+    /// Byte offset of the match start.
+    pub start: usize,
+    /// Byte offset one past the match end.
+    pub end: usize,
+    text: &'t str,
+}
+
+impl<'t> Match<'t> {
+    /// The matched substring.
+    pub fn as_str(&self) -> &'t str {
+        &self.text[self.start..self.end]
+    }
+
+    /// Length of the match in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for a zero-width match.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Capture groups of one match. Group 0 is the whole match.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    text: &'t str,
+    /// `slots[2i], slots[2i+1]` are the byte start/end of group `i`.
+    slots: Vec<Option<usize>>,
+}
+
+impl<'t> Captures<'t> {
+    /// The `i`-th group as a [`Match`], if it participated in the match.
+    pub fn get(&self, i: usize) -> Option<Match<'t>> {
+        let start = (*self.slots.get(2 * i)?)?;
+        let end = (*self.slots.get(2 * i + 1)?)?;
+        Some(Match { start, end, text: self.text })
+    }
+
+    /// The `i`-th group's text, if present.
+    pub fn group_str(&self, i: usize) -> Option<&'t str> {
+        self.get(i).map(|m| m.as_str())
+    }
+
+    /// Number of groups, counting group 0.
+    pub fn len(&self) -> usize {
+        self.slots.len() / 2
+    }
+
+    /// Always at least one group (the whole match).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Regex {
+    /// Compile a pattern. A leading `(?i)` turns on case-insensitive mode.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let (ci, rest) = match pattern.strip_prefix("(?i)") {
+            Some(rest) => (true, rest),
+            None => (false, pattern),
+        };
+        Self::compile(rest, ci, pattern)
+    }
+
+    /// Compile a pattern in case-insensitive mode.
+    pub fn new_ci(pattern: &str) -> Result<Regex, RegexError> {
+        Self::compile(pattern, true, pattern)
+    }
+
+    fn compile(body: &str, ci: bool, original: &str) -> Result<Regex, RegexError> {
+        let ast = parser::parse(body)?;
+        let n_groups = ast.count_groups() + 1; // plus group 0
+        let program = nfa::compile(&ast, n_groups, ci);
+        Ok(Regex {
+            program,
+            pattern: original.to_string(),
+            n_groups,
+            case_insensitive: ci,
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capture groups, counting group 0 (the whole match).
+    pub fn group_count(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Whether the regex was compiled case-insensitively.
+    pub fn is_case_insensitive(&self) -> bool {
+        self.case_insensitive
+    }
+
+    /// Does the pattern match anywhere in `text`?
+    pub fn is_match(&self, text: &str) -> bool {
+        pikevm::search(&self.program, text, 0).is_some()
+    }
+
+    /// Leftmost match, if any.
+    pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
+        let slots = pikevm::search(&self.program, text, 0)?;
+        Some(Match { start: slots[0]?, end: slots[1]?, text })
+    }
+
+    /// Leftmost match starting at or after byte offset `from`.
+    pub fn find_at<'t>(&self, text: &'t str, from: usize) -> Option<Match<'t>> {
+        let slots = pikevm::search(&self.program, text, from)?;
+        Some(Match { start: slots[0]?, end: slots[1]?, text })
+    }
+
+    /// Iterate over all non-overlapping matches, left to right.
+    pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> FindIter<'r, 't> {
+        FindIter { re: self, text, at: 0, done: false }
+    }
+
+    /// Capture groups of the leftmost match.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        let slots = pikevm::search(&self.program, text, 0)?;
+        Some(Captures { text, slots })
+    }
+
+    /// All capture sets of all non-overlapping matches.
+    pub fn captures_iter<'t>(&self, text: &'t str) -> Vec<Captures<'t>> {
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at <= text.len() {
+            let Some(slots) = pikevm::search(&self.program, text, at) else { break };
+            let (s, e) = (slots[0].unwrap(), slots[1].unwrap());
+            out.push(Captures { text, slots });
+            at = if e > s { e } else { next_char_boundary(text, e) };
+        }
+        out
+    }
+
+    /// Replace every match with `replacement` (no `$n` expansion; see
+    /// [`Regex::replace_all_groups`]).
+    pub fn replace_all(&self, text: &str, replacement: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut last = 0;
+        for m in self.find_iter(text) {
+            out.push_str(&text[last..m.start]);
+            out.push_str(replacement);
+            last = m.end;
+        }
+        out.push_str(&text[last..]);
+        out
+    }
+
+    /// Replace every match, expanding `$0`–`$9` in `replacement` to the
+    /// corresponding capture group's text (empty when the group did not
+    /// participate). `$$` escapes a literal dollar sign.
+    pub fn replace_all_groups(&self, text: &str, replacement: &str) -> String {
+        let mut out = String::with_capacity(text.len());
+        let mut last = 0;
+        for caps in self.captures_iter(text) {
+            let m = caps.get(0).expect("group 0 always present");
+            out.push_str(&text[last..m.start]);
+            let mut chars = replacement.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c != '$' {
+                    out.push(c);
+                    continue;
+                }
+                match chars.peek().copied() {
+                    Some('$') => {
+                        chars.next();
+                        out.push('$');
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        chars.next();
+                        let idx = d.to_digit(10).unwrap() as usize;
+                        if let Some(g) = caps.group_str(idx) {
+                            out.push_str(g);
+                        }
+                    }
+                    _ => out.push('$'),
+                }
+            }
+            last = m.end;
+        }
+        out.push_str(&text[last..]);
+        out
+    }
+
+    /// Split `text` on matches of the pattern.
+    pub fn split<'t>(&self, text: &'t str) -> Vec<&'t str> {
+        let mut out = Vec::new();
+        let mut last = 0;
+        for m in self.find_iter(text) {
+            out.push(&text[last..m.start]);
+            last = m.end;
+        }
+        out.push(&text[last..]);
+        out
+    }
+}
+
+/// Iterator over non-overlapping matches.
+pub struct FindIter<'r, 't> {
+    re: &'r Regex,
+    text: &'t str,
+    at: usize,
+    done: bool,
+}
+
+impl<'r, 't> Iterator for FindIter<'r, 't> {
+    type Item = Match<'t>;
+
+    fn next(&mut self) -> Option<Match<'t>> {
+        if self.done || self.at > self.text.len() {
+            return None;
+        }
+        let m = self.re.find_at(self.text, self.at)?;
+        // Advance past the match; for zero-width matches skip one char to
+        // guarantee progress.
+        self.at = if m.end > m.start {
+            m.end
+        } else {
+            next_char_boundary(self.text, m.end)
+        };
+        if self.at > self.text.len() {
+            self.done = true;
+        }
+        Some(m)
+    }
+}
+
+pub(crate) fn next_char_boundary(text: &str, at: usize) -> usize {
+    if at >= text.len() {
+        return text.len() + 1; // signals exhaustion
+    }
+    let mut next = at + 1;
+    while next < text.len() && !text.is_char_boundary(next) {
+        next += 1;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_match() {
+        let re = Regex::new("abc").unwrap();
+        assert!(re.is_match("xxabcxx"));
+        let m = re.find("xxabcxx").unwrap();
+        assert_eq!((m.start, m.end, m.as_str()), (2, 5, "abc"));
+        assert!(!re.is_match("ab"));
+    }
+
+    #[test]
+    fn digit_class_and_plus() {
+        let re = Regex::new(r"\d+").unwrap();
+        let m = re.find("abc 123 def 45").unwrap();
+        assert_eq!(m.as_str(), "123");
+        let all: Vec<&str> = re.find_iter("abc 123 def 45").map(|m| m.as_str()).collect();
+        assert_eq!(all, vec!["123", "45"]);
+    }
+
+    #[test]
+    fn size_extraction_like_the_paper() {
+        // The paper's size_unmatch LF extracts sizes like `40'` / `46"`.
+        let re = Regex::new(r#"(\d+(?:\.\d+)?)\s*(?:'|"|-inch|inch|in\b)"#).unwrap();
+        let caps = re.captures("sony bravia 40' lcd tv").unwrap();
+        assert_eq!(caps.group_str(1), Some("40"));
+        let caps = re.captures("samsung 46-inch hdtv").unwrap();
+        assert_eq!(caps.group_str(1), Some("46"));
+        assert!(re.captures("no size here").is_none());
+    }
+
+    #[test]
+    fn alternation_is_leftmost_first() {
+        let re = Regex::new("a|ab").unwrap();
+        assert_eq!(re.find("ab").unwrap().as_str(), "a");
+        let re = Regex::new("ab|a").unwrap();
+        assert_eq!(re.find("ab").unwrap().as_str(), "ab");
+    }
+
+    #[test]
+    fn greedy_vs_lazy() {
+        let re = Regex::new("<.*>").unwrap();
+        assert_eq!(re.find("<a><b>").unwrap().as_str(), "<a><b>");
+        let re = Regex::new("<.*?>").unwrap();
+        assert_eq!(re.find("<a><b>").unwrap().as_str(), "<a>");
+    }
+
+    #[test]
+    fn anchors() {
+        let re = Regex::new("^abc$").unwrap();
+        assert!(re.is_match("abc"));
+        assert!(!re.is_match("xabc"));
+        assert!(!re.is_match("abcx"));
+    }
+
+    #[test]
+    fn word_boundary() {
+        let re = Regex::new(r"\bcat\b").unwrap();
+        assert!(re.is_match("the cat sat"));
+        assert!(!re.is_match("concatenate"));
+        let re = Regex::new(r"\Bcat\B").unwrap();
+        assert!(re.is_match("concatenate"));
+        assert!(!re.is_match("the cat sat"));
+    }
+
+    #[test]
+    fn counted_repetition() {
+        let re = Regex::new(r"a{2,3}").unwrap();
+        assert!(!re.is_match("a"));
+        assert_eq!(re.find("aaaa").unwrap().as_str(), "aaa");
+        let re = Regex::new(r"\d{4}").unwrap();
+        assert_eq!(re.find("year 2021!").unwrap().as_str(), "2021");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let re = Regex::new("(?i)sony").unwrap();
+        assert!(re.is_match("SONY BRAVIA"));
+        assert!(re.is_match("Sony"));
+        let re = Regex::new_ci("[a-z]+").unwrap();
+        assert_eq!(re.find("ABC").unwrap().as_str(), "ABC");
+    }
+
+    #[test]
+    fn capture_groups() {
+        let re = Regex::new(r"(\w+)@(\w+)\.com").unwrap();
+        let caps = re.captures("mail bob@example.com now").unwrap();
+        assert_eq!(caps.group_str(0), Some("bob@example.com"));
+        assert_eq!(caps.group_str(1), Some("bob"));
+        assert_eq!(caps.group_str(2), Some("example"));
+        assert_eq!(caps.len(), 3);
+    }
+
+    #[test]
+    fn optional_group_absent() {
+        let re = Regex::new(r"a(b)?c").unwrap();
+        let caps = re.captures("ac").unwrap();
+        assert_eq!(caps.group_str(0), Some("ac"));
+        assert_eq!(caps.get(1), None);
+    }
+
+    #[test]
+    fn replace_and_split() {
+        let re = Regex::new(r"\s+").unwrap();
+        assert_eq!(re.replace_all("a  b\tc", " "), "a b c");
+        assert_eq!(re.split("a  b\tc"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn replace_with_group_references() {
+        // Normalise "40-inch" / "40 in" spellings to `40in`.
+        let re = Regex::new(r"(\d+)[\s-]*(?:inch|in)\b").unwrap();
+        assert_eq!(
+            re.replace_all_groups("a 40-inch tv and a 52 in panel", "$1in"),
+            "a 40in tv and a 52in panel"
+        );
+        // $$ escapes, unknown groups vanish, trailing $ is literal.
+        let re = Regex::new(r"(\w+)@(\w+)").unwrap();
+        assert_eq!(
+            re.replace_all_groups("bob@example", "$2$$$1$9$"),
+            "example$bob$"
+        );
+    }
+
+    #[test]
+    fn unicode_text() {
+        let re = Regex::new("é+").unwrap();
+        let m = re.find("café éé").unwrap();
+        assert_eq!(m.as_str(), "é");
+        let all: Vec<&str> = re.find_iter("café éé").map(|m| m.as_str()).collect();
+        assert_eq!(all, vec!["é", "éé"]);
+    }
+
+    #[test]
+    fn zero_width_iter_makes_progress() {
+        let re = Regex::new("a*").unwrap();
+        let n = re.find_iter("bbb").count();
+        assert_eq!(n, 4); // empty match at each position incl. end
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(Regex::new("a(b").is_err());
+        assert!(Regex::new("[a-").is_err());
+        assert!(Regex::new("a{3,2}").is_err());
+        assert!(Regex::new("*a").is_err());
+    }
+}

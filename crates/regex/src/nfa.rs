@@ -1,0 +1,297 @@
+//! Thompson NFA construction.
+
+use crate::ast::Ast;
+use crate::classes::CharClass;
+
+/// One VM instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Consume exactly this character.
+    Char(char),
+    /// Consume one character contained in the class.
+    Class(CharClass),
+    /// Consume any character except `\n`.
+    Any,
+    /// Try `a` first (higher priority), then `b`.
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Store the current byte offset into capture slot `n`.
+    Save(usize),
+    /// Zero-width: only at input start.
+    AssertStart,
+    /// Zero-width: only at input end.
+    AssertEnd,
+    /// Zero-width: word boundary (`true`) / non-boundary (`false`).
+    WordBoundary(bool),
+    /// Accept.
+    Match,
+}
+
+/// A compiled program: instruction list plus capture-slot count.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instructions; execution starts at index 0.
+    pub insts: Vec<Inst>,
+    /// Number of capture slots (`2 × groups`, group 0 included).
+    pub n_slots: usize,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the program is empty (never happens for compiled regexes).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Compile an AST into a program.
+///
+/// The emitted program is wrapped as `Save(0) <body> Save(1) Match`, i.e.
+/// it is *anchored at its start position*; the Pike VM achieves unanchored
+/// search by injecting a fresh start thread at every input position.
+pub fn compile(ast: &Ast, n_groups: usize, case_insensitive: bool) -> Program {
+    let mut c = Compiler { insts: Vec::new(), ci: case_insensitive };
+    c.emit(Inst::Save(0));
+    c.node(ast);
+    c.emit(Inst::Save(1));
+    c.emit(Inst::Match);
+    Program { insts: c.insts, n_slots: 2 * n_groups }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    ci: bool,
+}
+
+impl Compiler {
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push(inst);
+        self.insts.len() - 1
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn patch_split_second(&mut self, at: usize, to: usize) {
+        if let Inst::Split(_, b) = &mut self.insts[at] {
+            *b = to;
+        }
+    }
+
+    fn patch_split_first(&mut self, at: usize, to: usize) {
+        if let Inst::Split(a, _) = &mut self.insts[at] {
+            *a = to;
+        }
+    }
+
+    fn patch_jmp(&mut self, at: usize, to: usize) {
+        if let Inst::Jmp(t) = &mut self.insts[at] {
+            *t = to;
+        }
+    }
+
+    fn node(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => {
+                if self.ci && c.is_alphabetic() {
+                    let mut cls = CharClass::single(*c);
+                    cls = cls.to_case_insensitive();
+                    // Non-ASCII: also add the simple upper/lower fold.
+                    for f in c.to_lowercase().chain(c.to_uppercase()) {
+                        cls.push_char(f);
+                    }
+                    self.emit(Inst::Class(cls));
+                } else {
+                    self.emit(Inst::Char(*c));
+                }
+            }
+            Ast::AnyChar => {
+                self.emit(Inst::Any);
+            }
+            Ast::Class(cls) => {
+                let cls = if self.ci { cls.to_case_insensitive() } else { cls.clone() };
+                self.emit(Inst::Class(cls));
+            }
+            Ast::Concat(items) => {
+                for item in items {
+                    self.node(item);
+                }
+            }
+            Ast::Alternate(branches) => {
+                // split b1, (split b2, (… bn))  with jumps to the common end.
+                let mut jumps = Vec::new();
+                let mut splits = Vec::new();
+                for (i, branch) in branches.iter().enumerate() {
+                    let last = i + 1 == branches.len();
+                    if !last {
+                        let s = self.emit(Inst::Split(0, 0));
+                        let body = self.here();
+                        self.patch_split_first(s, body);
+                        splits.push(s);
+                        self.node(branch);
+                        jumps.push(self.emit(Inst::Jmp(0)));
+                        let next = self.here();
+                        self.patch_split_second(s, next);
+                    } else {
+                        self.node(branch);
+                    }
+                }
+                let end = self.here();
+                for j in jumps {
+                    self.patch_jmp(j, end);
+                }
+                let _ = splits;
+            }
+            Ast::Group { index, node } => {
+                if let Some(i) = index {
+                    self.emit(Inst::Save(2 * (*i as usize)));
+                    self.node(node);
+                    self.emit(Inst::Save(2 * (*i as usize) + 1));
+                } else {
+                    self.node(node);
+                }
+            }
+            Ast::Repeat { node, min, max, greedy } => {
+                self.repeat(node, *min, *max, *greedy);
+            }
+            Ast::StartAnchor => {
+                self.emit(Inst::AssertStart);
+            }
+            Ast::EndAnchor => {
+                self.emit(Inst::AssertEnd);
+            }
+            Ast::WordBoundary(positive) => {
+                self.emit(Inst::WordBoundary(*positive));
+            }
+        }
+    }
+
+    fn repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Cap expansion so pathological `{100000}` patterns cannot make the
+        // program explode; the parser guarantees min/max ≤ REPEAT_LIMIT.
+        match (min, max) {
+            (0, None) => self.star(node, greedy),
+            (1, None) => {
+                // plus: body, split back
+                let body = self.here();
+                self.node(node);
+                let s = self.emit(Inst::Split(0, 0));
+                let after = self.here();
+                if greedy {
+                    self.patch_split_first(s, body);
+                    self.patch_split_second(s, after);
+                } else {
+                    self.patch_split_first(s, after);
+                    self.patch_split_second(s, body);
+                }
+            }
+            (n, None) => {
+                for _ in 0..n.saturating_sub(1) {
+                    self.node(node);
+                }
+                self.repeat(node, 1, None, greedy);
+            }
+            (n, Some(m)) => {
+                for _ in 0..n {
+                    self.node(node);
+                }
+                // (m-n) nested optionals, each can bail to the end.
+                let mut splits = Vec::new();
+                for _ in n..m {
+                    let s = self.emit(Inst::Split(0, 0));
+                    let body = self.here();
+                    if greedy {
+                        self.patch_split_first(s, body);
+                    } else {
+                        self.patch_split_second(s, body);
+                    }
+                    splits.push(s);
+                    self.node(node);
+                }
+                let end = self.here();
+                for s in splits {
+                    if greedy {
+                        self.patch_split_second(s, end);
+                    } else {
+                        self.patch_split_first(s, end);
+                    }
+                }
+            }
+        }
+    }
+
+    fn star(&mut self, node: &Ast, greedy: bool) {
+        let s = self.emit(Inst::Split(0, 0));
+        let body = self.here();
+        self.node(node);
+        self.emit(Inst::Jmp(s));
+        let after = self.here();
+        if greedy {
+            self.patch_split_first(s, body);
+            self.patch_split_second(s, after);
+        } else {
+            self.patch_split_first(s, after);
+            self.patch_split_second(s, body);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn prog(pat: &str) -> Program {
+        let ast = parse(pat).unwrap();
+        compile(&ast, ast.count_groups() + 1, false)
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        // Save(0), Char(a), Char(b), Save(1), Match
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p.insts[1], Inst::Char('a')));
+        assert!(matches!(p.insts[4], Inst::Match));
+    }
+
+    #[test]
+    fn star_is_a_loop() {
+        let p = prog("a*");
+        let has_split = p.insts.iter().any(|i| matches!(i, Inst::Split(_, _)));
+        let has_jmp = p.insts.iter().any(|i| matches!(i, Inst::Jmp(_)));
+        assert!(has_split && has_jmp);
+    }
+
+    #[test]
+    fn counted_expands() {
+        let p3 = prog("a{3}");
+        let chars = p3.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 3);
+        let p = prog("a{2,4}");
+        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        assert_eq!(chars, 4);
+    }
+
+    #[test]
+    fn capture_groups_emit_saves() {
+        let p = prog("(a)(b)");
+        let saves: Vec<usize> = p
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Save(n) => Some(*n),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(saves, vec![0, 2, 3, 4, 5, 1]);
+        assert_eq!(p.n_slots, 6);
+    }
+}

@@ -1,0 +1,446 @@
+//! Recursive-descent pattern parser.
+
+use crate::ast::Ast;
+use crate::classes::CharClass;
+use crate::RegexError;
+
+/// Parse a pattern into an [`Ast`].
+pub fn parse(pattern: &str) -> Result<Ast, RegexError> {
+    let mut p = Parser {
+        chars: pattern.char_indices().collect(),
+        pos: 0,
+        next_group: 1,
+    };
+    let ast = p.alternation()?;
+    if let Some((at, c)) = p.peek() {
+        return Err(RegexError {
+            pos: at,
+            msg: format!("unexpected character {c:?} (unbalanced ')'?)"),
+        });
+    }
+    Ok(ast)
+}
+
+struct Parser {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    next_group: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<(usize, char)> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.peek(), Some((_, c)) if c == want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> RegexError {
+        let pos = self.peek().map(|(at, _)| at).unwrap_or_else(|| {
+            self.chars.last().map(|&(at, c)| at + c.len_utf8()).unwrap_or(0)
+        });
+        RegexError { pos, msg: msg.into() }
+    }
+
+    fn alternation(&mut self) -> Result<Ast, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat('|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Ast::Alternate(branches)
+        })
+    }
+
+    fn concat(&mut self) -> Result<Ast, RegexError> {
+        let mut items = Vec::new();
+        while let Some((_, c)) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Ast::Empty,
+            1 => items.pop().unwrap(),
+            _ => Ast::Concat(items),
+        })
+    }
+
+    fn repeat(&mut self) -> Result<Ast, RegexError> {
+        let atom = self.atom()?;
+        let (min, max) = match self.peek() {
+            Some((_, '*')) => {
+                self.bump();
+                (0, None)
+            }
+            Some((_, '+')) => {
+                self.bump();
+                (1, None)
+            }
+            Some((_, '?')) => {
+                self.bump();
+                (0, Some(1))
+            }
+            Some((_, '{')) => match self.try_counted()? {
+                Some(mm) => mm,
+                None => return Ok(atom), // `{` treated as literal already consumed? no — see try_counted
+            },
+            _ => return Ok(atom),
+        };
+        if matches!(
+            atom,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary(_)
+        ) {
+            return Err(self.err("quantifier applied to an anchor"));
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+    }
+
+    /// Parse `{n}`, `{n,}` or `{n,m}` starting at `{`. Returns `None` (and
+    /// rewinds) when the braces don't form a counted repetition, in which
+    /// case `{` is handled as a literal by the caller's next atom — to keep
+    /// things strict we instead *error*: counted-looking braces must be
+    /// well formed.
+    fn try_counted(&mut self) -> Result<Option<(u32, Option<u32>)>, RegexError> {
+        let start = self.pos;
+        self.bump(); // consume '{'
+        let min = self.number();
+        let Some(min) = min else {
+            // Not a counted repetition ("a{b}" style) — treat '{' literally.
+            self.pos = start;
+            return Ok(None);
+        };
+        let max = if self.eat(',') {
+            if matches!(self.peek(), Some((_, '}'))) {
+                None
+            } else {
+                match self.number() {
+                    Some(m) => Some(m),
+                    None => return Err(self.err("expected number after ',' in {m,n}")),
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(self.err("expected '}' to close counted repetition"));
+        }
+        if let Some(m) = max {
+            if m < min {
+                return Err(RegexError {
+                    pos: self.chars.get(start).map(|&(a, _)| a).unwrap_or(0),
+                    msg: format!("invalid repetition range {{{min},{m}}}"),
+                });
+            }
+        }
+        // Counted repetitions compile by expansion; bound them so a
+        // pathological `a{100000}` cannot blow up the program.
+        const REPEAT_LIMIT: u32 = 512;
+        if min > REPEAT_LIMIT || max.is_some_and(|m| m > REPEAT_LIMIT) {
+            return Err(RegexError {
+                pos: self.chars.get(start).map(|&(a, _)| a).unwrap_or(0),
+                msg: format!("counted repetition exceeds limit of {REPEAT_LIMIT}"),
+            });
+        }
+        Ok(Some((min, max)))
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let mut n: Option<u32> = None;
+        while let Some((_, c)) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.bump();
+                n = Some(n.unwrap_or(0).saturating_mul(10).saturating_add(d));
+            } else {
+                break;
+            }
+        }
+        n
+    }
+
+    fn atom(&mut self) -> Result<Ast, RegexError> {
+        let Some((at, c)) = self.bump() else {
+            return Ok(Ast::Empty);
+        };
+        match c {
+            '.' => Ok(Ast::AnyChar),
+            '^' => Ok(Ast::StartAnchor),
+            '$' => Ok(Ast::EndAnchor),
+            '(' => self.group(),
+            '[' => self.class(),
+            '\\' => self.escape(),
+            '*' | '+' | '?' => Err(RegexError {
+                pos: at,
+                msg: format!("quantifier {c:?} with nothing to repeat"),
+            }),
+            '{' => {
+                // A '{' not forming a counted repetition is a literal; but
+                // when it directly follows nothing it is also a literal.
+                Ok(Ast::Literal('{'))
+            }
+            _ => Ok(Ast::Literal(c)),
+        }
+    }
+
+    fn group(&mut self) -> Result<Ast, RegexError> {
+        let capturing = if matches!(self.peek(), Some((_, '?'))) {
+            // Only (?:...) is supported among the (?...) forms.
+            self.bump();
+            if !self.eat(':') {
+                return Err(self.err("unsupported group flag (only (?:...) is supported)"));
+            }
+            false
+        } else {
+            true
+        };
+        let index = capturing.then(|| {
+            let i = self.next_group;
+            self.next_group += 1;
+            i
+        });
+        let inner = self.alternation()?;
+        if !self.eat(')') {
+            return Err(self.err("unclosed group"));
+        }
+        Ok(Ast::Group { index, node: Box::new(inner) })
+    }
+
+    fn class(&mut self) -> Result<Ast, RegexError> {
+        let mut cls = CharClass::new();
+        let negated = self.eat('^');
+        let mut first = true;
+        loop {
+            let Some((_, c)) = self.bump() else {
+                return Err(self.err("unclosed character class"));
+            };
+            match c {
+                ']' if !first => break,
+                '\\' => {
+                    let Some((_, e)) = self.bump() else {
+                        return Err(self.err("dangling escape in character class"));
+                    };
+                    match class_escape(e) {
+                        ClassEscape::Class(sub) => cls.push_class(&sub),
+                        ClassEscape::Char(lit) => {
+                            // Possible range like \--\/ is unusual; treat as
+                            // single char unless followed by '-'.
+                            self.maybe_range(&mut cls, lit)?;
+                        }
+                    }
+                }
+                _ => {
+                    let lit = if c == ']' && first { ']' } else { c };
+                    self.maybe_range(&mut cls, lit)?;
+                }
+            }
+            first = false;
+        }
+        if negated {
+            cls.negate();
+        }
+        Ok(Ast::Class(cls))
+    }
+
+    /// After reading `lo` inside a class, check for a `lo-hi` range.
+    fn maybe_range(&mut self, cls: &mut CharClass, lo: char) -> Result<(), RegexError> {
+        if matches!(self.peek(), Some((_, '-')))
+            && !matches!(self.chars.get(self.pos + 1), Some((_, ']')) | None)
+        {
+            self.bump(); // '-'
+            let Some((_, hi)) = self.bump() else {
+                return Err(self.err("unterminated range in character class"));
+            };
+            let hi = if hi == '\\' {
+                match self.bump() {
+                    Some((_, e)) => match class_escape(e) {
+                        ClassEscape::Char(c) => c,
+                        ClassEscape::Class(_) => {
+                            return Err(self.err("class escape cannot end a range"))
+                        }
+                    },
+                    None => return Err(self.err("dangling escape in character class")),
+                }
+            } else {
+                hi
+            };
+            if hi < lo {
+                return Err(self.err(format!("invalid class range {lo:?}-{hi:?}")));
+            }
+            cls.push_range(lo, hi);
+        } else {
+            cls.push_char(lo);
+        }
+        Ok(())
+    }
+
+    fn escape(&mut self) -> Result<Ast, RegexError> {
+        let Some((at, c)) = self.bump() else {
+            return Err(self.err("dangling escape at end of pattern"));
+        };
+        Ok(match c {
+            'd' => Ast::Class(CharClass::digit()),
+            'D' => {
+                let mut cl = CharClass::digit();
+                cl.negate();
+                Ast::Class(cl)
+            }
+            'w' => Ast::Class(CharClass::word()),
+            'W' => {
+                let mut cl = CharClass::word();
+                cl.negate();
+                Ast::Class(cl)
+            }
+            's' => Ast::Class(CharClass::space()),
+            'S' => {
+                let mut cl = CharClass::space();
+                cl.negate();
+                Ast::Class(cl)
+            }
+            'b' => Ast::WordBoundary(true),
+            'B' => Ast::WordBoundary(false),
+            'n' => Ast::Literal('\n'),
+            't' => Ast::Literal('\t'),
+            'r' => Ast::Literal('\r'),
+            '0' => Ast::Literal('\0'),
+            c if c.is_ascii_alphanumeric() => {
+                return Err(RegexError {
+                    pos: at,
+                    msg: format!("unsupported escape \\{c}"),
+                })
+            }
+            c => Ast::Literal(c), // punctuation escapes: \. \( \\ \' \" …
+        })
+    }
+}
+
+enum ClassEscape {
+    Class(CharClass),
+    Char(char),
+}
+
+fn class_escape(e: char) -> ClassEscape {
+    match e {
+        'd' => ClassEscape::Class(CharClass::digit()),
+        'w' => ClassEscape::Class(CharClass::word()),
+        's' => ClassEscape::Class(CharClass::space()),
+        'n' => ClassEscape::Char('\n'),
+        't' => ClassEscape::Char('\t'),
+        'r' => ClassEscape::Char('\r'),
+        other => ClassEscape::Char(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_concat_and_alt() {
+        let ast = parse("ab|c").unwrap();
+        match ast {
+            Ast::Alternate(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[1], Ast::Literal('c'));
+            }
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_quantifiers() {
+        assert!(matches!(
+            parse("a*").unwrap(),
+            Ast::Repeat { min: 0, max: None, greedy: true, .. }
+        ));
+        assert!(matches!(
+            parse("a+?").unwrap(),
+            Ast::Repeat { min: 1, max: None, greedy: false, .. }
+        ));
+        assert!(matches!(
+            parse("a{2,5}").unwrap(),
+            Ast::Repeat { min: 2, max: Some(5), .. }
+        ));
+        assert!(matches!(
+            parse("a{3,}").unwrap(),
+            Ast::Repeat { min: 3, max: None, .. }
+        ));
+    }
+
+    #[test]
+    fn literal_brace_when_not_counted() {
+        // `a{b}` — `{` does not start a valid counted repetition.
+        let ast = parse("a{b}").unwrap();
+        match ast {
+            Ast::Concat(items) => assert_eq!(items.len(), 4),
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_indices_assigned_in_order() {
+        let ast = parse("(a)((b)(?:c))").unwrap();
+        assert_eq!(ast.count_groups(), 3);
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let ast = parse(r"[a-f0-9\.\-]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.contains('b'));
+                assert!(c.contains('7'));
+                assert!(c.contains('.'));
+                assert!(c.contains('-'));
+                assert!(!c.contains('g'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_leading_bracket_and_trailing_dash() {
+        let ast = parse(r"[]a-]").unwrap();
+        match ast {
+            Ast::Class(c) => {
+                assert!(c.contains(']'));
+                assert!(c.contains('a'));
+                assert!(c.contains('-'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("ab(cd").unwrap_err();
+        assert_eq!(err.pos, 5);
+        let err = parse("a{2,1}").unwrap_err();
+        assert!(err.msg.contains("invalid repetition"));
+        assert!(parse(r"\q").is_err());
+        assert!(parse("a)").is_err());
+    }
+
+    #[test]
+    fn quantified_anchor_rejected() {
+        assert!(parse("^*").is_err());
+        assert!(parse(r"\b+").is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Pike VM: NFA simulation with capture slots.
+//!
+//! Runs in `O(insts × chars)` time regardless of the pattern — user LFs
+//! cannot trigger exponential backtracking. Thread priority order gives
+//! Perl-style leftmost-first / greedy semantics.
+
+use crate::classes::is_word_char;
+use crate::nfa::{Inst, Program};
+
+type Slots = Vec<Option<usize>>;
+
+struct ThreadList {
+    threads: Vec<(usize, Slots)>,
+    /// `seen[pc] == gen` marks pc as already queued this step.
+    seen: Vec<u32>,
+    gen: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        ThreadList { threads: Vec::new(), seen: vec![0; n], gen: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.threads.clear();
+        self.gen += 1;
+    }
+}
+
+/// Context needed by zero-width assertions at one input position.
+#[derive(Clone, Copy)]
+struct Ctx {
+    /// Byte offset of the current position.
+    byte: usize,
+    /// Char before the position (None at input start).
+    prev: Option<char>,
+    /// Char at the position (None at input end).
+    cur: Option<char>,
+    at_start: bool,
+    at_end: bool,
+}
+
+fn add_thread(prog: &Program, list: &mut ThreadList, pc: usize, slots: Slots, ctx: Ctx) {
+    if list.seen[pc] == list.gen {
+        return;
+    }
+    list.seen[pc] = list.gen;
+    match &prog.insts[pc] {
+        Inst::Jmp(t) => add_thread(prog, list, *t, slots, ctx),
+        Inst::Split(a, b) => {
+            add_thread(prog, list, *a, slots.clone(), ctx);
+            add_thread(prog, list, *b, slots, ctx);
+        }
+        Inst::Save(n) => {
+            let mut s = slots;
+            if *n < s.len() {
+                s[*n] = Some(ctx.byte);
+            }
+            add_thread(prog, list, pc + 1, s, ctx);
+        }
+        Inst::AssertStart => {
+            if ctx.at_start {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::AssertEnd => {
+            if ctx.at_end {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::WordBoundary(positive) => {
+            let before = ctx.prev.map(is_word_char).unwrap_or(false);
+            let after = ctx.cur.map(is_word_char).unwrap_or(false);
+            if (before != after) == *positive {
+                add_thread(prog, list, pc + 1, slots, ctx);
+            }
+        }
+        Inst::Char(_) | Inst::Class(_) | Inst::Any | Inst::Match => {
+            list.threads.push((pc, slots));
+        }
+    }
+}
+
+/// Search for the leftmost match starting at or after byte offset `from`.
+/// Returns the capture slots on success (`slots[0]`/`slots[1]` are the
+/// overall match bounds and are always `Some`).
+pub fn search(prog: &Program, text: &str, from: usize) -> Option<Slots> {
+    let chars: Vec<(usize, char)> = text.char_indices().collect();
+    let n = chars.len();
+    // First char position at/after `from`.
+    let start = chars
+        .iter()
+        .position(|&(b, _)| b >= from)
+        .unwrap_or(n);
+    if from > text.len() {
+        return None;
+    }
+
+    let byte_at = |sp: usize| -> usize {
+        if sp < n {
+            chars[sp].0
+        } else {
+            text.len()
+        }
+    };
+    let ctx_at = |sp: usize| -> Ctx {
+        Ctx {
+            byte: byte_at(sp),
+            prev: if sp > 0 { Some(chars[sp - 1].1) } else { None },
+            cur: if sp < n { Some(chars[sp].1) } else { None },
+            at_start: sp == 0,
+            at_end: sp == n,
+        }
+    };
+
+    let mut clist = ThreadList::new(prog.len());
+    let mut nlist = ThreadList::new(prog.len());
+    let mut matched: Option<Slots> = None;
+
+    clist.clear();
+    for sp in start..=n {
+        // Inject a fresh lowest-priority thread at every position until a
+        // match is found (unanchored search, leftmost preference).
+        if matched.is_none() {
+            add_thread(prog, &mut clist, 0, vec![None; prog.n_slots], ctx_at(sp));
+        }
+        if clist.threads.is_empty() {
+            if matched.is_some() {
+                break;
+            }
+            // Nothing survived the epsilon stage; reset the dedup
+            // generation so the next position's injection isn't suppressed
+            // by this position's `seen` marks.
+            clist.clear();
+            continue;
+        }
+        nlist.clear();
+        let next_ctx = ctx_at((sp + 1).min(n));
+        let mut i = 0;
+        while i < clist.threads.len() {
+            let (pc, slots) = std::mem::take(&mut clist.threads[i]);
+            // (take leaves a dummy; cheap because Slots is a Vec)
+            match &prog.insts[pc] {
+                Inst::Char(c) => {
+                    if sp < n && chars[sp].1 == *c {
+                        add_thread(prog, &mut nlist, pc + 1, slots, next_ctx);
+                    }
+                }
+                Inst::Class(cls) => {
+                    if sp < n && cls.contains(chars[sp].1) {
+                        add_thread(prog, &mut nlist, pc + 1, slots, next_ctx);
+                    }
+                }
+                Inst::Any => {
+                    if sp < n && chars[sp].1 != '\n' {
+                        add_thread(prog, &mut nlist, pc + 1, slots, next_ctx);
+                    }
+                }
+                Inst::Match => {
+                    matched = Some(slots);
+                    // Lower-priority threads can no longer win.
+                    break;
+                }
+                // Epsilon instructions never appear in a thread list.
+                _ => unreachable!("epsilon instruction in thread list"),
+            }
+            i += 1;
+        }
+        std::mem::swap(&mut clist, &mut nlist);
+        if clist.threads.is_empty() && matched.is_some() {
+            break;
+        }
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::compile;
+    use crate::parser::parse;
+
+    fn run(pat: &str, text: &str) -> Option<(usize, usize)> {
+        let ast = parse(pat).unwrap();
+        let prog = compile(&ast, ast.count_groups() + 1, false);
+        search(&prog, text, 0).map(|s| (s[0].unwrap(), s[1].unwrap()))
+    }
+
+    #[test]
+    fn leftmost_match_wins() {
+        assert_eq!(run("a+", "bb aaa a"), Some((3, 6)));
+    }
+
+    #[test]
+    fn empty_pattern_matches_at_start() {
+        assert_eq!(run("", "abc"), Some((0, 0)));
+        assert_eq!(run("x*", "abc"), Some((0, 0)));
+    }
+
+    #[test]
+    fn self_loop_terminates() {
+        // (a*)* could loop forever in a naive simulation.
+        assert_eq!(run("(a*)*", "aaa"), Some((0, 3)));
+        assert_eq!(run("(a*)*b", "aaab"), Some((0, 4)));
+    }
+
+    #[test]
+    fn anchors_are_absolute() {
+        let ast = parse("^b").unwrap();
+        let prog = compile(&ast, 1, false);
+        // Searching from offset 1 must not make ^ match at offset 1.
+        assert!(search(&prog, "abc", 1).is_none());
+    }
+
+    #[test]
+    fn match_at_end_of_input() {
+        assert_eq!(run("c$", "abc"), Some((2, 3)));
+        assert_eq!(run("$", "ab"), Some((2, 2)));
+    }
+}

@@ -1,0 +1,189 @@
+//! A tiny reference matcher used by property tests.
+//!
+//! This is a *set-of-positions* NFA interpretation of the AST: for a node
+//! and a start position it computes every reachable end position. It is
+//! exponential-ish and allocation-happy — only suitable as an oracle for
+//! small inputs — but it is simple enough to be "obviously correct", which
+//! is exactly what a differential property test against the Pike VM needs.
+//! Only boolean `is_match` semantics are compared (thread-priority details
+//! like greediness don't affect *whether* a match exists).
+
+use crate::ast::Ast;
+use crate::classes::is_word_char;
+
+/// Does `pattern` (already parsed) match anywhere in `text`?
+pub fn backtrack_is_match(ast: &Ast, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    (0..=chars.len()).any(|start| !ends(ast, &chars, start).is_empty())
+}
+
+/// All end positions reachable by matching `ast` starting at `start`.
+fn ends(ast: &Ast, chars: &[char], start: usize) -> Vec<usize> {
+    let n = chars.len();
+    match ast {
+        Ast::Empty => vec![start],
+        Ast::Literal(c) => {
+            if start < n && chars[start] == *c {
+                vec![start + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::AnyChar => {
+            if start < n && chars[start] != '\n' {
+                vec![start + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Class(cls) => {
+            if start < n && cls.contains(chars[start]) {
+                vec![start + 1]
+            } else {
+                vec![]
+            }
+        }
+        Ast::Concat(items) => {
+            let mut positions = vec![start];
+            for item in items {
+                let mut next = Vec::new();
+                for p in positions {
+                    next.extend(ends(item, chars, p));
+                }
+                next.sort_unstable();
+                next.dedup();
+                positions = next;
+                if positions.is_empty() {
+                    break;
+                }
+            }
+            positions
+        }
+        Ast::Alternate(branches) => {
+            let mut out = Vec::new();
+            for b in branches {
+                out.extend(ends(b, chars, start));
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        Ast::Group { node, .. } => ends(node, chars, start),
+        Ast::Repeat { node, min, max, .. } => {
+            // One application of the body to a set of positions. A body
+            // that matches the empty string at position p yields p itself
+            // from `ends`, so "staying" is covered without a special case.
+            let step = |current: &[usize]| -> Vec<usize> {
+                let mut next = Vec::new();
+                for &p in current {
+                    next.extend(ends(node, chars, p));
+                }
+                next.sort_unstable();
+                next.dedup();
+                next
+            };
+            // Exact positions after exactly `min` applications.
+            let mut current = vec![start];
+            for _ in 0..*min {
+                current = step(&current);
+                if current.is_empty() {
+                    return vec![];
+                }
+            }
+            let mut out = current.clone();
+            match max {
+                Some(m) => {
+                    for _ in *min..*m {
+                        current = step(&current);
+                        out.extend(current.iter().copied());
+                        out.sort_unstable();
+                        out.dedup();
+                        if current.is_empty() {
+                            break;
+                        }
+                    }
+                }
+                None => {
+                    // Transitive closure: keep stepping until no new
+                    // positions appear (positions ⊆ 0..=n, so this
+                    // terminates).
+                    loop {
+                        let next = step(&current);
+                        let fresh: Vec<usize> = next
+                            .iter()
+                            .copied()
+                            .filter(|p| !out.contains(p))
+                            .collect();
+                        if fresh.is_empty() {
+                            break;
+                        }
+                        out.extend(fresh.iter().copied());
+                        out.sort_unstable();
+                        current = fresh;
+                    }
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        Ast::StartAnchor => {
+            if start == 0 {
+                vec![start]
+            } else {
+                vec![]
+            }
+        }
+        Ast::EndAnchor => {
+            if start == n {
+                vec![start]
+            } else {
+                vec![]
+            }
+        }
+        Ast::WordBoundary(positive) => {
+            let before = (start > 0) && is_word_char(chars[start - 1]);
+            let after = (start < n) && is_word_char(chars[start]);
+            if (before != after) == *positive {
+                vec![start]
+            } else {
+                vec![]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn bt(pat: &str, text: &str) -> bool {
+        backtrack_is_match(&parse(pat).unwrap(), text)
+    }
+
+    #[test]
+    fn oracle_basics() {
+        assert!(bt("abc", "xabcy"));
+        assert!(!bt("abc", "ab"));
+        assert!(bt("a*b", "b"));
+        assert!(bt("(ab)+", "abab"));
+        assert!(!bt("(ab){3}", "abab"));
+        assert!(bt("^a.c$", "abc"));
+        assert!(bt(r"\bword\b", "a word here"));
+    }
+
+    #[test]
+    fn oracle_handles_nullable_star() {
+        assert!(bt("(a*)*", ""));
+        assert!(bt("(a*)*b", "b"));
+        assert!(!bt("(a*)*b", "c"));
+    }
+
+    #[test]
+    fn oracle_min_reps_with_nullable_body() {
+        // `(a?){3}` must match "" — body is nullable.
+        assert!(bt("(a?){3}", ""));
+        assert!(bt("(a?){3}", "aa"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Semantic debugging queries (paper §2.1, feature 2.2).
+//!
+//! "In the IDE we provide an intuitive GUI where users can point and click
+//! to quickly narrow down to the record pairs where each LF may be making
+//! mistakes." Each click corresponds to one [`DebugQuery`] evaluated
+//! against the label matrix and the model posteriors.
+
+use serde::{Deserialize, Serialize};
+
+/// Which slice of pairs to show for an LF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DebugQuery {
+    /// Pairs the LF labels +1 but the model labels −1 — the paper's
+    /// example: clicking the estimated FPR of `name_overlap`.
+    LikelyFalsePositives,
+    /// Pairs the LF labels −1 but the model labels +1.
+    LikelyFalseNegatives,
+    /// Pairs where the LF votes and at least one other LF votes the other
+    /// way.
+    Conflicts,
+    /// Pairs the LF voted +1 on (clicking the "#matches" cell).
+    VotedMatch,
+    /// Pairs the LF voted −1 on.
+    VotedNonMatch,
+    /// Pairs the LF abstained on.
+    Abstained,
+}
+
+/// Evaluate a query: returns candidate indices, most-confident first
+/// (by |γ − 0.5|) so the clearest disagreements surface at the top.
+pub fn run_query(
+    query: DebugQuery,
+    lf_column: &[i8],
+    all_columns: &[&[i8]],
+    posteriors: &[f64],
+) -> Vec<usize> {
+    let model_match = |i: usize| posteriors[i] >= 0.5;
+    let mut out: Vec<usize> = (0..lf_column.len())
+        .filter(|&i| match query {
+            DebugQuery::LikelyFalsePositives => lf_column[i] > 0 && !model_match(i),
+            DebugQuery::LikelyFalseNegatives => lf_column[i] < 0 && model_match(i),
+            DebugQuery::Conflicts => {
+                lf_column[i] != 0
+                    && all_columns
+                        .iter()
+                        .any(|c| c[i] != 0 && c[i] != lf_column[i])
+            }
+            DebugQuery::VotedMatch => lf_column[i] > 0,
+            DebugQuery::VotedNonMatch => lf_column[i] < 0,
+            DebugQuery::Abstained => lf_column[i] == 0,
+        })
+        .collect();
+    out.sort_by(|&a, &b| {
+        let ca = (posteriors[a] - 0.5).abs();
+        let cb = (posteriors[b] - 0.5).abs();
+        cb.total_cmp(&ca)
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn false_positive_query() {
+        let lf = [1i8, 1, -1, 0];
+        let gamma = [0.9, 0.1, 0.05, 0.7];
+        let idx = run_query(DebugQuery::LikelyFalsePositives, &lf, &[&lf], &gamma);
+        assert_eq!(idx, vec![1]); // voted +1, model says 0.1
+    }
+
+    #[test]
+    fn false_negative_query() {
+        let lf = [-1i8, -1, 1, 0];
+        let gamma = [0.9, 0.2, 0.95, 0.7];
+        let idx = run_query(DebugQuery::LikelyFalseNegatives, &lf, &[&lf], &gamma);
+        assert_eq!(idx, vec![0]);
+    }
+
+    #[test]
+    fn conflicts_need_a_disagreeing_lf() {
+        let lf = [1i8, 1, 0];
+        let other = [-1i8, 1, -1];
+        let gamma = [0.5, 0.5, 0.5];
+        let idx = run_query(DebugQuery::Conflicts, &lf, &[&lf, &other], &gamma);
+        assert_eq!(idx, vec![0]);
+    }
+
+    #[test]
+    fn results_sorted_by_model_confidence() {
+        let lf = [1i8, 1, 1];
+        let gamma = [0.4, 0.05, 0.2];
+        let idx = run_query(DebugQuery::LikelyFalsePositives, &lf, &[&lf], &gamma);
+        assert_eq!(idx, vec![1, 2, 0]); // 0.05 is the most confident miss
+    }
+
+    #[test]
+    fn vote_slices() {
+        let lf = [1i8, -1, 0, 1];
+        let gamma = [0.5; 4];
+        assert_eq!(run_query(DebugQuery::VotedMatch, &lf, &[&lf], &gamma).len(), 2);
+        assert_eq!(run_query(DebugQuery::VotedNonMatch, &lf, &[&lf], &gamma), vec![1]);
+        assert_eq!(run_query(DebugQuery::Abstained, &lf, &[&lf], &gamma), vec![2]);
+    }
+}

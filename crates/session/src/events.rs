@@ -1,0 +1,72 @@
+//! The session event log.
+//!
+//! Every state-changing interaction is recorded (ordinal, not wall-clock,
+//! so sessions replay deterministically). Front-ends use the log to
+//! refresh panels; tests use it to assert workflows.
+
+use serde::{Deserialize, Serialize};
+
+/// One state-changing session event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// Dataset loaded: `(left rows, right rows, candidate pairs)`.
+    Loaded { left: usize, right: usize, candidates: usize },
+    /// Auto-LF discovery finished with this many LFs.
+    AutoLfsDiscovered { count: usize },
+    /// An LF was added or replaced.
+    LfUpserted { name: String },
+    /// An LF was removed.
+    LfRemoved { name: String },
+    /// `labeler.apply()` ran: `(applied, reused, failed)` LF counts.
+    Applied { applied: usize, reused: usize, failed: usize },
+    /// The labeling model was (re-)fit; `matches_found` at γ ≥ 0.5.
+    ModelFit { model: String, matches_found: usize },
+    /// The smart sampler surfaced `count` pairs.
+    Sampled { count: usize },
+    /// The user labeled a pair.
+    PairLabeled { candidate_index: usize, is_match: bool },
+    /// Deployment ran over the full candidate set.
+    Deployed { candidates: usize, matches: usize },
+}
+
+/// An append-only event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<SessionEvent>,
+}
+
+impl EventLog {
+    /// Append an event.
+    pub fn push(&mut self, e: SessionEvent) {
+        self.events.push(e);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[SessionEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events have been logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_is_append_only_and_ordered() {
+        let mut log = EventLog::default();
+        log.push(SessionEvent::Loaded { left: 1, right: 2, candidates: 3 });
+        log.push(SessionEvent::LfUpserted { name: "x".into() });
+        assert_eq!(log.len(), 2);
+        assert!(matches!(log.events()[0], SessionEvent::Loaded { .. }));
+    }
+}

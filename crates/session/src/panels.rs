@@ -1,0 +1,91 @@
+//! The serializable panel structs (what the GUI renders).
+
+use panda_lf::LfStatsRow;
+use panda_table::CandidatePair;
+use serde::{Deserialize, Serialize};
+
+/// The **EM Stats Panel**: the task's core statistics (§2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmStats {
+    /// Rows in the left table.
+    pub left_rows: usize,
+    /// Rows in the right table.
+    pub right_rows: usize,
+    /// Candidate pairs after blocking.
+    pub candidate_pairs: usize,
+    /// Registered LFs.
+    pub n_lfs: usize,
+    /// Pairs the current labeling model calls matches (γ ≥ 0.5).
+    pub matches_found: usize,
+    /// Precision estimated from the user's spot labels on sampled
+    /// predicted matches (`None` until labels exist — rendered as "NAN"
+    /// in the paper's screenshot).
+    pub estimated_precision: Option<f64>,
+    /// How many predicted matches the user has spot-labeled.
+    pub n_user_labels: usize,
+}
+
+/// One row of the **Data Viewer Panel**: a candidate pair rendered
+/// side-by-side, with the model's opinion and the smart-sampling
+/// likelihood.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataViewerRow {
+    /// Position in the candidate set (stable handle for labeling).
+    pub candidate_index: usize,
+    /// The pair.
+    pub pair: CandidatePair,
+    /// Column names (union of both schemas, left order first).
+    pub columns: Vec<String>,
+    /// Left tuple's rendered values, aligned with `columns`.
+    pub left_values: Vec<String>,
+    /// Right tuple's rendered values, aligned with `columns`.
+    pub right_values: Vec<String>,
+    /// Current model posterior γ (None before any fit).
+    pub model_gamma: Option<f64>,
+    /// Smart-sampling likelihood (embedding cosine), when the row came
+    /// from the sampler.
+    pub likelihood: Option<f64>,
+    /// The user's label, if they provided one (the "M/U" column).
+    pub user_label: Option<bool>,
+    /// Ground truth when the task has gold (benchmarks; hidden in a real
+    /// deployment).
+    pub gold: Option<bool>,
+}
+
+/// A full serializable snapshot of the session's visible state — the
+/// payload a web front-end would poll.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// EM Stats Panel.
+    pub em: EmStats,
+    /// LF Stats Panel rows.
+    pub lfs: Vec<LfStatsRow>,
+    /// Number of events so far (monotone counter — front-ends diff this).
+    pub n_events: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes() {
+        let snap = SessionSnapshot {
+            em: EmStats {
+                left_rows: 10,
+                right_rows: 12,
+                candidate_pairs: 30,
+                n_lfs: 2,
+                matches_found: 5,
+                estimated_precision: None,
+                n_user_labels: 0,
+            },
+            lfs: vec![],
+            n_events: 3,
+        };
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"estimated_precision\":null"));
+        let back: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.em, snap.em);
+    }
+}

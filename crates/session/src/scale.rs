@@ -1,0 +1,129 @@
+//! Scaling to large inputs (paper §4, future work): "handle large tables
+//! with millions of records, e.g., by down-sampling input data for LF
+//! development, which can then be applied to the entire dataset in a
+//! scale-out manner".
+//!
+//! [`downsample_task`] draws a deterministic row sample of both tables for
+//! the *development* phase; the resulting [`crate::PandaSession`]'s LFs
+//! are rules, so [`crate::PandaSession::deploy`] then applies them to the
+//! full tables. Gold pairs are remapped onto the sampled row ids so
+//! benchmark metrics keep working on the sample.
+
+use panda_table::{MatchSet, RecordId, Table, TablePair};
+use std::collections::HashMap;
+
+/// Deterministic sample of `k` distinct indices from `0..n` (splitmix
+/// partial Fisher-Yates; no `rand` dependency in the session crate).
+fn sample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..n).collect();
+    let mut state = seed ^ 0x5bf0_3635;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut x = state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^ (x >> 31)
+    };
+    let k = k.min(n);
+    for i in 0..k {
+        let j = i + (next() as usize) % (n - i);
+        all.swap(i, j);
+    }
+    all.truncate(k);
+    all.sort_unstable(); // stable row order in the sampled table
+    all
+}
+
+fn take_rows(table: &Table, keep: &[usize]) -> (Table, HashMap<u32, u32>) {
+    let mut out = Table::new(table.name(), table.schema().clone());
+    let mut remap = HashMap::with_capacity(keep.len());
+    for &row in keep {
+        let rec = table
+            .record(RecordId(row as u32))
+            .expect("sampled index in range");
+        let new_id = out
+            .push_row(rec.values().to_vec())
+            .expect("same schema");
+        remap.insert(row as u32, new_id.0);
+    }
+    (out, remap)
+}
+
+/// Down-sample a task for LF development: keep at most `max_left` /
+/// `max_right` rows of each table (deterministic given `seed`), remapping
+/// the gold set onto surviving pairs.
+pub fn downsample_task(
+    tables: &TablePair,
+    max_left: usize,
+    max_right: usize,
+    seed: u64,
+) -> TablePair {
+    let keep_l = sample_indices(tables.left.len(), max_left, seed);
+    let keep_r = sample_indices(tables.right.len(), max_right, seed.wrapping_add(1));
+    let (left, lmap) = take_rows(&tables.left, &keep_l);
+    let (right, rmap) = take_rows(&tables.right, &keep_r);
+    let gold = tables.gold.as_ref().map(|g| {
+        let mut out = MatchSet::new();
+        for p in g.iter() {
+            if let (Some(&l), Some(&r)) = (lmap.get(&p.left.0), rmap.get(&p.right.0)) {
+                out.insert(RecordId(l), RecordId(r));
+            }
+        }
+        out
+    });
+    TablePair { left, right, gold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_table::Schema;
+
+    fn task(n: usize) -> TablePair {
+        let schema = Schema::of_text(&["name"]);
+        let mut l = Table::new("l", schema.clone());
+        let mut r = Table::new("r", schema);
+        let mut gold = MatchSet::new();
+        for i in 0..n {
+            l.push(vec![format!("row {i}")]).unwrap();
+            r.push(vec![format!("row {i}")]).unwrap();
+            gold.insert(RecordId(i as u32), RecordId(i as u32));
+        }
+        TablePair::with_gold(l, r, gold)
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sized() {
+        let t = task(100);
+        let a = downsample_task(&t, 30, 20, 7);
+        let b = downsample_task(&t, 30, 20, 7);
+        assert_eq!(a.left.len(), 30);
+        assert_eq!(a.right.len(), 20);
+        assert_eq!(a.left.to_csv_string(), b.left.to_csv_string());
+        let c = downsample_task(&t, 30, 20, 8);
+        assert_ne!(a.left.to_csv_string(), c.left.to_csv_string());
+    }
+
+    #[test]
+    fn gold_is_remapped_correctly() {
+        let t = task(50);
+        let s = downsample_task(&t, 25, 25, 3);
+        let gold = s.gold.as_ref().unwrap();
+        // Every surviving gold pair must point at rows with equal content
+        // (our synthetic matches are identical rows).
+        assert!(!gold.is_empty(), "some matches survive a 50% sample");
+        for p in gold.iter() {
+            let l = s.left.record(p.left).unwrap().text("name");
+            let r = s.right.record(p.right).unwrap().text("name");
+            assert_eq!(l, r, "remapped gold pair must still be a true match");
+        }
+    }
+
+    #[test]
+    fn oversized_request_keeps_everything() {
+        let t = task(10);
+        let s = downsample_task(&t, 100, 100, 1);
+        assert_eq!(s.left.len(), 10);
+        assert_eq!(s.gold.as_ref().unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,653 @@
+//! The session object: state machine of the development & deployment
+//! phases.
+
+use crate::debug::{run_query, DebugQuery};
+use crate::events::{EventLog, SessionEvent};
+use crate::panels::{DataViewerRow, EmStats, SessionSnapshot};
+use crate::sampling;
+use panda_autolf::{generate_auto_lfs, AutoLfConfig};
+use panda_embed::{cosine, Blocker, EmbeddingLshBlocker};
+use panda_eval::metrics::{metrics_at_half, Metrics};
+use panda_lf::{lf_stats, ApplyReport, BoxedLf, LabelMatrix, LfRegistry, LfStatsRow};
+use panda_model::{LabelModel, MajorityVote, PandaModel, SnorkelModel, TransitivityMode};
+use panda_table::{CandidateSet, MatchSet, TablePair};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which labeling model the session runs after each apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// Majority vote.
+    Majority,
+    /// The Snorkel-style generic generative model.
+    Snorkel,
+    /// Panda's class-conditional model.
+    Panda,
+    /// Panda's model + ZeroER transitivity.
+    PandaTransitive(TransitivityMode),
+}
+
+impl ModelChoice {
+    fn build(&self) -> Box<dyn LabelModel> {
+        match self {
+            ModelChoice::Majority => Box::new(MajorityVote::default()),
+            ModelChoice::Snorkel => Box::new(SnorkelModel::new()),
+            ModelChoice::Panda => Box::new(PandaModel::new()),
+            ModelChoice::PandaTransitive(mode) => {
+                Box::new(PandaModel::new().with_transitivity(*mode))
+            }
+        }
+    }
+}
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Master seed (blocking LSH, sampling).
+    pub seed: u64,
+    /// Run auto-LF discovery at load (Step 1).
+    pub auto_lfs: bool,
+    /// Auto-LF generator knobs.
+    pub auto_lf_config: AutoLfConfig,
+    /// Labeling model.
+    pub model: ModelChoice,
+    /// Cosine floor for blocking.
+    pub blocking_min_cosine: f32,
+    /// Per-record candidate cap for blocking.
+    pub blocking_max_per_record: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            seed: 0,
+            auto_lfs: true,
+            auto_lf_config: AutoLfConfig::default(),
+            model: ModelChoice::Panda,
+            blocking_min_cosine: 0.25,
+            blocking_max_per_record: Some(32),
+        }
+    }
+}
+
+/// The outcome of the deployment phase.
+#[derive(Debug, Clone)]
+pub struct DeploymentResult {
+    /// Candidate pairs on the deployment tables.
+    pub candidates: CandidateSet,
+    /// Final posteriors aligned with `candidates`.
+    pub posteriors: Vec<f64>,
+    /// Pairs predicted as matches (γ ≥ 0.5).
+    pub predicted: MatchSet,
+    /// Quality against gold, when the deployment tables carry it.
+    pub metrics: Option<Metrics>,
+    /// Table sizes (left, right) — needed to turn pairs into clusters.
+    pub table_sizes: (usize, usize),
+}
+
+impl DeploymentResult {
+    /// Resolve the predicted matches into entity clusters (connected
+    /// components of the match graph) — the catalog view of the result.
+    pub fn entity_clusters(&self) -> Vec<panda_eval::clustering::Cluster> {
+        panda_eval::clustering::clusters_from_pairs(
+            &self.predicted,
+            self.table_sizes.0,
+            self.table_sizes.1,
+        )
+    }
+}
+
+/// One Panda development session over one EM task.
+pub struct PandaSession {
+    config: SessionConfig,
+    tables: TablePair,
+    candidates: CandidateSet,
+    /// Embedding cosine per candidate — the sampler's "likelihood".
+    likelihood: Vec<f64>,
+    registry: LfRegistry,
+    matrix: LabelMatrix,
+    posteriors: Vec<f64>,
+    shown: Vec<bool>,
+    user_labels: HashMap<usize, bool>,
+    log: EventLog,
+    sample_counter: u64,
+}
+
+impl PandaSession {
+    /// Step 1: load a dataset — block, discover auto LFs, apply, fit.
+    pub fn load(tables: TablePair, config: SessionConfig) -> Self {
+        let mut blocker = EmbeddingLshBlocker::new(config.seed);
+        blocker.min_cosine = config.blocking_min_cosine;
+        blocker.max_per_record = config.blocking_max_per_record;
+        let candidates = blocker.candidates(&tables);
+
+        // Likelihood = embedding cosine (reusing the blocking embeddings).
+        let (lvecs, rvecs) = blocker.embed_tables(&tables);
+        let likelihood: Vec<f64> = candidates
+            .pairs()
+            .iter()
+            .map(|p| f64::from(cosine(&lvecs[p.left.idx()], &rvecs[p.right.idx()])))
+            .collect();
+
+        let mut session = PandaSession {
+            shown: vec![false; candidates.len()],
+            posteriors: vec![0.0; candidates.len()],
+            likelihood,
+            registry: LfRegistry::new(),
+            matrix: LabelMatrix::new(),
+            user_labels: HashMap::new(),
+            log: EventLog::default(),
+            sample_counter: 0,
+            config,
+            candidates,
+            tables,
+        };
+        session.log.push(SessionEvent::Loaded {
+            left: session.tables.left.len(),
+            right: session.tables.right.len(),
+            candidates: session.candidates.len(),
+        });
+
+        if session.config.auto_lfs {
+            let generated = generate_auto_lfs(
+                &session.tables,
+                &session.candidates,
+                &session.config.auto_lf_config,
+            );
+            session
+                .log
+                .push(SessionEvent::AutoLfsDiscovered { count: generated.len() });
+            for g in generated {
+                session.registry.upsert(Arc::new(g.lf));
+            }
+            session.apply();
+        }
+        session
+    }
+
+    /// Register (or replace) an LF — Step 3. Call [`PandaSession::apply`]
+    /// afterwards, exactly like running `labeler.apply()` in the notebook.
+    pub fn upsert_lf(&mut self, lf: BoxedLf) {
+        self.log.push(SessionEvent::LfUpserted { name: lf.name().to_string() });
+        self.registry.upsert(lf);
+    }
+
+    /// Remove an LF by name.
+    pub fn remove_lf(&mut self, name: &str) -> bool {
+        let removed = self.registry.remove(name);
+        if removed {
+            self.log.push(SessionEvent::LfRemoved { name: name.to_string() });
+        }
+        removed
+    }
+
+    /// `labeler.apply()`: incrementally apply new/modified LFs and refit
+    /// the labeling model.
+    pub fn apply(&mut self) -> ApplyReport {
+        let report = self
+            .matrix
+            .apply(&self.registry, &self.tables, &self.candidates);
+        self.log.push(SessionEvent::Applied {
+            applied: report.applied.len(),
+            reused: report.reused.len(),
+            failed: report.failed.len(),
+        });
+        self.refit();
+        report
+    }
+
+    fn refit(&mut self) {
+        let mut model = self.config.model.build();
+        self.posteriors = model.fit_predict(&self.matrix, Some(&self.candidates));
+        self.log.push(SessionEvent::ModelFit {
+            model: model.name().to_string(),
+            matches_found: self.matches_found(),
+        });
+    }
+
+    fn matches_found(&self) -> usize {
+        self.posteriors.iter().filter(|&&g| g >= 0.5).count()
+    }
+
+    /// The EM Stats Panel.
+    pub fn em_stats(&self) -> EmStats {
+        // Estimated precision from user spot labels on predicted matches.
+        let mut labeled = 0usize;
+        let mut correct = 0usize;
+        for (&idx, &is_match) in &self.user_labels {
+            if self.posteriors[idx] >= 0.5 {
+                labeled += 1;
+                if is_match {
+                    correct += 1;
+                }
+            }
+        }
+        EmStats {
+            left_rows: self.tables.left.len(),
+            right_rows: self.tables.right.len(),
+            candidate_pairs: self.candidates.len(),
+            n_lfs: self.registry.len(),
+            matches_found: self.matches_found(),
+            estimated_precision: (labeled > 0).then(|| correct as f64 / labeled as f64),
+            n_user_labels: self.user_labels.len(),
+        }
+    }
+
+    /// The LF Stats Panel (model-estimated FPR/FNR; true rates included
+    /// when the task carries gold).
+    pub fn lf_stats(&self) -> Vec<LfStatsRow> {
+        let gold = self.gold_vector();
+        lf_stats(&self.matrix, Some(&self.posteriors), gold.as_deref())
+    }
+
+    /// Step 2: the "Show" button — smart-sample up to `k` likely matches
+    /// the current model misses.
+    pub fn smart_sample(&mut self, k: usize) -> Vec<DataViewerRow> {
+        let picked = sampling::smart_sample(&self.likelihood, &self.posteriors, &self.shown, k);
+        for &i in &picked {
+            self.shown[i] = true;
+        }
+        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        picked.into_iter().map(|i| self.viewer_row(i)).collect()
+    }
+
+    /// Uncertainty sampling: up to `k` unseen pairs the model is least
+    /// sure about (γ nearest 0.5) — boundary cases worth a spot label.
+    pub fn uncertainty_sample(&mut self, k: usize) -> Vec<DataViewerRow> {
+        let picked = sampling::uncertainty_sample(&self.posteriors, &self.shown, k);
+        for &i in &picked {
+            self.shown[i] = true;
+        }
+        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        picked.into_iter().map(|i| self.viewer_row(i)).collect()
+    }
+
+    /// Disagreement sampling: up to `k` unseen pairs where LFs conflict —
+    /// the Step-4 debugging material.
+    pub fn disagreement_sample(&mut self, k: usize) -> Vec<DataViewerRow> {
+        let cols: Vec<&[i8]> = self.matrix.columns().map(|(_, c)| c).collect();
+        let picked = sampling::disagreement_sample(&cols, &self.shown, k);
+        for &i in &picked {
+            self.shown[i] = true;
+        }
+        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        picked.into_iter().map(|i| self.viewer_row(i)).collect()
+    }
+
+    /// Baseline sampler for experiment E5 (random pairs, no smartness).
+    pub fn random_sample(&mut self, k: usize) -> Vec<DataViewerRow> {
+        self.sample_counter += 1;
+        let picked = sampling::random_sample(
+            self.candidates.len(),
+            &self.shown,
+            k,
+            self.config.seed ^ self.sample_counter,
+        );
+        for &i in &picked {
+            self.shown[i] = true;
+        }
+        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        picked.into_iter().map(|i| self.viewer_row(i)).collect()
+    }
+
+    /// Step 4: click a stats cell — show the pairs behind it.
+    pub fn debug_pairs(
+        &self,
+        lf_name: &str,
+        query: DebugQuery,
+        limit: usize,
+    ) -> Vec<DataViewerRow> {
+        let Some(col) = self.matrix.column(lf_name) else {
+            return Vec::new();
+        };
+        let all: Vec<&[i8]> = self.matrix.columns().map(|(_, c)| c).collect();
+        run_query(query, col, &all, &self.posteriors)
+            .into_iter()
+            .take(limit)
+            .map(|i| self.viewer_row(i))
+            .collect()
+    }
+
+    /// Step 5: a random sample of predicted matches for the user to
+    /// spot-label (clicking "Estimated Precision").
+    pub fn sample_predicted_matches(&mut self, k: usize) -> Vec<DataViewerRow> {
+        self.sample_counter += 1;
+        let predicted: Vec<usize> = (0..self.candidates.len())
+            .filter(|&i| self.posteriors[i] >= 0.5 && !self.user_labels.contains_key(&i))
+            .collect();
+        let mask = vec![false; predicted.len()];
+        let picked = sampling::random_sample(
+            predicted.len(),
+            &mask,
+            k,
+            self.config.seed ^ (0xabcd << 16) ^ self.sample_counter,
+        );
+        picked
+            .into_iter()
+            .map(|j| self.viewer_row(predicted[j]))
+            .collect()
+    }
+
+    /// The user left/right-clicks the "M/U" cell of a viewer row.
+    pub fn label_pair(&mut self, candidate_index: usize, is_match: bool) {
+        assert!(candidate_index < self.candidates.len(), "index in range");
+        self.user_labels.insert(candidate_index, is_match);
+        self.log.push(SessionEvent::PairLabeled { candidate_index, is_match });
+    }
+
+    /// Deployment phase: run the final LF set + model over (possibly
+    /// larger) tables and return the predicted match set.
+    pub fn deploy(&self, full_tables: &TablePair) -> DeploymentResult {
+        let mut blocker = EmbeddingLshBlocker::new(self.config.seed);
+        blocker.min_cosine = self.config.blocking_min_cosine;
+        blocker.max_per_record = self.config.blocking_max_per_record;
+        let candidates = blocker.candidates(full_tables);
+        let mut matrix = LabelMatrix::new();
+        matrix.apply(&self.registry, full_tables, &candidates);
+        let mut model = self.config.model.build();
+        let posteriors = model.fit_predict(&matrix, Some(&candidates));
+        let mut predicted = MatchSet::new();
+        for (i, pair) in candidates.iter() {
+            if posteriors[i] >= 0.5 {
+                predicted.insert(pair.left, pair.right);
+            }
+        }
+        let metrics = full_tables.gold.as_ref().map(|gold| {
+            let gv: Vec<bool> = candidates.pairs().iter().map(|p| gold.contains(p)).collect();
+            metrics_at_half(&posteriors, &gv)
+        });
+        DeploymentResult {
+            candidates,
+            posteriors,
+            predicted,
+            metrics,
+            table_sizes: (full_tables.left.len(), full_tables.right.len()),
+        }
+    }
+
+    /// A serializable snapshot of the visible state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            em: self.em_stats(),
+            lfs: self.lf_stats(),
+            n_events: self.log.len(),
+        }
+    }
+
+    /// Quality of the current posteriors against gold (benchmarks only).
+    pub fn current_metrics(&self) -> Option<Metrics> {
+        self.gold_vector()
+            .map(|gv| metrics_at_half(&self.posteriors, &gv))
+    }
+
+    /// Build one Data Viewer row.
+    pub fn viewer_row(&self, candidate_index: usize) -> DataViewerRow {
+        let pair = self
+            .candidates
+            .get(candidate_index)
+            .expect("candidate index in range");
+        let p = self.tables.pair_ref(pair).expect("pair resolvable");
+        // Columns: left schema order, then right-only columns.
+        let mut columns: Vec<String> =
+            self.tables.left.schema().names().map(str::to_string).collect();
+        for name in self.tables.right.schema().names() {
+            if !self.tables.left.schema().contains(name) {
+                columns.push(name.to_string());
+            }
+        }
+        let left_values = columns.iter().map(|c| p.left.text(c)).collect();
+        let right_values = columns.iter().map(|c| p.right.text(c)).collect();
+        DataViewerRow {
+            candidate_index,
+            pair,
+            columns,
+            left_values,
+            right_values,
+            model_gamma: Some(self.posteriors[candidate_index]),
+            likelihood: Some(self.likelihood[candidate_index]),
+            user_label: self.user_labels.get(&candidate_index).copied(),
+            gold: self.tables.is_gold_match(pair),
+        }
+    }
+
+    /// The gold vector aligned with the candidate set, when present.
+    pub fn gold_vector(&self) -> Option<Vec<bool>> {
+        self.tables.gold.as_ref().map(|gold| {
+            self.candidates
+                .pairs()
+                .iter()
+                .map(|p| gold.contains(p))
+                .collect()
+        })
+    }
+
+    // --- accessors used by experiments and front-ends ---
+
+    /// The candidate set.
+    pub fn candidates(&self) -> &CandidateSet {
+        &self.candidates
+    }
+
+    /// Current posteriors.
+    pub fn posteriors(&self) -> &[f64] {
+        &self.posteriors
+    }
+
+    /// The LF registry.
+    pub fn registry(&self) -> &LfRegistry {
+        &self.registry
+    }
+
+    /// The underlying tables.
+    pub fn tables(&self) -> &TablePair {
+        &self.tables
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[SessionEvent] {
+        self.log.events()
+    }
+
+    /// The label matrix (read-only).
+    pub fn matrix(&self) -> &LabelMatrix {
+        &self.matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+    use panda_lf::SimilarityLf;
+    use panda_text::SimilarityConfig;
+
+    fn small_task() -> TablePair {
+        generate(
+            DatasetFamily::FodorsZagats,
+            &GeneratorConfig::new(5).with_entities(80),
+        )
+    }
+
+    fn no_auto() -> SessionConfig {
+        SessionConfig { auto_lfs: false, ..SessionConfig::default() }
+    }
+
+    #[test]
+    fn load_without_auto_lfs_has_empty_registry() {
+        let s = PandaSession::load(small_task(), no_auto());
+        assert_eq!(s.registry().len(), 0);
+        assert!(matches!(s.events()[0], SessionEvent::Loaded { .. }));
+        let em = s.em_stats();
+        assert!(em.candidate_pairs > 0);
+        assert_eq!(em.n_lfs, 0);
+        assert_eq!(em.estimated_precision, None);
+    }
+
+    #[test]
+    fn load_with_auto_lfs_discovers_and_fits() {
+        let s = PandaSession::load(small_task(), SessionConfig::default());
+        assert!(s.registry().len() > 0, "auto LFs discovered");
+        let em = s.em_stats();
+        assert!(em.matches_found > 0, "model finds matches from auto LFs");
+        let m = s.current_metrics().unwrap();
+        assert!(m.f1 > 0.4, "auto LFs give a sane starting point: {m:?}");
+    }
+
+    #[test]
+    fn manual_lf_and_incremental_apply() {
+        let mut s = PandaSession::load(small_task(), no_auto());
+        s.upsert_lf(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )));
+        let r1 = s.apply();
+        assert_eq!(r1.applied, vec!["name_overlap"]);
+        s.upsert_lf(Arc::new(SimilarityLf::new(
+            "addr_overlap",
+            "addr",
+            SimilarityConfig::default_jaccard(),
+            0.7,
+            0.05,
+        )));
+        let r2 = s.apply();
+        assert_eq!(r2.applied, vec!["addr_overlap"]);
+        assert_eq!(r2.reused, vec!["name_overlap"]);
+        assert_eq!(s.lf_stats().len(), 2);
+    }
+
+    #[test]
+    fn smart_sampling_marks_shown_and_excludes_found() {
+        let mut s = PandaSession::load(small_task(), SessionConfig::default());
+        let batch1 = s.smart_sample(10);
+        assert!(!batch1.is_empty());
+        for row in &batch1 {
+            assert!(row.model_gamma.unwrap() < 0.5, "sampler excludes found matches");
+            assert!(row.likelihood.is_some());
+        }
+        let idx1: Vec<usize> = batch1.iter().map(|r| r.candidate_index).collect();
+        let batch2 = s.smart_sample(10);
+        for row in &batch2 {
+            assert!(!idx1.contains(&row.candidate_index), "no repeats across clicks");
+        }
+    }
+
+    #[test]
+    fn debug_pairs_matches_panel_semantics() {
+        // Start from the auto-LF set (it anchors the labeling model),
+        // then add an intentionally sloppy LF voting +1 on everything. A
+        // constant LF as one of only two columns would poison the
+        // majority-vote EM init — with real LFs present the model simply
+        // learns it is uninformative.
+        let mut s = PandaSession::load(small_task(), SessionConfig::default());
+        s.upsert_lf(Arc::new(panda_lf::ClosureLf::new("always_match", |_| {
+            panda_lf::Label::Match
+        })));
+        s.upsert_lf(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )));
+        s.apply();
+        // Sanity: the model does NOT follow the sloppy LF everywhere.
+        assert!(s.em_stats().matches_found < s.candidates().len());
+        let fps = s.debug_pairs("always_match", DebugQuery::LikelyFalsePositives, 20);
+        // always_match votes +1 on non-matching pairs too; the model
+        // (driven by name_overlap) disagrees there.
+        assert!(!fps.is_empty(), "sloppy LF has likely false positives");
+        let col = s.matrix().column("always_match").unwrap();
+        for row in &fps {
+            assert_eq!(col[row.candidate_index], 1);
+            assert!(row.model_gamma.unwrap() < 0.5);
+        }
+    }
+
+    #[test]
+    fn uncertainty_and_disagreement_samplers() {
+        let mut s = PandaSession::load(small_task(), SessionConfig::default());
+        s.upsert_lf(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )));
+        s.apply();
+        let unc = s.uncertainty_sample(5);
+        for w in unc.windows(2) {
+            let a = (w[0].model_gamma.unwrap() - 0.5).abs();
+            let b = (w[1].model_gamma.unwrap() - 0.5).abs();
+            assert!(a <= b + 1e-12, "sorted by uncertainty");
+        }
+        let dis = s.disagreement_sample(5);
+        let cols: Vec<&[i8]> = s.matrix().columns().map(|(_, c)| c).collect();
+        for row in &dis {
+            let i = row.candidate_index;
+            assert!(cols.iter().any(|c| c[i] > 0) && cols.iter().any(|c| c[i] < 0));
+        }
+    }
+
+    #[test]
+    fn precision_estimation_from_spot_labels() {
+        let mut s = PandaSession::load(small_task(), SessionConfig::default());
+        let sample = s.sample_predicted_matches(10);
+        assert!(!sample.is_empty());
+        // The user labels each sampled pair with its gold truth.
+        for row in &sample {
+            s.label_pair(row.candidate_index, row.gold.unwrap());
+        }
+        let em = s.em_stats();
+        assert_eq!(em.n_user_labels, sample.len());
+        let est = em.estimated_precision.unwrap();
+        assert!((0.0..=1.0).contains(&est));
+        // With gold-truth labels the estimate equals the sample precision.
+        let true_frac = sample.iter().filter(|r| r.gold.unwrap()).count() as f64
+            / sample.len() as f64;
+        assert!((est - true_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deployment_runs_final_lfs_on_bigger_tables() {
+        let s = PandaSession::load(small_task(), SessionConfig::default());
+        let bigger = generate(
+            DatasetFamily::FodorsZagats,
+            &GeneratorConfig::new(6).with_entities(150),
+        );
+        let result = s.deploy(&bigger);
+        assert!(result.candidates.len() > 0);
+        assert_eq!(result.posteriors.len(), result.candidates.len());
+        let m = result.metrics.unwrap();
+        assert!(m.f1 > 0.3, "deployed LFs transfer: {m:?}");
+        assert_eq!(
+            result.predicted.len(),
+            result.posteriors.iter().filter(|&&g| g >= 0.5).count()
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = PandaSession::load(small_task(), SessionConfig::default());
+        let snap = s.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: crate::panels::SessionSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.em, snap.em);
+        assert_eq!(back.lfs.len(), snap.lfs.len());
+    }
+
+    #[test]
+    fn failing_lf_is_quarantined_not_fatal() {
+        let mut s = PandaSession::load(small_task(), no_auto());
+        s.upsert_lf(Arc::new(panda_lf::ClosureLf::new("buggy", |_| {
+            panic!("user bug")
+        })));
+        let report = s.apply();
+        assert_eq!(report.failed.len(), 1);
+        // The session is still usable.
+        let _ = s.em_stats();
+        let _ = s.smart_sample(3);
+    }
+}

@@ -1,0 +1,67 @@
+//! Relational table substrate for the Panda entity-matching system.
+//!
+//! Entity matching operates over *two* relations (a "left" and a "right"
+//! table) plus a set of candidate tuple pairs produced by blocking. This
+//! crate provides the data model everything else builds on:
+//!
+//! * [`Value`] — a dynamically typed cell value (null / text / int / float),
+//! * [`Schema`] / [`Field`] — named, typed columns,
+//! * [`Table`] — a row-oriented relation with O(1) column lookup,
+//! * [`csv`] — a from-scratch RFC-4180 CSV reader/writer (no external deps),
+//! * [`TablePair`] / [`MatchSet`] — the two input relations of an EM task
+//!   together with optional ground truth,
+//! * [`PairRef`] — a borrowed view of one candidate tuple pair, the value
+//!   labeling functions receive.
+//!
+//! The design favours simplicity and cache-friendly row storage over
+//! columnar cleverness: EM candidate sets are small relative to analytic
+//! workloads (typically 10⁴–10⁷ pairs), and labeling functions access whole
+//! tuples, not single columns.
+
+pub mod csv;
+pub mod pair;
+pub mod record;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use pair::{CandidatePair, CandidateSet, MatchSet, PairRef, Side, TablePair};
+pub use record::{Record, RecordId};
+pub use schema::{DataType, Field, Schema};
+pub use table::Table;
+pub use value::Value;
+
+use std::fmt;
+
+/// Errors produced by the table substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A column name was not found in the schema.
+    ColumnNotFound(String),
+    /// A row had a different arity than the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// CSV input was malformed.
+    Csv { line: usize, msg: String },
+    /// A record id was out of bounds for the table.
+    RowOutOfBounds { row: usize, len: usize },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            TableError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+            }
+            TableError::Csv { line, msg } => write!(f, "CSV error at line {line}: {msg}"),
+            TableError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for table of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TableError>;

@@ -1,0 +1,275 @@
+//! Table pairs, candidate pairs, and ground-truth match sets.
+
+use crate::{Record, RecordId, Result, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Which input table a record belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The left table (conventionally the duplicate-free reference table —
+    /// the property Auto-FuzzyJoin exploits).
+    Left,
+    /// The right table.
+    Right,
+}
+
+/// One candidate tuple pair: a row of the left table and a row of the right
+/// table that blocking deemed worth comparing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CandidatePair {
+    /// Row in the left table.
+    pub left: RecordId,
+    /// Row in the right table.
+    pub right: RecordId,
+}
+
+impl CandidatePair {
+    /// Construct from raw indices.
+    pub fn new(left: u32, right: u32) -> Self {
+        CandidatePair { left: RecordId(left), right: RecordId(right) }
+    }
+}
+
+/// The set of ground-truth matching pairs of an EM task.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MatchSet {
+    pairs: HashSet<CandidatePair>,
+}
+
+impl MatchSet {
+    /// An empty match set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `(left, right)` as a true match.
+    pub fn insert(&mut self, left: RecordId, right: RecordId) -> bool {
+        self.pairs.insert(CandidatePair { left, right })
+    }
+
+    /// Is this pair a true match?
+    pub fn contains(&self, pair: &CandidatePair) -> bool {
+        self.pairs.contains(pair)
+    }
+
+    /// Number of true matches.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no matches.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterate over all true matches.
+    pub fn iter(&self) -> impl Iterator<Item = &CandidatePair> {
+        self.pairs.iter()
+    }
+}
+
+impl FromIterator<CandidatePair> for MatchSet {
+    fn from_iter<T: IntoIterator<Item = CandidatePair>>(iter: T) -> Self {
+        MatchSet { pairs: iter.into_iter().collect() }
+    }
+}
+
+/// An ordered list of candidate pairs (the output of blocking; the unit of
+/// work for LF application). Order is stable so that label matrices index
+/// by position.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CandidateSet {
+    pairs: Vec<CandidatePair>,
+}
+
+impl CandidateSet {
+    /// An empty candidate set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pairs, deduplicating while preserving first-seen order.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = CandidatePair>) -> Self {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for p in pairs {
+            if seen.insert(p) {
+                out.push(p);
+            }
+        }
+        CandidateSet { pairs: out }
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pair at position `i`.
+    pub fn get(&self, i: usize) -> Option<CandidatePair> {
+        self.pairs.get(i).copied()
+    }
+
+    /// All pairs in order.
+    pub fn pairs(&self) -> &[CandidatePair] {
+        &self.pairs
+    }
+
+    /// Iterate over `(position, pair)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, CandidatePair)> + '_ {
+        self.pairs.iter().copied().enumerate()
+    }
+
+    /// Append a pair (no dedup — callers that need dedup should use
+    /// [`CandidateSet::from_pairs`]).
+    pub fn push(&mut self, pair: CandidatePair) {
+        self.pairs.push(pair);
+    }
+}
+
+/// The two input relations of an EM task, with optional ground truth.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TablePair {
+    /// Left input table.
+    pub left: Table,
+    /// Right input table.
+    pub right: Table,
+    /// Ground-truth matches, when known (benchmark datasets).
+    pub gold: Option<MatchSet>,
+}
+
+impl TablePair {
+    /// Bundle two tables without ground truth.
+    pub fn new(left: Table, right: Table) -> Self {
+        TablePair { left, right, gold: None }
+    }
+
+    /// Bundle two tables with ground truth.
+    pub fn with_gold(left: Table, right: Table, gold: MatchSet) -> Self {
+        TablePair { left, right, gold: Some(gold) }
+    }
+
+    /// Borrow one candidate pair as a [`PairRef`] (what LFs receive).
+    pub fn pair_ref(&self, pair: CandidatePair) -> Result<PairRef<'_>> {
+        Ok(PairRef {
+            left: self.left.record(pair.left)?,
+            right: self.right.record(pair.right)?,
+            pair,
+        })
+    }
+
+    /// Is `pair` a gold match? `None` when no ground truth is attached.
+    pub fn is_gold_match(&self, pair: CandidatePair) -> Option<bool> {
+        self.gold.as_ref().map(|g| g.contains(&pair))
+    }
+
+    /// The full cross product as a candidate set — only sensible for small
+    /// inputs and for measuring blocking recall.
+    pub fn cross_product(&self) -> CandidateSet {
+        let mut pairs = Vec::with_capacity(self.left.len() * self.right.len());
+        for l in 0..self.left.len() as u32 {
+            for r in 0..self.right.len() as u32 {
+                pairs.push(CandidatePair::new(l, r));
+            }
+        }
+        CandidateSet { pairs }
+    }
+}
+
+/// A borrowed view of one candidate tuple pair — the argument every
+/// labeling function receives.
+#[derive(Debug, Clone, Copy)]
+pub struct PairRef<'a> {
+    /// The left record.
+    pub left: Record<'a>,
+    /// The right record.
+    pub right: Record<'a>,
+    /// The identifying pair.
+    pub pair: CandidatePair,
+}
+
+impl<'a> PairRef<'a> {
+    /// Text of `column` from both sides: `(left_text, right_text)`.
+    pub fn texts(&self, column: &str) -> (String, String) {
+        (self.left.text(column), self.right.text(column))
+    }
+
+    /// Numbers of `column` from both sides when both parse.
+    pub fn numbers(&self, column: &str) -> Option<(f64, f64)> {
+        Some((self.left.number(column)?, self.right.number(column)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn tiny_pair() -> TablePair {
+        let mut left = Table::new("abt", Schema::of_text(&["name", "price"]));
+        left.push(vec!["sony bravia 40", "499"]).unwrap();
+        left.push(vec!["lg oled 55", "1299"]).unwrap();
+        let mut right = Table::new("buy", Schema::of_text(&["name", "price"]));
+        right.push(vec!["sony bravia kdl 40", "489"]).unwrap();
+        let mut gold = MatchSet::new();
+        gold.insert(RecordId(0), RecordId(0));
+        TablePair::with_gold(left, right, gold)
+    }
+
+    #[test]
+    fn pair_ref_access() {
+        let tp = tiny_pair();
+        let p = tp.pair_ref(CandidatePair::new(0, 0)).unwrap();
+        let (l, r) = p.texts("name");
+        assert!(l.starts_with("sony"));
+        assert!(r.contains("kdl"));
+        assert_eq!(p.numbers("price"), Some((499.0, 489.0)));
+    }
+
+    #[test]
+    fn gold_lookup() {
+        let tp = tiny_pair();
+        assert_eq!(tp.is_gold_match(CandidatePair::new(0, 0)), Some(true));
+        assert_eq!(tp.is_gold_match(CandidatePair::new(1, 0)), Some(false));
+    }
+
+    #[test]
+    fn cross_product_size() {
+        let tp = tiny_pair();
+        assert_eq!(tp.cross_product().len(), 2);
+    }
+
+    #[test]
+    fn candidate_set_dedups_preserving_order() {
+        let cs = CandidateSet::from_pairs([
+            CandidatePair::new(1, 0),
+            CandidatePair::new(0, 0),
+            CandidatePair::new(1, 0),
+        ]);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs.get(0), Some(CandidatePair::new(1, 0)));
+        assert_eq!(cs.get(1), Some(CandidatePair::new(0, 0)));
+    }
+
+    #[test]
+    fn pair_ref_out_of_bounds() {
+        let tp = tiny_pair();
+        assert!(tp.pair_ref(CandidatePair::new(0, 5)).is_err());
+    }
+
+    #[test]
+    fn match_set_basics() {
+        let mut m = MatchSet::new();
+        assert!(m.is_empty());
+        assert!(m.insert(RecordId(0), RecordId(1)));
+        assert!(!m.insert(RecordId(0), RecordId(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.iter().count(), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Record identifiers and borrowed row views.
+
+use crate::{Schema, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a row within one table.
+///
+/// `u32` bounds tables at ~4.3 billion rows — far beyond the candidate-set
+/// sizes EM development works with — while halving the footprint of the
+/// candidate pair lists that dominate memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId(pub u32);
+
+impl RecordId {
+    /// The row index as `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for RecordId {
+    fn from(v: u32) -> Self {
+        RecordId(v)
+    }
+}
+
+/// A borrowed view of one row together with its schema.
+///
+/// This is what labeling functions see for each side of a tuple pair:
+/// attribute access by name, plus whole-row text rendering for embedding.
+#[derive(Debug, Clone, Copy)]
+pub struct Record<'a> {
+    pub(crate) schema: &'a Schema,
+    pub(crate) values: &'a [Value],
+    pub(crate) id: RecordId,
+}
+
+impl<'a> Record<'a> {
+    /// Construct a view (used by [`crate::Table`]).
+    pub fn new(schema: &'a Schema, values: &'a [Value], id: RecordId) -> Self {
+        Record { schema, values, id }
+    }
+
+    /// This row's id within its table.
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// The schema of the owning table.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// All cell values in column order.
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// Cell by column name; `Value::Null` for unknown columns.
+    ///
+    /// LFs frequently probe optional attributes ("description" exists in
+    /// abt but not in every dataset), so a missing column is *data*
+    /// missingness, not a programming error. Use [`Record::try_get`] for
+    /// the strict variant.
+    pub fn get(&self, column: &str) -> &'a Value {
+        static NULL: Value = Value::Null;
+        match self.schema.index_of(column) {
+            Ok(i) => self.values.get(i).unwrap_or(&NULL),
+            Err(_) => &NULL,
+        }
+    }
+
+    /// Cell by column name, erroring on unknown columns.
+    pub fn try_get(&self, column: &str) -> crate::Result<&'a Value> {
+        let i = self.schema.index_of(column)?;
+        Ok(self.values.get(i).unwrap_or(&Value::Null))
+    }
+
+    /// Cell text by column name (empty string for null/missing column).
+    pub fn text(&self, column: &str) -> String {
+        self.get(column).to_text()
+    }
+
+    /// Lenient numeric read of a column.
+    pub fn number(&self, column: &str) -> Option<f64> {
+        self.get(column).as_f64()
+    }
+
+    /// Concatenate every non-null attribute into one string, space
+    /// separated, in column order. This is the "sentence" the blocking
+    /// embedder consumes (the paper embeds whole tuples with
+    /// sentence-BERT).
+    pub fn full_text(&self) -> String {
+        let mut out = String::new();
+        for v in self.values {
+            if v.is_missing() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&v.to_text());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    fn sample() -> (Schema, Vec<Value>) {
+        let schema = Schema::new(vec![
+            Field::int("id"),
+            Field::text("name"),
+            Field::float("price"),
+        ]);
+        let row = vec![Value::Int(7), Value::from("Sony TV"), Value::Float(499.0)];
+        (schema, row)
+    }
+
+    #[test]
+    fn get_by_name() {
+        let (schema, row) = sample();
+        let r = Record::new(&schema, &row, RecordId(0));
+        assert_eq!(r.text("name"), "Sony TV");
+        assert_eq!(r.number("price"), Some(499.0));
+        assert_eq!(r.get("nope"), &Value::Null);
+        assert!(r.try_get("nope").is_err());
+        assert_eq!(r.id().idx(), 0);
+    }
+
+    #[test]
+    fn full_text_skips_missing() {
+        let schema = Schema::of_text(&["a", "b", "c"]);
+        let row = vec![Value::from("x"), Value::Null, Value::from("z")];
+        let r = Record::new(&schema, &row, RecordId(1));
+        assert_eq!(r.full_text(), "x z");
+    }
+
+    #[test]
+    fn record_id_display_and_conv() {
+        let id: RecordId = 42u32.into();
+        assert_eq!(id.to_string(), "#42");
+        assert_eq!(id.idx(), 42);
+    }
+}

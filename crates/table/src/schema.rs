@@ -1,0 +1,175 @@
+//! Named, typed columns.
+
+use crate::{Result, TableError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Declared type of a column. Purely advisory — cells are [`crate::Value`]s
+/// and may deviate (real EM data is dirty); the type records the *intended*
+/// interpretation and drives CSV inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataType {
+    /// Free text (default).
+    #[default]
+    Text,
+    /// Integer.
+    Int,
+    /// Floating point.
+    Float,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DataType::Text => "text",
+            DataType::Int => "int",
+            DataType::Float => "float",
+        })
+    }
+}
+
+/// One column: a name plus a declared [`DataType`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// A text field with the given name.
+    pub fn text(name: impl Into<String>) -> Self {
+        Field { name: name.into(), dtype: DataType::Text }
+    }
+    /// An integer field with the given name.
+    pub fn int(name: impl Into<String>) -> Self {
+        Field { name: name.into(), dtype: DataType::Int }
+    }
+    /// A float field with the given name.
+    pub fn float(name: impl Into<String>) -> Self {
+        Field { name: name.into(), dtype: DataType::Float }
+    }
+}
+
+/// An ordered set of [`Field`]s with O(1) lookup by name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+    #[serde(skip)]
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from fields. Duplicate names keep the *first*
+    /// occurrence in the lookup map (later columns remain addressable by
+    /// index).
+    pub fn new(fields: Vec<Field>) -> Self {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_insert(i);
+        }
+        Schema { fields, by_name }
+    }
+
+    /// Convenience constructor: all-text columns from names.
+    pub fn of_text(names: &[&str]) -> Self {
+        Schema::new(names.iter().map(|n| Field::text(*n)).collect())
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Column names in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))
+    }
+
+    /// True when the schema contains a column with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// The field at `idx`, if any.
+    pub fn field(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Rebuild the name→index map (needed after deserialization, which
+    /// skips the derived map).
+    pub fn rebuild_index(&mut self) {
+        self.by_name.clear();
+        for (i, f) in self.fields.iter().enumerate() {
+            self.by_name.entry(f.name.clone()).or_insert(i);
+        }
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::of_text(&["id", "name", "price"]);
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert!(s.contains("price"));
+        assert!(matches!(
+            s.index_of("missing"),
+            Err(TableError::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_resolve_to_first() {
+        let s = Schema::new(vec![Field::text("a"), Field::text("a"), Field::int("b")]);
+        assert_eq!(s.index_of("a").unwrap(), 0);
+        assert_eq!(s.index_of("b").unwrap(), 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_index() {
+        let s = Schema::of_text(&["x", "y"]);
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.index_of("y").unwrap(), 1);
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn typed_constructors() {
+        let s = Schema::new(vec![Field::int("id"), Field::float("price")]);
+        assert_eq!(s.field(0).unwrap().dtype, DataType::Int);
+        assert_eq!(s.field(1).unwrap().dtype, DataType::Float);
+        assert_eq!(s.field(1).unwrap().dtype.to_string(), "float");
+    }
+}

@@ -1,0 +1,233 @@
+//! Row-oriented relations.
+
+use crate::{csv, Record, RecordId, Result, Schema, TableError, Value};
+use serde::{Deserialize, Serialize};
+
+/// A named, row-oriented relation.
+///
+/// Rows are stored contiguously (`Vec<Value>` of length `rows × cols`) to
+/// keep scans cache-friendly; a [`Record`] is a borrowed slice view.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    /// Flattened row-major cell storage, `len = n_rows * schema.len()`.
+    cells: Vec<Value>,
+}
+
+impl Table {
+    /// An empty table with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table { name: name.into(), schema, cells: Vec::new() }
+    }
+
+    /// Table name (e.g. `"abt"`, `"buy"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.schema.is_empty() {
+            0
+        } else {
+            self.cells.len() / self.schema.len()
+        }
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Append a row. Errors when the arity differs from the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<RecordId> {
+        if row.len() != self.schema.len() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+            });
+        }
+        let id = RecordId(self.len() as u32);
+        self.cells.extend(row);
+        Ok(id)
+    }
+
+    /// Append a row of anything convertible to [`Value`].
+    pub fn push<T: Into<Value>>(&mut self, row: Vec<T>) -> Result<RecordId> {
+        self.push_row(row.into_iter().map(Into::into).collect())
+    }
+
+    /// The row at `id` as a borrowed [`Record`] view.
+    pub fn record(&self, id: RecordId) -> Result<Record<'_>> {
+        let n = self.len();
+        if id.idx() >= n {
+            return Err(TableError::RowOutOfBounds { row: id.idx(), len: n });
+        }
+        let w = self.schema.len();
+        let start = id.idx() * w;
+        Ok(Record::new(&self.schema, &self.cells[start..start + w], id))
+    }
+
+    /// Iterate over all rows as [`Record`] views.
+    pub fn records(&self) -> impl Iterator<Item = Record<'_>> + '_ {
+        let w = self.schema.len().max(1);
+        self.cells
+            .chunks(w)
+            .enumerate()
+            .map(move |(i, chunk)| Record::new(&self.schema, chunk, RecordId(i as u32)))
+    }
+
+    /// One cell, by row id and column name.
+    pub fn cell(&self, id: RecordId, column: &str) -> Result<&Value> {
+        let col = self.schema.index_of(column)?;
+        let n = self.len();
+        if id.idx() >= n {
+            return Err(TableError::RowOutOfBounds { row: id.idx(), len: n });
+        }
+        Ok(&self.cells[id.idx() * self.schema.len() + col])
+    }
+
+    /// Replace one cell.
+    pub fn set_cell(&mut self, id: RecordId, column: &str, value: Value) -> Result<()> {
+        let col = self.schema.index_of(column)?;
+        let n = self.len();
+        if id.idx() >= n {
+            return Err(TableError::RowOutOfBounds { row: id.idx(), len: n });
+        }
+        let w = self.schema.len();
+        self.cells[id.idx() * w + col] = value;
+        Ok(())
+    }
+
+    /// Parse a table from CSV text. The first line is the header; cell types
+    /// are inferred with [`Value::infer`] when `infer_types`, otherwise all
+    /// cells stay text.
+    pub fn from_csv_str(name: impl Into<String>, input: &str, infer_types: bool) -> Result<Table> {
+        let rows = csv::parse(input)?;
+        let mut it = rows.into_iter();
+        let header = it.next().ok_or(TableError::Csv {
+            line: 1,
+            msg: "empty input: missing header row".into(),
+        })?;
+        let schema = Schema::of_text(&header.iter().map(String::as_str).collect::<Vec<_>>());
+        let mut table = Table::new(name, schema);
+        for (i, raw) in it.enumerate() {
+            if raw.len() != table.schema.len() {
+                return Err(TableError::Csv {
+                    line: i + 2,
+                    msg: format!(
+                        "expected {} fields, found {}",
+                        table.schema.len(),
+                        raw.len()
+                    ),
+                });
+            }
+            let row: Vec<Value> = raw
+                .into_iter()
+                .map(|s| {
+                    if infer_types {
+                        Value::infer(&s)
+                    } else if s.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Text(s)
+                    }
+                })
+                .collect();
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+
+    /// Serialize the table to CSV text (header + rows, RFC-4180 quoting).
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::new();
+        csv::write_row(&mut out, self.schema.names());
+        for rec in self.records() {
+            csv::write_row(&mut out, rec.values().iter().map(|v| v.to_text()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Field;
+
+    fn products() -> Table {
+        let mut t = Table::new(
+            "products",
+            Schema::new(vec![Field::int("id"), Field::text("name"), Field::float("price")]),
+        );
+        t.push_row(vec![Value::Int(1), Value::from("Sony Bravia 40"), Value::Float(499.0)])
+            .unwrap();
+        t.push_row(vec![Value::Int(2), Value::from("LG OLED 55"), Value::Null]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read() {
+        let t = products();
+        assert_eq!(t.len(), 2);
+        let r = t.record(RecordId(0)).unwrap();
+        assert_eq!(r.text("name"), "Sony Bravia 40");
+        assert_eq!(t.cell(RecordId(1), "price").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = products();
+        let err = t.push_row(vec![Value::Int(3)]).unwrap_err();
+        assert!(matches!(err, TableError::ArityMismatch { expected: 3, got: 1 }));
+    }
+
+    #[test]
+    fn out_of_bounds_checked() {
+        let t = products();
+        assert!(t.record(RecordId(2)).is_err());
+        assert!(t.cell(RecordId(9), "name").is_err());
+    }
+
+    #[test]
+    fn records_iterator_yields_all() {
+        let t = products();
+        let names: Vec<String> = t.records().map(|r| r.text("name")).collect();
+        assert_eq!(names, vec!["Sony Bravia 40", "LG OLED 55"]);
+        let ids: Vec<u32> = t.records().map(|r| r.id().0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = products();
+        let csv_text = t.to_csv_string();
+        let back = Table::from_csv_str("products", &csv_text, true).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.cell(RecordId(0), "id").unwrap(), &Value::Int(1));
+        assert_eq!(back.cell(RecordId(0), "price").unwrap(), &Value::Float(499.0));
+        assert_eq!(back.cell(RecordId(1), "price").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn csv_ragged_row_errors_with_line_number() {
+        let err = Table::from_csv_str("t", "a,b\n1,2\n3\n", true).unwrap_err();
+        match err {
+            TableError::Csv { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn set_cell_mutates() {
+        let mut t = products();
+        t.set_cell(RecordId(1), "price", Value::Float(899.0)).unwrap();
+        assert_eq!(t.cell(RecordId(1), "price").unwrap(), &Value::Float(899.0));
+    }
+}

@@ -1,0 +1,267 @@
+//! Dynamically typed cell values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value in a table.
+///
+/// EM benchmark data is messy: numeric columns contain `"$ 1,299.00"`,
+/// identifiers mix digits and letters, and missing values abound. `Value`
+/// therefore keeps typing loose and provides lossy accessors
+/// ([`Value::as_text`], [`Value::as_f64`]) that labeling functions can rely
+/// on without matching on the variant themselves.
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub enum Value {
+    /// Missing / unknown.
+    #[default]
+    Null,
+    /// Free text.
+    Text(String),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+}
+
+impl Value {
+    /// True if the value is [`Value::Null`] or an empty / whitespace-only string.
+    pub fn is_missing(&self) -> bool {
+        match self {
+            Value::Null => true,
+            Value::Text(s) => s.trim().is_empty(),
+            _ => false,
+        }
+    }
+
+    /// The value as a string slice. `Null` maps to `""`; numbers are not
+    /// rendered (use [`Value::to_text`] for an owned, always-successful
+    /// rendering).
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Null => Some(""),
+            _ => None,
+        }
+    }
+
+    /// Render the value to owned text. `Null` becomes the empty string.
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Text(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => format_float(*x),
+        }
+    }
+
+    /// Numeric interpretation: ints and floats directly, text via a lenient
+    /// parse that strips currency symbols, thousands separators and
+    /// surrounding junk (`"$ 1,299.00"` → `1299.0`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            Value::Text(s) => parse_lenient_f64(s),
+            Value::Null => None,
+        }
+    }
+
+    /// Integer interpretation (floats truncate only when exact).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(x) if x.fract() == 0.0 && x.abs() < i64::MAX as f64 => Some(*x as i64),
+            Value::Text(s) => s.trim().parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// Parse a raw CSV field into the most specific value type.
+    ///
+    /// Empty fields become `Null`; fields that parse exactly as `i64` become
+    /// `Int`; fields that parse as `f64` become `Float`; everything else is
+    /// `Text`. Leading zeros (`"007"`) and mixed content stay text so that
+    /// identifiers survive round-trips.
+    pub fn infer(raw: &str) -> Value {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return Value::Null;
+        }
+        // Keep leading-zero "numbers" (ids like 007) textual.
+        let looks_like_id = trimmed.len() > 1
+            && trimmed.starts_with('0')
+            && !trimmed.starts_with("0.")
+            && !trimmed.starts_with("0,");
+        if !looks_like_id {
+            if let Ok(i) = trimmed.parse::<i64>() {
+                return Value::Int(i);
+            }
+            if let Ok(x) = trimmed.parse::<f64>() {
+                if x.is_finite() {
+                    return Value::Float(x);
+                }
+            }
+        }
+        Value::Text(raw.to_string())
+    }
+}
+
+/// Render a float without trailing noise: integers print without `.0` except
+/// we keep one decimal to round-trip the type (`2.0`, `3.5`).
+fn format_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Lenient numeric parse used by [`Value::as_f64`]: strips `$`, `€`, `£`,
+/// commas and whitespace, then parses the longest leading numeric run.
+pub fn parse_lenient_f64(s: &str) -> Option<f64> {
+    let cleaned: String = s
+        .chars()
+        .filter(|c| !matches!(c, '$' | '€' | '£' | ',' | ' ' | '\t'))
+        .collect();
+    let cleaned = cleaned.trim();
+    if cleaned.is_empty() {
+        return None;
+    }
+    if let Ok(x) = cleaned.parse::<f64>() {
+        return x.is_finite().then_some(x);
+    }
+    // Longest leading numeric prefix, e.g. "1299.00USD".
+    let mut end = 0;
+    for (i, c) in cleaned.char_indices() {
+        if c.is_ascii_digit() || c == '.' || (i == 0 && (c == '-' || c == '+')) {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    if end == 0 {
+        return None;
+    }
+    cleaned[..end].parse::<f64>().ok().filter(|x| x.is_finite())
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *a as f64 == *b
+            }
+            _ => false,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, Value::Null) => Some(Ordering::Equal),
+            (Value::Null, _) => Some(Ordering::Less),
+            (_, Value::Null) => Some(Ordering::Greater),
+            (Value::Text(a), Value::Text(b)) => a.partial_cmp(b),
+            (a, b) => a.as_f64()?.partial_cmp(&b.as_f64()?),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infer_types() {
+        assert_eq!(Value::infer(""), Value::Null);
+        assert_eq!(Value::infer("   "), Value::Null);
+        assert_eq!(Value::infer("42"), Value::Int(42));
+        assert_eq!(Value::infer("-7"), Value::Int(-7));
+        assert_eq!(Value::infer("3.25"), Value::Float(3.25));
+        assert_eq!(Value::infer("hello"), Value::Text("hello".into()));
+        // Leading-zero identifiers stay textual.
+        assert_eq!(Value::infer("007"), Value::Text("007".into()));
+        assert_eq!(Value::infer("0.5"), Value::Float(0.5));
+    }
+
+    #[test]
+    fn lenient_numeric_parse() {
+        assert_eq!(parse_lenient_f64("$ 1,299.00"), Some(1299.0));
+        assert_eq!(parse_lenient_f64("1299.00USD"), Some(1299.0));
+        assert_eq!(parse_lenient_f64("€45"), Some(45.0));
+        assert_eq!(parse_lenient_f64("n/a"), None);
+        assert_eq!(parse_lenient_f64(""), None);
+        assert_eq!(parse_lenient_f64("-3.5"), Some(-3.5));
+    }
+
+    #[test]
+    fn missing_detection() {
+        assert!(Value::Null.is_missing());
+        assert!(Value::Text("  ".into()).is_missing());
+        assert!(!Value::Text("x".into()).is_missing());
+        assert!(!Value::Int(0).is_missing());
+    }
+
+    #[test]
+    fn cross_type_numeric_equality_and_order() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(1) < Value::Float(1.5));
+        assert!(Value::Null < Value::Int(-100));
+        assert!(Value::Text("a".into()) < Value::Text("b".into()));
+    }
+
+    #[test]
+    fn to_text_rendering() {
+        assert_eq!(Value::Null.to_text(), "");
+        assert_eq!(Value::Int(5).to_text(), "5");
+        assert_eq!(Value::Float(2.0).to_text(), "2.0");
+        assert_eq!(Value::Float(2.5).to_text(), "2.5");
+    }
+
+    #[test]
+    fn as_f64_accessors() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Text("$12".into()).as_f64(), Some(12.0));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Float(4.5).as_i64(), None);
+        assert_eq!(Value::Float(4.0).as_i64(), Some(4));
+    }
+}

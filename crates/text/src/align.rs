@@ -1,0 +1,208 @@
+//! Sequence-alignment similarities: Needleman-Wunsch (global),
+//! Smith-Waterman (local), and affine-gap alignment.
+//!
+//! Edit distance charges every gap equally; alignment scoring lets LFs
+//! reward long shared runs ("panasonic viera th-50pz700u" inside a longer
+//! retailer title) and tolerate block insertions, which plain Levenshtein
+//! punishes linearly. All scores are normalised into `[0, 1]`.
+
+/// Scoring scheme for the alignment functions.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignScoring {
+    /// Score for a character match (> 0).
+    pub matched: f64,
+    /// Score for a mismatch (≤ 0).
+    pub mismatch: f64,
+    /// Cost to open a gap (≤ 0).
+    pub gap_open: f64,
+    /// Cost to extend an open gap (≤ 0, ≥ gap_open).
+    pub gap_extend: f64,
+}
+
+impl Default for AlignScoring {
+    fn default() -> Self {
+        AlignScoring { matched: 2.0, mismatch: -1.0, gap_open: -2.0, gap_extend: -0.5 }
+    }
+}
+
+/// Global (Needleman-Wunsch) alignment similarity with linear gaps:
+/// `score / (matched × max_len)`, clamped to `[0, 1]`.
+pub fn needleman_wunsch(a: &str, b: &str, s: AlignScoring) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let gap = s.gap_open;
+    let mut prev: Vec<f64> = (0..=a.len()).map(|i| gap * i as f64).collect();
+    let mut cur = vec![0.0; a.len() + 1];
+    for (j, cb) in b.iter().enumerate() {
+        cur[0] = gap * (j + 1) as f64;
+        for (i, ca) in a.iter().enumerate() {
+            let sub = prev[i] + if ca == cb { s.matched } else { s.mismatch };
+            cur[i + 1] = sub.max(prev[i + 1] + gap).max(cur[i] + gap);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let raw = prev[a.len()];
+    (raw / (s.matched * a.len().max(b.len()) as f64)).clamp(0.0, 1.0)
+}
+
+/// Local (Smith-Waterman) alignment similarity with linear gaps:
+/// best-local-run score normalised by the *shorter* string's perfect
+/// score — 1.0 when one string contains the other exactly.
+pub fn smith_waterman(a: &str, b: &str, s: AlignScoring) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let gap = s.gap_open;
+    let mut prev = vec![0.0f64; a.len() + 1];
+    let mut cur = vec![0.0f64; a.len() + 1];
+    let mut best = 0.0f64;
+    for cb in b.iter() {
+        for (i, ca) in a.iter().enumerate() {
+            let sub = prev[i] + if ca == cb { s.matched } else { s.mismatch };
+            let v = sub.max(prev[i + 1] + gap).max(cur[i] + gap).max(0.0);
+            cur[i + 1] = v;
+            best = best.max(v);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur[0] = 0.0;
+    }
+    (best / (s.matched * a.len().min(b.len()) as f64)).clamp(0.0, 1.0)
+}
+
+/// Global alignment with **affine gaps** (Gotoh): a gap of length k costs
+/// `gap_open + (k−1)·gap_extend`, so one block insertion (a dropped token)
+/// is much cheaper than k scattered edits. Normalised like
+/// [`needleman_wunsch`].
+pub fn affine_gap(a: &str, b: &str, s: AlignScoring) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    const NEG: f64 = f64::NEG_INFINITY;
+    let n = a.len();
+    // M: ends in match/mismatch; X: gap in b (consume a); Y: gap in a.
+    let mut m_prev = vec![NEG; n + 1];
+    let mut x_prev = vec![NEG; n + 1];
+    let mut y_prev = vec![NEG; n + 1];
+    m_prev[0] = 0.0;
+    for i in 1..=n {
+        x_prev[i] = s.gap_open + s.gap_extend * (i as f64 - 1.0);
+    }
+    let mut m_cur = vec![NEG; n + 1];
+    let mut x_cur = vec![NEG; n + 1];
+    let mut y_cur = vec![NEG; n + 1];
+    for (j, cb) in b.iter().enumerate() {
+        m_cur[0] = NEG;
+        x_cur[0] = NEG;
+        y_cur[0] = s.gap_open + s.gap_extend * j as f64;
+        for (i, ca) in a.iter().enumerate() {
+            let sub = if ca == cb { s.matched } else { s.mismatch };
+            m_cur[i + 1] = sub
+                + m_prev[i]
+                    .max(x_prev[i])
+                    .max(y_prev[i]);
+            x_cur[i + 1] = (m_cur[i] + s.gap_open).max(x_cur[i] + s.gap_extend);
+            y_cur[i + 1] = (m_prev[i + 1] + s.gap_open).max(y_prev[i + 1] + s.gap_extend);
+        }
+        std::mem::swap(&mut m_prev, &mut m_cur);
+        std::mem::swap(&mut x_prev, &mut x_cur);
+        std::mem::swap(&mut y_prev, &mut y_cur);
+    }
+    let raw = m_prev[n].max(x_prev[n]).max(y_prev[n]);
+    (raw / (s.matched * a.len().max(b.len()) as f64)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sc() -> AlignScoring {
+        AlignScoring::default()
+    }
+
+    #[test]
+    fn identical_strings_score_one() {
+        for f in [needleman_wunsch, smith_waterman, affine_gap] {
+            assert!((f("sony bravia", "sony bravia", sc()) - 1.0).abs() < 1e-9);
+            assert_eq!(f("", "", sc()), 1.0);
+            assert_eq!(f("abc", "", sc()), 0.0);
+        }
+    }
+
+    #[test]
+    fn local_alignment_finds_contained_substring() {
+        let short = "kdl-40v2500";
+        let long = "sony bravia kdl-40v2500 40in lcd hdtv";
+        assert!((smith_waterman(short, long, sc()) - 1.0).abs() < 1e-9);
+        // Global alignment punishes the unmatched remainder.
+        assert!(needleman_wunsch(short, long, sc()) < 0.5);
+    }
+
+    #[test]
+    fn affine_gaps_beat_linear_on_block_insertions() {
+        // One inserted token of 10 chars: affine charges open + 9 extends;
+        // linear charges 10 opens.
+        let a = "panasonic plasma hdtv";
+        let b = "panasonic viera 50in plasma hdtv";
+        let affine = affine_gap(a, b, sc());
+        let linear = needleman_wunsch(a, b, sc());
+        assert!(affine > linear, "affine {affine:.3} vs linear {linear:.3}");
+        assert!(affine > 0.5);
+    }
+
+    #[test]
+    fn mismatched_strings_score_low() {
+        for f in [needleman_wunsch, smith_waterman, affine_gap] {
+            let s = f("zzzzqqqq", "aaabbbb", sc());
+            assert!(s < 0.2, "score {s}");
+        }
+    }
+
+    proptest! {
+        /// All alignment similarities stay in [0,1] and are symmetric.
+        #[test]
+        fn alignment_invariants(a in "[abc ]{0,12}", b in "[abc ]{0,12}") {
+            for f in [needleman_wunsch, smith_waterman, affine_gap] {
+                let s1 = f(&a, &b, sc());
+                let s2 = f(&b, &a, sc());
+                prop_assert!((0.0..=1.0).contains(&s1));
+                prop_assert!((s1 - s2).abs() < 1e-9, "symmetry {s1} vs {s2}");
+                let self_sim = f(&a, &a, sc());
+                prop_assert!((self_sim - 1.0).abs() < 1e-9);
+            }
+        }
+
+        /// Smith-Waterman dominates Needleman-Wunsch (local ≥ global after
+        /// normalisation by the respective lengths when strings are equal
+        /// length) — lengths equal by construction.
+        #[test]
+        fn local_ge_global_equal_length(
+            (a, b) in (1usize..=8).prop_flat_map(|n| (
+                proptest::collection::vec(proptest::char::range('a', 'b'), n),
+                proptest::collection::vec(proptest::char::range('a', 'b'), n),
+            )),
+        ) {
+            let a: String = a.into_iter().collect();
+            let b: String = b.into_iter().collect();
+            let sw = smith_waterman(&a, &b, sc());
+            let nw = needleman_wunsch(&a, &b, sc());
+            prop_assert!(sw >= nw - 1e-9);
+        }
+    }
+}

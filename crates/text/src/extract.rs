@@ -1,0 +1,160 @@
+//! Regex-based attribute extractors.
+//!
+//! These power "key attribute disagrees → non-match" LFs like the paper's
+//! `size_unmatch` (Figure 2), which extracts product sizes such as `40'`
+//! from names and descriptions and votes −1 when they differ.
+
+use panda_regex::Regex;
+use std::sync::OnceLock;
+
+fn size_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| {
+        Regex::new_ci(r#"(\d+(?:\.\d+)?)\s*(?:''|'|"|-inch|inches|inch|-in\b|in\.|in\b)"#)
+            .expect("size pattern compiles")
+    })
+}
+
+fn number_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| Regex::new(r"\d+(?:\.\d+)?").expect("number pattern compiles"))
+}
+
+fn price_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| {
+        Regex::new(r"[$€£]\s*(\d+(?:,\d{3})*(?:\.\d+)?)").expect("price pattern compiles")
+    })
+}
+
+fn year_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    RE.get_or_init(|| Regex::new(r"\b(1[89]\d{2}|20\d{2})\b").expect("year pattern compiles"))
+}
+
+fn model_code_re() -> &'static Regex {
+    static RE: OnceLock<Regex> = OnceLock::new();
+    // Alphanumeric tokens that mix letters and digits, possibly hyphenated:
+    // KDL-40V2500, X1000, 42PFL7403.
+    RE.get_or_init(|| {
+        Regex::new(r"\b[A-Za-z]+-?\d[\w-]*\b|\b\d+[A-Za-z][\w-]*\b")
+            .expect("model pattern compiles")
+    })
+}
+
+/// Extract all product sizes (in "inches-like" units) from text:
+/// `"sony 40' tv"` → `[40.0]`.
+pub fn sizes(text: &str) -> Vec<f64> {
+    size_re()
+        .captures_iter(text)
+        .into_iter()
+        .filter_map(|c| c.group_str(1).and_then(|s| s.parse().ok()))
+        .collect()
+}
+
+/// Extract all bare numbers.
+pub fn numbers(text: &str) -> Vec<f64> {
+    number_re()
+        .find_iter(text)
+        .filter_map(|m| m.as_str().parse().ok())
+        .collect()
+}
+
+/// Extract all prices (currency-sign prefixed amounts).
+pub fn prices(text: &str) -> Vec<f64> {
+    price_re()
+        .captures_iter(text)
+        .into_iter()
+        .filter_map(|c| {
+            c.group_str(1)
+                .map(|s| s.replace(',', ""))
+                .and_then(|s| s.parse().ok())
+        })
+        .collect()
+}
+
+/// Extract all plausible years (1800–2099).
+pub fn years(text: &str) -> Vec<u32> {
+    year_re()
+        .captures_iter(text)
+        .into_iter()
+        .filter_map(|c| c.group_str(1).and_then(|s| s.parse().ok()))
+        .collect()
+}
+
+/// Extract model-code-like tokens (mixed letters and digits), upper-cased
+/// and hyphen-stripped for comparison: `"Sony KDL-40V2500"` →
+/// `["KDL40V2500"]`.
+pub fn model_codes(text: &str) -> Vec<String> {
+    model_code_re()
+        .find_iter(text)
+        .map(|m| {
+            m.as_str()
+                .chars()
+                .filter(|c| *c != '-')
+                .collect::<String>()
+                .to_uppercase()
+        })
+        .filter(|t| {
+            t.chars().any(|c| c.is_ascii_digit()) && t.chars().any(|c| c.is_ascii_alphabetic())
+        })
+        .collect()
+}
+
+/// Do two size lists agree? `None` when either side has no size (abstain);
+/// `Some(true)` when some size co-occurs on both sides.
+pub fn sizes_agree(a: &str, b: &str) -> Option<bool> {
+    let (sa, sb) = (sizes(a), sizes(b));
+    if sa.is_empty() || sb.is_empty() {
+        return None;
+    }
+    Some(sa.iter().any(|x| sb.iter().any(|y| (x - y).abs() < 1e-9)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_from_product_names() {
+        assert_eq!(sizes("sony bravia 40' lcd"), vec![40.0]);
+        assert_eq!(sizes("samsung 46\" led"), vec![46.0]);
+        assert_eq!(sizes("panasonic 50-inch plasma"), vec![50.0]);
+        assert_eq!(sizes("LG 21.5 inch monitor"), vec![21.5]);
+        assert!(sizes("no size at all").is_empty());
+    }
+
+    #[test]
+    fn size_agreement_tristate() {
+        assert_eq!(sizes_agree("tv 40'", "tv 40 inch"), Some(true));
+        assert_eq!(sizes_agree("tv 40'", "tv 46'"), Some(false));
+        assert_eq!(sizes_agree("tv", "tv 46'"), None);
+    }
+
+    #[test]
+    fn price_extraction() {
+        assert_eq!(prices("now $1,299.00 (was $1,499)"), vec![1299.0, 1499.0]);
+        assert_eq!(prices("€45.50"), vec![45.5]);
+        assert!(prices("1299 dollars").is_empty()); // needs a sign
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(years("VLDB 2021 proceedings (est. 1975)"), vec![2021, 1975]);
+        assert!(years("room 3000 sqft 12345").is_empty());
+    }
+
+    #[test]
+    fn model_code_extraction() {
+        assert_eq!(model_codes("Sony KDL-40V2500 Bravia"), vec!["KDL40V2500"]);
+        assert_eq!(model_codes("Philips 42PFL7403 hdtv"), vec!["42PFL7403"]);
+        assert!(model_codes("plain words only").is_empty());
+        // Bare numbers are not model codes.
+        assert!(model_codes("item 12345").is_empty());
+    }
+
+    #[test]
+    fn numbers_extraction() {
+        assert_eq!(numbers("2 x 4.5 kg"), vec![2.0, 4.5]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Phonetic encodings: Soundex and a simplified Metaphone.
+//!
+//! Person and place names get misspelled phonetically ("Smith" /
+//! "Smyth", "Catherine" / "Katherine"); LFs over name-ish attributes pair
+//! a phonetic-equality vote with an edit-distance vote. Both encoders are
+//! the classic algorithms, implemented from scratch.
+
+/// American Soundex: first letter + three digits (`"Robert"` → `"R163"`).
+/// Returns `None` for inputs with no ASCII letter.
+pub fn soundex(word: &str) -> Option<String> {
+    let letters: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+
+    let code = |c: char| -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            _ => 0, // vowels + H, W, Y
+        }
+    };
+
+    let mut out = String::new();
+    out.push(first);
+    let mut prev = code(first);
+    for &c in &letters[1..] {
+        let d = code(c);
+        // H and W are transparent: they do not reset the previous code.
+        if c == 'H' || c == 'W' {
+            continue;
+        }
+        if d != 0 && d != prev {
+            out.push(char::from_digit(u32::from(d), 10).unwrap());
+            if out.len() == 4 {
+                break;
+            }
+        }
+        prev = d;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+/// A simplified Metaphone: maps a word to a consonant-skeleton key.
+/// Covers the high-frequency English rules (PH→F, CK→K, SH→X, TH→0,
+/// soft C/G, silent letters); sufficient for name blocking/voting, not a
+/// full Double Metaphone.
+pub fn metaphone(word: &str) -> Option<String> {
+    let w: Vec<char> = word
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    if w.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = 0;
+    // Initial-letter exceptions: silent letters in KN-, GN-, PN-, WR-, X-.
+    if w.len() >= 2 {
+        match (w[0], w[1]) {
+            ('K', 'N') | ('G', 'N') | ('P', 'N') | ('W', 'R') => i = 1,
+            ('X', _) => {
+                out.push('S');
+                i = 1;
+            }
+            _ => {}
+        }
+    }
+    let at = |k: usize| -> char { w.get(k).copied().unwrap_or('\0') };
+    let is_vowel = |c: char| matches!(c, 'A' | 'E' | 'I' | 'O' | 'U');
+    while i < w.len() && out.len() < 8 {
+        let c = w[i];
+        // Skip doubled letters (except C, which has CC rules via lookahead).
+        if i > 0 && c == w[i - 1] && c != 'C' {
+            i += 1;
+            continue;
+        }
+        match c {
+            'A' | 'E' | 'I' | 'O' | 'U' => {
+                if i == 0 {
+                    out.push(c);
+                }
+            }
+            'B' => {
+                // Silent terminal B after M ("dumb").
+                if !(i + 1 == w.len() && at(i.wrapping_sub(1)) == 'M') {
+                    out.push('B');
+                }
+            }
+            'C' => {
+                if at(i + 1) == 'H' {
+                    out.push('X'); // "church"
+                    i += 1;
+                } else if matches!(at(i + 1), 'I' | 'E' | 'Y') {
+                    out.push('S'); // soft C
+                } else {
+                    out.push('K');
+                }
+            }
+            'D' => {
+                if at(i + 1) == 'G' && matches!(at(i + 2), 'E' | 'I' | 'Y') {
+                    out.push('J'); // "edge"
+                    i += 1;
+                } else {
+                    out.push('T');
+                }
+            }
+            'G' => {
+                if at(i + 1) == 'H' && !is_vowel(at(i + 2)) {
+                    // silent GH ("night")
+                    i += 1;
+                } else if at(i + 1) == 'N' {
+                    // silent G in GN
+                } else if matches!(at(i + 1), 'I' | 'E' | 'Y') {
+                    out.push('J');
+                } else {
+                    out.push('K');
+                }
+            }
+            'H' => {
+                // H is audible only between vowel and vowel-ish.
+                if i > 0 && is_vowel(at(i - 1)) && !is_vowel(at(i + 1)) {
+                    // silent
+                } else {
+                    out.push('H');
+                }
+            }
+            'K' => {
+                if !(i > 0 && at(i - 1) == 'C') {
+                    out.push('K');
+                }
+            }
+            'P' => {
+                if at(i + 1) == 'H' {
+                    out.push('F');
+                    i += 1;
+                } else {
+                    out.push('P');
+                }
+            }
+            'Q' => out.push('K'),
+            'S' => {
+                if at(i + 1) == 'H' {
+                    out.push('X');
+                    i += 1;
+                } else {
+                    out.push('S');
+                }
+            }
+            'T' => {
+                if at(i + 1) == 'H' {
+                    out.push('0'); // theta
+                    i += 1;
+                } else {
+                    out.push('T');
+                }
+            }
+            'V' => out.push('F'),
+            'W' | 'Y' => {
+                if is_vowel(at(i + 1)) {
+                    out.push(c);
+                }
+            }
+            'X' => out.push_str("KS"),
+            'Z' => out.push('S'),
+            other => out.push(other), // B F J L M N R handled implicitly
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+/// Phonetic token-set similarity: Jaccard over Soundex codes of the words
+/// (1.0 when both sides are empty of encodable words).
+pub fn soundex_jaccard(a: &str, b: &str) -> f64 {
+    let codes = |s: &str| -> Vec<String> {
+        s.split_whitespace().filter_map(soundex).collect()
+    };
+    crate::sim::jaccard(&codes(a), &codes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soundex_classic_vectors() {
+        for (word, code) in [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),
+            ("Pfister", "P236"),
+            ("Honeyman", "H555"),
+            ("Smith", "S530"),
+            ("Smyth", "S530"),
+        ] {
+            assert_eq!(soundex(word).as_deref(), Some(code), "soundex({word})");
+        }
+        assert_eq!(soundex("123"), None);
+        assert_eq!(soundex(""), None);
+    }
+
+    #[test]
+    fn metaphone_merges_homophones() {
+        let pairs = [
+            ("Catherine", "Katherine"),
+            ("Philip", "Filip"),
+            ("Knight", "Night"),
+            ("Shawn", "Shaun"),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(metaphone(a), metaphone(b), "metaphone({a}) vs ({b})");
+        }
+        // …but distinguishes genuinely different names.
+        assert_ne!(metaphone("Smith"), metaphone("Jones"));
+    }
+
+    #[test]
+    fn phonetic_jaccard() {
+        assert_eq!(soundex_jaccard("robert smith", "rupert smyth"), 1.0);
+        assert!(soundex_jaccard("robert smith", "elena garcia") < 0.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! Text pre-processing steps (axis 1 of the utility library).
+
+use serde::{Deserialize, Serialize};
+
+/// One pre-processing step. Steps compose left-to-right via
+/// [`apply_pipeline`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preprocess {
+    /// ASCII + Unicode lowercasing.
+    Lowercase,
+    /// Replace punctuation/symbol characters with spaces.
+    StripPunctuation,
+    /// Collapse runs of whitespace into single spaces and trim.
+    NormalizeWhitespace,
+    /// Fold common accented Latin characters to ASCII (`é` → `e`).
+    FoldAccents,
+    /// Porter-stem every whitespace-separated token.
+    Stem,
+    /// Normalise numbers: strip thousands separators and currency signs
+    /// (`"$1,299.00"` → `"1299.00"`).
+    NormalizeNumbers,
+    /// Remove English stop words (`the`, `of`, …). Case-sensitive on
+    /// lowercase input — run [`Preprocess::Lowercase`] first.
+    RemoveStopwords,
+}
+
+impl Preprocess {
+    /// Apply this step to `input`.
+    pub fn apply(&self, input: &str) -> String {
+        match self {
+            Preprocess::Lowercase => input.to_lowercase(),
+            Preprocess::StripPunctuation => strip_punctuation(input),
+            Preprocess::NormalizeWhitespace => normalize_whitespace(input),
+            Preprocess::FoldAccents => fold_accents(input),
+            Preprocess::Stem => stem_tokens(input),
+            Preprocess::NormalizeNumbers => normalize_numbers(input),
+            Preprocess::RemoveStopwords => remove_stopwords(input),
+        }
+    }
+
+    /// Short stable name used in auto-generated LF descriptions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Preprocess::Lowercase => "lower",
+            Preprocess::StripPunctuation => "nopunct",
+            Preprocess::NormalizeWhitespace => "ws",
+            Preprocess::FoldAccents => "ascii",
+            Preprocess::Stem => "stem",
+            Preprocess::NormalizeNumbers => "num",
+            Preprocess::RemoveStopwords => "nostop",
+        }
+    }
+}
+
+/// Apply a pipeline of steps left-to-right.
+pub fn apply_pipeline(steps: &[Preprocess], input: &str) -> String {
+    let mut s = input.to_string();
+    for step in steps {
+        s = step.apply(&s);
+    }
+    s
+}
+
+/// The standard cleaning pipeline most LFs start from: lowercase, fold
+/// accents, strip punctuation, normalise whitespace.
+pub fn standard_pipeline() -> Vec<Preprocess> {
+    vec![
+        Preprocess::Lowercase,
+        Preprocess::FoldAccents,
+        Preprocess::StripPunctuation,
+        Preprocess::NormalizeWhitespace,
+    ]
+}
+
+fn strip_punctuation(input: &str) -> String {
+    input
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c.is_whitespace() {
+                c
+            } else {
+                ' '
+            }
+        })
+        .collect()
+}
+
+fn normalize_whitespace(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut in_space = true; // leading whitespace is trimmed
+    for c in input.chars() {
+        if c.is_whitespace() {
+            if !in_space {
+                out.push(' ');
+                in_space = true;
+            }
+        } else {
+            out.push(c);
+            in_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Fold the accented Latin-1/Latin-Extended characters that actually occur
+/// in EM benchmarks (author names, European product data). Characters
+/// outside the table pass through unchanged.
+fn fold_accents(input: &str) -> String {
+    input
+        .chars()
+        .map(|c| match c {
+            'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'ā' | 'ă' => 'a',
+            'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' | 'Ā' => 'A',
+            'è' | 'é' | 'ê' | 'ë' | 'ē' | 'ě' => 'e',
+            'È' | 'É' | 'Ê' | 'Ë' => 'E',
+            'ì' | 'í' | 'î' | 'ï' | 'ī' => 'i',
+            'Ì' | 'Í' | 'Î' | 'Ï' => 'I',
+            'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'ō' => 'o',
+            'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø' => 'O',
+            'ù' | 'ú' | 'û' | 'ü' | 'ū' => 'u',
+            'Ù' | 'Ú' | 'Û' | 'Ü' => 'U',
+            'ç' | 'ć' | 'č' => 'c',
+            'Ç' | 'Ć' | 'Č' => 'C',
+            'ñ' | 'ń' => 'n',
+            'Ñ' => 'N',
+            'ý' | 'ÿ' => 'y',
+            'š' | 'ś' => 's',
+            'ž' | 'ź' | 'ż' => 'z',
+            'ł' => 'l',
+            'đ' => 'd',
+            'ß' => 's', // approximate; "ss" would change char counts
+            other => other,
+        })
+        .collect()
+}
+
+fn stem_tokens(input: &str) -> String {
+    input
+        .split_whitespace()
+        .map(crate::stem::porter_stem)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn normalize_numbers(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '$' | '€' | '£' => {
+                // Drop currency signs adjacent to digits entirely.
+                i += 1;
+            }
+            ',' if i > 0
+                && chars[i - 1].is_ascii_digit()
+                && i + 1 < chars.len()
+                && chars[i + 1].is_ascii_digit() =>
+            {
+                // Thousands separator inside a number.
+                i += 1;
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The stop-word list: the classic short English list that matters for
+/// product names and bibliographic titles.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
+    "it", "its", "of", "on", "that", "the", "to", "was", "were", "will", "with",
+];
+
+fn remove_stopwords(input: &str) -> String {
+    input
+        .split_whitespace()
+        .filter(|t| !STOPWORDS.contains(t))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase() {
+        assert_eq!(Preprocess::Lowercase.apply("Sony BRAVIA"), "sony bravia");
+    }
+
+    #[test]
+    fn strip_punct_keeps_alnum() {
+        assert_eq!(
+            Preprocess::StripPunctuation.apply("sony-bravia (40')"),
+            "sony bravia  40  "
+        );
+    }
+
+    #[test]
+    fn whitespace_normalisation() {
+        assert_eq!(
+            Preprocess::NormalizeWhitespace.apply("  a \t b\n\nc  "),
+            "a b c"
+        );
+        assert_eq!(Preprocess::NormalizeWhitespace.apply(""), "");
+        assert_eq!(Preprocess::NormalizeWhitespace.apply("   "), "");
+    }
+
+    #[test]
+    fn accent_folding() {
+        assert_eq!(Preprocess::FoldAccents.apply("café Müller"), "cafe Muller");
+        assert_eq!(Preprocess::FoldAccents.apply("日本"), "日本");
+    }
+
+    #[test]
+    fn number_normalisation() {
+        assert_eq!(
+            Preprocess::NormalizeNumbers.apply("$1,299.00 and €45"),
+            "1299.00 and 45"
+        );
+        // A comma that is not a thousands separator survives.
+        assert_eq!(Preprocess::NormalizeNumbers.apply("a, b"), "a, b");
+    }
+
+    #[test]
+    fn stopword_removal() {
+        assert_eq!(
+            Preprocess::RemoveStopwords.apply("the price of the tv"),
+            "price tv"
+        );
+    }
+
+    #[test]
+    fn pipeline_composes_in_order() {
+        let steps = standard_pipeline();
+        assert_eq!(
+            apply_pipeline(&steps, "  Café-Crème,  Deluxe! "),
+            "cafe creme deluxe"
+        );
+    }
+
+    #[test]
+    fn stemming_applies_per_token() {
+        assert_eq!(
+            Preprocess::Stem.apply("connected connections"),
+            "connect connect"
+        );
+    }
+}

@@ -1,0 +1,463 @@
+//! Similarity functions (axis 4 of the utility library).
+//!
+//! Every function returns a similarity in `[0, 1]` (1 = identical), so
+//! thresholds compose uniformly. Token-set measures take token slices;
+//! weighted measures take [`WeightedTokens`] maps; string measures take
+//! `&str`.
+
+use crate::weight::WeightedTokens;
+use std::collections::HashSet;
+
+// ---------------------------------------------------------------------------
+// Token-set measures
+// ---------------------------------------------------------------------------
+
+fn to_set<S: AsRef<str>>(tokens: &[S]) -> HashSet<&str> {
+    tokens.iter().map(AsRef::as_ref).collect()
+}
+
+/// Jaccard similarity `|A∩B| / |A∪B|`. Two empty sets are identical (1).
+pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(&b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
+pub fn overlap_coefficient<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let denom = a.len().min(b.len()) as f64;
+    if denom == 0.0 {
+        return 0.0;
+    }
+    a.intersection(&b).count() as f64 / denom
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)`.
+pub fn dice<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    2.0 * a.intersection(&b).count() as f64 / (a.len() + b.len()) as f64
+}
+
+/// Cosine similarity of the *binary* token-incidence vectors:
+/// `|A∩B| / sqrt(|A||B|)`.
+pub fn cosine_sets<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (a, b) = (to_set(a), to_set(b));
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let denom = ((a.len() * b.len()) as f64).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    a.intersection(&b).count() as f64 / denom
+}
+
+// ---------------------------------------------------------------------------
+// Weighted measures
+// ---------------------------------------------------------------------------
+
+/// Weighted Jaccard `Σ min(w_a, w_b) / Σ max(w_a, w_b)`.
+pub fn weighted_jaccard(a: &WeightedTokens, b: &WeightedTokens) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (t, &wa) in a {
+        let wb = b.get(t).copied().unwrap_or(0.0);
+        num += wa.min(wb);
+        den += wa.max(wb);
+    }
+    for (t, &wb) in b {
+        if !a.contains_key(t) {
+            den += wb;
+        }
+    }
+    if den == 0.0 {
+        return 1.0; // all-zero weights on both sides
+    }
+    num / den
+}
+
+/// Cosine similarity of weighted vectors (e.g. TF-IDF cosine).
+pub fn weighted_cosine(a: &WeightedTokens, b: &WeightedTokens) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut dot = 0.0;
+    for (t, &wa) in a {
+        if let Some(&wb) = b.get(t) {
+            dot += wa * wb;
+        }
+    }
+    let na: f64 = a.values().map(|w| w * w).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|w| w * w).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return if na == nb { 1.0 } else { 0.0 };
+    }
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+// ---------------------------------------------------------------------------
+// String (edit-based) measures
+// ---------------------------------------------------------------------------
+
+/// Levenshtein edit distance (unit costs), O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=a.len()).collect();
+    let mut cur = vec![0usize; a.len() + 1];
+    for (j, cb) in b.iter().enumerate() {
+        cur[0] = j + 1;
+        for (i, ca) in a.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[i + 1] = (prev[i] + cost).min(prev[i + 1] + 1).min(cur[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[a.len()]
+}
+
+/// Levenshtein with early exit: returns `None` when the distance exceeds
+/// `max`. Banded: O((|a|+|b|)·max) time.
+pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    if b.len() - a.len() > max {
+        return None;
+    }
+    if a.is_empty() {
+        return (b.len() <= max).then_some(b.len());
+    }
+    const BIG: usize = usize::MAX / 2;
+    let mut prev = vec![BIG; a.len() + 1];
+    let mut cur = vec![BIG; a.len() + 1];
+    for (i, p) in prev.iter_mut().enumerate().take(max.min(a.len()) + 1) {
+        *p = i;
+    }
+    for (j, cb) in b.iter().enumerate() {
+        // Band over i: |i - j| ≤ max (chars beyond can't recover).
+        let lo = j.saturating_sub(max);
+        let hi = (j + max + 1).min(a.len());
+        cur[0] = if j + 1 <= max { j + 1 } else { BIG };
+        if lo > 0 {
+            cur[lo] = BIG;
+        }
+        let mut row_min = cur[0];
+        for i in lo..hi {
+            let cost = usize::from(a[i] != *cb);
+            let v = (prev[i] + cost)
+                .min(prev[i + 1].saturating_add(1))
+                .min(cur[i].saturating_add(1));
+            cur[i + 1] = v;
+            row_min = row_min.min(v);
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        for v in cur.iter_mut() {
+            *v = BIG;
+        }
+    }
+    let d = prev[a.len()];
+    (d <= max).then_some(d)
+}
+
+/// Normalised Levenshtein similarity `1 − d / max(|a|,|b|)`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / la.max(lb) as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(a.len());
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                a_matched.push((i, j));
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare the matched chars of `a` (in a-order) with
+    // the matched chars of `b` (in b-order); half the positions that
+    // disagree.
+    let a_seq: Vec<char> = a_matched.iter().map(|&(i, _)| a[i]).collect();
+    let b_seq: Vec<char> = {
+        let mut with_idx: Vec<(usize, char)> =
+            a_matched.iter().map(|&(_, j)| (j, b[j])).collect();
+        with_idx.sort_unstable_by_key(|&(j, _)| j);
+        with_idx.into_iter().map(|(_, c)| c).collect()
+    };
+    let transpositions = a_seq
+        .iter()
+        .zip(b_seq.iter())
+        .filter(|(x, y)| x != y)
+        .count();
+    let t = transpositions as f64 / 2.0;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale 0.1, prefix ≤ 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).clamp(0.0, 1.0)
+}
+
+/// Monge-Elkan: for every token of `a`, the best `inner` similarity
+/// against tokens of `b`, averaged. Asymmetric by definition; use
+/// [`monge_elkan_sym`] for the symmetrised version.
+pub fn monge_elkan<S: AsRef<str>, F>(a: &[S], b: &[S], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64,
+{
+    if a.is_empty() {
+        return if b.is_empty() { 1.0 } else { 0.0 };
+    }
+    if b.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for ta in a {
+        let best = b
+            .iter()
+            .map(|tb| inner(ta.as_ref(), tb.as_ref()))
+            .fold(0.0f64, f64::max);
+        total += best;
+    }
+    total / a.len() as f64
+}
+
+/// Symmetrised Monge-Elkan: `min(ME(a,b), ME(b,a))` (the conservative
+/// direction — a short title contained in a long one shouldn't score 1).
+pub fn monge_elkan_sym<S: AsRef<str>, F>(a: &[S], b: &[S], inner: F) -> f64
+where
+    F: Fn(&str, &str) -> f64 + Copy,
+{
+    monge_elkan(a, b, inner).min(monge_elkan(b, a, inner))
+}
+
+/// Exact equality after trimming, as a 0/1 similarity.
+pub fn exact(a: &str, b: &str) -> f64 {
+    f64::from(a.trim() == b.trim())
+}
+
+/// Relative numeric similarity: `1 − |a−b| / max(|a|,|b|)`, clamped to
+/// `[0,1]`; both zero → 1.
+pub fn relative_numeric(a: f64, b: f64) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&toks("a b c"), &toks("a b c")), 1.0);
+        assert_eq!(jaccard(&toks("a b"), &toks("c d")), 0.0);
+        assert!((jaccard(&toks("a b c"), &toks("b c d")) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard::<String>(&[], &[]), 1.0);
+        assert_eq!(jaccard(&toks("a"), &[] as &[String]), 0.0);
+    }
+
+    #[test]
+    fn overlap_and_dice() {
+        let (a, b) = (toks("a b c d"), toks("a b"));
+        assert_eq!(overlap_coefficient(&a, &b), 1.0);
+        assert!((dice(&a, &b) - 2.0 * 2.0 / 6.0).abs() < 1e-12);
+        assert!((cosine_sets(&a, &b) - 2.0 / (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_favours_heavy_overlap() {
+        let mut a = WeightedTokens::new();
+        a.insert("rare".into(), 10.0);
+        a.insert("tv".into(), 1.0);
+        let mut b = WeightedTokens::new();
+        b.insert("rare".into(), 10.0);
+        b.insert("black".into(), 1.0);
+        let wj = weighted_jaccard(&a, &b);
+        assert!(wj > 0.8, "heavy shared token dominates: {wj}");
+        let uj = jaccard(&["rare", "tv"], &["rare", "black"]);
+        assert!(wj > uj);
+    }
+
+    #[test]
+    fn weighted_cosine_bounds() {
+        let mut a = WeightedTokens::new();
+        a.insert("x".into(), 2.0);
+        assert_eq!(weighted_cosine(&a, &a), 1.0);
+        let b = WeightedTokens::new();
+        assert_eq!(weighted_cosine(&a, &b), 0.0);
+        assert_eq!(weighted_cosine(&b, &b), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn bounded_levenshtein_agrees_or_bails() {
+        for (a, b) in [("kitten", "sitting"), ("abc", "abc"), ("a", "xyz"), ("", "")] {
+            let d = levenshtein(a, b);
+            for max in 0..6 {
+                let got = levenshtein_bounded(a, b, max);
+                if d <= max {
+                    assert_eq!(got, Some(d), "{a} {b} max={max}");
+                } else {
+                    assert_eq!(got, None, "{a} {b} max={max}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        assert!((jaro("martha", "marhta") - 0.944444).abs() < 1e-4);
+        assert!((jaro("dixon", "dicksonx") - 0.766667).abs() < 1e-4);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert!((jaro_winkler("martha", "marhta") - 0.961111).abs() < 1e-4);
+    }
+
+    #[test]
+    fn monge_elkan_containment() {
+        let a = toks("sony bravia");
+        let b = toks("sony bravia kdl 40 lcd tv");
+        let me = monge_elkan(&a, &b, |x, y| exact(x, y));
+        assert_eq!(me, 1.0); // every token of a appears in b
+        let sym = monge_elkan_sym(&a, &b, |x, y| exact(x, y));
+        assert!(sym < 1.0); // …but not vice versa
+    }
+
+    #[test]
+    fn relative_numeric_similarity() {
+        assert_eq!(relative_numeric(100.0, 100.0), 1.0);
+        assert!((relative_numeric(100.0, 90.0) - 0.9).abs() < 1e-12);
+        assert_eq!(relative_numeric(0.0, 0.0), 1.0);
+        assert_eq!(relative_numeric(0.0, 5.0), 0.0);
+    }
+
+    proptest! {
+        /// All set measures stay in [0,1], are symmetric, and are 1 on
+        /// identical inputs.
+        #[test]
+        fn set_measure_invariants(
+            a in proptest::collection::vec("[a-c]{1,3}", 0..6),
+            b in proptest::collection::vec("[a-c]{1,3}", 0..6),
+        ) {
+            for f in [jaccard::<String>, overlap_coefficient::<String>, dice::<String>, cosine_sets::<String>] {
+                let s = f(&a, &b);
+                prop_assert!((0.0..=1.0).contains(&s));
+                prop_assert!((f(&b, &a) - s).abs() < 1e-12);
+                prop_assert!((f(&a, &a) - 1.0).abs() < 1e-12);
+            }
+        }
+
+        /// Levenshtein is a metric: symmetry, identity, triangle
+        /// inequality.
+        #[test]
+        fn levenshtein_is_a_metric(
+            a in "[ab]{0,8}",
+            b in "[ab]{0,8}",
+            c in "[ab]{0,8}",
+        ) {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert!(
+                levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c)
+            );
+        }
+
+        /// The bounded variant agrees with the exact one whenever it
+        /// returns a value.
+        #[test]
+        fn bounded_matches_exact(
+            a in "[abc]{0,10}",
+            b in "[abc]{0,10}",
+            max in 0usize..8,
+        ) {
+            let exact_d = levenshtein(&a, &b);
+            match levenshtein_bounded(&a, &b, max) {
+                Some(d) => prop_assert_eq!(d, exact_d),
+                None => prop_assert!(exact_d > max),
+            }
+        }
+
+        /// Jaro(-Winkler) stays in [0,1] and is 1 on equal strings.
+        #[test]
+        fn jaro_bounds(a in "[a-d]{0,8}", b in "[a-d]{0,8}") {
+            let j = jaro(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&j));
+            let jw = jaro_winkler(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&jw));
+            prop_assert!(jw >= j - 1e-12);
+            prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

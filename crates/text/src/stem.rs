@@ -1,0 +1,391 @@
+//! The Porter stemming algorithm (Porter, 1980), implemented from scratch.
+//!
+//! Stemming lets an LF treat `"connected"`, `"connection"` and
+//! `"connecting"` as the same token, which raises token-overlap scores on
+//! matching tuples whose descriptions use different word forms.
+//!
+//! The implementation follows the original five-step description; the unit
+//! tests use the test vectors from the paper.
+
+/// Stem one token. Tokens with non-ASCII-alphabetic characters or length
+/// ≤ 2 are returned unchanged (the algorithm is defined for English words).
+pub fn porter_stem(token: &str) -> String {
+    if token.len() <= 2 || !token.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return token.to_string();
+    }
+    let mut s = Stemmer { b: token.to_ascii_lowercase().into_bytes(), j: 0 };
+    s.step1a();
+    s.step1b();
+    s.step1c();
+    s.step2();
+    s.step3();
+    s.step4();
+    s.step5();
+    String::from_utf8(s.b).expect("ascii in, ascii out")
+}
+
+struct Stemmer {
+    b: Vec<u8>,
+    /// End of the stem (index of last stem byte) after a suffix match.
+    j: usize,
+}
+
+impl Stemmer {
+    /// Is `b[i]` a consonant?
+    fn is_cons(&self, i: usize) -> bool {
+        match self.b[i] {
+            b'a' | b'e' | b'i' | b'o' | b'u' => false,
+            b'y' => i == 0 || !self.is_cons(i - 1),
+            _ => true,
+        }
+    }
+
+    /// The measure `m` of `b[0..=j]`: number of VC sequences.
+    fn measure(&self) -> usize {
+        let mut n = 0;
+        let mut i = 0;
+        let end = self.j + 1;
+        // Skip initial consonants.
+        while i < end {
+            if !self.is_cons(i) {
+                break;
+            }
+            i += 1;
+        }
+        loop {
+            // Skip vowels.
+            while i < end {
+                if self.is_cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i >= end {
+                return n;
+            }
+            n += 1;
+            // Skip consonants.
+            while i < end {
+                if !self.is_cons(i) {
+                    break;
+                }
+                i += 1;
+            }
+            if i >= end {
+                return n;
+            }
+        }
+    }
+
+    /// Does the stem `b[0..=j]` contain a vowel?
+    fn has_vowel(&self) -> bool {
+        (0..=self.j).any(|i| !self.is_cons(i))
+    }
+
+    /// Does the whole word end with a double consonant?
+    fn double_cons(&self) -> bool {
+        let k = self.b.len() - 1;
+        k >= 1 && self.b[k] == self.b[k - 1] && self.is_cons(k)
+    }
+
+    /// Does `b[0..=i]` end consonant-vowel-consonant, where the final
+    /// consonant is not w, x or y? (the `*o` condition)
+    fn cvc(&self, i: usize) -> bool {
+        if i < 2 || !self.is_cons(i) || self.is_cons(i - 1) || !self.is_cons(i - 2) {
+            return false;
+        }
+        !matches!(self.b[i], b'w' | b'x' | b'y')
+    }
+
+    /// If the word ends with `suffix`, set `j` to the end of the stem and
+    /// return true.
+    fn ends(&mut self, suffix: &str) -> bool {
+        let s = suffix.as_bytes();
+        if s.len() >= self.b.len() || !self.b.ends_with(s) {
+            // `>=` (not `>`): the whole word being the suffix leaves an
+            // empty stem, which the algorithm never rewrites.
+            return false;
+        }
+        self.j = self.b.len() - s.len() - 1;
+        true
+    }
+
+    /// Replace everything after the stem with `to`.
+    fn set_to(&mut self, to: &str) {
+        self.b.truncate(self.j + 1);
+        self.b.extend_from_slice(to.as_bytes());
+    }
+
+    /// `ends(suffix)` + `set_to(to)` when measure > threshold.
+    #[allow(dead_code)] // kept for symmetry with the reference implementation
+    fn replace_if_m(&mut self, suffix: &str, to: &str, min_m: usize) -> bool {
+        if self.ends(suffix) {
+            if self.measure() > min_m {
+                self.set_to(to);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn step1a(&mut self) {
+        if self.b.ends_with(b"s") {
+            if self.ends("sses") {
+                self.b.truncate(self.b.len() - 2);
+            } else if self.ends("ies") {
+                self.set_to("i");
+            } else if !self.b.ends_with(b"ss") && self.b.len() > 1 {
+                self.b.truncate(self.b.len() - 1);
+            }
+        }
+    }
+
+    fn step1b(&mut self) {
+        if self.ends("eed") {
+            if self.measure() > 0 {
+                self.b.truncate(self.b.len() - 1);
+            }
+            return;
+        }
+        let removed = if self.ends("ed") && self.has_vowel() {
+            self.b.truncate(self.j + 1);
+            true
+        } else if self.ends("ing") && self.has_vowel() {
+            self.b.truncate(self.j + 1);
+            true
+        } else {
+            false
+        };
+        if removed {
+            self.j = self.b.len().saturating_sub(1);
+            if self.ends_word(b"at") || self.ends_word(b"bl") || self.ends_word(b"iz") {
+                self.b.push(b'e');
+            } else if self.double_cons() && !matches!(self.b[self.b.len() - 1], b'l' | b's' | b'z')
+            {
+                self.b.pop();
+            } else if self.measure_full() == 1 && self.cvc(self.b.len() - 1) {
+                self.b.push(b'e');
+            }
+        }
+    }
+
+    /// `ends` without touching `j` (whole-word suffix check).
+    fn ends_word(&self, suffix: &[u8]) -> bool {
+        self.b.ends_with(suffix)
+    }
+
+    /// Measure of the whole word.
+    fn measure_full(&mut self) -> usize {
+        self.j = self.b.len() - 1;
+        self.measure()
+    }
+
+    fn step1c(&mut self) {
+        if self.ends("y") && self.has_vowel() {
+            let k = self.b.len() - 1;
+            self.b[k] = b'i';
+        }
+    }
+
+    fn step2(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("ational", "ate"),
+            ("tional", "tion"),
+            ("enci", "ence"),
+            ("anci", "ance"),
+            ("izer", "ize"),
+            ("abli", "able"),
+            ("alli", "al"),
+            ("entli", "ent"),
+            ("eli", "e"),
+            ("ousli", "ous"),
+            ("ization", "ize"),
+            ("ation", "ate"),
+            ("ator", "ate"),
+            ("alism", "al"),
+            ("iveness", "ive"),
+            ("fulness", "ful"),
+            ("ousness", "ous"),
+            ("aliti", "al"),
+            ("iviti", "ive"),
+            ("biliti", "ble"),
+        ];
+        for (suffix, to) in RULES {
+            if self.ends(suffix) {
+                if self.measure() > 0 {
+                    self.set_to(to);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step3(&mut self) {
+        const RULES: &[(&str, &str)] = &[
+            ("icate", "ic"),
+            ("ative", ""),
+            ("alize", "al"),
+            ("iciti", "ic"),
+            ("ical", "ic"),
+            ("ful", ""),
+            ("ness", ""),
+        ];
+        for (suffix, to) in RULES {
+            if self.ends(suffix) {
+                if self.measure() > 0 {
+                    self.set_to(to);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step4(&mut self) {
+        const SUFFIXES: &[&str] = &[
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
+            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+        ];
+        for suffix in SUFFIXES {
+            if self.ends(suffix) {
+                if *suffix == "ion" && !matches!(self.b[self.j], b's' | b't') {
+                    // `ion` only strips after s/t (adoption → adopt, but
+                    // not onion → on).
+                    return;
+                }
+                if self.measure() > 1 {
+                    self.b.truncate(self.j + 1);
+                }
+                return;
+            }
+        }
+    }
+
+    fn step5(&mut self) {
+        // 5a
+        if self.b.ends_with(b"e") && self.b.len() > 1 {
+            self.j = self.b.len() - 2;
+            let m = self.measure();
+            if m > 1 || (m == 1 && !self.cvc(self.b.len() - 2)) {
+                self.b.pop();
+            }
+        }
+        // 5b
+        if self.b.ends_with(b"l") && self.double_cons() {
+            self.j = self.b.len() - 1;
+            if self.measure() > 1 {
+                self.b.pop();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test vectors from Porter (1980).
+    #[test]
+    fn paper_vectors() {
+        for (input, expected) in [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ] {
+            assert_eq!(porter_stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn short_and_nonalpha_tokens_pass_through() {
+        assert_eq!(porter_stem("tv"), "tv");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("40in"), "40in");
+        assert_eq!(porter_stem("x-ray"), "x-ray");
+        assert_eq!(porter_stem(""), "");
+    }
+
+    #[test]
+    fn stemming_is_idempotent_on_common_words() {
+        for w in ["connect", "matching", "generalizations", "oscillators"] {
+            let once = porter_stem(w);
+            let twice = porter_stem(&once);
+            assert_eq!(once, twice, "idempotence for {w:?}");
+        }
+    }
+
+    #[test]
+    fn uppercase_is_lowercased() {
+        assert_eq!(porter_stem("Connected"), "connect");
+    }
+}

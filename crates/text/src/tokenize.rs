@@ -1,0 +1,128 @@
+//! Tokenizers (axis 2 of the utility library).
+
+use serde::{Deserialize, Serialize};
+
+/// A tokenization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tokenizer {
+    /// Split on runs of whitespace.
+    Whitespace,
+    /// Split on runs of non-alphanumeric characters (so `"wi-fi"` →
+    /// `["wi", "fi"]`).
+    Alnum,
+    /// Character q-grams of the given width over the padded string
+    /// (`QGram(3)` on `"tv"` → `"##tv##"` 3-grams). Padding makes short
+    /// strings comparable and weights boundaries.
+    QGram(usize),
+    /// Sliding word n-grams over whitespace tokens (`WordNGram(2)` on
+    /// `"sony bravia tv"` → `["sony bravia", "bravia tv"]`).
+    WordNGram(usize),
+}
+
+impl Tokenizer {
+    /// Tokenize `input`. Never returns empty *tokens*; may return an empty
+    /// *vector* for empty/degenerate input.
+    pub fn tokens(&self, input: &str) -> Vec<String> {
+        match self {
+            Tokenizer::Whitespace => input.split_whitespace().map(str::to_string).collect(),
+            Tokenizer::Alnum => input
+                .split(|c: char| !c.is_alphanumeric())
+                .filter(|t| !t.is_empty())
+                .map(str::to_string)
+                .collect(),
+            Tokenizer::QGram(q) => qgrams(input, *q),
+            Tokenizer::WordNGram(n) => {
+                let words: Vec<&str> = input.split_whitespace().collect();
+                let n = (*n).max(1);
+                if words.len() < n {
+                    // Shorter inputs yield the whole string as one token so
+                    // that "sony" vs "sony" still overlaps under WordNGram(2).
+                    return if words.is_empty() {
+                        vec![]
+                    } else {
+                        vec![words.join(" ")]
+                    };
+                }
+                words.windows(n).map(|w| w.join(" ")).collect()
+            }
+        }
+    }
+
+    /// Short stable name used in auto-generated LF descriptions.
+    pub fn name(&self) -> String {
+        match self {
+            Tokenizer::Whitespace => "space".to_string(),
+            Tokenizer::Alnum => "alnum".to_string(),
+            Tokenizer::QGram(q) => format!("{q}gram"),
+            Tokenizer::WordNGram(n) => format!("word{n}gram"),
+        }
+    }
+}
+
+/// Character q-grams over `#`-padded input. Empty input → no grams.
+fn qgrams(input: &str, q: usize) -> Vec<String> {
+    let q = q.max(1);
+    if input.is_empty() {
+        return vec![];
+    }
+    let mut padded: Vec<char> = Vec::with_capacity(input.chars().count() + 2 * (q - 1));
+    for _ in 0..q - 1 {
+        padded.push('#');
+    }
+    padded.extend(input.chars());
+    for _ in 0..q - 1 {
+        padded.push('#');
+    }
+    if padded.len() < q {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_tokens() {
+        assert_eq!(
+            Tokenizer::Whitespace.tokens("sony  bravia tv"),
+            vec!["sony", "bravia", "tv"]
+        );
+        assert!(Tokenizer::Whitespace.tokens("   ").is_empty());
+    }
+
+    #[test]
+    fn alnum_splits_punctuation() {
+        assert_eq!(Tokenizer::Alnum.tokens("wi-fi (2.4GHz)"), vec!["wi", "fi", "2", "4GHz"]);
+    }
+
+    #[test]
+    fn qgrams_padded() {
+        let grams = Tokenizer::QGram(3).tokens("tv");
+        assert_eq!(grams, vec!["##t", "#tv", "tv#", "v##"]);
+        assert!(Tokenizer::QGram(3).tokens("").is_empty());
+    }
+
+    #[test]
+    fn qgram_width_one_is_chars() {
+        assert_eq!(Tokenizer::QGram(1).tokens("abc"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn word_ngrams() {
+        assert_eq!(
+            Tokenizer::WordNGram(2).tokens("sony bravia tv"),
+            vec!["sony bravia", "bravia tv"]
+        );
+        // Shorter than n: whole string.
+        assert_eq!(Tokenizer::WordNGram(2).tokens("sony"), vec!["sony"]);
+        assert!(Tokenizer::WordNGram(2).tokens("").is_empty());
+    }
+
+    #[test]
+    fn unicode_qgrams_are_char_based() {
+        let grams = Tokenizer::QGram(2).tokens("éa");
+        assert_eq!(grams, vec!["#é", "éa", "a#"]);
+    }
+}

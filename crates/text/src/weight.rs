@@ -1,0 +1,145 @@
+//! Token weighting (axis 3 of the utility library).
+//!
+//! Rare tokens ("KDL-40V2500") identify products; frequent tokens ("tv",
+//! "black") don't. TF-IDF weighting makes overlap measures pay attention to
+//! the former. [`CorpusStats`] accumulates document frequencies over one or
+//! both input tables and hands out per-token IDF weights.
+
+use std::collections::HashMap;
+
+/// Corpus-level document-frequency statistics for TF-IDF weighting.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStats {
+    doc_freq: HashMap<String, u32>,
+    n_docs: u32,
+}
+
+impl CorpusStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document's token multiset (duplicates within the document
+    /// count once, as usual for document frequency).
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.n_docs += 1;
+        let mut seen: Vec<&str> = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            let t = t.as_ref();
+            if !seen.contains(&t) {
+                seen.push(t);
+                *self.doc_freq.entry(t.to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Number of documents added.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+
+    /// Document frequency of a token.
+    pub fn doc_freq(&self, token: &str) -> u32 {
+        self.doc_freq.get(token).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency:
+    /// `idf(t) = ln(1 + N / (1 + df(t)))`.
+    ///
+    /// Smoothing keeps unseen tokens finite and strictly positive, so
+    /// weighted measures degrade gracefully on out-of-corpus tokens.
+    pub fn idf(&self, token: &str) -> f64 {
+        let n = self.n_docs.max(1) as f64;
+        let df = self.doc_freq(token) as f64;
+        (1.0 + n / (1.0 + df)).ln()
+    }
+
+    /// Distinct tokens seen.
+    pub fn vocabulary_size(&self) -> usize {
+        self.doc_freq.len()
+    }
+}
+
+/// A weighted token vector: token → weight (weights ≥ 0).
+pub type WeightedTokens = HashMap<String, f64>;
+
+/// Build a uniform-weight vector (every distinct token weight 1).
+pub fn uniform_weights<S: AsRef<str>>(tokens: &[S]) -> WeightedTokens {
+    let mut out = WeightedTokens::with_capacity(tokens.len());
+    for t in tokens {
+        out.insert(t.as_ref().to_string(), 1.0);
+    }
+    out
+}
+
+/// Build a term-frequency vector (token count within the input).
+pub fn tf_weights<S: AsRef<str>>(tokens: &[S]) -> WeightedTokens {
+    let mut out = WeightedTokens::with_capacity(tokens.len());
+    for t in tokens {
+        *out.entry(t.as_ref().to_string()).or_insert(0.0) += 1.0;
+    }
+    out
+}
+
+/// Build a TF-IDF vector against corpus statistics.
+pub fn tfidf_weights<S: AsRef<str>>(tokens: &[S], stats: &CorpusStats) -> WeightedTokens {
+    let mut out = tf_weights(tokens);
+    for (tok, w) in out.iter_mut() {
+        *w *= stats.idf(tok);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let mut s = CorpusStats::new();
+        s.add_document(&["tv", "tv", "sony"]);
+        s.add_document(&["tv", "lg"]);
+        assert_eq!(s.n_docs(), 2);
+        assert_eq!(s.doc_freq("tv"), 2);
+        assert_eq!(s.doc_freq("sony"), 1);
+        assert_eq!(s.doc_freq("nope"), 0);
+        assert_eq!(s.vocabulary_size(), 3);
+    }
+
+    #[test]
+    fn idf_orders_rare_above_common() {
+        let mut s = CorpusStats::new();
+        for _ in 0..99 {
+            s.add_document(&["tv"]);
+        }
+        s.add_document(&["tv", "kdl40v2500"]);
+        assert!(s.idf("kdl40v2500") > s.idf("tv"));
+        // Unseen tokens get the highest weight of all.
+        assert!(s.idf("unseen") >= s.idf("kdl40v2500"));
+        assert!(s.idf("tv") > 0.0);
+    }
+
+    #[test]
+    fn weight_builders() {
+        let toks = ["a", "b", "a"];
+        let u = uniform_weights(&toks);
+        assert_eq!(u["a"], 1.0);
+        let tf = tf_weights(&toks);
+        assert_eq!(tf["a"], 2.0);
+        assert_eq!(tf["b"], 1.0);
+
+        let mut s = CorpusStats::new();
+        s.add_document(&["a"]);
+        s.add_document(&["a", "b"]);
+        let ti = tfidf_weights(&toks, &s);
+        assert!(ti["a"] < ti["b"] * 2.0 + 1e-12); // b rarer → higher idf
+    }
+
+    #[test]
+    fn idf_on_empty_corpus_is_finite() {
+        let s = CorpusStats::new();
+        assert!(s.idf("x").is_finite());
+        assert!(s.idf("x") > 0.0);
+    }
+}

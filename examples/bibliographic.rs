@@ -1,0 +1,120 @@
+//! Bibliographic matching (DBLP-Scholar style) + deduplication with the
+//! transitivity constraint.
+//!
+//! Part 1 matches a clean bibliography against a scraped-citation mess
+//! (abbreviated authors, abbreviated venues, duplicate entries).
+//! Part 2 deduplicates a single citation table — the setting where
+//! ZeroER's transitivity constraint (γ_ij·γ_ik ≤ γ_jk) has triangles to
+//! act on — and compares the Panda model with and without it.
+//!
+//! Run with: `cargo run --example bibliographic`
+
+use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda::prelude::*;
+use std::sync::Arc;
+
+fn bib_lfs(session: &mut PandaSession) {
+    // Character-3-gram Jaccard on titles (typo-robust).
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "title_3gram",
+        "title",
+        SimilarityConfig {
+            preprocess: panda::text::preprocess::standard_pipeline(),
+            tokenizer: Tokenizer::QGram(3),
+            weighting: Weighting::Uniform,
+            measure: Measure::Jaccard,
+        },
+        0.6,
+        0.15,
+    )));
+    // Stemmed-token Jaccard on titles.
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "title_overlap",
+        "title",
+        SimilarityConfig {
+            preprocess: vec![
+                Preprocess::Lowercase,
+                Preprocess::StripPunctuation,
+                Preprocess::Stem,
+                Preprocess::NormalizeWhitespace,
+            ],
+            tokenizer: Tokenizer::Whitespace,
+            weighting: Weighting::Uniform,
+            measure: Measure::Jaccard,
+        },
+        0.75,
+        0.15,
+    )));
+    // Author last names overlap (robust to "J. Smith" vs "James Smith"):
+    // Monge-Elkan with Jaro-Winkler inner similarity.
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "authors_me",
+        "authors",
+        SimilarityConfig {
+            preprocess: vec![Preprocess::Lowercase, Preprocess::StripPunctuation],
+            tokenizer: Tokenizer::Whitespace,
+            weighting: Weighting::Uniform,
+            measure: Measure::MongeElkan,
+        },
+        0.9,
+        0.3,
+    )));
+    // Different publication years refute a match (years are extracted
+    // with the regex engine; abstains when either side lacks one).
+    session.upsert_lf(Arc::new(ExtractionLf::new(
+        "year_unmatch",
+        &["year"],
+        panda::lf::builders::ExtractionPolicy::UnmatchOnly,
+        |text| panda::text::extract::years(text).iter().map(u32::to_string).collect(),
+    )));
+}
+
+fn main() {
+    // --- Part 1: two-table matching, clean vs dirty bibliography -------
+    let task = generate(
+        DatasetFamily::DblpScholar,
+        &GeneratorConfig::new(3).with_entities(250),
+    );
+    println!(
+        "DBLP vs Scholar: {} clean rows vs {} scraped rows ({} gold matches)",
+        task.left.len(),
+        task.right.len(),
+        task.gold.as_ref().unwrap().len()
+    );
+    let mut session = PandaSession::load(task, SessionConfig::default());
+    bib_lfs(&mut session);
+    session.apply();
+    let m = session.current_metrics().unwrap();
+    println!(
+        "Matching quality: precision {:.3}  recall {:.3}  F1 {:.3}\n",
+        m.precision, m.recall, m.f1
+    );
+
+    // --- Part 2: single-table dedup, transitivity on vs off ------------
+    let dedup = generate(
+        DatasetFamily::CoraDedup,
+        &GeneratorConfig::new(42).with_entities(120).with_right_dups(5),
+    );
+    println!(
+        "Cora-style dedup: {} rows with duplicate clusters",
+        dedup.left.len()
+    );
+    println!("{:<22} {:>9} {:>9} {:>9}", "model", "precision", "recall", "F1");
+    for (label, choice) in [
+        ("panda", ModelChoice::Panda),
+        (
+            "panda+transitivity",
+            ModelChoice::PandaTransitive(TransitivityMode::SelfJoin),
+        ),
+    ] {
+        let mut s = PandaSession::load(
+            dedup.clone(),
+            SessionConfig { model: choice, ..SessionConfig::default() },
+        );
+        bib_lfs(&mut s);
+        s.apply();
+        let m = s.current_metrics().unwrap();
+        println!("{label:<22} {:>9.3} {:>9.3} {:>9.3}", m.precision, m.recall, m.f1);
+    }
+    println!("\n(The transitivity projection recovers within-cluster pairs the LFs miss.)");
+}

@@ -1,0 +1,149 @@
+//! A scripted replay of the paper's demonstration scenario (§3, Steps
+//! 1–5), rendering the IDE panels as terminal tables.
+//!
+//! The browser GUI of the original demo is presentation over exactly this
+//! session API; every "click" in the paper corresponds to one method call
+//! below.
+//!
+//! Run with: `cargo run --example interactive_session`
+
+use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda::prelude::*;
+use std::sync::Arc;
+
+fn print_em_stats(em: &EmStats) {
+    println!("┌─ EM Stats Panel ─────────────────────────────");
+    println!("│ left table rows      {:>8}", em.left_rows);
+    println!("│ right table rows     {:>8}", em.right_rows);
+    println!("│ candidate set size   {:>8}", em.candidate_pairs);
+    println!("│ labeling functions   {:>8}", em.n_lfs);
+    println!("│ matches found        {:>8}", em.matches_found);
+    match em.estimated_precision {
+        Some(p) => println!("│ estimated precision  {:>8.3}", p),
+        None => println!("│ estimated precision  {:>8}", "NAN"),
+    }
+    println!("└──────────────────────────────────────────────");
+}
+
+fn print_lf_stats(session: &PandaSession) {
+    println!("┌─ LF Stats Panel ─────────────────────────────");
+    println!(
+        "│ {:<16} {:>5} {:>5} {:>6} {:>8} {:>8}",
+        "name", "+1", "-1", "abst", "est.FPR", "est.FNR"
+    );
+    let mut rows = session.lf_stats();
+    // The paper's Step 4: sort by estimated FPR, worst first.
+    rows.sort_by(|a, b| {
+        b.est_fpr
+            .unwrap_or(0.0)
+            .total_cmp(&a.est_fpr.unwrap_or(0.0))
+    });
+    for r in rows {
+        println!(
+            "│ {:<16} {:>5} {:>5} {:>6} {:>8.4} {:>8.4}",
+            r.name,
+            r.n_match,
+            r.n_nonmatch,
+            r.n_abstain,
+            r.est_fpr.unwrap_or(f64::NAN),
+            r.est_fnr.unwrap_or(f64::NAN)
+        );
+    }
+    println!("└──────────────────────────────────────────────");
+}
+
+fn print_viewer(rows: &[DataViewerRow], limit: usize) {
+    println!("┌─ Data Viewer Panel ──────────────────────────");
+    for row in rows.iter().take(limit) {
+        let name_col = row.columns.iter().position(|c| c == "name").unwrap_or(0);
+        println!(
+            "│ #{:<5} likelihood {:.3}  γ {:.3}",
+            row.candidate_index,
+            row.likelihood.unwrap_or(0.0),
+            row.model_gamma.unwrap_or(0.0)
+        );
+        println!("│   L: {}", row.left_values[name_col]);
+        println!("│   R: {}", row.right_values[name_col]);
+    }
+    println!("└──────────────────────────────────────────────");
+}
+
+fn main() {
+    // ── Step 1: upload dataset & initialization ─────────────────────────
+    println!("== Step 1: load data (blocking + auto-LF discovery) ==");
+    let task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(21).with_entities(250),
+    );
+    let mut session = PandaSession::load(task, SessionConfig::default());
+    print_em_stats(&session.em_stats());
+    print_lf_stats(&session);
+
+    // ── Step 2: view tuple pairs, develop LF ideas ──────────────────────
+    println!("\n== Step 2: 'Show' — smart-sample likely matches the model misses ==");
+    let sample = session.smart_sample(5);
+    print_viewer(&sample, 5);
+    println!("(Names of likely matches overlap heavily → idea: name_overlap LF)");
+
+    // ── Step 3: write the LF — with a deliberately loose threshold ──────
+    println!("\n== Step 3: write name_overlap (threshold 0.4) and apply ==");
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.4,
+        0.1,
+    )));
+    let report = session.apply();
+    println!(
+        "labeler.apply(): {} applied, {} reused (incremental)",
+        report.applied.len(),
+        report.reused.len()
+    );
+    print_lf_stats(&session);
+
+    // ── Step 4: debug LF quality ────────────────────────────────────────
+    println!("\n== Step 4: click name_overlap's estimated FPR → inspect, tighten to 0.6 ==");
+    let fpr_before = session
+        .lf_stats()
+        .into_iter()
+        .find(|r| r.name == "name_overlap")
+        .and_then(|r| r.est_fpr)
+        .unwrap_or(f64::NAN);
+    let offenders = session.debug_pairs("name_overlap", DebugQuery::LikelyFalsePositives, 3);
+    print_viewer(&offenders, 3);
+    println!("(These pairs don't share enough words — tighten the threshold.)");
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.6,
+        0.1,
+    )));
+    session.apply();
+    let fpr_after = session
+        .lf_stats()
+        .into_iter()
+        .find(|r| r.name == "name_overlap")
+        .and_then(|r| r.est_fpr)
+        .unwrap_or(f64::NAN);
+    println!("estimated FPR of name_overlap: {fpr_before:.4} → {fpr_after:.4}");
+
+    // ── Step 5: estimate overall EM quality ─────────────────────────────
+    println!("\n== Step 5: spot-label sampled predicted matches → estimated precision ==");
+    let to_label = session.sample_predicted_matches(10);
+    for row in &to_label {
+        // The demo user eyeballs each pair; we stand in with gold truth.
+        let truth = row.gold.expect("benchmark task has gold");
+        session.label_pair(row.candidate_index, truth);
+    }
+    print_em_stats(&session.em_stats());
+
+    if let Some(m) = session.current_metrics() {
+        println!(
+            "\nTrue quality (hidden from a real user): P {:.3}  R {:.3}  F1 {:.3}",
+            m.precision, m.recall, m.f1
+        );
+    }
+    println!("\nSession event log: {} events", session.events().len());
+}

@@ -1,0 +1,82 @@
+//! Quickstart: weakly supervised matching in ~60 lines.
+//!
+//! Loads an Abt-Buy-like product matching task, ports the paper's two
+//! example LFs (Figure 2) — `name_overlap` and `size_unmatch` — combines
+//! them with the auto-generated LFs through Panda's labeling model, and
+//! reports precision/recall/F1 against ground truth.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use panda::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A benchmark task with known ground truth (synthetic stand-in for
+    //    the Leipzig Abt-Buy dataset; see DESIGN.md §2).
+    let task = panda::datasets::generate(
+        panda::datasets::DatasetFamily::AbtBuy,
+        &panda::datasets::GeneratorConfig::new(42).with_entities(300),
+    );
+    println!(
+        "Loaded task: {} left rows, {} right rows, {} gold matches",
+        task.left.len(),
+        task.right.len(),
+        task.gold.as_ref().map(|g| g.len()).unwrap_or(0)
+    );
+
+    // 2. Start a session: blocking (embedding + LSH), auto-LF discovery,
+    //    initial labeling-model fit.
+    let mut session = PandaSession::load(task, SessionConfig::default());
+    let em = session.em_stats();
+    println!(
+        "After load: {} candidate pairs, {} auto LFs, {} matches found",
+        em.candidate_pairs, em.n_lfs, em.matches_found
+    );
+
+    // 3. The paper's Figure 2 LFs, ported to the builder DSL.
+    //    name_overlap: token Jaccard on "name"; > 0.6 → match, < 0.1 → non-match.
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.6,
+        0.1,
+    )));
+    //    size_unmatch: extract product sizes (40' / 46-inch …) from name +
+    //    description via the regex engine; different sizes → non-match.
+    session.upsert_lf(Arc::new(ExtractionLf::size_unmatch(&[
+        "name",
+        "description",
+    ])));
+
+    // 4. labeler.apply(): incremental — only the two new LFs execute.
+    let report = session.apply();
+    println!(
+        "Applied {} new LFs ({} cached, {} failed)",
+        report.applied.len(),
+        report.reused.len(),
+        report.failed.len()
+    );
+
+    // 5. Inspect the LF Stats Panel.
+    println!("\nLF Stats Panel:");
+    println!("{:<14} {:>6} {:>6} {:>7} {:>9} {:>9}", "LF", "+1", "-1", "abst", "est.FPR", "est.FNR");
+    for row in session.lf_stats() {
+        println!(
+            "{:<14} {:>6} {:>6} {:>7} {:>9.4} {:>9.4}",
+            row.name,
+            row.n_match,
+            row.n_nonmatch,
+            row.n_abstain,
+            row.est_fpr.unwrap_or(f64::NAN),
+            row.est_fnr.unwrap_or(f64::NAN),
+        );
+    }
+
+    // 6. Final quality against ground truth.
+    let m = session.current_metrics().expect("benchmark has gold");
+    println!(
+        "\nFinal quality: precision {:.3}  recall {:.3}  F1 {:.3}",
+        m.precision, m.recall, m.f1
+    );
+}

@@ -1,0 +1,65 @@
+//! # Panda: weakly supervised entity matching
+//!
+//! A from-scratch Rust reproduction of *"Demonstration of Panda: A Weakly
+//! Supervised Entity Matching System"* (PVLDB 14(12), 2021). Instead of
+//! hand-labeling tuple pairs, you write (or auto-generate) **labeling
+//! functions** that vote match / non-match / abstain, and an EM-specific
+//! **labeling model** combines the noisy votes into probabilistic labels.
+//!
+//! This crate is a facade: it re-exports the workspace crates and offers a
+//! [`prelude`] for the common path. See the `examples/` directory for
+//! runnable walkthroughs (start with `quickstart.rs`) and DESIGN.md for
+//! the architecture.
+//!
+//! ```
+//! use panda::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A benchmark task with known ground truth.
+//! let task = panda::datasets::generate(
+//!     panda::datasets::DatasetFamily::AbtBuy,
+//!     &panda::datasets::GeneratorConfig::new(1).with_entities(60),
+//! );
+//!
+//! // Load a session: blocking + auto-LF discovery + model fit.
+//! let mut session = PandaSession::load(task, SessionConfig::default());
+//!
+//! // Write the paper's name_overlap LF and re-apply incrementally.
+//! session.upsert_lf(Arc::new(SimilarityLf::new(
+//!     "name_overlap", "name", SimilarityConfig::default_jaccard(), 0.6, 0.1,
+//! )));
+//! session.apply();
+//!
+//! let stats = session.em_stats();
+//! assert!(stats.matches_found > 0);
+//! ```
+
+pub use panda_autolf as autolf;
+pub use panda_datasets as datasets;
+pub use panda_embed as embed;
+pub use panda_eval as eval;
+pub use panda_lf as lf;
+pub use panda_model as model;
+pub use panda_regex as regex;
+pub use panda_session as session;
+pub use panda_table as table;
+pub use panda_text as text;
+
+/// The common path: everything a typical Panda program touches.
+pub mod prelude {
+    pub use panda_autolf::{generate_auto_lfs, AutoLfConfig};
+    pub use panda_embed::{Blocker, EmbeddingLshBlocker};
+    pub use panda_eval::metrics::metrics_at_half;
+    pub use panda_lf::{
+        AttributeEqualityLf, ClosureLf, ExtractionLf, Label, LabelMatrix, LabelingFunction,
+        LfRegistry, NumericToleranceLf, SimilarityLf,
+    };
+    pub use panda_model::{
+        LabelModel, MajorityVote, PandaModel, SnorkelModel, TransitivityMode,
+    };
+    pub use panda_session::{
+        DataViewerRow, DebugQuery, EmStats, ModelChoice, PandaSession, SessionConfig,
+    };
+    pub use panda_table::{CandidatePair, CandidateSet, MatchSet, Table, TablePair, Value};
+    pub use panda_text::{Measure, Preprocess, SimilarityConfig, Tokenizer, Weighting};
+}

@@ -1,0 +1,172 @@
+//! The paper's demonstration scenario (§3, Steps 1–5) as an executable
+//! specification: every narrated interaction with its claimed effect.
+
+use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda::prelude::*;
+use panda::session::SessionEvent;
+use std::sync::Arc;
+
+fn abt_buy() -> panda::table::TablePair {
+    generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(12).with_entities(220))
+}
+
+/// Step 1: "the system performs blocking and discovers LFs automatically…
+/// the discovered LFs are combined by the labeling model to obtain EM &
+/// LF stats."
+#[test]
+fn step1_load_blocks_discovers_and_fits() {
+    let session = PandaSession::load(abt_buy(), SessionConfig::default());
+    let events = session.events();
+    assert!(matches!(events[0], SessionEvent::Loaded { .. }));
+    assert!(matches!(events[1], SessionEvent::AutoLfsDiscovered { count } if count > 0));
+    let em = session.em_stats();
+    assert!(em.candidate_pairs > 0);
+    assert!(em.n_lfs > 0, "auto LFs registered");
+    assert!(em.matches_found > 0, "stats panel shows found matches");
+    assert_eq!(em.estimated_precision, None, "initialized as NAN");
+    assert!(!session.lf_stats().is_empty());
+}
+
+/// Step 2: "the system performs smart sampling and shows … likely
+/// matching pairs that are abstained or labeled as non-match by the
+/// current LFs."
+#[test]
+fn step2_smart_sampling_surfaces_missed_matches() {
+    let mut session = PandaSession::load(abt_buy(), SessionConfig::default());
+    let sample = session.smart_sample(25);
+    assert!(!sample.is_empty());
+    for row in &sample {
+        assert!(
+            row.model_gamma.unwrap() < 0.5,
+            "every sampled pair is currently missed by the model"
+        );
+    }
+    // The point of smart sampling: a decent fraction of what it shows are
+    // real matches, despite the model missing them. Random pairs would be
+    // overwhelmingly non-matches.
+    let hits = sample.iter().filter(|r| r.gold == Some(true)).count();
+    let mut rnd_session = PandaSession::load(abt_buy(), SessionConfig::default());
+    let rnd = rnd_session.random_sample(25);
+    let rnd_hits = rnd.iter().filter(|r| r.gold == Some(true)).count();
+    assert!(
+        hits >= rnd_hits,
+        "smart sampling ({hits}) should beat or tie random sampling ({rnd_hits})"
+    );
+}
+
+/// Step 3: writing `name_overlap` and applying it incrementally.
+#[test]
+fn step3_new_lf_applies_incrementally() {
+    let mut session = PandaSession::load(abt_buy(), SessionConfig::default());
+    let n_auto = session.registry().len();
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.4,
+        0.1,
+    )));
+    let report = session.apply();
+    assert_eq!(report.applied, vec!["name_overlap"], "only the new LF executes");
+    assert_eq!(report.reused.len(), n_auto, "auto LF columns are reused");
+}
+
+/// Step 4: "the user … changes the threshold of being a match in LF
+/// name_overlap from > 0.4 to > 0.6. After re-applying the LF, the FPR of
+/// the LF decreases."
+#[test]
+fn step4_tightening_threshold_cuts_estimated_fpr() {
+    let mut session = PandaSession::load(abt_buy(), SessionConfig::default());
+    let fpr_at = |s: &mut PandaSession, threshold: f64| -> f64 {
+        s.upsert_lf(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            threshold,
+            0.1,
+        )));
+        s.apply();
+        s.lf_stats()
+            .into_iter()
+            .find(|r| r.name == "name_overlap")
+            .and_then(|r| r.est_fpr)
+            .expect("model fitted")
+    };
+    let fpr_loose = fpr_at(&mut session, 0.4);
+    // The user inspects the likely false positives before editing.
+    let offenders = session.debug_pairs("name_overlap", DebugQuery::LikelyFalsePositives, 50);
+    for row in &offenders {
+        assert!(row.model_gamma.unwrap() < 0.5);
+    }
+    let fpr_tight = fpr_at(&mut session, 0.6);
+    assert!(
+        fpr_tight < fpr_loose,
+        "estimated FPR must drop when tightening 0.4 → 0.6: {fpr_loose:.4} → {fpr_tight:.4}"
+    );
+    // And the estimate tracks reality: true FPR drops too.
+    let row = session
+        .lf_stats()
+        .into_iter()
+        .find(|r| r.name == "name_overlap")
+        .unwrap();
+    assert!(row.true_fpr.unwrap() <= fpr_loose + 0.05);
+}
+
+/// Step 5: spot-labeling sampled predicted matches yields the estimated
+/// precision in the EM Stats Panel.
+#[test]
+fn step5_estimated_precision_from_spot_labels() {
+    let mut session = PandaSession::load(abt_buy(), SessionConfig::default());
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.6,
+        0.1,
+    )));
+    session.apply();
+
+    let sample = session.sample_predicted_matches(20);
+    assert!(!sample.is_empty());
+    for row in &sample {
+        assert!(row.model_gamma.unwrap() >= 0.5, "sampled from predicted matches");
+        session.label_pair(row.candidate_index, row.gold.unwrap());
+    }
+    let em = session.em_stats();
+    let est = em.estimated_precision.expect("labels provided");
+    let truth = session.current_metrics().unwrap().precision;
+    // 20 spot labels estimate precision within a wide-but-useful band.
+    assert!(
+        (est - truth).abs() < 0.35,
+        "estimated {est:.3} vs true {truth:.3} precision"
+    );
+}
+
+/// The full loop improves the solution: auto LFs alone vs auto + the
+/// user's session work.
+#[test]
+fn the_workflow_improves_f1() {
+    let base = PandaSession::load(abt_buy(), SessionConfig::default());
+    let f1_auto = base.current_metrics().unwrap().f1;
+
+    let mut session = PandaSession::load(abt_buy(), SessionConfig::default());
+    for lf in [
+        Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )) as panda::lf::BoxedLf,
+        Arc::new(ExtractionLf::size_unmatch(&["name", "description"])),
+        Arc::new(NumericToleranceLf::new("price_close", "price", 0.15, 0.6)),
+    ] {
+        session.upsert_lf(lf);
+    }
+    session.apply();
+    let f1_final = session.current_metrics().unwrap().f1;
+    assert!(
+        f1_final >= f1_auto,
+        "user LFs must not hurt: auto {f1_auto:.3} → final {f1_final:.3}"
+    );
+}

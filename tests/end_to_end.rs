@@ -1,0 +1,192 @@
+//! End-to-end pipeline tests: dataset generation → blocking → auto +
+//! manual LFs → labeling model → evaluation, across every benchmark
+//! family. These are the "does the whole system hang together" checks —
+//! per-module behaviour is covered by each crate's unit tests.
+
+use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda::prelude::*;
+use std::sync::Arc;
+
+fn curated(family: DatasetFamily, session: &mut PandaSession) {
+    match family {
+        DatasetFamily::AbtBuy | DatasetFamily::AmazonGoogle | DatasetFamily::AbtBuyDirty => {
+            session.upsert_lf(Arc::new(SimilarityLf::new(
+                "name_overlap",
+                "name",
+                SimilarityConfig::default_jaccard(),
+                0.6,
+                0.1,
+            )));
+            session.upsert_lf(Arc::new(ExtractionLf::size_unmatch(&[
+                "name",
+                "description",
+            ])));
+            session.upsert_lf(Arc::new(NumericToleranceLf::new(
+                "price_close",
+                "price",
+                0.15,
+                0.6,
+            )));
+        }
+        DatasetFamily::DblpAcm | DatasetFamily::DblpScholar | DatasetFamily::CoraDedup => {
+            session.upsert_lf(Arc::new(SimilarityLf::new(
+                "title_overlap",
+                "title",
+                SimilarityConfig::default_jaccard(),
+                0.7,
+                0.15,
+            )));
+        }
+        DatasetFamily::WalmartAmazon => {
+            session.upsert_lf(Arc::new(
+                SimilarityLf::new(
+                    "title_name",
+                    "title",
+                    SimilarityConfig::default_jaccard(),
+                    0.5,
+                    0.1,
+                )
+                .with_attrs("title", "name"),
+            ));
+        }
+        DatasetFamily::FodorsZagats => {
+            session.upsert_lf(Arc::new(SimilarityLf::new(
+                "name_overlap",
+                "name",
+                SimilarityConfig::default_jaccard(),
+                0.6,
+                0.1,
+            )));
+            session.upsert_lf(Arc::new(SimilarityLf::new(
+                "addr_overlap",
+                "addr",
+                SimilarityConfig::default_jaccard(),
+                0.7,
+                0.05,
+            )));
+        }
+    }
+}
+
+#[test]
+fn every_family_reaches_a_sane_f1() {
+    // Floors are deliberately conservative — the point is "the pipeline
+    // works end to end on every family", not peak tuning.
+    let floors = [
+        (DatasetFamily::AbtBuy, 0.6),
+        (DatasetFamily::AmazonGoogle, 0.6),
+        (DatasetFamily::DblpAcm, 0.6),
+        (DatasetFamily::DblpScholar, 0.45),
+        (DatasetFamily::FodorsZagats, 0.6),
+    ];
+    for (family, floor) in floors {
+        let task = generate(family, &GeneratorConfig::new(9).with_entities(200));
+        let mut session = PandaSession::load(task, SessionConfig::default());
+        curated(family, &mut session);
+        session.apply();
+        let m = session.current_metrics().expect("benchmark gold");
+        assert!(
+            m.f1 >= floor,
+            "{}: F1 {:.3} below floor {floor}",
+            family.name(),
+            m.f1
+        );
+    }
+}
+
+#[test]
+fn blocking_keeps_most_gold_matches() {
+    for family in DatasetFamily::suite() {
+        let task = generate(family, &GeneratorConfig::new(15).with_entities(200));
+        let blocker = EmbeddingLshBlocker::new(15);
+        let cands = blocker.candidates(&task);
+        let stats = panda::embed::blocking_stats(&task, &cands);
+        // The heavy-noise scholar family legitimately loses more matches
+        // at the blocking stage (as it does on the real dataset).
+        let floor = if family == DatasetFamily::DblpScholar { 0.75 } else { 0.85 };
+        assert!(
+            stats.recall >= floor,
+            "{}: blocking recall {:.3}",
+            family.name(),
+            stats.recall
+        );
+        assert!(
+            stats.reduction_ratio < 0.5,
+            "{}: blocking should prune at least half the cross product",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn panda_model_is_competitive_with_snorkel_across_suite() {
+    // The E1 shape, asserted loosely: Panda's average F1 over the suite
+    // must be at least Snorkel's (it should usually be strictly higher).
+    let mut panda_total = 0.0;
+    let mut snorkel_total = 0.0;
+    for family in DatasetFamily::suite() {
+        let task = generate(family, &GeneratorConfig::new(4).with_entities(200));
+        let mut session = PandaSession::load(task, SessionConfig::default());
+        curated(family, &mut session);
+        session.apply();
+        let gold = session.gold_vector().unwrap();
+        let matrix = session.matrix();
+        let cands = session.candidates();
+        let pd = PandaModel::new().fit_predict(matrix, Some(cands));
+        let sn = SnorkelModel::new().fit_predict(matrix, Some(cands));
+        panda_total += metrics_at_half(&pd, &gold).f1;
+        snorkel_total += metrics_at_half(&sn, &gold).f1;
+    }
+    assert!(
+        panda_total >= snorkel_total - 0.02,
+        "panda avg {:.3} vs snorkel avg {:.3}",
+        panda_total / 5.0,
+        snorkel_total / 5.0
+    );
+}
+
+#[test]
+fn deployment_phase_scales_the_dev_lfs() {
+    let dev_task = generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(2).with_entities(120));
+    let mut session = PandaSession::load(dev_task, SessionConfig::default());
+    curated(DatasetFamily::AbtBuy, &mut session);
+    session.apply();
+    let dev_f1 = session.current_metrics().unwrap().f1;
+
+    let full_task = generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(99).with_entities(600));
+    let result = session.deploy(&full_task);
+    let dm = result.metrics.unwrap();
+    // LFs are rules, not fitted weights, so the *signal* transfers; the
+    // unsupervised model re-fit on a junkier candidate distribution costs
+    // precision but must not collapse.
+    assert!(
+        dm.recall > 0.8,
+        "deployed recall {:.3} — the rules should still find the matches",
+        dm.recall
+    );
+    assert!(
+        dm.f1 > 0.45,
+        "deployed F1 {:.3} collapsed (dev was {dev_f1:.3})",
+        dm.f1
+    );
+    assert!(result.predicted.len() > 100, "finds matches at scale");
+}
+
+#[test]
+fn dataset_round_trip_through_csv_preserves_pipeline_results() {
+    let task = generate(DatasetFamily::FodorsZagats, &GeneratorConfig::new(8).with_entities(80));
+    let dir = std::env::temp_dir().join("panda-e2e-roundtrip");
+    panda::datasets::loader::save_task(&dir, "fz", &task).unwrap();
+    let reloaded = panda::datasets::loader::load_task(&dir, "fz").unwrap();
+
+    let run = |t: panda::table::TablePair| {
+        let mut s = PandaSession::load(t, SessionConfig::default());
+        curated(DatasetFamily::FodorsZagats, &mut s);
+        s.apply();
+        s.current_metrics().unwrap()
+    };
+    let m1 = run(task);
+    let m2 = run(reloaded);
+    assert!((m1.f1 - m2.f1).abs() < 1e-9, "identical results after disk round trip");
+    std::fs::remove_dir_all(&dir).ok();
+}

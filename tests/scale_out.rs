@@ -1,0 +1,81 @@
+//! The paper's §4 scaling story, end to end: develop LFs on a
+//! down-sampled task, then apply the final LF set to the full dataset in
+//! the deployment phase.
+
+use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda::prelude::*;
+use panda::session::downsample_task;
+use std::sync::Arc;
+
+#[test]
+fn develop_on_sample_deploy_on_full() {
+    // "Millions of records" stands in as 800 entities — the mechanics are
+    // scale-free; test time isn't.
+    let full = generate(
+        DatasetFamily::FodorsZagats,
+        &GeneratorConfig::new(33).with_entities(800),
+    );
+    let full_rows = (full.left.len(), full.right.len());
+
+    // Development phase on a ~15% sample.
+    let dev_task = downsample_task(&full, 120, 120, 7);
+    assert!(dev_task.left.len() <= 120 && dev_task.right.len() <= 120);
+    assert!(
+        !dev_task.gold.as_ref().unwrap().is_empty(),
+        "sample retains some gold matches to develop against"
+    );
+
+    let mut session = PandaSession::load(dev_task, SessionConfig::default());
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.6,
+        0.1,
+    )));
+    session.upsert_lf(panda::lf::phone_matcher("phone_eq", "phone"));
+    session.upsert_lf(panda::lf::address_matcher("addr_match", "addr"));
+    session.apply();
+    let dev_m = session.current_metrics().unwrap();
+    assert!(dev_m.f1 > 0.6, "development-phase quality: {dev_m:?}");
+
+    // Deployment phase on the full tables.
+    let result = session.deploy(&full);
+    let m = result.metrics.unwrap();
+    assert!(
+        m.f1 > 0.6,
+        "deployed F1 {:.3} on the full {}×{} task",
+        m.f1,
+        full_rows.0,
+        full_rows.1
+    );
+    assert!(m.recall > 0.7, "rules found the matches at scale: {m:?}");
+}
+
+#[test]
+fn builtin_matchers_work_inside_a_session() {
+    let task = generate(
+        DatasetFamily::FodorsZagats,
+        &GeneratorConfig::new(44).with_entities(150),
+    );
+    // Builtin-matcher-only solution: no similarity thresholds at all.
+    let mut session = PandaSession::load(
+        task,
+        SessionConfig { auto_lfs: false, ..SessionConfig::default() },
+    );
+    session.upsert_lf(panda::lf::phone_matcher("phone_eq", "phone"));
+    session.upsert_lf(panda::lf::address_matcher("addr_match", "addr"));
+    session.upsert_lf(Arc::new(SimilarityLf::new(
+        "name_overlap",
+        "name",
+        SimilarityConfig::default_jaccard(),
+        0.6,
+        0.1,
+    )));
+    session.apply();
+    let m = session.current_metrics().unwrap();
+    assert!(
+        m.f1 > 0.7,
+        "builtin matchers give a strong restaurant solution: {m:?}"
+    );
+}
