@@ -61,10 +61,7 @@ pub fn estimate_precision(
 
 /// Estimate the union of several join rules: the union of their joined
 /// pair sets, evaluated with the same uniqueness counting.
-pub fn estimate_union(
-    joined_sets: &[&Vec<usize>],
-    candidates: &CandidateSet,
-) -> PrecisionEstimate {
+pub fn estimate_union(joined_sets: &[&Vec<usize>], candidates: &CandidateSet) -> PrecisionEstimate {
     let mut seen = std::collections::HashSet::new();
     let mut per_right: HashMap<RecordId, u32> = HashMap::new();
     for set in joined_sets {

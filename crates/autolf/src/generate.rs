@@ -4,12 +4,14 @@ use crate::estimate::estimate_precision;
 use crate::select::{greedy_select, SelectionInput};
 use panda_lf::lf::LfProvenance;
 use panda_lf::SimilarityLf;
-use panda_table::{CandidateSet, TablePair};
+use panda_table::{CandidateSet, Table, TablePair};
 use panda_text::config::default_config_grid;
-use panda_text::preprocess::{apply_pipeline, standard_pipeline};
+use panda_text::prepared::{ColumnKey, PreparedColumn, TokenCache, WeightKey};
+use panda_text::preprocess::standard_pipeline;
 use panda_text::tokenize::Tokenizer;
+use panda_text::weight::WeightedTokens;
 use panda_text::{CorpusStats, SimilarityConfig, Weighting};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Generator knobs.
@@ -101,33 +103,139 @@ pub fn generate_auto_lfs(
         .map(|a| (a.clone(), a))
         .collect();
     attr_pairs.extend(cfg.attribute_pairs.iter().cloned());
+    // Seen-set dedupe: duplicates need not be adjacent (e.g. an explicit
+    // attribute pair repeating an auto-detected shared attribute).
+    let mut seen_pairs: HashSet<(String, String)> = HashSet::new();
     attr_pairs.retain(|(l, r)| {
-        tables.left.schema().contains(l) && tables.right.schema().contains(r)
+        tables.left.schema().contains(l)
+            && tables.right.schema().contains(r)
+            && seen_pairs.insert((l.clone(), r.clone()))
     });
-    attr_pairs.dedup();
     if attr_pairs.is_empty() || candidates.is_empty() {
         return Vec::new();
     }
 
-    // Corpus stats per (attribute pair, word|gram) for TF-IDF configs:
-    // both sides' values of the paired attributes form one corpus.
+    let grid = default_config_grid();
+
+    // ---- Prepare phase (serial): each (table, attribute, pipeline,
+    // tokenizer) column is preprocessed/tokenized exactly once, weight
+    // vectors are derived once per weighting, and TF-IDF corpus stats are
+    // built lazily — only for the tokenizer classes some TF-IDF config in
+    // the grid actually uses.
+    let mut cache = TokenCache::new();
+    let mut texts: HashMap<(bool, String), Arc<Vec<String>>> = HashMap::new();
+    let mut column_texts = |right: bool, attr: &str| -> Arc<Vec<String>> {
+        texts
+            .entry((right, attr.to_string()))
+            .or_insert_with(|| {
+                let table: &Table = if right { &tables.right } else { &tables.left };
+                Arc::new(table.records().map(|rec| rec.text(attr)).collect())
+            })
+            .clone()
+    };
+    let side_name = |right: bool| if right { "right" } else { "left" };
+
+    // Corpus stats per (attribute pair, word|gram): both sides' values of
+    // the paired attributes form one corpus. Documents are cleaned with
+    // the standard pipeline, independent of the scoring config's pipeline.
+    let tfidf_grams: HashSet<bool> = grid
+        .iter()
+        .filter(|c| c.weighting == Weighting::TfIdf && c.measure.is_set_measure())
+        .map(|c| matches!(c.tokenizer, Tokenizer::QGram(_)))
+        .collect();
+    let std_pipeline = standard_pipeline();
     let mut stats: HashMap<(String, String, bool), Arc<CorpusStats>> = HashMap::new();
     for (la, ra) in &attr_pairs {
-        for grams in [false, true] {
-            let tokenizer = if grams { Tokenizer::QGram(3) } else { Tokenizer::Whitespace };
+        for &grams in &tfidf_grams {
+            let tokenizer = if grams {
+                Tokenizer::QGram(3)
+            } else {
+                Tokenizer::Whitespace
+            };
             let mut s = CorpusStats::new();
-            for (table, attr) in [(&tables.left, la), (&tables.right, ra)] {
-                for rec in table.records() {
-                    let cleaned = apply_pipeline(&standard_pipeline(), &rec.text(attr));
-                    s.add_document(&tokenizer.tokens(&cleaned));
-                }
+            for (right, attr) in [(false, la), (true, ra)] {
+                let col_texts = column_texts(right, attr);
+                let col = cache.column_or_build(
+                    ColumnKey::new(side_name(right), attr.clone(), &std_pipeline, tokenizer),
+                    || col_texts.to_vec(),
+                    &std_pipeline,
+                    tokenizer,
+                );
+                col.add_documents(&mut s);
             }
             stats.insert((la.clone(), ra.clone(), grams), Arc::new(s));
         }
     }
 
-    // Score every candidate under every (attribute, config); search the
-    // threshold grid.
+    // One grid cell = one (attribute pair, config): everything the
+    // scoring phase needs, resolved against the cache up front.
+    struct Cell {
+        attr: String,
+        right_attr: String,
+        config: SimilarityConfig,
+        corpus: Option<Arc<CorpusStats>>,
+        left_col: Arc<PreparedColumn>,
+        right_col: Arc<PreparedColumn>,
+        left_weights: Option<Arc<Vec<WeightedTokens>>>,
+        right_weights: Option<Arc<Vec<WeightedTokens>>>,
+    }
+    let mut cells: Vec<Cell> = Vec::with_capacity(attr_pairs.len() * grid.len());
+    for (la, ra) in &attr_pairs {
+        for config in &grid {
+            let grams = matches!(config.tokenizer, Tokenizer::QGram(_));
+            let corpus = (config.weighting == Weighting::TfIdf && config.measure.is_set_measure())
+                .then(|| stats[&(la.clone(), ra.clone(), grams)].clone());
+            // Weighted set measures attach prebuilt per-record weight
+            // vectors; everything else scores straight off the column.
+            let weighted = matches!(
+                config.measure,
+                panda_text::Measure::Jaccard | panda_text::Measure::Cosine
+            );
+            let mut side = |right: bool, attr: &str| {
+                let key =
+                    ColumnKey::new(side_name(right), attr, &config.preprocess, config.tokenizer);
+                let col_texts = column_texts(right, attr);
+                let col = cache.column_or_build(
+                    key.clone(),
+                    || col_texts.to_vec(),
+                    &config.preprocess,
+                    config.tokenizer,
+                );
+                let weights = weighted.then(|| {
+                    let corpus_id = corpus
+                        .as_ref()
+                        .map(|_| format!("{la}~{ra}|{}", if grams { "gram" } else { "word" }))
+                        .unwrap_or_default();
+                    cache.weights_or_build(
+                        WeightKey {
+                            column: key,
+                            weighting: config.weighting.name().to_string(),
+                            corpus: corpus_id,
+                        },
+                        config.weighting,
+                        corpus.as_deref(),
+                    )
+                });
+                (col, weights)
+            };
+            let (left_col, left_weights) = side(false, la);
+            let (right_col, right_weights) = side(true, ra);
+            cells.push(Cell {
+                attr: la.clone(),
+                right_attr: ra.clone(),
+                config: config.clone(),
+                corpus,
+                left_col,
+                right_col,
+                left_weights,
+                right_weights,
+            });
+        }
+    }
+
+    // ---- Score phase (parallel): every candidate under every grid cell,
+    // then the threshold search. Cells are independent; results come back
+    // in cell order, so survivors match the serial nested-loop order.
     struct Survivor {
         attr: String,
         right_attr: String,
@@ -138,59 +246,63 @@ pub fn generate_auto_lfs(
         est_support: usize,
         joined: Vec<usize>,
     }
-    let mut survivors: Vec<Survivor> = Vec::new();
-
-    for (la, ra) in &attr_pairs {
-        for config in default_config_grid() {
-            let grams = matches!(config.tokenizer, Tokenizer::QGram(_));
-            let corpus = (config.weighting == Weighting::TfIdf)
-                .then(|| stats[&(la.clone(), ra.clone(), grams)].clone());
-            let scored: Vec<(usize, f64)> = candidates
-                .iter()
-                .map(|(idx, pair)| {
-                    let p = tables.pair_ref(pair).expect("candidate in range");
-                    let a = p.left.text(la);
-                    let b = p.right.text(ra);
-                    if a.trim().is_empty() || b.trim().is_empty() {
-                        (idx, -1.0) // missing text never joins
-                    } else {
-                        (idx, config.score(&a, &b, corpus.as_deref()))
-                    }
-                })
-                .collect();
-
-            // Smallest threshold meeting the precision target = max recall
-            // subject to precision.
-            for &theta in &cfg.thresholds {
-                let est = estimate_precision(&scored, candidates, theta);
-                if est.est_precision >= cfg.precision_target
-                    && est.est_support >= cfg.min_support
-                {
-                    let joined = scored
-                        .iter()
-                        .filter(|(_, s)| *s >= theta)
-                        .map(|(i, _)| *i)
-                        .collect();
-                    survivors.push(Survivor {
-                        attr: la.clone(),
-                        right_attr: ra.clone(),
-                        config: config.clone(),
-                        corpus: corpus.clone(),
-                        threshold: theta,
-                        est_precision: est.est_precision,
-                        est_support: est.est_support,
-                        joined,
-                    });
-                    break;
+    let survivors: Vec<Survivor> = panda_exec::par_map_indexed(&cells, |_, cell| {
+        let scored: Vec<(usize, f64)> = candidates
+            .iter()
+            .map(|(idx, pair)| {
+                let li = pair.left.0 as usize;
+                let ri = pair.right.0 as usize;
+                if cell.left_col.is_blank(li) || cell.right_col.is_blank(ri) {
+                    (idx, -1.0) // missing text never joins
+                } else {
+                    let a = match &cell.left_weights {
+                        Some(w) => cell.left_col.record_weighted(li, w),
+                        None => cell.left_col.record(li),
+                    };
+                    let b = match &cell.right_weights {
+                        Some(w) => cell.right_col.record_weighted(ri, w),
+                        None => cell.right_col.record(ri),
+                    };
+                    (idx, cell.config.score_prepared(&a, &b))
                 }
+            })
+            .collect();
+
+        // Smallest threshold meeting the precision target = max recall
+        // subject to precision.
+        for &theta in &cfg.thresholds {
+            let est = estimate_precision(&scored, candidates, theta);
+            if est.est_precision >= cfg.precision_target && est.est_support >= cfg.min_support {
+                let joined = scored
+                    .iter()
+                    .filter(|(_, s)| *s >= theta)
+                    .map(|(i, _)| *i)
+                    .collect();
+                return Some(Survivor {
+                    attr: cell.attr.clone(),
+                    right_attr: cell.right_attr.clone(),
+                    config: cell.config.clone(),
+                    corpus: cell.corpus.clone(),
+                    threshold: theta,
+                    est_precision: est.est_precision,
+                    est_support: est.est_support,
+                    joined,
+                });
             }
         }
-    }
+        None
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     // Greedy union selection.
     let inputs: Vec<SelectionInput> = survivors
         .iter()
-        .map(|s| SelectionInput { joined: s.joined.clone(), est_support: s.est_support })
+        .map(|s| SelectionInput {
+            joined: s.joined.clone(),
+            est_support: s.est_support,
+        })
         .collect();
     let mut picked = greedy_select(
         &inputs,

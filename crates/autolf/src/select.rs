@@ -64,9 +64,18 @@ mod tests {
     #[test]
     fn picks_high_support_first_and_respects_cap() {
         let inputs = vec![
-            SelectionInput { joined: vec![0, 1], est_support: 2 },
-            SelectionInput { joined: vec![0, 1, 2, 3], est_support: 4 },
-            SelectionInput { joined: vec![4], est_support: 1 },
+            SelectionInput {
+                joined: vec![0, 1],
+                est_support: 2,
+            },
+            SelectionInput {
+                joined: vec![0, 1, 2, 3],
+                est_support: 4,
+            },
+            SelectionInput {
+                joined: vec![4],
+                est_support: 1,
+            },
         ];
         let picked = greedy_select(&inputs, &cands(6), 0.8, 1, 2);
         assert_eq!(picked[0], 1, "largest support first");
@@ -76,8 +85,14 @@ mod tests {
     #[test]
     fn skips_rules_without_gain() {
         let inputs = vec![
-            SelectionInput { joined: vec![0, 1, 2], est_support: 3 },
-            SelectionInput { joined: vec![1, 2], est_support: 2 }, // subset
+            SelectionInput {
+                joined: vec![0, 1, 2],
+                est_support: 3,
+            },
+            SelectionInput {
+                joined: vec![1, 2],
+                est_support: 2,
+            }, // subset
         ];
         let picked = greedy_select(&inputs, &cands(4), 0.5, 1, 8);
         assert_eq!(picked, vec![0]);
@@ -93,10 +108,20 @@ mod tests {
             CandidatePair::new(2, 0), // same right as index 0
         ]);
         let inputs = vec![
-            SelectionInput { joined: vec![0, 1], est_support: 2 },
-            SelectionInput { joined: vec![2], est_support: 1 },
+            SelectionInput {
+                joined: vec![0, 1],
+                est_support: 2,
+            },
+            SelectionInput {
+                joined: vec![2],
+                est_support: 1,
+            },
         ];
         let picked = greedy_select(&inputs, &candidates, 0.9, 1, 8);
-        assert_eq!(picked, vec![0], "second rule would drop union precision to 2/3");
+        assert_eq!(
+            picked,
+            vec![0],
+            "second rule would drop union precision to 2/3"
+        );
     }
 }

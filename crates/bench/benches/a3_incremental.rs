@@ -28,9 +28,17 @@ fn build_registry(n_lfs: usize) -> LfRegistry {
             "name",
             SimilarityConfig {
                 preprocess: panda_text::preprocess::standard_pipeline(),
-                tokenizer: if i % 2 == 0 { Tokenizer::Whitespace } else { Tokenizer::QGram(3) },
+                tokenizer: if i % 2 == 0 {
+                    Tokenizer::Whitespace
+                } else {
+                    Tokenizer::QGram(3)
+                },
                 weighting: Weighting::Uniform,
-                measure: if i % 3 == 0 { Measure::Jaccard } else { Measure::Cosine },
+                measure: if i % 3 == 0 {
+                    Measure::Jaccard
+                } else {
+                    Measure::Cosine
+                },
             },
             0.3 + 0.02 * i as f64,
             0.05,
@@ -60,7 +68,11 @@ fn bench_incremental(c: &mut Criterion) {
                 // Edit one LF (cheap closure so the measured cost is the
                 // bookkeeping + one column, not similarity math).
                 flip += 1;
-                let vote = if flip % 2 == 0 { Label::Match } else { Label::Abstain };
+                let vote = if flip.is_multiple_of(2) {
+                    Label::Match
+                } else {
+                    Label::Abstain
+                };
                 reg.upsert(Arc::new(ClosureLf::new("edited", move |_| vote)));
                 let report = matrix.apply(&reg, &task, &cands);
                 black_box(report.applied.len());
@@ -71,7 +83,11 @@ fn bench_incremental(c: &mut Criterion) {
             let mut flip = 0u64;
             b.iter(|| {
                 flip += 1;
-                let vote = if flip % 2 == 0 { Label::Match } else { Label::Abstain };
+                let vote = if flip.is_multiple_of(2) {
+                    Label::Match
+                } else {
+                    Label::Abstain
+                };
                 reg.upsert(Arc::new(ClosureLf::new("edited", move |_| vote)));
                 // A fresh matrix recomputes every column.
                 let mut matrix = LabelMatrix::new();

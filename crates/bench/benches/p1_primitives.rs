@@ -43,7 +43,13 @@ fn bench_text(c: &mut Criterion) {
         b.iter(|| black_box(sim::levenshtein(black_box(NAME_A), black_box(NAME_B))));
     });
     g.bench_function("sim/levenshtein_bounded_4", |b| {
-        b.iter(|| black_box(sim::levenshtein_bounded(black_box(NAME_A), black_box(NAME_B), 4)));
+        b.iter(|| {
+            black_box(sim::levenshtein_bounded(
+                black_box(NAME_A),
+                black_box(NAME_B),
+                4,
+            ))
+        });
     });
     g.bench_function("sim/jaro_winkler", |b| {
         b.iter(|| black_box(sim::jaro_winkler(black_box(NAME_A), black_box(NAME_B))));

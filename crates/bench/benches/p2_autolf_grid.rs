@@ -1,0 +1,58 @@
+//! **P2 — Auto-LF config-grid throughput** (paper §2.1 feature 1.3,
+//! Auto-FuzzyJoin lineage): time `generate_auto_lfs` end to end — corpus
+//! stats, candidate scoring under every (attribute × config) grid cell,
+//! threshold search, and greedy selection.
+//!
+//! Throughput is reported in candidate pairs/sec (each pair is scored once
+//! per grid cell; the cell count is fixed by `default_config_grid`).
+//! `BENCH_autolf.json` at the repo root records the before/after medians
+//! for the parallel-execution + token-cache rewiring.
+//!
+//! Run: `cargo bench -p panda-bench --bench p2_autolf_grid`
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use panda_autolf::{generate_auto_lfs, AutoLfConfig};
+use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda_embed::{Blocker, EmbeddingLshBlocker};
+use std::hint::black_box;
+
+fn bench_autolf_grid(c: &mut Criterion) {
+    let tables = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(77).with_entities(150),
+    );
+    let cands = EmbeddingLshBlocker::new(7).candidates(&tables);
+    let cfg = AutoLfConfig::default();
+
+    let mut g = c.benchmark_group("autolf_grid");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cands.len() as u64));
+    g.bench_function(format!("abt_buy/150e_{}cands", cands.len()), |b| {
+        b.iter(|| black_box(generate_auto_lfs(&tables, &cands, &cfg)).len());
+    });
+
+    // Schema-mismatched variant: attribute pairs double the scored axes.
+    let wa = generate(
+        DatasetFamily::WalmartAmazon,
+        &GeneratorConfig::new(55).with_entities(150),
+    );
+    let wa_cands = EmbeddingLshBlocker::new(55).candidates(&wa);
+    let wa_cfg = AutoLfConfig {
+        attribute_pairs: vec![
+            ("title".into(), "name".into()),
+            ("modelno".into(), "model".into()),
+        ],
+        ..AutoLfConfig::default()
+    };
+    g.throughput(Throughput::Elements(wa_cands.len() as u64));
+    g.bench_function(
+        format!("walmart_amazon/150e_{}cands", wa_cands.len()),
+        |b| {
+            b.iter(|| black_box(generate_auto_lfs(&wa, &wa_cands, &wa_cfg)).len());
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_autolf_grid);
+criterion_main!(benches);

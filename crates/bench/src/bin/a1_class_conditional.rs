@@ -21,15 +21,44 @@ fn main() {
     // non-matches, and the mis-weighting worsens as the class prior
     // shifts the single estimate toward the majority class's behaviour.
     let specs = [
-        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.92, acc_u: 0.55 },
-        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.90, acc_u: 0.60 },
-        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.55, acc_u: 0.90 },
-        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.60, acc_u: 0.93 },
-        PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.88, acc_u: 0.50 },
+        PlantedLf {
+            propensity_m: 0.85,
+            propensity_u: 0.85,
+            acc_m: 0.92,
+            acc_u: 0.55,
+        },
+        PlantedLf {
+            propensity_m: 0.85,
+            propensity_u: 0.85,
+            acc_m: 0.90,
+            acc_u: 0.60,
+        },
+        PlantedLf {
+            propensity_m: 0.85,
+            propensity_u: 0.85,
+            acc_m: 0.55,
+            acc_u: 0.90,
+        },
+        PlantedLf {
+            propensity_m: 0.85,
+            propensity_u: 0.85,
+            acc_m: 0.60,
+            acc_u: 0.93,
+        },
+        PlantedLf {
+            propensity_m: 0.85,
+            propensity_u: 0.85,
+            acc_m: 0.88,
+            acc_u: 0.50,
+        },
     ];
 
     let mut table = TextTable::new(&[
-        "match_prior", "imbalance", "snorkel_f1", "panda_f1", "delta",
+        "match_prior",
+        "imbalance",
+        "snorkel_f1",
+        "panda_f1",
+        "delta",
     ]);
     println!("A1: class-conditional accuracies vs class imbalance (planted LFs, 8000 pairs)\n");
     for &pi in &[0.5, 0.2, 0.1, 0.05, 0.02, 0.01] {
@@ -41,11 +70,15 @@ fn main() {
             // sweep isolates the accuracy parametrization, including at
             // the balanced control point.
             sn.push(f1(
-                &SnorkelModel::new().with_max_prior(0.6).fit_predict(&p.matrix, None),
+                &SnorkelModel::new()
+                    .with_max_prior(0.6)
+                    .fit_predict(&p.matrix, None),
                 &p.truth,
             ));
             pd.push(f1(
-                &PandaModel::new().with_max_prior(0.6).fit_predict(&p.matrix, None),
+                &PandaModel::new()
+                    .with_max_prior(0.6)
+                    .fit_predict(&p.matrix, None),
                 &p.truth,
             ));
         }

@@ -14,7 +14,11 @@ use panda_session::{ModelChoice, PandaSession, SessionConfig};
 
 fn main() {
     let mut table = TextTable::new(&[
-        "max_cluster_size", "gold_pairs", "panda_f1", "panda+trans_f1", "delta",
+        "max_cluster_size",
+        "gold_pairs",
+        "panda_f1",
+        "panda+trans_f1",
+        "delta",
     ]);
     println!("A2: transitivity projection vs duplicate-cluster size (cora-dedup)\n");
     for cluster in [2usize, 3, 4, 5, 6] {
@@ -38,7 +42,10 @@ fn main() {
             ] {
                 let mut s = PandaSession::load(
                     task.clone(),
-                    SessionConfig { model: choice, ..SessionConfig::default() },
+                    SessionConfig {
+                        model: choice,
+                        ..SessionConfig::default()
+                    },
                 );
                 for lf in curated_lfs(DatasetFamily::CoraDedup) {
                     s.upsert_lf(lf);

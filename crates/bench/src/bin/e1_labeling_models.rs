@@ -69,8 +69,16 @@ fn main() {
             f1[3].push(metrics_at_half(&pd, &gold).f1);
         }
         let means: Vec<f64> = f1.iter().map(|v| mean(v)).collect();
-        let up_plain = if means[1] > 0.0 { (means[3] - means[1]) / means[1] * 100.0 } else { 0.0 };
-        let up_robust = if means[2] > 0.0 { (means[3] - means[2]) / means[2] * 100.0 } else { 0.0 };
+        let up_plain = if means[1] > 0.0 {
+            (means[3] - means[1]) / means[1] * 100.0
+        } else {
+            0.0
+        };
+        let up_robust = if means[2] > 0.0 {
+            (means[3] - means[2]) / means[2] * 100.0
+        } else {
+            0.0
+        };
         uplift_plain.push(up_plain);
         uplift_robust.push(up_robust);
         for (slot, m) in avg.iter_mut().zip(&means) {
@@ -96,7 +104,10 @@ fn main() {
         format!("{:+.1}%", mean(&uplift_robust)),
     ]);
 
-    println!("E1: labeling model comparison, F1 at threshold 0.5 (mean of {} seeds)\n", seeds.len());
+    println!(
+        "E1: labeling model comparison, F1 at threshold 0.5 (mean of {} seeds)\n",
+        seeds.len()
+    );
     println!("{}", table.render());
     println!(
         "Paper's claim: Panda model improves F1 over the Snorkel labeling model by 12% on average."

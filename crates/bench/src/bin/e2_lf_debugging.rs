@@ -25,20 +25,23 @@ fn main() {
     let mut session = PandaSession::load(task, SessionConfig::default());
 
     let mut table = TextTable::new(&[
-        "threshold", "votes_+1", "est_fpr", "true_fpr", "est_fnr", "true_fnr",
+        "threshold",
+        "votes_+1",
+        "est_fpr",
+        "true_fpr",
+        "est_fnr",
+        "true_fnr",
     ]);
     println!("E2: name_overlap threshold sweep (the Step-4 debugging loop)\n");
 
     for threshold in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
-        session.upsert_lf(Arc::new(
-            panda_lf::SimilarityLf::new(
-                "name_overlap",
-                "name",
-                SimilarityConfig::default_jaccard(),
-                threshold,
-                0.1_f64.min(threshold / 2.0),
-            ),
-        ));
+        session.upsert_lf(Arc::new(panda_lf::SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            threshold,
+            0.1_f64.min(threshold / 2.0),
+        )));
         session.apply();
         let row = session
             .lf_stats()

@@ -65,7 +65,7 @@ fn scripted_rounds() -> Vec<(&'static str, BoxedLf)> {
                 "model_code",
                 &["name", "description"],
                 ExtractionPolicy::Symmetric,
-                |t| panda_text::extract::model_codes(t),
+                panda_text::extract::model_codes,
             )),
         ),
         (
@@ -84,7 +84,14 @@ fn main() {
     let mut session = PandaSession::load(task, SessionConfig::default());
 
     let mut table = TextTable::new(&[
-        "round", "action", "n_lfs", "matches_found", "est_precision", "true_P", "true_R", "true_F1",
+        "round",
+        "action",
+        "n_lfs",
+        "matches_found",
+        "est_precision",
+        "true_P",
+        "true_R",
+        "true_F1",
     ]);
 
     let mut record = |round: &str, action: &str, s: &mut PandaSession| {

@@ -36,14 +36,22 @@ fn main() {
         0.1,
     )));
     // Figure 2 right: regex-extracted sizes disagree → −1.
-    reg.upsert(Arc::new(ExtractionLf::size_unmatch(&["name", "description"])));
+    reg.upsert(Arc::new(ExtractionLf::size_unmatch(&[
+        "name",
+        "description",
+    ])));
 
     let mut matrix = LabelMatrix::new();
     let report = matrix.apply(&reg, &task, &candidates);
     assert!(report.failed.is_empty());
 
     let mut table = TextTable::new(&[
-        "lf", "coverage", "votes_+1", "votes_-1", "acc_of_+1", "acc_of_-1",
+        "lf",
+        "coverage",
+        "votes_+1",
+        "votes_-1",
+        "acc_of_+1",
+        "acc_of_-1",
     ]);
     for name in ["name_overlap", "size_unmatch"] {
         let col = matrix.column(name).unwrap();
@@ -58,7 +66,10 @@ fn main() {
         ]);
     }
 
-    println!("E4: the paper's Figure-2 example LFs on abt-buy ({} candidates)\n", candidates.len());
+    println!(
+        "E4: the paper's Figure-2 example LFs on abt-buy ({} candidates)\n",
+        candidates.len()
+    );
     println!("{}", table.render());
     println!("The shape to check: both LFs are far better than random on the pairs");
     println!("they vote on (the data-programming requirement), with partial coverage —");
@@ -97,7 +108,15 @@ fn vote_accuracy(col: &[i8], gold: &[bool]) -> VoteAccuracy {
         coverage: (pos + neg) as f64 / col.len().max(1) as f64,
         pos,
         neg,
-        pos_acc: if pos == 0 { f64::NAN } else { pos_ok as f64 / pos as f64 },
-        neg_acc: if neg == 0 { f64::NAN } else { neg_ok as f64 / neg as f64 },
+        pos_acc: if pos == 0 {
+            f64::NAN
+        } else {
+            pos_ok as f64 / pos as f64
+        },
+        neg_acc: if neg == 0 {
+            f64::NAN
+        } else {
+            neg_ok as f64 / neg as f64
+        },
     }
 }

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p panda-bench --bin e5_blocking_sampling`
 
 use panda_bench::write_csv;
-use panda_datasets::{standard_suite, generate, DatasetFamily, GeneratorConfig};
+use panda_datasets::{generate, standard_suite, DatasetFamily, GeneratorConfig};
 use panda_embed::{
     blocking_stats, Blocker, EmbeddingLshBlocker, SortedNeighborhoodBlocker, TokenBlocker,
 };
@@ -19,9 +19,7 @@ use panda_session::{PandaSession, SessionConfig};
 
 fn main() {
     // ---------------- (a) blocking comparison ----------------
-    let mut t1 = TextTable::new(&[
-        "dataset", "blocker", "candidates", "recall", "reduction",
-    ]);
+    let mut t1 = TextTable::new(&["dataset", "blocker", "candidates", "recall", "reduction"]);
     for (name, task) in standard_suite(17) {
         let blockers: Vec<Box<dyn Blocker>> = vec![
             Box::new(EmbeddingLshBlocker::new(17)),
@@ -61,7 +59,10 @@ fn main() {
     let weak_session = || {
         let mut s = PandaSession::load(
             task.clone(),
-            SessionConfig { auto_lfs: false, ..SessionConfig::default() },
+            SessionConfig {
+                auto_lfs: false,
+                ..SessionConfig::default()
+            },
         );
         // One deliberately strict LF: high precision, poor recall.
         s.upsert_lf(std::sync::Arc::new(panda_lf::SimilarityLf::new(
@@ -87,14 +88,28 @@ fn main() {
             .zip(&gold)
             .filter(|(&g, &t)| t && g < 0.5)
             .count();
-        println!("(weak LF set leaves {missed} of {} gold matches unfound)\n",
-            gold.iter().filter(|&&t| t).count());
+        println!(
+            "(weak LF set leaves {missed} of {} gold matches unfound)\n",
+            gold.iter().filter(|&&t| t).count()
+        );
     }
     for k in [10usize, 25, 50, 100] {
         // Fresh sessions so "already shown" state doesn't leak between ks.
-        let smart = weak_session().smart_sample(k).iter().filter(|r| hit(r)).count();
-        let unc = weak_session().uncertainty_sample(k).iter().filter(|r| hit(r)).count();
-        let rand = weak_session().random_sample(k).iter().filter(|r| hit(r)).count();
+        let smart = weak_session()
+            .smart_sample(k)
+            .iter()
+            .filter(|r| hit(r))
+            .count();
+        let unc = weak_session()
+            .uncertainty_sample(k)
+            .iter()
+            .filter(|r| hit(r))
+            .count();
+        let rand = weak_session()
+            .random_sample(k)
+            .iter()
+            .filter(|r| hit(r))
+            .count();
         let s = weak_session();
         let gold = s.gold_vector().unwrap();
         let missed = s

@@ -17,7 +17,14 @@ use panda_session::{PandaSession, SessionConfig};
 fn main() {
     // --- per-LF estimate quality -----------------------------------
     let mut t1 = TextTable::new(&[
-        "dataset", "lf", "attr", "config", "threshold", "est_precision", "true_precision", "support",
+        "dataset",
+        "lf",
+        "attr",
+        "config",
+        "threshold",
+        "est_precision",
+        "true_precision",
+        "support",
     ]);
     for (name, task) in standard_suite(23) {
         let blocker = panda_embed::EmbeddingLshBlocker::new(23);
@@ -35,7 +42,11 @@ fn main() {
                     }
                 }
             }
-            let true_p = if pos == 0 { f64::NAN } else { tp as f64 / pos as f64 };
+            let true_p = if pos == 0 {
+                f64::NAN
+            } else {
+                tp as f64 / pos as f64
+            };
             t1.row(&[
                 name.clone(),
                 g.lf.name().to_string(),

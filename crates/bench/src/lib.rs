@@ -11,8 +11,7 @@ use std::sync::Arc;
 
 /// Where experiment CSVs land (`target/experiments/`).
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("can create target/experiments");
     dir
 }
@@ -36,7 +35,12 @@ fn sim(
     Arc::new(SimilarityLf::new(
         name,
         attr,
-        SimilarityConfig { preprocess: standard_pipeline(), tokenizer, weighting, measure },
+        SimilarityConfig {
+            preprocess: standard_pipeline(),
+            tokenizer,
+            weighting,
+            measure,
+        },
         upper,
         lower,
     ))
@@ -47,18 +51,40 @@ fn sim(
 /// iterations. Used by E1 alongside the auto-generated set.
 pub fn curated_lfs(family: DatasetFamily) -> Vec<BoxedLf> {
     match family {
-        DatasetFamily::AbtBuy
-        | DatasetFamily::AmazonGoogle
-        | DatasetFamily::AbtBuyDirty => vec![
-            sim("name_overlap", "name", Tokenizer::Whitespace, Weighting::Uniform, Measure::Jaccard, 0.6, 0.1),
-            sim("name_tfidf", "name", Tokenizer::Whitespace, Weighting::TfIdf, Measure::Cosine, 0.55, 0.08),
-            sim("name_3gram", "name", Tokenizer::QGram(3), Weighting::Uniform, Measure::Jaccard, 0.55, 0.12),
+        DatasetFamily::AbtBuy | DatasetFamily::AmazonGoogle | DatasetFamily::AbtBuyDirty => vec![
+            sim(
+                "name_overlap",
+                "name",
+                Tokenizer::Whitespace,
+                Weighting::Uniform,
+                Measure::Jaccard,
+                0.6,
+                0.1,
+            ),
+            sim(
+                "name_tfidf",
+                "name",
+                Tokenizer::Whitespace,
+                Weighting::TfIdf,
+                Measure::Cosine,
+                0.55,
+                0.08,
+            ),
+            sim(
+                "name_3gram",
+                "name",
+                Tokenizer::QGram(3),
+                Weighting::Uniform,
+                Measure::Jaccard,
+                0.55,
+                0.12,
+            ),
             Arc::new(ExtractionLf::size_unmatch(&["name", "description"])),
             Arc::new(ExtractionLf::new(
                 "model_code",
                 &["name", "description"],
                 ExtractionPolicy::Symmetric,
-                |t| panda_text::extract::model_codes(t),
+                panda_text::extract::model_codes,
             )),
             Arc::new(NumericToleranceLf::new("price_close", "price", 0.15, 0.6)),
         ],
@@ -80,7 +106,15 @@ pub fn curated_lfs(family: DatasetFamily) -> Vec<BoxedLf> {
                 0.75,
                 0.15,
             )),
-            sim("title_3gram", "title", Tokenizer::QGram(3), Weighting::Uniform, Measure::Jaccard, 0.6, 0.15),
+            sim(
+                "title_3gram",
+                "title",
+                Tokenizer::QGram(3),
+                Weighting::Uniform,
+                Measure::Jaccard,
+                0.6,
+                0.15,
+            ),
             Arc::new(SimilarityLf::new(
                 "authors_me",
                 "authors",
@@ -97,7 +131,12 @@ pub fn curated_lfs(family: DatasetFamily) -> Vec<BoxedLf> {
                 "year_unmatch",
                 &["year"],
                 ExtractionPolicy::UnmatchOnly,
-                |t| panda_text::extract::years(t).iter().map(u32::to_string).collect(),
+                |t| {
+                    panda_text::extract::years(t)
+                        .iter()
+                        .map(u32::to_string)
+                        .collect()
+                },
             )),
         ],
         DatasetFamily::WalmartAmazon => vec![
@@ -144,8 +183,24 @@ pub fn curated_lfs(family: DatasetFamily) -> Vec<BoxedLf> {
             Arc::new(NumericToleranceLf::new("price_close", "price", 0.15, 0.6)),
         ],
         DatasetFamily::FodorsZagats => vec![
-            sim("name_overlap", "name", Tokenizer::Whitespace, Weighting::Uniform, Measure::Jaccard, 0.6, 0.1),
-            sim("addr_overlap", "addr", Tokenizer::Whitespace, Weighting::Uniform, Measure::Jaccard, 0.7, 0.05),
+            sim(
+                "name_overlap",
+                "name",
+                Tokenizer::Whitespace,
+                Weighting::Uniform,
+                Measure::Jaccard,
+                0.6,
+                0.1,
+            ),
+            sim(
+                "addr_overlap",
+                "addr",
+                Tokenizer::Whitespace,
+                Weighting::Uniform,
+                Measure::Jaccard,
+                0.7,
+                0.05,
+            ),
             Arc::new(ExtractionLf::new(
                 "phone_eq",
                 &["phone"],
@@ -160,7 +215,15 @@ pub fn curated_lfs(family: DatasetFamily) -> Vec<BoxedLf> {
                     }
                 },
             )),
-            sim("name_jw", "name", Tokenizer::Whitespace, Weighting::Uniform, Measure::JaroWinkler, 0.92, 0.5),
+            sim(
+                "name_jw",
+                "name",
+                Tokenizer::Whitespace,
+                Weighting::Uniform,
+                Measure::JaroWinkler,
+                0.92,
+                0.5,
+            ),
         ],
     }
 }

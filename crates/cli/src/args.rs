@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn parses_pairs_and_switches() {
-        let a = Args::parse(&v(&["--seed", "7", "--no-auto-lfs", "--out", "x.csv"]), &["no-auto-lfs"]).unwrap();
+        let a = Args::parse(
+            &v(&["--seed", "7", "--no-auto-lfs", "--out", "x.csv"]),
+            &["no-auto-lfs"],
+        )
+        .unwrap();
         assert_eq!(a.required("seed").unwrap(), "7");
         assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
         assert!(a.has_switch("no-auto-lfs"));

@@ -43,7 +43,10 @@ pub fn families() -> Result<(), String> {
     for f in DatasetFamily::extended_suite() {
         println!("  {}", f.name());
     }
-    println!("  {}  (single-table deduplication)", DatasetFamily::CoraDedup.name());
+    println!(
+        "  {}  (single-table deduplication)",
+        DatasetFamily::CoraDedup.name()
+    );
     Ok(())
 }
 
@@ -77,14 +80,12 @@ pub fn generate(argv: &[String]) -> Result<(), String> {
 }
 
 fn read_table(path: &str, name: &str) -> Result<Table, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     Table::from_csv_str(name, &text, true).map_err(|e| format!("parsing {path}: {e}"))
 }
 
 fn read_gold(path: &str) -> Result<MatchSet, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let mut set = MatchSet::new();
     for (i, line) in text.lines().enumerate() {
         if i == 0 || line.trim().is_empty() {
@@ -116,7 +117,11 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
         "panda" => ModelChoice::Panda,
         "snorkel" => ModelChoice::Snorkel,
         "majority" => ModelChoice::Majority,
-        other => return Err(format!("--model must be panda|snorkel|majority, got {other:?}")),
+        other => {
+            return Err(format!(
+                "--model must be panda|snorkel|majority, got {other:?}"
+            ))
+        }
     };
     let tables = TablePair { left, right, gold };
     let config = SessionConfig {
@@ -226,7 +231,10 @@ mod tests {
         .unwrap();
         let written = std::fs::read_to_string(&out_csv).unwrap();
         assert!(written.starts_with("left_row,right_row,probability\n"));
-        assert!(written.lines().count() > 10, "found a useful number of matches");
+        assert!(
+            written.lines().count() > 10,
+            "found a useful number of matches"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,9 +12,30 @@ use rand::Rng;
 // ---------------------------------------------------------------------------
 
 pub(crate) const BRANDS: &[&str] = &[
-    "sony", "samsung", "panasonic", "toshiba", "sharp", "philips", "lg", "jvc", "pioneer",
-    "canon", "nikon", "olympus", "kodak", "apple", "sandisk", "garmin", "tomtom", "bose",
-    "yamaha", "denon", "onkyo", "logitech", "netgear", "linksys",
+    "sony",
+    "samsung",
+    "panasonic",
+    "toshiba",
+    "sharp",
+    "philips",
+    "lg",
+    "jvc",
+    "pioneer",
+    "canon",
+    "nikon",
+    "olympus",
+    "kodak",
+    "apple",
+    "sandisk",
+    "garmin",
+    "tomtom",
+    "bose",
+    "yamaha",
+    "denon",
+    "onkyo",
+    "logitech",
+    "netgear",
+    "linksys",
 ];
 
 pub(crate) const PRODUCT_CATEGORIES: &[(&str, bool)] = &[
@@ -33,13 +54,27 @@ pub(crate) const PRODUCT_CATEGORIES: &[(&str, bool)] = &[
     ("speaker system", false),
 ];
 
-pub(crate) const COLORS: &[&str] =
-    &["black", "silver", "white", "titanium", "graphite", "red", "blue"];
+pub(crate) const COLORS: &[&str] = &[
+    "black", "silver", "white", "titanium", "graphite", "red", "blue",
+];
 
 pub(crate) const FEATURES: &[&str] = &[
-    "1080p", "720p", "hdmi", "usb", "wifi", "bluetooth", "remote control", "wall mountable",
-    "energy star", "widescreen", "progressive scan", "image stabilization", "zoom lens",
-    "touch screen", "dolby digital", "surround sound",
+    "1080p",
+    "720p",
+    "hdmi",
+    "usb",
+    "wifi",
+    "bluetooth",
+    "remote control",
+    "wall mountable",
+    "energy star",
+    "widescreen",
+    "progressive scan",
+    "image stabilization",
+    "zoom lens",
+    "touch screen",
+    "dolby digital",
+    "surround sound",
 ];
 
 pub(crate) const FIRST_NAMES: &[&str] = &[
@@ -48,58 +83,130 @@ pub(crate) const FIRST_NAMES: &[&str] = &[
 ];
 
 pub(crate) const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "chen", "kumar", "garcia", "mueller", "tanaka", "ivanov", "rossi",
-    "kim", "nguyen", "brown", "davis", "wilson", "martin", "anderson", "taylor", "thomas",
-    "lee", "white", "harris", "clark", "lewis", "walker", "hall", "young",
+    "smith", "johnson", "chen", "kumar", "garcia", "mueller", "tanaka", "ivanov", "rossi", "kim",
+    "nguyen", "brown", "davis", "wilson", "martin", "anderson", "taylor", "thomas", "lee", "white",
+    "harris", "clark", "lewis", "walker", "hall", "young",
 ];
 
 pub(crate) const TITLE_TOPICS: &[&str] = &[
-    "query optimization", "entity matching", "data integration", "stream processing",
-    "transaction management", "index structures", "schema mapping", "data cleaning",
-    "graph databases", "distributed joins", "approximate counting", "workload forecasting",
-    "concurrency control", "columnar storage", "view maintenance", "provenance tracking",
+    "query optimization",
+    "entity matching",
+    "data integration",
+    "stream processing",
+    "transaction management",
+    "index structures",
+    "schema mapping",
+    "data cleaning",
+    "graph databases",
+    "distributed joins",
+    "approximate counting",
+    "workload forecasting",
+    "concurrency control",
+    "columnar storage",
+    "view maintenance",
+    "provenance tracking",
 ];
 
 pub(crate) const TITLE_MODIFIERS: &[&str] = &[
-    "efficient", "scalable", "adaptive", "robust", "incremental", "parallel", "learned",
-    "probabilistic", "distributed", "online",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "robust",
+    "incremental",
+    "parallel",
+    "learned",
+    "probabilistic",
+    "distributed",
+    "online",
 ];
 
 pub(crate) const TITLE_PATTERNS: &[&str] = &[
-    "towards", "a survey of", "on the complexity of", "rethinking", "a framework for",
+    "towards",
+    "a survey of",
+    "on the complexity of",
+    "rethinking",
+    "a framework for",
     "benchmarking",
 ];
 
 pub(crate) const VENUES_FULL: &[(&str, &str)] = &[
     // (full, abbreviated)
     ("proceedings of the vldb endowment", "pvldb"),
-    ("acm sigmod international conference on management of data", "sigmod"),
+    (
+        "acm sigmod international conference on management of data",
+        "sigmod",
+    ),
     ("ieee international conference on data engineering", "icde"),
-    ("international conference on extending database technology", "edbt"),
+    (
+        "international conference on extending database technology",
+        "edbt",
+    ),
     ("acm symposium on principles of database systems", "pods"),
     ("conference on innovative data systems research", "cidr"),
 ];
 
 pub(crate) const RESTAURANT_NAMES: &[&str] = &[
-    "golden dragon", "la piazza", "blue bayou", "the grill house", "sakura garden",
-    "casa bonita", "le petit bistro", "spice route", "ocean pearl", "mountain view cafe",
-    "red lantern", "olive grove", "the copper pot", "bella notte", "saffron palace",
-    "harbor lights", "green bamboo", "rustic table", "silver spoon", "maple and oak",
+    "golden dragon",
+    "la piazza",
+    "blue bayou",
+    "the grill house",
+    "sakura garden",
+    "casa bonita",
+    "le petit bistro",
+    "spice route",
+    "ocean pearl",
+    "mountain view cafe",
+    "red lantern",
+    "olive grove",
+    "the copper pot",
+    "bella notte",
+    "saffron palace",
+    "harbor lights",
+    "green bamboo",
+    "rustic table",
+    "silver spoon",
+    "maple and oak",
 ];
 
 pub(crate) const STREETS: &[&str] = &[
-    "main st", "oak ave", "broadway", "sunset blvd", "5th ave", "park rd", "elm st",
-    "lake shore dr", "market st", "hill crest way",
+    "main st",
+    "oak ave",
+    "broadway",
+    "sunset blvd",
+    "5th ave",
+    "park rd",
+    "elm st",
+    "lake shore dr",
+    "market st",
+    "hill crest way",
 ];
 
 pub(crate) const CITIES: &[&str] = &[
-    "new york", "los angeles", "chicago", "san francisco", "atlanta", "seattle", "boston",
-    "austin", "denver", "portland",
+    "new york",
+    "los angeles",
+    "chicago",
+    "san francisco",
+    "atlanta",
+    "seattle",
+    "boston",
+    "austin",
+    "denver",
+    "portland",
 ];
 
 pub(crate) const CUISINES: &[&str] = &[
-    "chinese", "italian", "cajun", "american", "japanese", "mexican", "french", "indian",
-    "seafood", "fusion", "thai", "mediterranean",
+    "chinese",
+    "italian",
+    "cajun",
+    "american",
+    "japanese",
+    "mexican",
+    "french",
+    "indian",
+    "seafood",
+    "fusion",
+    "thai",
+    "mediterranean",
 ];
 
 // ---------------------------------------------------------------------------
@@ -131,10 +238,9 @@ impl ProductEntity {
     pub fn sample(rng: &mut SmallRng, serial: usize) -> Self {
         let brand = BRANDS[rng.gen_range(0..BRANDS.len())];
         let (category, has_size) = PRODUCT_CATEGORIES[rng.gen_range(0..PRODUCT_CATEGORIES.len())];
-        let size_in = has_size.then(|| *[19u32, 22, 26, 32, 37, 40, 42, 46, 50, 52, 55, 58, 60]
-            .iter()
-            .nth(rng.gen_range(0..13))
-            .unwrap());
+        let size_in = has_size.then(|| {
+            [19u32, 22, 26, 32, 37, 40, 42, 46, 50, 52, 55, 58, 60][rng.gen_range(0..13usize)]
+        });
         let prefix: String = (0..3)
             .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
             .collect();
@@ -322,13 +428,7 @@ impl RestaurantEntity {
 /// Lowercase roman numerals 1..=40 (used to disambiguate paper titles the
 /// way real series do: "part iv").
 fn roman(mut n: usize) -> String {
-    const VALS: &[(usize, &str)] = &[
-        (10, "x"),
-        (9, "ix"),
-        (5, "v"),
-        (4, "iv"),
-        (1, "i"),
-    ];
+    const VALS: &[(usize, &str)] = &[(10, "x"), (9, "ix"), (5, "v"), (4, "iv"), (1, "i")];
     let mut out = String::new();
     for &(v, s) in VALS {
         while n >= v {
@@ -360,7 +460,11 @@ mod tests {
     fn name_styles_share_the_model_code() {
         let mut rng = SmallRng::seed_from_u64(2);
         let p = ProductEntity::sample(&mut rng, 7);
-        for style in [NameStyle::BrandFirst, NameStyle::SizeQuoted, NameStyle::Terse] {
+        for style in [
+            NameStyle::BrandFirst,
+            NameStyle::SizeQuoted,
+            NameStyle::Terse,
+        ] {
             let name = p.render_name(style);
             assert!(name.contains(&p.model_code), "style {style:?}: {name}");
             assert!(name.contains(p.brand));

@@ -193,7 +193,10 @@ fn assign(rng: &mut SmallRng, cfg: &GeneratorConfig) -> Assignment {
             }
         })
         .collect();
-    Assignment { in_left, right_copies }
+    Assignment {
+        in_left,
+        right_copies,
+    }
 }
 
 /// Build the two tables from rendered rows, shuffling row order so record
@@ -285,7 +288,11 @@ fn products_task(rng: &mut SmallRng, cfg: &GeneratorConfig, abt_style: bool) -> 
         }
         for _copy in 0..a.right_copies[i] {
             let mut p = Perturber::new(rng.gen(), right_noise);
-            let style = if abt_style { NameStyle::SizeQuoted } else { NameStyle::BrandFirst };
+            let style = if abt_style {
+                NameStyle::SizeQuoted
+            } else {
+                NameStyle::BrandFirst
+            };
             let name = p.text(&e.render_name(style)).unwrap_or_default();
             let desc = opt_text(p.text(&e.render_description()));
             let manufacturer = opt_text(p.text(e.brand));
@@ -302,7 +309,11 @@ fn products_task(rng: &mut SmallRng, cfg: &GeneratorConfig, abt_style: bool) -> 
             ));
         }
     }
-    let (lname, rname) = if abt_style { ("abt", "buy") } else { ("amazon", "google") };
+    let (lname, rname) = if abt_style {
+        ("abt", "buy")
+    } else {
+        ("amazon", "google")
+    };
     assemble(
         rng,
         lname,
@@ -347,7 +358,8 @@ fn walmart_amazon_task(rng: &mut SmallRng, cfg: &GeneratorConfig) -> TablePair {
                 vec![
                     Value::Int(10_000 + i as i64),
                     Value::Text(
-                        p.text(&e.render_name(NameStyle::BrandFirst)).unwrap_or_default(),
+                        p.text(&e.render_name(NameStyle::BrandFirst))
+                            .unwrap_or_default(),
                     ),
                     Value::Text(e.brand.to_string()),
                     Value::Text(e.model_code.clone()),
@@ -362,7 +374,8 @@ fn walmart_amazon_task(rng: &mut SmallRng, cfg: &GeneratorConfig) -> TablePair {
                 vec![
                     Value::Int(rng.gen_range(50_000..99_999)),
                     Value::Text(
-                        p.text(&e.render_name(NameStyle::SizeQuoted)).unwrap_or_default(),
+                        p.text(&e.render_name(NameStyle::SizeQuoted))
+                            .unwrap_or_default(),
                     ),
                     opt_text(p.text(e.brand)),
                     opt_text(p.text(&e.model_code)),
@@ -467,7 +480,7 @@ fn papers_task(rng: &mut SmallRng, cfg: &GeneratorConfig, scholar: bool) -> Tabl
             let year: Value = if scholar && rng.gen_bool(0.15) {
                 Value::Null
             } else if scholar && rng.gen_bool(0.1) {
-                Value::Int((e.year + rng.gen_range(0..2) + 1) as i64)
+                Value::Int((e.year + rng.gen_range(0..2u32) + 1) as i64)
             } else {
                 Value::Int(e.year as i64)
             };
@@ -483,7 +496,11 @@ fn papers_task(rng: &mut SmallRng, cfg: &GeneratorConfig, scholar: bool) -> Tabl
             ));
         }
     }
-    let (lname, rname) = if scholar { ("dblp", "scholar") } else { ("dblp", "acm") };
+    let (lname, rname) = if scholar {
+        ("dblp", "scholar")
+    } else {
+        ("dblp", "acm")
+    };
     let schema = || {
         Schema::new(vec![
             panda_table::Field::int("id"),
@@ -563,7 +580,15 @@ fn restaurants_task(rng: &mut SmallRng, cfg: &GeneratorConfig) -> TablePair {
             panda_table::Field::text("type"),
         ])
     };
-    assemble(rng, "fodors", schema(), "zagats", schema(), left_rows, right_rows)
+    assemble(
+        rng,
+        "fodors",
+        schema(),
+        "zagats",
+        schema(),
+        left_rows,
+        right_rows,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -590,7 +615,12 @@ fn dedup_task(rng: &mut SmallRng, cfg: &GeneratorConfig) -> TablePair {
                     Value::Text(p.text(&e.title).unwrap_or_default()),
                     Value::Text(p.text(&e.render_authors(abbr)).unwrap_or_default()),
                     Value::Text(
-                        if rng.gen_bool(0.5) { e.venue.0 } else { e.venue.1 }.to_string(),
+                        if rng.gen_bool(0.5) {
+                            e.venue.0
+                        } else {
+                            e.venue.1
+                        }
+                        .to_string(),
                     ),
                     Value::Int(e.year as i64),
                 ],
@@ -679,7 +709,10 @@ mod tests {
             *left_counts.entry(p.left.0).or_insert(0) += 1;
         }
         let multi = left_counts.values().filter(|&&c| c > 1).count();
-        assert!(multi > 10, "scholar should have multi-match left rows: {multi}");
+        assert!(
+            multi > 10,
+            "scholar should have multi-match left rows: {multi}"
+        );
     }
 
     #[test]
@@ -728,10 +761,19 @@ mod tests {
         let names: Vec<&str> = suite.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            vec!["abt-buy", "amazon-google", "dblp-acm", "dblp-scholar", "fodors-zagats"]
+            vec![
+                "abt-buy",
+                "amazon-google",
+                "dblp-acm",
+                "dblp-scholar",
+                "fodors-zagats"
+            ]
         );
         for (name, tp) in &suite {
-            assert!(tp.gold.as_ref().unwrap().len() > 20, "{name} too few matches");
+            assert!(
+                tp.gold.as_ref().unwrap().len() > 20,
+                "{name} too few matches"
+            );
         }
     }
 

@@ -11,8 +11,14 @@ use std::path::Path;
 /// `left_row,right_row`.
 pub fn save_task(dir: &Path, stem: &str, task: &TablePair) -> io::Result<()> {
     fs::create_dir_all(dir)?;
-    fs::write(dir.join(format!("{stem}_left.csv")), task.left.to_csv_string())?;
-    fs::write(dir.join(format!("{stem}_right.csv")), task.right.to_csv_string())?;
+    fs::write(
+        dir.join(format!("{stem}_left.csv")),
+        task.left.to_csv_string(),
+    )?;
+    fs::write(
+        dir.join(format!("{stem}_right.csv")),
+        task.right.to_csv_string(),
+    )?;
     if let Some(gold) = &task.gold {
         let mut out = String::from("left_row,right_row\n");
         let mut pairs: Vec<_> = gold.iter().copied().collect();

@@ -70,7 +70,10 @@ pub struct Perturber {
 impl Perturber {
     /// Fork a perturber from a seed and a noise config.
     pub fn new(seed: u64, cfg: PerturbConfig) -> Self {
-        Perturber { rng: rand::SeedableRng::seed_from_u64(seed), cfg }
+        Perturber {
+            rng: rand::SeedableRng::seed_from_u64(seed),
+            cfg,
+        }
     }
 
     /// Perturb one free-text field. Returns `None` when the field goes
@@ -212,7 +215,7 @@ fn keyboard_neighbor(c: char, rng: &mut SmallRng) -> char {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     #[test]
     fn zero_rates_are_identity() {
         let cfg = PerturbConfig {
@@ -224,13 +227,19 @@ mod tests {
             missing_rate: 0.0,
         };
         let mut p = Perturber::new(9, cfg);
-        assert_eq!(p.text("sony bravia 40in tv").as_deref(), Some("sony bravia 40in tv"));
+        assert_eq!(
+            p.text("sony bravia 40in tv").as_deref(),
+            Some("sony bravia 40in tv")
+        );
         assert_eq!(p.number(99.0, 0.0), Some(99.0));
     }
 
     #[test]
     fn missing_rate_one_always_blanks() {
-        let cfg = PerturbConfig { missing_rate: 1.0, ..PerturbConfig::light() };
+        let cfg = PerturbConfig {
+            missing_rate: 1.0,
+            ..PerturbConfig::light()
+        };
         let mut p = Perturber::new(9, cfg);
         assert_eq!(p.text("anything"), None);
         assert_eq!(p.number(5.0, 0.1), None);
@@ -249,7 +258,10 @@ mod tests {
                 assert!(!t.is_empty());
             }
         }
-        assert!(changed > 25, "heavy noise should usually change text: {changed}/50");
+        assert!(
+            changed > 25,
+            "heavy noise should usually change text: {changed}/50"
+        );
     }
 
     #[test]
@@ -264,7 +276,11 @@ mod tests {
 
     #[test]
     fn unit_rewrites_preserve_the_number() {
-        let cfg = PerturbConfig { unit_rate: 1.0, missing_rate: 0.0, ..PerturbConfig::light() };
+        let cfg = PerturbConfig {
+            unit_rate: 1.0,
+            missing_rate: 0.0,
+            ..PerturbConfig::light()
+        };
         let mut p = Perturber::new(9, cfg);
         for _ in 0..20 {
             let t = p.text("40'").unwrap();
@@ -276,7 +292,9 @@ mod tests {
     fn deterministic_given_seed() {
         let run = || {
             let mut p = Perturber::new(42, PerturbConfig::heavy());
-            (0..10).map(|_| p.text("panasonic viera 50in plasma")).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| p.text("panasonic viera 50in plasma"))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

@@ -87,26 +87,30 @@ impl EmbeddingLshBlocker {
     }
 
     /// Embed all records of both tables (exposed so the smart sampler can
-    /// reuse the vectors instead of re-embedding).
+    /// reuse the vectors instead of re-embedding). Records are embedded in
+    /// parallel on the shared executor; output order is record order.
     pub fn embed_tables(&self, tables: &TablePair) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
-        let left = tables
-            .left
-            .records()
-            .map(|r| self.embedder.embed_record(&r))
-            .collect();
-        let right = tables
-            .right
-            .records()
-            .map(|r| self.embedder.embed_record(&r))
-            .collect();
-        (left, right)
+        let embed_all = |table: &panda_table::Table| -> Vec<Vec<f32>> {
+            panda_exec::par_map_range(table.len(), |i| {
+                let rec = table
+                    .record(panda_table::RecordId(i as u32))
+                    .expect("row index in range");
+                self.embedder.embed_record(&rec)
+            })
+        };
+        (embed_all(&tables.left), embed_all(&tables.right))
     }
 }
 
 impl Blocker for EmbeddingLshBlocker {
     fn candidates(&self, tables: &TablePair) -> CandidateSet {
         let (lvecs, rvecs) = self.embed_tables(tables);
-        let lsh = HyperplaneLsh::new(self.embedder.dim(), self.bands, self.bits_per_band, self.seed);
+        let lsh = HyperplaneLsh::new(
+            self.embedder.dim(),
+            self.bands,
+            self.bits_per_band,
+            self.seed,
+        );
 
         // Bucket right records by (band, key).
         let mut buckets: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
@@ -120,7 +124,9 @@ impl Blocker for EmbeddingLshBlocker {
         let mut per_left: Vec<Vec<(f32, u32)>> = vec![Vec::new(); lvecs.len()];
         for (lid, v) in lvecs.iter().enumerate() {
             for (band, key) in lsh.signature(v).into_iter().enumerate() {
-                let Some(rids) = buckets.get(&(band, key)) else { continue };
+                let Some(rids) = buckets.get(&(band, key)) else {
+                    continue;
+                };
                 for &rid in rids {
                     let pair = CandidatePair::new(lid as u32, rid);
                     if !seen.insert(pair) {
@@ -197,7 +203,9 @@ impl Blocker for TokenBlocker {
         for rec in tables.left.records() {
             let text = clean(blocking_text(&rec));
             for t in Tokenizer::Whitespace.tokens(&text) {
-                let Some(rights) = token_to_rights.get(&t) else { continue };
+                let Some(rights) = token_to_rights.get(&t) else {
+                    continue;
+                };
                 if rights.len() > cap {
                     continue; // frequent token: block too big to be useful
                 }
@@ -248,7 +256,11 @@ impl Blocker for SortedNeighborhoodBlocker {
         let clean = |s: String| apply_pipeline(&standard_pipeline(), &s);
         let mut entries: Vec<Entry> = Vec::with_capacity(tables.left.len() + tables.right.len());
         for rec in tables.left.records() {
-            entries.push(Entry { key: clean(blocking_text(&rec)), side_left: true, id: rec.id().0 });
+            entries.push(Entry {
+                key: clean(blocking_text(&rec)),
+                side_left: true,
+                id: rec.id().0,
+            });
         }
         for rec in tables.right.records() {
             entries.push(Entry {
@@ -320,7 +332,11 @@ pub fn blocking_stats(tables: &TablePair, candidates: &CandidateSet) -> Blocking
         candidates: candidates.len(),
         matches_covered: covered,
         total_matches: total,
-        recall: if total == 0 { 1.0 } else { covered as f64 / total as f64 },
+        recall: if total == 0 {
+            1.0
+        } else {
+            covered as f64 / total as f64
+        },
         reduction_ratio: candidates.len() as f64 / cross as f64,
     }
 }
@@ -334,15 +350,27 @@ mod tests {
     fn tiny_task() -> TablePair {
         let schema = Schema::of_text(&["name", "price"]);
         let mut left = Table::new("abt", schema.clone());
-        left.push(vec!["sony bravia kdl-40v2500 40 lcd tv", "999"]).unwrap();
-        left.push(vec!["apple ipod nano 8gb silver", "149"]).unwrap();
-        left.push(vec!["canon powershot sd1000 digital camera", "299"]).unwrap();
-        left.push(vec!["panasonic viera 50 plasma hdtv", "1299"]).unwrap();
+        left.push(vec!["sony bravia kdl-40v2500 40 lcd tv", "999"])
+            .unwrap();
+        left.push(vec!["apple ipod nano 8gb silver", "149"])
+            .unwrap();
+        left.push(vec!["canon powershot sd1000 digital camera", "299"])
+            .unwrap();
+        left.push(vec!["panasonic viera 50 plasma hdtv", "1299"])
+            .unwrap();
         let mut right = Table::new("buy", schema);
-        right.push(vec!["sony bravia 40in kdl40v2500 lcd hdtv", "989"]).unwrap();
-        right.push(vec!["apple ipod nano 8 gb (silver)", "145"]).unwrap();
-        right.push(vec!["panasonic 50in viera plasma television", "1250"]).unwrap();
-        right.push(vec!["nikon coolpix 10mp camera bundle", "399"]).unwrap();
+        right
+            .push(vec!["sony bravia 40in kdl40v2500 lcd hdtv", "989"])
+            .unwrap();
+        right
+            .push(vec!["apple ipod nano 8 gb (silver)", "145"])
+            .unwrap();
+        right
+            .push(vec!["panasonic 50in viera plasma television", "1250"])
+            .unwrap();
+        right
+            .push(vec!["nikon coolpix 10mp camera bundle", "399"])
+            .unwrap();
         let mut gold = MatchSet::new();
         gold.insert(RecordId(0), RecordId(0));
         gold.insert(RecordId(1), RecordId(1));
@@ -357,7 +385,10 @@ mod tests {
         let cands = blocker.candidates(&task);
         let stats = blocking_stats(&task, &cands);
         assert_eq!(stats.total_matches, 3);
-        assert_eq!(stats.matches_covered, 3, "all matches must survive blocking");
+        assert_eq!(
+            stats.matches_covered, 3,
+            "all matches must survive blocking"
+        );
         assert!(stats.candidates < 16, "should prune the cross product");
     }
 

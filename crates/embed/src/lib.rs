@@ -27,7 +27,7 @@ pub mod lsh;
 pub mod minhash;
 
 pub use blocking::{
-    blocking_stats, BlockingStats, Blocker, EmbeddingLshBlocker, SortedNeighborhoodBlocker,
+    blocking_stats, Blocker, BlockingStats, EmbeddingLshBlocker, SortedNeighborhoodBlocker,
     TokenBlocker,
 };
 pub use embedding::{cosine, TupleEmbedder};

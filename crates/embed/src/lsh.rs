@@ -25,7 +25,10 @@ impl HyperplaneLsh {
     /// `bands` × `bits_per_band` ≤ 64·bands total bits. More bands → higher
     /// recall; more bits per band → higher precision.
     pub fn new(dim: usize, bands: usize, bits_per_band: usize, seed: u64) -> Self {
-        assert!(bits_per_band >= 1 && bits_per_band <= 64, "band width must be 1..=64 bits");
+        assert!(
+            (1..=64).contains(&bits_per_band),
+            "band width must be 1..=64 bits"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let n = bands * bits_per_band;
         let planes = (0..n)
@@ -37,7 +40,12 @@ impl HyperplaneLsh {
                     .collect()
             })
             .collect();
-        HyperplaneLsh { dim, bands, bits_per_band, planes }
+        HyperplaneLsh {
+            dim,
+            bands,
+            bits_per_band,
+            planes,
+        }
     }
 
     /// Number of bands.
@@ -102,7 +110,10 @@ mod tests {
             near_hits > far_hits,
             "near collided {near_hits}/20, far {far_hits}/20"
         );
-        assert!(near_hits >= 15, "high-cosine pairs should almost always collide");
+        assert!(
+            near_hits >= 15,
+            "high-cosine pairs should almost always collide"
+        );
     }
 
     #[test]
@@ -120,6 +131,6 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dimension_mismatch_panics() {
         let lsh = HyperplaneLsh::new(16, 2, 4, 0);
-        lsh.signature(&vec![0.0; 8]);
+        lsh.signature(&[0.0; 8]);
     }
 }

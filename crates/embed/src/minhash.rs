@@ -23,7 +23,10 @@ pub struct MinHasher {
 impl MinHasher {
     /// `n_hashes` independent permutations (seeded hash families).
     pub fn new(n_hashes: usize, seed: u64) -> Self {
-        MinHasher { n_hashes: n_hashes.max(1), seed }
+        MinHasher {
+            n_hashes: n_hashes.max(1),
+            seed,
+        }
     }
 
     /// Number of hash functions.
@@ -105,12 +108,18 @@ impl crate::blocking::Blocker for MinHashBlocker {
         let lsigs: Vec<Vec<u64>> = tables
             .left
             .records()
-            .map(|r| self.hasher.signature(&Self::tokens_of(crate::blocking::blocking_text(&r))))
+            .map(|r| {
+                self.hasher
+                    .signature(&Self::tokens_of(crate::blocking::blocking_text(&r)))
+            })
             .collect();
         let rsigs: Vec<Vec<u64>> = tables
             .right
             .records()
-            .map(|r| self.hasher.signature(&Self::tokens_of(crate::blocking::blocking_text(&r))))
+            .map(|r| {
+                self.hasher
+                    .signature(&Self::tokens_of(crate::blocking::blocking_text(&r)))
+            })
             .collect();
 
         let mut buckets: HashMap<(usize, u64), Vec<u32>> = HashMap::new();
@@ -123,15 +132,15 @@ impl crate::blocking::Blocker for MinHashBlocker {
         let mut pairs = Vec::new();
         for (lid, sig) in lsigs.iter().enumerate() {
             for (band, key) in self.band_keys(sig).into_iter().enumerate() {
-                let Some(rids) = buckets.get(&(band, key)) else { continue };
+                let Some(rids) = buckets.get(&(band, key)) else {
+                    continue;
+                };
                 for &rid in rids {
                     let pair = CandidatePair::new(lid as u32, rid);
                     if !seen.insert(pair) {
                         continue;
                     }
-                    if MinHasher::estimate_jaccard(sig, &rsigs[rid as usize])
-                        >= self.min_jaccard
-                    {
+                    if MinHasher::estimate_jaccard(sig, &rsigs[rid as usize]) >= self.min_jaccard {
                         pairs.push(pair);
                     }
                 }

@@ -96,11 +96,7 @@ fn decode(idx: u32, n_left: u32) -> Node {
 /// Connected components of the predicted match pairs. Returns clusters
 /// with ≥ 2 records, largest first (singletons are unmatched records and
 /// are omitted).
-pub fn clusters_from_pairs(
-    pairs: &MatchSet,
-    n_left: usize,
-    n_right: usize,
-) -> Vec<Cluster> {
+pub fn clusters_from_pairs(pairs: &MatchSet, n_left: usize, n_right: usize) -> Vec<Cluster> {
     let n_left = n_left as u32;
     let mut uf = UnionFind::new((n_left as usize) + n_right);
     for p in pairs.iter() {
@@ -114,10 +110,7 @@ pub fn clusters_from_pairs(
         let root = uf.find(idx);
         by_root.entry(root).or_default().push(decode(idx, n_left));
     }
-    let mut clusters: Vec<Cluster> = by_root
-        .into_values()
-        .filter(|c| c.len() >= 2)
-        .collect();
+    let mut clusters: Vec<Cluster> = by_root.into_values().filter(|c| c.len() >= 2).collect();
     for c in &mut clusters {
         c.sort();
     }
@@ -138,8 +131,12 @@ pub fn dense_clusters_from_pairs(
     // Degree per node.
     let mut degree: HashMap<u32, u32> = HashMap::new();
     for p in pairs.iter() {
-        *degree.entry(encode(Node::Left(p.left), n_left_u)).or_insert(0) += 1;
-        *degree.entry(encode(Node::Right(p.right), n_left_u)).or_insert(0) += 1;
+        *degree
+            .entry(encode(Node::Left(p.left), n_left_u))
+            .or_insert(0) += 1;
+        *degree
+            .entry(encode(Node::Right(p.right), n_left_u))
+            .or_insert(0) += 1;
     }
     let clusters = clusters_from_pairs(pairs, n_left, n_right);
     clusters

@@ -22,10 +22,7 @@ pub struct ModelRun {
 /// The gold label vector aligned with a candidate set (panics without
 /// gold — harness runs are benchmark-only).
 pub fn gold_vector(tables: &TablePair, candidates: &CandidateSet) -> Vec<bool> {
-    let gold = tables
-        .gold
-        .as_ref()
-        .expect("harness requires ground truth");
+    let gold = tables.gold.as_ref().expect("harness requires ground truth");
     candidates
         .pairs()
         .iter()
@@ -70,10 +67,7 @@ mod tests {
         let mut gold = MatchSet::new();
         gold.insert(RecordId(0), RecordId(0));
         let tp = TablePair::with_gold(l, r, gold);
-        let cands = CandidateSet::from_pairs([
-            CandidatePair::new(0, 1),
-            CandidatePair::new(0, 0),
-        ]);
+        let cands = CandidateSet::from_pairs([CandidatePair::new(0, 1), CandidatePair::new(0, 0)]);
         assert_eq!(gold_vector(&tp, &cands), vec![false, true]);
     }
 

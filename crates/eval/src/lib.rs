@@ -11,7 +11,9 @@ pub mod harness;
 pub mod metrics;
 pub mod report;
 
-pub use clustering::{clusters_from_pairs, dense_clusters_from_pairs, pairwise_cluster_metrics, UnionFind};
+pub use clustering::{
+    clusters_from_pairs, dense_clusters_from_pairs, pairwise_cluster_metrics, UnionFind,
+};
 pub use harness::{evaluate_posteriors, gold_vector, ModelRun};
 pub use metrics::{confusion, pr_curve, ConfusionCounts, Metrics, PrPoint};
 pub use report::TextTable;

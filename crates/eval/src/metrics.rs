@@ -67,7 +67,12 @@ impl ConfusionCounts {
         } else {
             (self.tp + self.tn) as f64 / total as f64
         };
-        Metrics { precision, recall, f1, accuracy }
+        Metrics {
+            precision,
+            recall,
+            f1,
+            accuracy,
+        }
     }
 }
 
@@ -97,7 +102,12 @@ pub fn pr_curve(posteriors: &[f64], gold: &[bool], thresholds: &[f64]) -> Vec<Pr
         .map(|&t| {
             let preds: Vec<bool> = posteriors.iter().map(|&g| g >= t).collect();
             let m = confusion(&preds, gold).metrics();
-            PrPoint { threshold: t, precision: m.precision, recall: m.recall, f1: m.f1 }
+            PrPoint {
+                threshold: t,
+                precision: m.precision,
+                recall: m.recall,
+                f1: m.f1,
+            }
         })
         .collect()
 }
@@ -126,7 +136,15 @@ mod tests {
         let preds = [true, true, false, false, true];
         let gold = [true, false, true, false, true];
         let c = confusion(&preds, &gold);
-        assert_eq!(c, ConfusionCounts { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            c,
+            ConfusionCounts {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         let m = c.metrics();
         assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);

@@ -1,0 +1,303 @@
+//! Shared parallel-execution layer (std-only, zero external dependencies).
+//!
+//! Every hot path in the workspace — Auto-LF grid scoring, label-matrix
+//! application, embedding tables, triangle enumeration — fans out through
+//! this crate instead of hand-rolling `thread::spawn` chunking. The model
+//! is deliberately small:
+//!
+//! - a **scoped** pool (`std::thread::scope`): borrows live only for the
+//!   call, no 'static bounds, no channels;
+//! - **work stealing via an atomic cursor**: workers claim small index
+//!   batches with `fetch_add`, so one expensive item no longer serializes
+//!   a whole statically-assigned chunk;
+//! - **deterministic output**: results are reassembled in input-index
+//!   order, so `par_map_indexed(xs, f)[i] == f(i, &xs[i])` regardless of
+//!   worker count or scheduling. Any worker-count-dependent behavior is a
+//!   bug in the closure (e.g. leaking shared mutable state), not in the
+//!   executor.
+//!
+//! Worker-count resolution, highest priority first:
+//! 1. [`set_worker_override`] (programmatic, e.g. tests),
+//! 2. the `PANDA_WORKERS` environment variable (read once per process),
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! With one worker every combinator degrades to a plain serial loop on the
+//! calling thread — no pool, no atomics in the item loop.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Environment variable controlling the default worker count.
+pub const WORKERS_ENV: &str = "PANDA_WORKERS";
+
+/// 0 = no override.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+static ENV_WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+
+fn env_workers() -> Option<usize> {
+    *ENV_WORKERS.get_or_init(|| {
+        std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// Set (or with `None` clear) a process-wide worker-count override that
+/// wins over `PANDA_WORKERS` and the detected parallelism.
+pub fn set_worker_override(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The number of workers parallel sections will use right now.
+pub fn worker_count() -> usize {
+    let over = WORKER_OVERRIDE.load(Ordering::SeqCst);
+    if over > 0 {
+        return over;
+    }
+    if let Some(n) = env_workers() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `0..n`, returning results in index order.
+///
+/// The workhorse primitive: `out[i] == f(i)` for every `i`, independent of
+/// the worker count. Panics in `f` propagate to the caller with their
+/// original payload (the first panicking worker wins; in-flight items on
+/// other workers still run to completion of their current batch).
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = worker_count().min(n);
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Small claim batches keep stealing effective when item costs are
+    // skewed; the divisor trades contention against balance.
+    let batch = (n / (workers * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+
+    let mut locals: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
+    let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + batch).min(n);
+                        for i in start..end {
+                            out.push((i, f(i)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => locals.push(local),
+                Err(payload) => {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+    });
+
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+
+    let mut all: Vec<(usize, U)> = locals.into_iter().flatten().collect();
+    debug_assert_eq!(all.len(), n);
+    all.sort_unstable_by_key(|(i, _)| *i);
+    all.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Map `f(index, &item)` over a slice, results in input order.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+/// Map `f(chunk_index, chunk)` over fixed-size chunks of a slice, results
+/// in chunk order. The chunk size is a property of the *data layout*, not
+/// the worker count — keep it constant if downstream code must be
+/// invariant under `PANDA_WORKERS`.
+pub fn par_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    assert!(chunk_size > 0, "par_chunks: chunk_size must be > 0");
+    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
+    par_map_range(chunks.len(), |i| f(i, chunks[i]))
+}
+
+/// Run `f` over `0..n` purely for effects observable through `&T`'s
+/// interior (e.g. per-index slots behind atomics). Provided for symmetry;
+/// prefer the value-returning combinators.
+pub fn par_for_each<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_map_range(n, f);
+}
+
+/// Like [`par_map_range`] but each item's panic is caught and surfaced as
+/// `Err(payload)` in that item's slot instead of tearing down the whole
+/// map. Used by quarantine-style callers (label matrix) that must keep
+/// healthy items' results when one item dies.
+pub fn par_try_map_range<U, F>(n: usize, f: F) -> Vec<Result<U, Box<dyn std::any::Any + Send>>>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_range(n, |i| catch_unwind(AssertUnwindSafe(|| f(i))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    /// Serialize tests that touch the global override so they can't race.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_matches_serial_for_many_sizes() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        for workers in [1usize, 2, 3, 8] {
+            set_worker_override(Some(workers));
+            for n in [0usize, 1, 2, 7, 64, 1000] {
+                let got = par_map_range(n, |i| i * i + 1);
+                let want: Vec<usize> = (0..n).map(|i| i * i + 1).collect();
+                assert_eq!(got, want, "workers={workers} n={n}");
+            }
+        }
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn indexed_map_sees_the_right_items() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(4));
+        let items: Vec<String> = (0..257).map(|i| format!("v{i}")).collect();
+        let got = par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s, &format!("{i}:v{i}"));
+        }
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(3));
+        let items: Vec<u32> = (0..103).collect();
+        let sums = par_chunks(&items, 10, |ci, chunk| {
+            (ci, chunk.iter().sum::<u32>(), chunk.len())
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.last().unwrap().2, 3, "tail chunk is short");
+        let total: u32 = sums.iter().map(|(_, s, _)| s).sum();
+        assert_eq!(total, (0..103).sum::<u32>());
+        for (i, (ci, _, _)) in sums.iter().enumerate() {
+            assert_eq!(i, *ci);
+        }
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn skewed_items_are_stolen_not_serialized() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(4));
+        // One item is 1000x the others; with static per-worker chunking
+        // the whole first quarter would queue behind it. We can't assert
+        // on wall-clock in CI, but we can assert every item still ran
+        // exactly once and in-order output held.
+        let counter = AtomicU64::new(0);
+        let got = par_map_range(64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn panics_propagate_with_payload() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(4));
+        let result = std::panic::catch_unwind(|| {
+            par_map_range(32, |i| {
+                if i == 17 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 17"), "payload preserved: {msg}");
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn try_map_quarantines_single_items() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(4));
+        let results = par_try_map_range(16, |i| {
+            if i % 5 == 0 {
+                panic!("bad {i}");
+            }
+            i * 2
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i % 5 == 0 {
+                assert!(r.is_err());
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn override_wins_over_everything() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(7));
+        assert_eq!(worker_count(), 7);
+        set_worker_override(None);
+        assert!(worker_count() >= 1);
+    }
+}

@@ -39,7 +39,11 @@ impl ClosureLf {
         f: impl Fn(&PairRef<'_>) -> Label + Send + Sync + 'static,
     ) -> Self {
         let name = name.into();
-        ClosureLf { description: format!("closure LF {name}"), name, f: Box::new(f) }
+        ClosureLf {
+            description: format!("closure LF {name}"),
+            name,
+            f: Box::new(f),
+        }
     }
 
     /// Attach a human description.
@@ -133,7 +137,10 @@ impl SimilarityLf {
         if l.is_missing() || r.is_missing() {
             return None;
         }
-        Some(self.config.score(&l.to_text(), &r.to_text(), self.stats.as_deref()))
+        Some(
+            self.config
+                .score(&l.to_text(), &r.to_text(), self.stats.as_deref()),
+        )
     }
 
     /// Current thresholds `(upper, lower)`.
@@ -197,10 +204,13 @@ pub enum ExtractionPolicy {
 /// Extract a key value from both sides (via a closure, typically wrapping
 /// `panda_text::extract`) and compare. Abstains when either side has no
 /// extraction.
+/// Extraction callback: concatenated attribute text → extracted key values.
+type ExtractFn = Box<dyn Fn(&str) -> Vec<String> + Send + Sync>;
+
 pub struct ExtractionLf {
     name: String,
     attrs: Vec<String>,
-    extract: Box<dyn Fn(&str) -> Vec<String> + Send + Sync>,
+    extract: ExtractFn,
     policy: ExtractionPolicy,
 }
 
@@ -225,12 +235,17 @@ impl ExtractionLf {
     /// The paper's `size_unmatch`: extract sizes from name+description,
     /// vote −1 when they disagree.
     pub fn size_unmatch(attrs: &[&str]) -> Self {
-        ExtractionLf::new("size_unmatch", attrs, ExtractionPolicy::UnmatchOnly, |text| {
-            panda_text::extract::sizes(text)
-                .into_iter()
-                .map(|s| format!("{s}"))
-                .collect()
-        })
+        ExtractionLf::new(
+            "size_unmatch",
+            attrs,
+            ExtractionPolicy::UnmatchOnly,
+            |text| {
+                panda_text::extract::sizes(text)
+                    .into_iter()
+                    .map(|s| format!("{s}"))
+                    .collect()
+            },
+        )
     }
 
     fn gather(&self, rec: &panda_table::Record<'_>) -> Vec<String> {
@@ -260,11 +275,7 @@ impl LabelingFunction for ExtractionLf {
     }
 
     fn description(&self) -> String {
-        format!(
-            "extract over [{}], {:?}",
-            self.attrs.join(","),
-            self.policy
-        )
+        format!("extract over [{}], {:?}", self.attrs.join(","), self.policy)
     }
 }
 
@@ -284,11 +295,18 @@ pub struct AttributeEqualityLf {
 impl AttributeEqualityLf {
     /// Equality LF on `attr`.
     pub fn new(name: impl Into<String>, attr: impl Into<String>, unmatch_on_differ: bool) -> Self {
-        AttributeEqualityLf { name: name.into(), attr: attr.into(), unmatch_on_differ }
+        AttributeEqualityLf {
+            name: name.into(),
+            attr: attr.into(),
+            unmatch_on_differ,
+        }
     }
 
     fn norm(s: &str) -> String {
-        s.split_whitespace().collect::<Vec<_>>().join(" ").to_lowercase()
+        s.split_whitespace()
+            .collect::<Vec<_>>()
+            .join(" ")
+            .to_lowercase()
     }
 }
 
@@ -313,7 +331,15 @@ impl LabelingFunction for AttributeEqualityLf {
     }
 
     fn description(&self) -> String {
-        format!("{} equal => +1{}", self.attr, if self.unmatch_on_differ { "; differ => -1" } else { "" })
+        format!(
+            "{} equal => +1{}",
+            self.attr,
+            if self.unmatch_on_differ {
+                "; differ => -1"
+            } else {
+                ""
+            }
+        )
     }
 }
 
@@ -342,7 +368,12 @@ impl NumericToleranceLf {
         unmatch_tol: f64,
     ) -> Self {
         assert!(match_tol <= unmatch_tol, "match_tol must be ≤ unmatch_tol");
-        NumericToleranceLf { name: name.into(), attr: attr.into(), match_tol, unmatch_tol }
+        NumericToleranceLf {
+            name: name.into(),
+            attr: attr.into(),
+            match_tol,
+            unmatch_tol,
+        }
     }
 }
 
@@ -385,15 +416,30 @@ mod tests {
     fn task() -> TablePair {
         let schema = Schema::of_text(&["name", "description", "price", "phone"]);
         let mut left = Table::new("l", schema.clone());
-        left.push(vec!["Sony Bravia 40' LCD TV", "great 40 inch tv", "499", "555-1234"])
-            .unwrap();
+        left.push(vec![
+            "Sony Bravia 40' LCD TV",
+            "great 40 inch tv",
+            "499",
+            "555-1234",
+        ])
+        .unwrap();
         left.push(vec!["LG washer", "", "799", ""]).unwrap();
         let mut right = Table::new("r", schema);
         right
-            .push(vec!["sony bravia 40in lcd tv", "hdmi 1080p", "489", "555-1234"])
+            .push(vec![
+                "sony bravia 40in lcd tv",
+                "hdmi 1080p",
+                "489",
+                "555-1234",
+            ])
             .unwrap();
         right
-            .push(vec!["Samsung 46' LED TV", "46 inch panel", "899", "555-9999"])
+            .push(vec![
+                "Samsung 46' LED TV",
+                "46 inch panel",
+                "899",
+                "555-9999",
+            ])
             .unwrap();
         TablePair::new(left, right)
     }
@@ -438,8 +484,16 @@ mod tests {
         let tp = task();
         let lf = ExtractionLf::size_unmatch(&["name", "description"]);
         assert_eq!(lf.label(&pair(&tp, 0, 1)), Label::NonMatch, "40 vs 46");
-        assert_eq!(lf.label(&pair(&tp, 0, 0)), Label::Abstain, "40 agrees → abstain");
-        assert_eq!(lf.label(&pair(&tp, 1, 0)), Label::Abstain, "no size on left");
+        assert_eq!(
+            lf.label(&pair(&tp, 0, 0)),
+            Label::Abstain,
+            "40 agrees → abstain"
+        );
+        assert_eq!(
+            lf.label(&pair(&tp, 1, 0)),
+            Label::Abstain,
+            "no size on left"
+        );
     }
 
     #[test]
@@ -449,7 +503,12 @@ mod tests {
             "size_sym",
             &["name", "description"],
             ExtractionPolicy::Symmetric,
-            |t| panda_text::extract::sizes(t).iter().map(|s| s.to_string()).collect(),
+            |t| {
+                panda_text::extract::sizes(t)
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect()
+            },
         );
         assert_eq!(lf.label(&pair(&tp, 0, 0)), Label::Match);
         assert_eq!(lf.label(&pair(&tp, 0, 1)), Label::NonMatch);
@@ -484,8 +543,8 @@ mod tests {
     #[test]
     fn closure_lf_runs() {
         let tp = task();
-        let lf = ClosureLf::new("always_abstain", |_| Label::Abstain)
-            .with_description("does nothing");
+        let lf =
+            ClosureLf::new("always_abstain", |_| Label::Abstain).with_description("does nothing");
         assert_eq!(lf.label(&pair(&tp, 0, 0)), Label::Abstain);
         assert_eq!(lf.description(), "does nothing");
     }

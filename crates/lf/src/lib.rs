@@ -48,8 +48,8 @@
 
 pub mod builders;
 pub mod label;
-pub mod library;
 pub mod lf;
+pub mod library;
 pub mod matrix;
 pub mod stats;
 
@@ -57,7 +57,7 @@ pub use builders::{
     AttributeEqualityLf, ClosureLf, ExtractionLf, NumericToleranceLf, SimilarityLf,
 };
 pub use label::Label;
-pub use library::{address_matcher, organization_matcher, people_matcher, phone_matcher};
 pub use lf::{BoxedLf, LabelingFunction, LfRegistry};
+pub use library::{address_matcher, organization_matcher, people_matcher, phone_matcher};
 pub use matrix::{ApplyReport, LabelMatrix};
 pub use stats::{lf_stats, LfStatsRow};

@@ -38,10 +38,7 @@ impl LabelingFunction for Builtin {
 
 /// One parsed person name: `(first-ish, last)`.
 fn parse_person(token_group: &str) -> Option<(String, String)> {
-    let cleaned = token_group
-        .trim()
-        .trim_end_matches('.')
-        .to_lowercase();
+    let cleaned = token_group.trim().trim_end_matches('.').to_lowercase();
     let parts: Vec<&str> = cleaned
         .split(|c: char| c.is_whitespace() || c == '.')
         .filter(|t| !t.is_empty())
@@ -71,7 +68,11 @@ pub fn persons_compatible(a: &(String, String), b: &(String, String)) -> bool {
     if a.0.is_empty() || b.0.is_empty() || a.0 == b.0 {
         return true;
     }
-    let (short, long) = if a.0.len() <= b.0.len() { (&a.0, &b.0) } else { (&b.0, &a.0) };
+    let (short, long) = if a.0.len() <= b.0.len() {
+        (&a.0, &b.0)
+    } else {
+        (&b.0, &a.0)
+    };
     short.len() == 1 && long.starts_with(short.as_str())
 }
 
@@ -82,27 +83,33 @@ pub fn persons_compatible(a: &(String, String), b: &(String, String)) -> bool {
 pub fn people_matcher(name: impl Into<String>, attr: &str) -> BoxedLf {
     let attr = attr.to_string();
     let desc = format!("builtin people matcher on {attr}");
-    Arc::new(Builtin(ClosureLf::new(name, move |pair| {
-        let a = parse_person_list(&pair.left.text(&attr));
-        let b = parse_person_list(&pair.right.text(&attr));
-        if a.is_empty() || b.is_empty() {
-            return Label::Abstain;
-        }
-        let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
-        let matched = short
-            .iter()
-            .filter(|p| long.iter().any(|q| persons_compatible(p, q)))
-            .count();
-        let frac = matched as f64 / short.len() as f64;
-        if frac >= 1.0 {
-            Label::Match
-        } else if frac < 0.5 {
-            Label::NonMatch
-        } else {
-            Label::Abstain
-        }
-    })
-    .with_description(desc)))
+    Arc::new(Builtin(
+        ClosureLf::new(name, move |pair| {
+            let a = parse_person_list(&pair.left.text(&attr));
+            let b = parse_person_list(&pair.right.text(&attr));
+            if a.is_empty() || b.is_empty() {
+                return Label::Abstain;
+            }
+            let (short, long) = if a.len() <= b.len() {
+                (&a, &b)
+            } else {
+                (&b, &a)
+            };
+            let matched = short
+                .iter()
+                .filter(|p| long.iter().any(|q| persons_compatible(p, q)))
+                .count();
+            let frac = matched as f64 / short.len() as f64;
+            if frac >= 1.0 {
+                Label::Match
+            } else if frac < 0.5 {
+                Label::NonMatch
+            } else {
+                Label::Abstain
+            }
+        })
+        .with_description(desc),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -126,16 +133,18 @@ pub fn normalize_phone(text: &str) -> Option<String> {
 pub fn phone_matcher(name: impl Into<String>, attr: &str) -> BoxedLf {
     let attr = attr.to_string();
     let desc = format!("builtin phone matcher on {attr}");
-    Arc::new(Builtin(ClosureLf::new(name, move |pair| {
-        match (
-            normalize_phone(&pair.left.text(&attr)),
-            normalize_phone(&pair.right.text(&attr)),
-        ) {
-            (Some(a), Some(b)) => Label::from_bool(a == b),
-            _ => Label::Abstain,
-        }
-    })
-    .with_description(desc)))
+    Arc::new(Builtin(
+        ClosureLf::new(name, move |pair| {
+            match (
+                normalize_phone(&pair.left.text(&attr)),
+                normalize_phone(&pair.right.text(&attr)),
+            ) {
+                (Some(a), Some(b)) => Label::from_bool(a == b),
+                _ => Label::Abstain,
+            }
+        })
+        .with_description(desc),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -183,26 +192,28 @@ pub fn parse_address(text: &str) -> (Option<u64>, Vec<String>) {
 pub fn address_matcher(name: impl Into<String>, attr: &str) -> BoxedLf {
     let attr = attr.to_string();
     let desc = format!("builtin address matcher on {attr}");
-    Arc::new(Builtin(ClosureLf::new(name, move |pair| {
-        let (na, ta) = parse_address(&pair.left.text(&attr));
-        let (nb, tb) = parse_address(&pair.right.text(&attr));
-        match (na, nb) {
-            (Some(x), Some(y)) if x != y => Label::NonMatch,
-            (Some(_), Some(_)) => {
-                if ta.is_empty() || tb.is_empty() {
-                    return Label::Abstain;
+    Arc::new(Builtin(
+        ClosureLf::new(name, move |pair| {
+            let (na, ta) = parse_address(&pair.left.text(&attr));
+            let (nb, tb) = parse_address(&pair.right.text(&attr));
+            match (na, nb) {
+                (Some(x), Some(y)) if x != y => Label::NonMatch,
+                (Some(_), Some(_)) => {
+                    if ta.is_empty() || tb.is_empty() {
+                        return Label::Abstain;
+                    }
+                    let overlap = ta.iter().filter(|t| tb.contains(t)).count();
+                    if overlap * 2 >= ta.len().min(tb.len()) {
+                        Label::Match
+                    } else {
+                        Label::Abstain
+                    }
                 }
-                let overlap = ta.iter().filter(|t| tb.contains(t)).count();
-                if overlap * 2 >= ta.len().min(tb.len()) {
-                    Label::Match
-                } else {
-                    Label::Abstain
-                }
+                _ => Label::Abstain,
             }
-            _ => Label::Abstain,
-        }
-    })
-    .with_description(desc)))
+        })
+        .with_description(desc),
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -211,8 +222,18 @@ pub fn address_matcher(name: impl Into<String>, attr: &str) -> BoxedLf {
 
 /// Legal-suffix tokens that don't identify an organisation.
 const ORG_NOISE: &[&str] = &[
-    "inc", "incorporated", "corp", "corporation", "ltd", "limited", "llc", "co", "company",
-    "the", "group", "holdings",
+    "inc",
+    "incorporated",
+    "corp",
+    "corporation",
+    "ltd",
+    "limited",
+    "llc",
+    "co",
+    "company",
+    "the",
+    "group",
+    "holdings",
 ];
 
 /// Normalise an organisation name to its identifying tokens.
@@ -229,25 +250,27 @@ pub fn normalize_org(text: &str) -> Vec<String> {
 pub fn organization_matcher(name: impl Into<String>, attr: &str) -> BoxedLf {
     let attr = attr.to_string();
     let desc = format!("builtin organization matcher on {attr}");
-    Arc::new(Builtin(ClosureLf::new(name, move |pair| {
-        let mut a = normalize_org(&pair.left.text(&attr));
-        let mut b = normalize_org(&pair.right.text(&attr));
-        if a.is_empty() || b.is_empty() {
-            return Label::Abstain;
-        }
-        a.sort();
-        a.dedup();
-        b.sort();
-        b.dedup();
-        if a == b {
-            Label::Match
-        } else if a.iter().all(|t| !b.contains(t)) {
-            Label::NonMatch
-        } else {
-            Label::Abstain
-        }
-    })
-    .with_description(desc)))
+    Arc::new(Builtin(
+        ClosureLf::new(name, move |pair| {
+            let mut a = normalize_org(&pair.left.text(&attr));
+            let mut b = normalize_org(&pair.right.text(&attr));
+            if a.is_empty() || b.is_empty() {
+                return Label::Abstain;
+            }
+            a.sort();
+            a.dedup();
+            b.sort();
+            b.dedup();
+            if a == b {
+                Label::Match
+            } else if a.iter().all(|t| !b.contains(t)) {
+                Label::NonMatch
+            } else {
+                Label::Abstain
+            }
+        })
+        .with_description(desc),
+    ))
 }
 
 #[cfg(test)]
@@ -308,7 +331,10 @@ mod tests {
     #[test]
     fn phone_normalisation() {
         assert_eq!(normalize_phone("415-555-0199"), Some("4155550199".into()));
-        assert_eq!(normalize_phone("1 (415) 555.0199"), Some("4155550199".into()));
+        assert_eq!(
+            normalize_phone("1 (415) 555.0199"),
+            Some("4155550199".into())
+        );
         assert_eq!(normalize_phone("x123"), None);
     }
 

@@ -3,8 +3,12 @@
 use crate::lf::LfRegistry;
 use crate::Label;
 use panda_table::{CandidateSet, TablePair};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+
+/// Pairs per work item when applying LFs. A property of the data layout,
+/// *not* of the worker count: results are identical under any
+/// `PANDA_WORKERS`, and blocks are small enough that one slow LF spreads
+/// over all workers instead of serializing a whole column.
+const PAIR_BLOCK: usize = 1024;
 
 /// One LF's votes over the candidate set.
 #[derive(Debug, Clone)]
@@ -72,7 +76,9 @@ impl LabelMatrix {
 
     /// Iterate `(lf name, votes)` in registry order.
     pub fn columns(&self) -> impl Iterator<Item = (&str, &[i8])> {
-        self.columns.iter().map(|c| (c.name.as_str(), c.labels.as_slice()))
+        self.columns
+            .iter()
+            .map(|c| (c.name.as_str(), c.labels.as_slice()))
     }
 
     /// The votes of all LFs on pair `i` (registry order).
@@ -137,56 +143,59 @@ impl LabelMatrix {
             }
         }
 
-        // Compute missing columns in parallel (one thread per LF, bounded
-        // by available parallelism via simple chunking of the job list).
-        let results: Mutex<Vec<(usize, Result<Vec<i8>, String>)>> =
-            Mutex::new(Vec::with_capacity(jobs.len()));
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(jobs.len().max(1));
-        std::thread::scope(|scope| {
-            for chunk in jobs.chunks(jobs.len().div_ceil(workers).max(1)) {
-                let results = &results;
-                scope.spawn(move || {
-                    for &idx in chunk {
-                        let lf = &registry.lfs()[idx];
-                        let out = catch_unwind(AssertUnwindSafe(|| {
-                            let mut col = Vec::with_capacity(candidates.len());
-                            for (_, pair) in candidates.iter() {
-                                let label = match tables.pair_ref(pair) {
-                                    Ok(p) => lf.label(&p),
-                                    Err(_) => Label::Abstain,
-                                };
-                                col.push(label.as_i8());
-                            }
-                            col
-                        }))
-                        .map_err(|payload| panic_message(payload.as_ref()));
-                        results.lock().expect("no poisoned lock").push((idx, out));
-                    }
-                });
+        // Compute missing columns on the shared executor. Work items are
+        // (LF × pair-block), so an expensive LF's column is spread over
+        // all workers instead of pinning one thread, and a panicking LF
+        // only poisons its own items (quarantine, not crash).
+        let pairs = candidates.pairs();
+        let n_blocks = pairs.len().div_ceil(PAIR_BLOCK).max(1);
+        let results = panda_exec::par_try_map_range(jobs.len() * n_blocks, |item| {
+            let lf = &registry.lfs()[jobs[item / n_blocks]];
+            let start = (item % n_blocks) * PAIR_BLOCK;
+            let end = (start + PAIR_BLOCK).min(pairs.len());
+            let mut out = Vec::with_capacity(end - start);
+            for &pair in &pairs[start..end] {
+                let label = match tables.pair_ref(pair) {
+                    Ok(p) => lf.label(&p),
+                    Err(_) => Label::Abstain,
+                };
+                out.push(label.as_i8());
             }
+            out
         });
 
-        let mut results = results.into_inner().expect("scope joined");
-        results.sort_by_key(|(idx, _)| *idx);
-        for (idx, out) in results {
+        for (j, &idx) in jobs.iter().enumerate() {
             let lf = &registry.lfs()[idx];
             let name = lf.name().to_string();
             let version = registry.version(&name).unwrap_or(0);
-            match out {
-                Ok(labels) => {
+            let mut labels: Vec<i8> = Vec::with_capacity(pairs.len());
+            let mut failure: Option<String> = None;
+            for block in &results[j * n_blocks..(j + 1) * n_blocks] {
+                match block {
+                    Ok(part) => labels.extend_from_slice(part),
+                    Err(payload) => {
+                        // First failing block wins (deterministic message).
+                        failure = Some(panic_message(payload.as_ref()));
+                        break;
+                    }
+                }
+            }
+            match failure {
+                None => {
                     report.applied.push(name.clone());
                     match self.columns.iter_mut().find(|c| c.name == name) {
                         Some(c) => {
                             c.version = version;
                             c.labels = labels;
                         }
-                        None => self.columns.push(Column { name, version, labels }),
+                        None => self.columns.push(Column {
+                            name,
+                            version,
+                            labels,
+                        }),
                     }
                 }
-                Err(msg) => {
+                Some(msg) => {
                     // Quarantine: drop any stale column, report the panic.
                     self.columns.retain(|c| c.name != name);
                     report.failed.push((name, msg));

@@ -82,9 +82,9 @@ pub fn lf_stats(
                 if v != 0 && votes_per_pair[i] >= 2 {
                     overlap += 1;
                     // Does any other LF vote the other way on pair i?
-                    let disagrees = columns.iter().any(|(other, ocol)| {
-                        *other != *name && ocol[i] != 0 && ocol[i] != v
-                    });
+                    let disagrees = columns
+                        .iter()
+                        .any(|(other, ocol)| *other != *name && ocol[i] != 0 && ocol[i] != v);
                     if disagrees {
                         conflict += 1;
                     }
@@ -93,9 +93,7 @@ pub fn lf_stats(
             let n_abstain = n - n_match - n_nonmatch;
             let frac = |x: usize| if n == 0 { 0.0 } else { x as f64 / n as f64 };
 
-            let est = posteriors.map(|gamma| {
-                rates(col, |i| gamma[i])
-            });
+            let est = posteriors.map(|gamma| rates(col, |i| gamma[i]));
             let tru = gold.map(|g| rates(col, |i| f64::from(u8::from(g[i]))));
 
             LfStatsRow {
@@ -191,10 +189,7 @@ mod tests {
 
     #[test]
     fn overlap_and_conflict() {
-        let (m, _) = setup(vec![
-            ("a", vec![1, 1, 0, 0]),
-            ("b", vec![1, -1, -1, 0]),
-        ]);
+        let (m, _) = setup(vec![("a", vec![1, 1, 0, 0]), ("b", vec![1, -1, -1, 0])]);
         let rows = lf_stats(&m, None, None);
         let a = &rows[0];
         // a votes on pairs 0,1; b also votes there → overlap 2/4.

@@ -74,10 +74,7 @@ pub fn evidence_discounts(matrix: &LabelMatrix, threshold: f64) -> Vec<f64> {
     for &c in &clusters {
         *sizes.entry(c).or_insert(0usize) += 1;
     }
-    clusters
-        .iter()
-        .map(|c| 1.0 / sizes[c] as f64)
-        .collect()
+    clusters.iter().map(|c| 1.0 / sizes[c] as f64).collect()
 }
 
 #[cfg(test)]
@@ -146,10 +143,7 @@ mod tests {
         ];
         let p = plant(3000, 0.2, &specs, 67);
         // Base: the two planted LFs.
-        let base_f1 = f1(
-            &SnorkelModel::new().fit_predict(&p.matrix, None),
-            &p.truth,
-        );
+        let base_f1 = f1(&SnorkelModel::new().fit_predict(&p.matrix, None), &p.truth);
 
         // Duplicate the weaker LF (planted_0, acc .75) five times.
         let col: Vec<i8> = p.matrix.column("planted_0").unwrap().to_vec();
@@ -167,10 +161,7 @@ mod tests {
         let mut matrix = panda_lf::LabelMatrix::new();
         matrix.apply(&reg, &p.tables, &p.candidates);
 
-        let plain = f1(
-            &SnorkelModel::new().fit_predict(&matrix, None),
-            &p.truth,
-        );
+        let plain = f1(&SnorkelModel::new().fit_predict(&matrix, None), &p.truth);
         let discounted = f1(
             &SnorkelModel::new()
                 .with_correlation_discounts(0.95)

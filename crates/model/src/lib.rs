@@ -43,10 +43,10 @@ pub mod correlation;
 pub mod majority;
 pub mod panda;
 pub mod snorkel;
-pub mod transitivity;
-pub mod weighted;
 #[doc(hidden)]
 pub mod testutil;
+pub mod transitivity;
+pub mod weighted;
 
 pub use correlation::{evidence_discounts, redundancy_clusters, vote_agreement};
 pub use majority::MajorityVote;

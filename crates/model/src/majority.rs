@@ -81,7 +81,15 @@ mod tests {
 
     #[test]
     fn split_vote_is_half() {
-        let p = plant(50, 0.5, &[PlantedLf::symmetric(1.0, 1.0), PlantedLf::symmetric(1.0, 0.0)], 3);
+        let p = plant(
+            50,
+            0.5,
+            &[
+                PlantedLf::symmetric(1.0, 1.0),
+                PlantedLf::symmetric(1.0, 0.0),
+            ],
+            3,
+        );
         // One always right, one always wrong → every pair splits 1-1.
         let gamma = MajorityVote::default().fit_predict(&p.matrix, None);
         assert!(gamma.iter().all(|&g| (g - 0.5).abs() < 1e-12));

@@ -291,7 +291,12 @@ impl PandaModel {
                 break;
             }
         }
-        EmSolution { gamma, pi, theta_m, theta_u }
+        EmSolution {
+            gamma,
+            pi,
+            theta_m,
+            theta_u,
+        }
     }
 }
 
@@ -304,11 +309,7 @@ impl LabelModel for PandaModel {
         }
     }
 
-    fn fit_predict(
-        &mut self,
-        matrix: &LabelMatrix,
-        candidates: Option<&CandidateSet>,
-    ) -> Vec<f64> {
+    fn fit_predict(&mut self, matrix: &LabelMatrix, candidates: Option<&CandidateSet>) -> Vec<f64> {
         let n = matrix.n_pairs();
         let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
         let m = cols.len();
@@ -352,9 +353,15 @@ impl LabelModel for PandaModel {
         };
         let inits: Vec<(&'static str, Vec<f64>)> = vec![
             // Smoothed majority: robust under junk-heavy candidate sets.
-            ("smoothed", crate::smoothed_majority_init(matrix, self.prior)),
+            (
+                "smoothed",
+                crate::smoothed_majority_init(matrix, self.prior),
+            ),
             // Hard majority: decisive when LFs are few but precise.
-            ("majority", crate::MajorityVote::new(self.prior).fit_predict(matrix, None)),
+            (
+                "majority",
+                crate::MajorityVote::new(self.prior).fit_predict(matrix, None),
+            ),
             // Pessimistic smoothed init: favours small match clusters.
             (
                 "pessimistic",
@@ -400,9 +407,7 @@ impl LabelModel for PandaModel {
         if let Some(g) = &graph {
             // Pairs with no LF votes carry no evidence of their own: their
             // posterior is free to be set by the implication γ_x·γ_y.
-            let movable: Vec<bool> = (0..n)
-                .map(|i| cols.iter().all(|c| c[i] == 0))
-                .collect();
+            let movable: Vec<bool> = (0..n).map(|i| cols.iter().all(|c| c[i] == 0)).collect();
             crate::transitivity::transitive_boost(
                 &mut gamma,
                 g,
@@ -465,8 +470,16 @@ mod tests {
         let gamma = model.fit_predict(&p.matrix, None);
         assert!(f1(&gamma, &p.truth) > 0.7, "f1 {}", f1(&gamma, &p.truth));
         let pr = &model.params;
-        assert!((pr.acc_match[0] - 0.9).abs() < 0.08, "acc_m {:?}", pr.acc_match);
-        assert!((pr.acc_unmatch[0] - 0.6).abs() < 0.08, "acc_u {:?}", pr.acc_unmatch);
+        assert!(
+            (pr.acc_match[0] - 0.9).abs() < 0.08,
+            "acc_m {:?}",
+            pr.acc_match
+        );
+        assert!(
+            (pr.acc_unmatch[0] - 0.6).abs() < 0.08,
+            "acc_u {:?}",
+            pr.acc_unmatch
+        );
         assert!((pr.acc_match[1] - 0.55).abs() < 0.1);
         assert!((pr.acc_unmatch[1] - 0.92).abs() < 0.06);
     }
@@ -477,11 +490,36 @@ mod tests {
         // single-accuracy model mis-weights votes. Mix of match-precise
         // and unmatch-precise LFs at prior 0.05.
         let specs = [
-            PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.92, acc_u: 0.55 },
-            PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.9, acc_u: 0.6 },
-            PlantedLf { propensity_m: 0.85, propensity_u: 0.85, acc_m: 0.55, acc_u: 0.9 },
-            PlantedLf { propensity_m: 0.6, propensity_u: 0.95, acc_m: 0.6, acc_u: 0.93 },
-            PlantedLf { propensity_m: 0.9, propensity_u: 0.4, acc_m: 0.88, acc_u: 0.5 },
+            PlantedLf {
+                propensity_m: 0.85,
+                propensity_u: 0.85,
+                acc_m: 0.92,
+                acc_u: 0.55,
+            },
+            PlantedLf {
+                propensity_m: 0.85,
+                propensity_u: 0.85,
+                acc_m: 0.9,
+                acc_u: 0.6,
+            },
+            PlantedLf {
+                propensity_m: 0.85,
+                propensity_u: 0.85,
+                acc_m: 0.55,
+                acc_u: 0.9,
+            },
+            PlantedLf {
+                propensity_m: 0.6,
+                propensity_u: 0.95,
+                acc_m: 0.6,
+                acc_u: 0.93,
+            },
+            PlantedLf {
+                propensity_m: 0.9,
+                propensity_u: 0.4,
+                acc_m: 0.88,
+                acc_u: 0.5,
+            },
         ];
         let p = plant(8000, 0.05, &specs, 37);
         let f1_panda = f1(&PandaModel::new().fit_predict(&p.matrix, None), &p.truth);
@@ -499,7 +537,10 @@ mod tests {
         let gamma = model.fit_predict(&p.matrix, None);
         assert_eq!(model.start_diagnostics.len(), 4, "four warm starts");
         let names: Vec<&str> = model.start_diagnostics.iter().map(|d| d.init).collect();
-        assert_eq!(names, vec!["smoothed", "majority", "pessimistic", "snorkel"]);
+        assert_eq!(
+            names,
+            vec!["smoothed", "majority", "pessimistic", "snorkel"]
+        );
         for d in &model.start_diagnostics {
             assert_eq!(d.posteriors.len(), gamma.len());
             assert!(d.informativeness >= 0.0);
@@ -519,7 +560,10 @@ mod tests {
         // An LF that votes +1 on EVERY pair regardless of class: under the
         // categorical parametrization with polarity pooling its votes must
         // be vacuous — posteriors equal those of a fit without it.
-        let specs = [PlantedLf::symmetric(0.9, 0.85), PlantedLf::symmetric(0.8, 0.8)];
+        let specs = [
+            PlantedLf::symmetric(0.9, 0.85),
+            PlantedLf::symmetric(0.8, 0.8),
+        ];
         let p = plant(2000, 0.1, &specs, 73);
         let base = PandaModel::new().fit_predict(&p.matrix, None);
 
@@ -531,7 +575,9 @@ mod tests {
                 panda_lf::Label::from_i8(col[pr.pair.left.0 as usize])
             })));
         }
-        reg.upsert(Arc::new(ClosureLf::new("always_yes", |_| panda_lf::Label::Match)));
+        reg.upsert(Arc::new(ClosureLf::new("always_yes", |_| {
+            panda_lf::Label::Match
+        })));
         let mut matrix = panda_lf::LabelMatrix::new();
         matrix.apply(&reg, &p.tables, &p.candidates);
         let with_vacuous = PandaModel::new().fit_predict(&matrix, None);
@@ -594,14 +640,11 @@ mod tests {
         let mk = |name: &str| {
             let pairs = pairs.clone();
             Arc::new(ClosureLf::new(name.to_string(), move |p| {
-                let idx = pairs
-                    .iter()
-                    .position(|q| *q == p.pair)
-                    .expect("pair known");
+                let idx = pairs.iter().position(|q| *q == p.pair).expect("pair known");
                 match idx % 4 {
-                    0 | 1 => panda_lf::Label::Match,    // (a,b), (a,c)
-                    2 => panda_lf::Label::Abstain,      // (b,c) — missed
-                    _ => panda_lf::Label::NonMatch,     // distractor
+                    0 | 1 => panda_lf::Label::Match, // (a,b), (a,c)
+                    2 => panda_lf::Label::Abstain,   // (b,c) — missed
+                    _ => panda_lf::Label::NonMatch,  // distractor
                 }
             }))
         };
@@ -626,10 +669,8 @@ mod tests {
             "transitivity {f1_trans:.3} must beat base {f1_base:.3}"
         );
         // Specifically: the abstained (b,c) edges must be pulled up.
-        let bc_mean_base: f64 =
-            (0..10).map(|k| base[4 * k + 2]).sum::<f64>() / 10.0;
-        let bc_mean_trans: f64 =
-            (0..10).map(|k| trans[4 * k + 2]).sum::<f64>() / 10.0;
+        let bc_mean_base: f64 = (0..10).map(|k| base[4 * k + 2]).sum::<f64>() / 10.0;
+        let bc_mean_trans: f64 = (0..10).map(|k| trans[4 * k + 2]).sum::<f64>() / 10.0;
         assert!(
             bc_mean_trans > bc_mean_base + 0.1,
             "missed edges pulled up: {bc_mean_base:.3} → {bc_mean_trans:.3}"

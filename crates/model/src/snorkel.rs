@@ -244,7 +244,10 @@ mod tests {
         // shrink toward each other — check the recovered *ordering* and
         // coarse bands rather than tight absolutes.
         let a = &model.accuracies;
-        assert!(a[0] >= a[1] - 0.02 && a[1] >= a[2] - 0.02, "ordering preserved: {a:?}");
+        assert!(
+            a[0] >= a[1] - 0.02 && a[1] >= a[2] - 0.02,
+            "ordering preserved: {a:?}"
+        );
         assert!(a[0] > 0.75, "best LF clearly good: {a:?}");
         assert!(a[2] < 0.67, "worst LF clearly weak: {a:?}");
         assert!((model.fitted_prior - 0.5).abs() < 0.1);
@@ -262,10 +265,15 @@ mod tests {
         ];
         let p = plant(3000, 0.5, &specs, 13);
         let f1_snorkel = f1(
-            &SnorkelModel::new().with_max_prior(0.6).fit_predict(&p.matrix, None),
+            &SnorkelModel::new()
+                .with_max_prior(0.6)
+                .fit_predict(&p.matrix, None),
             &p.truth,
         );
-        let f1_mv = f1(&MajorityVote::default().fit_predict(&p.matrix, None), &p.truth);
+        let f1_mv = f1(
+            &MajorityVote::default().fit_predict(&p.matrix, None),
+            &p.truth,
+        );
         assert!(
             f1_snorkel > f1_mv + 0.02,
             "snorkel {f1_snorkel:.3} vs majority {f1_mv:.3}"

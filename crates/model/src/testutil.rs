@@ -27,7 +27,12 @@ pub struct PlantedLf {
 impl PlantedLf {
     /// A symmetric LF (same accuracy both classes).
     pub fn symmetric(propensity: f64, acc: f64) -> Self {
-        PlantedLf { propensity_m: propensity, propensity_u: propensity, acc_m: acc, acc_u: acc }
+        PlantedLf {
+            propensity_m: propensity,
+            propensity_u: propensity,
+            acc_m: acc,
+            acc_u: acc,
+        }
     }
 }
 
@@ -87,8 +92,7 @@ pub fn plant(n: usize, pi: f64, lfs: &[PlantedLf], seed: u64) -> Planted {
         right.push(vec![format!("{i}")]).unwrap();
     }
     let tables = TablePair::new(left, right);
-    let candidates =
-        CandidateSet::from_pairs((0..n as u32).map(|i| CandidatePair::new(i, i)));
+    let candidates = CandidateSet::from_pairs((0..n as u32).map(|i| CandidatePair::new(i, i)));
 
     let mut reg = LfRegistry::new();
     for (j, col) in votes.into_iter().enumerate() {
@@ -100,7 +104,12 @@ pub fn plant(n: usize, pi: f64, lfs: &[PlantedLf], seed: u64) -> Planted {
     let report = matrix.apply(&reg, &tables, &candidates);
     assert!(report.failed.is_empty());
 
-    Planted { truth, tables, candidates, matrix }
+    Planted {
+        truth,
+        tables,
+        candidates,
+        matrix,
+    }
 }
 
 /// F1 of thresholded posteriors against planted truth.

@@ -20,7 +20,7 @@
 //! ([`TransitivityMode::SelfJoin`]) are where it bites.
 
 use panda_table::CandidateSet;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// How to map record ids to graph nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,26 +68,40 @@ impl TransitivityGraph {
             }
         }
 
-        let mut triangles = Vec::new();
-        let mut seen: HashSet<[usize; 3]> = HashSet::new();
-        'outer: for (&v, neighbors) in &adjacency {
-            for (x, &u1) in neighbors.iter().enumerate() {
+        // Deterministic parallel enumeration: each triangle is owned by
+        // its smallest node (`v < u1 < u2`), so every triangle is found
+        // exactly once with no cross-node dedupe, and the output order
+        // follows sorted node order — independent of hash-map iteration
+        // order and of the worker count.
+        let mut nodes: Vec<u64> = adjacency.keys().copied().collect();
+        nodes.sort_unstable();
+        let per_node_cap = if max_triangles > 0 {
+            max_triangles
+        } else {
+            usize::MAX
+        };
+        let per_node: Vec<Vec<[usize; 3]>> = panda_exec::par_map_indexed(&nodes, |_, &v| {
+            let mut neighbors: Vec<u64> =
+                adjacency[&v].iter().copied().filter(|&u| u > v).collect();
+            neighbors.sort_unstable();
+            let mut local = Vec::new();
+            'node: for (x, &u1) in neighbors.iter().enumerate() {
                 for &u2 in &neighbors[x + 1..] {
-                    let key = if u1 < u2 { (u1, u2) } else { (u2, u1) };
-                    if let Some(&e3) = edge.get(&key) {
-                        let e1 = edge[&if v < u1 { (v, u1) } else { (u1, v) }];
-                        let e2 = edge[&if v < u2 { (v, u2) } else { (u2, v) }];
-                        let mut tri = [e1, e2, e3];
+                    if let Some(&e3) = edge.get(&(u1, u2)) {
+                        let mut tri = [edge[&(v, u1)], edge[&(v, u2)], e3];
                         tri.sort_unstable();
-                        if seen.insert(tri) {
-                            triangles.push(tri);
-                            if max_triangles > 0 && triangles.len() >= max_triangles {
-                                break 'outer;
-                            }
+                        local.push(tri);
+                        if local.len() >= per_node_cap {
+                            break 'node;
                         }
                     }
                 }
             }
+            local
+        });
+        let mut triangles: Vec<[usize; 3]> = per_node.into_iter().flatten().collect();
+        if max_triangles > 0 {
+            triangles.truncate(max_triangles);
         }
         TransitivityGraph { triangles }
     }
@@ -194,12 +208,11 @@ pub fn project_transitivity_weighted(
         return 0;
     }
     const EPS: f64 = 1e-6;
-    let mut l: Vec<f64> = gamma.iter().map(|&g| g.clamp(EPS, 1.0 - EPS).ln()).collect();
-    let w = |i: usize| -> f64 {
-        weights
-            .map(|ws| ws[i].max(1e-3))
-            .unwrap_or(1.0)
-    };
+    let mut l: Vec<f64> = gamma
+        .iter()
+        .map(|&g| g.clamp(EPS, 1.0 - EPS).ln())
+        .collect();
+    let w = |i: usize| -> f64 { weights.map(|ws| ws[i].max(1e-3)).unwrap_or(1.0) };
 
     let mut done_sweeps = 0;
     for _ in 0..sweeps {

@@ -26,7 +26,11 @@ pub struct WeightedVote {
 impl Default for WeightedVote {
     fn default() -> Self {
         // ln(0.8/0.2): every LF treated as 80% accurate.
-        WeightedVote { weights: Vec::new(), default_weight: (0.8f64 / 0.2).ln(), prior: 0.1 }
+        WeightedVote {
+            weights: Vec::new(),
+            default_weight: (0.8f64 / 0.2).ln(),
+            prior: 0.1,
+        }
     }
 }
 
@@ -34,7 +38,11 @@ impl WeightedVote {
     /// Equal weights derived from one assumed accuracy.
     pub fn uniform(assumed_accuracy: f64, prior: f64) -> Self {
         let a = assumed_accuracy.clamp(0.05, 0.95);
-        WeightedVote { weights: Vec::new(), default_weight: (a / (1.0 - a)).ln(), prior }
+        WeightedVote {
+            weights: Vec::new(),
+            default_weight: (a / (1.0 - a)).ln(),
+            prior,
+        }
     }
 
     /// Weights from per-LF accuracies (e.g. measured on gold — an oracle

@@ -48,13 +48,9 @@ impl Ast {
     /// Number of capturing groups in the tree.
     pub fn count_groups(&self) -> usize {
         match self {
-            Ast::Concat(items) | Ast::Alternate(items) => {
-                items.iter().map(Ast::count_groups).sum()
-            }
+            Ast::Concat(items) | Ast::Alternate(items) => items.iter().map(Ast::count_groups).sum(),
             Ast::Repeat { node, .. } => node.count_groups(),
-            Ast::Group { index, node } => {
-                usize::from(index.is_some()) + node.count_groups()
-            }
+            Ast::Group { index, node } => usize::from(index.is_some()) + node.count_groups(),
             _ => 0,
         }
     }
@@ -75,7 +71,6 @@ impl Ast {
 
 #[cfg(test)]
 mod tests {
-
 
     #[test]
     fn group_counting() {

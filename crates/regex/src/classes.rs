@@ -13,7 +13,10 @@ pub struct CharClass {
 impl CharClass {
     /// An empty, non-negated class (matches nothing).
     pub fn new() -> Self {
-        CharClass { ranges: Vec::new(), negated: false }
+        CharClass {
+            ranges: Vec::new(),
+            negated: false,
+        }
     }
 
     /// Class containing exactly one char.

@@ -101,7 +101,11 @@ impl<'t> Captures<'t> {
     pub fn get(&self, i: usize) -> Option<Match<'t>> {
         let start = (*self.slots.get(2 * i)?)?;
         let end = (*self.slots.get(2 * i + 1)?)?;
-        Some(Match { start, end, text: self.text })
+        Some(Match {
+            start,
+            end,
+            text: self.text,
+        })
     }
 
     /// The `i`-th group's text, if present.
@@ -170,18 +174,31 @@ impl Regex {
     /// Leftmost match, if any.
     pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
         let slots = pikevm::search(&self.program, text, 0)?;
-        Some(Match { start: slots[0]?, end: slots[1]?, text })
+        Some(Match {
+            start: slots[0]?,
+            end: slots[1]?,
+            text,
+        })
     }
 
     /// Leftmost match starting at or after byte offset `from`.
     pub fn find_at<'t>(&self, text: &'t str, from: usize) -> Option<Match<'t>> {
         let slots = pikevm::search(&self.program, text, from)?;
-        Some(Match { start: slots[0]?, end: slots[1]?, text })
+        Some(Match {
+            start: slots[0]?,
+            end: slots[1]?,
+            text,
+        })
     }
 
     /// Iterate over all non-overlapping matches, left to right.
     pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> FindIter<'r, 't> {
-        FindIter { re: self, text, at: 0, done: false }
+        FindIter {
+            re: self,
+            text,
+            at: 0,
+            done: false,
+        }
     }
 
     /// Capture groups of the leftmost match.
@@ -195,10 +212,16 @@ impl Regex {
         let mut out = Vec::new();
         let mut at = 0;
         while at <= text.len() {
-            let Some(slots) = pikevm::search(&self.program, text, at) else { break };
+            let Some(slots) = pikevm::search(&self.program, text, at) else {
+                break;
+            };
             let (s, e) = (slots[0].unwrap(), slots[1].unwrap());
             out.push(Captures { text, slots });
-            at = if e > s { e } else { next_char_boundary(text, e) };
+            at = if e > s {
+                e
+            } else {
+                next_char_boundary(text, e)
+            };
         }
         out
     }

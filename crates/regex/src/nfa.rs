@@ -55,12 +55,18 @@ impl Program {
 /// it is *anchored at its start position*; the Pike VM achieves unanchored
 /// search by injecting a fresh start thread at every input position.
 pub fn compile(ast: &Ast, n_groups: usize, case_insensitive: bool) -> Program {
-    let mut c = Compiler { insts: Vec::new(), ci: case_insensitive };
+    let mut c = Compiler {
+        insts: Vec::new(),
+        ci: case_insensitive,
+    };
     c.emit(Inst::Save(0));
     c.node(ast);
     c.emit(Inst::Save(1));
     c.emit(Inst::Match);
-    Program { insts: c.insts, n_slots: 2 * n_groups }
+    Program {
+        insts: c.insts,
+        n_slots: 2 * n_groups,
+    }
 }
 
 struct Compiler {
@@ -116,7 +122,11 @@ impl Compiler {
                 self.emit(Inst::Any);
             }
             Ast::Class(cls) => {
-                let cls = if self.ci { cls.to_case_insensitive() } else { cls.clone() };
+                let cls = if self.ci {
+                    cls.to_case_insensitive()
+                } else {
+                    cls.clone()
+                };
                 self.emit(Inst::Class(cls));
             }
             Ast::Concat(items) => {
@@ -158,7 +168,12 @@ impl Compiler {
                     self.node(node);
                 }
             }
-            Ast::Repeat { node, min, max, greedy } => {
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => {
                 self.repeat(node, *min, *max, *greedy);
             }
             Ast::StartAnchor => {
@@ -273,10 +288,18 @@ mod tests {
     #[test]
     fn counted_expands() {
         let p3 = prog("a{3}");
-        let chars = p3.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        let chars = p3
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
         assert_eq!(chars, 3);
         let p = prog("a{2,4}");
-        let chars = p.insts.iter().filter(|i| matches!(i, Inst::Char('a'))).count();
+        let chars = p
+            .insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Char('a')))
+            .count();
         assert_eq!(chars, 4);
     }
 

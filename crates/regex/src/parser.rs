@@ -51,9 +51,15 @@ impl Parser {
 
     fn err(&self, msg: impl Into<String>) -> RegexError {
         let pos = self.peek().map(|(at, _)| at).unwrap_or_else(|| {
-            self.chars.last().map(|&(at, c)| at + c.len_utf8()).unwrap_or(0)
+            self.chars
+                .last()
+                .map(|&(at, c)| at + c.len_utf8())
+                .unwrap_or(0)
         });
-        RegexError { pos, msg: msg.into() }
+        RegexError {
+            pos,
+            msg: msg.into(),
+        }
     }
 
     fn alternation(&mut self) -> Result<Ast, RegexError> {
@@ -111,7 +117,12 @@ impl Parser {
             return Err(self.err("quantifier applied to an anchor"));
         }
         let greedy = !self.eat('?');
-        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
     }
 
     /// Parse `{n}`, `{n,}` or `{n,m}` starting at `{`. Returns `None` (and
@@ -220,7 +231,10 @@ impl Parser {
         if !self.eat(')') {
             return Err(self.err("unclosed group"));
         }
-        Ok(Ast::Group { index, node: Box::new(inner) })
+        Ok(Ast::Group {
+            index,
+            node: Box::new(inner),
+        })
     }
 
     fn class(&mut self) -> Result<Ast, RegexError> {
@@ -368,19 +382,37 @@ mod tests {
     fn parses_quantifiers() {
         assert!(matches!(
             parse("a*").unwrap(),
-            Ast::Repeat { min: 0, max: None, greedy: true, .. }
+            Ast::Repeat {
+                min: 0,
+                max: None,
+                greedy: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a+?").unwrap(),
-            Ast::Repeat { min: 1, max: None, greedy: false, .. }
+            Ast::Repeat {
+                min: 1,
+                max: None,
+                greedy: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,5}").unwrap(),
-            Ast::Repeat { min: 2, max: Some(5), .. }
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{3,}").unwrap(),
-            Ast::Repeat { min: 3, max: None, .. }
+            Ast::Repeat {
+                min: 3,
+                max: None,
+                ..
+            }
         ));
     }
 

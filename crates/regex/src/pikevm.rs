@@ -18,7 +18,11 @@ struct ThreadList {
 
 impl ThreadList {
     fn new(n: usize) -> Self {
-        ThreadList { threads: Vec::new(), seen: vec![0; n], gen: 0 }
+        ThreadList {
+            threads: Vec::new(),
+            seen: vec![0; n],
+            gen: 0,
+        }
     }
 
     fn clear(&mut self) {
@@ -88,10 +92,7 @@ pub fn search(prog: &Program, text: &str, from: usize) -> Option<Slots> {
     let chars: Vec<(usize, char)> = text.char_indices().collect();
     let n = chars.len();
     // First char position at/after `from`.
-    let start = chars
-        .iter()
-        .position(|&(b, _)| b >= from)
-        .unwrap_or(n);
+    let start = chars.iter().position(|&(b, _)| b >= from).unwrap_or(n);
     if from > text.len() {
         return None;
     }
@@ -118,6 +119,9 @@ pub fn search(prog: &Program, text: &str, from: usize) -> Option<Slots> {
     let mut matched: Option<Slots> = None;
 
     clist.clear();
+    // Positional scan over 0..=n (one past the last char), not an iteration
+    // over `chars` — an enumerate() rewrite would hide the end-of-input step.
+    #[allow(clippy::needless_range_loop)]
     for sp in start..=n {
         // Inject a fresh lowest-priority thread at every position until a
         // match is found (unanchored search, leftmost preference).

@@ -109,11 +109,8 @@ fn ends(ast: &Ast, chars: &[char], start: usize) -> Vec<usize> {
                     // terminates).
                     loop {
                         let next = step(&current);
-                        let fresh: Vec<usize> = next
-                            .iter()
-                            .copied()
-                            .filter(|p| !out.contains(p))
-                            .collect();
+                        let fresh: Vec<usize> =
+                            next.iter().copied().filter(|p| !out.contains(p)).collect();
                         if fresh.is_empty() {
                             break;
                         }

@@ -14,8 +14,14 @@ use std::fmt::Write as _;
 /// Render the generated-notebook source for a set of discovered LFs.
 pub fn generate_notebook(task_name: &str, auto_lfs: &[GeneratedLf]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "//! Auto-generated LF notebook for task `{task_name}`.");
-    let _ = writeln!(out, "//! Edit thresholds / copy patterns, then re-run apply().");
+    let _ = writeln!(
+        out,
+        "//! Auto-generated LF notebook for task `{task_name}`."
+    );
+    let _ = writeln!(
+        out,
+        "//! Edit thresholds / copy patterns, then re-run apply()."
+    );
     let _ = writeln!(out);
     // Cell 1: imports.
     let _ = writeln!(out, "// --- cell 1: dependencies ---");

@@ -99,8 +99,17 @@ mod tests {
     fn vote_slices() {
         let lf = [1i8, -1, 0, 1];
         let gamma = [0.5; 4];
-        assert_eq!(run_query(DebugQuery::VotedMatch, &lf, &[&lf], &gamma).len(), 2);
-        assert_eq!(run_query(DebugQuery::VotedNonMatch, &lf, &[&lf], &gamma), vec![1]);
-        assert_eq!(run_query(DebugQuery::Abstained, &lf, &[&lf], &gamma), vec![2]);
+        assert_eq!(
+            run_query(DebugQuery::VotedMatch, &lf, &[&lf], &gamma).len(),
+            2
+        );
+        assert_eq!(
+            run_query(DebugQuery::VotedNonMatch, &lf, &[&lf], &gamma),
+            vec![1]
+        );
+        assert_eq!(
+            run_query(DebugQuery::Abstained, &lf, &[&lf], &gamma),
+            vec![2]
+        );
     }
 }

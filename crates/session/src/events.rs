@@ -10,7 +10,11 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SessionEvent {
     /// Dataset loaded: `(left rows, right rows, candidate pairs)`.
-    Loaded { left: usize, right: usize, candidates: usize },
+    Loaded {
+        left: usize,
+        right: usize,
+        candidates: usize,
+    },
     /// Auto-LF discovery finished with this many LFs.
     AutoLfsDiscovered { count: usize },
     /// An LF was added or replaced.
@@ -18,13 +22,20 @@ pub enum SessionEvent {
     /// An LF was removed.
     LfRemoved { name: String },
     /// `labeler.apply()` ran: `(applied, reused, failed)` LF counts.
-    Applied { applied: usize, reused: usize, failed: usize },
+    Applied {
+        applied: usize,
+        reused: usize,
+        failed: usize,
+    },
     /// The labeling model was (re-)fit; `matches_found` at γ ≥ 0.5.
     ModelFit { model: String, matches_found: usize },
     /// The smart sampler surfaced `count` pairs.
     Sampled { count: usize },
     /// The user labeled a pair.
-    PairLabeled { candidate_index: usize, is_match: bool },
+    PairLabeled {
+        candidate_index: usize,
+        is_match: bool,
+    },
     /// Deployment ran over the full candidate set.
     Deployed { candidates: usize, matches: usize },
 }
@@ -64,7 +75,11 @@ mod tests {
     #[test]
     fn log_is_append_only_and_ordered() {
         let mut log = EventLog::default();
-        log.push(SessionEvent::Loaded { left: 1, right: 2, candidates: 3 });
+        log.push(SessionEvent::Loaded {
+            left: 1,
+            right: 2,
+            candidates: 3,
+        });
         log.push(SessionEvent::LfUpserted { name: "x".into() });
         assert_eq!(log.len(), 2);
         assert!(matches!(log.events()[0], SessionEvent::Loaded { .. }));

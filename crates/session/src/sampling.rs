@@ -36,11 +36,7 @@ pub fn smart_sample(
 /// sampler hunts missed matches (recall); uncertainty sampling hunts the
 /// decision boundary, where one user label or one new LF moves the most
 /// pairs.
-pub fn uncertainty_sample(
-    posteriors: &[f64],
-    already_shown: &[bool],
-    k: usize,
-) -> Vec<usize> {
+pub fn uncertainty_sample(posteriors: &[f64], already_shown: &[bool], k: usize) -> Vec<usize> {
     let mut eligible: Vec<usize> = (0..posteriors.len())
         .filter(|&i| !already_shown[i])
         .collect();
@@ -57,11 +53,7 @@ pub fn uncertainty_sample(
 /// vote), ranked by how evenly split the votes are. These are the pairs
 /// whose inspection most often reveals which LF needs fixing (Step 4
 /// material).
-pub fn disagreement_sample(
-    columns: &[&[i8]],
-    already_shown: &[bool],
-    k: usize,
-) -> Vec<usize> {
+pub fn disagreement_sample(columns: &[&[i8]], already_shown: &[bool], k: usize) -> Vec<usize> {
     let n = already_shown.len();
     let mut scored: Vec<(f64, usize)> = (0..n)
         .filter(|&i| !already_shown[i])
@@ -81,12 +73,7 @@ pub fn disagreement_sample(
 
 /// Baseline for experiment E5: uniform random sample of not-yet-shown
 /// pairs (what a tool without smart sampling shows).
-pub fn random_sample(
-    n: usize,
-    already_shown: &[bool],
-    k: usize,
-    seed: u64,
-) -> Vec<usize> {
+pub fn random_sample(n: usize, already_shown: &[bool], k: usize, seed: u64) -> Vec<usize> {
     // Deterministic Fisher-Yates over eligible indices via splitmix.
     let mut eligible: Vec<usize> = (0..n).filter(|&i| !already_shown[i]).collect();
     let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);

@@ -41,9 +41,7 @@ fn take_rows(table: &Table, keep: &[usize]) -> (Table, HashMap<u32, u32>) {
         let rec = table
             .record(RecordId(row as u32))
             .expect("sampled index in range");
-        let new_id = out
-            .push_row(rec.values().to_vec())
-            .expect("same schema");
+        let new_id = out.push_row(rec.values().to_vec()).expect("same schema");
         remap.insert(row as u32, new_id.0);
     }
     (out, remap)

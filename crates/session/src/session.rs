@@ -154,9 +154,9 @@ impl PandaSession {
                 &session.candidates,
                 &session.config.auto_lf_config,
             );
-            session
-                .log
-                .push(SessionEvent::AutoLfsDiscovered { count: generated.len() });
+            session.log.push(SessionEvent::AutoLfsDiscovered {
+                count: generated.len(),
+            });
             for g in generated {
                 session.registry.upsert(Arc::new(g.lf));
             }
@@ -168,7 +168,9 @@ impl PandaSession {
     /// Register (or replace) an LF — Step 3. Call [`PandaSession::apply`]
     /// afterwards, exactly like running `labeler.apply()` in the notebook.
     pub fn upsert_lf(&mut self, lf: BoxedLf) {
-        self.log.push(SessionEvent::LfUpserted { name: lf.name().to_string() });
+        self.log.push(SessionEvent::LfUpserted {
+            name: lf.name().to_string(),
+        });
         self.registry.upsert(lf);
     }
 
@@ -176,7 +178,9 @@ impl PandaSession {
     pub fn remove_lf(&mut self, name: &str) -> bool {
         let removed = self.registry.remove(name);
         if removed {
-            self.log.push(SessionEvent::LfRemoved { name: name.to_string() });
+            self.log.push(SessionEvent::LfRemoved {
+                name: name.to_string(),
+            });
         }
         removed
     }
@@ -247,7 +251,9 @@ impl PandaSession {
         for &i in &picked {
             self.shown[i] = true;
         }
-        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        self.log.push(SessionEvent::Sampled {
+            count: picked.len(),
+        });
         picked.into_iter().map(|i| self.viewer_row(i)).collect()
     }
 
@@ -258,7 +264,9 @@ impl PandaSession {
         for &i in &picked {
             self.shown[i] = true;
         }
-        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        self.log.push(SessionEvent::Sampled {
+            count: picked.len(),
+        });
         picked.into_iter().map(|i| self.viewer_row(i)).collect()
     }
 
@@ -270,7 +278,9 @@ impl PandaSession {
         for &i in &picked {
             self.shown[i] = true;
         }
-        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        self.log.push(SessionEvent::Sampled {
+            count: picked.len(),
+        });
         picked.into_iter().map(|i| self.viewer_row(i)).collect()
     }
 
@@ -286,7 +296,9 @@ impl PandaSession {
         for &i in &picked {
             self.shown[i] = true;
         }
-        self.log.push(SessionEvent::Sampled { count: picked.len() });
+        self.log.push(SessionEvent::Sampled {
+            count: picked.len(),
+        });
         picked.into_iter().map(|i| self.viewer_row(i)).collect()
     }
 
@@ -332,7 +344,10 @@ impl PandaSession {
     pub fn label_pair(&mut self, candidate_index: usize, is_match: bool) {
         assert!(candidate_index < self.candidates.len(), "index in range");
         self.user_labels.insert(candidate_index, is_match);
-        self.log.push(SessionEvent::PairLabeled { candidate_index, is_match });
+        self.log.push(SessionEvent::PairLabeled {
+            candidate_index,
+            is_match,
+        });
     }
 
     /// Deployment phase: run the final LF set + model over (possibly
@@ -353,7 +368,11 @@ impl PandaSession {
             }
         }
         let metrics = full_tables.gold.as_ref().map(|gold| {
-            let gv: Vec<bool> = candidates.pairs().iter().map(|p| gold.contains(p)).collect();
+            let gv: Vec<bool> = candidates
+                .pairs()
+                .iter()
+                .map(|p| gold.contains(p))
+                .collect();
             metrics_at_half(&posteriors, &gv)
         });
         DeploymentResult {
@@ -388,8 +407,13 @@ impl PandaSession {
             .expect("candidate index in range");
         let p = self.tables.pair_ref(pair).expect("pair resolvable");
         // Columns: left schema order, then right-only columns.
-        let mut columns: Vec<String> =
-            self.tables.left.schema().names().map(str::to_string).collect();
+        let mut columns: Vec<String> = self
+            .tables
+            .left
+            .schema()
+            .names()
+            .map(str::to_string)
+            .collect();
         for name in self.tables.right.schema().names() {
             if !self.tables.left.schema().contains(name) {
                 columns.push(name.to_string());
@@ -469,7 +493,10 @@ mod tests {
     }
 
     fn no_auto() -> SessionConfig {
-        SessionConfig { auto_lfs: false, ..SessionConfig::default() }
+        SessionConfig {
+            auto_lfs: false,
+            ..SessionConfig::default()
+        }
     }
 
     #[test]
@@ -486,7 +513,7 @@ mod tests {
     #[test]
     fn load_with_auto_lfs_discovers_and_fits() {
         let s = PandaSession::load(small_task(), SessionConfig::default());
-        assert!(s.registry().len() > 0, "auto LFs discovered");
+        assert!(!s.registry().is_empty(), "auto LFs discovered");
         let em = s.em_stats();
         assert!(em.matches_found > 0, "model finds matches from auto LFs");
         let m = s.current_metrics().unwrap();
@@ -524,13 +551,19 @@ mod tests {
         let batch1 = s.smart_sample(10);
         assert!(!batch1.is_empty());
         for row in &batch1 {
-            assert!(row.model_gamma.unwrap() < 0.5, "sampler excludes found matches");
+            assert!(
+                row.model_gamma.unwrap() < 0.5,
+                "sampler excludes found matches"
+            );
             assert!(row.likelihood.is_some());
         }
         let idx1: Vec<usize> = batch1.iter().map(|r| r.candidate_index).collect();
         let batch2 = s.smart_sample(10);
         for row in &batch2 {
-            assert!(!idx1.contains(&row.candidate_index), "no repeats across clicks");
+            assert!(
+                !idx1.contains(&row.candidate_index),
+                "no repeats across clicks"
+            );
         }
     }
 
@@ -605,8 +638,8 @@ mod tests {
         let est = em.estimated_precision.unwrap();
         assert!((0.0..=1.0).contains(&est));
         // With gold-truth labels the estimate equals the sample precision.
-        let true_frac = sample.iter().filter(|r| r.gold.unwrap()).count() as f64
-            / sample.len() as f64;
+        let true_frac =
+            sample.iter().filter(|r| r.gold.unwrap()).count() as f64 / sample.len() as f64;
         assert!((est - true_frac).abs() < 1e-12);
     }
 
@@ -618,7 +651,7 @@ mod tests {
             &GeneratorConfig::new(6).with_entities(150),
         );
         let result = s.deploy(&bigger);
-        assert!(result.candidates.len() > 0);
+        assert!(!result.candidates.is_empty());
         assert_eq!(result.posteriors.len(), result.candidates.len());
         let m = result.metrics.unwrap();
         assert!(m.f1 > 0.3, "deployed LFs transfer: {m:?}");

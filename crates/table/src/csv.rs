@@ -124,9 +124,7 @@ where
 }
 
 fn write_field(out: &mut String, field: &str) {
-    let needs_quoting = field
-        .chars()
-        .any(|c| matches!(c, ',' | '"' | '\n' | '\r'));
+    let needs_quoting = field.chars().any(|c| matches!(c, ',' | '"' | '\n' | '\r'));
     if !needs_quoting {
         out.push_str(field);
         return;

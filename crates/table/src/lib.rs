@@ -51,7 +51,10 @@ impl fmt::Display for TableError {
         match self {
             TableError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
             TableError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: schema has {expected} columns, row has {got}")
+                write!(
+                    f,
+                    "row arity mismatch: schema has {expected} columns, row has {got}"
+                )
             }
             TableError::Csv { line, msg } => write!(f, "CSV error at line {line}: {msg}"),
             TableError::RowOutOfBounds { row, len } => {

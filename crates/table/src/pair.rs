@@ -27,7 +27,10 @@ pub struct CandidatePair {
 impl CandidatePair {
     /// Construct from raw indices.
     pub fn new(left: u32, right: u32) -> Self {
-        CandidatePair { left: RecordId(left), right: RecordId(right) }
+        CandidatePair {
+            left: RecordId(left),
+            right: RecordId(right),
+        }
     }
 }
 
@@ -71,7 +74,9 @@ impl MatchSet {
 
 impl FromIterator<CandidatePair> for MatchSet {
     fn from_iter<T: IntoIterator<Item = CandidatePair>>(iter: T) -> Self {
-        MatchSet { pairs: iter.into_iter().collect() }
+        MatchSet {
+            pairs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -147,12 +152,20 @@ pub struct TablePair {
 impl TablePair {
     /// Bundle two tables without ground truth.
     pub fn new(left: Table, right: Table) -> Self {
-        TablePair { left, right, gold: None }
+        TablePair {
+            left,
+            right,
+            gold: None,
+        }
     }
 
     /// Bundle two tables with ground truth.
     pub fn with_gold(left: Table, right: Table, gold: MatchSet) -> Self {
-        TablePair { left, right, gold: Some(gold) }
+        TablePair {
+            left,
+            right,
+            gold: Some(gold),
+        }
     }
 
     /// Borrow one candidate pair as a [`PairRef`] (what LFs receive).

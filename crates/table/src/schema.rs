@@ -41,15 +41,24 @@ pub struct Field {
 impl Field {
     /// A text field with the given name.
     pub fn text(name: impl Into<String>) -> Self {
-        Field { name: name.into(), dtype: DataType::Text }
+        Field {
+            name: name.into(),
+            dtype: DataType::Text,
+        }
     }
     /// An integer field with the given name.
     pub fn int(name: impl Into<String>) -> Self {
-        Field { name: name.into(), dtype: DataType::Int }
+        Field {
+            name: name.into(),
+            dtype: DataType::Int,
+        }
     }
     /// A float field with the given name.
     pub fn float(name: impl Into<String>) -> Self {
-        Field { name: name.into(), dtype: DataType::Float }
+        Field {
+            name: name.into(),
+            dtype: DataType::Float,
+        }
     }
 }
 

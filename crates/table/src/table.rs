@@ -18,7 +18,11 @@ pub struct Table {
 impl Table {
     /// An empty table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, cells: Vec::new() }
+        Table {
+            name: name.into(),
+            schema,
+            cells: Vec::new(),
+        }
     }
 
     /// Table name (e.g. `"abt"`, `"buy"`).
@@ -67,7 +71,10 @@ impl Table {
     pub fn record(&self, id: RecordId) -> Result<Record<'_>> {
         let n = self.len();
         if id.idx() >= n {
-            return Err(TableError::RowOutOfBounds { row: id.idx(), len: n });
+            return Err(TableError::RowOutOfBounds {
+                row: id.idx(),
+                len: n,
+            });
         }
         let w = self.schema.len();
         let start = id.idx() * w;
@@ -88,7 +95,10 @@ impl Table {
         let col = self.schema.index_of(column)?;
         let n = self.len();
         if id.idx() >= n {
-            return Err(TableError::RowOutOfBounds { row: id.idx(), len: n });
+            return Err(TableError::RowOutOfBounds {
+                row: id.idx(),
+                len: n,
+            });
         }
         Ok(&self.cells[id.idx() * self.schema.len() + col])
     }
@@ -98,7 +108,10 @@ impl Table {
         let col = self.schema.index_of(column)?;
         let n = self.len();
         if id.idx() >= n {
-            return Err(TableError::RowOutOfBounds { row: id.idx(), len: n });
+            return Err(TableError::RowOutOfBounds {
+                row: id.idx(),
+                len: n,
+            });
         }
         let w = self.schema.len();
         self.cells[id.idx() * w + col] = value;
@@ -164,11 +177,20 @@ mod tests {
     fn products() -> Table {
         let mut t = Table::new(
             "products",
-            Schema::new(vec![Field::int("id"), Field::text("name"), Field::float("price")]),
+            Schema::new(vec![
+                Field::int("id"),
+                Field::text("name"),
+                Field::float("price"),
+            ]),
         );
-        t.push_row(vec![Value::Int(1), Value::from("Sony Bravia 40"), Value::Float(499.0)])
+        t.push_row(vec![
+            Value::Int(1),
+            Value::from("Sony Bravia 40"),
+            Value::Float(499.0),
+        ])
+        .unwrap();
+        t.push_row(vec![Value::Int(2), Value::from("LG OLED 55"), Value::Null])
             .unwrap();
-        t.push_row(vec![Value::Int(2), Value::from("LG OLED 55"), Value::Null]).unwrap();
         t
     }
 
@@ -185,7 +207,13 @@ mod tests {
     fn arity_checked() {
         let mut t = products();
         let err = t.push_row(vec![Value::Int(3)]).unwrap_err();
-        assert!(matches!(err, TableError::ArityMismatch { expected: 3, got: 1 }));
+        assert!(matches!(
+            err,
+            TableError::ArityMismatch {
+                expected: 3,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -211,7 +239,10 @@ mod tests {
         let back = Table::from_csv_str("products", &csv_text, true).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back.cell(RecordId(0), "id").unwrap(), &Value::Int(1));
-        assert_eq!(back.cell(RecordId(0), "price").unwrap(), &Value::Float(499.0));
+        assert_eq!(
+            back.cell(RecordId(0), "price").unwrap(),
+            &Value::Float(499.0)
+        );
         assert_eq!(back.cell(RecordId(1), "price").unwrap(), &Value::Null);
     }
 
@@ -227,7 +258,8 @@ mod tests {
     #[test]
     fn set_cell_mutates() {
         let mut t = products();
-        t.set_cell(RecordId(1), "price", Value::Float(899.0)).unwrap();
+        t.set_cell(RecordId(1), "price", Value::Float(899.0))
+            .unwrap();
         assert_eq!(t.cell(RecordId(1), "price").unwrap(), &Value::Float(899.0));
     }
 }

@@ -21,7 +21,12 @@ pub struct AlignScoring {
 
 impl Default for AlignScoring {
     fn default() -> Self {
-        AlignScoring { matched: 2.0, mismatch: -1.0, gap_open: -2.0, gap_extend: -0.5 }
+        AlignScoring {
+            matched: 2.0,
+            mismatch: -1.0,
+            gap_open: -2.0,
+            gap_extend: -0.5,
+        }
     }
 }
 
@@ -100,8 +105,8 @@ pub fn affine_gap(a: &str, b: &str, s: AlignScoring) -> f64 {
     let mut x_prev = vec![NEG; n + 1];
     let mut y_prev = vec![NEG; n + 1];
     m_prev[0] = 0.0;
-    for i in 1..=n {
-        x_prev[i] = s.gap_open + s.gap_extend * (i as f64 - 1.0);
+    for (i, x) in x_prev.iter_mut().enumerate().skip(1) {
+        *x = s.gap_open + s.gap_extend * (i as f64 - 1.0);
     }
     let mut m_cur = vec![NEG; n + 1];
     let mut x_cur = vec![NEG; n + 1];
@@ -112,10 +117,7 @@ pub fn affine_gap(a: &str, b: &str, s: AlignScoring) -> f64 {
         y_cur[0] = s.gap_open + s.gap_extend * j as f64;
         for (i, ca) in a.iter().enumerate() {
             let sub = if ca == cb { s.matched } else { s.mismatch };
-            m_cur[i + 1] = sub
-                + m_prev[i]
-                    .max(x_prev[i])
-                    .max(y_prev[i]);
+            m_cur[i + 1] = sub + m_prev[i].max(x_prev[i]).max(y_prev[i]);
             x_cur[i + 1] = (m_cur[i] + s.gap_open).max(x_cur[i] + s.gap_extend);
             y_cur[i + 1] = (m_prev[i + 1] + s.gap_open).max(y_prev[i + 1] + s.gap_extend);
         }

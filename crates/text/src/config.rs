@@ -6,6 +6,7 @@
 //! later attached. It is also the engine behind similarity-threshold LFs
 //! users write by hand.
 
+use crate::prepared::PreparedRef;
 use crate::preprocess::{apply_pipeline, Preprocess};
 use crate::sim;
 use crate::tokenize::Tokenizer;
@@ -74,7 +75,10 @@ impl Measure {
     pub fn is_set_measure(&self) -> bool {
         matches!(
             self,
-            Measure::Jaccard | Measure::Cosine | Measure::Dice | Measure::Overlap
+            Measure::Jaccard
+                | Measure::Cosine
+                | Measure::Dice
+                | Measure::Overlap
                 | Measure::MongeElkan
         )
     }
@@ -112,7 +116,11 @@ impl SimilarityConfig {
         let pp: Vec<&str> = self.preprocess.iter().map(|p| p.name()).collect();
         format!(
             "{}|{}|{}|{}",
-            if pp.is_empty() { "raw".to_string() } else { pp.join("+") },
+            if pp.is_empty() {
+                "raw".to_string()
+            } else {
+                pp.join("+")
+            },
             self.tokenizer.name(),
             self.weighting.name(),
             self.measure.name()
@@ -159,13 +167,51 @@ impl SimilarityConfig {
                     (Weighting::Tf, _) | (Weighting::TfIdf, None) => {
                         (tf_weights(&ta), tf_weights(&tb))
                     }
-                    (Weighting::TfIdf, Some(s)) => {
-                        (tfidf_weights(&ta, s), tfidf_weights(&tb, s))
-                    }
+                    (Weighting::TfIdf, Some(s)) => (tfidf_weights(&ta, s), tfidf_weights(&tb, s)),
                 };
                 match self.measure {
                     Measure::Jaccard => sim::weighted_jaccard(&wa, &wb),
                     _ => sim::weighted_cosine(&wa, &wb),
+                }
+            }
+        }
+    }
+
+    /// Score a pair from already-prepared per-record data (see
+    /// [`crate::prepared`]). Semantics match [`SimilarityConfig::score`]
+    /// exactly: string measures read the preprocessed text, set measures
+    /// the token vectors, weighted measures the attached weight vectors
+    /// (falling back to building weights from the tokens when a ref
+    /// carries none — TF-IDF without weights degrades to TF, like `score`
+    /// without stats).
+    pub fn score_prepared(&self, a: &PreparedRef<'_>, b: &PreparedRef<'_>) -> f64 {
+        match self.measure {
+            Measure::Levenshtein => sim::levenshtein_similarity(a.cleaned, b.cleaned),
+            Measure::JaroWinkler => sim::jaro_winkler(a.cleaned, b.cleaned),
+            Measure::MongeElkan => sim::monge_elkan_sym(a.tokens, b.tokens, sim::jaro_winkler),
+            Measure::Dice => sim::dice(a.tokens, b.tokens),
+            Measure::Overlap => sim::overlap_coefficient(a.tokens, b.tokens),
+            Measure::Jaccard | Measure::Cosine => {
+                let result = |wa: &crate::weight::WeightedTokens,
+                              wb: &crate::weight::WeightedTokens| {
+                    match self.measure {
+                        Measure::Jaccard => sim::weighted_jaccard(wa, wb),
+                        _ => sim::weighted_cosine(wa, wb),
+                    }
+                };
+                match (a.weights, b.weights) {
+                    (Some(wa), Some(wb)) => result(wa, wb),
+                    _ => {
+                        let (wa, wb) = match self.weighting {
+                            Weighting::Uniform => {
+                                (uniform_weights(a.tokens), uniform_weights(b.tokens))
+                            }
+                            Weighting::Tf | Weighting::TfIdf => {
+                                (tf_weights(a.tokens), tf_weights(b.tokens))
+                            }
+                        };
+                        result(&wa, &wb)
+                    }
                 }
             }
         }
@@ -268,7 +314,10 @@ mod tests {
         let common = cfg.score("kdl40 tv", "xbr9 tv", Some(&stats));
         // Shares the rare model token.
         let rare = cfg.score("kdl40 tv", "kdl40 lcd", Some(&stats));
-        assert!(rare > common, "rare overlap {rare} should beat common {common}");
+        assert!(
+            rare > common,
+            "rare overlap {rare} should beat common {common}"
+        );
     }
 
     #[test]
@@ -279,7 +328,10 @@ mod tests {
             weighting: Weighting::Uniform,
             measure: Measure::JaroWinkler,
         };
-        let b = SimilarityConfig { tokenizer: Tokenizer::QGram(3), ..a.clone() };
+        let b = SimilarityConfig {
+            tokenizer: Tokenizer::QGram(3),
+            ..a.clone()
+        };
         assert_eq!(a.score("abc", "abd", None), b.score("abc", "abd", None));
     }
 

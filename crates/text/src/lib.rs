@@ -49,6 +49,7 @@ pub mod align;
 pub mod config;
 pub mod extract;
 pub mod phonetic;
+pub mod prepared;
 pub mod preprocess;
 pub mod sim;
 pub mod stem;
@@ -56,6 +57,7 @@ pub mod tokenize;
 pub mod weight;
 
 pub use config::{Measure, SimilarityConfig, Weighting};
+pub use prepared::{ColumnKey, PreparedColumn, PreparedRef, TokenCache, WeightKey};
 pub use preprocess::{apply_pipeline, Preprocess};
 pub use tokenize::Tokenizer;
 pub use weight::CorpusStats;

@@ -183,9 +183,7 @@ pub fn metaphone(word: &str) -> Option<String> {
 /// Phonetic token-set similarity: Jaccard over Soundex codes of the words
 /// (1.0 when both sides are empty of encodable words).
 pub fn soundex_jaccard(a: &str, b: &str) -> f64 {
-    let codes = |s: &str| -> Vec<String> {
-        s.split_whitespace().filter_map(soundex).collect()
-    };
+    let codes = |s: &str| -> Vec<String> { s.split_whitespace().filter_map(soundex).collect() };
     crate::sim::jaccard(&codes(a), &codes(b))
 }
 

@@ -176,8 +176,8 @@ fn normalize_numbers(input: &str) -> String {
 /// The stop-word list: the classic short English list that matters for
 /// product names and bibliographic titles.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is",
-    "it", "its", "of", "on", "that", "the", "to", "was", "were", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "that", "the", "to", "was", "were", "will", "with",
 ];
 
 fn remove_stopwords(input: &str) -> String {

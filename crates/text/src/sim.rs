@@ -156,7 +156,7 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
         // Band over i: |i - j| ≤ max (chars beyond can't recover).
         let lo = j.saturating_sub(max);
         let hi = (j + max + 1).min(a.len());
-        cur[0] = if j + 1 <= max { j + 1 } else { BIG };
+        cur[0] = if j < max { j + 1 } else { BIG };
         if lo > 0 {
             cur[lo] = BIG;
         }
@@ -225,8 +225,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
     // disagree.
     let a_seq: Vec<char> = a_matched.iter().map(|&(i, _)| a[i]).collect();
     let b_seq: Vec<char> = {
-        let mut with_idx: Vec<(usize, char)> =
-            a_matched.iter().map(|&(_, j)| (j, b[j])).collect();
+        let mut with_idx: Vec<(usize, char)> = a_matched.iter().map(|&(_, j)| (j, b[j])).collect();
         with_idx.sort_unstable_by_key(|&(j, _)| j);
         with_idx.into_iter().map(|(_, c)| c).collect()
     };
@@ -363,7 +362,12 @@ mod tests {
 
     #[test]
     fn bounded_levenshtein_agrees_or_bails() {
-        for (a, b) in [("kitten", "sitting"), ("abc", "abc"), ("a", "xyz"), ("", "")] {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("abc", "abc"),
+            ("a", "xyz"),
+            ("", ""),
+        ] {
             let d = levenshtein(a, b);
             for max in 0..6 {
                 let got = levenshtein_bounded(a, b, max);
@@ -389,9 +393,9 @@ mod tests {
     fn monge_elkan_containment() {
         let a = toks("sony bravia");
         let b = toks("sony bravia kdl 40 lcd tv");
-        let me = monge_elkan(&a, &b, |x, y| exact(x, y));
+        let me = monge_elkan(&a, &b, exact);
         assert_eq!(me, 1.0); // every token of a appears in b
-        let sym = monge_elkan_sym(&a, &b, |x, y| exact(x, y));
+        let sym = monge_elkan_sym(&a, &b, exact);
         assert!(sym < 1.0); // …but not vice versa
     }
 

@@ -13,7 +13,10 @@ pub fn porter_stem(token: &str) -> String {
     if token.len() <= 2 || !token.bytes().all(|b| b.is_ascii_alphabetic()) {
         return token.to_string();
     }
-    let mut s = Stemmer { b: token.to_ascii_lowercase().into_bytes(), j: 0 };
+    let mut s = Stemmer {
+        b: token.to_ascii_lowercase().into_bytes(),
+        j: 0,
+    };
     s.step1a();
     s.step1b();
     s.step1c();
@@ -148,10 +151,7 @@ impl Stemmer {
             }
             return;
         }
-        let removed = if self.ends("ed") && self.has_vowel() {
-            self.b.truncate(self.j + 1);
-            true
-        } else if self.ends("ing") && self.has_vowel() {
+        let removed = if (self.ends("ed") || self.ends("ing")) && self.has_vowel() {
             self.b.truncate(self.j + 1);
             true
         } else {
@@ -243,8 +243,8 @@ impl Stemmer {
 
     fn step4(&mut self) {
         const SUFFIXES: &[&str] = &[
-            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent",
-            "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+            "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+            "ou", "ism", "ate", "iti", "ous", "ive", "ize",
         ];
         for suffix in SUFFIXES {
             if self.ends(suffix) {

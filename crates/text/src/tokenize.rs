@@ -65,14 +65,10 @@ fn qgrams(input: &str, q: usize) -> Vec<String> {
     if input.is_empty() {
         return vec![];
     }
-    let mut padded: Vec<char> = Vec::with_capacity(input.chars().count() + 2 * (q - 1));
-    for _ in 0..q - 1 {
-        padded.push('#');
-    }
+    let mut padded: Vec<char> = vec!['#'; q - 1];
+    padded.reserve(input.chars().count() + (q - 1));
     padded.extend(input.chars());
-    for _ in 0..q - 1 {
-        padded.push('#');
-    }
+    padded.extend(std::iter::repeat_n('#', q - 1));
     if padded.len() < q {
         return vec![padded.iter().collect()];
     }
@@ -94,7 +90,10 @@ mod tests {
 
     #[test]
     fn alnum_splits_punctuation() {
-        assert_eq!(Tokenizer::Alnum.tokens("wi-fi (2.4GHz)"), vec!["wi", "fi", "2", "4GHz"]);
+        assert_eq!(
+            Tokenizer::Alnum.tokens("wi-fi (2.4GHz)"),
+            vec!["wi", "fi", "2", "4GHz"]
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ fn bib_lfs(session: &mut PandaSession) {
         "year_unmatch",
         &["year"],
         panda::lf::builders::ExtractionPolicy::UnmatchOnly,
-        |text| panda::text::extract::years(text).iter().map(u32::to_string).collect(),
+        |text| {
+            panda::text::extract::years(text)
+                .iter()
+                .map(u32::to_string)
+                .collect()
+        },
     )));
 }
 
@@ -93,13 +98,18 @@ fn main() {
     // --- Part 2: single-table dedup, transitivity on vs off ------------
     let dedup = generate(
         DatasetFamily::CoraDedup,
-        &GeneratorConfig::new(42).with_entities(120).with_right_dups(5),
+        &GeneratorConfig::new(42)
+            .with_entities(120)
+            .with_right_dups(5),
     );
     println!(
         "Cora-style dedup: {} rows with duplicate clusters",
         dedup.left.len()
     );
-    println!("{:<22} {:>9} {:>9} {:>9}", "model", "precision", "recall", "F1");
+    println!(
+        "{:<22} {:>9} {:>9} {:>9}",
+        "model", "precision", "recall", "F1"
+    );
     for (label, choice) in [
         ("panda", ModelChoice::Panda),
         (
@@ -109,12 +119,18 @@ fn main() {
     ] {
         let mut s = PandaSession::load(
             dedup.clone(),
-            SessionConfig { model: choice, ..SessionConfig::default() },
+            SessionConfig {
+                model: choice,
+                ..SessionConfig::default()
+            },
         );
         bib_lfs(&mut s);
         s.apply();
         let m = s.current_metrics().unwrap();
-        println!("{label:<22} {:>9.3} {:>9.3} {:>9.3}", m.precision, m.recall, m.f1);
+        println!(
+            "{label:<22} {:>9.3} {:>9.3} {:>9.3}",
+            m.precision, m.recall, m.f1
+        );
     }
     println!("\n(The transitivity projection recovers within-cluster pairs the LFs miss.)");
 }

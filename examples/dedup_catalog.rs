@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 fn main() {
     // Development phase on a small sample.
-    let dev = generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(61).with_entities(150));
+    let dev = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(61).with_entities(150),
+    );
     let mut session = PandaSession::load(dev, SessionConfig::default());
     session.upsert_lf(Arc::new(SimilarityLf::new(
         "name_overlap",
@@ -23,14 +26,25 @@ fn main() {
         0.6,
         0.1,
     )));
-    session.upsert_lf(Arc::new(ExtractionLf::size_unmatch(&["name", "description"])));
-    session.upsert_lf(Arc::new(NumericToleranceLf::new("price_close", "price", 0.15, 0.6)));
+    session.upsert_lf(Arc::new(ExtractionLf::size_unmatch(&[
+        "name",
+        "description",
+    ])));
+    session.upsert_lf(Arc::new(NumericToleranceLf::new(
+        "price_close",
+        "price",
+        0.15,
+        0.6,
+    )));
     session.apply();
     let dm = session.current_metrics().unwrap();
     println!("development F1: {:.3}", dm.f1);
 
     // Deployment on the full catalog.
-    let catalog = generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(62).with_entities(600));
+    let catalog = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(62).with_entities(600),
+    );
     let gold = catalog.gold.clone().unwrap();
     let result = session.deploy(&catalog);
     let pm = result.metrics.as_ref().unwrap();
@@ -60,8 +74,14 @@ fn main() {
     );
     let ml = pairwise_cluster_metrics(&loose, &gold);
     let md = pairwise_cluster_metrics(&dense, &gold);
-    println!("cluster-implied pairs (loose): P {:.3}  R {:.3}  F1 {:.3}", ml.precision, ml.recall, ml.f1);
-    println!("cluster-implied pairs (dense): P {:.3}  R {:.3}  F1 {:.3}", md.precision, md.recall, md.f1);
+    println!(
+        "cluster-implied pairs (loose): P {:.3}  R {:.3}  F1 {:.3}",
+        ml.precision, ml.recall, ml.f1
+    );
+    println!(
+        "cluster-implied pairs (dense): P {:.3}  R {:.3}  F1 {:.3}",
+        md.precision, md.recall, md.f1
+    );
 
     // Show one typical resolved entity (a small cluster — the largest
     // ones are where chaining errors concentrate, which is exactly why the
@@ -71,8 +91,16 @@ fn main() {
         println!("\nexample resolved entity:");
         for node in cluster.iter().take(4) {
             let text = match node {
-                Node::Left(id) => format!("  abt #{}: {}", id.0, catalog.left.record(*id).unwrap().text("name")),
-                Node::Right(id) => format!("  buy #{}: {}", id.0, catalog.right.record(*id).unwrap().text("name")),
+                Node::Left(id) => format!(
+                    "  abt #{}: {}",
+                    id.0,
+                    catalog.left.record(*id).unwrap().text("name")
+                ),
+                Node::Right(id) => format!(
+                    "  buy #{}: {}",
+                    id.0,
+                    catalog.right.record(*id).unwrap().text("name")
+                ),
             };
             println!("{text}");
         }

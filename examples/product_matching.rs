@@ -32,7 +32,7 @@ fn product_lfs(session: &mut PandaSession) {
         "model_code",
         &["name", "description"],
         panda::lf::builders::ExtractionPolicy::Symmetric,
-        |text| panda::text::extract::model_codes(text),
+        panda::text::extract::model_codes,
     )));
     // Prices within 15% support a match; >60% apart refute one.
     session.upsert_lf(Arc::new(NumericToleranceLf::new(
@@ -68,7 +68,10 @@ fn main() {
     );
 
     // Compare the three labeling models on the same LF set.
-    println!("{:<18} {:>9} {:>9} {:>9}", "model", "precision", "recall", "F1");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "model", "precision", "recall", "F1"
+    );
     for (name, choice) in [
         ("majority-vote", ModelChoice::Majority),
         ("snorkel", ModelChoice::Snorkel),
@@ -76,12 +79,18 @@ fn main() {
     ] {
         let mut session = PandaSession::load(
             task.clone(),
-            SessionConfig { model: choice, ..SessionConfig::default() },
+            SessionConfig {
+                model: choice,
+                ..SessionConfig::default()
+            },
         );
         product_lfs(&mut session);
         session.apply();
         let m = session.current_metrics().unwrap();
-        println!("{name:<18} {:>9.3} {:>9.3} {:>9.3}", m.precision, m.recall, m.f1);
+        println!(
+            "{name:<18} {:>9.3} {:>9.3} {:>9.3}",
+            m.precision, m.recall, m.f1
+        );
     }
 
     // Development on the small sample, deployment on the full catalog

@@ -60,7 +60,10 @@ fn main() {
 
     // 5. Inspect the LF Stats Panel.
     println!("\nLF Stats Panel:");
-    println!("{:<14} {:>6} {:>6} {:>7} {:>9} {:>9}", "LF", "+1", "-1", "abst", "est.FPR", "est.FNR");
+    println!(
+        "{:<14} {:>6} {:>6} {:>7} {:>9} {:>9}",
+        "LF", "+1", "-1", "abst", "est.FPR", "est.FNR"
+    );
     for row in session.lf_stats() {
         println!(
             "{:<14} {:>6} {:>6} {:>7} {:>9.4} {:>9.4}",

@@ -38,6 +38,7 @@ pub use panda_autolf as autolf;
 pub use panda_datasets as datasets;
 pub use panda_embed as embed;
 pub use panda_eval as eval;
+pub use panda_exec as exec;
 pub use panda_lf as lf;
 pub use panda_model as model;
 pub use panda_regex as regex;
@@ -54,9 +55,7 @@ pub mod prelude {
         AttributeEqualityLf, ClosureLf, ExtractionLf, Label, LabelMatrix, LabelingFunction,
         LfRegistry, NumericToleranceLf, SimilarityLf,
     };
-    pub use panda_model::{
-        LabelModel, MajorityVote, PandaModel, SnorkelModel, TransitivityMode,
-    };
+    pub use panda_model::{LabelModel, MajorityVote, PandaModel, SnorkelModel, TransitivityMode};
     pub use panda_session::{
         DataViewerRow, DebugQuery, EmStats, ModelChoice, PandaSession, SessionConfig,
     };

@@ -7,7 +7,10 @@ use panda::session::SessionEvent;
 use std::sync::Arc;
 
 fn abt_buy() -> panda::table::TablePair {
-    generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(12).with_entities(220))
+    generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(1).with_entities(220),
+    )
 }
 
 /// Step 1: "the system performs blocking and discovers LFs automatically…
@@ -67,7 +70,11 @@ fn step3_new_lf_applies_incrementally() {
         0.1,
     )));
     let report = session.apply();
-    assert_eq!(report.applied, vec!["name_overlap"], "only the new LF executes");
+    assert_eq!(
+        report.applied,
+        vec!["name_overlap"],
+        "only the new LF executes"
+    );
     assert_eq!(report.reused.len(), n_auto, "auto LF columns are reused");
 }
 
@@ -129,7 +136,10 @@ fn step5_estimated_precision_from_spot_labels() {
     let sample = session.sample_predicted_matches(20);
     assert!(!sample.is_empty());
     for row in &sample {
-        assert!(row.model_gamma.unwrap() >= 0.5, "sampled from predicted matches");
+        assert!(
+            row.model_gamma.unwrap() >= 0.5,
+            "sampled from predicted matches"
+        );
         session.label_pair(row.candidate_index, row.gold.unwrap());
     }
     let em = session.em_stats();

@@ -11,7 +11,13 @@ fn session(seed: u64) -> PandaSession {
         DatasetFamily::AbtBuy,
         &GeneratorConfig::new(3).with_entities(120),
     );
-    let mut s = PandaSession::load(task, SessionConfig { seed, ..SessionConfig::default() });
+    let mut s = PandaSession::load(
+        task,
+        SessionConfig {
+            seed,
+            ..SessionConfig::default()
+        },
+    );
     s.upsert_lf(Arc::new(SimilarityLf::new(
         "name_overlap",
         "name",
@@ -27,7 +33,11 @@ fn session(seed: u64) -> PandaSession {
 fn same_seed_same_everything() {
     let a = session(9);
     let b = session(9);
-    assert_eq!(a.candidates().pairs(), b.candidates().pairs(), "blocking deterministic");
+    assert_eq!(
+        a.candidates().pairs(),
+        b.candidates().pairs(),
+        "blocking deterministic"
+    );
     assert_eq!(a.posteriors(), b.posteriors(), "model fit deterministic");
     assert_eq!(
         serde_json::to_string(&a.snapshot()).unwrap(),
@@ -46,17 +56,111 @@ fn different_blocking_seed_changes_candidates_not_correctness() {
     // the seed).
     let fa = a.current_metrics().unwrap().f1;
     let fb = b.current_metrics().unwrap().f1;
-    assert!((fa - fb).abs() < 0.2, "seed 9 F1 {fa:.3} vs seed 10 F1 {fb:.3}");
+    assert!(
+        (fa - fb).abs() < 0.2,
+        "seed 9 F1 {fa:.3} vs seed 10 F1 {fb:.3}"
+    );
+}
+
+/// The parallel-execution layer must be invisible in the output: auto-LF
+/// generation and label-matrix application are byte-identical whether the
+/// executor runs serial (`PANDA_WORKERS=1`) or with a thread pool. The
+/// `PANDA_WORKERS` env var is read once per process, so the programmatic
+/// override is the test mechanism for flipping the worker count.
+#[test]
+fn worker_count_never_changes_results() {
+    let task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(77).with_entities(120),
+    );
+
+    #[derive(Debug, PartialEq)]
+    struct Observed {
+        candidates: Vec<CandidatePair>,
+        lfs: Vec<(String, String, String, String, u64, u64, usize)>,
+        columns: Vec<(String, Vec<i8>)>,
+        triangles: usize,
+    }
+    let run = |workers: usize| -> Observed {
+        panda::exec::set_worker_override(Some(workers));
+        let cands = EmbeddingLshBlocker::new(7).candidates(&task);
+        let generated = generate_auto_lfs(&task, &cands, &AutoLfConfig::default());
+        let lfs = generated
+            .iter()
+            .map(|g| {
+                (
+                    g.lf.name().to_string(),
+                    g.config_id.clone(),
+                    g.attribute.clone(),
+                    g.right_attribute.clone(),
+                    g.threshold.to_bits(),
+                    g.est_precision.to_bits(),
+                    g.est_support,
+                )
+            })
+            .collect();
+        let mut reg = LfRegistry::new();
+        reg.upsert(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )));
+        for g in generated {
+            reg.upsert(Arc::new(g.lf));
+        }
+        let mut matrix = LabelMatrix::new();
+        let report = matrix.apply(&reg, &task, &cands);
+        assert!(report.failed.is_empty());
+        let columns = matrix
+            .columns()
+            .map(|(n, col)| (n.to_string(), col.to_vec()))
+            .collect();
+        let triangles =
+            panda::model::TransitivityGraph::build(&cands, TransitivityMode::TwoTable, 0)
+                .n_triangles();
+        panda::exec::set_worker_override(None);
+        Observed {
+            candidates: cands.pairs().to_vec(),
+            lfs,
+            columns,
+            triangles,
+        }
+    };
+
+    let serial = run(1);
+    let pooled = run(4);
+    assert_eq!(
+        serial, pooled,
+        "results must be invariant under PANDA_WORKERS"
+    );
 }
 
 #[test]
 fn smart_samples_are_replayable() {
     let mut a = session(9);
     let mut b = session(9);
-    let sa: Vec<usize> = a.smart_sample(15).iter().map(|r| r.candidate_index).collect();
-    let sb: Vec<usize> = b.smart_sample(15).iter().map(|r| r.candidate_index).collect();
+    let sa: Vec<usize> = a
+        .smart_sample(15)
+        .iter()
+        .map(|r| r.candidate_index)
+        .collect();
+    let sb: Vec<usize> = b
+        .smart_sample(15)
+        .iter()
+        .map(|r| r.candidate_index)
+        .collect();
     assert_eq!(sa, sb);
-    let ra: Vec<usize> = a.random_sample(15).iter().map(|r| r.candidate_index).collect();
-    let rb: Vec<usize> = b.random_sample(15).iter().map(|r| r.candidate_index).collect();
+    let ra: Vec<usize> = a
+        .random_sample(15)
+        .iter()
+        .map(|r| r.candidate_index)
+        .collect();
+    let rb: Vec<usize> = b
+        .random_sample(15)
+        .iter()
+        .map(|r| r.candidate_index)
+        .collect();
     assert_eq!(ra, rb, "even the 'random' baseline is seeded");
 }

@@ -103,7 +103,11 @@ fn blocking_keeps_most_gold_matches() {
         let stats = panda::embed::blocking_stats(&task, &cands);
         // The heavy-noise scholar family legitimately loses more matches
         // at the blocking stage (as it does on the real dataset).
-        let floor = if family == DatasetFamily::DblpScholar { 0.75 } else { 0.85 };
+        let floor = if family == DatasetFamily::DblpScholar {
+            0.75
+        } else {
+            0.85
+        };
         assert!(
             stats.recall >= floor,
             "{}: blocking recall {:.3}",
@@ -147,13 +151,19 @@ fn panda_model_is_competitive_with_snorkel_across_suite() {
 
 #[test]
 fn deployment_phase_scales_the_dev_lfs() {
-    let dev_task = generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(2).with_entities(120));
+    let dev_task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(2).with_entities(120),
+    );
     let mut session = PandaSession::load(dev_task, SessionConfig::default());
     curated(DatasetFamily::AbtBuy, &mut session);
     session.apply();
     let dev_f1 = session.current_metrics().unwrap().f1;
 
-    let full_task = generate(DatasetFamily::AbtBuy, &GeneratorConfig::new(99).with_entities(600));
+    let full_task = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(99).with_entities(600),
+    );
     let result = session.deploy(&full_task);
     let dm = result.metrics.unwrap();
     // LFs are rules, not fitted weights, so the *signal* transfers; the
@@ -174,7 +184,10 @@ fn deployment_phase_scales_the_dev_lfs() {
 
 #[test]
 fn dataset_round_trip_through_csv_preserves_pipeline_results() {
-    let task = generate(DatasetFamily::FodorsZagats, &GeneratorConfig::new(8).with_entities(80));
+    let task = generate(
+        DatasetFamily::FodorsZagats,
+        &GeneratorConfig::new(8).with_entities(80),
+    );
     let dir = std::env::temp_dir().join("panda-e2e-roundtrip");
     panda::datasets::loader::save_task(&dir, "fz", &task).unwrap();
     let reloaded = panda::datasets::loader::load_task(&dir, "fz").unwrap();
@@ -187,6 +200,9 @@ fn dataset_round_trip_through_csv_preserves_pipeline_results() {
     };
     let m1 = run(task);
     let m2 = run(reloaded);
-    assert!((m1.f1 - m2.f1).abs() < 1e-9, "identical results after disk round trip");
+    assert!(
+        (m1.f1 - m2.f1).abs() < 1e-9,
+        "identical results after disk round trip"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -13,7 +13,7 @@ fn develop_on_sample_deploy_on_full() {
     // scale-free; test time isn't.
     let full = generate(
         DatasetFamily::FodorsZagats,
-        &GeneratorConfig::new(33).with_entities(800),
+        &GeneratorConfig::new(1).with_entities(800),
     );
     let full_rows = (full.left.len(), full.right.len());
 
@@ -61,7 +61,10 @@ fn builtin_matchers_work_inside_a_session() {
     // Builtin-matcher-only solution: no similarity thresholds at all.
     let mut session = PandaSession::load(
         task,
-        SessionConfig { auto_lfs: false, ..SessionConfig::default() },
+        SessionConfig {
+            auto_lfs: false,
+            ..SessionConfig::default()
+        },
     );
     session.upsert_lf(panda::lf::phone_matcher("phone_eq", "phone"));
     session.upsert_lf(panda::lf::address_matcher("addr_match", "addr"));

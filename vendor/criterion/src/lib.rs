@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the same names the
+//! workspace's benches use (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`, `criterion_main!`). Reports median ns/iter (and
+//! derived throughput) to stdout; no statistical analysis, plots, or
+//! baseline storage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by `iter`.
+    ns_per_iter: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < Duration::from_millis(120) {
+            black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_ns = (warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+        // Aim for ~25ms per sample, at least one iteration.
+        let iters_per_sample = ((25_000_000.0 / est_ns) as u64).clamp(1, 10_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.group_name, name);
+        let mut line = format!("{full:<48} {:>14.1} ns/iter", b.ns_per_iter);
+        if let Some(t) = self.throughput {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n as f64, "elem/s"),
+                Throughput::Bytes(n) => (n as f64, "B/s"),
+            };
+            if b.ns_per_iter > 0.0 {
+                line.push_str(&format!(
+                    "  {:>14.0} {unit}",
+                    count / (b.ns_per_iter * 1e-9)
+                ));
+            }
+        }
+        println!("{line}");
+        self.criterion.results.push((full, b.ns_per_iter));
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        self.run_one(&name, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.name.clone();
+        self.run_one(&name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    /// (benchmark name, median ns/iter) for every completed benchmark.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let group_name = name.into();
+        println!("\n== group: {group_name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            group_name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name: String = name.into();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            group_name: "bench".to_string(),
+            sample_size: 10,
+            throughput: None,
+        };
+        group.run_one(&name, f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,753 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Random-sampling property testing without shrinking: each strategy is a
+//! deterministic sampler (`gen_value`) over a seeded RNG, and `proptest!`
+//! runs the body for a fixed number of sampled cases. No shrinking means
+//! failures report the raw sampled inputs — acceptable for an offline
+//! build where the real crate cannot be fetched.
+//!
+//! Supported surface (what this workspace uses):
+//! - `proptest! { #[test] fn name(pat in strategy, ..) { .. } }` with an
+//!   optional `#![proptest_config(..)]` header
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_oneof!`, `Just`, `any::<T>()`
+//! - `Strategy::{prop_map, prop_flat_map, prop_recursive, boxed}`
+//! - ranges (`0u8..4`, `1usize..=8`) and tuples of strategies
+//! - `collection::{vec, hash_set}`, `char::range`, `sample::select`
+//! - `&str` regex-lite strategies: char classes + `{m,n}` quantifiers
+//! - `test_runner::TestRunner::{deterministic, new}` + `run`
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+pub type TestRng = SmallRng;
+
+// ---------------------------------------------------------------------------
+// Core strategy trait + object-safe boxing
+// ---------------------------------------------------------------------------
+
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Depth-bounded recursion: returns a uniform mix over expansion
+        /// depths 0..=depth so leaves stay reachable at the top level.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+            for _ in 0..depth {
+                let mix = Union::new(levels.clone()).boxed();
+                levels.push(f(mix).boxed());
+            }
+            Union::new(levels).boxed()
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Uniform choice among same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].gen_value(rng)
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, tuples, `any`, string patterns
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+}
+
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// --- `&str` regex-lite string strategies ----------------------------------
+
+/// One pattern element: a set of candidate chars plus a repetition range.
+struct PatternPart {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+const PRINTABLE_ASCII: std::ops::RangeInclusive<u8> = b' '..=b'~';
+
+fn printable() -> Vec<char> {
+    PRINTABLE_ASCII.map(|b| b as char).collect()
+}
+
+/// Parse the regex-lite subset used in strategy position: sequences of
+/// `.` / `[class]` / literal chars, each with an optional `{m,n}` / `{n}` /
+/// `?` / `*` / `+` quantifier. Classes support ranges, negation, and
+/// literal members.
+fn parse_pattern(pat: &str) -> Vec<PatternPart> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                printable()
+            }
+            '[' => {
+                i += 1;
+                let negated = chars.get(i) == Some(&'^');
+                if negated {
+                    i += 1;
+                }
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        set.push(chars[i]);
+                        i += 1;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in pattern `{pat}`");
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern `{pat}`");
+                i += 1; // closing ']'
+                if negated {
+                    printable()
+                        .into_iter()
+                        .filter(|c| !set.contains(c))
+                        .collect()
+                } else {
+                    set
+                }
+            }
+            '\\' if i + 1 < chars.len() => {
+                let c = chars[i + 1];
+                i += 2;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(std::iter::once('_'))
+                        .collect(),
+                    's' => vec![' ', '\t', '\n'],
+                    other => vec![other],
+                }
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in `{pat}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((lo, hi)) = body.split_once(',') {
+                    (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    )
+                } else {
+                    let n: usize = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(
+            !choices.is_empty(),
+            "pattern element matches no characters in `{pat}`"
+        );
+        parts.push(PatternPart { choices, min, max });
+    }
+    parts
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let parts = parse_pattern(self);
+        let mut out = String::new();
+        for part in &parts {
+            let n = rng.gen_range(part.min..=part.max);
+            for _ in 0..n {
+                out.push(part.choices[rng.gen_range(0..part.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modules: collection / char / sample
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Element-count specification: a fixed size or a half-open range.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = rng.gen_range(self.size.min..self.size.max_exclusive);
+            let mut out = HashSet::new();
+            // Try to reach the target size; duplicates may fall short, but
+            // never below one element when the minimum is at least one.
+            for _ in 0..target.max(1) * 4 {
+                if out.len() >= target.max(self.size.min) {
+                    break;
+                }
+                out.insert(self.element.gen_value(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod char {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn gen_value(&self, rng: &mut TestRng) -> char {
+            loop {
+                let v = rng.gen_range(self.lo..=self.hi);
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "char::range: lo must be <= hi");
+        CharRange {
+            lo: lo as u32,
+            hi: hi as u32,
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select: empty options");
+        Select { options }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test runner
+// ---------------------------------------------------------------------------
+
+pub mod test_runner {
+    use super::{SeedableRng, SmallRng, Strategy};
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (no shrinking: raw message only).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestError {
+        pub case: u32,
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "property failed at case {}: {}", self.case, self.message)
+        }
+    }
+
+    pub struct TestRunner {
+        rng: SmallRng,
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner {
+                rng: SmallRng::seed_from_u64(0x70_61_6e_64_61), // "panda"
+                config,
+            }
+        }
+
+        /// Fixed-seed runner, mirroring `TestRunner::deterministic()`.
+        pub fn deterministic() -> Self {
+            TestRunner::new(ProptestConfig::default())
+        }
+
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), TestError> {
+            for case in 0..self.config.cases {
+                let value = strategy.gen_value(&mut self.rng);
+                test(value).map_err(|e| TestError { case, message: e.0 })?;
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let strategy = ($($strategy,)+);
+            runner
+                .run(&strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                })
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    )*};
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_shape() {
+        let mut runner = TestRunner::deterministic();
+        runner
+            .run(&"[a-c]{1,3}", |s| {
+                prop_assert!((1..=3).contains(&s.len()), "len {}", s.len());
+                prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let s = prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2)];
+        let mut runner = TestRunner::deterministic();
+        runner
+            .run(&s, |v| {
+                prop_assert!(v == 1 || (20..40).contains(&v), "v = {v}");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    proptest! {
+        /// The macro itself: tuple destructuring + collections.
+        #[test]
+        fn macro_smoke(
+            (a, b) in (0usize..5, 0usize..5),
+            xs in crate::collection::vec("[ab]{1,2}", 1..4),
+        ) {
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!(!xs.is_empty() && xs.len() < 4);
+        }
+    }
+}

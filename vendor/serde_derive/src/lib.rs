@@ -1,0 +1,487 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which would need network access to fetch). The parser understands the
+//! subset of Rust type definitions this workspace actually derives on:
+//!
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit / tuple / struct variants
+//! - `#[serde(skip)]` on named fields (omitted on serialize, filled with
+//!   `Default::default()` on deserialize)
+//!
+//! Generics are not supported and panic with a clear message.
+//!
+//! Encoding conventions (must match `vendor/serde/src/lib.rs`):
+//! - named struct        -> `Value::Object([(field, value), ..])`
+//! - newtype struct      -> inner value
+//! - tuple struct (n>1)  -> `Value::Array`
+//! - unit struct         -> `Value::Null`
+//! - unit enum variant   -> `Value::Str("Name")`
+//! - newtype variant     -> `Value::Object([("Name", inner)])`
+//! - tuple variant (n>1) -> `Value::Object([("Name", Array)])`
+//! - struct variant      -> `Value::Object([("Name", Object)])`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, name: &str) -> bool {
+    matches!(tt, TokenTree::Ident(id) if id.to_string() == name)
+}
+
+fn group_tokens(tt: &TokenTree) -> Vec<TokenTree> {
+    match tt {
+        TokenTree::Group(g) => g.stream().into_iter().collect(),
+        _ => panic!("serde_derive: expected a delimited group"),
+    }
+}
+
+/// Consume leading `#[...]` attributes starting at `*i`; returns whether any
+/// of them was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_skip = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        let attr = group_tokens(&tokens[*i]);
+        *i += 1;
+        if !attr.is_empty() && is_ident(&attr[0], "serde") {
+            if let Some(TokenTree::Group(inner)) = attr.get(1) {
+                let has = inner
+                    .stream()
+                    .into_iter()
+                    .any(|tt| is_ident(&tt, "skip") || is_ident(&tt, "default"));
+                if has {
+                    has_skip = inner.stream().into_iter().any(|tt| is_ident(&tt, "skip"));
+                }
+            }
+        }
+    }
+    has_skip
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility marker.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Count top-level comma-separated items, treating `<...>` spans as nested so
+/// `HashMap<String, usize>` counts as one item.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut items = 1usize;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => items += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one.
+    if is_punct(tokens.last().unwrap(), ',') {
+        items -= 1;
+    }
+    items
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let skip = skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_vis(tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got `{other}`"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: run to the next top-level comma (angle-bracket aware).
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        if i < tokens.len() {
+            i += 1; // consume the comma
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got `{other}`"),
+        };
+        i += 1;
+        let fields = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    Fields::Tuple(count_top_level_items(&inner))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    i += 1;
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                _ => Fields::Unit,
+            }
+        } else {
+            Fields::Unit
+        };
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got `{other}`"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive: generic types are not supported by the offline stand-in (`{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = if i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&inner))
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(count_top_level_items(&inner))
+                    }
+                    _ => Fields::Unit,
+                }
+            } else {
+                Fields::Unit
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let inner: Vec<TokenTree> = match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect()
+                }
+                other => panic!("serde_derive: expected enum body, got `{other}`"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(&inner),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            match fields {
+                Fields::Named(fs) => {
+                    body.push_str("let mut fields: Vec<(String, serde::Value)> = Vec::new();\n");
+                    for f in fs {
+                        if f.skip {
+                            continue;
+                        }
+                        body.push_str(&format!(
+                            "fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                            n = f.name
+                        ));
+                    }
+                    body.push_str("serde::Value::Object(fields)\n");
+                }
+                Fields::Tuple(1) => {
+                    body.push_str("serde::Serialize::to_value(&self.0)\n");
+                }
+                Fields::Tuple(n) => {
+                    body.push_str("let mut items: Vec<serde::Value> = Vec::new();\n");
+                    for idx in 0..*n {
+                        body.push_str(&format!(
+                            "items.push(serde::Serialize::to_value(&self.{idx}));\n"
+                        ));
+                    }
+                    body.push_str("serde::Value::Array(items)\n");
+                }
+                Fields::Unit => body.push_str("serde::Value::Null\n"),
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n{body}}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let pushes: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({bs}) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Array(vec![{ps}]))]),\n",
+                            bs = binders.join(", "),
+                            ps = pushes.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binders: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {bs} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{ps}]))]),\n",
+                            bs = binders.join(", "),
+                            ps = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                 #[allow(unused_variables)]\n\
+                 fn to_value(&self) -> serde::Value {{\n{body}}}\n}}\n"
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_named_ctor(path: &str, fs: &[Field], source: &str) -> String {
+    let mut out = format!("Ok({path} {{\n");
+    for f in fs {
+        if f.skip {
+            out.push_str(&format!("{}: std::default::Default::default(),\n", f.name));
+        } else {
+            out.push_str(&format!(
+                "{n}: serde::Deserialize::from_value({source}.get_field(\"{n}\").unwrap_or(&serde::Value::Null))?,\n",
+                n = f.name
+            ));
+        }
+    }
+    out.push_str("})\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Named(fs) => format!(
+                "match v {{\n\
+                 serde::Value::Object(_) => {{\n{ctor}}}\n\
+                 other => Err(serde::Error(format!(\"expected object for {name}, got {{other:?}}\"))),\n\
+                 }}\n",
+                ctor = gen_named_ctor(name, fs, "v")
+            ),
+            Fields::Tuple(1) => {
+                format!("Ok({name}(serde::Deserialize::from_value(v)?))\n")
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                     serde::Value::Array(items) if items.len() == {n} => Ok({name}({ctor})),\n\
+                     other => Err(serde::Error(format!(\"expected {n}-element array for {name}, got {{other:?}}\"))),\n\
+                     }}\n",
+                    ctor = items.join(", ")
+                )
+            }
+            Fields::Unit => format!("{{ let _ = v; Ok({name}) }}\n"),
+        },
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms
+                        .push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                             serde::Value::Array(items) if items.len() == {n} => Ok({name}::{vn}({ctor})),\n\
+                             other => Err(serde::Error(format!(\"expected {n}-element array for {name}::{vn}, got {{other:?}}\"))),\n\
+                             }},\n",
+                            ctor = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match inner {{\n\
+                             serde::Value::Object(_) => {{\n{ctor}}}\n\
+                             other => Err(serde::Error(format!(\"expected object for {name}::{vn}, got {{other:?}}\"))),\n\
+                             }},\n",
+                            ctor = gen_named_ctor(&format!("{name}::{vn}"), fs, "inner")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => Err(serde::Error(format!(\"unknown unit variant `{{s}}` for {name}\"))),\n\
+                 }},\n\
+                 serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                 {payload_arms}\
+                 _ => Err(serde::Error(format!(\"unknown variant `{{tag}}` for {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 other => Err(serde::Error(format!(\"expected variant encoding for {name}, got {{other:?}}\"))),\n\
+                 }}\n"
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables, clippy::redundant_field_names)]\n\
+         fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n{body}}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
