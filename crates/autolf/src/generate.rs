@@ -95,6 +95,7 @@ pub fn generate_auto_lfs(
     candidates: &CandidateSet,
     cfg: &AutoLfConfig,
 ) -> Vec<GeneratedLf> {
+    let _span = panda_obs::span("autolf.generate");
     let mut attr_pairs: Vec<(String, String)> = cfg
         .attributes
         .clone()
@@ -103,6 +104,7 @@ pub fn generate_auto_lfs(
         .map(|a| (a.clone(), a))
         .collect();
     attr_pairs.extend(cfg.attribute_pairs.iter().cloned());
+    let enumerated = attr_pairs.len();
     // Seen-set dedupe: duplicates need not be adjacent (e.g. an explicit
     // attribute pair repeating an auto-detected shared attribute).
     let mut seen_pairs: HashSet<(String, String)> = HashSet::new();
@@ -111,6 +113,11 @@ pub fn generate_auto_lfs(
             && tables.right.schema().contains(r)
             && seen_pairs.insert((l.clone(), r.clone()))
     });
+    panda_obs::counter_add("autolf.attr_pairs_enumerated", enumerated as u64);
+    panda_obs::counter_add(
+        "autolf.attr_pairs_deduped",
+        (enumerated - attr_pairs.len()) as u64,
+    );
     if attr_pairs.is_empty() || candidates.is_empty() {
         return Vec::new();
     }
@@ -122,6 +129,7 @@ pub fn generate_auto_lfs(
     // vectors are derived once per weighting, and TF-IDF corpus stats are
     // built lazily — only for the tokenizer classes some TF-IDF config in
     // the grid actually uses.
+    let prepare_span = panda_obs::span("autolf.prepare");
     let mut cache = TokenCache::new();
     let mut texts: HashMap<(bool, String), Arc<Vec<String>>> = HashMap::new();
     let mut column_texts = |right: bool, attr: &str| -> Arc<Vec<String>> {
@@ -233,6 +241,10 @@ pub fn generate_auto_lfs(
         }
     }
 
+    drop(prepare_span);
+    panda_obs::counter_add("autolf.tfidf_corpora_built", stats.len() as u64);
+    panda_obs::counter_add("autolf.grid_cells", cells.len() as u64);
+
     // ---- Score phase (parallel): every candidate under every grid cell,
     // then the threshold search. Cells are independent; results come back
     // in cell order, so survivors match the serial nested-loop order.
@@ -246,6 +258,7 @@ pub fn generate_auto_lfs(
         est_support: usize,
         joined: Vec<usize>,
     }
+    let score_span = panda_obs::span("autolf.score_grid");
     let survivors: Vec<Survivor> = panda_exec::par_map_indexed(&cells, |_, cell| {
         let scored: Vec<(usize, f64)> = candidates
             .iter()
@@ -295,8 +308,11 @@ pub fn generate_auto_lfs(
     .into_iter()
     .flatten()
     .collect();
+    drop(score_span);
+    panda_obs::counter_add("autolf.survivors", survivors.len() as u64);
 
     // Greedy union selection.
+    let select_span = panda_obs::span("autolf.select");
     let inputs: Vec<SelectionInput> = survivors
         .iter()
         .map(|s| SelectionInput {
@@ -334,6 +350,9 @@ pub fn generate_auto_lfs(
             }
         }
     }
+
+    drop(select_span);
+    panda_obs::counter_add("autolf.emitted", picked.len() as u64);
 
     picked
         .into_iter()

@@ -14,6 +14,7 @@ use panda_model::testutil::{f1, plant, PlantedLf};
 use panda_model::{LabelModel, PandaModel, SnorkelModel};
 
 fn main() {
+    panda_bench::init_obs();
     // LFs with *asymmetric class-conditional accuracies* (match-precise
     // vs unmatch-precise) but uniform propensities, so the sweep isolates
     // exactly the paper's first property: one accuracy parameter cannot

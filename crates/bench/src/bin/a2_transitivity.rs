@@ -13,6 +13,7 @@ use panda_model::TransitivityMode;
 use panda_session::{ModelChoice, PandaSession, SessionConfig};
 
 fn main() {
+    panda_bench::init_obs();
     let mut table = TextTable::new(&[
         "max_cluster_size",
         "gold_pairs",

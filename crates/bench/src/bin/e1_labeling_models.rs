@@ -20,6 +20,7 @@ use panda_model::{LabelModel, MajorityVote, PandaModel, SnorkelModel};
 use panda_session::{PandaSession, SessionConfig};
 
 fn main() {
+    panda_bench::init_obs();
     let seeds = [1u64, 2, 3];
     let mut table = TextTable::new(&[
         "dataset",

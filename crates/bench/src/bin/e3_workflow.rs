@@ -76,6 +76,7 @@ fn scripted_rounds() -> Vec<(&'static str, BoxedLf)> {
 }
 
 fn main() {
+    panda_bench::init_obs();
     let task = generate(
         DatasetFamily::AbtBuy,
         &GeneratorConfig::new(31).with_entities(300),

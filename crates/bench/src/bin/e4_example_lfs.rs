@@ -14,6 +14,7 @@ use panda_text::SimilarityConfig;
 use std::sync::Arc;
 
 fn main() {
+    panda_bench::init_obs();
     let task = generate(
         DatasetFamily::AbtBuy,
         &GeneratorConfig::new(13).with_entities(300),

@@ -18,6 +18,7 @@ use panda_eval::TextTable;
 use panda_session::{PandaSession, SessionConfig};
 
 fn main() {
+    panda_bench::init_obs();
     // ---------------- (a) blocking comparison ----------------
     let mut t1 = TextTable::new(&["dataset", "blocker", "candidates", "recall", "reduction"]);
     for (name, task) in standard_suite(17) {

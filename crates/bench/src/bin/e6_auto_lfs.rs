@@ -15,6 +15,7 @@ use panda_model::{LabelModel, PandaModel};
 use panda_session::{PandaSession, SessionConfig};
 
 fn main() {
+    panda_bench::init_obs();
     // --- per-LF estimate quality -----------------------------------
     let mut t1 = TextTable::new(&[
         "dataset",

@@ -16,11 +16,26 @@ pub fn experiments_dir() -> PathBuf {
     dir
 }
 
-/// Write one experiment's CSV next to its printed table.
+/// Turn on pipeline telemetry for an experiment binary. Every experiment
+/// calls this first, so [`write_csv`] can drop a `<id>.metrics.json`
+/// snapshot (per-stage spans, counters, gauges) next to the result CSV.
+pub fn init_obs() {
+    panda_obs::set_enabled(true);
+}
+
+/// Write one experiment's CSV next to its printed table. When telemetry
+/// is live (see [`init_obs`]) the accumulated snapshot is written as
+/// `<id>.metrics.json` alongside it.
 pub fn write_csv(id: &str, table: &panda_eval::TextTable) {
     let path = experiments_dir().join(format!("{id}.csv"));
     std::fs::write(&path, table.to_csv()).expect("can write experiment csv");
     println!("\n[csv written to {}]", path.display());
+    if panda_obs::enabled() {
+        let mpath = experiments_dir().join(format!("{id}.metrics.json"));
+        std::fs::write(&mpath, panda_obs::snapshot().to_json())
+            .expect("can write experiment metrics");
+        println!("[metrics written to {}]", mpath.display());
+    }
 }
 
 fn sim(

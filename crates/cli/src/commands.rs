@@ -12,14 +12,22 @@ panda — weakly supervised entity matching
 
 USAGE:
   panda generate --family <name> [--entities N] [--seed N] [--noise light|heavy] --out <dir>
-  panda match --left <csv> --right <csv> [--gold <csv>] [--model panda|snorkel|majority]
+  panda match --left <csv> --right <csv> [--gold <csv>]
+              [--model panda|panda-transitive|snorkel|majority]
               [--threshold T] [--seed N] [--no-auto-lfs] [--out <csv>]
+              [--metrics <json>]
   panda families
   panda help
 
 `generate` writes <family>_left.csv / _right.csv / _gold.csv into --out.
 `match` runs blocking → auto-LF discovery → labeling model over two CSV
-tables (first line = header) and writes predicted match row pairs.";
+tables (first line = header) and writes predicted match row pairs.
+
+OBSERVABILITY:
+  --metrics <json>   write a pipeline telemetry snapshot (per-stage span
+                     timings, counters, gauges) as JSON after the run
+  PANDA_LOG=summary  print a per-stage timing summary to stderr
+  PANDA_LOG=spans    also print every counter and gauge";
 
 fn parse_family(name: &str) -> Result<DatasetFamily, String> {
     match name {
@@ -115,14 +123,22 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
     let threshold: f64 = args.get_or("threshold", 0.5)?;
     let model = match args.optional("model").unwrap_or("panda") {
         "panda" => ModelChoice::Panda,
+        "panda-transitive" => ModelChoice::PandaTransitive(panda_model::TransitivityMode::TwoTable),
         "snorkel" => ModelChoice::Snorkel,
         "majority" => ModelChoice::Majority,
         other => {
             return Err(format!(
-                "--model must be panda|snorkel|majority, got {other:?}"
+                "--model must be panda|panda-transitive|snorkel|majority, got {other:?}"
             ))
         }
     };
+    // Telemetry must be live *before* the session runs blocking / auto-LF
+    // discovery / the labeling model — that's where all the spans are.
+    let metrics_path = args.optional("metrics");
+    let log_mode = panda_obs::log_mode();
+    if metrics_path.is_some() || log_mode != panda_obs::LogMode::Off {
+        panda_obs::set_enabled(true);
+    }
     let tables = TablePair { left, right, gold };
     let config = SessionConfig {
         seed: args.get_or("seed", 0)?,
@@ -185,6 +201,19 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
         }
         None => {
             println!("\n{n} predicted matches (γ ≥ {threshold}); pass --out <csv> to save them");
+        }
+    }
+
+    // End-of-run telemetry: JSON snapshot for machines, stderr report for
+    // humans (PANDA_LOG=summary|spans).
+    if panda_obs::enabled() {
+        let snap = panda_obs::snapshot();
+        if let Some(path) = metrics_path {
+            std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote metrics snapshot to {path}");
+        }
+        if log_mode != panda_obs::LogMode::Off {
+            eprint!("{}", snap.render(log_mode));
         }
     }
     Ok(())

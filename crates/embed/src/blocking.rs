@@ -90,6 +90,7 @@ impl EmbeddingLshBlocker {
     /// reuse the vectors instead of re-embedding). Records are embedded in
     /// parallel on the shared executor; output order is record order.
     pub fn embed_tables(&self, tables: &TablePair) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        let _span = panda_obs::span("blocking.embed_tables");
         let embed_all = |table: &panda_table::Table| -> Vec<Vec<f32>> {
             panda_exec::par_map_range(table.len(), |i| {
                 let rec = table
@@ -104,6 +105,7 @@ impl EmbeddingLshBlocker {
 
 impl Blocker for EmbeddingLshBlocker {
     fn candidates(&self, tables: &TablePair) -> CandidateSet {
+        let _span = panda_obs::span("blocking.candidates");
         let (lvecs, rvecs) = self.embed_tables(tables);
         let lsh = HyperplaneLsh::new(
             self.embedder.dim(),
@@ -155,6 +157,8 @@ impl Blocker for EmbeddingLshBlocker {
                 pairs.push(CandidatePair::new(lid as u32, rid));
             }
         }
+        panda_obs::counter_add("blocking.lsh_collisions", seen.len() as u64);
+        panda_obs::counter_add("blocking.candidates_emitted", pairs.len() as u64);
         CandidateSet::from_pairs(pairs)
     }
 

@@ -78,12 +78,18 @@ where
 {
     let workers = worker_count().min(n);
     if workers <= 1 || n <= 1 {
+        panda_obs::counter_add("exec.serial_sections", 1);
+        panda_obs::counter_add("exec.items", n as u64);
         return (0..n).map(f).collect();
     }
 
     // Small claim batches keep stealing effective when item costs are
     // skewed; the divisor trades contention against balance.
     let batch = (n / (workers * 8)).max(1);
+    panda_obs::counter_add("exec.sections", 1);
+    panda_obs::counter_add("exec.items", n as u64);
+    panda_obs::counter_add("exec.steal_batches", n.div_ceil(batch) as u64);
+    panda_obs::gauge_set("exec.workers", workers as f64);
     let cursor = AtomicUsize::new(0);
 
     let mut locals: Vec<Vec<(usize, U)>> = Vec::with_capacity(workers);
@@ -289,6 +295,35 @@ mod tests {
                 assert_eq!(*r.as_ref().unwrap(), i * 2);
             }
         }
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn multiple_panicking_workers_still_propagate_one_payload() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_override(Some(4));
+        // Many items panic concurrently on different workers. Exactly one
+        // payload must reach the caller (first joined worker wins), and it
+        // must be an *original* payload, not a generic join error.
+        let result = std::panic::catch_unwind(|| {
+            par_map_range(64, |i| {
+                if i % 3 == 0 {
+                    panic!("multi-boom {i}");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.starts_with("multi-boom "),
+            "one of the original payloads survives: {msg:?}"
+        );
+        let idx: usize = msg["multi-boom ".len()..].parse().unwrap();
+        assert_eq!(idx % 3, 0, "payload names a genuinely panicking item");
         set_worker_override(None);
     }
 

@@ -1,0 +1,44 @@
+//! `PANDA_WORKERS` resolution semantics.
+//!
+//! This lives in its own integration-test binary (= its own process) on
+//! purpose: the env variable is read through a `OnceLock`, so the test
+//! must control the *first* `worker_count()` call of the process. Unit
+//! tests in the library share a process with dozens of other tests and
+//! cannot guarantee that. Everything is one `#[test]` because the
+//! assertions are order-dependent.
+
+#[test]
+fn env_is_read_once_and_loses_to_the_override() {
+    // No worker_count() call has happened yet in this process.
+    std::env::set_var(panda_exec::WORKERS_ENV, "5");
+    assert_eq!(
+        panda_exec::worker_count(),
+        5,
+        "env value honored on first read"
+    );
+
+    // The programmatic override outranks the env variable...
+    panda_exec::set_worker_override(Some(7));
+    assert_eq!(panda_exec::worker_count(), 7, "override wins over env");
+
+    // ...and clearing it falls back to the env value again.
+    panda_exec::set_worker_override(None);
+    assert_eq!(panda_exec::worker_count(), 5);
+
+    // The env variable was latched on first read: later changes to the
+    // process environment are ignored (once-per-process semantics).
+    std::env::set_var(panda_exec::WORKERS_ENV, "12345");
+    assert_eq!(
+        panda_exec::worker_count(),
+        5,
+        "env is read once per process, not per call"
+    );
+
+    // A parallel section actually runs with the env-resolved count: the
+    // executor reports the worker gauge through panda-obs.
+    panda_obs::set_enabled(true);
+    let got = panda_exec::par_map_range(256, |i| i + 1);
+    assert_eq!(got, (1..=256).collect::<Vec<_>>());
+    let snap = panda_obs::snapshot();
+    assert_eq!(snap.gauges.get("exec.workers"), Some(&5.0));
+}

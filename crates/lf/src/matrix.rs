@@ -111,6 +111,7 @@ impl LabelMatrix {
         tables: &TablePair,
         candidates: &CandidateSet,
     ) -> ApplyReport {
+        let _span = panda_obs::span("lf.matrix.apply");
         let fp = fingerprint(candidates);
         if fp != self.fingerprint || candidates.len() != self.n_pairs {
             // New candidate set: all cached columns are meaningless.
@@ -149,6 +150,11 @@ impl LabelMatrix {
         // only poisons its own items (quarantine, not crash).
         let pairs = candidates.pairs();
         let n_blocks = pairs.len().div_ceil(PAIR_BLOCK).max(1);
+        panda_obs::counter_add("lf.matrix.work_items", (jobs.len() * n_blocks) as u64);
+        panda_obs::counter_add(
+            "lf.matrix.labels_computed",
+            (jobs.len() * pairs.len()) as u64,
+        );
         let results = panda_exec::par_try_map_range(jobs.len() * n_blocks, |item| {
             let lf = &registry.lfs()[jobs[item / n_blocks]];
             let start = (item % n_blocks) * PAIR_BLOCK;
@@ -202,6 +208,10 @@ impl LabelMatrix {
                 }
             }
         }
+
+        panda_obs::counter_add("lf.matrix.applied", report.applied.len() as u64);
+        panda_obs::counter_add("lf.matrix.reused", report.reused.len() as u64);
+        panda_obs::counter_add("lf.matrix.quarantined", report.failed.len() as u64);
 
         // Keep matrix column order aligned with registry order.
         let order: Vec<&str> = registry.lfs().iter().map(|lf| lf.name()).collect();

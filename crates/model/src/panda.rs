@@ -142,6 +142,10 @@ struct EmSolution {
     pi: f64,
     theta_m: Vec<[f64; 3]>,
     theta_u: Vec<[f64; 3]>,
+    /// E/M iterations executed before convergence (or `max_iters`).
+    iters: usize,
+    /// Mean |Δγ| of the final E-step (≤ `tol` iff converged).
+    final_delta: f64,
 }
 
 impl EmSolution {
@@ -200,8 +204,11 @@ impl PandaModel {
         let mut pi = self.prior;
         let mut theta_m = vec![[0.3f64, 0.3, 0.4]; m];
         let mut theta_u = vec![[0.3f64, 0.3, 0.4]; m];
+        let mut iters = 0usize;
+        let mut final_delta = f64::INFINITY;
 
         for _iter in 0..self.max_iters {
+            iters += 1;
             // M-step from current responsibilities (iteration 0 consumes
             // the warm start): per class, each LF's vote distribution is a
             // smoothed 3-way categorical over {+1, −1, 0}.
@@ -287,7 +294,8 @@ impl PandaModel {
                 gamma[i] = g;
             }
 
-            if delta / n as f64 <= self.tol {
+            final_delta = delta / n as f64;
+            if final_delta <= self.tol {
                 break;
             }
         }
@@ -296,6 +304,8 @@ impl PandaModel {
             pi,
             theta_m,
             theta_u,
+            iters,
+            final_delta,
         }
     }
 }
@@ -310,12 +320,17 @@ impl LabelModel for PandaModel {
     }
 
     fn fit_predict(&mut self, matrix: &LabelMatrix, candidates: Option<&CandidateSet>) -> Vec<f64> {
+        let _span = panda_obs::span("model.panda.fit");
         let n = matrix.n_pairs();
         let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
         let m = cols.len();
+        // Reset ALL fitted state on every entry: a degenerate matrix must
+        // not leave diagnostics or parameters from a previous fit visible
+        // as if this fit produced them.
+        self.params = PandaLfParams::default();
+        self.fitted_prior = self.prior;
+        self.start_diagnostics.clear();
         if n == 0 || m == 0 {
-            self.params = PandaLfParams::default();
-            self.fitted_prior = self.prior;
             return vec![self.prior; n];
         }
 
@@ -336,8 +351,12 @@ impl LabelModel for PandaModel {
         // pairs with similar names", explaining away a disagreeing phone
         // LF by pushing its one-sided accuracy to the anchor). We run EM
         // from several warm starts and keep the solution with the highest
-        // observed-vote log-likelihood — the standard remedy for latent-
-        // variable local optima.
+        // [`informativeness`] score (vote-weighted Youden's J under the
+        // solution's own labeling — NOT the model likelihood, which the
+        // one-class fixed point and the abstention structure dominate; see
+        // the score's doc comment). Each start's score lands in
+        // `start_diagnostics` and, when metrics are on, in the obs gauges
+        // `model.panda.informativeness.<init>`.
         let snorkel_init = {
             // The rigid single-accuracy model can't "explain away" a
             // strong LF with class-conditional slack, so its optimum is a
@@ -370,23 +389,37 @@ impl LabelModel for PandaModel {
             // The Snorkel baseline's converged posterior.
             ("snorkel", snorkel_init),
         ];
-        let mut best: Option<(f64, EmSolution)> = None;
+        let mut best: Option<(f64, &'static str, EmSolution)> = None;
         let mut diagnostics = Vec::new();
         for (init_name, init) in inits {
             let sol = self.em_run(&cols, &discounts, n, init);
             let score = informativeness(&cols, &sol);
+            if panda_obs::enabled() {
+                panda_obs::counter_add(
+                    &format!("model.panda.em_iters.{init_name}"),
+                    sol.iters as u64,
+                );
+                panda_obs::gauge_set(&format!("model.panda.informativeness.{init_name}"), score);
+                panda_obs::gauge_set(
+                    &format!("model.panda.final_delta.{init_name}"),
+                    sol.final_delta,
+                );
+            }
             diagnostics.push(StartDiagnostic {
                 init: init_name,
                 informativeness: score,
                 posteriors: sol.gamma.clone(),
                 prior: sol.pi,
             });
-            if best.as_ref().map(|(b, _)| score > *b).unwrap_or(true) {
-                best = Some((score, sol));
+            if best.as_ref().map(|(b, ..)| score > *b).unwrap_or(true) {
+                best = Some((score, init_name, sol));
             }
         }
         self.start_diagnostics = diagnostics;
-        let sol = best.expect("at least one init").1;
+        let (_, chosen_init, sol) = best.expect("at least one init");
+        if panda_obs::enabled() {
+            panda_obs::counter_add(&format!("model.panda.chosen_init.{chosen_init}"), 1);
+        }
         let (acc_m, acc_u, prop_m, prop_u) = (
             (0..m).map(|j| sol.acc_match(j)).collect::<Vec<_>>(),
             (0..m).map(|j| sol.acc_unmatch(j)).collect::<Vec<_>>(),
@@ -405,10 +438,17 @@ impl LabelModel for PandaModel {
         // projection move weakly-voted pairs the most, so two confident
         // edges of a triangle pull up a missed third edge.
         if let Some(g) = &graph {
+            let _span = panda_obs::span("model.transitivity.project");
+            if panda_obs::enabled() {
+                panda_obs::gauge_set(
+                    "model.transitivity.violation_mass_pre",
+                    g.violation_mass(&gamma),
+                );
+            }
             // Pairs with no LF votes carry no evidence of their own: their
             // posterior is free to be set by the implication γ_x·γ_y.
             let movable: Vec<bool> = (0..n).map(|i| cols.iter().all(|c| c[i] == 0)).collect();
-            crate::transitivity::transitive_boost(
+            let raised = crate::transitivity::transitive_boost(
                 &mut gamma,
                 g,
                 &movable,
@@ -419,13 +459,21 @@ impl LabelModel for PandaModel {
             let weights: Vec<f64> = (0..n)
                 .map(|i| 0.5 + cols.iter().filter(|c| c[i] != 0).count() as f64)
                 .collect();
-            crate::transitivity::project_transitivity_weighted(
+            let sweeps = crate::transitivity::project_transitivity_weighted(
                 &mut gamma,
                 g,
                 Some(&weights),
                 self.projection_sweeps.max(5),
                 1e-6,
             );
+            panda_obs::counter_add("model.transitivity.boosted", raised as u64);
+            panda_obs::counter_add("model.transitivity.projection_sweeps", sweeps as u64);
+            if panda_obs::enabled() {
+                panda_obs::gauge_set(
+                    "model.transitivity.violation_mass_post",
+                    g.violation_mass(&gamma),
+                );
+            }
         }
 
         self.params = PandaLfParams {

@@ -107,11 +107,13 @@ impl SnorkelModel {
         discounts: &[f64],
         n: usize,
         mut gamma: Vec<f64>,
-    ) -> (Vec<f64>, Vec<f64>, f64) {
+    ) -> (Vec<f64>, Vec<f64>, f64, usize) {
         let m = cols.len();
         let mut acc = vec![0.7f64; m];
         let mut pi = self.prior;
+        let mut iters = 0usize;
         for _iter in 0..self.max_iters {
+            iters += 1;
             // M-step first (consumes the warm start on iteration 0):
             // α_j = E[#agreements] / E[#votes], Laplace-smoothed.
             for (j, col) in cols.iter().enumerate() {
@@ -151,7 +153,7 @@ impl SnorkelModel {
                 break;
             }
         }
-        (gamma, acc, pi)
+        (gamma, acc, pi, iters)
     }
 }
 
@@ -161,13 +163,17 @@ impl LabelModel for SnorkelModel {
     }
 
     fn fit_predict(&mut self, matrix: &LabelMatrix, _: Option<&CandidateSet>) -> Vec<f64> {
+        let _span = panda_obs::span("model.snorkel.fit");
         let n = matrix.n_pairs();
         let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
         let m = cols.len();
+        // Reset ALL fitted state on every entry (same audit as
+        // `PandaModel::fit_predict`): a degenerate matrix must not leave a
+        // previous fit's parameters visible.
+        self.accuracies.clear();
+        self.propensities.clear();
+        self.fitted_prior = self.prior;
         if n == 0 || m == 0 {
-            self.accuracies.clear();
-            self.propensities.clear();
-            self.fitted_prior = self.prior;
             return vec![self.prior; n];
         }
 
@@ -189,14 +195,29 @@ impl LabelModel for SnorkelModel {
         // Multi-start EM with the same warm starts and selection rule the
         // Panda model uses (minus the snorkel-seeded one, obviously):
         // baseline robustness should not be the thing E1 measures.
-        let inits: Vec<Vec<f64>> = vec![
-            crate::smoothed_majority_init(matrix, self.prior),
-            crate::MajorityVote::new(self.prior).fit_predict(matrix, None),
-            crate::smoothed_majority_init(matrix, (self.prior * 0.25).max(1e-3)),
+        let inits: Vec<(&'static str, Vec<f64>)> = vec![
+            (
+                "smoothed",
+                crate::smoothed_majority_init(matrix, self.prior),
+            ),
+            (
+                "majority",
+                crate::MajorityVote::new(self.prior).fit_predict(matrix, None),
+            ),
+            (
+                "pessimistic",
+                crate::smoothed_majority_init(matrix, (self.prior * 0.25).max(1e-3)),
+            ),
         ];
         let mut best: Option<(f64, Vec<f64>, Vec<f64>, f64)> = None;
-        for init in inits {
-            let (gamma, run_acc, run_pi) = self.em_run(&cols, &discounts, n, init);
+        for (init_name, init) in inits {
+            let (gamma, run_acc, run_pi, iters) = self.em_run(&cols, &discounts, n, init);
+            if panda_obs::enabled() {
+                panda_obs::counter_add(
+                    &format!("model.snorkel.em_iters.{init_name}"),
+                    iters as u64,
+                );
+            }
             // Informativeness of the solution: vote-weighted Youden's J,
             // which for a single accuracy parameter is 2·acc − 1.
             let score: f64 = cols

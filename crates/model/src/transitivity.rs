@@ -45,6 +45,7 @@ impl TransitivityGraph {
     /// Build the triangle list for a candidate set. `max_triangles` bounds
     /// worst-case work on dense graphs (0 = unlimited).
     pub fn build(candidates: &CandidateSet, mode: TransitivityMode, max_triangles: usize) -> Self {
+        let _span = panda_obs::span("model.transitivity.build");
         // Node encoding.
         let node = |side_right: bool, id: u32| -> u64 {
             match mode {
@@ -103,6 +104,7 @@ impl TransitivityGraph {
         if max_triangles > 0 {
             triangles.truncate(max_triangles);
         }
+        panda_obs::counter_add("model.transitivity.triangles", triangles.len() as u64);
         TransitivityGraph { triangles }
     }
 
@@ -114,6 +116,21 @@ impl TransitivityGraph {
     /// The triangles (candidate-pair index triples).
     pub fn triangles(&self) -> &[[usize; 3]] {
         &self.triangles
+    }
+
+    /// Total constraint violation mass `Σ max(0, γ_a·γ_b − γ_c)` over all
+    /// cyclic orderings of all triangles (0 means feasible). Where
+    /// [`TransitivityGraph::max_violation`] reports the worst single
+    /// constraint, this reports how much infeasibility the projection has
+    /// to absorb in aggregate — the quantity worth tracking run-over-run.
+    pub fn violation_mass(&self, gamma: &[f64]) -> f64 {
+        let mut mass = 0.0;
+        for &[a, b, c] in &self.triangles {
+            mass += (gamma[a] * gamma[b] - gamma[c]).max(0.0);
+            mass += (gamma[a] * gamma[c] - gamma[b]).max(0.0);
+            mass += (gamma[b] * gamma[c] - gamma[a]).max(0.0);
+        }
+        mass
     }
 
     /// Maximum constraint violation `max(γ_a·γ_b − γ_c)` over all cyclic

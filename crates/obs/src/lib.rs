@@ -1,0 +1,561 @@
+//! Lightweight observability: spans, counters, gauges (std-only, zero
+//! external dependencies).
+//!
+//! Every hot path in the workspace reports *what it did* through this
+//! crate — how long each stage took ([`span`]), how many items it
+//! processed ([`counter_add`]), and point-in-time measurements
+//! ([`gauge_set`] / [`gauge_add`]). The design constraints, in order:
+//!
+//! 1. **True no-op when disabled.** The registry is gated on one
+//!    `AtomicBool`; every recording call starts with a relaxed load and
+//!    returns immediately when metrics are off. Hot loops never pay more
+//!    than that load (verified against the `p2_autolf_grid` bench), and
+//!    callers that would need to `format!` a dynamic name must guard on
+//!    [`enabled`] so the disabled path allocates nothing.
+//! 2. **Thread-safe aggregation.** Recording happens from the worker
+//!    threads of `panda-exec` sections. Aggregates live behind plain
+//!    `Mutex<BTreeMap>`s — instrumentation sites are per-stage or
+//!    per-section, not per-item, so lock traffic is negligible next to
+//!    the work being measured.
+//! 3. **Machine- and human-readable exports.** [`snapshot`] freezes the
+//!    registry into a [`Snapshot`] that serializes to JSON
+//!    ([`Snapshot::to_json`]) for the CLI's `--metrics` flag and the
+//!    bench trajectory, and renders as a text report
+//!    ([`Snapshot::render`]) for `PANDA_LOG=summary|spans`.
+//!
+//! The registry is process-global: a session's stages (blocking, auto-LF
+//! grid, matrix apply, EM fits) all land in one snapshot, keyed by
+//! dotted names (`"autolf.score_grid"`, `"model.panda.em_iters.snorkel"`).
+//! Call [`reset`] between runs that must not share aggregates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Environment variable selecting the end-of-run report
+/// (`summary` or `spans`). Any other value (or unset) means no report.
+pub const LOG_ENV: &str = "PANDA_LOG";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static SPANS: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
+static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// Recover the map even if a panic unwound through a recording call
+/// (poisoning would otherwise turn one quarantined LF panic into a
+/// process-wide metrics outage).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Turn metric recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Is metric recording currently on? Callers building dynamic metric
+/// names (`format!`) must check this first so the disabled path stays
+/// allocation-free.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Wipe every aggregate (spans, counters, gauges). The enabled flag is
+/// left as-is.
+pub fn reset() {
+    lock(&SPANS).clear();
+    lock(&COUNTERS).clear();
+    lock(&GAUGES).clear();
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// Aggregated wall-time statistics of one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanStats {
+    /// How many times the span ran.
+    pub count: u64,
+    /// Total wall time across runs, nanoseconds.
+    pub total_ns: u128,
+    /// Fastest single run, nanoseconds.
+    pub min_ns: u128,
+    /// Slowest single run, nanoseconds.
+    pub max_ns: u128,
+}
+
+impl SpanStats {
+    fn record(&mut self, ns: u128) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+/// A scoped timer: created by [`span`], records its wall time into the
+/// global registry on drop. When metrics are disabled the guard holds no
+/// clock reading and drop does nothing.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// End the span explicitly (identical to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos();
+            lock(&SPANS)
+                .entry(self.name.to_string())
+                .or_default()
+                .record(ns);
+        }
+    }
+}
+
+/// Start a scoped timer. `let _span = obs::span("stage.name");` — the
+/// elapsed wall time is aggregated under `name` when the guard drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Record an already-measured duration under a span name (for call sites
+/// that cannot hold a guard across the timed region).
+pub fn span_record(name: &str, ns: u128) {
+    if !enabled() {
+        return;
+    }
+    let mut map = lock(&SPANS);
+    match map.get_mut(name) {
+        Some(s) => s.record(ns),
+        None => {
+            map.entry(name.to_string()).or_default().record(ns);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters and gauges
+// ---------------------------------------------------------------------------
+
+/// Add `delta` to the monotonic counter `name`. No-op when disabled.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = lock(&COUNTERS);
+    match map.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            map.insert(name.to_string(), delta);
+        }
+    }
+}
+
+/// Set the gauge `name` to `value` (last write wins). No-op when
+/// disabled.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    lock(&GAUGES).insert(name.to_string(), value);
+}
+
+/// Add `delta` to the gauge `name` (accumulating float measurements,
+/// e.g. violation mass absorbed across projection sweeps). No-op when
+/// disabled.
+#[inline]
+pub fn gauge_add(name: &str, delta: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = lock(&GAUGES);
+    match map.get_mut(name) {
+        Some(v) => *v += delta,
+        None => {
+            map.insert(name.to_string(), delta);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// A frozen copy of the registry, for export. Maps are `BTreeMap`s so
+/// JSON key order (and therefore diffs of snapshots) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Aggregated span timings by name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+/// Freeze the current registry contents into a [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        spans: lock(&SPANS).clone(),
+        counters: lock(&COUNTERS).clone(),
+        gauges: lock(&GAUGES).clone(),
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers are valid JSON numbers, but keep floats obvious.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        "null".to_string()
+    }
+}
+
+impl Snapshot {
+    /// Serialize to a JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "spans":    { "<name>": { "count": N, "total_ns": N,
+    ///                             "min_ns": N, "max_ns": N }, ... },
+    ///   "counters": { "<name>": N, ... },
+    ///   "gauges":   { "<name>": X, ... }
+    /// }
+    /// ```
+    ///
+    /// Durations are integer nanoseconds; gauges are JSON numbers (or
+    /// `null` for non-finite values). Keys appear in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"spans\": {");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_json(name, &mut out);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            ));
+        }
+        out.push_str(if self.spans.is_empty() { "}" } else { "\n  }" });
+        out.push_str(",\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_json(name, &mut out);
+            out.push_str(&format!(": {v}"));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "}"
+        } else {
+            "\n  }"
+        });
+        out.push_str(",\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_json(name, &mut out);
+            out.push_str(": ");
+            out.push_str(&json_f64(*v));
+        }
+        out.push_str(if self.gauges.is_empty() { "}" } else { "\n  }" });
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Render a human-readable report. [`LogMode::Summary`] prints
+    /// counters, gauges, and each span's count + total; [`LogMode::Spans`]
+    /// adds per-span min/mean/max columns.
+    pub fn render(&self, mode: LogMode) -> String {
+        let mut out = String::new();
+        if mode == LogMode::Off {
+            return out;
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            let wide = self.spans.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, s) in &self.spans {
+                let total_ms = s.total_ns as f64 / 1e6;
+                match mode {
+                    LogMode::Spans => {
+                        let mean_ms = total_ms / s.count.max(1) as f64;
+                        out.push_str(&format!(
+                            "  {name:<wide$}  n={:<6} total={:>10.3}ms  min={:>9.3}ms  mean={:>9.3}ms  max={:>9.3}ms\n",
+                            s.count,
+                            total_ms,
+                            s.min_ns as f64 / 1e6,
+                            mean_ms,
+                            s.max_ns as f64 / 1e6,
+                        ));
+                    }
+                    _ => {
+                        out.push_str(&format!(
+                            "  {name:<wide$}  n={:<6} total={:>10.3}ms\n",
+                            s.count, total_ms
+                        ));
+                    }
+                }
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let wide = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<wide$}  {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let wide = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<wide$}  {v:.6}\n"));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PANDA_LOG
+// ---------------------------------------------------------------------------
+
+/// The end-of-run report style requested via `PANDA_LOG`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogMode {
+    /// No report.
+    Off,
+    /// Counters, gauges, and span counts/totals.
+    Summary,
+    /// Everything in `Summary` plus per-span min/mean/max.
+    Spans,
+}
+
+/// Parse `PANDA_LOG` (read on every call — cheap, and tests can vary
+/// it). Unknown values mean [`LogMode::Off`].
+pub fn log_mode() -> LogMode {
+    match std::env::var(LOG_ENV).as_deref() {
+        Ok("summary") => LogMode::Summary,
+        Ok("spans") => LogMode::Spans,
+        _ => LogMode::Off,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global; tests that assert exact contents
+    /// serialize on this and reset() first.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("off.stage");
+        }
+        counter_add("off.count", 5);
+        gauge_set("off.gauge", 1.0);
+        gauge_add("off.gauge", 1.0);
+        span_record("off.manual", 1000);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn spans_aggregate_count_total_min_max() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        reset();
+        span_record("stage.a", 100);
+        span_record("stage.a", 300);
+        span_record("stage.a", 200);
+        {
+            let _s = span("stage.b"); // real timer: nonzero elapsed
+        }
+        let snap = snapshot();
+        set_enabled(false);
+        let a = &snap.spans["stage.a"];
+        assert_eq!(a.count, 3);
+        assert_eq!(a.total_ns, 600);
+        assert_eq!(a.min_ns, 100);
+        assert_eq!(a.max_ns, 300);
+        let b = &snap.spans["stage.b"];
+        assert_eq!(b.count, 1);
+        assert!(b.total_ns > 0);
+        assert_eq!(b.min_ns, b.max_ns);
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        reset();
+        counter_add("c.items", 3);
+        counter_add("c.items", 4);
+        gauge_set("g.last", 1.5);
+        gauge_set("g.last", 2.5);
+        gauge_add("g.sum", 1.0);
+        gauge_add("g.sum", 0.25);
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["c.items"], 7);
+        assert_eq!(snap.gauges["g.last"], 2.5);
+        assert_eq!(snap.gauges["g.sum"], 1.25);
+    }
+
+    #[test]
+    fn recording_is_thread_safe() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        counter_add("t.hits", 1);
+                        span_record("t.span", 10);
+                    }
+                });
+            }
+        });
+        let snap = snapshot();
+        set_enabled(false);
+        assert_eq!(snap.counters["t.hits"], 4000);
+        assert_eq!(snap.spans["t.span"].count, 4000);
+        assert_eq!(snap.spans["t.span"].total_ns, 40_000);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        reset();
+        span_record("stage.grid", 1_000_000);
+        counter_add("em.iters", 42);
+        gauge_set("score \"q\"", 0.5);
+        gauge_set("bad", f64::NAN);
+        let json = snapshot().to_json();
+        set_enabled(false);
+        assert!(json.contains("\"spans\""));
+        assert!(json.contains("\"stage.grid\": {\"count\": 1, \"total_ns\": 1000000"));
+        assert!(json.contains("\"em.iters\": 42"));
+        assert!(json.contains("\"score \\\"q\\\"\": 0.5"));
+        assert!(json.contains("\"bad\": null"));
+        // Balanced braces — the cheapest structural sanity check without
+        // pulling a parser into a zero-dependency crate (the workspace
+        // integration test round-trips it through serde_json).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let snap = Snapshot::default();
+        let json = snap.to_json();
+        assert!(json.contains("\"spans\": {}"));
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"gauges\": {}"));
+    }
+
+    #[test]
+    fn render_modes() {
+        let mut snap = Snapshot::default();
+        snap.spans.insert(
+            "stage.x".into(),
+            SpanStats {
+                count: 2,
+                total_ns: 3_000_000,
+                min_ns: 1_000_000,
+                max_ns: 2_000_000,
+            },
+        );
+        snap.counters.insert("c".into(), 7);
+        snap.gauges.insert("g".into(), 0.5);
+        assert!(snap.render(LogMode::Off).is_empty());
+        let summary = snap.render(LogMode::Summary);
+        assert!(summary.contains("stage.x"));
+        assert!(summary.contains("counters:"));
+        assert!(!summary.contains("mean="));
+        let spans = snap.render(LogMode::Spans);
+        assert!(spans.contains("mean="));
+        assert!(spans.contains("min="));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        counter_add("will.vanish", 1);
+        reset();
+        let snap = snapshot();
+        set_enabled(false);
+        assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    fn log_mode_parses_env() {
+        // Serialized with the registry lock: env is process-global too.
+        let _g = lock(&TEST_LOCK);
+        std::env::remove_var(LOG_ENV);
+        assert_eq!(log_mode(), LogMode::Off);
+        std::env::set_var(LOG_ENV, "summary");
+        assert_eq!(log_mode(), LogMode::Summary);
+        std::env::set_var(LOG_ENV, "spans");
+        assert_eq!(log_mode(), LogMode::Spans);
+        std::env::set_var(LOG_ENV, "nonsense");
+        assert_eq!(log_mode(), LogMode::Off);
+        std::env::remove_var(LOG_ENV);
+    }
+}

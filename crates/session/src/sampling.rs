@@ -23,6 +23,16 @@ pub fn smart_sample(
     already_shown: &[bool],
     k: usize,
 ) -> Vec<usize> {
+    assert_eq!(
+        likelihood.len(),
+        posteriors.len(),
+        "smart_sample: likelihood and posteriors must align with the candidate set"
+    );
+    assert_eq!(
+        likelihood.len(),
+        already_shown.len(),
+        "smart_sample: already_shown must align with the candidate set"
+    );
     let mut eligible: Vec<usize> = (0..likelihood.len())
         .filter(|&i| posteriors[i] < 0.5 && !already_shown[i])
         .collect();
@@ -37,6 +47,11 @@ pub fn smart_sample(
 /// decision boundary, where one user label or one new LF moves the most
 /// pairs.
 pub fn uncertainty_sample(posteriors: &[f64], already_shown: &[bool], k: usize) -> Vec<usize> {
+    assert_eq!(
+        posteriors.len(),
+        already_shown.len(),
+        "uncertainty_sample: already_shown must align with posteriors"
+    );
     let mut eligible: Vec<usize> = (0..posteriors.len())
         .filter(|&i| !already_shown[i])
         .collect();
@@ -55,6 +70,13 @@ pub fn uncertainty_sample(posteriors: &[f64], already_shown: &[bool], k: usize) 
 /// material).
 pub fn disagreement_sample(columns: &[&[i8]], already_shown: &[bool], k: usize) -> Vec<usize> {
     let n = already_shown.len();
+    for (j, col) in columns.iter().enumerate() {
+        assert_eq!(
+            col.len(),
+            n,
+            "disagreement_sample: column {j} must align with already_shown"
+        );
+    }
     let mut scored: Vec<(f64, usize)> = (0..n)
         .filter(|&i| !already_shown[i])
         .filter_map(|i| {
@@ -74,6 +96,11 @@ pub fn disagreement_sample(columns: &[&[i8]], already_shown: &[bool], k: usize) 
 /// Baseline for experiment E5: uniform random sample of not-yet-shown
 /// pairs (what a tool without smart sampling shows).
 pub fn random_sample(n: usize, already_shown: &[bool], k: usize, seed: u64) -> Vec<usize> {
+    assert_eq!(
+        n,
+        already_shown.len(),
+        "random_sample: already_shown must have exactly n entries"
+    );
     // Deterministic Fisher-Yates over eligible indices via splitmix.
     let mut eligible: Vec<usize> = (0..n).filter(|&i| !already_shown[i]).collect();
     let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
@@ -150,5 +177,41 @@ mod tests {
     fn empty_when_everything_found() {
         let s = smart_sample(&[0.9, 0.9], &[0.9, 0.8], &[false, false], 5);
         assert!(s.is_empty());
+    }
+
+    // --- length-mismatch error paths: each must fail fast with a message
+    // naming the offending argument, not an index-out-of-bounds later (or,
+    // worse, a silently truncated ranking when the longer slice wins).
+
+    #[test]
+    #[should_panic(expected = "smart_sample: likelihood and posteriors")]
+    fn smart_sample_rejects_posterior_mismatch() {
+        smart_sample(&[0.9, 0.8], &[0.1], &[false, false], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "smart_sample: already_shown")]
+    fn smart_sample_rejects_shown_mismatch() {
+        smart_sample(&[0.9, 0.8], &[0.1, 0.2], &[false], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "uncertainty_sample: already_shown")]
+    fn uncertainty_sample_rejects_shown_mismatch() {
+        uncertainty_sample(&[0.5, 0.5, 0.5], &[false, false], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagreement_sample: column 1")]
+    fn disagreement_sample_rejects_short_column() {
+        let a: &[i8] = &[1, -1, 0];
+        let b: &[i8] = &[1, -1];
+        disagreement_sample(&[a, b], &[false, false, false], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "random_sample: already_shown")]
+    fn random_sample_rejects_shown_mismatch() {
+        random_sample(4, &[false; 3], 2, 7);
     }
 }

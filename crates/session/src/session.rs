@@ -116,6 +116,7 @@ pub struct PandaSession {
 impl PandaSession {
     /// Step 1: load a dataset — block, discover auto LFs, apply, fit.
     pub fn load(tables: TablePair, config: SessionConfig) -> Self {
+        let _span = panda_obs::span("session.load");
         let mut blocker = EmbeddingLshBlocker::new(config.seed);
         blocker.min_cosine = config.blocking_min_cosine;
         blocker.max_per_record = config.blocking_max_per_record;
@@ -188,6 +189,7 @@ impl PandaSession {
     /// `labeler.apply()`: incrementally apply new/modified LFs and refit
     /// the labeling model.
     pub fn apply(&mut self) -> ApplyReport {
+        let _span = panda_obs::span("session.apply");
         let report = self
             .matrix
             .apply(&self.registry, &self.tables, &self.candidates);
@@ -201,6 +203,7 @@ impl PandaSession {
     }
 
     fn refit(&mut self) {
+        let _span = panda_obs::span("session.refit");
         let mut model = self.config.model.build();
         self.posteriors = model.fit_predict(&self.matrix, Some(&self.candidates));
         self.log.push(SessionEvent::ModelFit {
@@ -353,6 +356,7 @@ impl PandaSession {
     /// Deployment phase: run the final LF set + model over (possibly
     /// larger) tables and return the predicted match set.
     pub fn deploy(&self, full_tables: &TablePair) -> DeploymentResult {
+        let _span = panda_obs::span("session.deploy");
         let mut blocker = EmbeddingLshBlocker::new(self.config.seed);
         blocker.min_cosine = self.config.blocking_min_cosine;
         blocker.max_per_record = self.config.blocking_max_per_record;

@@ -241,8 +241,10 @@ impl TokenCache {
         tokenizer: Tokenizer,
     ) -> Arc<PreparedColumn> {
         if let Some(col) = self.columns.get(&key) {
+            panda_obs::counter_add("text.token_cache.hits", 1);
             return col.clone();
         }
+        panda_obs::counter_add("text.token_cache.misses", 1);
         let col = Arc::new(PreparedColumn::build(&texts(), pipeline, tokenizer));
         self.columns.insert(key, col.clone());
         col
@@ -263,8 +265,10 @@ impl TokenCache {
         stats: Option<&CorpusStats>,
     ) -> Arc<Vec<WeightedTokens>> {
         if let Some(w) = self.weighted.get(&key) {
+            panda_obs::counter_add("text.weight_cache.hits", 1);
             return w.clone();
         }
+        panda_obs::counter_add("text.weight_cache.misses", 1);
         let col = self
             .columns
             .get(&key.column)

@@ -41,6 +41,7 @@ pub use panda_eval as eval;
 pub use panda_exec as exec;
 pub use panda_lf as lf;
 pub use panda_model as model;
+pub use panda_obs as obs;
 pub use panda_regex as regex;
 pub use panda_session as session;
 pub use panda_table as table;

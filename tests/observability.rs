@@ -1,0 +1,93 @@
+//! End-to-end telemetry: a full session run with metrics enabled must
+//! produce a snapshot whose JSON parses and carries the per-stage spans
+//! and counters the CLI/CI contract promises.
+//!
+//! Everything lives in ONE `#[test]`: the obs registry is process-global,
+//! and Rust runs tests in one binary concurrently — separate tests would
+//! race on `set_enabled`/`reset`.
+
+use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda::obs;
+use panda::session::{PandaSession, SessionConfig};
+
+#[test]
+fn snapshot_covers_the_pipeline_and_serializes() {
+    obs::set_enabled(true);
+    obs::reset();
+
+    let tables = generate(
+        DatasetFamily::FodorsZagats,
+        &GeneratorConfig::new(5).with_entities(80),
+    );
+    let session = PandaSession::load(tables, SessionConfig::default());
+    assert!(session.em_stats().candidate_pairs > 0);
+
+    let snap = obs::snapshot();
+
+    // The stage spans the ISSUE/CI contract names.
+    for key in [
+        "session.load",
+        "blocking.candidates",
+        "autolf.generate",
+        "autolf.score_grid",
+        "lf.matrix.apply",
+        "model.panda.fit",
+    ] {
+        let stats = snap
+            .spans
+            .get(key)
+            .unwrap_or_else(|| panic!("span {key:?} missing: {:?}", snap.spans.keys()));
+        assert!(stats.count >= 1, "{key}: count");
+        assert!(stats.min_ns <= stats.max_ns, "{key}: min/max ordering");
+        assert!(stats.total_ns >= stats.max_ns, "{key}: total bounds max");
+    }
+
+    // Counters: EM telemetry (one per warm start) and cache traffic.
+    assert!(
+        snap.counters
+            .keys()
+            .filter(|k| k.starts_with("model.panda.em_iters."))
+            .count()
+            >= 3,
+        "per-init EM iteration counters: {:?}",
+        snap.counters.keys()
+    );
+    assert_eq!(
+        snap.counters
+            .keys()
+            .filter(|k| k.starts_with("model.panda.chosen_init."))
+            .count(),
+        1,
+        "exactly one chosen init"
+    );
+    assert!(snap.counters["text.token_cache.misses"] > 0);
+    assert!(snap.counters["autolf.grid_cells"] > 0);
+    assert!(snap.counters["lf.matrix.labels_computed"] > 0);
+
+    // The JSON snapshot round-trips through an independent parser.
+    let json = snap.to_json();
+    let value = serde_json::parse_value(&json).expect("snapshot JSON parses");
+    let spans = value.get_field("spans").expect("spans object");
+    let fit = spans.get_field("model.panda.fit").expect("fit span");
+    assert!(fit.get_field("count").is_some());
+    assert!(fit.get_field("total_ns").is_some());
+    assert!(value
+        .get_field("counters")
+        .and_then(|c| c.get_field("autolf.emitted"))
+        .is_some());
+    assert!(value.get_field("gauges").is_some());
+
+    // reset() empties the registry; with obs disabled nothing records.
+    obs::reset();
+    obs::set_enabled(false);
+    {
+        let _span = obs::span("model.panda.fit");
+        obs::counter_add("autolf.grid_cells", 1);
+    }
+    let after = obs::snapshot();
+    assert!(after.spans.is_empty(), "disabled path records no spans");
+    assert!(
+        after.counters.is_empty(),
+        "disabled path records no counters"
+    );
+}
