@@ -282,15 +282,31 @@ pub fn generate_auto_lfs(
             .collect();
 
         // Smallest threshold meeting the precision target = max recall
-        // subject to precision.
+        // subject to precision. `best` tracks the cell's strongest
+        // estimate across the grid for the prune decision record.
+        let mut best = (0.0f64, 0usize);
         for &theta in &cfg.thresholds {
             let est = estimate_precision(&scored, candidates, theta);
+            if est.est_precision > best.0 {
+                best = (est.est_precision, est.est_support);
+            }
             if est.est_precision >= cfg.precision_target && est.est_support >= cfg.min_support {
                 let joined = scored
                     .iter()
                     .filter(|(_, s)| *s >= theta)
                     .map(|(i, _)| *i)
                     .collect();
+                if panda_obs::journal_enabled() {
+                    panda_obs::event("autolf.cell")
+                        .field("decision", "keep")
+                        .field("attr", cell.attr.as_str())
+                        .field("right_attr", cell.right_attr.as_str())
+                        .field("config", cell.config.id())
+                        .field("threshold", theta)
+                        .field("est_precision", est.est_precision)
+                        .field("est_support", est.est_support)
+                        .emit();
+                }
                 return Some(Survivor {
                     attr: cell.attr.clone(),
                     right_attr: cell.right_attr.clone(),
@@ -302,6 +318,19 @@ pub fn generate_auto_lfs(
                     joined,
                 });
             }
+        }
+        if panda_obs::journal_enabled() {
+            // Prune record: the cell's best estimate anywhere on the
+            // threshold grid, so a near-miss is distinguishable from a
+            // hopeless config when debugging LF coverage.
+            panda_obs::event("autolf.cell")
+                .field("decision", "prune")
+                .field("attr", cell.attr.as_str())
+                .field("right_attr", cell.right_attr.as_str())
+                .field("config", cell.config.id())
+                .field("est_precision", best.0)
+                .field("est_support", best.1)
+                .emit();
         }
         None
     })
@@ -353,6 +382,20 @@ pub fn generate_auto_lfs(
 
     drop(select_span);
     panda_obs::counter_add("autolf.emitted", picked.len() as u64);
+    if panda_obs::journal_enabled() {
+        for (k, &idx) in picked.iter().enumerate() {
+            let s = &survivors[idx];
+            panda_obs::event("autolf.emit")
+                .field("name", format!("auto_lf_{k}"))
+                .field("attr", s.attr.as_str())
+                .field("right_attr", s.right_attr.as_str())
+                .field("config", s.config.id())
+                .field("threshold", s.threshold)
+                .field("est_precision", s.est_precision)
+                .field("est_support", s.est_support)
+                .emit();
+        }
+    }
 
     picked
         .into_iter()

@@ -1,0 +1,176 @@
+//! **Bench-regression gate** — the CI half of the committed
+//! `BENCH_autolf.json` baseline (see `.github/workflows/ci.yml`).
+//!
+//! Re-runs the two `p2_autolf_grid` workloads with telemetry enabled and
+//! compares the `autolf.generate` span mean against the committed
+//! `after.ns_per_iter` medians. A case fails when its mean exceeds
+//! `baseline × 1.25 × PANDA_BENCH_GATE_SLACK` (slack defaults to 1.0;
+//! CI sets it higher to absorb shared-runner noise). Exits nonzero on
+//! any failure and writes one `bench_gate_<case>.metrics.json` snapshot
+//! per case to `target/experiments/` for artifact upload.
+//!
+//! Run: `cargo run --release -p panda-bench --bin bench_gate`
+
+use panda_autolf::{generate_auto_lfs, AutoLfConfig};
+use panda_datasets::{generate, DatasetFamily, GeneratorConfig};
+use panda_embed::{Blocker, EmbeddingLshBlocker};
+use panda_table::{CandidateSet, TablePair};
+use serde::Value;
+use std::hint::black_box;
+use std::process::ExitCode;
+
+/// Timed iterations per case (plus one untimed warm-up).
+const ITERS: u32 = 3;
+/// Allowed regression before slack: mean may be up to 25% above baseline.
+const THRESHOLD: f64 = 1.25;
+
+struct Case {
+    /// Key in `BENCH_autolf.json` (`cases[].case` is `"<id>/..."`).
+    id: &'static str,
+    tables: TablePair,
+    cands: CandidateSet,
+    cfg: AutoLfConfig,
+}
+
+/// The same two workloads as `benches/p2_autolf_grid.rs`.
+fn cases() -> Vec<Case> {
+    let abt = generate(
+        DatasetFamily::AbtBuy,
+        &GeneratorConfig::new(77).with_entities(150),
+    );
+    let abt_cands = EmbeddingLshBlocker::new(7).candidates(&abt);
+    let wa = generate(
+        DatasetFamily::WalmartAmazon,
+        &GeneratorConfig::new(55).with_entities(150),
+    );
+    let wa_cands = EmbeddingLshBlocker::new(55).candidates(&wa);
+    vec![
+        Case {
+            id: "abt_buy",
+            tables: abt,
+            cands: abt_cands,
+            cfg: AutoLfConfig::default(),
+        },
+        Case {
+            id: "walmart_amazon",
+            tables: wa,
+            cands: wa_cands,
+            cfg: AutoLfConfig {
+                attribute_pairs: vec![
+                    ("title".into(), "name".into()),
+                    ("modelno".into(), "model".into()),
+                ],
+                ..AutoLfConfig::default()
+            },
+        },
+    ]
+}
+
+/// `case id → after.ns_per_iter` from the committed baseline file.
+fn load_baselines() -> Result<Vec<(String, f64)>, String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_autolf.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::parse_value(&text).map_err(|e| format!("bad JSON in {path}: {e}"))?;
+    let Some(Value::Array(cases)) = doc.get_field("cases") else {
+        return Err(format!("{path}: missing \"cases\" array"));
+    };
+    let mut out = Vec::new();
+    for c in cases {
+        let Some(Value::Str(name)) = c.get_field("case") else {
+            return Err(format!("{path}: case entry without \"case\" string"));
+        };
+        let ns = c
+            .get_field("after")
+            .and_then(|a| a.get_field("ns_per_iter"))
+            .and_then(|v| match v {
+                Value::Int(n) => Some(*n as f64),
+                Value::UInt(n) => Some(*n as f64),
+                Value::Float(n) => Some(*n),
+                _ => None,
+            })
+            .ok_or_else(|| format!("{path}: {name}: missing after.ns_per_iter"))?;
+        // "abt_buy/150e_2616cands" → "abt_buy".
+        let id = name.split('/').next().unwrap_or(name).to_string();
+        out.push((id, ns));
+    }
+    Ok(out)
+}
+
+fn gate_slack() -> f64 {
+    match std::env::var("PANDA_BENCH_GATE_SLACK") {
+        Ok(s) => s
+            .trim()
+            .parse::<f64>()
+            .ok()
+            .filter(|v| *v >= 1.0)
+            .unwrap_or_else(|| {
+                eprintln!("warning: ignoring invalid PANDA_BENCH_GATE_SLACK={s:?} (want ≥ 1.0)");
+                1.0
+            }),
+        Err(_) => 1.0,
+    }
+}
+
+fn main() -> ExitCode {
+    let baselines = match load_baselines() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let slack = gate_slack();
+    let limit_factor = THRESHOLD * slack;
+    println!("bench_gate: threshold {THRESHOLD}x, slack {slack}x (PANDA_BENCH_GATE_SLACK)");
+
+    let mut failed = false;
+    for case in cases() {
+        let Some((_, baseline_ns)) = baselines.iter().find(|(id, _)| id == case.id) else {
+            eprintln!("bench_gate: no baseline for case {:?}", case.id);
+            failed = true;
+            continue;
+        };
+        // Warm up once (page cache, lazy corpus stats) outside telemetry,
+        // then reset so the measured span aggregate covers exactly ITERS
+        // calls. init_obs() resets the process-global registry between
+        // cases — each snapshot is per-case.
+        black_box(generate_auto_lfs(&case.tables, &case.cands, &case.cfg).len());
+        panda_bench::init_obs();
+        for _ in 0..ITERS {
+            black_box(generate_auto_lfs(&case.tables, &case.cands, &case.cfg).len());
+        }
+        let snap = panda_obs::snapshot();
+        let Some(stats) = snap.spans.get("autolf.generate") else {
+            eprintln!("bench_gate: {}: no autolf.generate span recorded", case.id);
+            failed = true;
+            continue;
+        };
+        let mean_ns = stats.total_ns as f64 / stats.count as f64;
+        let limit_ns = baseline_ns * limit_factor;
+        let ratio = mean_ns / baseline_ns;
+        let verdict = if mean_ns <= limit_ns { "PASS" } else { "FAIL" };
+        println!(
+            "  {verdict} {:<16} mean {:>12.0} ns/iter  baseline {:>12.0}  ratio {:.2} (limit {:.2})",
+            case.id, mean_ns, baseline_ns, ratio, limit_factor
+        );
+        if mean_ns > limit_ns {
+            failed = true;
+        }
+        let mpath =
+            panda_bench::experiments_dir().join(format!("bench_gate_{}.metrics.json", case.id));
+        if let Err(e) = std::fs::write(&mpath, snap.to_json()) {
+            eprintln!("bench_gate: cannot write {}: {e}", mpath.display());
+            failed = true;
+        } else {
+            println!("       metrics → {}", mpath.display());
+        }
+    }
+
+    if failed {
+        eprintln!("bench_gate: FAILED — autolf.generate regressed past the committed baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: ok");
+        ExitCode::SUCCESS
+    }
+}

@@ -19,7 +19,13 @@ pub fn experiments_dir() -> PathBuf {
 /// Turn on pipeline telemetry for an experiment binary. Every experiment
 /// calls this first, so [`write_csv`] can drop a `<id>.metrics.json`
 /// snapshot (per-stage spans, counters, gauges) next to the result CSV.
+///
+/// The registry is process-global, so the snapshot is cleared first:
+/// back-to-back experiment runs in one process (or a warm-up pass before
+/// a measured one) must not bleed aggregates into each other's
+/// `<id>.metrics.json`.
 pub fn init_obs() {
+    panda_obs::reset();
     panda_obs::set_enabled(true);
 }
 

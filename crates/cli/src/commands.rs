@@ -15,17 +15,24 @@ USAGE:
   panda match --left <csv> --right <csv> [--gold <csv>]
               [--model panda|panda-transitive|snorkel|majority]
               [--threshold T] [--seed N] [--no-auto-lfs] [--out <csv>]
-              [--metrics <json>]
+              [--metrics <json>] [--journal <jsonl>]
+  panda report --journal <jsonl> [--top N]
   panda families
   panda help
 
 `generate` writes <family>_left.csv / _right.csv / _gold.csv into --out.
 `match` runs blocking → auto-LF discovery → labeling model over two CSV
 tables (first line = header) and writes predicted match row pairs.
+`report` renders a recorded journal as a debugging report: span tree,
+EM convergence per warm start, auto-LF grid decisions, and per-LF
+model-disagreement counts.
 
 OBSERVABILITY:
   --metrics <json>   write a pipeline telemetry snapshot (per-stage span
-                     timings, counters, gauges) as JSON after the run
+                     timings, histograms, counters, gauges) as JSON
+  --journal <jsonl>  record structured provenance events (EM iterations,
+                     transitivity sweeps, auto-LF decisions, LF stats)
+                     as JSON lines for `panda report`
   PANDA_LOG=summary  print a per-stage timing summary to stderr
   PANDA_LOG=spans    also print every counter and gauge";
 
@@ -111,9 +118,32 @@ fn read_gold(path: &str) -> Result<MatchSet, String> {
     Ok(set)
 }
 
+/// Fail fast on an output path we won't be able to write at the end of
+/// the run: create (or truncate-later) the file now, so a typo'd
+/// directory is a clean CLI error before minutes of pipeline work — and
+/// never a panic.
+fn ensure_writable(path: &str, what: &str) -> Result<(), String> {
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map(drop)
+        .map_err(|e| format!("cannot write {what} file {path}: {e}"))
+}
+
 /// `panda match`
 pub fn run_match(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &["no-auto-lfs"])?;
+    // Validate output paths BEFORE the pipeline runs (and before the
+    // input tables are even read): these fail at the very end otherwise.
+    let metrics_path = args.optional("metrics");
+    let journal_path = args.optional("journal");
+    if let Some(path) = metrics_path {
+        ensure_writable(path, "metrics")?;
+    }
+    if let Some(path) = journal_path {
+        ensure_writable(path, "journal")?;
+    }
     let left = read_table(args.required("left")?, "left")?;
     let right = read_table(args.required("right")?, "right")?;
     let gold = match args.optional("gold") {
@@ -134,10 +164,12 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
     };
     // Telemetry must be live *before* the session runs blocking / auto-LF
     // discovery / the labeling model — that's where all the spans are.
-    let metrics_path = args.optional("metrics");
     let log_mode = panda_obs::log_mode();
     if metrics_path.is_some() || log_mode != panda_obs::LogMode::Off {
         panda_obs::set_enabled(true);
+    }
+    if journal_path.is_some() {
+        panda_obs::set_journal_enabled(true);
     }
     let tables = TablePair { left, right, gold };
     let config = SessionConfig {
@@ -216,6 +248,12 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
             eprint!("{}", snap.render(log_mode));
         }
     }
+    if let Some(path) = journal_path {
+        let dump = panda_obs::journal_drain();
+        let n = dump.events.len();
+        std::fs::write(path, dump.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {n} journal events to {path}");
+    }
     Ok(())
 }
 
@@ -264,6 +302,79 @@ mod tests {
             written.lines().count() > 10,
             "found a useful number of matches"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn match_rejects_unwritable_metrics_and_journal_paths() {
+        // The bad output path must error BEFORE input parsing: the input
+        // CSVs here don't exist, so an early clean error proves the path
+        // check came first (and no panic either way).
+        for flag in ["metrics", "journal"] {
+            let err = run_match(&[
+                "--left".into(),
+                "/nonexistent-in.csv".into(),
+                "--right".into(),
+                "/nonexistent-in.csv".into(),
+                format!("--{flag}"),
+                "/nonexistent-dir/deep/out.file".into(),
+            ])
+            .unwrap_err();
+            assert!(
+                err.contains(&format!("cannot write {flag} file")),
+                "clean early error for --{flag}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_round_trip_through_report() {
+        let dir = std::env::temp_dir().join("panda-cli-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dirs = dir.to_string_lossy().to_string();
+        generate(&[
+            "--family".into(),
+            "fodors-zagats".into(),
+            "--entities".into(),
+            "60".into(),
+            "--seed".into(),
+            "5".into(),
+            "--out".into(),
+            dirs.clone(),
+        ])
+        .unwrap();
+        let journal = dir.join("run.jsonl").to_string_lossy().to_string();
+        run_match(&[
+            "--left".into(),
+            format!("{dirs}/fodors-zagats_left.csv"),
+            "--right".into(),
+            format!("{dirs}/fodors-zagats_right.csv"),
+            "--model".into(),
+            "panda-transitive".into(),
+            "--journal".into(),
+            journal.clone(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&journal).unwrap();
+        // The provenance classes the tentpole promises.
+        for kind in [
+            "\"model.em.iter\"",
+            "\"model.transitivity.projection\"",
+            "\"autolf.cell\"",
+            "\"autolf.emit\"",
+            "\"lf.stats\"",
+            "\"session.loaded\"",
+            "\"span\"",
+        ] {
+            assert!(text.contains(kind), "journal has {kind} events");
+        }
+        // And the report renders from it end-to-end.
+        let report = crate::report::render(&text, &journal, 10).unwrap();
+        assert!(report.contains("EM convergence"));
+        assert!(report.contains("transitivity projection:"));
+        assert!(report.contains("auto-LF grid:"));
+        assert!(report.contains("top disagreements per LF"));
+        assert!(report.contains("span tree:"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

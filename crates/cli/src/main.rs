@@ -14,6 +14,7 @@
 
 mod args;
 mod commands;
+mod report;
 
 use std::process::ExitCode;
 
@@ -26,6 +27,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "match" => commands::run_match(rest),
+        "report" => report::run_report(rest),
         "families" => commands::families(),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

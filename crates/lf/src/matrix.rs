@@ -221,6 +221,30 @@ impl LabelMatrix {
                 .position(|n| *n == c.name)
                 .unwrap_or(usize::MAX)
         });
+
+        // Journal provenance: one event per LF this apply call touched,
+        // with its vote split — the raw input to the IDE's LF panel.
+        if panda_obs::journal_enabled() {
+            for (names, action) in [(&report.applied, "applied"), (&report.reused, "reused")] {
+                for name in names {
+                    let (m, u, a) = self.counts(name).unwrap_or((0, 0, 0));
+                    panda_obs::event("lf.apply")
+                        .field("lf", name.as_str())
+                        .field("action", action)
+                        .field("n_match", m)
+                        .field("n_nonmatch", u)
+                        .field("n_abstain", a)
+                        .emit();
+                }
+            }
+            for (name, msg) in &report.failed {
+                panda_obs::event("lf.apply")
+                    .field("lf", name.as_str())
+                    .field("action", "quarantined")
+                    .field("error", msg.as_str())
+                    .emit();
+            }
+        }
         report
     }
 }

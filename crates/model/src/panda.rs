@@ -199,6 +199,7 @@ impl PandaModel {
         discounts: &[f64],
         n: usize,
         mut gamma: Vec<f64>,
+        init: &'static str,
     ) -> EmSolution {
         let m = cols.len();
         let mut pi = self.prior;
@@ -295,6 +296,50 @@ impl PandaModel {
             }
 
             final_delta = delta / n as f64;
+            // Per-iteration provenance (journal only): the observed-data
+            // log-likelihood and parameter means are O(n·m) extra work, so
+            // they are computed exclusively when someone is recording.
+            if panda_obs::journal_enabled() {
+                let mut ll = 0.0;
+                for i in 0..n {
+                    let mut lm = pi.ln();
+                    let mut lu = (1.0 - pi).ln();
+                    for (j, col) in cols.iter().enumerate() {
+                        let slot = match col[i] {
+                            1.. => 0,
+                            0 => 2,
+                            _ => 1,
+                        };
+                        lm += theta_m[j][slot].ln();
+                        lu += theta_u[j][slot].ln();
+                    }
+                    let mx = lm.max(lu);
+                    ll += mx + ((lm - mx).exp() + (lu - mx).exp()).ln();
+                }
+                let mean = |f: &dyn Fn(usize) -> f64| (0..m).map(f).sum::<f64>() / m.max(1) as f64;
+                panda_obs::event("model.em.iter")
+                    .field("model", "panda")
+                    .field("init", init)
+                    .field("iter", iters)
+                    .field("ll", ll)
+                    .field(
+                        "alpha_m",
+                        mean(&|j| {
+                            let t = &theta_m[j];
+                            t[0] / (t[0] + t[1]).max(1e-12)
+                        }),
+                    )
+                    .field(
+                        "alpha_u",
+                        mean(&|j| {
+                            let t = &theta_u[j];
+                            t[1] / (t[0] + t[1]).max(1e-12)
+                        }),
+                    )
+                    .field("delta", final_delta)
+                    .field("pi", pi)
+                    .emit();
+            }
             if final_delta <= self.tol {
                 break;
             }
@@ -392,7 +437,7 @@ impl LabelModel for PandaModel {
         let mut best: Option<(f64, &'static str, EmSolution)> = None;
         let mut diagnostics = Vec::new();
         for (init_name, init) in inits {
-            let sol = self.em_run(&cols, &discounts, n, init);
+            let sol = self.em_run(&cols, &discounts, n, init, init_name);
             let score = informativeness(&cols, &sol);
             if panda_obs::enabled() {
                 panda_obs::counter_add(
@@ -439,11 +484,14 @@ impl LabelModel for PandaModel {
         // edges of a triangle pull up a missed third edge.
         if let Some(g) = &graph {
             let _span = panda_obs::span("model.transitivity.project");
+            let recording = panda_obs::enabled() || panda_obs::journal_enabled();
+            let pre_mass = if recording {
+                g.violation_mass(&gamma)
+            } else {
+                0.0
+            };
             if panda_obs::enabled() {
-                panda_obs::gauge_set(
-                    "model.transitivity.violation_mass_pre",
-                    g.violation_mass(&gamma),
-                );
+                panda_obs::gauge_set("model.transitivity.violation_mass_pre", pre_mass);
             }
             // Pairs with no LF votes carry no evidence of their own: their
             // posterior is free to be set by the implication γ_x·γ_y.
@@ -473,6 +521,18 @@ impl LabelModel for PandaModel {
                     "model.transitivity.violation_mass_post",
                     g.violation_mass(&gamma),
                 );
+            }
+            // Journal summary: emitted even for triangle-free candidate
+            // sets (two-table blocking often yields none), so a run's
+            // journal always records that the projection stage ran.
+            if panda_obs::journal_enabled() {
+                panda_obs::event("model.transitivity.projection")
+                    .field("triangles", g.n_triangles())
+                    .field("boosted", raised)
+                    .field("sweeps", sweeps)
+                    .field("violation_mass_pre", pre_mass)
+                    .field("violation_mass_post", g.violation_mass(&gamma))
+                    .emit();
             }
         }
 

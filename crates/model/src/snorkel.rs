@@ -107,6 +107,7 @@ impl SnorkelModel {
         discounts: &[f64],
         n: usize,
         mut gamma: Vec<f64>,
+        init: &'static str,
     ) -> (Vec<f64>, Vec<f64>, f64, usize) {
         let m = cols.len();
         let mut acc = vec![0.7f64; m];
@@ -149,6 +150,47 @@ impl SnorkelModel {
                 gamma[i] = g;
             }
 
+            // Per-iteration provenance (journal only): the vote-pattern
+            // log-likelihood is O(n·m) extra work, so it is computed
+            // exclusively when someone is recording. Propensity is
+            // class-independent in this model — it contributes a constant
+            // and is omitted.
+            if panda_obs::journal_enabled() {
+                let mut ll = 0.0;
+                for i in 0..n {
+                    let mut lm = pi.ln();
+                    let mut lu = (1.0 - pi).ln();
+                    for (j, col) in cols.iter().enumerate() {
+                        let a = acc[j];
+                        match col[i] {
+                            1.. => {
+                                lm += a.ln();
+                                lu += (1.0 - a).ln();
+                            }
+                            0 => {}
+                            _ => {
+                                lm += (1.0 - a).ln();
+                                lu += a.ln();
+                            }
+                        }
+                    }
+                    let mx = lm.max(lu);
+                    ll += mx + ((lm - mx).exp() + (lu - mx).exp()).ln();
+                }
+                let mean_acc = acc.iter().sum::<f64>() / m.max(1) as f64;
+                panda_obs::event("model.em.iter")
+                    .field("model", "snorkel")
+                    .field("init", init)
+                    .field("iter", iters)
+                    .field("ll", ll)
+                    // The single-accuracy model has one α per LF; it plays
+                    // both class-conditional roles in the shared schema.
+                    .field("alpha_m", mean_acc)
+                    .field("alpha_u", mean_acc)
+                    .field("delta", delta / n as f64)
+                    .field("pi", pi)
+                    .emit();
+            }
             if delta / n as f64 <= self.tol {
                 break;
             }
@@ -211,7 +253,8 @@ impl LabelModel for SnorkelModel {
         ];
         let mut best: Option<(f64, Vec<f64>, Vec<f64>, f64)> = None;
         for (init_name, init) in inits {
-            let (gamma, run_acc, run_pi, iters) = self.em_run(&cols, &discounts, n, init);
+            let (gamma, run_acc, run_pi, iters) =
+                self.em_run(&cols, &discounts, n, init, init_name);
             if panda_obs::enabled() {
                 panda_obs::counter_add(
                     &format!("model.snorkel.em_iters.{init_name}"),

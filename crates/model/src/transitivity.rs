@@ -235,12 +235,14 @@ pub fn project_transitivity_weighted(
     for _ in 0..sweeps {
         done_sweeps += 1;
         let mut max_viol = 0.0f64;
+        let mut adjusted = 0u64;
         for &[a, b, c] in &graph.triangles {
             // All three cyclic constraints of the triangle.
             for (x, y, z) in [(a, b, c), (a, c, b), (b, c, a)] {
                 let viol = l[x] + l[y] - l[z];
                 if viol > 0.0 {
                     max_viol = max_viol.max(viol);
+                    adjusted += 1;
                     // W-weighted projection onto {l_x + l_y − l_z ≤ 0}:
                     // move ∝ 1/w along the constraint normal.
                     let (ix, iy, iz) = (1.0 / w(x), 1.0 / w(y), 1.0 / w(z));
@@ -253,6 +255,14 @@ pub fn project_transitivity_weighted(
                 }
             }
         }
+        // Per-sweep provenance: how much infeasibility each pass still had
+        // to absorb, and how many constraints it touched — the convergence
+        // trajectory of the projection.
+        panda_obs::event("model.transitivity.sweep")
+            .field("sweep", done_sweeps)
+            .field("max_viol", max_viol)
+            .field("adjusted", adjusted)
+            .emit();
         if max_viol <= tol {
             break;
         }

@@ -1,35 +1,63 @@
-//! Lightweight observability: spans, counters, gauges (std-only, zero
-//! external dependencies).
+//! Lightweight observability: spans, counters, gauges, and a structured
+//! run journal (std-only, zero external dependencies).
 //!
 //! Every hot path in the workspace reports *what it did* through this
 //! crate — how long each stage took ([`span`]), how many items it
-//! processed ([`counter_add`]), and point-in-time measurements
-//! ([`gauge_set`] / [`gauge_add`]). The design constraints, in order:
+//! processed ([`counter_add`]), point-in-time measurements
+//! ([`gauge_set`] / [`gauge_add`]), and, when the journal is on, a
+//! stream of structured provenance events ([`event`]) that records what
+//! happened *during* the run (per-EM-iteration state, auto-LF grid
+//! decisions, per-LF disagreement structure). The design constraints,
+//! in order:
 //!
-//! 1. **True no-op when disabled.** The registry is gated on one
-//!    `AtomicBool`; every recording call starts with a relaxed load and
-//!    returns immediately when metrics are off. Hot loops never pay more
-//!    than that load (verified against the `p2_autolf_grid` bench), and
-//!    callers that would need to `format!` a dynamic name must guard on
-//!    [`enabled`] so the disabled path allocates nothing.
+//! 1. **True no-op when disabled.** Both recording layers are gated on
+//!    one `AtomicU8` bitmask; every recording call starts with a single
+//!    relaxed load and returns immediately when its bit is off. Hot
+//!    loops never pay more than that load (verified against the
+//!    `p2_autolf_grid` bench), and callers that would need to `format!`
+//!    a dynamic name or compute a diagnostic (e.g. a log-likelihood)
+//!    must guard on [`enabled`] / [`journal_enabled`] so the disabled
+//!    path allocates and computes nothing.
 //! 2. **Thread-safe aggregation.** Recording happens from the worker
-//!    threads of `panda-exec` sections. Aggregates live behind plain
-//!    `Mutex<BTreeMap>`s — instrumentation sites are per-stage or
-//!    per-section, not per-item, so lock traffic is negligible next to
-//!    the work being measured.
+//!    threads of `panda-exec` sections. Aggregates and the journal live
+//!    behind plain `Mutex`es — instrumentation sites are per-stage or
+//!    per-decision, not per-item, so lock traffic is negligible next to
+//!    the work being measured. The journal is *bounded*
+//!    ([`set_journal_capacity`]): a runaway loop fills it up and
+//!    increments a drop counter instead of exhausting memory.
 //! 3. **Machine- and human-readable exports.** [`snapshot`] freezes the
-//!    registry into a [`Snapshot`] that serializes to JSON
+//!    aggregate registry into a [`Snapshot`] that serializes to JSON
 //!    ([`Snapshot::to_json`]) for the CLI's `--metrics` flag and the
 //!    bench trajectory, and renders as a text report
 //!    ([`Snapshot::render`]) for `PANDA_LOG=summary|spans`.
+//!    [`journal_drain`] hands the event stream to the CLI's `--journal`
+//!    flag, which frames it as JSONL (one [`Event`] object per line,
+//!    see [`Event::to_json_line`]) for `panda report` and offline
+//!    triage.
+//!
+//! # Metric naming convention
+//!
+//! Every registered name — span, counter, gauge, and journal event kind
+//! alike — is **dotted lower-case**: `<crate>.<stage>[.<variant>]`,
+//! where each `.`-separated segment matches `[a-z0-9_]+` and there are
+//! at least two segments. The first segment names the owning subsystem
+//! (`exec`, `text`, `blocking`, `autolf`, `lf`, `model`, `session`),
+//! the second the stage or object (`score_grid`, `matrix`, `panda`),
+//! and further segments narrow to a variant (`em_iters.smoothed`).
+//! [`is_valid_metric_name`] checks conformance; the workspace
+//! integration test asserts it over every name a full pipeline run
+//! registers, so misnamed metrics fail CI instead of polluting
+//! dashboards.
 //!
 //! The registry is process-global: a session's stages (blocking, auto-LF
 //! grid, matrix apply, EM fits) all land in one snapshot, keyed by
 //! dotted names (`"autolf.score_grid"`, `"model.panda.em_iters.snorkel"`).
-//! Call [`reset`] between runs that must not share aggregates.
+//! Call [`reset`] between runs that must not share aggregates — it also
+//! clears the journal.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -37,7 +65,14 @@ use std::time::Instant;
 /// (`summary` or `spans`). Any other value (or unset) means no report.
 pub const LOG_ENV: &str = "PANDA_LOG";
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit 0 of [`FLAGS`]: aggregate metrics (spans/counters/gauges) on.
+const METRICS_BIT: u8 = 1;
+/// Bit 1 of [`FLAGS`]: the structured event journal on.
+const JOURNAL_BIT: u8 = 2;
+
+/// One atomic carries both switches so the fully-disabled fast path —
+/// the only path benchmarks ever see — is a single relaxed load.
+static FLAGS: AtomicU8 = AtomicU8::new(0);
 
 static SPANS: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
 static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
@@ -50,30 +85,104 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Turn metric recording on or off process-wide.
-pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::SeqCst);
+#[inline]
+fn flags() -> u8 {
+    FLAGS.load(Ordering::Relaxed)
 }
 
-/// Is metric recording currently on? Callers building dynamic metric
-/// names (`format!`) must check this first so the disabled path stays
-/// allocation-free.
+/// Turn aggregate metric recording on or off process-wide.
+pub fn set_enabled(on: bool) {
+    if on {
+        FLAGS.fetch_or(METRICS_BIT, Ordering::SeqCst);
+    } else {
+        FLAGS.fetch_and(!METRICS_BIT, Ordering::SeqCst);
+    }
+}
+
+/// Is aggregate metric recording currently on? Callers building dynamic
+/// metric names (`format!`) must check this first so the disabled path
+/// stays allocation-free.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    flags() & METRICS_BIT != 0
 }
 
-/// Wipe every aggregate (spans, counters, gauges). The enabled flag is
-/// left as-is.
+/// Turn the structured event journal on or off process-wide. The first
+/// enable pins the journal epoch: event timestamps ([`Event::ts_us`])
+/// count microseconds from that moment.
+pub fn set_journal_enabled(on: bool) {
+    if on {
+        let mut j = lock(&JOURNAL);
+        if j.epoch.is_none() {
+            j.epoch = Some(Instant::now());
+        }
+        drop(j);
+        FLAGS.fetch_or(JOURNAL_BIT, Ordering::SeqCst);
+    } else {
+        FLAGS.fetch_and(!JOURNAL_BIT, Ordering::SeqCst);
+    }
+}
+
+/// Is the event journal currently on? Callers computing journal-only
+/// diagnostics (log-likelihoods, per-cell summaries) must check this
+/// first so the disabled path computes nothing.
+#[inline]
+pub fn journal_enabled() -> bool {
+    flags() & JOURNAL_BIT != 0
+}
+
+/// Wipe every aggregate (spans, counters, gauges) AND the journal
+/// (events, drop counter, sequence numbers). The enabled flags are left
+/// as-is. Call between runs that must not share state — e.g. at the top
+/// of each experiment binary, so back-to-back invocations in one
+/// process cannot bleed into each other's `<id>.metrics.json`.
 pub fn reset() {
     lock(&SPANS).clear();
     lock(&COUNTERS).clear();
     lock(&GAUGES).clear();
+    let mut j = lock(&JOURNAL);
+    j.events.clear();
+    j.dropped = 0;
+    j.next_seq = 0;
+    j.epoch = None;
+}
+
+/// Check a metric/event name against the workspace convention:
+/// `<crate>.<stage>[.<variant>]` — two or more non-empty
+/// `.`-separated segments of `[a-z0-9_]+`.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        if seg.is_empty()
+            || !seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
 }
 
 // ---------------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------------
+
+/// Number of log₂ duration buckets per span histogram. Bucket `b` counts
+/// runs with `ns ∈ [2^b, 2^(b+1))` (bucket 0 also holds 0 ns; the last
+/// bucket holds everything ≥ 2^31 ns ≈ 2.1 s).
+pub const HIST_BUCKETS: usize = 32;
+
+/// The log₂ bucket index of a duration.
+#[inline]
+fn hist_bucket(ns: u128) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        ((127 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
 
 /// Aggregated wall-time statistics of one named span.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -86,6 +195,11 @@ pub struct SpanStats {
     pub min_ns: u128,
     /// Slowest single run, nanoseconds.
     pub max_ns: u128,
+    /// Log₂-bucketed duration histogram: `hist[b]` counts runs with
+    /// `ns ∈ [2^b, 2^(b+1))`. Together with min/max this shows the
+    /// *shape* of a span's timing (bimodal cache hit/miss, one slow
+    /// outlier vs uniformly slow) that aggregates alone hide.
+    pub hist: [u64; HIST_BUCKETS],
 }
 
 impl SpanStats {
@@ -99,31 +213,105 @@ impl SpanStats {
         }
         self.count += 1;
         self.total_ns += ns;
+        self.hist[hist_bucket(ns)] += 1;
+    }
+
+    /// Render the histogram as a sparkline over the occupied bucket
+    /// range (`▁`–`█` scaled to the largest bucket), or an empty string
+    /// for an empty histogram.
+    pub fn sparkline(&self) -> String {
+        sparkline(&self.hist)
     }
 }
 
+/// Sparkline over the non-empty range of a bucket vector.
+pub fn sparkline(buckets: &[u64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let Some(first) = buckets.iter().position(|&c| c > 0) else {
+        return String::new();
+    };
+    let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(first);
+    let peak = buckets[first..=last].iter().copied().max().unwrap_or(1);
+    buckets[first..=last]
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                ' '
+            } else {
+                // Non-empty buckets always render at least `▁`.
+                let level = (c * 8).div_ceil(peak).clamp(1, 8) as usize;
+                BLOCKS[level - 1]
+            }
+        })
+        .collect()
+}
+
+thread_local! {
+    /// The stack of open journal span ids on this thread; the top is the
+    /// parent of any span or event created next. Worker threads start
+    /// with an empty stack, so their events parent to the root (id 0).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Journal span ids, process-wide and never reused (0 = "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A scoped timer: created by [`span`], records its wall time into the
 /// global registry on drop. When metrics are disabled the guard holds no
-/// clock reading and drop does nothing.
+/// clock reading and drop does nothing. When the journal is on, the
+/// guard also owns a span id (pushed on a thread-local parent stack) and
+/// emits a `span` event with its name, duration, id, and parent id on
+/// drop — the raw material `panda report` rebuilds the span tree from.
 #[must_use = "a span records on drop; binding it to `_` drops immediately"]
 pub struct Span {
     name: &'static str,
     start: Option<Instant>,
+    /// Record into the aggregate registry on drop?
+    metrics: bool,
+    /// `(id, parent id)` when the journal was on at creation.
+    journal: Option<(u64, u64)>,
 }
 
 impl Span {
     /// End the span explicitly (identical to dropping it).
     pub fn end(self) {}
+
+    /// This span's journal id (0 when the journal is off).
+    pub fn id(&self) -> u64 {
+        self.journal.map(|(id, _)| id).unwrap_or(0)
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let ns = start.elapsed().as_nanos();
+        let Some(start) = self.start else { return };
+        let ns = start.elapsed().as_nanos();
+        if self.metrics {
             lock(&SPANS)
                 .entry(self.name.to_string())
                 .or_default()
                 .record(ns);
+        }
+        if let Some((id, parent)) = self.journal {
+            SPAN_STACK.with(|s| {
+                let mut s = s.borrow_mut();
+                // Pop our own id; a panic unwinding through nested spans
+                // drops them innermost-first, so the top is ours.
+                if s.last() == Some(&id) {
+                    s.pop();
+                }
+            });
+            push_event(Event {
+                seq: 0,
+                ts_us: 0,
+                kind: "span".to_string(),
+                span: id,
+                parent,
+                fields: vec![
+                    ("name".to_string(), FieldValue::from(self.name)),
+                    ("dur_ns".to_string(), FieldValue::U64(ns as u64)),
+                ],
+            });
         }
     }
 }
@@ -132,9 +320,30 @@ impl Drop for Span {
 /// elapsed wall time is aggregated under `name` when the guard drops.
 #[inline]
 pub fn span(name: &'static str) -> Span {
+    let f = flags();
+    if f == 0 {
+        return Span {
+            name,
+            start: None,
+            metrics: false,
+            journal: None,
+        };
+    }
+    let journal = (f & JOURNAL_BIT != 0).then(|| {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(id);
+            parent
+        });
+        (id, parent)
+    });
     Span {
         name,
-        start: enabled().then(Instant::now),
+        start: Some(Instant::now()),
+        metrics: f & METRICS_BIT != 0,
+        journal,
     }
 }
 
@@ -200,6 +409,253 @@ pub fn gauge_add(name: &str, delta: f64) {
 }
 
 // ---------------------------------------------------------------------------
+// The event journal
+// ---------------------------------------------------------------------------
+
+/// Default journal bound: generous for real runs (a full pipeline run
+/// emits a few thousand events) while capping a runaway loop's memory.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 1 << 18;
+
+/// One typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point (serialized as `null` when non-finite).
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured journal event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number (process-wide order of emission; gaps
+    /// mean events were dropped at the capacity bound).
+    pub seq: u64,
+    /// Microseconds since the journal epoch (first
+    /// [`set_journal_enabled`]`(true)`).
+    pub ts_us: u64,
+    /// Event kind, dotted lower-case (`model.em.iter`, `autolf.cell`,
+    /// `span`).
+    pub kind: String,
+    /// For `span` events: this span's id. 0 otherwise.
+    pub span: u64,
+    /// The enclosing span's id on the emitting thread (0 = root).
+    pub parent: u64,
+    /// Typed key-value payload, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Fetch a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Serialize as one JSONL line (no trailing newline):
+    ///
+    /// ```json
+    /// {"seq":3,"ts_us":1042,"kind":"span","span":7,"parent":2,"fields":{"name":"autolf.select","dur_ns":81920}}
+    /// ```
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"ts_us\":{},\"kind\":",
+            self.seq, self.ts_us
+        ));
+        escape_json(&self.kind, &mut out);
+        out.push_str(&format!(
+            ",\"span\":{},\"parent\":{},\"fields\":{{",
+            self.span, self.parent
+        ));
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json(k, &mut out);
+            out.push(':');
+            match v {
+                FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                FieldValue::I64(x) => out.push_str(&x.to_string()),
+                FieldValue::U64(x) => out.push_str(&x.to_string()),
+                FieldValue::F64(x) => out.push_str(&json_f64(*x)),
+                FieldValue::Str(s) => escape_json(s, &mut out),
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+struct JournalBuf {
+    events: Vec<Event>,
+    dropped: u64,
+    capacity: usize,
+    next_seq: u64,
+    epoch: Option<Instant>,
+}
+
+static JOURNAL: Mutex<JournalBuf> = Mutex::new(JournalBuf {
+    events: Vec::new(),
+    dropped: 0,
+    capacity: DEFAULT_JOURNAL_CAPACITY,
+    next_seq: 0,
+    epoch: None,
+});
+
+fn push_event(mut e: Event) {
+    let mut j = lock(&JOURNAL);
+    e.seq = j.next_seq;
+    j.next_seq += 1;
+    e.ts_us = j.epoch.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0);
+    if j.events.len() >= j.capacity {
+        j.dropped += 1;
+    } else {
+        j.events.push(e);
+    }
+}
+
+/// Builder for one journal event. Obtained from [`event`]; a no-op shell
+/// when the journal is off, so call sites pay one relaxed load and
+/// nothing else on the disabled path (don't compute expensive field
+/// values without guarding on [`journal_enabled`] first).
+#[must_use = "an event is only recorded when .emit() is called"]
+pub struct EventBuilder {
+    inner: Option<Event>,
+}
+
+impl EventBuilder {
+    /// Attach a typed field.
+    pub fn field(mut self, key: &'static str, value: impl Into<FieldValue>) -> Self {
+        if let Some(e) = &mut self.inner {
+            e.fields.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Record the event (assigns its sequence number and timestamp).
+    pub fn emit(self) {
+        if let Some(e) = self.inner {
+            push_event(e);
+        }
+    }
+}
+
+/// Start building a journal event of the given kind. The enclosing span
+/// on the current thread becomes its parent. No-op when the journal is
+/// off.
+#[inline]
+pub fn event(kind: &'static str) -> EventBuilder {
+    if !journal_enabled() {
+        return EventBuilder { inner: None };
+    }
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied().unwrap_or(0));
+    EventBuilder {
+        inner: Some(Event {
+            seq: 0,
+            ts_us: 0,
+            kind: kind.to_string(),
+            span: 0,
+            parent,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+/// Everything [`journal_drain`] hands back.
+#[derive(Debug, Default)]
+pub struct JournalDump {
+    /// The recorded events, in sequence order.
+    pub events: Vec<Event>,
+    /// Events discarded at the capacity bound since the last drain.
+    pub dropped: u64,
+}
+
+impl JournalDump {
+    /// Frame the dump as JSONL: one event object per line. A final
+    /// `journal.dropped` meta line is appended when events were lost at
+    /// the capacity bound, so readers can tell a complete journal from a
+    /// truncated one.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for e in &self.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            let seq = self.events.last().map(|e| e.seq + 1).unwrap_or(0);
+            out.push_str(&format!(
+                "{{\"seq\":{seq},\"ts_us\":0,\"kind\":\"journal.dropped\",\"span\":0,\"parent\":0,\"fields\":{{\"dropped\":{}}}}}\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+}
+
+/// Take all recorded events out of the journal (and reset the drop
+/// counter). Sequence numbers keep counting across drains.
+pub fn journal_drain() -> JournalDump {
+    let mut j = lock(&JOURNAL);
+    JournalDump {
+        events: std::mem::take(&mut j.events),
+        dropped: std::mem::take(&mut j.dropped),
+    }
+}
+
+/// Number of events currently buffered.
+pub fn journal_len() -> usize {
+    lock(&JOURNAL).events.len()
+}
+
+/// Bound the journal buffer (events past the bound are counted in
+/// [`JournalDump::dropped`] instead of stored).
+pub fn set_journal_capacity(capacity: usize) {
+    lock(&JOURNAL).capacity = capacity;
+}
+
+// ---------------------------------------------------------------------------
 // Snapshot
 // ---------------------------------------------------------------------------
 
@@ -261,13 +717,16 @@ impl Snapshot {
     /// ```json
     /// {
     ///   "spans":    { "<name>": { "count": N, "total_ns": N,
-    ///                             "min_ns": N, "max_ns": N }, ... },
+    ///                             "min_ns": N, "max_ns": N,
+    ///                             "hist": [[bucket, count], ...] }, ... },
     ///   "counters": { "<name>": N, ... },
     ///   "gauges":   { "<name>": X, ... }
     /// }
     /// ```
     ///
-    /// Durations are integer nanoseconds; gauges are JSON numbers (or
+    /// Durations are integer nanoseconds; `hist` is the sparse log₂
+    /// duration histogram (`bucket` b counts runs in `[2^b, 2^(b+1))`
+    /// ns; empty buckets are omitted); gauges are JSON numbers (or
     /// `null` for non-finite values). Keys appear in sorted order.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
@@ -277,9 +736,20 @@ impl Snapshot {
             out.push_str("    ");
             escape_json(name, &mut out);
             out.push_str(&format!(
-                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                ": {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"hist\": [",
                 s.count, s.total_ns, s.min_ns, s.max_ns
             ));
+            let mut first = true;
+            for (b, &c) in s.hist.iter().enumerate() {
+                if c > 0 {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("[{b}, {c}]"));
+                    first = false;
+                }
+            }
+            out.push_str("]}");
         }
         out.push_str(if self.spans.is_empty() { "}" } else { "\n  }" });
         out.push_str(",\n  \"counters\": {");
@@ -309,7 +779,8 @@ impl Snapshot {
 
     /// Render a human-readable report. [`LogMode::Summary`] prints
     /// counters, gauges, and each span's count + total; [`LogMode::Spans`]
-    /// adds per-span min/mean/max columns.
+    /// adds per-span min/mean/max columns and a duration-histogram
+    /// sparkline.
     pub fn render(&self, mode: LogMode) -> String {
         let mut out = String::new();
         if mode == LogMode::Off {
@@ -324,12 +795,13 @@ impl Snapshot {
                     LogMode::Spans => {
                         let mean_ms = total_ms / s.count.max(1) as f64;
                         out.push_str(&format!(
-                            "  {name:<wide$}  n={:<6} total={:>10.3}ms  min={:>9.3}ms  mean={:>9.3}ms  max={:>9.3}ms\n",
+                            "  {name:<wide$}  n={:<6} total={:>10.3}ms  min={:>9.3}ms  mean={:>9.3}ms  max={:>9.3}ms  {}\n",
                             s.count,
                             total_ms,
                             s.min_ns as f64 / 1e6,
                             mean_ms,
                             s.max_ns as f64 / 1e6,
+                            s.sparkline(),
                         ));
                     }
                     _ => {
@@ -392,10 +864,15 @@ mod tests {
     /// serialize on this and reset() first.
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
+    fn all_off() {
+        set_enabled(false);
+        set_journal_enabled(false);
+    }
+
     #[test]
     fn disabled_records_nothing() {
         let _g = lock(&TEST_LOCK);
-        set_enabled(false);
+        all_off();
         reset();
         {
             let _s = span("off.stage");
@@ -404,14 +881,16 @@ mod tests {
         gauge_set("off.gauge", 1.0);
         gauge_add("off.gauge", 1.0);
         span_record("off.manual", 1000);
+        event("off.event").field("x", 1u64).emit();
         let snap = snapshot();
         assert!(snap.spans.is_empty());
         assert!(snap.counters.is_empty());
         assert!(snap.gauges.is_empty());
+        assert_eq!(journal_len(), 0);
     }
 
     #[test]
-    fn spans_aggregate_count_total_min_max() {
+    fn spans_aggregate_count_total_min_max_hist() {
         let _g = lock(&TEST_LOCK);
         set_enabled(true);
         reset();
@@ -422,16 +901,34 @@ mod tests {
             let _s = span("stage.b"); // real timer: nonzero elapsed
         }
         let snap = snapshot();
-        set_enabled(false);
+        all_off();
         let a = &snap.spans["stage.a"];
         assert_eq!(a.count, 3);
         assert_eq!(a.total_ns, 600);
         assert_eq!(a.min_ns, 100);
         assert_eq!(a.max_ns, 300);
+        // 100 → bucket 6 ([64,128)), 200 → 7, 300 → 8.
+        assert_eq!(a.hist[6], 1);
+        assert_eq!(a.hist[7], 1);
+        assert_eq!(a.hist[8], 1);
+        assert_eq!(a.hist.iter().sum::<u64>(), 3);
+        assert!(!a.sparkline().is_empty());
         let b = &snap.spans["stage.b"];
         assert_eq!(b.count, 1);
         assert!(b.total_ns > 0);
         assert_eq!(b.min_ns, b.max_ns);
+        assert_eq!(b.hist.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn hist_bucket_boundaries() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 0);
+        assert_eq!(hist_bucket(2), 1);
+        assert_eq!(hist_bucket(3), 1);
+        assert_eq!(hist_bucket(4), 2);
+        assert_eq!(hist_bucket(1 << 31), HIST_BUCKETS - 1);
+        assert_eq!(hist_bucket(u128::MAX), HIST_BUCKETS - 1);
     }
 
     #[test]
@@ -446,7 +943,7 @@ mod tests {
         gauge_add("g.sum", 1.0);
         gauge_add("g.sum", 0.25);
         let snap = snapshot();
-        set_enabled(false);
+        all_off();
         assert_eq!(snap.counters["c.items"], 7);
         assert_eq!(snap.gauges["g.last"], 2.5);
         assert_eq!(snap.gauges["g.sum"], 1.25);
@@ -456,6 +953,7 @@ mod tests {
     fn recording_is_thread_safe() {
         let _g = lock(&TEST_LOCK);
         set_enabled(true);
+        set_journal_enabled(true);
         reset();
         std::thread::scope(|s| {
             for _ in 0..4 {
@@ -463,15 +961,22 @@ mod tests {
                     for _ in 0..1000 {
                         counter_add("t.hits", 1);
                         span_record("t.span", 10);
+                        event("t.event").field("n", 1u64).emit();
                     }
                 });
             }
         });
         let snap = snapshot();
-        set_enabled(false);
+        let dump = journal_drain();
+        all_off();
         assert_eq!(snap.counters["t.hits"], 4000);
         assert_eq!(snap.spans["t.span"].count, 4000);
         assert_eq!(snap.spans["t.span"].total_ns, 40_000);
+        assert_eq!(dump.events.len(), 4000);
+        // Sequence numbers are unique and strictly increasing.
+        for w in dump.events.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
     }
 
     #[test]
@@ -484,9 +989,11 @@ mod tests {
         gauge_set("score \"q\"", 0.5);
         gauge_set("bad", f64::NAN);
         let json = snapshot().to_json();
-        set_enabled(false);
+        all_off();
         assert!(json.contains("\"spans\""));
         assert!(json.contains("\"stage.grid\": {\"count\": 1, \"total_ns\": 1000000"));
+        // 1_000_000 ns → bucket 19 ([2^19, 2^20)).
+        assert!(json.contains("\"hist\": [[19, 1]]"), "{json}");
         assert!(json.contains("\"em.iters\": 42"));
         assert!(json.contains("\"score \\\"q\\\"\": 0.5"));
         assert!(json.contains("\"bad\": null"));
@@ -519,6 +1026,7 @@ mod tests {
                 total_ns: 3_000_000,
                 min_ns: 1_000_000,
                 max_ns: 2_000_000,
+                ..SpanStats::default()
             },
         );
         snap.counters.insert("c".into(), 7);
@@ -534,14 +1042,158 @@ mod tests {
     }
 
     #[test]
+    fn sparkline_spans_occupied_range() {
+        assert_eq!(sparkline(&[0, 0, 0]), "");
+        let line = sparkline(&[0, 8, 0, 1, 0]);
+        // Range buckets 1..=3: peak, gap, small.
+        assert_eq!(line.chars().count(), 3);
+        assert_eq!(line.chars().next(), Some('█'));
+        assert_eq!(line.chars().nth(1), Some(' '));
+        assert_eq!(line.chars().nth(2), Some('▁'));
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let _g = lock(&TEST_LOCK);
         set_enabled(true);
+        set_journal_enabled(true);
         counter_add("will.vanish", 1);
+        event("will.vanish").emit();
         reset();
         let snap = snapshot();
-        set_enabled(false);
+        all_off();
         assert!(snap.counters.is_empty());
+        assert_eq!(journal_len(), 0);
+    }
+
+    #[test]
+    fn journal_records_events_and_span_tree() {
+        let _g = lock(&TEST_LOCK);
+        set_journal_enabled(true);
+        reset();
+        {
+            let outer = span("outer.stage");
+            let outer_id = outer.id();
+            assert!(outer_id > 0);
+            {
+                let _inner = span("inner.stage");
+                event("point.event").field("k", "v").emit();
+            }
+        }
+        let dump = journal_drain();
+        all_off();
+        // Drop order: point event, inner span, outer span.
+        assert_eq!(dump.dropped, 0);
+        let kinds: Vec<&str> = dump.events.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["point.event", "span", "span"]);
+        let point = &dump.events[0];
+        let inner = &dump.events[1];
+        let outer = &dump.events[2];
+        assert_eq!(
+            inner.field("name"),
+            Some(&FieldValue::Str("inner.stage".into()))
+        );
+        assert_eq!(
+            outer.field("name"),
+            Some(&FieldValue::Str("outer.stage".into()))
+        );
+        // The tree: outer is root, inner's parent is outer, the point
+        // event's parent is inner.
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.span);
+        assert_eq!(point.parent, inner.span);
+        assert!(matches!(inner.field("dur_ns"), Some(FieldValue::U64(_))));
+    }
+
+    #[test]
+    fn journal_capacity_bounds_and_counts_drops() {
+        let _g = lock(&TEST_LOCK);
+        set_journal_enabled(true);
+        reset();
+        set_journal_capacity(3);
+        for i in 0..5u64 {
+            event("cap.test").field("i", i).emit();
+        }
+        let dump = journal_drain();
+        set_journal_capacity(DEFAULT_JOURNAL_CAPACITY);
+        all_off();
+        assert_eq!(dump.events.len(), 3);
+        assert_eq!(dump.dropped, 2);
+        let jsonl = dump.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 4, "3 events + dropped marker");
+        assert!(jsonl.contains("\"journal.dropped\""));
+        assert!(jsonl.contains("\"dropped\":2"));
+    }
+
+    #[test]
+    fn event_jsonl_shape() {
+        let e = Event {
+            seq: 7,
+            ts_us: 1234,
+            kind: "model.em.iter".into(),
+            span: 0,
+            parent: 3,
+            fields: vec![
+                ("iter".into(), FieldValue::U64(2)),
+                ("ll".into(), FieldValue::F64(-15.25)),
+                ("init".into(), FieldValue::Str("smo\"oth".into())),
+                ("converged".into(), FieldValue::Bool(false)),
+                ("bad".into(), FieldValue::F64(f64::INFINITY)),
+                ("neg".into(), FieldValue::I64(-4)),
+            ],
+        };
+        let line = e.to_json_line();
+        assert!(line.starts_with("{\"seq\":7,\"ts_us\":1234,\"kind\":\"model.em.iter\""));
+        assert!(line.contains("\"span\":0,\"parent\":3"));
+        assert!(line.contains("\"iter\":2"));
+        assert!(line.contains("\"ll\":-15.25"));
+        assert!(line.contains("\"init\":\"smo\\\"oth\""));
+        assert!(line.contains("\"converged\":false"));
+        assert!(line.contains("\"bad\":null"));
+        assert!(line.contains("\"neg\":-4"));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn journal_off_metrics_on_is_independent() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        set_journal_enabled(false);
+        reset();
+        {
+            let s = span("only.metrics");
+            assert_eq!(s.id(), 0, "no journal id without the journal");
+        }
+        event("only.metrics").emit();
+        let snap = snapshot();
+        all_off();
+        assert_eq!(snap.spans["only.metrics"].count, 1);
+        assert_eq!(journal_len(), 0);
+    }
+
+    #[test]
+    fn metric_name_convention() {
+        for good in [
+            "autolf.score_grid",
+            "model.panda.em_iters.snorkel",
+            "lf.matrix.apply",
+            "text.token_cache.hits",
+            "exec.sections",
+        ] {
+            assert!(is_valid_metric_name(good), "{good}");
+        }
+        for bad in [
+            "single",
+            "Upper.case",
+            "trailing.",
+            ".leading",
+            "sp ace.x",
+            "dash-ed.x",
+            "a..b",
+            "",
+        ] {
+            assert!(!is_valid_metric_name(bad), "{bad:?}");
+        }
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub fn run_query(
     out.sort_by(|&a, &b| {
         let ca = (posteriors[a] - 0.5).abs();
         let cb = (posteriors[b] - 0.5).abs();
-        cb.total_cmp(&ca)
+        // Tie-break on the candidate index: equal-confidence pairs must
+        // come back in a stable order, or the IDE's panel (and any test
+        // of it) reshuffles run to run.
+        cb.total_cmp(&ca).then_with(|| a.cmp(&b))
     });
     out
 }
@@ -93,6 +96,45 @@ mod tests {
         let gamma = [0.4, 0.05, 0.2];
         let idx = run_query(DebugQuery::LikelyFalsePositives, &lf, &[&lf], &gamma);
         assert_eq!(idx, vec![1, 2, 0]); // 0.05 is the most confident miss
+    }
+
+    #[test]
+    fn posterior_ties_order_by_candidate_index() {
+        // All posteriors exactly equidistant from 0.5 (0.25 and 0.75 are
+        // dyadic, so |γ−0.5| is bit-identical) → pure tie. The order must
+        // be the candidate index order, deterministically.
+        let lf = [1i8, 1, 1, 1];
+        let gamma = [0.25, 0.75, 0.25, 0.75];
+        let idx = run_query(DebugQuery::VotedMatch, &lf, &[&lf], &gamma);
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+        // Mixed: one clear winner, then tied runners-up in index order.
+        let gamma2 = [0.75, 1.0, 0.25, 0.75];
+        let idx2 = run_query(DebugQuery::VotedMatch, &lf, &[&lf], &gamma2);
+        assert_eq!(idx2, vec![1, 0, 2, 3]);
+    }
+
+    /// All six variants against one hand-built matrix, checking the exact
+    /// slice each one selects.
+    #[test]
+    fn all_six_queries_on_a_hand_built_matrix() {
+        // pair:   0    1    2    3    4    5
+        let lf = [1i8, 1, -1, -1, 0, 0];
+        let other = [1i8, -1, -1, 1, 1, 0];
+        // 0.25/0.75 are dyadic: pairs 1 and 3 tie exactly on |γ−0.5|.
+        let gamma = [0.9, 0.25, 0.1, 0.75, 0.5, 0.3];
+        let all: [&[i8]; 2] = [&lf, &other];
+        let q = |query| run_query(query, &lf, &all, &gamma);
+        // +1 votes where the model says non-match: pair 1.
+        assert_eq!(q(DebugQuery::LikelyFalsePositives), vec![1]);
+        // −1 votes where the model says match: pair 3.
+        assert_eq!(q(DebugQuery::LikelyFalseNegatives), vec![3]);
+        // Voted pairs where `other` voted the opposite way: 1 and 3,
+        // equally confident (0.3 each) → index order.
+        assert_eq!(q(DebugQuery::Conflicts), vec![1, 3]);
+        assert_eq!(q(DebugQuery::VotedMatch), vec![0, 1]);
+        assert_eq!(q(DebugQuery::VotedNonMatch), vec![2, 3]);
+        // Abstained: 4 and 5; 5 is more confident (|0.3−0.5| > |0.5−0.5|).
+        assert_eq!(q(DebugQuery::Abstained), vec![5, 4]);
     }
 
     #[test]

@@ -148,6 +148,11 @@ impl PandaSession {
             right: session.tables.right.len(),
             candidates: session.candidates.len(),
         });
+        panda_obs::event("session.loaded")
+            .field("left_rows", session.tables.left.len())
+            .field("right_rows", session.tables.right.len())
+            .field("candidates", session.candidates.len())
+            .emit();
 
         if session.config.auto_lfs {
             let generated = generate_auto_lfs(
@@ -210,6 +215,43 @@ impl PandaSession {
             model: model.name().to_string(),
             matches_found: self.matches_found(),
         });
+        self.journal_lf_stats();
+    }
+
+    /// Journal provenance after each refit: one `lf.stats` event per LF
+    /// — coverage/overlap/conflict plus the LF-vs-model disagreement
+    /// counts the IDE's debugging panel is built on. The disagreement
+    /// queries cost O(pairs) per LF, so nothing runs when no journal is
+    /// recording.
+    fn journal_lf_stats(&self) {
+        if !panda_obs::journal_enabled() {
+            return;
+        }
+        let all: Vec<&[i8]> = self.matrix.columns().map(|(_, c)| c).collect();
+        for row in self.lf_stats() {
+            let Some(col) = self.matrix.column(&row.name) else {
+                continue;
+            };
+            let count = |q| run_query(q, col, &all, &self.posteriors).len();
+            let mut ev = panda_obs::event("lf.stats")
+                .field("lf", row.name.as_str())
+                .field("n_match", row.n_match)
+                .field("n_nonmatch", row.n_nonmatch)
+                .field("n_abstain", row.n_abstain)
+                .field("coverage", row.coverage)
+                .field("overlap", row.overlap)
+                .field("conflict", row.conflict)
+                .field("model_disagree_fp", count(DebugQuery::LikelyFalsePositives))
+                .field("model_disagree_fn", count(DebugQuery::LikelyFalseNegatives))
+                .field("conflict_pairs", count(DebugQuery::Conflicts));
+            if let Some(x) = row.est_fpr {
+                ev = ev.field("est_fpr", x);
+            }
+            if let Some(x) = row.est_fnr {
+                ev = ev.field("est_fnr", x);
+            }
+            ev.emit();
+        }
     }
 
     fn matches_found(&self) -> usize {

@@ -1,6 +1,8 @@
-//! End-to-end telemetry: a full session run with metrics enabled must
-//! produce a snapshot whose JSON parses and carries the per-stage spans
-//! and counters the CLI/CI contract promises.
+//! End-to-end telemetry: a full session run with metrics and the journal
+//! enabled must produce (a) a snapshot whose JSON parses and carries the
+//! per-stage spans and counters the CLI/CI contract promises, and (b) a
+//! journal holding the provenance events DESIGN.md §8 documents, with
+//! every recorded name conforming to the dotted naming convention.
 //!
 //! Everything lives in ONE `#[test]`: the obs registry is process-global,
 //! and Rust runs tests in one binary concurrently — separate tests would
@@ -9,11 +11,13 @@
 use panda::datasets::{generate, DatasetFamily, GeneratorConfig};
 use panda::obs;
 use panda::session::{PandaSession, SessionConfig};
+use std::collections::BTreeSet;
 
 #[test]
 fn snapshot_covers_the_pipeline_and_serializes() {
-    obs::set_enabled(true);
     obs::reset();
+    obs::set_enabled(true);
+    obs::set_journal_enabled(true);
 
     let tables = generate(
         DatasetFamily::FodorsZagats,
@@ -77,17 +81,91 @@ fn snapshot_covers_the_pipeline_and_serializes() {
         .is_some());
     assert!(value.get_field("gauges").is_some());
 
+    // Span histograms: each stage's log₂ buckets must account for every
+    // recorded call.
+    for (key, stats) in &snap.spans {
+        let hist_total: u64 = stats.hist.iter().sum();
+        assert_eq!(hist_total, stats.count, "{key}: histogram covers count");
+    }
+
+    // ── Journal: provenance events from the same run ──
+    let dump = obs::journal_drain();
+    assert_eq!(dump.dropped, 0, "nothing dropped at the capacity bound");
+    let kinds: BTreeSet<&str> = dump.events.iter().map(|e| e.kind.as_str()).collect();
+    for kind in [
+        "session.loaded",
+        "model.em.iter",
+        "autolf.cell",
+        "autolf.emit",
+        "lf.apply",
+        "lf.stats",
+        "span",
+    ] {
+        assert!(
+            kinds.contains(kind),
+            "journal kind {kind:?} missing: {kinds:?}"
+        );
+    }
+    // Sequence numbers are strictly increasing (process-wide emission order).
+    assert!(
+        dump.events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "journal seq strictly increasing"
+    );
+    // Every closed span recorded in the journal names a span the snapshot
+    // aggregated — the two views describe the same run.
+    for e in dump.events.iter().filter(|e| e.kind == "span") {
+        let Some(obs::FieldValue::Str(name)) = e.field("name") else {
+            panic!("span event without a name field");
+        };
+        assert!(
+            snap.spans.contains_key(name),
+            "journal span {name:?} in snapshot"
+        );
+    }
+    // JSONL framing: every line re-parses as one object with a kind.
+    for line in dump.to_jsonl().lines() {
+        let v = serde_json::parse_value(line).unwrap_or_else(|e| panic!("bad JSONL {line:?}: {e}"));
+        assert!(v.get_field("kind").is_some(), "JSONL line has kind: {line}");
+    }
+
+    // ── Naming convention (DESIGN.md §8 / crates/obs docs): every
+    // registered metric name and journal event kind is dotted lower-case.
+    // "span" is the one structural kind exempt from the ≥2-segment rule.
+    for name in snap
+        .spans
+        .keys()
+        .chain(snap.counters.keys())
+        .chain(snap.gauges.keys())
+    {
+        assert!(
+            obs::is_valid_metric_name(name),
+            "metric name {name:?} violates the dotted naming convention"
+        );
+    }
+    for kind in &kinds {
+        assert!(
+            *kind == "span" || obs::is_valid_metric_name(kind),
+            "journal kind {kind:?} violates the dotted naming convention"
+        );
+    }
+
     // reset() empties the registry; with obs disabled nothing records.
     obs::reset();
     obs::set_enabled(false);
+    obs::set_journal_enabled(false);
     {
         let _span = obs::span("model.panda.fit");
         obs::counter_add("autolf.grid_cells", 1);
+        obs::event("autolf.cell").field("decision", "keep").emit();
     }
     let after = obs::snapshot();
     assert!(after.spans.is_empty(), "disabled path records no spans");
     assert!(
         after.counters.is_empty(),
         "disabled path records no counters"
+    );
+    assert!(
+        obs::journal_drain().events.is_empty(),
+        "disabled path records no journal events"
     );
 }
