@@ -1,0 +1,223 @@
+//! **Serve benchmark** — closed-loop load generator against an
+//! in-process `panda-serve` instance.
+//!
+//! Boots the server on an ephemeral port, loads one session (incremental
+//! LF add + fit), then drives three request classes with `CLIENTS`
+//! closed-loop client threads each (a client issues a request, waits for
+//! the response, repeats — so concurrency is exactly the client count):
+//!
+//! * `healthz` — wire + dispatch floor, no session work;
+//! * `match_single_pair` — one ad-hoc pair scored under the session lock;
+//! * `query_debug` — a debug-panel query (sort + render of viewer rows).
+//!
+//! Reports throughput and p50/p95/p99 latency per class and writes the
+//! committed `BENCH_serve.json` snapshot.
+//!
+//! Run: `cargo run --release -p panda-bench --bin bench_serve`
+
+use panda_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Closed-loop clients per case.
+const CLIENTS: usize = 4;
+/// Requests each client issues per case.
+const REQUESTS_PER_CLIENT: usize = 150;
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+    (status, body)
+}
+
+/// A product-matching table pair large enough that session requests do
+/// real work (blocking yields a few hundred candidates).
+fn demo_csvs() -> (String, String) {
+    let brands = [
+        "acme", "zenith", "orion", "vertex", "nimbus", "quartz", "ember", "cobalt", "argon",
+        "helix", "lumen", "strata", "pivot", "crest", "fable", "garnet",
+    ];
+    let kinds = ["widget", "gadget", "sprocket", "fixture"];
+    let mut left = String::from("id,name,price\n");
+    let mut right = String::from("id,name,price\n");
+    let mut row = 0usize;
+    for brand in &brands {
+        for kind in &kinds {
+            left.push_str(&format!(
+                "{row},{brand} turbo {kind} model {row},{}\n",
+                100 + row * 3
+            ));
+            right.push_str(&format!(
+                "{row},{brand} {kind} turbo mk {row},{}\n",
+                101 + row * 3
+            ));
+            row += 1;
+        }
+    }
+    (left, right)
+}
+
+struct CaseResult {
+    name: &'static str,
+    requests: usize,
+    elapsed_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+}
+
+impl CaseResult {
+    fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed_s
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Run one request class closed-loop and collect latencies.
+fn run_case(
+    name: &'static str,
+    addr: SocketAddr,
+    method: &'static str,
+    path: String,
+    body: String,
+) -> CaseResult {
+    // Warm-up outside the measurement.
+    let (status, resp) = request(addr, method, &path, &body);
+    assert_eq!(status, 200, "{name}: {resp}");
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let path = path.clone();
+        let body = body.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut latencies_ns = Vec::with_capacity(REQUESTS_PER_CLIENT);
+            for _ in 0..REQUESTS_PER_CLIENT {
+                let t = Instant::now();
+                let (status, _) = request(addr, method, &path, &body);
+                latencies_ns.push(t.elapsed().as_nanos() as u64);
+                assert_eq!(status, 200, "{name}: non-200 under load");
+            }
+            latencies_ns
+        }));
+    }
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let elapsed_s = started.elapsed().as_secs_f64();
+    all.sort_unstable();
+    CaseResult {
+        name,
+        requests: all.len(),
+        elapsed_s,
+        p50_us: percentile(&all, 0.50),
+        p95_us: percentile(&all, 0.95),
+        p99_us: percentile(&all, 0.99),
+    }
+}
+
+fn main() {
+    let workers = panda_exec::worker_count();
+    let handle = Server::start(ServerConfig {
+        workers,
+        ..Default::default()
+    })
+    .expect("start server");
+    let addr = handle.addr();
+
+    // One session for the whole run: create, add an LF incrementally, fit.
+    let (left_csv, right_csv) = demo_csvs();
+    let create = format!(
+        r#"{{"left_csv":{},"right_csv":{},"config":{{"auto_lfs":false}}}}"#,
+        serde_json::to_string(&left_csv).unwrap(),
+        serde_json::to_string(&right_csv).unwrap()
+    );
+    let (status, body) = request(addr, "POST", "/sessions", &create);
+    assert_eq!(status, 200, "create session: {body}");
+    let lf = r#"{"name":"name_overlap","kind":"similarity","attr":"name","upper":0.5,"lower":0.1}"#;
+    let (status, body) = request(addr, "POST", "/sessions/1/lfs", lf);
+    assert_eq!(status, 200, "add lf: {body}");
+    let (status, body) = request(addr, "POST", "/sessions/1/fit", "");
+    assert_eq!(status, 200, "fit: {body}");
+
+    let cases = vec![
+        run_case("healthz", addr, "GET", "/healthz".into(), String::new()),
+        run_case(
+            "match_single_pair",
+            addr,
+            "POST",
+            "/match".into(),
+            r#"{"session":1,"pairs":[[3,3]]}"#.into(),
+        ),
+        run_case(
+            "query_debug",
+            addr,
+            "POST",
+            "/sessions/1/query".into(),
+            r#"{"lf":"name_overlap","query":"VotedMatch","limit":10}"#.into(),
+        ),
+    ];
+
+    println!(
+        "bench_serve: {workers} workers, {CLIENTS} closed-loop clients × {REQUESTS_PER_CLIENT} requests"
+    );
+    let mut case_json = Vec::new();
+    for c in &cases {
+        println!(
+            "  {:<18} {:>7.0} req/s   p50 {:>8.1} µs   p95 {:>8.1} µs   p99 {:>8.1} µs",
+            c.name,
+            c.throughput(),
+            c.p50_us,
+            c.p95_us,
+            c.p99_us
+        );
+        case_json.push(format!(
+            concat!(
+                "    {{\"case\": \"{}\", \"requests\": {}, \"throughput_rps\": {:.1}, ",
+                "\"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1}}}"
+            ),
+            c.name,
+            c.requests,
+            c.throughput(),
+            c.p50_us,
+            c.p95_us,
+            c.p99_us
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_closed_loop\",\n  \"config\": {{\"workers\": {workers}, \
+         \"clients\": {CLIENTS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}}},\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        case_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("wrote {path}");
+
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join();
+}

@@ -17,6 +17,7 @@ USAGE:
               [--threshold T] [--seed N] [--no-auto-lfs] [--out <csv>]
               [--metrics <json>] [--journal <jsonl>]
   panda report --journal <jsonl> [--top N]
+  panda serve --addr <host:port> [--workers N] [--metrics <json>] [--journal <jsonl>]
   panda families
   panda help
 
@@ -26,6 +27,9 @@ tables (first line = header) and writes predicted match row pairs.
 `report` renders a recorded journal as a debugging report: span tree,
 EM convergence per warm start, auto-LF grid decisions, and per-LF
 model-disagreement counts.
+`serve` runs the IDE loop as a JSON HTTP API (sessions, incremental LF
+edits, refits, debug queries, ad-hoc matching); drains gracefully on
+SIGTERM or POST /shutdown, then writes --metrics / --journal.
 
 OBSERVABILITY:
   --metrics <json>   write a pipeline telemetry snapshot (per-stage span
@@ -179,6 +183,15 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
         ..SessionConfig::default()
     };
     let session = PandaSession::load(tables, config);
+    if session.candidates().is_empty() {
+        // A silent empty report reads as "no matches"; zero candidates
+        // actually means blocking never produced anything to score.
+        return Err(
+            "blocking produced zero candidate pairs; check that the input tables share \
+             vocabulary, or loosen blocking with smaller tables"
+                .to_string(),
+        );
+    }
 
     // EM Stats Panel.
     let em = session.em_stats();
@@ -247,6 +260,50 @@ pub fn run_match(argv: &[String]) -> Result<(), String> {
         if log_mode != panda_obs::LogMode::Off {
             eprint!("{}", snap.render(log_mode));
         }
+    }
+    if let Some(path) = journal_path {
+        let dump = panda_obs::journal_drain();
+        let n = dump.events.len();
+        std::fs::write(path, dump.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {n} journal events to {path}");
+    }
+    Ok(())
+}
+
+/// `panda serve`
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:7700");
+    let metrics_path = args.optional("metrics");
+    let journal_path = args.optional("journal");
+    if let Some(path) = metrics_path {
+        ensure_writable(path, "metrics")?;
+    }
+    if let Some(path) = journal_path {
+        ensure_writable(path, "journal")?;
+    }
+    // Telemetry on before the first request: /metrics should never be
+    // empty, and the journal must capture session loads.
+    panda_obs::set_enabled(true);
+    if journal_path.is_some() {
+        panda_obs::set_journal_enabled(true);
+    }
+    panda_serve::signal::install_handlers();
+    let handle = panda_serve::Server::start(panda_serve::ServerConfig {
+        addr: addr.to_string(),
+        workers: args.get_or("workers", 0)?,
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("panda serve listening on http://{}", handle.addr());
+    println!("stop with POST /shutdown or SIGTERM (drains in-flight requests)");
+    handle.join();
+    println!("drained; shut down cleanly");
+
+    if let Some(path) = metrics_path {
+        let snap = panda_obs::snapshot();
+        std::fs::write(path, snap.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote metrics snapshot to {path}");
     }
     if let Some(path) = journal_path {
         let dump = panda_obs::journal_drain();
@@ -375,6 +432,27 @@ mod tests {
         assert!(report.contains("auto-LF grid:"));
         assert!(report.contains("top disagreements per LF"));
         assert!(report.contains("span tree:"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn match_rejects_zero_candidates_cleanly() {
+        let dir = std::env::temp_dir().join("panda-cli-zero-cand-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let left = dir.join("left.csv");
+        let right = dir.join("right.csv");
+        // Disjoint vocabularies: blocking finds nothing.
+        std::fs::write(&left, "id,name\n1,aaaa bbbb cccc\n2,dddd eeee ffff\n").unwrap();
+        std::fs::write(&right, "id,name\n1,gggg hhhh iiii\n2,jjjj kkkk llll\n").unwrap();
+        let err = run_match(&[
+            "--left".into(),
+            left.to_string_lossy().to_string(),
+            "--right".into(),
+            right.to_string_lossy().to_string(),
+            "--no-auto-lfs".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("zero candidate pairs"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -5,6 +5,7 @@
 //! panda match --left data/abt-buy_left.csv --right data/abt-buy_right.csv \
 //!             [--gold data/abt-buy_gold.csv] [--model panda|snorkel|majority] \
 //!             [--threshold 0.5] [--no-auto-lfs] [--out matches.csv]
+//! panda serve --addr 127.0.0.1:7700
 //! panda families
 //! ```
 //!
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "generate" => commands::generate(rest),
         "match" => commands::run_match(rest),
+        "serve" => commands::serve(rest),
         "report" => report::run_report(rest),
         "families" => commands::families(),
         "help" | "--help" | "-h" => {

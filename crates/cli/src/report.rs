@@ -178,8 +178,7 @@ fn render_transitivity(out: &mut String, events: &[Event]) {
         .count();
     let Some(proj) = events
         .iter()
-        .filter(|e| e.kind == "model.transitivity.projection")
-        .next_back()
+        .rfind(|e| e.kind == "model.transitivity.projection")
     else {
         return;
     };

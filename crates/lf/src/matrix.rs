@@ -1,6 +1,6 @@
 //! The `pairs × LFs` label matrix with incremental application.
 
-use crate::lf::LfRegistry;
+use crate::lf::{BoxedLf, LfRegistry};
 use crate::Label;
 use panda_table::{CandidateSet, TablePair};
 
@@ -247,6 +247,142 @@ impl LabelMatrix {
         }
         report
     }
+
+    /// Add (or replace) **one** column by running exactly one LF — the
+    /// serving path of `POST /sessions/{id}/lfs`. Unlike [`apply`], this
+    /// never scans the registry, so its cost is O(new LF × pairs)
+    /// regardless of how many columns already exist; it records under its
+    /// own span/event names (`lf.matrix.add_column` / `lf.column`) so a
+    /// journal can prove no full-matrix apply ran.
+    ///
+    /// On a panic inside the LF the matrix is left **unchanged** (an
+    /// existing same-name column survives) and the panic message is
+    /// returned.
+    ///
+    /// [`apply`]: LabelMatrix::apply
+    pub fn add_column(
+        &mut self,
+        lf: &BoxedLf,
+        version: u64,
+        tables: &TablePair,
+        candidates: &CandidateSet,
+    ) -> Result<(), String> {
+        let _span = panda_obs::span("lf.matrix.add_column");
+        let fp = fingerprint(candidates);
+        if fp != self.fingerprint || candidates.len() != self.n_pairs {
+            self.columns.clear();
+            self.fingerprint = fp;
+            self.n_pairs = candidates.len();
+        }
+
+        let pairs = candidates.pairs();
+        let n_blocks = pairs.len().div_ceil(PAIR_BLOCK).max(1);
+        panda_obs::counter_add("lf.matrix.column_work_items", n_blocks as u64);
+        panda_obs::counter_add("lf.matrix.column_labels_computed", pairs.len() as u64);
+        let results = panda_exec::par_try_map_range(n_blocks, |block| {
+            let start = block * PAIR_BLOCK;
+            let end = (start + PAIR_BLOCK).min(pairs.len());
+            let mut out = Vec::with_capacity(end - start);
+            for &pair in &pairs[start..end] {
+                let label = match tables.pair_ref(pair) {
+                    Ok(p) => lf.label(&p),
+                    Err(_) => Label::Abstain,
+                };
+                out.push(label.as_i8());
+            }
+            out
+        });
+
+        let mut labels: Vec<i8> = Vec::with_capacity(pairs.len());
+        for block in &results {
+            match block {
+                Ok(part) => labels.extend_from_slice(part),
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    if panda_obs::journal_enabled() {
+                        panda_obs::event("lf.column")
+                            .field("lf", lf.name())
+                            .field("action", "quarantined")
+                            .field("error", msg.as_str())
+                            .emit();
+                    }
+                    return Err(msg);
+                }
+            }
+        }
+
+        let name = lf.name().to_string();
+        match self.columns.iter_mut().find(|c| c.name == name) {
+            Some(c) => {
+                c.version = version;
+                c.labels = labels;
+            }
+            None => self.columns.push(Column {
+                name: name.clone(),
+                version,
+                labels,
+            }),
+        }
+        if panda_obs::journal_enabled() {
+            let (m, u, a) = self.counts(&name).unwrap_or((0, 0, 0));
+            panda_obs::event("lf.column")
+                .field("lf", name.as_str())
+                .field("action", "add")
+                .field("n_match", m)
+                .field("n_nonmatch", u)
+                .field("n_abstain", a)
+                .emit();
+        }
+        Ok(())
+    }
+
+    /// Drop one column by name (the serving path of
+    /// `DELETE /sessions/{id}/lfs/{name}`). O(columns); never re-runs any
+    /// LF. Returns whether the column existed.
+    pub fn remove_column(&mut self, name: &str) -> bool {
+        let before = self.columns.len();
+        self.columns.retain(|c| c.name != name);
+        let removed = self.columns.len() != before;
+        if removed && panda_obs::journal_enabled() {
+            panda_obs::event("lf.column")
+                .field("lf", name)
+                .field("action", "remove")
+                .emit();
+        }
+        removed
+    }
+
+    /// A digest of the **complete** matrix state: row count, candidate
+    /// fingerprint, and every column's name, version, and label bytes in
+    /// order. Two matrices with equal digests are byte-identical, so this
+    /// is the invariant the incremental column path is checked against:
+    /// `add_column(k)` followed by `remove_column(k)` must restore the
+    /// original digest exactly.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x100000001b3);
+        };
+        for v in [self.n_pairs as u64, self.fingerprint] {
+            for b in v.to_le_bytes() {
+                mix(b);
+            }
+        }
+        for c in &self.columns {
+            for b in c.name.as_bytes() {
+                mix(*b);
+            }
+            mix(0xff); // name terminator
+            for b in c.version.to_le_bytes() {
+                mix(b);
+            }
+            for &l in &c.labels {
+                mix(l as u8);
+            }
+        }
+        h
+    }
 }
 
 fn fingerprint(candidates: &CandidateSet) -> u64 {
@@ -407,6 +543,94 @@ mod tests {
         m.apply(&reg, &tables, &cands);
         assert_eq!(m.lf_names(), vec!["z_first", "a_second"]);
         assert_eq!(m.row(0), vec![1, -1]);
+    }
+
+    #[test]
+    fn add_column_matches_full_apply() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("eq"));
+        let mut full = LabelMatrix::new();
+        full.apply(&reg, &tables, &cands);
+
+        let mut inc = LabelMatrix::new();
+        let lf: BoxedLf = eq_lf("eq");
+        let version = reg.version("eq").unwrap();
+        inc.add_column(&lf, version, &tables, &cands).unwrap();
+        assert_eq!(inc.n_pairs(), full.n_pairs());
+        assert_eq!(inc.column("eq"), full.column("eq"));
+        assert_eq!(inc.digest(), full.digest(), "byte-identical to full apply");
+    }
+
+    /// The satellite invariant: incremental add of LF k followed by
+    /// remove of LF k restores a matrix byte-identical to the original.
+    #[test]
+    fn add_then_remove_restores_digest() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("base1"));
+        reg.upsert(Arc::new(ClosureLf::new("base2", |_| Label::Abstain)));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        let original = m.digest();
+
+        let extra: BoxedLf = Arc::new(ClosureLf::new("extra", |_| Label::Match));
+        let version = reg.upsert(extra.clone());
+        m.add_column(&extra, version, &tables, &cands).unwrap();
+        assert_ne!(m.digest(), original, "digest sees the new column");
+        assert_eq!(m.column("extra").unwrap(), &[1, 1, 1, 1]);
+
+        assert!(m.remove_column("extra"));
+        assert_eq!(
+            m.digest(),
+            original,
+            "add then remove restores the matrix byte-identically"
+        );
+        assert!(!m.remove_column("extra"), "second remove is a no-op");
+    }
+
+    #[test]
+    fn add_column_replaces_same_name_in_place() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("a"));
+        reg.upsert(Arc::new(ClosureLf::new("b", |_| Label::Abstain)));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+
+        let replacement: BoxedLf = Arc::new(ClosureLf::new("a", |_| Label::NonMatch));
+        let version = reg.upsert(replacement.clone());
+        m.add_column(&replacement, version, &tables, &cands)
+            .unwrap();
+        assert_eq!(m.lf_names(), vec!["a", "b"], "replacement keeps position");
+        assert_eq!(m.column("a").unwrap(), &[-1, -1, -1, -1]);
+    }
+
+    #[test]
+    fn add_column_quarantines_panics_and_leaves_matrix_unchanged() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("good"));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+        let before = m.digest();
+
+        let buggy: BoxedLf = Arc::new(ClosureLf::new("buggy", |_| panic!("boom in user code")));
+        let err = m.add_column(&buggy, 99, &tables, &cands).unwrap_err();
+        assert!(err.contains("boom in user code"));
+        assert_eq!(m.digest(), before, "failed add leaves the matrix intact");
+        assert!(m.column("buggy").is_none());
+    }
+
+    #[test]
+    fn add_column_establishes_empty_matrix_dimensions() {
+        let (tables, cands) = tiny();
+        let mut m = LabelMatrix::new();
+        assert_eq!(m.n_pairs(), 0);
+        let lf: BoxedLf = eq_lf("eq");
+        m.add_column(&lf, 1, &tables, &cands).unwrap();
+        assert_eq!(m.n_pairs(), 4);
+        assert_eq!(m.column("eq").unwrap(), &[1, -1, -1, -1]);
     }
 
     /// Incremental apply must be observationally identical to a fresh

@@ -60,7 +60,11 @@ use panda_table::CandidateSet;
 
 /// A labeling model: fits to a label matrix and produces per-pair match
 /// posteriors.
-pub trait LabelModel {
+///
+/// `Send` is a supertrait so a fitted model can ride inside a session
+/// that crosses threads (the serving layer keeps sessions behind an
+/// `Arc<Mutex<_>>` shared by a worker pool).
+pub trait LabelModel: Send {
     /// Model name for reports.
     fn name(&self) -> &'static str;
 
@@ -70,6 +74,28 @@ pub trait LabelModel {
     /// structure between pairs (transitivity); models that don't need it
     /// ignore it.
     fn fit_predict(&mut self, matrix: &LabelMatrix, candidates: Option<&CandidateSet>) -> Vec<f64>;
+
+    /// Seed the **next** `fit_predict` with a previously converged
+    /// posterior vector (one entry per pair of the matrix that fit will
+    /// see). EM models add it as an extra warm start, so an interactive
+    /// refit after a small LF edit converges from where the last fit
+    /// ended instead of from scratch; the multi-start selection rule
+    /// still applies, so a stale warm start cannot make the fit *worse*.
+    /// Consumed by the next fit. Default: ignored (closed-form models
+    /// don't iterate).
+    fn set_warm_start(&mut self, _previous: &[f64]) {}
+
+    /// Score one **ad-hoc** vote row (registry order, same arity as the
+    /// fitted matrix) against the parameters of the last `fit_predict` —
+    /// the serving path of `POST /match`, which must not refit. Returns
+    /// `None` when the model was never fitted, the arity differs, or the
+    /// model has no per-LF parameters to score with. For EM models this
+    /// replicates the final E-step exactly, so a row already in the
+    /// fitted matrix scores bit-identically to its fitted posterior
+    /// (before any transitivity projection).
+    fn posterior_for_votes(&self, _votes: &[i8]) -> Option<f64> {
+        None
+    }
 }
 
 /// Threshold posteriors into hard decisions at `0.5`.

@@ -55,6 +55,17 @@ impl LabelModel for MajorityVote {
             })
             .collect()
     }
+
+    /// Majority vote has no fitted state, so any vote row scores directly.
+    fn posterior_for_votes(&self, votes: &[i8]) -> Option<f64> {
+        let pos = votes.iter().filter(|&&v| v > 0).count();
+        let tot = votes.iter().filter(|&&v| v != 0).count();
+        Some(if tot == 0 {
+            self.prior
+        } else {
+            pos as f64 / tot as f64
+        })
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,18 @@ pub struct PandaModel {
     /// and their evidence discounted by 1/cluster-size (see
     /// [`crate::correlation`]).
     pub correlation_threshold: Option<f64>,
+    /// The chosen solution's per-LF vote distributions
+    /// `[P(+1|y), P(−1|y), P(0|y)]` under `y = match` — kept so ad-hoc
+    /// vote rows can be scored by replicating the E-step without a refit.
+    pub fitted_theta_m: Vec<[f64; 3]>,
+    /// Same under `y = non-match`.
+    pub fitted_theta_u: Vec<[f64; 3]>,
+    /// Evidence discounts the last fit used (all 1.0 without correlation
+    /// clustering).
+    pub fitted_discounts: Vec<f64>,
+    /// Posterior vector to seed the next fit with (see
+    /// [`LabelModel::set_warm_start`]). Consumed by `fit_predict`.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for PandaModel {
@@ -99,6 +111,10 @@ impl Default for PandaModel {
             fitted_prior: 0.1,
             start_diagnostics: Vec::new(),
             correlation_threshold: None,
+            fitted_theta_m: Vec::new(),
+            fitted_theta_u: Vec::new(),
+            fitted_discounts: Vec::new(),
+            warm_start: None,
         }
     }
 }
@@ -371,10 +387,16 @@ impl LabelModel for PandaModel {
         let m = cols.len();
         // Reset ALL fitted state on every entry: a degenerate matrix must
         // not leave diagnostics or parameters from a previous fit visible
-        // as if this fit produced them.
+        // as if this fit produced them. The warm start is consumed even on
+        // the degenerate early return so a stale vector cannot leak into
+        // a later fit of a different matrix.
         self.params = PandaLfParams::default();
         self.fitted_prior = self.prior;
         self.start_diagnostics.clear();
+        self.fitted_theta_m.clear();
+        self.fitted_theta_u.clear();
+        self.fitted_discounts.clear();
+        let warm = self.warm_start.take().filter(|w| w.len() == n);
         if n == 0 || m == 0 {
             return vec![self.prior; n];
         }
@@ -415,7 +437,7 @@ impl LabelModel for PandaModel {
             };
             sn.fit_predict(matrix, None)
         };
-        let inits: Vec<(&'static str, Vec<f64>)> = vec![
+        let mut inits: Vec<(&'static str, Vec<f64>)> = vec![
             // Smoothed majority: robust under junk-heavy candidate sets.
             (
                 "smoothed",
@@ -434,6 +456,14 @@ impl LabelModel for PandaModel {
             // The Snorkel baseline's converged posterior.
             ("snorkel", snorkel_init),
         ];
+        // Interactive refits (the serve loop's `POST .../fit`) seed EM
+        // with the previously converged posterior. The informativeness
+        // selection below still decides between all starts, so a stale
+        // warm start after a large LF edit loses to a cold start instead
+        // of trapping the fit in yesterday's optimum.
+        if let Some(w) = warm {
+            inits.push(("warm", w));
+        }
         let mut best: Option<(f64, &'static str, EmSolution)> = None;
         let mut diagnostics = Vec::new();
         for (init_name, init) in inits {
@@ -543,7 +573,41 @@ impl LabelModel for PandaModel {
             prop_unmatch: prop_u,
         };
         self.fitted_prior = pi;
+        self.fitted_theta_m = sol.theta_m;
+        self.fitted_theta_u = sol.theta_u;
+        self.fitted_discounts = discounts;
         gamma
+    }
+
+    fn set_warm_start(&mut self, previous: &[f64]) {
+        self.warm_start = Some(previous.to_vec());
+    }
+
+    /// Replicates the chosen solution's final E-step (including the
+    /// abstain/vote clamps) for one vote row. A row already present in
+    /// the fitted matrix scores bit-identically to its fitted posterior
+    /// *before* the transitivity projection — ad-hoc pairs have no place
+    /// in the pair graph, so the projection cannot apply to them.
+    fn posterior_for_votes(&self, votes: &[i8]) -> Option<f64> {
+        if self.fitted_theta_m.is_empty() || votes.len() != self.fitted_theta_m.len() {
+            return None;
+        }
+        let mut lo = logit(self.fitted_prior);
+        for (j, &v) in votes.iter().enumerate() {
+            let slot = match v {
+                1.. => 0,
+                0 => 2,
+                _ => 1,
+            };
+            let term = self.fitted_theta_m[j][slot].ln() - self.fitted_theta_u[j][slot].ln();
+            let term = if slot == 2 {
+                term.clamp(-0.35, 0.35)
+            } else {
+                term.clamp(-2.5, 2.5)
+            };
+            lo += self.fitted_discounts[j] * term;
+        }
+        Some(sigmoid(lo))
     }
 }
 
@@ -696,6 +760,66 @@ mod tests {
             (f1_base - f1_with).abs() < 0.05,
             "constant LF must be ~vacuous: {f1_base:.3} vs {f1_with:.3}"
         );
+    }
+
+    #[test]
+    fn adhoc_scoring_matches_fitted_posteriors_bit_exactly() {
+        let p = plant(600, 0.2, &[PlantedLf::symmetric(0.85, 0.8); 3], 47);
+        let mut model = PandaModel::new();
+        let gamma = model.fit_predict(&p.matrix, None);
+        for (i, g) in gamma.iter().enumerate() {
+            let row = p.matrix.row(i);
+            assert_eq!(
+                model.posterior_for_votes(&row),
+                Some(*g),
+                "ad-hoc scoring replicates the final E-step on row {i}"
+            );
+        }
+        // Wrong arity and the unfitted model both refuse to score.
+        assert_eq!(model.posterior_for_votes(&[1i8]), None);
+        assert_eq!(PandaModel::new().posterior_for_votes(&[1i8, 0, -1]), None);
+    }
+
+    #[test]
+    fn warm_start_adds_a_fifth_start_and_is_consumed() {
+        let p = plant(500, 0.2, &[PlantedLf::symmetric(0.85, 0.8); 3], 53);
+        let mut model = PandaModel::new();
+        let cold = model.fit_predict(&p.matrix, None);
+        assert_eq!(model.start_diagnostics.len(), 4);
+
+        model.set_warm_start(&cold);
+        let warm = model.fit_predict(&p.matrix, None);
+        let names: Vec<&str> = model.start_diagnostics.iter().map(|d| d.init).collect();
+        assert_eq!(
+            names,
+            vec!["smoothed", "majority", "pessimistic", "snorkel", "warm"]
+        );
+        // Warm-starting from the converged solution stays in its basin
+        // (one extra M+E round perturbs θ within the convergence
+        // tolerance, so bit-identity is not expected — stability is).
+        let drift = warm
+            .iter()
+            .zip(&cold)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(drift < 0.05, "refit stays near the fixed point: {drift}");
+        let same_side = warm
+            .iter()
+            .zip(&cold)
+            .all(|(a, b)| (*a >= 0.5) == (*b >= 0.5));
+        assert!(same_side, "no decision flips on refit");
+        // The warm start was consumed: the next fit is cold again.
+        model.fit_predict(&p.matrix, None);
+        assert_eq!(model.start_diagnostics.len(), 4);
+    }
+
+    #[test]
+    fn mismatched_warm_start_is_ignored() {
+        let p = plant(300, 0.2, &[PlantedLf::symmetric(0.85, 0.8); 2], 59);
+        let mut model = PandaModel::new();
+        model.set_warm_start(&[0.5; 7]); // wrong length for this matrix
+        model.fit_predict(&p.matrix, None);
+        assert_eq!(model.start_diagnostics.len(), 4, "bad warm start dropped");
     }
 
     #[test]

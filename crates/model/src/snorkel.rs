@@ -44,6 +44,12 @@ pub struct SnorkelModel {
     /// and their evidence discounted by 1/cluster-size (see
     /// [`crate::correlation`]).
     pub correlation_threshold: Option<f64>,
+    /// Evidence discounts the last fit used (all 1.0 without correlation
+    /// clustering) — needed to replicate the E-step for ad-hoc scoring.
+    pub fitted_discounts: Vec<f64>,
+    /// Posterior vector to seed the next fit with (see
+    /// [`LabelModel::set_warm_start`]). Consumed by `fit_predict`.
+    pub warm_start: Option<Vec<f64>>,
 }
 
 impl Default for SnorkelModel {
@@ -58,6 +64,8 @@ impl Default for SnorkelModel {
             propensities: Vec::new(),
             fitted_prior: 0.1,
             correlation_threshold: None,
+            fitted_discounts: Vec::new(),
+            warm_start: None,
         }
     }
 }
@@ -211,10 +219,14 @@ impl LabelModel for SnorkelModel {
         let m = cols.len();
         // Reset ALL fitted state on every entry (same audit as
         // `PandaModel::fit_predict`): a degenerate matrix must not leave a
-        // previous fit's parameters visible.
+        // previous fit's parameters visible. The warm start is consumed
+        // even on the degenerate early return so a stale vector cannot
+        // leak into a later fit of a different matrix.
         self.accuracies.clear();
         self.propensities.clear();
         self.fitted_prior = self.prior;
+        self.fitted_discounts.clear();
+        let warm = self.warm_start.take().filter(|w| w.len() == n);
         if n == 0 || m == 0 {
             return vec![self.prior; n];
         }
@@ -237,7 +249,7 @@ impl LabelModel for SnorkelModel {
         // Multi-start EM with the same warm starts and selection rule the
         // Panda model uses (minus the snorkel-seeded one, obviously):
         // baseline robustness should not be the thing E1 measures.
-        let inits: Vec<(&'static str, Vec<f64>)> = vec![
+        let mut inits: Vec<(&'static str, Vec<f64>)> = vec![
             (
                 "smoothed",
                 crate::smoothed_majority_init(matrix, self.prior),
@@ -251,6 +263,12 @@ impl LabelModel for SnorkelModel {
                 crate::smoothed_majority_init(matrix, (self.prior * 0.25).max(1e-3)),
             ),
         ];
+        // Interactive refits seed EM with the previous posterior; the
+        // selection rule below still decides, so a stale warm start loses
+        // to a better cold start instead of degrading the fit.
+        if let Some(w) = warm {
+            inits.push(("warm", w));
+        }
         let mut best: Option<(f64, Vec<f64>, Vec<f64>, f64)> = None;
         for (init_name, init) in inits {
             let (gamma, run_acc, run_pi, iters) =
@@ -281,7 +299,31 @@ impl LabelModel for SnorkelModel {
         self.accuracies = acc;
         self.propensities = prop;
         self.fitted_prior = pi;
+        self.fitted_discounts = discounts;
         gamma
+    }
+
+    fn set_warm_start(&mut self, previous: &[f64]) {
+        self.warm_start = Some(previous.to_vec());
+    }
+
+    /// Replicates the fitted E-step for one vote row: log-odds of the
+    /// prior plus each vote's discounted accuracy evidence (abstains
+    /// contribute nothing in the single-accuracy model).
+    fn posterior_for_votes(&self, votes: &[i8]) -> Option<f64> {
+        if self.accuracies.is_empty() || votes.len() != self.accuracies.len() {
+            return None;
+        }
+        let mut lo = logit(self.fitted_prior);
+        for (j, &v) in votes.iter().enumerate() {
+            let a = self.accuracies[j];
+            match v {
+                1.. => lo += self.fitted_discounts[j] * (a / (1.0 - a)).ln(),
+                0 => {}
+                _ => lo += self.fitted_discounts[j] * ((1.0 - a) / a).ln(),
+            }
+        }
+        Some(sigmoid(lo))
     }
 }
 
@@ -357,6 +399,41 @@ mod tests {
         let mut model = SnorkelModel::new().with_fixed_prior(0.3);
         let gamma = model.fit_predict(&p.matrix, None);
         assert_eq!(gamma, vec![0.3; 5]);
+    }
+
+    #[test]
+    fn adhoc_scoring_matches_fitted_posteriors() {
+        let p = plant(500, 0.3, &[PlantedLf::symmetric(0.85, 0.8); 3], 29);
+        let mut model = SnorkelModel::new();
+        let gamma = model.fit_predict(&p.matrix, None);
+        for (i, g) in gamma.iter().enumerate() {
+            let s = model.posterior_for_votes(&p.matrix.row(i)).unwrap();
+            assert_eq!(s, *g, "E-step replica on row {i}");
+        }
+        assert_eq!(model.posterior_for_votes(&[1i8]), None, "wrong arity");
+    }
+
+    #[test]
+    fn warm_start_is_an_extra_init_and_stable_at_the_fixed_point() {
+        let p = plant(400, 0.3, &[PlantedLf::symmetric(0.85, 0.8); 3], 31);
+        let mut model = SnorkelModel::new();
+        let cold = model.fit_predict(&p.matrix, None);
+        model.set_warm_start(&cold);
+        let warm = model.fit_predict(&p.matrix, None);
+        let drift = warm
+            .iter()
+            .zip(&cold)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(drift < 0.05, "refit stays near the fixed point: {drift}");
+    }
+
+    #[test]
+    fn majority_vote_scores_adhoc_rows() {
+        use crate::LabelModel;
+        let mv = MajorityVote::new(0.07);
+        assert_eq!(mv.posterior_for_votes(&[1, -1, 0, 1]), Some(2.0 / 3.0));
+        assert_eq!(mv.posterior_for_votes(&[0, 0]), Some(0.07));
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Wire DTOs and the JSON → domain-object mappings.
+//!
+//! Everything a client sends or receives lives here; the router only
+//! shuffles these types between [`crate::http`] and
+//! [`panda_session::PandaSession`]. LF specs are declarative JSON mapped
+//! onto the builder LFs of `panda-lf` — the serving equivalent of the
+//! notebook cells in the original demo (arbitrary closures stay a
+//! library-only feature; the wire cannot ship code).
+
+use panda_lf::{AttributeEqualityLf, BoxedLf, ExtractionLf, NumericToleranceLf, SimilarityLf};
+use panda_session::{DebugQuery, ModelChoice, SessionConfig, SessionSnapshot};
+use panda_table::{MatchSet, RecordId, Table, TablePair};
+use panda_text::{Measure, SimilarityConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// The body of every non-2xx response: `{"error":{"code","message"}}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiError {
+    /// The error payload.
+    pub error: ApiErrorDetail,
+}
+
+/// Machine-readable code plus human-readable message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApiErrorDetail {
+    /// Stable snake_case code (`bad_json`, `unknown_session`, …).
+    pub code: String,
+    /// What went wrong, for humans.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Build an error body.
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        ApiError {
+            error: ApiErrorDetail {
+                code: code.to_string(),
+                message: message.into(),
+            },
+        }
+    }
+
+    /// Serialize to the wire representation.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_else(|_| "{\"error\":{}}".to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// `POST /sessions` request: the two relations as CSV text, optional gold
+/// pairs, optional config overrides.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CreateSessionRequest {
+    /// Left table, CSV with a header row.
+    pub left_csv: String,
+    /// Right table, CSV with a header row.
+    pub right_csv: String,
+    /// Ground-truth match pairs `[[left_row, right_row], …]` (optional).
+    pub gold: Option<Vec<Vec<u32>>>,
+    /// Config overrides (optional; defaults mirror `SessionConfig`).
+    pub config: Option<SessionConfigDto>,
+}
+
+/// Wire form of [`SessionConfig`] — every field optional so clients send
+/// only what they override.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionConfigDto {
+    /// Master seed.
+    pub seed: Option<u64>,
+    /// Run auto-LF discovery at load.
+    pub auto_lfs: Option<bool>,
+    /// `"majority" | "snorkel" | "panda" | "panda-transitive"`.
+    pub model: Option<String>,
+    /// Cosine floor for blocking.
+    pub blocking_min_cosine: Option<f64>,
+    /// Per-record candidate cap for blocking (`0` = uncapped).
+    pub blocking_max_per_record: Option<u64>,
+}
+
+impl SessionConfigDto {
+    /// Resolve overrides against the library defaults.
+    pub fn resolve(&self) -> Result<SessionConfig, String> {
+        let mut cfg = SessionConfig::default();
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        if let Some(auto) = self.auto_lfs {
+            cfg.auto_lfs = auto;
+        }
+        if let Some(model) = &self.model {
+            cfg.model = match model.as_str() {
+                "majority" => ModelChoice::Majority,
+                "snorkel" => ModelChoice::Snorkel,
+                "panda" => ModelChoice::Panda,
+                "panda-transitive" => {
+                    ModelChoice::PandaTransitive(panda_model_transitivity_two_table())
+                }
+                other => return Err(format!("unknown model {other:?}")),
+            };
+        }
+        if let Some(c) = self.blocking_min_cosine {
+            cfg.blocking_min_cosine = c as f32;
+        }
+        if let Some(cap) = self.blocking_max_per_record {
+            cfg.blocking_max_per_record = if cap == 0 { None } else { Some(cap as usize) };
+        }
+        Ok(cfg)
+    }
+}
+
+fn panda_model_transitivity_two_table() -> panda_model::TransitivityMode {
+    panda_model::TransitivityMode::TwoTable
+}
+
+/// Build the [`TablePair`] for a create-session request.
+pub fn build_tables(req: &CreateSessionRequest) -> Result<TablePair, String> {
+    let left = Table::from_csv_str("left", &req.left_csv, true).map_err(|e| format!("{e:?}"))?;
+    let right = Table::from_csv_str("right", &req.right_csv, true).map_err(|e| format!("{e:?}"))?;
+    let mut tables = TablePair::new(left, right);
+    if let Some(gold) = &req.gold {
+        let mut set = MatchSet::new();
+        for pair in gold {
+            let [l, r] = pair.as_slice() else {
+                return Err(format!("gold pair must be [left, right], got {pair:?}"));
+            };
+            set.insert(RecordId(*l), RecordId(*r));
+        }
+        tables.gold = Some(set);
+    }
+    Ok(tables)
+}
+
+/// `POST /sessions` / `GET /sessions/{id}` / `POST /sessions/{id}/fit`
+/// response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionResponse {
+    /// Session handle for subsequent calls.
+    pub session: u64,
+    /// The current panel snapshot.
+    pub snapshot: SessionSnapshot,
+}
+
+// ---------------------------------------------------------------------------
+// Labeling functions
+// ---------------------------------------------------------------------------
+
+/// `POST /sessions/{id}/lfs` request: a declarative LF.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LfSpec {
+    /// Registry name. Re-using a name replaces that LF (same as editing a
+    /// notebook cell).
+    pub name: String,
+    /// `"similarity" | "attribute_equality" | "numeric_tolerance" |
+    /// "size_unmatch"`.
+    pub kind: String,
+    /// Attribute (same name on both sides).
+    pub attr: Option<String>,
+    /// Left-side attribute when the schemas differ.
+    pub left_attr: Option<String>,
+    /// Right-side attribute when the schemas differ.
+    pub right_attr: Option<String>,
+    /// similarity: score above this votes +1 (default 0.6).
+    pub upper: Option<f64>,
+    /// similarity: score below this votes −1 (default 0.1).
+    pub lower: Option<f64>,
+    /// similarity: measure name (`jaccard`, `cosine`, `dice`, `overlap`,
+    /// `lev`, `jw`, `me`); default `jaccard`.
+    pub measure: Option<String>,
+    /// attribute_equality: vote −1 on differing values (default true).
+    pub unmatch_on_differ: Option<bool>,
+    /// numeric_tolerance: relative difference below which the LF votes +1.
+    pub match_tol: Option<f64>,
+    /// numeric_tolerance: relative difference above which the LF votes −1.
+    pub unmatch_tol: Option<f64>,
+    /// size_unmatch: attributes to extract sizes from.
+    pub attrs: Option<Vec<String>>,
+}
+
+impl LfSpec {
+    /// Map the spec onto a concrete builder LF.
+    pub fn build(&self) -> Result<BoxedLf, String> {
+        if self.name.is_empty() {
+            return Err("LF name must be non-empty".into());
+        }
+        match self.kind.as_str() {
+            "similarity" => {
+                let attr = self.attr_or_sides()?;
+                let mut config = SimilarityConfig::default_jaccard();
+                if let Some(m) = &self.measure {
+                    config.measure = parse_measure(m)?;
+                }
+                let mut lf = SimilarityLf::new(
+                    &self.name,
+                    attr,
+                    config,
+                    self.upper.unwrap_or(0.6),
+                    self.lower.unwrap_or(0.1),
+                );
+                if let (Some(l), Some(r)) = (&self.left_attr, &self.right_attr) {
+                    lf = lf.with_attrs(l.clone(), r.clone());
+                }
+                Ok(Arc::new(lf))
+            }
+            "attribute_equality" => {
+                let attr = self.require_attr()?;
+                Ok(Arc::new(AttributeEqualityLf::new(
+                    &self.name,
+                    attr,
+                    self.unmatch_on_differ.unwrap_or(true),
+                )))
+            }
+            "numeric_tolerance" => {
+                let attr = self.require_attr()?;
+                let m = self.match_tol.unwrap_or(0.05);
+                let u = self.unmatch_tol.unwrap_or(0.5);
+                if m.is_nan() || u.is_nan() || m > u {
+                    return Err(format!("match_tol {m} must be ≤ unmatch_tol {u}"));
+                }
+                Ok(Arc::new(NumericToleranceLf::new(&self.name, attr, m, u)))
+            }
+            "size_unmatch" => {
+                let attrs = self
+                    .attrs
+                    .as_ref()
+                    .filter(|a| !a.is_empty())
+                    .ok_or("size_unmatch requires non-empty `attrs`")?;
+                let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                Ok(Arc::new(ExtractionLf::size_unmatch(&refs)))
+            }
+            other => Err(format!(
+                "unknown LF kind {other:?} (expected similarity, attribute_equality, \
+                 numeric_tolerance, or size_unmatch)"
+            )),
+        }
+    }
+
+    fn require_attr(&self) -> Result<&str, String> {
+        self.attr
+            .as_deref()
+            .ok_or_else(|| format!("LF kind {:?} requires `attr`", self.kind))
+    }
+
+    /// `attr`, or a placeholder when both sides are named explicitly.
+    fn attr_or_sides(&self) -> Result<&str, String> {
+        match (&self.attr, &self.left_attr, &self.right_attr) {
+            (Some(a), _, _) => Ok(a),
+            (None, Some(l), Some(_)) => Ok(l),
+            _ => Err("similarity requires `attr` or both `left_attr` and `right_attr`".into()),
+        }
+    }
+}
+
+fn parse_measure(name: &str) -> Result<Measure, String> {
+    Ok(match name {
+        "jaccard" => Measure::Jaccard,
+        "cosine" => Measure::Cosine,
+        "dice" => Measure::Dice,
+        "overlap" => Measure::Overlap,
+        "lev" | "levenshtein" => Measure::Levenshtein,
+        "jw" | "jaro_winkler" => Measure::JaroWinkler,
+        "me" | "monge_elkan" => Measure::MongeElkan,
+        other => return Err(format!("unknown measure {other:?}")),
+    })
+}
+
+/// `POST /sessions/{id}/lfs` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LfResponse {
+    /// Name the LF was registered under.
+    pub lf: String,
+    /// Registry size after the edit.
+    pub n_lfs: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Queries and matching
+// ---------------------------------------------------------------------------
+
+/// `POST /sessions/{id}/query` request — one click on an LF-stats cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// LF whose stats cell was clicked.
+    pub lf: String,
+    /// Which cell (`"LikelyFalsePositives"`, `"Conflicts"`, …).
+    pub query: DebugQuery,
+    /// Max rows to return (default 10).
+    pub limit: Option<u64>,
+}
+
+/// `POST /match` request: score ad-hoc row pairs against a fitted session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchRequest {
+    /// Session handle.
+    pub session: u64,
+    /// Row-index pairs `[[left_row, right_row], …]`.
+    pub pairs: Vec<Vec<u32>>,
+}
+
+/// `POST /match` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchResponse {
+    /// Match posterior per input pair, aligned with the request.
+    pub scores: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lf_spec_builds_each_kind() {
+        let sim = LfSpec {
+            name: "name_overlap".into(),
+            kind: "similarity".into(),
+            attr: Some("name".into()),
+            upper: Some(0.7),
+            measure: Some("cosine".into()),
+            ..Default::default()
+        };
+        assert_eq!(sim.build().unwrap().name(), "name_overlap");
+
+        let eq = LfSpec {
+            name: "phone_eq".into(),
+            kind: "attribute_equality".into(),
+            attr: Some("phone".into()),
+            ..Default::default()
+        };
+        assert_eq!(eq.build().unwrap().name(), "phone_eq");
+
+        let num = LfSpec {
+            name: "price_tol".into(),
+            kind: "numeric_tolerance".into(),
+            attr: Some("price".into()),
+            ..Default::default()
+        };
+        assert_eq!(num.build().unwrap().name(), "price_tol");
+
+        let size = LfSpec {
+            name: "ignored".into(),
+            kind: "size_unmatch".into(),
+            attrs: Some(vec!["name".into()]),
+            ..Default::default()
+        };
+        assert!(size.build().is_ok());
+    }
+
+    #[test]
+    fn lf_spec_rejects_bad_input() {
+        let bad_kind = LfSpec {
+            name: "x".into(),
+            kind: "python".into(),
+            ..Default::default()
+        };
+        let Err(msg) = bad_kind.build() else {
+            panic!("expected error");
+        };
+        assert!(msg.contains("unknown LF kind"));
+
+        let no_attr = LfSpec {
+            name: "x".into(),
+            kind: "similarity".into(),
+            ..Default::default()
+        };
+        assert!(no_attr.build().is_err());
+
+        let inverted = LfSpec {
+            name: "x".into(),
+            kind: "numeric_tolerance".into(),
+            attr: Some("price".into()),
+            match_tol: Some(0.9),
+            unmatch_tol: Some(0.1),
+            ..Default::default()
+        };
+        assert!(inverted.build().is_err());
+    }
+
+    #[test]
+    fn config_dto_resolves_overrides() {
+        let dto = SessionConfigDto {
+            seed: Some(7),
+            auto_lfs: Some(false),
+            model: Some("majority".into()),
+            blocking_max_per_record: Some(0),
+            ..Default::default()
+        };
+        let cfg = dto.resolve().unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.auto_lfs);
+        assert!(matches!(cfg.model, ModelChoice::Majority));
+        assert_eq!(cfg.blocking_max_per_record, None);
+        assert!(SessionConfigDto {
+            model: Some("gpt".into()),
+            ..Default::default()
+        }
+        .resolve()
+        .is_err());
+    }
+
+    #[test]
+    fn request_dtos_roundtrip_json() {
+        let req: CreateSessionRequest = serde_json::from_str(
+            r#"{"left_csv":"id,name\n1,a","right_csv":"id,name\n1,b","gold":[[0,0]]}"#,
+        )
+        .unwrap();
+        assert!(req.config.is_none());
+        let tables = build_tables(&req).unwrap();
+        assert!(tables
+            .gold
+            .unwrap()
+            .contains(&panda_table::CandidatePair::new(0, 0)));
+
+        let q: QueryRequest =
+            serde_json::from_str(r#"{"lf":"name_overlap","query":"Conflicts"}"#).unwrap();
+        assert!(matches!(q.query, DebugQuery::Conflicts));
+
+        let err = ApiError::new("bad_json", "oops").to_json();
+        assert!(err.contains("\"code\":\"bad_json\""));
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal HTTP/1.1 wire handling on blocking `std::net` streams.
+//!
+//! Deliberately small: one request per connection (`Connection: close` on
+//! every response, which also makes graceful drain trivial), no chunked
+//! transfer encoding, no keep-alive, headers capped at 16 KiB and bodies
+//! at a configurable limit. That subset is all `curl`, load generators,
+//! and browsers need for a JSON API.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers. Anything larger is malformed for
+/// this API (requests carry data in the body, not the headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path without query string (`/sessions/3/lfs`).
+    pub path: String,
+    /// Raw body bytes (UTF-8 JSON for every route that takes one).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Connection closed (or timed out) before a full head arrived.
+    Disconnected,
+    /// Syntactically broken request (or an unsupported framing such as
+    /// `Transfer-Encoding: chunked`) — answer 400.
+    Malformed(String),
+    /// Declared body exceeds the configured cap — answer 413.
+    TooLarge { limit: usize },
+}
+
+/// Read and parse one request from `stream`. `max_body` bounds the
+/// accepted `Content-Length`.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    // Read until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(ReadError::Malformed("request head exceeds 16KiB".into()));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Disconnected),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ReadError::Disconnected),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ReadError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported version {version}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    // Headers: we only care about framing.
+    let mut content_length: usize = 0;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Malformed(format!("bad Content-Length {value:?}")))?;
+            }
+            "transfer-encoding" => {
+                return Err(ReadError::Malformed(
+                    "Transfer-Encoding is not supported; send Content-Length".into(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body {
+        return Err(ReadError::TooLarge { limit: max_body });
+    }
+
+    // Body: whatever arrived past the head plus the remainder.
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ReadError::Disconnected),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(ReadError::Disconnected),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// A response ready to serialize. Body is always JSON.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// Serialize onto the wire. Errors are ignored — the peer may already
+    /// be gone, and there is nothing useful to do about it.
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len()
+        );
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(self.body.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
+/// Politely close after responding: shut down the write side, then drain
+/// whatever request bytes were never read. Closing with unread data in
+/// the receive buffer makes the kernel send RST, which discards the
+/// response we just wrote — exactly the error paths (413, shed 503) where
+/// the client most needs to see the status.
+pub fn drain_and_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut sink = [0u8; 4096];
+    // Bounded: a peer that keeps streaming gets cut off after ~1 MiB.
+    for _ in 0..256 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Reason phrase for every status the API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Feed raw bytes through a real socket pair and parse.
+    fn roundtrip(raw: &[u8]) -> Result<Request, ReadError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        drop(client); // EOF so short reads terminate
+        let (mut server_side, _) = listener.accept().unwrap();
+        read_request(&mut server_side, 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn strips_query_string_and_uppercases_method() {
+        let req = roundtrip(b"get /metrics?pretty=1 HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_body() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        match roundtrip(raw) {
+            Err(ReadError::TooLarge { limit }) => assert_eq!(limit, 1024),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_chunked_and_garbage() {
+        assert!(matches!(
+            roundtrip(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            roundtrip(b"NONSENSE\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(roundtrip(b""), Err(ReadError::Disconnected)));
+    }
+
+    #[test]
+    fn response_has_framing_headers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        Response::json(422, "{\"x\":1}").write_to(&mut server_side);
+        drop(server_side);
+        let mut got = String::new();
+        let mut client = client;
+        use std::io::Read;
+        client.read_to_string(&mut got).unwrap();
+        assert!(got.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
+        assert!(got.contains("Content-Length: 7\r\n"));
+        assert!(got.contains("Connection: close\r\n"));
+        assert!(got.ends_with("{\"x\":1}"));
+    }
+}

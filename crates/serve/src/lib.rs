@@ -1,0 +1,48 @@
+//! The Panda serving layer: the IDE loop over HTTP.
+//!
+//! The original demo serves its Vue front-end from a Flask process; this
+//! crate is that process's Rust equivalent — a **std-only** HTTP/1.1
+//! server (no async runtime, no HTTP dependency) exposing every session
+//! interaction as a JSON endpoint:
+//!
+//! | Route | Session method |
+//! |---|---|
+//! | `POST /sessions` | [`panda_session::PandaSession::load`] |
+//! | `POST /sessions/{id}/lfs` | [`panda_session::PandaSession::upsert_lf_incremental`] |
+//! | `DELETE /sessions/{id}/lfs/{name}` | [`panda_session::PandaSession::remove_lf_incremental`] |
+//! | `POST /sessions/{id}/fit` | [`panda_session::PandaSession::fit`] (warm-started) |
+//! | `POST /sessions/{id}/query` | [`panda_session::PandaSession::debug_pairs`] |
+//! | `POST /match` | [`panda_session::PandaSession::score_pair`] |
+//! | `GET /metrics` | [`panda_obs::snapshot`] |
+//!
+//! LF edits are **incremental**: adding an LF computes exactly one new
+//! label-matrix column ([`panda_lf::LabelMatrix::add_column`]) instead of
+//! re-applying every LF, and a refit warm-starts EM from the previous
+//! posterior. The server therefore runs the same code as the offline
+//! session — wire results are bit-identical to library results (proved by
+//! `tests/wire_parity.rs`).
+//!
+//! Robustness: fixed worker pool (sized like [`panda_exec::worker_count`]),
+//! bounded accept queue with 503 shedding, per-connection read/write
+//! timeouts, a request-body cap (413), structured JSON errors, and
+//! graceful drain on `POST /shutdown` or SIGTERM.
+//!
+//! ```no_run
+//! let handle = panda_serve::Server::start(panda_serve::ServerConfig {
+//!     addr: "127.0.0.1:7700".to_string(),
+//!     ..Default::default()
+//! })
+//! .unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.join(); // returns after /shutdown or SIGTERM
+//! ```
+
+pub mod api;
+pub mod http;
+pub mod router;
+pub mod server;
+pub mod signal;
+pub mod state;
+
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::AppState;

@@ -1,0 +1,462 @@
+//! Request dispatch: path + method → session call → JSON response.
+//!
+//! Every request runs under a `serve.request` span and emits one
+//! `serve.request` journal event (route pattern, method, status), so
+//! `panda report` renders server traffic alongside session telemetry.
+
+use crate::api::{
+    ApiError, CreateSessionRequest, LfResponse, LfSpec, MatchRequest, MatchResponse, QueryRequest,
+    SessionResponse,
+};
+use crate::http::{Request, Response};
+use crate::state::AppState;
+use panda_session::PandaSession;
+use panda_table::CandidatePair;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// Handle one parsed request against the shared state.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    let _span = panda_obs::span("serve.request");
+    let (route, resp) = dispatch(state, req);
+    panda_obs::counter_add("serve.requests", 1);
+    panda_obs::counter_add(status_class_counter(resp.status), 1);
+    if panda_obs::journal_enabled() {
+        panda_obs::event("serve.request")
+            .field("method", req.method.as_str())
+            .field("route", route)
+            .field("status", i64::from(resp.status))
+            .emit();
+    }
+    resp
+}
+
+/// Route and handle; returns the route *pattern* (for telemetry — never
+/// the concrete path, which would explode metric cardinality).
+fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = req.method.as_str();
+    match segments.as_slice() {
+        ["healthz"] => match method {
+            "GET" => ("/healthz", Response::json(200, r#"{"status":"ok"}"#)),
+            _ => ("/healthz", method_not_allowed("GET")),
+        },
+        ["metrics"] => match method {
+            "GET" => (
+                "/metrics",
+                Response::json(200, panda_obs::snapshot().to_json()),
+            ),
+            _ => ("/metrics", method_not_allowed("GET")),
+        },
+        ["shutdown"] => match method {
+            "POST" => {
+                state.request_shutdown();
+                ("/shutdown", Response::json(200, r#"{"status":"draining"}"#))
+            }
+            _ => ("/shutdown", method_not_allowed("POST")),
+        },
+        ["match"] => match method {
+            "POST" => ("/match", score_pairs(state, req)),
+            _ => ("/match", method_not_allowed("POST")),
+        },
+        ["sessions"] => match method {
+            "POST" => ("/sessions", create_session(state, req)),
+            _ => ("/sessions", method_not_allowed("POST")),
+        },
+        ["sessions", id] => {
+            let route = "/sessions/{id}";
+            match method {
+                "GET" => (route, with_session(state, id, session_body)),
+                "DELETE" => (route, delete_session(state, id)),
+                _ => (route, method_not_allowed("GET, DELETE")),
+            }
+        }
+        ["sessions", id, "fit"] => {
+            let route = "/sessions/{id}/fit";
+            match method {
+                "POST" => (
+                    route,
+                    with_session(state, id, |id, s| {
+                        s.fit();
+                        session_body(id, s)
+                    }),
+                ),
+                _ => (route, method_not_allowed("POST")),
+            }
+        }
+        ["sessions", id, "lfs"] => {
+            let route = "/sessions/{id}/lfs";
+            match method {
+                "POST" => (route, add_lf(state, id, req)),
+                _ => (route, method_not_allowed("POST")),
+            }
+        }
+        ["sessions", id, "lfs", name] => {
+            let route = "/sessions/{id}/lfs/{name}";
+            match method {
+                "DELETE" => (route, remove_lf(state, id, name)),
+                _ => (route, method_not_allowed("DELETE")),
+            }
+        }
+        ["sessions", id, "query"] => {
+            let route = "/sessions/{id}/query";
+            match method {
+                "POST" => (route, run_query(state, id, req)),
+                _ => (route, method_not_allowed("POST")),
+            }
+        }
+        _ => (
+            "<unmatched>",
+            error(404, "not_found", format!("no route for {}", req.path)),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+fn create_session(state: &AppState, req: &Request) -> Response {
+    let body: CreateSessionRequest = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let config = match body.config.clone().unwrap_or_default().resolve() {
+        Ok(c) => c,
+        Err(msg) => return error(400, "bad_config", msg),
+    };
+    let tables = match crate::api::build_tables(&body) {
+        Ok(t) => t,
+        Err(msg) => return error(400, "bad_tables", msg),
+    };
+    let session = PandaSession::load(tables, config);
+    if session.candidates().is_empty() {
+        // Same contract as `panda match` on the CLI: zero candidates is a
+        // client problem (blocking found nothing), never a silent success.
+        return error(
+            422,
+            "no_candidates",
+            "blocking produced zero candidate pairs; loosen blocking_min_cosine \
+             or check the input tables",
+        );
+    }
+    let id = state.insert(session);
+    let guard = state.get(id).expect("just inserted");
+    let session = guard.lock().unwrap_or_else(|e| e.into_inner());
+    json_200(&SessionResponse {
+        session: id,
+        snapshot: session.snapshot(),
+    })
+}
+
+fn delete_session(state: &AppState, id: &str) -> Response {
+    let Some(id) = parse_id(id) else {
+        return error(404, "unknown_session", format!("bad session id {id:?}"));
+    };
+    if state.remove(id) {
+        Response::json(200, r#"{"status":"deleted"}"#)
+    } else {
+        error(404, "unknown_session", format!("no session {id}"))
+    }
+}
+
+fn add_lf(state: &AppState, id: &str, req: &Request) -> Response {
+    let spec: LfSpec = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let lf = match spec.build() {
+        Ok(lf) => lf,
+        Err(msg) => return error(400, "bad_lf", msg),
+    };
+    let name = lf.name().to_string();
+    with_session(state, id, move |_, s| {
+        match s.upsert_lf_incremental(lf) {
+            // An LF that panics on some pair is the user's bug, reported
+            // cleanly; the session has already rolled the edit back.
+            Err(msg) => error(422, "lf_failed", msg),
+            Ok(()) => json_200(&LfResponse {
+                lf: name,
+                n_lfs: s.registry().lfs().len(),
+            }),
+        }
+    })
+}
+
+fn remove_lf(state: &AppState, id: &str, name: &str) -> Response {
+    let name = name.to_string();
+    with_session(state, id, move |_, s| {
+        if s.remove_lf_incremental(&name) {
+            Response::json(200, r#"{"status":"removed"}"#)
+        } else {
+            error(404, "unknown_lf", format!("no LF named {name:?}"))
+        }
+    })
+}
+
+fn run_query(state: &AppState, id: &str, req: &Request) -> Response {
+    let body: QueryRequest = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    with_session(state, id, move |_, s| {
+        if s.registry().get(&body.lf).is_none() {
+            return error(404, "unknown_lf", format!("no LF named {:?}", body.lf));
+        }
+        let limit = body.limit.unwrap_or(10) as usize;
+        let rows = s.debug_pairs(&body.lf, body.query, limit);
+        json_200(&QueryRows { rows })
+    })
+}
+
+/// `POST /sessions/{id}/query` response wrapper.
+#[derive(Serialize, Deserialize)]
+struct QueryRows {
+    rows: Vec<panda_session::DataViewerRow>,
+}
+
+fn score_pairs(state: &AppState, req: &Request) -> Response {
+    let body: MatchRequest = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    if body.pairs.is_empty() {
+        return error(422, "no_pairs", "`pairs` must be non-empty");
+    }
+    let Some(guard) = state.get(body.session) else {
+        return error(
+            404,
+            "unknown_session",
+            format!("no session {}", body.session),
+        );
+    };
+    let session = guard.lock().unwrap_or_else(|e| e.into_inner());
+    let mut scores = Vec::with_capacity(body.pairs.len());
+    for pair in &body.pairs {
+        let [l, r] = pair.as_slice() else {
+            return error(
+                400,
+                "bad_pair",
+                format!("each pair must be [left_row, right_row], got {pair:?}"),
+            );
+        };
+        match session.score_pair(CandidatePair::new(*l, *r)) {
+            Ok(score) => scores.push(score),
+            Err(msg) => return error(422, "match_failed", msg),
+        }
+    }
+    json_200(&MatchResponse { scores })
+}
+
+// ---------------------------------------------------------------------------
+// Plumbing
+// ---------------------------------------------------------------------------
+
+/// Look up a session and run `f` under its lock; 404 on a bad handle.
+fn with_session(
+    state: &AppState,
+    id: &str,
+    f: impl FnOnce(u64, &mut PandaSession) -> Response,
+) -> Response {
+    let Some(id) = parse_id(id) else {
+        return error(404, "unknown_session", format!("bad session id {id:?}"));
+    };
+    let Some(guard) = state.get(id) else {
+        return error(404, "unknown_session", format!("no session {id}"));
+    };
+    let guard: Arc<Mutex<PandaSession>> = guard;
+    let mut session = guard.lock().unwrap_or_else(|e| e.into_inner());
+    f(id, &mut session)
+}
+
+/// The standard session body: handle + fresh snapshot.
+fn session_body(id: u64, session: &mut PandaSession) -> Response {
+    json_200(&SessionResponse {
+        session: id,
+        snapshot: session.snapshot(),
+    })
+}
+
+fn parse_id(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+fn parse_body<T: Deserialize>(req: &Request) -> Result<T, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| error(400, "bad_json", "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| error(400, "bad_json", e.0))
+}
+
+fn json_200<T: Serialize>(body: &T) -> Response {
+    match serde_json::to_string(body) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error(500, "encode_failed", e.0),
+    }
+}
+
+fn error(status: u16, code: &str, message: impl Into<String>) -> Response {
+    Response::json(status, ApiError::new(code, message).to_json())
+}
+
+fn method_not_allowed(allowed: &str) -> Response {
+    error(
+        405,
+        "method_not_allowed",
+        format!("allowed methods: {allowed}"),
+    )
+}
+
+fn status_class_counter(status: u16) -> &'static str {
+    match status / 100 {
+        2 => "serve.status_2xx",
+        4 => "serve.status_4xx",
+        _ => "serve.status_5xx",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    const LEFT_CSV: &str =
+        "id,name,price\n1,apple iphone 12,799\n2,galaxy s21 ultra,1199\n3,pixel 5 phone,699";
+    const RIGHT_CSV: &str = "id,name,price\n1,iphone 12 apple,789\n2,samsung galaxy s21 ultra,1199\n3,google pixel 5,705";
+
+    fn create_body() -> String {
+        serde_json::to_string(&crate::api::CreateSessionRequest {
+            left_csv: LEFT_CSV.into(),
+            right_csv: RIGHT_CSV.into(),
+            gold: Some(vec![vec![0, 0], vec![1, 1], vec![2, 2]]),
+            config: Some(crate::api::SessionConfigDto {
+                auto_lfs: Some(false),
+                ..Default::default()
+            }),
+        })
+        .unwrap()
+    }
+
+    fn session_id(resp: &Response) -> u64 {
+        let v = serde_json::parse_value(&resp.body).unwrap();
+        match v.get_field("session") {
+            Some(serde::Value::UInt(u)) => *u,
+            Some(serde::Value::Int(i)) => *i as u64,
+            other => panic!("no session id in {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_ide_loop_over_the_router() {
+        let state = AppState::new();
+        let resp = handle(&state, &req("POST", "/sessions", &create_body()));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let id = session_id(&resp);
+
+        // Add an LF incrementally, refit, query, match.
+        let lf =
+            r#"{"name":"name_overlap","kind":"similarity","attr":"name","upper":0.3,"lower":0.05}"#;
+        let resp = handle(&state, &req("POST", &format!("/sessions/{id}/lfs"), lf));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"n_lfs\":1"));
+
+        let resp = handle(&state, &req("POST", &format!("/sessions/{id}/fit"), ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+
+        let q = r#"{"lf":"name_overlap","query":"VotedMatch","limit":5}"#;
+        let resp = handle(&state, &req("POST", &format!("/sessions/{id}/query"), q));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"rows\""));
+
+        let m = format!(r#"{{"session":{id},"pairs":[[0,0],[1,1]]}}"#);
+        let resp = handle(&state, &req("POST", "/match", &m));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"scores\""));
+
+        let resp = handle(
+            &state,
+            &req("DELETE", &format!("/sessions/{id}/lfs/name_overlap"), ""),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let resp = handle(&state, &req("DELETE", &format!("/sessions/{id}"), ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn error_paths_are_structured() {
+        let state = AppState::new();
+        // Malformed JSON → 400 with a code.
+        let resp = handle(&state, &req("POST", "/sessions", "{nope"));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"code\":\"bad_json\""), "{}", resp.body);
+        // Unknown route → 404, wrong method → 405.
+        assert_eq!(handle(&state, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&state, &req("DELETE", "/healthz", "")).status, 405);
+        // Unknown session → 404.
+        let resp = handle(&state, &req("POST", "/sessions/77/fit", ""));
+        assert_eq!(resp.status, 404);
+        assert!(resp.body.contains("unknown_session"));
+        // Empty pairs on /match → 422 (the zero-candidate contract).
+        let resp = handle(
+            &state,
+            &req("POST", "/match", r#"{"session":1,"pairs":[]}"#),
+        );
+        assert_eq!(resp.status, 422);
+        assert!(resp.body.contains("no_pairs"));
+        // Match before any fit → 422 with the session's message.
+        let resp = handle(&state, &req("POST", "/sessions", &create_body()));
+        let id = session_id(&resp);
+        let m = format!(r#"{{"session":{id},"pairs":[[0,0]]}}"#);
+        // Session was created with auto_lfs=false → no LFs → fit happened at
+        // load with an empty matrix, but score_pair needs a fitted model,
+        // which load provides; force the no-fit error by checking a bad row
+        // index instead.
+        let bad = format!(r#"{{"session":{id},"pairs":[[99,0]]}}"#);
+        let resp = handle(&state, &req("POST", "/match", &bad));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        let resp = handle(&state, &req("POST", "/match", &m));
+        // Either a clean score or a clean error is acceptable here; what
+        // matters is that it is never a panic or an empty 200.
+        assert!(resp.status == 200 || resp.status == 422);
+    }
+
+    #[test]
+    fn zero_candidates_is_a_422() {
+        let state = AppState::new();
+        // Disjoint vocabularies → blocking finds nothing.
+        let body = serde_json::to_string(&crate::api::CreateSessionRequest {
+            left_csv: "id,name\n1,aaaa bbbb".into(),
+            right_csv: "id,name\n1,zzzz yyyy".into(),
+            gold: None,
+            config: Some(crate::api::SessionConfigDto {
+                auto_lfs: Some(false),
+                blocking_min_cosine: Some(0.99),
+                ..Default::default()
+            }),
+        })
+        .unwrap();
+        let resp = handle(&state, &req("POST", "/sessions", &body));
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("no_candidates"));
+        assert!(state.is_empty(), "failed load leaves no session behind");
+    }
+
+    #[test]
+    fn health_metrics_and_shutdown() {
+        let state = AppState::new();
+        assert_eq!(handle(&state, &req("GET", "/healthz", "")).status, 200);
+        let resp = handle(&state, &req("GET", "/metrics", ""));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.starts_with('{'));
+        let resp = handle(&state, &req("POST", "/shutdown", ""));
+        assert_eq!(resp.status, 200);
+        assert!(state.shutdown_requested());
+    }
+}

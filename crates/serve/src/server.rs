@@ -1,0 +1,329 @@
+//! The server core: accept loop, bounded queue, fixed worker pool,
+//! graceful drain.
+//!
+//! Threading model (std-only, no async runtime):
+//!
+//! * **accept thread** — non-blocking accept; pushes connections onto a
+//!   bounded queue, or answers 503 immediately when the queue is full
+//!   (load shedding beats unbounded buffering). Polls the shutdown latch
+//!   between accepts.
+//! * **N workers** — pop a connection, apply read/write timeouts, parse,
+//!   route (panics become a 500 via `catch_unwind`), respond, close. N
+//!   defaults to [`panda_exec::worker_count`], so `PANDA_WORKERS` governs
+//!   serving parallelism exactly like batch parallelism.
+//! * **drain** — `/shutdown` or SIGTERM flips the latch; the accept
+//!   thread stops, workers finish the queue (in-flight requests complete)
+//!   and exit; [`ServerHandle::join`] then returns.
+
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::router;
+use crate::state::AppState;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Serving knobs. `Default` is sensible for tests and local use.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7700` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker threads; `0` means [`panda_exec::worker_count`].
+    pub workers: usize,
+    /// Request body cap in bytes (larger → 413).
+    pub max_body: usize,
+    /// Accepted-but-unserved connection cap (beyond → 503).
+    pub queue_depth: usize,
+    /// Per-connection read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            max_body: 8 * 1024 * 1024,
+            queue_depth: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The server. Construct via [`Server::start`].
+pub struct Server;
+
+type ConnQueue = Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>;
+
+impl Server {
+    /// Bind, spawn the pool, and return a handle. Serving proceeds on
+    /// background threads — the caller keeps the thread it is on.
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new());
+        let queue: ConnQueue = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+        let n_workers = if config.workers == 0 {
+            panda_exec::worker_count()
+        } else {
+            config.workers
+        };
+        panda_obs::gauge_set("serve.workers", n_workers as f64);
+
+        let mut workers = Vec::with_capacity(n_workers);
+        for i in 0..n_workers {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            let config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("panda-serve-{i}"))
+                    .spawn(move || worker_loop(&state, &queue, &config))
+                    .expect("spawn worker"),
+            );
+        }
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let queue = Arc::clone(&queue);
+            let depth = config.queue_depth;
+            std::thread::Builder::new()
+                .name("panda-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &state, &queue, depth))
+                .expect("spawn accept thread")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &AppState, queue: &ConnQueue, depth: usize) {
+    let (lock, cvar) = &**queue;
+    while !state.shutdown_requested() {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+                if q.len() >= depth {
+                    // Shed: answer from here rather than queueing — a full
+                    // queue means the workers are already saturated.
+                    drop(q);
+                    panda_obs::counter_add("serve.shed_503", 1);
+                    Response::json(
+                        503,
+                        crate::api::ApiError::new("overloaded", "request queue is full").to_json(),
+                    )
+                    .write_to(&mut stream);
+                    crate::http::drain_and_close(&mut stream);
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    cvar.notify_one();
+                }
+            }
+            // 1ms poll: the sleep bounds both accept latency (it is the
+            // p50 floor for tiny requests) and shutdown-notice latency,
+            // at ~1k wakeups/s of idle cost on one thread.
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Wake every worker so they can observe the latch and drain out.
+    cvar.notify_all();
+}
+
+fn worker_loop(state: &AppState, queue: &ConnQueue, config: &ServerConfig) {
+    let (lock, cvar) = &**queue;
+    loop {
+        let stream = {
+            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if state.shutdown_requested() {
+                    break None;
+                }
+                // Timed wait: the accept thread's final notify_all can race
+                // a worker that is not yet waiting.
+                let (guard, _) = cvar
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(mut stream) = stream else {
+            return; // drained and shutting down
+        };
+        let _ = stream.set_read_timeout(Some(config.read_timeout));
+        let _ = stream.set_write_timeout(Some(config.write_timeout));
+        handle_connection(state, &mut stream, config.max_body);
+    }
+}
+
+/// One connection: parse, route, respond. All failure modes produce a
+/// response (or a silent close when the peer vanished mid-read).
+fn handle_connection(state: &AppState, stream: &mut TcpStream, max_body: usize) {
+    let request = match read_request(stream, max_body) {
+        Ok(r) => r,
+        Err(ReadError::Disconnected) => return,
+        Err(ReadError::Malformed(msg)) => {
+            error_response(400, "bad_request", &msg).write_to(stream);
+            crate::http::drain_and_close(stream);
+            return;
+        }
+        Err(ReadError::TooLarge { limit }) => {
+            error_response(
+                413,
+                "payload_too_large",
+                &format!("request body exceeds the {limit}-byte cap"),
+            )
+            .write_to(stream);
+            crate::http::drain_and_close(stream);
+            return;
+        }
+    };
+    let response = route_safely(state, &request);
+    response.write_to(stream);
+    crate::http::drain_and_close(stream);
+}
+
+/// Route with panic isolation: a handler bug answers 500 and the worker
+/// lives on.
+fn route_safely(state: &AppState, request: &Request) -> Response {
+    catch_unwind(AssertUnwindSafe(|| router::handle(state, request))).unwrap_or_else(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "handler panicked (non-string payload)".to_string()
+        };
+        panda_obs::counter_add("serve.handler_panics", 1);
+        error_response(500, "internal_error", &msg)
+    })
+}
+
+fn error_response(status: u16, code: &str, message: &str) -> Response {
+    Response::json(status, crate::api::ApiError::new(code, message).to_json())
+}
+
+/// A running server: its address, its shared state, and its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state (embedding servers may pre-register sessions).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Request a graceful drain (same effect as `POST /shutdown`).
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Block until the accept thread and every worker have exited. Call
+    /// after [`ServerHandle::shutdown`] (or let a client hit `/shutdown`).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
+        let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_health_and_drains_on_shutdown() {
+        let handle = Server::start(ServerConfig {
+            workers: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, r#"{"status":"ok"}"#);
+
+        // POST /shutdown over the wire, then join must return.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.contains("draining"));
+        handle.join();
+    }
+
+    #[test]
+    fn oversized_body_gets_413_and_garbage_gets_400() {
+        let handle = Server::start(ServerConfig {
+            workers: 1,
+            max_body: 64,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /sessions HTTP/1.1\r\nHost: t\r\nContent-Length: 9999\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
+        assert!(raw.contains("payload_too_large"));
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -1,0 +1,59 @@
+//! SIGTERM → graceful drain, without a libc crate.
+//!
+//! std already links the platform C library, so on Unix we can declare
+//! `signal(2)` ourselves and install a handler that flips one atomic —
+//! the only async-signal-safe thing a handler may do. The accept loop
+//! polls the flag alongside the `/shutdown` latch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Has SIGTERM (or SIGINT, when installed) been delivered?
+pub fn sigterm_received() -> bool {
+    SIGTERM.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulate signal delivery.
+#[doc(hidden)]
+pub fn raise_for_test() {
+    SIGTERM.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::SIGTERM;
+    use std::ffi::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM_NO: c_int = 15;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: c_int) {
+        SIGTERM.store(true, Ordering::SeqCst);
+    }
+
+    /// Route SIGTERM and SIGINT to the drain flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM_NO, on_signal as extern "C" fn(c_int) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(c_int) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No-op off Unix: `/shutdown` remains the only drain trigger.
+    pub fn install() {}
+}
+
+/// Install the termination handlers (call once, from the CLI entry point;
+/// tests and embedded servers use `/shutdown` instead).
+pub fn install_handlers() {
+    imp::install();
+}

@@ -1,0 +1,133 @@
+//! Shared server state: the session table and the shutdown latch.
+
+use panda_session::PandaSession;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Everything the worker threads share.
+///
+/// Sessions sit behind individual mutexes so requests against *different*
+/// sessions proceed in parallel; the outer map lock is held only for
+/// lookup/insert/remove. A poisoned session lock (an LF panicked while a
+/// worker held it) is recovered — the session rolls back failed edits
+/// itself, so its state stays coherent.
+pub struct AppState {
+    sessions: Mutex<HashMap<u64, Arc<Mutex<PandaSession>>>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl Default for AppState {
+    fn default() -> Self {
+        AppState {
+            sessions: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+}
+
+impl AppState {
+    /// Fresh state with no sessions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a session; returns its wire handle.
+    pub fn insert(&self, session: PandaSession) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::new(Mutex::new(session)));
+        panda_obs::gauge_set("serve.sessions.live", self.len() as f64);
+        id
+    }
+
+    /// Look up a session by handle.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<PandaSession>>> {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// Drop a session. Returns whether it existed.
+    pub fn remove(&self, id: u64) -> bool {
+        let existed = self
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id)
+            .is_some();
+        panda_obs::gauge_set("serve.sessions.live", self.len() as f64);
+        existed
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ask the server to stop accepting and drain.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Has shutdown been requested (by `/shutdown` or a signal)?
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || crate::signal::sigterm_received()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use panda_session::SessionConfig;
+    use panda_table::{Table, TablePair};
+
+    fn tiny_session() -> PandaSession {
+        let left = Table::from_csv_str("l", "id,name\n1,acme corp\n2,zeta llc", true).unwrap();
+        let right = Table::from_csv_str("r", "id,name\n1,acme corporation", true).unwrap();
+        PandaSession::load(
+            TablePair::new(left, right),
+            SessionConfig {
+                auto_lfs: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_lifecycle() {
+        let state = AppState::new();
+        assert!(state.is_empty());
+        let a = state.insert(tiny_session());
+        let b = state.insert(tiny_session());
+        assert_ne!(a, b);
+        assert_eq!(state.len(), 2);
+        assert!(state.get(a).is_some());
+        assert!(state.get(999).is_none());
+        assert!(state.remove(a));
+        assert!(!state.remove(a));
+        assert_eq!(state.len(), 1);
+    }
+
+    #[test]
+    fn shutdown_latch() {
+        let state = AppState::new();
+        assert!(!state.shutdown_requested());
+        state.request_shutdown();
+        assert!(state.shutdown_requested());
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared helpers for the serve integration tests: a tiny blocking HTTP
+//! client and a deterministic demo dataset.
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Issue one request; returns `(status, body)`.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("recv");
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+    (status, body)
+}
+
+/// A small product-matching task with overlapping vocabulary, enough rows
+/// for blocking to find candidates, and known gold pairs.
+pub fn demo_csvs() -> (String, String, Vec<Vec<u32>>) {
+    let brands = [
+        "acme", "zenith", "orion", "vertex", "nimbus", "quartz", "ember", "cobalt",
+    ];
+    let mut left = String::from("id,name,price\n");
+    let mut right = String::from("id,name,price\n");
+    let mut gold = Vec::new();
+    for (i, brand) in brands.iter().enumerate() {
+        left.push_str(&format!(
+            "{i},{brand} turbo widget model {i},{}\n",
+            100 + i * 10
+        ));
+        right.push_str(&format!(
+            "{i},{brand} widget turbo mk {i},{}\n",
+            101 + i * 10
+        ));
+        gold.push(vec![i as u32, i as u32]);
+    }
+    (left, right, gold)
+}

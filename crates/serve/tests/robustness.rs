@@ -1,0 +1,102 @@
+//! Wire-level robustness: structured errors, body caps, load shedding,
+//! and graceful drain — the behaviors a client can rely on under abuse.
+
+mod common;
+
+use panda_serve::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+#[test]
+fn malformed_json_and_unknown_routes_are_structured_errors() {
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let (status, body) = common::request(addr, "POST", "/sessions", "{not json");
+    assert_eq!(status, 400);
+    assert!(body.contains("\"code\":\"bad_json\""), "{body}");
+
+    let (status, body) = common::request(addr, "GET", "/no/such/route", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"code\":\"not_found\""), "{body}");
+
+    let (status, body) = common::request(addr, "DELETE", "/metrics", "");
+    assert_eq!(status, 405);
+    assert!(body.contains("\"code\":\"method_not_allowed\""), "{body}");
+
+    let (status, body) = common::request(addr, "POST", "/sessions/999/fit", "");
+    assert_eq!(status, 404);
+    assert!(body.contains("\"code\":\"unknown_session\""), "{body}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_bodies_get_413() {
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        max_body: 128,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let big = "x".repeat(4096);
+    let (status, body) = common::request(addr, "POST", "/sessions", &big);
+    assert_eq!(status, 413);
+    assert!(body.contains("\"code\":\"payload_too_large\""), "{body}");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn zero_depth_queue_sheds_with_503() {
+    // depth 0 makes every request shed — a deterministic probe of the
+    // overload path that normally needs saturated workers.
+    let handle = Server::start(ServerConfig {
+        workers: 1,
+        queue_depth: 0,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+    let (status, body) = common::request(addr, "GET", "/healthz", "");
+    assert_eq!(status, 503);
+    assert!(body.contains("\"code\":\"overloaded\""), "{body}");
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_drains_inflight_requests() {
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Open a connection and send only half the request, then trigger
+    // shutdown: the worker must still serve the straggler to completion.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    write!(slow, "GET /healthz HTTP/1.1\r\n").unwrap();
+    // Let the accept thread hand the straggler to a worker before the
+    // latch flips, so it is genuinely in flight at shutdown.
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    let (status, _) = common::request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+
+    write!(slow, "Host: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    slow.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 200"),
+        "in-flight request dropped during drain: {raw:?}"
+    );
+    handle.join();
+}

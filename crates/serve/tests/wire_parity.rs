@@ -1,0 +1,154 @@
+//! The tentpole guarantee: driving the IDE loop over HTTP produces
+//! results **bit-identical** to the same flow through the offline
+//! [`PandaSession`] — the server adds transport, not semantics.
+
+mod common;
+
+use panda_serve::api::{
+    CreateSessionRequest, LfSpec, MatchRequest, MatchResponse, SessionConfigDto, SessionResponse,
+};
+use panda_serve::{Server, ServerConfig};
+use panda_session::{DebugQuery, PandaSession};
+use panda_table::CandidatePair;
+
+fn create_request() -> CreateSessionRequest {
+    let (left_csv, right_csv, gold) = common::demo_csvs();
+    CreateSessionRequest {
+        left_csv,
+        right_csv,
+        gold: Some(gold),
+        config: Some(SessionConfigDto {
+            auto_lfs: Some(false),
+            ..Default::default()
+        }),
+    }
+}
+
+fn lf_specs() -> Vec<LfSpec> {
+    vec![
+        LfSpec {
+            name: "name_overlap".into(),
+            kind: "similarity".into(),
+            attr: Some("name".into()),
+            upper: Some(0.5),
+            lower: Some(0.1),
+            ..Default::default()
+        },
+        LfSpec {
+            name: "price_tol".into(),
+            kind: "numeric_tolerance".into(),
+            attr: Some("price".into()),
+            match_tol: Some(0.05),
+            unmatch_tol: Some(0.5),
+            ..Default::default()
+        },
+    ]
+}
+
+#[test]
+fn server_flow_is_bit_identical_to_offline_session() {
+    let create = create_request();
+    let probe_pairs: Vec<Vec<u32>> = vec![vec![0, 0], vec![1, 1], vec![2, 5], vec![7, 7]];
+
+    // ---- Offline reference: the same flow through the library. ----
+    let tables = panda_serve::api::build_tables(&create).unwrap();
+    let config = create.config.clone().unwrap().resolve().unwrap();
+    let mut offline = PandaSession::load(tables, config);
+    for spec in lf_specs() {
+        offline
+            .upsert_lf_incremental(spec.build().unwrap())
+            .unwrap();
+    }
+    offline.fit();
+    let offline_rows = offline.debug_pairs("name_overlap", DebugQuery::VotedMatch, 10);
+    let offline_scores: Vec<f64> = probe_pairs
+        .iter()
+        .map(|p| offline.score_pair(CandidatePair::new(p[0], p[1])).unwrap())
+        .collect();
+
+    // ---- The same flow over the wire. ----
+    let handle = Server::start(ServerConfig {
+        workers: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let (status, body) = common::request(
+        addr,
+        "POST",
+        "/sessions",
+        &serde_json::to_string(&create).unwrap(),
+    );
+    assert_eq!(status, 200, "{body}");
+    let created: SessionResponse = serde_json::from_str(&body).unwrap();
+    let id = created.session;
+
+    for spec in lf_specs() {
+        let (status, body) = common::request(
+            addr,
+            "POST",
+            &format!("/sessions/{id}/lfs"),
+            &serde_json::to_string(&spec).unwrap(),
+        );
+        assert_eq!(status, 200, "{body}");
+    }
+
+    let (status, fit_body) = common::request(addr, "POST", &format!("/sessions/{id}/fit"), "");
+    assert_eq!(status, 200, "{fit_body}");
+
+    // Snapshot parity: EM stats, every LF stats row, event count — the
+    // whole panel state serializes identically.
+    let expected = serde_json::to_string(&SessionResponse {
+        session: id,
+        snapshot: offline.snapshot(),
+    })
+    .unwrap();
+    assert_eq!(fit_body, expected, "server snapshot != offline snapshot");
+
+    // Query parity: same rows, same order, same posteriors.
+    let (status, q_body) = common::request(
+        addr,
+        "POST",
+        &format!("/sessions/{id}/query"),
+        r#"{"lf":"name_overlap","query":"VotedMatch","limit":10}"#,
+    );
+    assert_eq!(status, 200, "{q_body}");
+    let expected_rows = format!(
+        "{{\"rows\":{}}}",
+        serde_json::to_string(&offline_rows).unwrap()
+    );
+    assert_eq!(q_body, expected_rows, "server query != offline debug_pairs");
+
+    // Match parity: ad-hoc scores are the exact same f64s.
+    let (status, m_body) = common::request(
+        addr,
+        "POST",
+        "/match",
+        &serde_json::to_string(&MatchRequest {
+            session: id,
+            pairs: probe_pairs,
+        })
+        .unwrap(),
+    );
+    assert_eq!(status, 200, "{m_body}");
+    let scores: MatchResponse = serde_json::from_str(&m_body).unwrap();
+    assert_eq!(scores.scores, offline_scores, "server scores != offline");
+
+    // A pair that is also a candidate scores its fitted posterior exactly.
+    let cand0 = offline.candidates().get(0).unwrap();
+    let (_, one) = common::request(
+        addr,
+        "POST",
+        "/match",
+        &format!(
+            r#"{{"session":{id},"pairs":[[{},{}]]}}"#,
+            cand0.left.0, cand0.right.0
+        ),
+    );
+    let one: MatchResponse = serde_json::from_str(&one).unwrap();
+    assert_eq!(one.scores[0], offline.posteriors()[0]);
+
+    handle.shutdown();
+    handle.join();
+}

@@ -111,6 +111,10 @@ pub struct PandaSession {
     user_labels: HashMap<usize, bool>,
     log: EventLog,
     sample_counter: u64,
+    /// The model of the last refit, kept so ad-hoc pairs can be scored
+    /// against its fitted parameters without refitting (`None` until the
+    /// first fit).
+    fitted: Option<Box<dyn LabelModel>>,
 }
 
 impl PandaSession {
@@ -139,6 +143,7 @@ impl PandaSession {
             user_labels: HashMap::new(),
             log: EventLog::default(),
             sample_counter: 0,
+            fitted: None,
             config,
             candidates,
             tables,
@@ -166,8 +171,11 @@ impl PandaSession {
             for g in generated {
                 session.registry.upsert(Arc::new(g.lf));
             }
-            session.apply();
         }
+        // Always apply + fit, even with an empty registry: the matrix must
+        // know its row count before a snapshot, and the initial fit is part
+        // of load's contract (panels render immediately).
+        session.apply();
         session
     }
 
@@ -210,12 +218,115 @@ impl PandaSession {
     fn refit(&mut self) {
         let _span = panda_obs::span("session.refit");
         let mut model = self.config.model.build();
+        // Warm-start from the previous posterior once one exists: EM
+        // converges from where the last fit ended instead of from
+        // scratch. The multi-start selection still applies, so a stale
+        // warm start cannot degrade the fit.
+        if self.fitted.is_some() && self.posteriors.len() == self.candidates.len() {
+            model.set_warm_start(&self.posteriors);
+        }
         self.posteriors = model.fit_predict(&self.matrix, Some(&self.candidates));
         self.log.push(SessionEvent::ModelFit {
             model: model.name().to_string(),
             matches_found: self.matches_found(),
         });
+        self.fitted = Some(model);
         self.journal_lf_stats();
+    }
+
+    /// Refit the labeling model on the current matrix without re-running
+    /// any LF — the serving path of `POST /sessions/{id}/fit`, and the
+    /// companion of [`PandaSession::upsert_lf_incremental`] /
+    /// [`PandaSession::remove_lf_incremental`] (which deliberately leave
+    /// the posteriors stale so several LF edits can share one refit).
+    pub fn fit(&mut self) {
+        self.refit();
+    }
+
+    /// Register an LF and compute **only its column** — never a
+    /// full-matrix apply, so the cost is O(new LF × pairs) no matter how
+    /// many LFs exist. Does *not* refit; call [`PandaSession::fit`] when
+    /// the edit batch is done. On a panicking LF the session (registry
+    /// and matrix) is left unchanged and the panic message is returned.
+    pub fn upsert_lf_incremental(&mut self, lf: BoxedLf) -> Result<(), String> {
+        let _span = panda_obs::span("session.lf_upsert");
+        let name = lf.name().to_string();
+        let previous = self.registry.get(&name).cloned();
+        let version = self.registry.upsert(lf);
+        let added = {
+            let lf_ref = self.registry.get(&name).expect("just upserted");
+            self.matrix
+                .add_column(lf_ref, version, &self.tables, &self.candidates)
+        };
+        match added {
+            Ok(()) => {
+                self.log.push(SessionEvent::LfUpserted { name });
+                Ok(())
+            }
+            Err(msg) => {
+                // Quarantine without corrupting state: the failed LF
+                // leaves the registry; a replaced predecessor returns
+                // (its still-valid column survived the failed add).
+                match previous {
+                    Some(prev) => {
+                        self.registry.upsert(prev);
+                    }
+                    None => {
+                        self.registry.remove(&name);
+                    }
+                }
+                Err(msg)
+            }
+        }
+    }
+
+    /// Remove an LF and drop its matrix column in O(columns) — the
+    /// serving path of `DELETE /sessions/{id}/lfs/{name}`. Does *not*
+    /// refit. Returns whether the LF existed.
+    pub fn remove_lf_incremental(&mut self, name: &str) -> bool {
+        let _span = panda_obs::span("session.lf_remove");
+        let removed = self.registry.remove(name);
+        self.matrix.remove_column(name);
+        if removed {
+            self.log.push(SessionEvent::LfRemoved {
+                name: name.to_string(),
+            });
+        }
+        removed
+    }
+
+    /// Score an **ad-hoc** record pair against the fitted model without
+    /// touching the candidate set or refitting — the serving path of
+    /// `POST /match`. Runs every registered LF on the pair and asks the
+    /// retained model to score the vote row.
+    pub fn score_pair(&self, pair: panda_table::CandidatePair) -> Result<f64, String> {
+        let model = self
+            .fitted
+            .as_ref()
+            .ok_or("session has no fitted model yet (call fit first)")?;
+        let p = self
+            .tables
+            .pair_ref(pair)
+            .map_err(|e| format!("pair ({}, {}): {e}", pair.left.0, pair.right.0))?;
+        let votes: Vec<i8> = self
+            .registry
+            .lfs()
+            .iter()
+            .map(|lf| lf.label(&p).as_i8())
+            .collect();
+        model.posterior_for_votes(&votes).ok_or_else(|| {
+            format!(
+                "model {:?} cannot score ad-hoc votes (arity {} vs fitted matrix {})",
+                model.name(),
+                votes.len(),
+                self.matrix.n_lfs()
+            )
+        })
+    }
+
+    /// Has a model fit run yet?
+    pub fn has_fit(&self) -> bool {
+        self.fitted.is_some()
     }
 
     /// Journal provenance after each refit: one `lf.stats` event per LF
@@ -493,6 +604,11 @@ impl PandaSession {
 
     // --- accessors used by experiments and front-ends ---
 
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
     /// The candidate set.
     pub fn candidates(&self) -> &CandidateSet {
         &self.candidates
@@ -715,6 +831,124 @@ mod tests {
         let back: crate::panels::SessionSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back.em, snap.em);
         assert_eq!(back.lfs.len(), snap.lfs.len());
+    }
+
+    #[test]
+    fn incremental_lf_loop_matches_batch_apply() {
+        let mk = |name: &str, upper: f64| {
+            Arc::new(SimilarityLf::new(
+                name,
+                "name",
+                SimilarityConfig::default_jaccard(),
+                upper,
+                0.1,
+            ))
+        };
+        // Batch path: upsert + full apply.
+        let mut batch = PandaSession::load(small_task(), no_auto());
+        batch.upsert_lf(mk("name_tight", 0.7));
+        batch.upsert_lf(mk("name_loose", 0.4));
+        batch.apply();
+        // Incremental path: per-column add + explicit fit.
+        let mut inc = PandaSession::load(small_task(), no_auto());
+        inc.upsert_lf_incremental(mk("name_tight", 0.7)).unwrap();
+        inc.upsert_lf_incremental(mk("name_loose", 0.4)).unwrap();
+        inc.fit();
+        assert_eq!(
+            inc.matrix().digest(),
+            batch.matrix().digest(),
+            "incremental adds build the same matrix bytes"
+        );
+        assert_eq!(inc.posteriors(), batch.posteriors());
+    }
+
+    #[test]
+    fn incremental_remove_restores_matrix() {
+        let mut s = PandaSession::load(small_task(), no_auto());
+        s.upsert_lf_incremental(Arc::new(SimilarityLf::new(
+            "keep",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )))
+        .unwrap();
+        let before = s.matrix().digest();
+        s.upsert_lf_incremental(Arc::new(panda_lf::ClosureLf::new("extra", |_| {
+            panda_lf::Label::Match
+        })))
+        .unwrap();
+        assert_ne!(s.matrix().digest(), before);
+        assert!(s.remove_lf_incremental("extra"));
+        assert_eq!(s.matrix().digest(), before, "add+remove is a no-op");
+        assert!(!s.remove_lf_incremental("extra"));
+    }
+
+    #[test]
+    fn incremental_upsert_of_panicking_lf_rolls_back() {
+        let mut s = PandaSession::load(small_task(), no_auto());
+        s.upsert_lf_incremental(Arc::new(panda_lf::ClosureLf::new("ok", |_| {
+            panda_lf::Label::Abstain
+        })))
+        .unwrap();
+        let digest = s.matrix().digest();
+        let err = s
+            .upsert_lf_incremental(Arc::new(panda_lf::ClosureLf::new("bad", |_| {
+                panic!("user bug")
+            })))
+            .unwrap_err();
+        assert!(err.contains("user bug"));
+        assert!(
+            s.registry().get("bad").is_none(),
+            "failed LF not registered"
+        );
+        assert_eq!(s.matrix().digest(), digest, "matrix unchanged");
+
+        // Replacing an existing LF with a panicking one restores it.
+        let err2 = s
+            .upsert_lf_incremental(Arc::new(panda_lf::ClosureLf::new("ok", |_| {
+                panic!("edited into a bug")
+            })))
+            .unwrap_err();
+        assert!(err2.contains("edited into a bug"));
+        assert!(s.registry().get("ok").is_some(), "previous LF restored");
+        assert_eq!(s.matrix().column("ok").unwrap().len(), s.candidates().len());
+    }
+
+    #[test]
+    fn score_pair_matches_candidate_posteriors() {
+        let mut s = PandaSession::load(small_task(), no_auto());
+        s.upsert_lf_incremental(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )))
+        .unwrap();
+        s.fit();
+        assert!(s.has_fit());
+        // Scoring a pair that IS a candidate reproduces its posterior.
+        for i in [0usize, 1, 2] {
+            let pair = s.candidates().get(i).unwrap();
+            let scored = s.score_pair(pair).unwrap();
+            assert_eq!(scored, s.posteriors()[i], "candidate {i}");
+        }
+        // Out-of-range rows give a clean error, not a panic.
+        let bad = panda_table::CandidatePair::new(u32::MAX, 0);
+        assert!(s.score_pair(bad).is_err());
+    }
+
+    #[test]
+    fn score_pair_without_lfs_is_a_clean_error() {
+        // Load always fits (even over an empty matrix), but a model with
+        // no per-LF parameters cannot score ad-hoc rows.
+        let s = PandaSession::load(small_task(), no_auto());
+        assert!(s.has_fit());
+        let err = s
+            .score_pair(panda_table::CandidatePair::new(0, 0))
+            .unwrap_err();
+        assert!(err.contains("cannot score"), "{err}");
     }
 
     #[test]
