@@ -13,6 +13,11 @@
 //! Reports throughput and p50/p95/p99 latency per class and writes the
 //! committed `BENCH_serve.json` snapshot.
 //!
+//! Set `PANDA_BENCH_STATE_DIR=<dir>` to run the server with the durable
+//! session store attached and add an `lf_upsert_durable` case (one WAL
+//! append + fsync per request) — measuring the durability tax without
+//! touching the committed default-mode snapshot.
+//!
 //! Run: `cargo run --release -p panda-bench --bin bench_serve`
 
 use panda_serve::{Server, ServerConfig};
@@ -140,8 +145,10 @@ fn run_case(
 
 fn main() {
     let workers = panda_exec::worker_count();
+    let state_dir = std::env::var_os("PANDA_BENCH_STATE_DIR").map(std::path::PathBuf::from);
     let handle = Server::start(ServerConfig {
         workers,
+        state_dir: state_dir.clone(),
         ..Default::default()
     })
     .expect("start server");
@@ -162,7 +169,7 @@ fn main() {
     let (status, body) = request(addr, "POST", "/sessions/1/fit", "");
     assert_eq!(status, 200, "fit: {body}");
 
-    let cases = vec![
+    let mut cases = vec![
         run_case("healthz", addr, "GET", "/healthz".into(), String::new()),
         run_case(
             "match_single_pair",
@@ -179,6 +186,17 @@ fn main() {
             r#"{"lf":"name_overlap","query":"VotedMatch","limit":10}"#.into(),
         ),
     ];
+    if state_dir.is_some() {
+        // Re-upserting the same LF recomputes one matrix column and WAL-
+        // logs (append + fsync) every request: the durability hot path.
+        cases.push(run_case(
+            "lf_upsert_durable",
+            addr,
+            "POST",
+            "/sessions/1/lfs".into(),
+            lf.to_string(),
+        ));
+    }
 
     println!(
         "bench_serve: {workers} workers, {CLIENTS} closed-loop clients × {REQUESTS_PER_CLIENT} requests"
@@ -213,9 +231,13 @@ fn main() {
          \"cases\": [\n{}\n  ]\n}}\n",
         case_json.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
-    std::fs::write(path, &json).expect("write BENCH_serve.json");
-    println!("wrote {path}");
+    if state_dir.is_none() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        std::fs::write(path, &json).expect("write BENCH_serve.json");
+        println!("wrote {path}");
+    } else {
+        println!("durable mode (PANDA_BENCH_STATE_DIR set): BENCH_serve.json left untouched");
+    }
 
     let (status, _) = request(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);

@@ -17,7 +17,9 @@ USAGE:
               [--threshold T] [--seed N] [--no-auto-lfs] [--out <csv>]
               [--metrics <json>] [--journal <jsonl>]
   panda report --journal <jsonl> [--top N]
-  panda serve --addr <host:port> [--workers N] [--metrics <json>] [--journal <jsonl>]
+  panda serve --addr <host:port> [--workers N] [--state-dir <dir>]
+              [--max-sessions N] [--session-ttl <secs>]
+              [--metrics <json>] [--journal <jsonl>]
   panda families
   panda help
 
@@ -28,8 +30,14 @@ tables (first line = header) and writes predicted match row pairs.
 EM convergence per warm start, auto-LF grid decisions, and per-LF
 model-disagreement counts.
 `serve` runs the IDE loop as a JSON HTTP API (sessions, incremental LF
-edits, refits, debug queries, ad-hoc matching); drains gracefully on
-SIGTERM or POST /shutdown, then writes --metrics / --journal.
+edits, refits, spot labels, debug queries, ad-hoc matching); drains
+gracefully on SIGTERM or POST /shutdown, then writes --metrics /
+--journal. With --state-dir every acknowledged edit is WAL-logged and
+fsynced before the response, sessions are snapshot-compacted, and a
+restart recovers them bit-identically (SIGKILL loses at most the
+in-flight request). --max-sessions bounds resident sessions via LRU
+eviction to snapshot; --session-ttl evicts sessions idle that long
+(both require --state-dir; evicted sessions rehydrate on next touch).
 
 OBSERVABILITY:
   --metrics <json>   write a pipeline telemetry snapshot (per-stage span
@@ -288,14 +296,33 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     if journal_path.is_some() {
         panda_obs::set_journal_enabled(true);
     }
+    let state_dir = args.optional("state-dir").map(std::path::PathBuf::from);
+    let max_sessions: usize = args.get_or("max-sessions", 0)?;
+    let session_ttl_secs: u64 = args.get_or("session-ttl", 0)?;
+    if state_dir.is_none() && (max_sessions > 0 || session_ttl_secs > 0) {
+        // Without a store, eviction would *drop* sessions instead of
+        // parking them on disk — refuse rather than silently lose work.
+        return Err("--max-sessions/--session-ttl require --state-dir".into());
+    }
     panda_serve::signal::install_handlers();
     let handle = panda_serve::Server::start(panda_serve::ServerConfig {
         addr: addr.to_string(),
         workers: args.get_or("workers", 0)?,
+        state_dir: state_dir.clone(),
+        max_sessions,
+        session_ttl: (session_ttl_secs > 0)
+            .then(|| std::time::Duration::from_secs(session_ttl_secs)),
         ..Default::default()
     })
-    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    .map_err(|e| format!("cannot start server on {addr}: {e}"))?;
     println!("panda serve listening on http://{}", handle.addr());
+    if let Some(dir) = &state_dir {
+        println!(
+            "durable state in {} ({} session(s) recovered)",
+            dir.display(),
+            handle.state().len()
+        );
+    }
     println!("stop with POST /shutdown or SIGTERM (drains in-flight requests)");
     handle.join();
     println!("drained; shut down cleanly");

@@ -383,6 +383,64 @@ impl LabelMatrix {
         }
         h
     }
+
+    /// Export every column for persistence, in column order.
+    pub fn snapshot_columns(&self) -> Vec<ColumnSnapshot> {
+        self.columns
+            .iter()
+            .map(|c| ColumnSnapshot {
+                name: c.name.clone(),
+                version: c.version,
+                labels: c.labels.clone(),
+            })
+            .collect()
+    }
+
+    /// Rebuild a matrix from persisted columns against a **re-derived**
+    /// candidate set. The fingerprint is recomputed from `candidates`
+    /// (never trusted from disk), so a caller that afterwards compares
+    /// [`LabelMatrix::digest`] against the persisted digest has also
+    /// proven the candidate set matches the one the columns were computed
+    /// over. Errors when a column's length disagrees with the pair count.
+    pub fn restore(
+        candidates: &CandidateSet,
+        columns: Vec<ColumnSnapshot>,
+    ) -> Result<LabelMatrix, String> {
+        let n_pairs = candidates.len();
+        for c in &columns {
+            if c.labels.len() != n_pairs {
+                return Err(format!(
+                    "column {:?} has {} labels but the candidate set has {n_pairs} pairs",
+                    c.name,
+                    c.labels.len()
+                ));
+            }
+        }
+        Ok(LabelMatrix {
+            n_pairs,
+            fingerprint: fingerprint(candidates),
+            columns: columns
+                .into_iter()
+                .map(|c| Column {
+                    name: c.name,
+                    version: c.version,
+                    labels: c.labels,
+                })
+                .collect(),
+        })
+    }
+}
+
+/// One persisted label-matrix column (see
+/// [`LabelMatrix::snapshot_columns`] / [`LabelMatrix::restore`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSnapshot {
+    /// LF name (matrix column key).
+    pub name: String,
+    /// Registry version the column was computed at.
+    pub version: u64,
+    /// Votes, one per candidate pair: `+1` / `0` / `-1`.
+    pub labels: Vec<i8>,
 }
 
 fn fingerprint(candidates: &CandidateSet) -> u64 {
@@ -517,6 +575,26 @@ mod tests {
         // The good LF still applied.
         assert!(m.column("good").is_some());
         assert!(m.column("buggy").is_none());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_digest() {
+        let (tables, cands) = tiny();
+        let mut reg = LfRegistry::new();
+        reg.upsert(eq_lf("eq"));
+        reg.upsert(Arc::new(ClosureLf::new("abstain", |_| Label::Abstain)));
+        let mut m = LabelMatrix::new();
+        m.apply(&reg, &tables, &cands);
+
+        let restored = LabelMatrix::restore(&cands, m.snapshot_columns()).unwrap();
+        assert_eq!(restored.digest(), m.digest());
+        assert_eq!(restored.column("eq"), m.column("eq"));
+
+        // A different candidate set changes the recomputed fingerprint,
+        // so the digest no longer matches — the recovery-time check that
+        // persisted columns belong to these tables.
+        let other = CandidateSet::from_pairs([CandidatePair::new(0, 0)]);
+        assert!(LabelMatrix::restore(&other, m.snapshot_columns()).is_err());
     }
 
     #[test]

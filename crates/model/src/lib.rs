@@ -96,6 +96,28 @@ pub trait LabelModel: Send {
     fn posterior_for_votes(&self, _votes: &[i8]) -> Option<f64> {
         None
     }
+
+    /// Export the fitted parameters as a flat `f64` blob, or `None` when
+    /// the model cannot serialize its fitted state (or was never fitted
+    /// in a way that leaves scoreable parameters). The blob is an opaque,
+    /// model-specific encoding; the only contract is that feeding it to
+    /// [`LabelModel::restore_fitted`] on a freshly built model of the
+    /// same configuration makes `posterior_for_votes` and warm-started
+    /// refits behave **bit-identically** to the original. The durable
+    /// session store persists this blob (as `f64::to_bits` words) so a
+    /// recovered session can score `POST /match` without a refit.
+    fn capture_fitted(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Install fitted parameters previously exported by
+    /// [`LabelModel::capture_fitted`] from a model of the same
+    /// configuration. Returns `false` when the blob does not decode for
+    /// this model (wrong model kind, corrupt length); the model is left
+    /// unfitted in that case. Default: reject every blob.
+    fn restore_fitted(&mut self, _blob: &[f64]) -> bool {
+        false
+    }
 }
 
 /// Threshold posteriors into hard decisions at `0.5`.
@@ -161,5 +183,52 @@ mod tests {
     #[test]
     fn predictions_threshold() {
         assert_eq!(predictions(&[0.2, 0.5, 0.9]), vec![false, true, true]);
+    }
+
+    /// Capture → restore into a *fresh* model must replicate ad-hoc
+    /// scoring bit-exactly — the contract the durable session store
+    /// relies on to serve `POST /match` after a restart without a refit.
+    #[test]
+    fn capture_restore_round_trips_bit_exactly() {
+        let p = testutil::plant(400, 0.25, &[testutil::PlantedLf::symmetric(0.9, 0.8); 3], 5);
+        let rows: Vec<Vec<i8>> = vec![
+            vec![1, 1, 1],
+            vec![1, 0, -1],
+            vec![-1, -1, -1],
+            vec![0, 0, 0],
+        ];
+
+        let mut panda = PandaModel::new();
+        panda.fit_predict(&p.matrix, None);
+        let mut snorkel = SnorkelModel::new();
+        snorkel.fit_predict(&p.matrix, None);
+        let majority = MajorityVote::default();
+
+        let fitted: Vec<Box<dyn LabelModel>> =
+            vec![Box::new(panda), Box::new(snorkel), Box::new(majority)];
+        let fresh: Vec<Box<dyn LabelModel>> = vec![
+            Box::new(PandaModel::new()),
+            Box::new(SnorkelModel::new()),
+            Box::new(MajorityVote::default()),
+        ];
+        for (orig, mut copy) in fitted.into_iter().zip(fresh) {
+            let blob = orig.capture_fitted().expect("fitted state captures");
+            assert!(copy.restore_fitted(&blob), "{} restores", orig.name());
+            for row in &rows {
+                let a = orig.posterior_for_votes(row);
+                let b = copy.posterior_for_votes(row);
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "{} bit-exact on {row:?}",
+                    orig.name()
+                );
+            }
+            // A truncated blob must be rejected and leave the model alone.
+            if !blob.is_empty() {
+                let mut other: Box<dyn LabelModel> = Box::new(PandaModel::new());
+                assert!(!other.restore_fitted(&blob[..blob.len() - 1]));
+            }
+        }
     }
 }

@@ -56,6 +56,16 @@ impl LabelModel for MajorityVote {
             .collect()
     }
 
+    /// Stateless: the empty blob round-trips (`prior` is a construction
+    /// parameter, rebuilt from the session config on restore).
+    fn capture_fitted(&self) -> Option<Vec<f64>> {
+        Some(Vec::new())
+    }
+
+    fn restore_fitted(&mut self, blob: &[f64]) -> bool {
+        blob.is_empty()
+    }
+
     /// Majority vote has no fitted state, so any vote row scores directly.
     fn posterior_for_votes(&self, votes: &[i8]) -> Option<f64> {
         let pos = votes.iter().filter(|&&v| v > 0).count();

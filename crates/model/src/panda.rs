@@ -609,6 +609,45 @@ impl LabelModel for PandaModel {
         }
         Some(sigmoid(lo))
     }
+
+    /// Blob layout: `[m, fitted_prior, θ_M flat (3m), θ_U flat (3m),
+    /// fitted_discounts (m)]` — everything `posterior_for_votes` and a
+    /// warm-started refit read.
+    fn capture_fitted(&self) -> Option<Vec<f64>> {
+        let m = self.fitted_theta_m.len();
+        if self.fitted_theta_u.len() != m || self.fitted_discounts.len() != m {
+            return None;
+        }
+        let mut blob = Vec::with_capacity(2 + 7 * m);
+        blob.push(m as f64);
+        blob.push(self.fitted_prior);
+        for row in &self.fitted_theta_m {
+            blob.extend_from_slice(row);
+        }
+        for row in &self.fitted_theta_u {
+            blob.extend_from_slice(row);
+        }
+        blob.extend_from_slice(&self.fitted_discounts);
+        Some(blob)
+    }
+
+    fn restore_fitted(&mut self, blob: &[f64]) -> bool {
+        let Some(m) = crate::snorkel::decode_arity(blob, 7) else {
+            return false;
+        };
+        let theta = |base: usize, j: usize| -> [f64; 3] {
+            [
+                blob[base + 3 * j],
+                blob[base + 3 * j + 1],
+                blob[base + 3 * j + 2],
+            ]
+        };
+        self.fitted_prior = blob[1];
+        self.fitted_theta_m = (0..m).map(|j| theta(2, j)).collect();
+        self.fitted_theta_u = (0..m).map(|j| theta(2 + 3 * m, j)).collect();
+        self.fitted_discounts = blob[2 + 6 * m..2 + 7 * m].to_vec();
+        true
+    }
 }
 
 #[cfg(test)]

@@ -325,6 +325,46 @@ impl LabelModel for SnorkelModel {
         }
         Some(sigmoid(lo))
     }
+
+    /// Blob layout: `[m, fitted_prior, accuracies(m), propensities(m),
+    /// fitted_discounts(m)]` — everything `posterior_for_votes` and a
+    /// warm-started refit read.
+    fn capture_fitted(&self) -> Option<Vec<f64>> {
+        let m = self.accuracies.len();
+        if self.propensities.len() != m || self.fitted_discounts.len() != m {
+            return None;
+        }
+        let mut blob = Vec::with_capacity(2 + 3 * m);
+        blob.push(m as f64);
+        blob.push(self.fitted_prior);
+        blob.extend_from_slice(&self.accuracies);
+        blob.extend_from_slice(&self.propensities);
+        blob.extend_from_slice(&self.fitted_discounts);
+        Some(blob)
+    }
+
+    fn restore_fitted(&mut self, blob: &[f64]) -> bool {
+        let Some(m) = decode_arity(blob, 3) else {
+            return false;
+        };
+        self.fitted_prior = blob[1];
+        self.accuracies = blob[2..2 + m].to_vec();
+        self.propensities = blob[2 + m..2 + 2 * m].to_vec();
+        self.fitted_discounts = blob[2 + 2 * m..2 + 3 * m].to_vec();
+        true
+    }
+}
+
+/// Decode the leading arity word of a fitted-parameter blob and check the
+/// total length is `2 + per_lf · m`. Shared by the EM models'
+/// `restore_fitted` impls.
+pub(crate) fn decode_arity(blob: &[f64], per_lf: usize) -> Option<usize> {
+    let head = *blob.first()?;
+    if !(head.is_finite() && head >= 0.0 && head.fract() == 0.0 && head <= u32::MAX as f64) {
+        return None;
+    }
+    let m = head as usize;
+    (blob.len() == 2 + per_lf * m).then_some(m)
 }
 
 #[cfg(test)]

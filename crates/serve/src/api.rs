@@ -148,6 +148,45 @@ pub struct SessionResponse {
     pub snapshot: SessionSnapshot,
 }
 
+/// `GET /sessions` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionListResponse {
+    /// Every known session, live or evicted, sorted by id.
+    pub sessions: Vec<SessionListEntry>,
+}
+
+/// One row of the `GET /sessions` listing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionListEntry {
+    /// Session handle.
+    pub session: u64,
+    /// `"live"` (in memory) or `"evicted"` (snapshot on disk, rehydrates
+    /// on next touch).
+    pub status: String,
+    /// True when the session was rebuilt from the state directory at
+    /// server startup (WAL-on-top-of-snapshot replay).
+    pub recovered: bool,
+}
+
+/// `POST /sessions/{id}/labels` request: one user spot label (the
+/// left/right-click on a Data Viewer "M/U" cell).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelRequest {
+    /// Candidate index (from a query/viewer row).
+    pub candidate: u64,
+    /// The user's verdict.
+    pub is_match: bool,
+}
+
+/// `POST /sessions/{id}/labels` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabelResponse {
+    /// The labeled candidate index.
+    pub candidate: u64,
+    /// Total spot labels in the session after this one.
+    pub n_user_labels: usize,
+}
+
 // ---------------------------------------------------------------------------
 // Labeling functions
 // ---------------------------------------------------------------------------

@@ -39,17 +39,26 @@ pub enum ReadError {
 /// Read and parse one request from `stream`. `max_body` bounds the
 /// accepted `Content-Length`.
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
-    // Read until the blank line that ends the head.
+    // Read until the blank line that ends the head. The scan is
+    // incremental: only the freshly read bytes (plus 3 bytes of overlap
+    // for a delimiter straddling the chunk boundary) are searched, so a
+    // slowly dripped head costs O(head) total instead of O(head²).
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
+    let mut scanned = 0usize;
     let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
+        let start = scanned.saturating_sub(3);
+        if let Some(pos) = find_head_end(&buf[start..]) {
+            break start + pos;
         }
+        scanned = buf.len();
+        // Enforce the cap *before* reading: never buffer past MAX_HEAD+1
+        // rather than overshooting by up to a whole chunk.
         if buf.len() > MAX_HEAD {
             return Err(ReadError::Malformed("request head exceeds 16KiB".into()));
         }
-        match stream.read(&mut chunk) {
+        let want = (MAX_HEAD + 1 - buf.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
             Ok(0) => return Err(ReadError::Disconnected),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return Err(ReadError::Disconnected),
@@ -79,7 +88,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     // Headers: we only care about framing.
-    let mut content_length: usize = 0;
+    let mut content_length: Option<usize> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -88,9 +97,28 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                // RFC 9112 §6.3: Content-Length is 1*DIGIT — no sign, no
+                // whitespace inside, nothing else. `str::parse` alone is
+                // too lenient (it accepts "+10").
+                if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(ReadError::Malformed(format!(
+                        "bad Content-Length {value:?}"
+                    )));
+                }
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| ReadError::Malformed(format!("bad Content-Length {value:?}")))?;
+                // Duplicate headers with differing values are a framing
+                // attack vector (request smuggling); identical repeats
+                // are tolerated per RFC 9110 §8.6.
+                if let Some(prev) = content_length {
+                    if prev != parsed {
+                        return Err(ReadError::Malformed(format!(
+                            "conflicting Content-Length values ({prev} and {parsed})"
+                        )));
+                    }
+                }
+                content_length = Some(parsed);
             }
             "transfer-encoding" => {
                 return Err(ReadError::Malformed(
@@ -100,6 +128,7 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
             _ => {}
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(ReadError::TooLarge { limit: max_body });
     }
@@ -241,6 +270,62 @@ mod tests {
             Err(ReadError::Malformed(_))
         ));
         assert!(matches!(roundtrip(b""), Err(ReadError::Disconnected)));
+    }
+
+    #[test]
+    fn content_length_must_be_digits_only() {
+        // `str::parse::<usize>` accepts a leading '+'; RFC 9112 does not.
+        // (OWS around the value is trimmed before the digit check — that
+        // part *is* legal field syntax.)
+        for bad in ["+10", "-1", "4 4", "0x4", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length:{bad}\r\n\r\nabcd");
+            assert!(
+                matches!(roundtrip(raw.as_bytes()), Err(ReadError::Malformed(_))),
+                "Content-Length {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected_identical_ones_allowed() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nabcde";
+        assert!(matches!(roundtrip(raw), Err(ReadError::Malformed(_))));
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = roundtrip(raw).unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_at_the_cap() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}\r\n", "a".repeat(MAX_HEAD)).as_bytes());
+        raw.extend_from_slice(b"\r\n");
+        assert!(matches!(
+            roundtrip(&raw),
+            Err(ReadError::Malformed(msg)) if msg.contains("16KiB")
+        ));
+    }
+
+    #[test]
+    fn dripped_head_parses_across_chunk_boundaries() {
+        // Byte-at-a-time delivery exercises the incremental scan overlap
+        // (the \r\n\r\n can straddle any chunk boundary).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw: &[u8] = b"POST /drip HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            for b in raw {
+                client.write_all(&[*b]).unwrap();
+                client.flush().unwrap();
+            }
+            client
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side, 1024).unwrap();
+        assert_eq!(req.path, "/drip");
+        assert_eq!(req.body, b"hi");
+        drop(writer.join().unwrap());
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! | Route | Session method |
 //! |---|---|
 //! | `POST /sessions` | [`panda_session::PandaSession::load`] |
+//! | `GET /sessions` | [`state::AppState::list`] (live/evicted/recovered) |
 //! | `POST /sessions/{id}/lfs` | [`panda_session::PandaSession::upsert_lf_incremental`] |
 //! | `DELETE /sessions/{id}/lfs/{name}` | [`panda_session::PandaSession::remove_lf_incremental`] |
 //! | `POST /sessions/{id}/fit` | [`panda_session::PandaSession::fit`] (warm-started) |
+//! | `POST /sessions/{id}/labels` | [`panda_session::PandaSession::label_pair`] |
 //! | `POST /sessions/{id}/query` | [`panda_session::PandaSession::debug_pairs`] |
 //! | `POST /match` | [`panda_session::PandaSession::score_pair`] |
 //! | `GET /metrics` | [`panda_obs::snapshot`] |
@@ -27,6 +29,15 @@
 //! timeouts, a request-body cap (413), structured JSON errors, and
 //! graceful drain on `POST /shutdown` or SIGTERM.
 //!
+//! Durability: with `--state-dir` every acknowledged mutating request is
+//! appended (and fsynced) to a per-session WAL before the response goes
+//! out, snapshots compact the log on a cadence, and startup replays
+//! WAL-on-top-of-snapshot with [`panda_lf::LabelMatrix::digest`]
+//! verification at every step ([`persist`]). `--max-sessions` bounds
+//! resident memory by evicting least-recently-used sessions to snapshot
+//! (they rehydrate transparently on the next touch) and `--session-ttl`
+//! sweeps idle ones ([`state::AppState`]).
+//!
 //! ```no_run
 //! let handle = panda_serve::Server::start(panda_serve::ServerConfig {
 //!     addr: "127.0.0.1:7700".to_string(),
@@ -39,10 +50,11 @@
 
 pub mod api;
 pub mod http;
+pub mod persist;
 pub mod router;
 pub mod server;
 pub mod signal;
 pub mod state;
 
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use state::AppState;
+pub use state::{AppState, SessionInfo, SessionSlot, StateOptions};

@@ -1,0 +1,561 @@
+//! The durable session store: per-session write-ahead log + compacted
+//! snapshots.
+//!
+//! Layout under the state directory (`panda serve --state-dir`):
+//!
+//! ```text
+//! <state-dir>/sessions/<id>/wal.jsonl      append-only op log
+//! <state-dir>/sessions/<id>/snapshot.json  compacted state (optional)
+//! ```
+//!
+//! **WAL.** Every acknowledged session-mutating request appends exactly
+//! one JSONL [`WalRecord`] — create (with the full table CSVs + a config
+//! digest), LF upsert/remove, fit, spot label — and fsyncs it *before*
+//! the HTTP response is written (the fsync runs under the
+//! `serve.wal.fsync` span, so `/metrics` exposes its latency histogram
+//! for free). Records carry a monotonically increasing `seq` and the
+//! [`panda_lf::LabelMatrix::digest`] taken **after** applying the op, so
+//! replay can verify every step. A torn final line (crash mid-append) is
+//! dropped: its op was never acknowledged. Corruption anywhere else is
+//! an error — the session is quarantined instead of served wrong.
+//!
+//! **Snapshots.** Every `snapshot_every` appended ops the session is
+//! dehydrated ([`panda_session::PandaSession::dehydrate`]) into
+//! `snapshot.json` (tmp + fsync + rename, then directory fsync) and the
+//! WAL is reset, bounding replay cost. Recovery loads the snapshot (if
+//! any), verifies its config digest, rehydrates — which re-runs
+//! deterministic blocking and checks the persisted matrix digest — then
+//! replays WAL records with `seq > snapshot.last_seq` through the same
+//! session methods the live server uses, re-verifying the digest after
+//! each op.
+//!
+//! **Failure policy.** A WAL append failure surfaces as an error *before*
+//! the response is acknowledged (the op stays applied in memory but the
+//! client sees a 500 and must retry), and the persist handle latches
+//! `broken` so later mutating ops fail fast instead of silently running
+//! undurable. Reads keep working.
+
+use crate::api::{build_tables, CreateSessionRequest, LfSpec};
+use panda_lf::BoxedLf;
+use panda_session::{PandaSession, SessionState};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Bumped when the snapshot encoding changes incompatibly.
+pub const SNAPSHOT_FORMAT: u64 = 1;
+/// Default appended ops between snapshot compactions.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 16;
+
+const WAL_FILE: &str = "wal.jsonl";
+const SNAPSHOT_FILE: &str = "snapshot.json";
+const SNAPSHOT_TMP: &str = "snapshot.json.tmp";
+const BROKEN_MSG: &str =
+    "session store is in a failed state (an earlier WAL or snapshot write failed); \
+     mutating operations are rejected to avoid silent durability loss";
+
+/// One session-mutating operation, as logged.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WalOp {
+    /// Session creation: the full request (CSVs, gold, config DTO) plus
+    /// a digest of its canonical JSON, re-verified at replay.
+    Create {
+        /// The original `POST /sessions` body.
+        request: CreateSessionRequest,
+        /// [`config_digest`] of `request` at log time.
+        config_digest: u64,
+    },
+    /// `POST /sessions/{id}/lfs` — the declarative spec is the replay
+    /// recipe.
+    UpsertLf {
+        /// The wire LF spec.
+        spec: LfSpec,
+    },
+    /// `DELETE /sessions/{id}/lfs/{name}`.
+    RemoveLf {
+        /// Registry name removed.
+        name: String,
+    },
+    /// `POST /sessions/{id}/fit` (warm-started refit).
+    Fit,
+    /// `POST /sessions/{id}/labels` (user spot label).
+    Label {
+        /// Candidate index.
+        candidate: u64,
+        /// The user's verdict.
+        is_match: bool,
+    },
+}
+
+/// One WAL line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecord {
+    /// Monotonic per-session sequence number, starting at 1.
+    pub seq: u64,
+    /// [`panda_lf::LabelMatrix::digest`] **after** applying `op`.
+    pub digest: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+/// The compacted snapshot file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotFile {
+    /// [`SNAPSHOT_FORMAT`] at write time.
+    pub format: u64,
+    /// WAL records with `seq <=` this are folded into `state`.
+    pub last_seq: u64,
+    /// [`config_digest`] of `request`, re-verified at load.
+    pub config_digest: u64,
+    /// The original create request (tables are rebuilt from it).
+    pub request: CreateSessionRequest,
+    /// The dehydrated session.
+    pub state: SessionState,
+}
+
+/// FNV-1a digest of the canonical JSON of a create request — covers the
+/// CSVs, gold pairs, and config DTO, so recovery refuses to rebuild a
+/// session from a request that doesn't match what was logged.
+pub fn config_digest(request: &CreateSessionRequest) -> u64 {
+    let json = serde_json::to_string(request).unwrap_or_default();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in json.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Rebuild an LF from its persisted wire-spec JSON — the `build_spec`
+/// hook [`panda_session::PandaSession::rehydrate`] needs.
+pub fn build_from_spec(name: &str, spec_json: &str) -> Result<BoxedLf, String> {
+    let spec: LfSpec = serde_json::from_str(spec_json)
+        .map_err(|e| format!("LF {name:?}: bad persisted spec: {}", e.0))?;
+    spec.build()
+}
+
+/// A recovered session plus its re-attached persistence handle.
+pub struct Recovered {
+    /// The rebuilt session, digest-verified.
+    pub session: PandaSession,
+    /// Persistence handle, positioned to append after the last replayed
+    /// record.
+    pub persist: SessionPersist,
+}
+
+/// The on-disk store: owns the state directory and builds per-session
+/// persistence handles.
+#[derive(Debug, Clone)]
+pub struct SessionStore {
+    sessions_dir: PathBuf,
+    snapshot_every: u64,
+}
+
+impl SessionStore {
+    /// Open (creating if needed) a state directory.
+    pub fn open(dir: &Path, snapshot_every: u64) -> Result<SessionStore, String> {
+        let sessions_dir = dir.join("sessions");
+        fs::create_dir_all(&sessions_dir)
+            .map_err(|e| format!("cannot create state dir {}: {e}", sessions_dir.display()))?;
+        Ok(SessionStore {
+            sessions_dir,
+            snapshot_every,
+        })
+    }
+
+    /// Session ids present on disk (unordered).
+    pub fn scan(&self) -> Vec<u64> {
+        let Ok(entries) = fs::read_dir(&self.sessions_dir) else {
+            return Vec::new();
+        };
+        entries
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .filter_map(|e| e.file_name().to_str().and_then(|s| s.parse().ok()))
+            .collect()
+    }
+
+    fn session_dir(&self, id: u64) -> PathBuf {
+        self.sessions_dir.join(id.to_string())
+    }
+
+    /// Remove a session's on-disk state (`DELETE /sessions/{id}`).
+    pub fn delete(&self, id: u64) {
+        let _ = fs::remove_dir_all(self.session_dir(id));
+    }
+
+    /// Start persisting a freshly created session: opens a fresh WAL and
+    /// logs the create record (fsynced before this returns).
+    pub fn create(
+        &self,
+        id: u64,
+        request: &CreateSessionRequest,
+        session: &PandaSession,
+    ) -> Result<SessionPersist, String> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_path)
+            .map_err(|e| format!("open {}: {e}", wal_path.display()))?;
+        let mut persist = SessionPersist {
+            dir,
+            wal,
+            seq: 0,
+            ops_since_snapshot: 0,
+            snapshot_every: self.snapshot_every,
+            request: request.clone(),
+            specs: HashMap::new(),
+            broken: false,
+        };
+        persist.append(
+            WalOp::Create {
+                request: request.clone(),
+                config_digest: config_digest(request),
+            },
+            session,
+        )?;
+        Ok(persist)
+    }
+
+    /// Rebuild a session from disk: snapshot (verified) + WAL replay
+    /// (digest-verified per record). Errors quarantine the session —
+    /// its directory is left untouched for inspection.
+    pub fn recover(&self, id: u64) -> Result<Recovered, String> {
+        let _span = panda_obs::span("serve.session.recover");
+        let dir = self.session_dir(id);
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let wal_path = dir.join(WAL_FILE);
+
+        let mut specs: HashMap<String, String> = HashMap::new();
+        let mut last_seq = 0u64;
+        let mut session: Option<PandaSession> = None;
+        let mut request: Option<CreateSessionRequest> = None;
+
+        if snap_path.exists() {
+            let text = fs::read_to_string(&snap_path)
+                .map_err(|e| format!("read {}: {e}", snap_path.display()))?;
+            let snap: SnapshotFile =
+                serde_json::from_str(&text).map_err(|e| format!("snapshot: {}", e.0))?;
+            if snap.format != SNAPSHOT_FORMAT {
+                return Err(format!(
+                    "snapshot format {} unsupported (expected {SNAPSHOT_FORMAT})",
+                    snap.format
+                ));
+            }
+            if snap.config_digest != config_digest(&snap.request) {
+                return Err("snapshot create-request digest mismatch".into());
+            }
+            let config = snap.request.config.clone().unwrap_or_default().resolve()?;
+            let tables = build_tables(&snap.request)?;
+            let rebuilt = PandaSession::rehydrate(tables, config, &snap.state, &build_from_spec)?;
+            for lf in &snap.state.lfs {
+                if let Some(spec) = &lf.spec {
+                    specs.insert(lf.name.clone(), spec.clone());
+                }
+            }
+            last_seq = snap.last_seq;
+            session = Some(rebuilt);
+            request = Some(snap.request);
+        }
+
+        let mut max_seq = last_seq;
+        let mut replayed = 0u64;
+        if wal_path.exists() {
+            let text = fs::read_to_string(&wal_path)
+                .map_err(|e| format!("read {}: {e}", wal_path.display()))?;
+            let lines: Vec<&str> = text.lines().collect();
+            let mut prev_seq: Option<u64> = None;
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let rec: WalRecord = match serde_json::from_str(line) {
+                    Ok(rec) => rec,
+                    Err(e) => {
+                        if i + 1 == lines.len() {
+                            // Torn tail from a crash mid-append: the op
+                            // was never acknowledged, dropping it is the
+                            // correct recovery.
+                            panda_obs::counter_add("serve.wal.torn_tail", 1);
+                            break;
+                        }
+                        return Err(format!("WAL line {}: {}", i + 1, e.0));
+                    }
+                };
+                match prev_seq {
+                    Some(p) if rec.seq != p + 1 => {
+                        return Err(format!("WAL gap: record {} follows {p}", rec.seq));
+                    }
+                    None if rec.seq > last_seq + 1 => {
+                        return Err(format!(
+                            "WAL gap: first record is {} but the snapshot covers up to {last_seq}",
+                            rec.seq
+                        ));
+                    }
+                    _ => {}
+                }
+                prev_seq = Some(rec.seq);
+                max_seq = max_seq.max(rec.seq);
+                if rec.seq <= last_seq {
+                    // Already folded into the snapshot (crash between
+                    // snapshot rename and WAL reset).
+                    continue;
+                }
+                match rec.op {
+                    WalOp::Create {
+                        request: req,
+                        config_digest: logged,
+                    } => {
+                        if session.is_some() {
+                            return Err(format!("duplicate create record at seq {}", rec.seq));
+                        }
+                        if logged != config_digest(&req) {
+                            return Err("create record digest mismatch".into());
+                        }
+                        let config = req.config.clone().unwrap_or_default().resolve()?;
+                        let tables = build_tables(&req)?;
+                        session = Some(PandaSession::load(tables, config));
+                        request = Some(req);
+                    }
+                    ref op => {
+                        let s = session
+                            .as_mut()
+                            .ok_or_else(|| format!("WAL op at seq {} before create", rec.seq))?;
+                        apply_wal_op(s, op, &mut specs)
+                            .map_err(|e| format!("WAL seq {}: {e}", rec.seq))?;
+                    }
+                }
+                let got = session.as_ref().expect("create seen").matrix().digest();
+                if got != rec.digest {
+                    return Err(format!(
+                        "matrix digest mismatch at WAL seq {}: logged {:#018x}, replayed \
+                         {got:#018x}",
+                        rec.seq, rec.digest
+                    ));
+                }
+                replayed += 1;
+            }
+        }
+
+        let session = session.ok_or("no snapshot and no create record — nothing to recover")?;
+        let request = request.expect("request travels with session");
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| format!("reopen {}: {e}", wal_path.display()))?;
+        Ok(Recovered {
+            session,
+            persist: SessionPersist {
+                dir,
+                wal,
+                seq: max_seq,
+                ops_since_snapshot: replayed,
+                snapshot_every: self.snapshot_every,
+                request,
+                specs,
+                broken: false,
+            },
+        })
+    }
+}
+
+/// Replay one non-create op through the same session methods the live
+/// router uses, keeping the spec map in sync exactly as `append` does.
+fn apply_wal_op(
+    session: &mut PandaSession,
+    op: &WalOp,
+    specs: &mut HashMap<String, String>,
+) -> Result<(), String> {
+    match op {
+        WalOp::UpsertLf { spec } => {
+            let lf = spec.build()?;
+            session.upsert_lf_incremental(lf)?;
+            specs.insert(
+                spec.name.clone(),
+                serde_json::to_string(spec).map_err(|e| e.0)?,
+            );
+        }
+        WalOp::RemoveLf { name } => {
+            session.remove_lf_incremental(name);
+            specs.remove(name);
+        }
+        WalOp::Fit => session.fit(),
+        WalOp::Label {
+            candidate,
+            is_match,
+        } => {
+            let i = *candidate as usize;
+            if i >= session.candidates().len() {
+                return Err(format!("label index {i} out of range"));
+            }
+            session.label_pair(i, *is_match);
+        }
+        WalOp::Create { .. } => return Err("unexpected nested create".into()),
+    }
+    Ok(())
+}
+
+/// Per-session persistence handle: the open WAL plus the bookkeeping to
+/// compact it. All calls happen under the session's mutex, so WAL writes
+/// and the snapshot-then-truncate sequence are never concurrent.
+pub struct SessionPersist {
+    dir: PathBuf,
+    wal: File,
+    seq: u64,
+    ops_since_snapshot: u64,
+    snapshot_every: u64,
+    request: CreateSessionRequest,
+    /// LF name → wire-spec JSON for every spec-backed LF currently
+    /// registered — the dehydration recipe map.
+    specs: HashMap<String, String>,
+    broken: bool,
+}
+
+impl SessionPersist {
+    /// Durably log one applied op: serialize, append, fsync — then
+    /// compact when the snapshot cadence is due. Must be called *after*
+    /// the op was applied to `session` (the record carries the resulting
+    /// matrix digest) and *before* the response is acknowledged.
+    pub fn append(&mut self, op: WalOp, session: &PandaSession) -> Result<(), String> {
+        if self.broken {
+            return Err(BROKEN_MSG.into());
+        }
+        let spec_entry = match &op {
+            WalOp::UpsertLf { spec } => Some((
+                spec.name.clone(),
+                serde_json::to_string(spec).map_err(|e| e.0)?,
+            )),
+            _ => None,
+        };
+        let rec = WalRecord {
+            seq: self.seq + 1,
+            digest: session.matrix().digest(),
+            op,
+        };
+        let line = serde_json::to_string(&rec).map_err(|e| e.0)?;
+        let written = (|| -> std::io::Result<()> {
+            self.wal.write_all(line.as_bytes())?;
+            self.wal.write_all(b"\n")?;
+            let _fsync = panda_obs::span("serve.wal.fsync");
+            self.wal.sync_data()
+        })();
+        if let Err(e) = written {
+            self.broken = true;
+            panda_obs::counter_add("serve.wal.append_failed", 1);
+            return Err(format!("WAL append failed: {e}"));
+        }
+        self.seq += 1;
+        self.ops_since_snapshot += 1;
+        panda_obs::counter_add("serve.wal.appends", 1);
+        match (&rec.op, spec_entry) {
+            (WalOp::UpsertLf { .. }, Some((name, json))) => {
+                self.specs.insert(name, json);
+            }
+            (WalOp::RemoveLf { name }, _) => {
+                self.specs.remove(name);
+            }
+            _ => {}
+        }
+        if self.snapshot_every > 0 && self.ops_since_snapshot >= self.snapshot_every {
+            if let Err(msg) = self.write_snapshot(session) {
+                // The record itself is already durable; a failed
+                // compaction only costs replay time now and blocks
+                // *future* appends fast via `broken`.
+                eprintln!("panda-serve: snapshot compaction failed: {msg}");
+            }
+        }
+        Ok(())
+    }
+
+    /// Dehydrate the session into `snapshot.json` (tmp + fsync + rename,
+    /// then dir fsync) and reset the WAL. Used by the compaction cadence,
+    /// LRU eviction, and graceful shutdown.
+    pub fn write_snapshot(&mut self, session: &PandaSession) -> Result<(), String> {
+        if self.broken {
+            return Err(BROKEN_MSG.into());
+        }
+        let _span = panda_obs::span("serve.snapshot.write");
+        let specs = &self.specs;
+        let state = session.dehydrate(&|name| specs.get(name).cloned())?;
+        let snap = SnapshotFile {
+            format: SNAPSHOT_FORMAT,
+            last_seq: self.seq,
+            config_digest: config_digest(&self.request),
+            request: self.request.clone(),
+            state,
+        };
+        let json = serde_json::to_string(&snap).map_err(|e| e.0)?;
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let result = (|| -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_data()?;
+            fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+            // Make the rename itself durable, then reset the WAL (safe
+            // under the session lock — no append can interleave). A
+            // crash between rename and reset leaves stale WAL records
+            // with seq <= last_seq, which replay skips.
+            File::open(&self.dir).and_then(|d| d.sync_all())?;
+            self.wal.set_len(0)?;
+            self.wal.seek(SeekFrom::Start(0))?;
+            self.wal.sync_data()
+        })();
+        match result {
+            Ok(()) => {
+                self.ops_since_snapshot = 0;
+                panda_obs::counter_add("serve.snapshots.written", 1);
+                Ok(())
+            }
+            Err(e) => {
+                self.broken = true;
+                Err(format!("snapshot write failed: {e}"))
+            }
+        }
+    }
+
+    /// Records appended since the last snapshot (replay cost on crash).
+    pub fn wal_depth(&self) -> u64 {
+        self.ops_since_snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_digest_is_stable_and_sensitive() {
+        let req = CreateSessionRequest {
+            left_csv: "id,name\n1,a".into(),
+            right_csv: "id,name\n1,b".into(),
+            gold: None,
+            config: None,
+        };
+        assert_eq!(config_digest(&req), config_digest(&req.clone()));
+        let mut other = req.clone();
+        other.left_csv.push_str("\n2,c");
+        assert_ne!(config_digest(&req), config_digest(&other));
+    }
+
+    #[test]
+    fn build_from_spec_round_trips_wire_specs() {
+        let spec = LfSpec {
+            name: "name_overlap".into(),
+            kind: "similarity".into(),
+            attr: Some("name".into()),
+            upper: Some(0.7),
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let lf = build_from_spec("name_overlap", &json).unwrap();
+        assert_eq!(lf.name(), "name_overlap");
+        assert!(build_from_spec("x", "{not json").is_err());
+    }
+}

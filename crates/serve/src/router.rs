@@ -5,15 +5,15 @@
 //! `panda report` renders server traffic alongside session telemetry.
 
 use crate::api::{
-    ApiError, CreateSessionRequest, LfResponse, LfSpec, MatchRequest, MatchResponse, QueryRequest,
-    SessionResponse,
+    ApiError, CreateSessionRequest, LabelRequest, LabelResponse, LfResponse, LfSpec, MatchRequest,
+    MatchResponse, QueryRequest, SessionListEntry, SessionListResponse, SessionResponse,
 };
 use crate::http::{Request, Response};
-use crate::state::AppState;
+use crate::persist::WalOp;
+use crate::state::{AppState, SessionSlot};
 use panda_session::PandaSession;
 use panda_table::CandidatePair;
 use serde::{Deserialize, Serialize};
-use std::sync::{Arc, Mutex};
 
 /// Handle one parsed request against the shared state.
 pub fn handle(state: &AppState, req: &Request) -> Response {
@@ -61,7 +61,8 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
         },
         ["sessions"] => match method {
             "POST" => ("/sessions", create_session(state, req)),
-            _ => ("/sessions", method_not_allowed("POST")),
+            "GET" => ("/sessions", list_sessions(state)),
+            _ => ("/sessions", method_not_allowed("GET, POST")),
         },
         ["sessions", id] => {
             let route = "/sessions/{id}";
@@ -76,11 +77,21 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             match method {
                 "POST" => (
                     route,
-                    with_session(state, id, |id, s| {
-                        s.fit();
-                        session_body(id, s)
+                    with_slot(state, id, |id, slot| {
+                        slot.session.fit();
+                        if let Err(msg) = slot.log_op(WalOp::Fit) {
+                            return persist_error(msg);
+                        }
+                        session_body(id, &mut slot.session)
                     }),
                 ),
+                _ => (route, method_not_allowed("POST")),
+            }
+        }
+        ["sessions", id, "labels"] => {
+            let route = "/sessions/{id}/labels";
+            match method {
+                "POST" => (route, label_candidate(state, id, req)),
                 _ => (route, method_not_allowed("POST")),
             }
         }
@@ -140,13 +151,26 @@ fn create_session(state: &AppState, req: &Request) -> Response {
              or check the input tables",
         );
     }
-    let id = state.insert(session);
+    let id = match state.create(session, Some(&body)) {
+        Ok(id) => id,
+        Err(msg) => return persist_error(msg),
+    };
     let guard = state.get(id).expect("just inserted");
-    let session = guard.lock().unwrap_or_else(|e| e.into_inner());
-    json_200(&SessionResponse {
-        session: id,
-        snapshot: session.snapshot(),
-    })
+    let mut slot = guard.lock().unwrap_or_else(|e| e.into_inner());
+    session_body(id, &mut slot.session)
+}
+
+fn list_sessions(state: &AppState) -> Response {
+    let sessions = state
+        .list()
+        .into_iter()
+        .map(|info| SessionListEntry {
+            session: info.id,
+            status: if info.live { "live" } else { "evicted" }.to_string(),
+            recovered: info.recovered,
+        })
+        .collect();
+    json_200(&SessionListResponse { sessions })
 }
 
 fn delete_session(state: &AppState, id: &str) -> Response {
@@ -170,27 +194,66 @@ fn add_lf(state: &AppState, id: &str, req: &Request) -> Response {
         Err(msg) => return error(400, "bad_lf", msg),
     };
     let name = lf.name().to_string();
-    with_session(state, id, move |_, s| {
-        match s.upsert_lf_incremental(lf) {
+    with_slot(state, id, move |_, slot| {
+        match slot.session.upsert_lf_incremental(lf) {
             // An LF that panics on some pair is the user's bug, reported
             // cleanly; the session has already rolled the edit back.
             Err(msg) => error(422, "lf_failed", msg),
-            Ok(()) => json_200(&LfResponse {
-                lf: name,
-                n_lfs: s.registry().lfs().len(),
-            }),
+            Ok(()) => {
+                if let Err(msg) = slot.log_op(WalOp::UpsertLf { spec }) {
+                    return persist_error(msg);
+                }
+                json_200(&LfResponse {
+                    lf: name,
+                    n_lfs: slot.session.registry().lfs().len(),
+                })
+            }
         }
     })
 }
 
 fn remove_lf(state: &AppState, id: &str, name: &str) -> Response {
     let name = name.to_string();
-    with_session(state, id, move |_, s| {
-        if s.remove_lf_incremental(&name) {
+    with_slot(state, id, move |_, slot| {
+        if slot.session.remove_lf_incremental(&name) {
+            if let Err(msg) = slot.log_op(WalOp::RemoveLf { name }) {
+                return persist_error(msg);
+            }
             Response::json(200, r#"{"status":"removed"}"#)
         } else {
             error(404, "unknown_lf", format!("no LF named {name:?}"))
         }
+    })
+}
+
+fn label_candidate(state: &AppState, id: &str, req: &Request) -> Response {
+    let body: LabelRequest = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    with_slot(state, id, move |_, slot| {
+        let i = body.candidate as usize;
+        if i >= slot.session.candidates().len() {
+            return error(
+                422,
+                "bad_candidate",
+                format!(
+                    "candidate {i} out of range ({} candidate pairs)",
+                    slot.session.candidates().len()
+                ),
+            );
+        }
+        slot.session.label_pair(i, body.is_match);
+        if let Err(msg) = slot.log_op(WalOp::Label {
+            candidate: body.candidate,
+            is_match: body.is_match,
+        }) {
+            return persist_error(msg);
+        }
+        json_200(&LabelResponse {
+            candidate: body.candidate,
+            n_user_labels: slot.session.em_stats().n_user_labels,
+        })
     })
 }
 
@@ -230,7 +293,8 @@ fn score_pairs(state: &AppState, req: &Request) -> Response {
             format!("no session {}", body.session),
         );
     };
-    let session = guard.lock().unwrap_or_else(|e| e.into_inner());
+    let slot = guard.lock().unwrap_or_else(|e| e.into_inner());
+    let session = &slot.session;
     let mut scores = Vec::with_capacity(body.pairs.len());
     for pair in &body.pairs {
         let [l, r] = pair.as_slice() else {
@@ -252,11 +316,12 @@ fn score_pairs(state: &AppState, req: &Request) -> Response {
 // Plumbing
 // ---------------------------------------------------------------------------
 
-/// Look up a session and run `f` under its lock; 404 on a bad handle.
-fn with_session(
+/// Look up a session slot (rehydrating it if evicted) and run `f` under
+/// its lock; 404 on a bad handle.
+fn with_slot(
     state: &AppState,
     id: &str,
-    f: impl FnOnce(u64, &mut PandaSession) -> Response,
+    f: impl FnOnce(u64, &mut SessionSlot) -> Response,
 ) -> Response {
     let Some(id) = parse_id(id) else {
         return error(404, "unknown_session", format!("bad session id {id:?}"));
@@ -264,9 +329,23 @@ fn with_session(
     let Some(guard) = state.get(id) else {
         return error(404, "unknown_session", format!("no session {id}"));
     };
-    let guard: Arc<Mutex<PandaSession>> = guard;
-    let mut session = guard.lock().unwrap_or_else(|e| e.into_inner());
-    f(id, &mut session)
+    let mut slot = guard.lock().unwrap_or_else(|e| e.into_inner());
+    f(id, &mut slot)
+}
+
+/// Read-only convenience over [`with_slot`] for handlers that never log.
+fn with_session(
+    state: &AppState,
+    id: &str,
+    f: impl FnOnce(u64, &mut PandaSession) -> Response,
+) -> Response {
+    with_slot(state, id, |id, slot| f(id, &mut slot.session))
+}
+
+/// The edit was applied in memory but could not be made durable: the
+/// client sees a 500 and must treat the op as not acknowledged.
+fn persist_error(msg: String) -> Response {
+    error(500, "persist_failed", msg)
 }
 
 /// The standard session body: handle + fresh snapshot.
@@ -368,6 +447,34 @@ mod tests {
 
         let resp = handle(&state, &req("POST", &format!("/sessions/{id}/fit"), ""));
         assert_eq!(resp.status, 200, "{}", resp.body);
+
+        // Spot-label a candidate, reject an out-of-range one.
+        let resp = handle(
+            &state,
+            &req(
+                "POST",
+                &format!("/sessions/{id}/labels"),
+                r#"{"candidate":0,"is_match":true}"#,
+            ),
+        );
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"n_user_labels\":1"), "{}", resp.body);
+        let resp = handle(
+            &state,
+            &req(
+                "POST",
+                &format!("/sessions/{id}/labels"),
+                r#"{"candidate":9999,"is_match":true}"#,
+            ),
+        );
+        assert_eq!(resp.status, 422, "{}", resp.body);
+        assert!(resp.body.contains("bad_candidate"));
+
+        // The listing shows one live, non-recovered session.
+        let resp = handle(&state, &req("GET", "/sessions", ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("\"status\":\"live\""), "{}", resp.body);
+        assert!(resp.body.contains("\"recovered\":false"), "{}", resp.body);
 
         let q = r#"{"lf":"name_overlap","query":"VotedMatch","limit":5}"#;
         let resp = handle(&state, &req("POST", &format!("/sessions/{id}/query"), q));

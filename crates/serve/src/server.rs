@@ -17,13 +17,14 @@
 
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::router;
-use crate::state::AppState;
+use crate::state::{AppState, StateOptions};
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serving knobs. `Default` is sensible for tests and local use.
 #[derive(Debug, Clone)]
@@ -40,6 +41,16 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Durable state directory (`None` = fully in-memory). With one set,
+    /// startup recovers every persisted session before accepting.
+    pub state_dir: Option<PathBuf>,
+    /// Max sessions resident in memory (0 = unbounded); LRU entries
+    /// beyond it are evicted to snapshot.
+    pub max_sessions: usize,
+    /// Idle time after which a session is evicted by the sweep.
+    pub session_ttl: Option<Duration>,
+    /// WAL appends between snapshot compactions.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +62,10 @@ impl Default for ServerConfig {
             queue_depth: 128,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            state_dir: None,
+            max_sessions: 0,
+            session_ttl: None,
+            snapshot_every: crate::persist::DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -67,7 +82,16 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new());
+        // Recovery happens here, before the first accept: every session
+        // the state dir holds is replayed and digest-verified up front.
+        let state = AppState::open(StateOptions {
+            state_dir: config.state_dir.clone(),
+            max_sessions: config.max_sessions,
+            session_ttl: config.session_ttl,
+            snapshot_every: config.snapshot_every,
+        })
+        .map_err(std::io::Error::other)?;
+        let state = Arc::new(state);
         let queue: ConnQueue = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
         let n_workers = if config.workers == 0 {
             panda_exec::worker_count()
@@ -110,7 +134,14 @@ impl Server {
 
 fn accept_loop(listener: &TcpListener, state: &AppState, queue: &ConnQueue, depth: usize) {
     let (lock, cvar) = &**queue;
+    let mut last_sweep = Instant::now();
     while !state.shutdown_requested() {
+        // TTL sweep rides the accept thread (~1s cadence) — no dedicated
+        // timer thread, and eviction never blocks a worker.
+        if last_sweep.elapsed() >= Duration::from_secs(1) {
+            state.sweep();
+            last_sweep = Instant::now();
+        }
         match listener.accept() {
             Ok((mut stream, _)) => {
                 let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
@@ -253,6 +284,9 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        // Workers are gone — compact every dirty session so the next
+        // start replays zero WAL records.
+        self.state.compact_all();
     }
 }
 

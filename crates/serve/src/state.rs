@@ -1,82 +1,419 @@
-//! Shared server state: the session table and the shutdown latch.
+//! Shared server state: the session table, the durable store, capacity
+//! management, and the shutdown latch.
+//!
+//! Sessions sit behind individual mutexes so requests against *different*
+//! sessions proceed in parallel; the outer map lock is held only for
+//! lookup/insert/remove/eviction bookkeeping. Lock order is always map →
+//! session (the evictor only `try_lock`s victims while holding the map
+//! lock, so it can never deadlock against a worker that holds a session
+//! and wants the map). A poisoned session lock (an LF panicked while a
+//! worker held it) is recovered — the session rolls back failed edits
+//! itself, so its state stays coherent.
+//!
+//! With a [`SessionStore`] attached, every entry pairs its session with a
+//! [`SessionPersist`] WAL handle, startup replays the state directory,
+//! LRU entries beyond `max_sessions` are **evicted to snapshot** (the
+//! entry stays in the map with `slot: None` and transparently rehydrates
+//! on the next touch), and a TTL sweep evicts idle sessions.
 
+use crate::api::CreateSessionRequest;
+use crate::persist::{SessionPersist, SessionStore, WalOp};
 use panda_session::PandaSession;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::time::{Duration, Instant};
+
+/// A live session plus its persistence handle (absent when the server
+/// runs without `--state-dir`).
+pub struct SessionSlot {
+    /// The session itself.
+    pub session: PandaSession,
+    persist: Option<SessionPersist>,
+}
+
+impl SessionSlot {
+    /// Durably log an already-applied op (no-op without a store). Called
+    /// before the response is acknowledged; an error must surface as a
+    /// 500 so the client knows the edit is not durable.
+    pub fn log_op(&mut self, op: WalOp) -> Result<(), String> {
+        match &mut self.persist {
+            Some(p) => p.append(op, &self.session),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One session-table entry. `slot: None` means evicted-to-snapshot.
+struct Entry {
+    slot: Option<Arc<Mutex<SessionSlot>>>,
+    last_touch: Instant,
+    recovered: bool,
+}
+
+/// A `GET /sessions` listing row, pre-wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// Session handle.
+    pub id: u64,
+    /// In memory right now (vs evicted to snapshot).
+    pub live: bool,
+    /// Rebuilt from disk at server startup.
+    pub recovered: bool,
+}
+
+/// Durability and capacity knobs for [`AppState::open`].
+#[derive(Debug, Clone, Default)]
+pub struct StateOptions {
+    /// State directory; `None` runs fully in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// Max sessions held in memory (0 = unbounded). Beyond it, LRU
+    /// entries are evicted to snapshot (with a store) or dropped
+    /// entirely (without one).
+    pub max_sessions: usize,
+    /// Idle time after which a session is evicted by [`AppState::sweep`].
+    pub session_ttl: Option<Duration>,
+    /// Appended WAL ops between snapshot compactions (0 = never).
+    pub snapshot_every: u64,
+}
 
 /// Everything the worker threads share.
-///
-/// Sessions sit behind individual mutexes so requests against *different*
-/// sessions proceed in parallel; the outer map lock is held only for
-/// lookup/insert/remove. A poisoned session lock (an LF panicked while a
-/// worker held it) is recovered — the session rolls back failed edits
-/// itself, so its state stays coherent.
 pub struct AppState {
-    sessions: Mutex<HashMap<u64, Arc<Mutex<PandaSession>>>>,
+    entries: Mutex<HashMap<u64, Entry>>,
+    store: Option<SessionStore>,
+    max_live: usize,
+    ttl: Option<Duration>,
+    /// Serializes rehydration so N concurrent touches of one evicted
+    /// session replay it once, and the map lock stays free meanwhile.
+    rehydrate_lock: Mutex<()>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
 }
 
 impl Default for AppState {
     fn default() -> Self {
-        AppState {
-            sessions: Mutex::new(HashMap::new()),
-            next_id: AtomicU64::new(1),
-            shutdown: AtomicBool::new(false),
-        }
+        AppState::open(StateOptions::default()).expect("in-memory state cannot fail")
     }
 }
 
+fn lock_map(state: &AppState) -> MutexGuard<'_, HashMap<u64, Entry>> {
+    state.entries.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl AppState {
-    /// Fresh state with no sessions.
+    /// Fresh in-memory state with no sessions and no durability.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Register a session; returns its wire handle.
-    pub fn insert(&self, session: PandaSession) -> u64 {
+    /// Open state with durability/capacity options. With a state dir,
+    /// every persisted session is recovered (WAL-on-top-of-snapshot,
+    /// digest-verified) before this returns; sessions that fail to
+    /// recover are quarantined on disk and skipped with a counter + a
+    /// stderr note, never served wrong.
+    pub fn open(options: StateOptions) -> Result<Self, String> {
+        let store = match &options.state_dir {
+            Some(dir) => Some(SessionStore::open(dir, options.snapshot_every)?),
+            None => None,
+        };
+        let mut entries = HashMap::new();
+        let mut next_id = 1u64;
+        if let Some(store) = &store {
+            let _span = panda_obs::span("serve.recover");
+            let mut ids = store.scan();
+            ids.sort_unstable();
+            for id in ids {
+                next_id = next_id.max(id + 1);
+                match store.recover(id) {
+                    Ok(rec) => {
+                        entries.insert(
+                            id,
+                            Entry {
+                                slot: Some(Arc::new(Mutex::new(SessionSlot {
+                                    session: rec.session,
+                                    persist: Some(rec.persist),
+                                }))),
+                                last_touch: Instant::now(),
+                                recovered: true,
+                            },
+                        );
+                        panda_obs::counter_add("serve.sessions.recovered", 1);
+                    }
+                    Err(msg) => {
+                        panda_obs::counter_add("serve.sessions.recovery_failed", 1);
+                        eprintln!("panda-serve: session {id} not recovered ({msg}); its state dir is kept for inspection");
+                    }
+                }
+            }
+            panda_obs::gauge_set("serve.sessions.live", entries.len() as f64);
+        }
+        let state = AppState {
+            entries: Mutex::new(entries),
+            store,
+            max_live: options.max_sessions,
+            ttl: options.session_ttl,
+            rehydrate_lock: Mutex::new(()),
+            next_id: AtomicU64::new(next_id),
+            shutdown: AtomicBool::new(false),
+        };
+        state.enforce_capacity(None);
+        Ok(state)
+    }
+
+    /// Register a session created from a wire request; with a store the
+    /// create record is durably logged before this returns. Returns the
+    /// wire handle.
+    pub fn create(
+        &self,
+        session: PandaSession,
+        request: Option<&CreateSessionRequest>,
+    ) -> Result<u64, String> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.sessions
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::new(Mutex::new(session)));
-        panda_obs::gauge_set("serve.sessions.live", self.len() as f64);
-        id
+        let persist = match (&self.store, request) {
+            (Some(store), Some(req)) => Some(store.create(id, req, &session)?),
+            _ => None,
+        };
+        let slot = Arc::new(Mutex::new(SessionSlot { session, persist }));
+        {
+            let mut map = lock_map(self);
+            map.insert(
+                id,
+                Entry {
+                    slot: Some(slot),
+                    last_touch: Instant::now(),
+                    recovered: false,
+                },
+            );
+            // Gauge published under the map lock: a concurrent insert
+            // cannot interleave between the mutation and the publish.
+            publish_live_gauge(&map);
+        }
+        self.enforce_capacity(Some(id));
+        Ok(id)
     }
 
-    /// Look up a session by handle.
-    pub fn get(&self, id: u64) -> Option<Arc<Mutex<PandaSession>>> {
-        self.sessions
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&id)
-            .cloned()
+    /// Register a session with no backing request (library/test use —
+    /// such sessions are never persisted); returns its wire handle.
+    pub fn insert(&self, session: PandaSession) -> u64 {
+        self.create(session, None).expect("no store I/O involved")
     }
 
-    /// Drop a session. Returns whether it existed.
+    /// Look up a session by handle, rehydrating it from its snapshot if
+    /// it was evicted. Touches the LRU clock.
+    pub fn get(&self, id: u64) -> Option<Arc<Mutex<SessionSlot>>> {
+        match self.probe(id) {
+            Probe::Live(slot) => return Some(slot),
+            Probe::Missing => return None,
+            Probe::Evicted => {}
+        }
+        // Rehydrate outside the map lock, serialized so concurrent
+        // touches of the same evicted session load it once.
+        let guard = self
+            .rehydrate_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        match self.probe(id) {
+            Probe::Live(slot) => return Some(slot),
+            Probe::Missing => return None,
+            Probe::Evicted => {}
+        }
+        let store = self.store.as_ref()?;
+        let _span = panda_obs::span("serve.session.rehydrate");
+        match store.recover(id) {
+            Ok(rec) => {
+                let slot = Arc::new(Mutex::new(SessionSlot {
+                    session: rec.session,
+                    persist: Some(rec.persist),
+                }));
+                {
+                    let mut map = lock_map(self);
+                    let entry = map.get_mut(&id)?; // deleted meanwhile
+                    entry.slot = Some(Arc::clone(&slot));
+                    entry.last_touch = Instant::now();
+                    publish_live_gauge(&map);
+                }
+                panda_obs::counter_add("serve.sessions.rehydrated", 1);
+                drop(guard);
+                self.enforce_capacity(Some(id));
+                Some(slot)
+            }
+            Err(msg) => {
+                panda_obs::counter_add("serve.sessions.recovery_failed", 1);
+                eprintln!("panda-serve: session {id} failed to rehydrate: {msg}");
+                None
+            }
+        }
+    }
+
+    fn probe(&self, id: u64) -> Probe {
+        let mut map = lock_map(self);
+        match map.get_mut(&id) {
+            None => Probe::Missing,
+            Some(entry) => {
+                entry.last_touch = Instant::now();
+                match &entry.slot {
+                    Some(slot) => Probe::Live(Arc::clone(slot)),
+                    None => Probe::Evicted,
+                }
+            }
+        }
+    }
+
+    /// Drop a session (memory and disk). Returns whether it existed.
     pub fn remove(&self, id: u64) -> bool {
-        let existed = self
-            .sessions
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(&id)
-            .is_some();
-        panda_obs::gauge_set("serve.sessions.live", self.len() as f64);
+        let existed = {
+            let mut map = lock_map(self);
+            let existed = map.remove(&id).is_some();
+            publish_live_gauge(&map);
+            existed
+        };
+        if existed {
+            if let Some(store) = &self.store {
+                store.delete(id);
+            }
+        }
         existed
     }
 
-    /// Number of live sessions.
+    /// Number of known sessions (live + evicted).
     pub fn len(&self) -> usize {
-        self.sessions
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        lock_map(self).len()
     }
 
-    /// Whether no sessions are live.
+    /// Whether no sessions are known.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of sessions currently held in memory.
+    pub fn live_len(&self) -> usize {
+        lock_map(self).values().filter(|e| e.slot.is_some()).count()
+    }
+
+    /// Listing rows for `GET /sessions`, sorted by id.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let map = lock_map(self);
+        let mut rows: Vec<SessionInfo> = map
+            .iter()
+            .map(|(&id, e)| SessionInfo {
+                id,
+                live: e.slot.is_some(),
+                recovered: e.recovered,
+            })
+            .collect();
+        drop(map);
+        rows.sort_by_key(|r| r.id);
+        rows
+    }
+
+    /// Evict LRU live sessions down to the `max_sessions` bound. Victims
+    /// whose lock is currently held by a worker are skipped (soft
+    /// overshoot rather than deadlock); the next enforcement catches
+    /// them. `exempt` protects the entry that triggered enforcement.
+    fn enforce_capacity(&self, exempt: Option<u64>) {
+        if self.max_live == 0 {
+            return;
+        }
+        let mut map = lock_map(self);
+        loop {
+            let live = map.values().filter(|e| e.slot.is_some()).count();
+            if live <= self.max_live {
+                return;
+            }
+            let mut victims: Vec<(Instant, u64)> = map
+                .iter()
+                .filter(|(id, e)| e.slot.is_some() && Some(**id) != exempt)
+                .map(|(&id, e)| (e.last_touch, id))
+                .collect();
+            victims.sort_unstable();
+            let evicted_one = victims
+                .iter()
+                .any(|&(_, id)| self.evict_locked(&mut map, id));
+            if !evicted_one {
+                return; // everyone busy or un-evictable right now
+            }
+        }
+    }
+
+    /// Evict idle sessions past the TTL. Driven from the accept loop.
+    pub fn sweep(&self) {
+        let Some(ttl) = self.ttl else {
+            return;
+        };
+        let now = Instant::now();
+        let mut map = lock_map(self);
+        let stale: Vec<u64> = map
+            .iter()
+            .filter(|(_, e)| e.slot.is_some() && now.duration_since(e.last_touch) >= ttl)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stale {
+            self.evict_locked(&mut map, id);
+        }
+    }
+
+    /// Evict one live entry while holding the map lock. With a store the
+    /// session is snapshotted and the entry kept (rehydratable); without
+    /// one the entry is dropped entirely. Returns whether it evicted.
+    fn evict_locked(&self, map: &mut HashMap<u64, Entry>, id: u64) -> bool {
+        let Some(entry) = map.get(&id) else {
+            return false;
+        };
+        let Some(slot) = entry.slot.clone() else {
+            return false;
+        };
+        let mut locked = match slot.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => return false, // a worker is in it
+        };
+        if self.store.is_some() {
+            let SessionSlot { session, persist } = &mut *locked;
+            let Some(p) = persist.as_mut() else {
+                return false; // request-less session: nothing to rehydrate from
+            };
+            if let Err(msg) = p.write_snapshot(session) {
+                panda_obs::counter_add("serve.sessions.evict_failed", 1);
+                eprintln!("panda-serve: session {id} not evicted: {msg}");
+                return false;
+            }
+            drop(locked);
+            map.get_mut(&id).expect("entry present").slot = None;
+        } else {
+            drop(locked);
+            map.remove(&id);
+        }
+        panda_obs::counter_add("serve.sessions.evicted", 1);
+        publish_live_gauge(map);
+        true
+    }
+
+    /// Snapshot every live persisted session — graceful-shutdown path,
+    /// so a later restart replays zero WAL records. Failures are logged,
+    /// never fatal: the WAL already holds everything.
+    pub fn compact_all(&self) {
+        if self.store.is_none() {
+            return;
+        }
+        let slots: Vec<(u64, Arc<Mutex<SessionSlot>>)> = {
+            let map = lock_map(self);
+            map.iter()
+                .filter_map(|(&id, e)| e.slot.clone().map(|s| (id, s)))
+                .collect()
+        };
+        for (id, slot) in slots {
+            let mut locked = slot.lock().unwrap_or_else(|e| e.into_inner());
+            let SessionSlot { session, persist } = &mut *locked;
+            if let Some(p) = persist.as_mut() {
+                if p.wal_depth() == 0 {
+                    continue; // already compact
+                }
+                if let Err(msg) = p.write_snapshot(session) {
+                    eprintln!("panda-serve: final snapshot of session {id} failed: {msg}");
+                }
+            }
+        }
     }
 
     /// Ask the server to stop accepting and drain.
@@ -88,6 +425,17 @@ impl AppState {
     pub fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || crate::signal::sigterm_received()
     }
+}
+
+enum Probe {
+    Live(Arc<Mutex<SessionSlot>>),
+    Evicted,
+    Missing,
+}
+
+fn publish_live_gauge(map: &HashMap<u64, Entry>) {
+    let live = map.values().filter(|e| e.slot.is_some()).count();
+    panda_obs::gauge_set("serve.sessions.live", live as f64);
 }
 
 #[cfg(test)]
@@ -129,5 +477,45 @@ mod tests {
         assert!(!state.shutdown_requested());
         state.request_shutdown();
         assert!(state.shutdown_requested());
+    }
+
+    #[test]
+    fn capacity_without_store_drops_lru() {
+        let state = AppState::open(StateOptions {
+            max_sessions: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let a = state.insert(tiny_session());
+        let b = state.insert(tiny_session());
+        // Touch `a` so `b` becomes the LRU victim when `c` arrives.
+        assert!(state.get(a).is_some());
+        let c = state.insert(tiny_session());
+        assert_eq!(state.live_len(), 2);
+        assert!(state.get(b).is_none(), "LRU dropped without a store");
+        assert!(state.get(a).is_some());
+        assert!(state.get(c).is_some());
+    }
+
+    #[test]
+    fn sweep_without_ttl_is_a_noop() {
+        let state = AppState::new();
+        state.insert(tiny_session());
+        state.sweep();
+        assert_eq!(state.live_len(), 1);
+    }
+
+    #[test]
+    fn ttl_sweep_drops_idle_sessions() {
+        let state = AppState::open(StateOptions {
+            session_ttl: Some(Duration::from_millis(10)),
+            ..Default::default()
+        })
+        .unwrap();
+        let id = state.insert(tiny_session());
+        std::thread::sleep(Duration::from_millis(25));
+        state.sweep();
+        assert!(state.get(id).is_none(), "idle session swept");
+        assert!(state.is_empty());
     }
 }

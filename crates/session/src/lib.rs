@@ -23,6 +23,7 @@ pub mod authoring;
 pub mod debug;
 pub mod events;
 pub mod panels;
+pub mod persist;
 pub mod sampling;
 pub mod scale;
 pub mod session;
@@ -31,5 +32,6 @@ pub use authoring::generate_notebook;
 pub use debug::DebugQuery;
 pub use events::SessionEvent;
 pub use panels::{DataViewerRow, EmStats, SessionSnapshot};
+pub use persist::SessionState;
 pub use scale::downsample_task;
 pub use session::{DeploymentResult, ModelChoice, PandaSession, SessionConfig};

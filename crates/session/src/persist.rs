@@ -1,0 +1,147 @@
+//! Durable session state: everything a [`crate::PandaSession`] must
+//! persist to be rebuilt **bit-exactly** after a process restart.
+//!
+//! The split of responsibilities with the serving layer:
+//!
+//! * This module defines the serializable [`SessionState`] and the
+//!   encode/decode helpers, and `PandaSession` gains
+//!   `dehydrate`/`rehydrate` (in `session.rs`).
+//! * The tables themselves are **not** part of `SessionState` — the
+//!   owner of the state (the serve layer's session store) persists the
+//!   original create request (CSVs + config DTO) next to it and re-runs
+//!   blocking at rehydration time. Blocking is deterministic under the
+//!   session seed, and [`panda_lf::LabelMatrix::restore`] recomputes the
+//!   candidate fingerprint from the re-derived candidate set, so the
+//!   stored `matrix_digest` check also proves the candidates came out
+//!   identical.
+//! * Posteriors and fitted model parameters are stored as `f64::to_bits`
+//!   words: JSON float round-tripping is shortest-representation exact
+//!   in this workspace's vendored encoder, but bit patterns make the
+//!   bit-exactness contract independent of the text encoding.
+
+use crate::events::SessionEvent;
+use serde::{Deserialize, Serialize};
+
+/// One persisted labeling function.
+///
+/// `spec` is an opaque string the *owner* of the session store can turn
+/// back into an LF (the serve layer stores the JSON of the wire-level
+/// `LfSpec`). Auto-generated LFs (provenance `Auto`) carry no spec: they
+/// are regenerated deterministically from tables + config at rehydration
+/// and matched back by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LfState {
+    /// Registry name.
+    pub name: String,
+    /// Registry version (feeds the matrix digest).
+    pub version: u64,
+    /// Rebuild recipe, `None` for auto-generated LFs.
+    pub spec: Option<String>,
+}
+
+/// One persisted label-matrix column. Votes are packed one char per
+/// pair: `+` / `-` / `.` for match / non-match / abstain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnState {
+    /// LF name (matrix column key).
+    pub name: String,
+    /// Version the column was computed at.
+    pub version: u64,
+    /// Packed votes, one char per candidate pair.
+    pub labels: String,
+}
+
+/// One user spot label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserLabel {
+    /// Candidate index.
+    pub candidate: u64,
+    /// The user's verdict.
+    pub is_match: bool,
+}
+
+/// The complete dehydrated session (minus tables/config, see module
+/// docs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionState {
+    /// Registry entries in insertion order.
+    pub lfs: Vec<LfState>,
+    /// Registry version counter (NOT derivable from `lfs`: the
+    /// highest-versioned LF may have been removed).
+    pub next_lf_version: u64,
+    /// [`panda_lf::LabelMatrix::digest`] at dehydration time — verified
+    /// after rehydration before the session is served again.
+    pub matrix_digest: u64,
+    /// Matrix columns in column order.
+    pub columns: Vec<ColumnState>,
+    /// Posteriors as `f64::to_bits` words.
+    pub posteriors: Vec<u64>,
+    /// Fitted-model parameter blob ([`panda_model::LabelModel::capture_fitted`])
+    /// as `f64::to_bits` words; `None` when the session never fitted.
+    pub fitted_model: Option<Vec<u64>>,
+    /// User spot labels, sorted by candidate index.
+    pub user_labels: Vec<UserLabel>,
+    /// Indices of candidates already shown by a sampler.
+    pub shown: Vec<u64>,
+    /// Sampler nonce (keeps post-recovery sampling on the pre-crash
+    /// deterministic stream).
+    pub sample_counter: u64,
+    /// The full event log.
+    pub events: Vec<SessionEvent>,
+}
+
+/// Pack votes as one char per pair.
+pub fn encode_labels(labels: &[i8]) -> String {
+    labels
+        .iter()
+        .map(|&v| match v {
+            1.. => '+',
+            0 => '.',
+            _ => '-',
+        })
+        .collect()
+}
+
+/// Inverse of [`encode_labels`].
+pub fn decode_labels(s: &str) -> Result<Vec<i8>, String> {
+    s.chars()
+        .map(|c| match c {
+            '+' => Ok(1),
+            '.' => Ok(0),
+            '-' => Ok(-1),
+            other => Err(format!("bad vote char {other:?} in persisted column")),
+        })
+        .collect()
+}
+
+/// `f64` slice → bit patterns (lossless, NaN-safe).
+pub fn f64_bits(xs: &[f64]) -> Vec<u64> {
+    xs.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Inverse of [`f64_bits`].
+pub fn bits_f64(bits: &[u64]) -> Vec<f64> {
+    bits.iter().map(|&b| f64::from_bits(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_encoding_round_trips() {
+        let votes: Vec<i8> = vec![1, -1, 0, 0, 1, -1];
+        assert_eq!(encode_labels(&votes), "+-..+-");
+        assert_eq!(decode_labels("+-..+-").unwrap(), votes);
+        assert!(decode_labels("+x").is_err());
+    }
+
+    #[test]
+    fn f64_bits_round_trip_is_exact() {
+        let xs = [0.1 + 0.2, f64::MIN_POSITIVE, -0.0, 1.0 / 3.0];
+        let back = bits_f64(&f64_bits(&xs));
+        for (a, b) in xs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -4,10 +4,12 @@
 use crate::debug::{run_query, DebugQuery};
 use crate::events::{EventLog, SessionEvent};
 use crate::panels::{DataViewerRow, EmStats, SessionSnapshot};
+use crate::persist::{self, SessionState};
 use crate::sampling;
 use panda_autolf::{generate_auto_lfs, AutoLfConfig};
 use panda_embed::{cosine, Blocker, EmbeddingLshBlocker};
 use panda_eval::metrics::{metrics_at_half, Metrics};
+use panda_lf::lf::LfProvenance;
 use panda_lf::{lf_stats, ApplyReport, BoxedLf, LabelMatrix, LfRegistry, LfStatsRow};
 use panda_model::{LabelModel, MajorityVote, PandaModel, SnorkelModel, TransitivityMode};
 use panda_table::{CandidateSet, MatchSet, TablePair};
@@ -118,21 +120,29 @@ pub struct PandaSession {
 }
 
 impl PandaSession {
-    /// Step 1: load a dataset — block, discover auto LFs, apply, fit.
-    pub fn load(tables: TablePair, config: SessionConfig) -> Self {
-        let _span = panda_obs::span("session.load");
+    /// Deterministic blocking + sampler likelihood under a config —
+    /// shared by [`PandaSession::load`] and [`PandaSession::rehydrate`]
+    /// so recovery re-derives the exact candidate set the session was
+    /// originally built over.
+    fn block_candidates(tables: &TablePair, config: &SessionConfig) -> (CandidateSet, Vec<f64>) {
         let mut blocker = EmbeddingLshBlocker::new(config.seed);
         blocker.min_cosine = config.blocking_min_cosine;
         blocker.max_per_record = config.blocking_max_per_record;
-        let candidates = blocker.candidates(&tables);
-
+        let candidates = blocker.candidates(tables);
         // Likelihood = embedding cosine (reusing the blocking embeddings).
-        let (lvecs, rvecs) = blocker.embed_tables(&tables);
+        let (lvecs, rvecs) = blocker.embed_tables(tables);
         let likelihood: Vec<f64> = candidates
             .pairs()
             .iter()
             .map(|p| f64::from(cosine(&lvecs[p.left.idx()], &rvecs[p.right.idx()])))
             .collect();
+        (candidates, likelihood)
+    }
+
+    /// Step 1: load a dataset — block, discover auto LFs, apply, fit.
+    pub fn load(tables: TablePair, config: SessionConfig) -> Self {
+        let _span = panda_obs::span("session.load");
+        let (candidates, likelihood) = Self::block_candidates(&tables, &config);
 
         let mut session = PandaSession {
             shown: vec![false; candidates.len()],
@@ -638,6 +648,213 @@ impl PandaSession {
     pub fn matrix(&self) -> &LabelMatrix {
         &self.matrix
     }
+
+    // --- durability (see [`crate::persist`]) ---
+
+    /// Export the complete mutable state for persistence. `spec_for`
+    /// maps an LF name to its rebuild recipe (the serve layer stores the
+    /// wire `LfSpec` JSON); auto-generated LFs may return `None` — they
+    /// are regenerated deterministically at rehydration. Errors when an
+    /// LF is neither auto-generated nor spec-buildable (e.g. a closure
+    /// LF registered programmatically), or when the fitted model cannot
+    /// capture its parameters.
+    pub fn dehydrate(
+        &self,
+        spec_for: &dyn Fn(&str) -> Option<String>,
+    ) -> Result<SessionState, String> {
+        let mut lfs = Vec::with_capacity(self.registry.len());
+        for lf in self.registry.lfs() {
+            let spec = spec_for(lf.name());
+            if spec.is_none() && lf.provenance() != LfProvenance::Auto {
+                return Err(format!(
+                    "LF {:?} has no rebuild spec and is not auto-generated; it cannot be persisted",
+                    lf.name()
+                ));
+            }
+            lfs.push(persist::LfState {
+                name: lf.name().to_string(),
+                version: self.registry.version(lf.name()).unwrap_or(0),
+                spec,
+            });
+        }
+        let fitted_model = match &self.fitted {
+            None => None,
+            Some(model) => Some(persist::f64_bits(&model.capture_fitted().ok_or_else(
+                || format!("model {:?} cannot capture its fitted state", model.name()),
+            )?)),
+        };
+        let mut user_labels: Vec<persist::UserLabel> = self
+            .user_labels
+            .iter()
+            .map(|(&i, &is_match)| persist::UserLabel {
+                candidate: i as u64,
+                is_match,
+            })
+            .collect();
+        user_labels.sort_by_key(|l| l.candidate);
+        Ok(SessionState {
+            lfs,
+            next_lf_version: self.registry.next_version(),
+            matrix_digest: self.matrix.digest(),
+            columns: self
+                .matrix
+                .snapshot_columns()
+                .into_iter()
+                .map(|c| persist::ColumnState {
+                    name: c.name,
+                    version: c.version,
+                    labels: persist::encode_labels(&c.labels),
+                })
+                .collect(),
+            posteriors: persist::f64_bits(&self.posteriors),
+            fitted_model,
+            user_labels,
+            shown: self
+                .shown
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .map(|(i, _)| i as u64)
+                .collect(),
+            sample_counter: self.sample_counter,
+            events: self.log.events().to_vec(),
+        })
+    }
+
+    /// Rebuild a session from persisted state, **bit-exactly**: same
+    /// matrix digest, same posterior bits, same ad-hoc scores, and the
+    /// same deterministic sampling stream as the session that was
+    /// dehydrated. No refit runs and no new events are logged.
+    ///
+    /// Blocking re-runs from `tables` + `config` (deterministic under
+    /// the seed); spec-less LFs regenerate through auto-LF discovery;
+    /// `build_spec(name, spec)` rebuilds the rest. The persisted matrix
+    /// digest is then verified against the rebuilt matrix — since the
+    /// candidate fingerprint is recomputed from the re-derived candidate
+    /// set, a digest match also proves tables/config/blocking came out
+    /// identical to the original session.
+    pub fn rehydrate(
+        tables: TablePair,
+        config: SessionConfig,
+        state: &SessionState,
+        build_spec: &dyn Fn(&str, &str) -> Result<BoxedLf, String>,
+    ) -> Result<PandaSession, String> {
+        let _span = panda_obs::span("session.rehydrate");
+        let (candidates, likelihood) = Self::block_candidates(&tables, &config);
+
+        // Regenerate auto LFs only when some entry needs one.
+        let mut auto: HashMap<String, BoxedLf> = HashMap::new();
+        if state.lfs.iter().any(|l| l.spec.is_none()) {
+            for g in generate_auto_lfs(&tables, &candidates, &config.auto_lf_config) {
+                let lf: BoxedLf = Arc::new(g.lf);
+                auto.insert(lf.name().to_string(), lf);
+            }
+        }
+        let mut registry = LfRegistry::new();
+        for entry in &state.lfs {
+            let lf = match &entry.spec {
+                Some(spec) => {
+                    let lf = build_spec(&entry.name, spec)?;
+                    if lf.name() != entry.name {
+                        return Err(format!(
+                            "spec for LF {:?} rebuilt an LF named {:?}",
+                            entry.name,
+                            lf.name()
+                        ));
+                    }
+                    lf
+                }
+                None => auto.get(&entry.name).cloned().ok_or_else(|| {
+                    format!(
+                        "auto LF {:?} was not regenerated — tables or auto-LF config differ \
+                         from the persisted session",
+                        entry.name
+                    )
+                })?,
+            };
+            registry.restore_entry(lf, entry.version);
+        }
+        registry.set_next_version(state.next_lf_version);
+
+        let columns = state
+            .columns
+            .iter()
+            .map(|c| {
+                Ok(panda_lf::ColumnSnapshot {
+                    name: c.name.clone(),
+                    version: c.version,
+                    labels: persist::decode_labels(&c.labels)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let matrix = LabelMatrix::restore(&candidates, columns)?;
+        let rebuilt = matrix.digest();
+        if rebuilt != state.matrix_digest {
+            return Err(format!(
+                "matrix digest mismatch after rehydration: persisted {:#018x}, rebuilt \
+                 {rebuilt:#018x} — the stored state does not belong to these tables/config",
+                state.matrix_digest
+            ));
+        }
+
+        let posteriors = persist::bits_f64(&state.posteriors);
+        if posteriors.len() != candidates.len() {
+            return Err(format!(
+                "persisted posteriors cover {} pairs but blocking produced {}",
+                posteriors.len(),
+                candidates.len()
+            ));
+        }
+        let fitted = match &state.fitted_model {
+            None => None,
+            Some(bits) => {
+                let mut model = config.model.build();
+                if !model.restore_fitted(&persist::bits_f64(bits)) {
+                    return Err(format!(
+                        "model {:?} rejected the persisted parameter blob (model choice changed?)",
+                        model.name()
+                    ));
+                }
+                Some(model)
+            }
+        };
+
+        let mut shown = vec![false; candidates.len()];
+        for &i in &state.shown {
+            let i = i as usize;
+            if i >= shown.len() {
+                return Err(format!("persisted shown index {i} out of range"));
+            }
+            shown[i] = true;
+        }
+        let mut user_labels = HashMap::new();
+        for l in &state.user_labels {
+            let i = l.candidate as usize;
+            if i >= candidates.len() {
+                return Err(format!("persisted user label index {i} out of range"));
+            }
+            user_labels.insert(i, l.is_match);
+        }
+        let mut log = EventLog::default();
+        for e in &state.events {
+            log.push(e.clone());
+        }
+
+        Ok(PandaSession {
+            config,
+            tables,
+            candidates,
+            likelihood,
+            registry,
+            matrix,
+            posteriors,
+            shown,
+            user_labels,
+            log,
+            sample_counter: state.sample_counter,
+            fitted,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -949,6 +1166,118 @@ mod tests {
             .score_pair(panda_table::CandidatePair::new(0, 0))
             .unwrap_err();
         assert!(err.contains("cannot score"), "{err}");
+    }
+
+    /// A toy spec codec for the round-trip tests: `attr:upper:lower` →
+    /// Jaccard `SimilarityLf` (the serve layer uses its wire `LfSpec`
+    /// JSON in this role).
+    fn build_sim_spec(name: &str, spec: &str) -> Result<BoxedLf, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let [attr, upper, lower] = parts.as_slice() else {
+            return Err(format!("bad spec {spec:?}"));
+        };
+        Ok(Arc::new(SimilarityLf::new(
+            name,
+            *attr,
+            SimilarityConfig::default_jaccard(),
+            upper.parse().map_err(|e| format!("{e}"))?,
+            lower.parse().map_err(|e| format!("{e}"))?,
+        )))
+    }
+
+    #[test]
+    fn dehydrate_rehydrate_is_bit_exact() {
+        // Auto LFs (spec-less, regenerated at rehydration) plus a manual
+        // spec-backed LF, a fit, and a spot label.
+        let mut live = PandaSession::load(small_task(), SessionConfig::default());
+        live.upsert_lf_incremental(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )))
+        .unwrap();
+        live.fit();
+        live.label_pair(0, true);
+
+        let spec_for = |name: &str| (name == "name_overlap").then(|| "name:0.6:0.1".to_string());
+        let state = live.dehydrate(&spec_for).unwrap();
+        let mut back = PandaSession::rehydrate(
+            small_task(),
+            SessionConfig::default(),
+            &state,
+            &build_sim_spec,
+        )
+        .unwrap();
+
+        assert_eq!(back.matrix().digest(), live.matrix().digest());
+        assert_eq!(
+            persist::f64_bits(back.posteriors()),
+            persist::f64_bits(live.posteriors()),
+            "posterior bits survive"
+        );
+        assert_eq!(back.events().len(), live.events().len());
+        assert_eq!(back.em_stats(), live.em_stats());
+        // Ad-hoc scoring works with NO refit, bit-exactly.
+        let pair = live.candidates().get(0).unwrap();
+        assert_eq!(
+            back.score_pair(pair).unwrap().to_bits(),
+            live.score_pair(pair).unwrap().to_bits()
+        );
+        // A further warm-started refit continues identically on both.
+        live.fit();
+        back.fit();
+        assert_eq!(
+            persist::f64_bits(back.posteriors()),
+            persist::f64_bits(live.posteriors()),
+            "post-recovery refit stays on the live trajectory"
+        );
+    }
+
+    #[test]
+    fn rehydrate_rejects_tampered_or_foreign_state() {
+        let mut live = PandaSession::load(small_task(), no_auto());
+        live.upsert_lf_incremental(Arc::new(SimilarityLf::new(
+            "name_overlap",
+            "name",
+            SimilarityConfig::default_jaccard(),
+            0.6,
+            0.1,
+        )))
+        .unwrap();
+        live.fit();
+        let spec_for = |_: &str| Some("name:0.6:0.1".to_string());
+        let state = live.dehydrate(&spec_for).unwrap();
+
+        // Tampered column bytes → digest mismatch.
+        let mut bad = state.clone();
+        let flipped: String = bad.columns[0]
+            .labels
+            .chars()
+            .map(|c| if c == '+' { '-' } else { c })
+            .collect();
+        bad.columns[0].labels = flipped;
+        let err = match PandaSession::rehydrate(small_task(), no_auto(), &bad, &build_sim_spec) {
+            Err(e) => e,
+            Ok(_) => panic!("tampered state must not rehydrate"),
+        };
+        assert!(err.contains("digest mismatch"), "{err}");
+
+        // Different tables → different candidates → digest mismatch too.
+        let other = generate(
+            DatasetFamily::FodorsZagats,
+            &GeneratorConfig::new(9).with_entities(80),
+        );
+        assert!(PandaSession::rehydrate(other, no_auto(), &state, &build_sim_spec).is_err());
+
+        // A closure LF with no spec cannot be persisted.
+        let mut closured = PandaSession::load(small_task(), no_auto());
+        closured.upsert_lf(Arc::new(panda_lf::ClosureLf::new("cl", |_| {
+            panda_lf::Label::Abstain
+        })));
+        closured.apply();
+        assert!(closured.dehydrate(&|_| None).is_err());
     }
 
     #[test]
