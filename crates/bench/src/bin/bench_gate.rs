@@ -1,13 +1,18 @@
 //! **Bench-regression gate** — the CI half of the committed
-//! `BENCH_autolf.json` baseline (see `.github/workflows/ci.yml`).
+//! `BENCH_autolf.json` / `BENCH_serve.json` baselines (see
+//! `.github/workflows/ci.yml`).
 //!
 //! Re-runs the two `p2_autolf_grid` workloads with telemetry enabled and
 //! compares the `autolf.generate` span mean against the committed
 //! `after.ns_per_iter` medians. A case fails when its mean exceeds
 //! `baseline × 1.25 × PANDA_BENCH_GATE_SLACK` (slack defaults to 1.0;
-//! CI sets it higher to absorb shared-runner noise). Exits nonzero on
-//! any failure and writes one `bench_gate_<case>.metrics.json` snapshot
-//! per case to `target/experiments/` for artifact upload.
+//! CI sets it higher to absorb shared-runner noise). It then boots an
+//! in-process `panda-serve` and drives a short keep-alive `/healthz`
+//! burst: measured throughput must stay above the committed `healthz`
+//! number divided by the same limit factor (throughput gates divide
+//! where latency gates multiply). Exits nonzero on any failure and
+//! writes one `bench_gate_<case>.metrics.json` snapshot per case to
+//! `target/experiments/` for artifact upload.
 //!
 //! Run: `cargo run --release -p panda-bench --bin bench_gate`
 
@@ -17,6 +22,7 @@ use panda_embed::{Blocker, EmbeddingLshBlocker};
 use panda_table::{CandidateSet, TablePair};
 use serde::Value;
 use std::hint::black_box;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 /// Timed iterations per case (plus one untimed warm-up).
@@ -96,6 +102,105 @@ fn load_baselines() -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Committed keep-alive `/healthz` throughput from `BENCH_serve.json`.
+fn load_serve_baseline() -> Result<f64, String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::parse_value(&text).map_err(|e| format!("bad JSON in {path}: {e}"))?;
+    let Some(Value::Array(cases)) = doc.get_field("cases") else {
+        return Err(format!("{path}: missing \"cases\" array"));
+    };
+    for c in cases {
+        if c.get_field("case") != Some(&Value::Str("healthz".into())) {
+            continue;
+        }
+        return c
+            .get_field("throughput_rps")
+            .and_then(|v| match v {
+                Value::Int(n) => Some(*n as f64),
+                Value::UInt(n) => Some(*n as f64),
+                Value::Float(n) => Some(*n),
+                _ => None,
+            })
+            .ok_or_else(|| format!("{path}: healthz: missing throughput_rps"));
+    }
+    Err(format!("{path}: no \"healthz\" case"))
+}
+
+/// Measure keep-alive `/healthz` throughput against an in-process server.
+/// Client count matches `bench_serve` — closed-loop throughput depends on
+/// the offered concurrency, so the gate must replay the baseline's shape.
+fn measure_serve_healthz_rps() -> Result<f64, String> {
+    const GATE_CLIENTS: usize = 4;
+    const GATE_REQUESTS: usize = 3000;
+    let handle = panda_serve::Server::start(panda_serve::ServerConfig {
+        workers: panda_exec::worker_count(),
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = handle.addr();
+    let started = std::time::Instant::now();
+    let clients: Vec<_> = (0..GATE_CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut stream =
+                    std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let wire = b"GET /healthz HTTP/1.1\r\nHost: gate\r\nContent-Length: 0\r\n\r\n";
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                for _ in 0..GATE_REQUESTS {
+                    stream.write_all(wire).map_err(|e| format!("send: {e}"))?;
+                    // One Content-Length-framed 200 per request.
+                    loop {
+                        if let Some(end) = full_response_len(&buf) {
+                            if !buf.starts_with(b"HTTP/1.1 200") {
+                                return Err(format!(
+                                    "non-200: {:?}",
+                                    String::from_utf8_lossy(&buf[..end.min(64)])
+                                ));
+                            }
+                            buf.drain(..end);
+                            break;
+                        }
+                        let n = stream.read(&mut chunk).map_err(|e| format!("recv: {e}"))?;
+                        if n == 0 {
+                            return Err("server closed mid-burst".into());
+                        }
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    let mut err = None;
+    for c in clients {
+        if let Err(e) = c.join().expect("gate client") {
+            err = Some(e);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    handle.shutdown();
+    handle.join();
+    match err {
+        Some(e) => Err(e),
+        None => Ok((GATE_CLIENTS * GATE_REQUESTS) as f64 / elapsed),
+    }
+}
+
+/// If `buf` starts with one complete `Content-Length`-framed response,
+/// return its total length.
+fn full_response_len(buf: &[u8]) -> Option<usize> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())?;
+    let total = head_end + content_length;
+    (buf.len() >= total).then_some(total)
+}
+
 fn gate_slack() -> f64 {
     match std::env::var("PANDA_BENCH_GATE_SLACK") {
         Ok(s) => s
@@ -166,8 +271,29 @@ fn main() -> ExitCode {
         }
     }
 
+    // Serve gate: keep-alive /healthz throughput must hold the line.
+    match (load_serve_baseline(), measure_serve_healthz_rps()) {
+        (Ok(baseline_rps), Ok(measured_rps)) => {
+            let floor_rps = baseline_rps / limit_factor;
+            let verdict = if measured_rps >= floor_rps {
+                "PASS"
+            } else {
+                failed = true;
+                "FAIL"
+            };
+            println!(
+                "  {verdict} serve_healthz    {:>9.0} req/s      baseline {:>9.0}  floor {:>9.0}",
+                measured_rps, baseline_rps, floor_rps
+            );
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: serve gate: {e}");
+            failed = true;
+        }
+    }
+
     if failed {
-        eprintln!("bench_gate: FAILED — autolf.generate regressed past the committed baseline");
+        eprintln!("bench_gate: FAILED — a case regressed past its committed baseline");
         ExitCode::FAILURE
     } else {
         println!("bench_gate: ok");

@@ -2,15 +2,19 @@
 //! in-process `panda-serve` instance.
 //!
 //! Boots the server on an ephemeral port, loads one session (incremental
-//! LF add + fit), then drives three request classes with `CLIENTS`
-//! closed-loop client threads each (a client issues a request, waits for
-//! the response, repeats — so concurrency is exactly the client count):
+//! LF add + fit), then drives request classes with `CLIENTS` closed-loop
+//! client threads each, in three connection modes:
 //!
-//! * `healthz` — wire + dispatch floor, no session work;
-//! * `match_single_pair` — one ad-hoc pair scored under the session lock;
-//! * `query_debug` — a debug-panel query (sort + render of viewer rows).
+//! * **keep-alive** (headline cases `healthz`, `match_single_pair`,
+//!   `query_debug`) — one persistent connection per client, one request
+//!   in flight at a time: the steady-state interactive-IDE shape;
+//! * **pipelined** (`healthz_pipelined`) — [`PIPELINE_DEPTH`] requests
+//!   written back-to-back per batch before reading the responses,
+//!   measuring how deeply the event loop amortizes syscalls;
+//! * **connection-per-request** (`*_connclose` cases) — the historic
+//!   shape, kept so the old-vs-new comparison stays honest.
 //!
-//! Reports throughput and p50/p95/p99 latency per class and writes the
+//! Reports throughput and p50/p95/p99 latency per case and writes the
 //! committed `BENCH_serve.json` snapshot.
 //!
 //! Set `PANDA_BENCH_STATE_DIR=<dir>` to run the server with the durable
@@ -27,14 +31,22 @@ use std::time::Instant;
 
 /// Closed-loop clients per case.
 const CLIENTS: usize = 4;
-/// Requests each client issues per case.
-const REQUESTS_PER_CLIENT: usize = 150;
+/// Requests per client for connection-per-request cases (connect cost
+/// dominates, so fewer suffice for a stable estimate).
+const REQUESTS_CONNCLOSE: usize = 150;
+/// Requests per client for keep-alive cases.
+const REQUESTS_KEEPALIVE: usize = 2000;
+/// Requests written back-to-back per pipelined batch.
+const PIPELINE_DEPTH: usize = 16;
+/// Batches per client for the pipelined case.
+const PIPELINE_BATCHES: usize = 125;
 
+/// One-shot request on a fresh connection (`Connection: close`).
 fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
-        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .expect("send");
@@ -47,6 +59,46 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .unwrap_or(0);
     let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
     (status, body)
+}
+
+/// Incremental response reader over a persistent connection: buffers
+/// socket reads and splits out one `Content-Length`-framed response at a
+/// time (keep-alive clients cannot rely on EOF framing).
+struct RespReader {
+    buf: Vec<u8>,
+}
+
+impl RespReader {
+    fn new() -> RespReader {
+        RespReader { buf: Vec::new() }
+    }
+
+    /// Read one full response off `stream`; returns its status code.
+    fn read_response(&mut self, stream: &mut TcpStream) -> u16 {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((status, consumed)) = split_one(&self.buf) {
+                self.buf.drain(..consumed);
+                return status;
+            }
+            let n = stream.read(&mut chunk).expect("recv");
+            assert!(n > 0, "server closed mid-response");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// If `buf` starts with one complete response, return `(status, len)`.
+fn split_one(buf: &[u8]) -> Option<(u16, usize)> {
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let status: u16 = head.split(' ').nth(1)?.parse().ok()?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())?;
+    let total = head_end + content_length;
+    (buf.len() >= total).then_some((status, total))
 }
 
 /// A product-matching table pair large enough that session requests do
@@ -76,6 +128,17 @@ fn demo_csvs() -> (String, String) {
     (left, right)
 }
 
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Fresh connection per request (the historic shape).
+    ConnClose,
+    /// One persistent connection per client, one request in flight.
+    KeepAlive,
+    /// One persistent connection per client, `PIPELINE_DEPTH` requests
+    /// written before the responses are read back.
+    Pipelined,
+}
+
 struct CaseResult {
     name: &'static str,
     requests: usize,
@@ -99,13 +162,16 @@ fn percentile(sorted_ns: &[u64], p: f64) -> f64 {
     sorted_ns[idx] as f64 / 1_000.0
 }
 
-/// Run one request class closed-loop and collect latencies.
+/// Run one request class closed-loop and collect latencies. Pipelined
+/// latencies are whole-batch round trips divided by the depth (per-
+/// request cost, not per-request wait).
 fn run_case(
     name: &'static str,
     addr: SocketAddr,
     method: &'static str,
     path: String,
     body: String,
+    mode: Mode,
 ) -> CaseResult {
     // Warm-up outside the measurement.
     let (status, resp) = request(addr, method, &path, &body);
@@ -116,15 +182,55 @@ fn run_case(
     for _ in 0..CLIENTS {
         let path = path.clone();
         let body = body.clone();
-        handles.push(std::thread::spawn(move || {
-            let mut latencies_ns = Vec::with_capacity(REQUESTS_PER_CLIENT);
-            for _ in 0..REQUESTS_PER_CLIENT {
-                let t = Instant::now();
-                let (status, _) = request(addr, method, &path, &body);
-                latencies_ns.push(t.elapsed().as_nanos() as u64);
-                assert_eq!(status, 200, "{name}: non-200 under load");
+        handles.push(std::thread::spawn(move || match mode {
+            Mode::ConnClose => {
+                let mut latencies_ns = Vec::with_capacity(REQUESTS_CONNCLOSE);
+                for _ in 0..REQUESTS_CONNCLOSE {
+                    let t = Instant::now();
+                    let (status, _) = request(addr, method, &path, &body);
+                    latencies_ns.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "{name}: non-200 under load");
+                }
+                latencies_ns
             }
-            latencies_ns
+            Mode::KeepAlive => {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = RespReader::new();
+                let wire = format!(
+                    "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                let mut latencies_ns = Vec::with_capacity(REQUESTS_KEEPALIVE);
+                for _ in 0..REQUESTS_KEEPALIVE {
+                    let t = Instant::now();
+                    stream.write_all(wire.as_bytes()).expect("send");
+                    let status = reader.read_response(&mut stream);
+                    latencies_ns.push(t.elapsed().as_nanos() as u64);
+                    assert_eq!(status, 200, "{name}: non-200 under load");
+                }
+                latencies_ns
+            }
+            Mode::Pipelined => {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let mut reader = RespReader::new();
+                let one = format!(
+                    "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                let batch = one.repeat(PIPELINE_DEPTH);
+                let mut latencies_ns = Vec::with_capacity(PIPELINE_BATCHES * PIPELINE_DEPTH);
+                for _ in 0..PIPELINE_BATCHES {
+                    let t = Instant::now();
+                    stream.write_all(batch.as_bytes()).expect("send");
+                    for _ in 0..PIPELINE_DEPTH {
+                        let status = reader.read_response(&mut stream);
+                        assert_eq!(status, 200, "{name}: non-200 under load");
+                    }
+                    let per_request = t.elapsed().as_nanos() as u64 / PIPELINE_DEPTH as u64;
+                    latencies_ns.extend(std::iter::repeat_n(per_request, PIPELINE_DEPTH));
+                }
+                latencies_ns
+            }
         }));
     }
     let mut all: Vec<u64> = handles
@@ -169,21 +275,59 @@ fn main() {
     let (status, body) = request(addr, "POST", "/sessions/1/fit", "");
     assert_eq!(status, 200, "fit: {body}");
 
+    let match_body = r#"{"session":1,"pairs":[[3,3]]}"#;
+    let query_body = r#"{"lf":"name_overlap","query":"VotedMatch","limit":10}"#;
     let mut cases = vec![
-        run_case("healthz", addr, "GET", "/healthz".into(), String::new()),
+        // Headline cases ride persistent connections — the shape the
+        // interactive IDE loop (and any sane client library) uses.
+        run_case(
+            "healthz",
+            addr,
+            "GET",
+            "/healthz".into(),
+            String::new(),
+            Mode::KeepAlive,
+        ),
         run_case(
             "match_single_pair",
             addr,
             "POST",
             "/match".into(),
-            r#"{"session":1,"pairs":[[3,3]]}"#.into(),
+            match_body.into(),
+            Mode::KeepAlive,
         ),
         run_case(
             "query_debug",
             addr,
             "POST",
             "/sessions/1/query".into(),
-            r#"{"lf":"name_overlap","query":"VotedMatch","limit":10}"#.into(),
+            query_body.into(),
+            Mode::KeepAlive,
+        ),
+        run_case(
+            "healthz_pipelined",
+            addr,
+            "GET",
+            "/healthz".into(),
+            String::new(),
+            Mode::Pipelined,
+        ),
+        // Connection-per-request variants keep the old numbers comparable.
+        run_case(
+            "healthz_connclose",
+            addr,
+            "GET",
+            "/healthz".into(),
+            String::new(),
+            Mode::ConnClose,
+        ),
+        run_case(
+            "match_single_pair_connclose",
+            addr,
+            "POST",
+            "/match".into(),
+            match_body.into(),
+            Mode::ConnClose,
         ),
     ];
     if state_dir.is_some() {
@@ -195,16 +339,19 @@ fn main() {
             "POST",
             "/sessions/1/lfs".into(),
             lf.to_string(),
+            Mode::KeepAlive,
         ));
     }
 
     println!(
-        "bench_serve: {workers} workers, {CLIENTS} closed-loop clients × {REQUESTS_PER_CLIENT} requests"
+        "bench_serve: {workers} workers, {CLIENTS} closed-loop clients \
+         ({REQUESTS_KEEPALIVE} keep-alive / {REQUESTS_CONNCLOSE} conn-close requests each, \
+         pipeline depth {PIPELINE_DEPTH})"
     );
     let mut case_json = Vec::new();
     for c in &cases {
         println!(
-            "  {:<18} {:>7.0} req/s   p50 {:>8.1} µs   p95 {:>8.1} µs   p99 {:>8.1} µs",
+            "  {:<28} {:>7.0} req/s   p50 {:>8.1} µs   p95 {:>8.1} µs   p99 {:>8.1} µs",
             c.name,
             c.throughput(),
             c.p50_us,
@@ -227,7 +374,9 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"serve_closed_loop\",\n  \"config\": {{\"workers\": {workers}, \
-         \"clients\": {CLIENTS}, \"requests_per_client\": {REQUESTS_PER_CLIENT}}},\n  \
+         \"clients\": {CLIENTS}, \"requests_per_client_keepalive\": {REQUESTS_KEEPALIVE}, \
+         \"requests_per_client_connclose\": {REQUESTS_CONNCLOSE}, \
+         \"pipeline_depth\": {PIPELINE_DEPTH}}},\n  \
          \"cases\": [\n{}\n  ]\n}}\n",
         case_json.join(",\n")
     );

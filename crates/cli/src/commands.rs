@@ -19,6 +19,8 @@ USAGE:
   panda report --journal <jsonl> [--top N]
   panda serve --addr <host:port> [--workers N] [--state-dir <dir>]
               [--max-sessions N] [--session-ttl <secs>]
+              [--reuseport on|off] [--keep-alive-timeout <secs>]
+              [--max-requests-per-conn N] [--max-conns N]
               [--metrics <json>] [--journal <jsonl>]
   panda families
   panda help
@@ -38,6 +40,12 @@ restart recovers them bit-identically (SIGKILL loses at most the
 in-flight request). --max-sessions bounds resident sessions via LRU
 eviction to snapshot; --session-ttl evicts sessions idle that long
 (both require --state-dir; evicted sessions rehydrate on next touch).
+Serving is event-driven: each worker owns an SO_REUSEPORT listener and
+an epoll loop with HTTP/1.1 keep-alive + pipelining. --reuseport off
+falls back to one shared listener; --keep-alive-timeout bounds idle
+persistent connections; --max-requests-per-conn forces Connection:
+close after N requests (0 = unbounded); --max-conns caps open
+connections per worker shard (beyond it new connections get 503).
 
 OBSERVABILITY:
   --metrics <json>   write a pipeline telemetry snapshot (per-stage span
@@ -304,10 +312,23 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         // parking them on disk — refuse rather than silently lose work.
         return Err("--max-sessions/--session-ttl require --state-dir".into());
     }
+    let reuseport = match args.optional("reuseport").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--reuseport takes on|off, got {other:?}")),
+    };
+    let defaults = panda_serve::ServerConfig::default();
+    let keep_alive_secs: u64 =
+        args.get_or("keep-alive-timeout", defaults.keep_alive_timeout.as_secs())?;
     panda_serve::signal::install_handlers();
     let handle = panda_serve::Server::start(panda_serve::ServerConfig {
         addr: addr.to_string(),
         workers: args.get_or("workers", 0)?,
+        reuseport,
+        keep_alive_timeout: std::time::Duration::from_secs(keep_alive_secs),
+        max_requests_per_conn: args
+            .get_or("max-requests-per-conn", defaults.max_requests_per_conn)?,
+        max_conns: args.get_or("max-conns", defaults.max_conns)?,
         state_dir: state_dir.clone(),
         max_sessions,
         session_ttl: (session_ttl_secs > 0)

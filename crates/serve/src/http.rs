@@ -1,17 +1,35 @@
-//! Minimal HTTP/1.1 wire handling on blocking `std::net` streams.
+//! Minimal HTTP/1.1 wire handling: an **incremental request parser**
+//! (drives the non-blocking event loop in [`crate::server`]) plus a
+//! blocking convenience reader for tests.
 //!
-//! Deliberately small: one request per connection (`Connection: close` on
-//! every response, which also makes graceful drain trivial), no chunked
-//! transfer encoding, no keep-alive, headers capped at 16 KiB and bodies
-//! at a configurable limit. That subset is all `curl`, load generators,
-//! and browsers need for a JSON API.
+//! Deliberately small, but no longer one-request-per-connection:
+//! **keep-alive and pipelining are supported**. HTTP/1.1 requests
+//! persist by default (HTTP/1.0 requires an explicit
+//! `Connection: keep-alive`), `Connection: close` is honored both ways,
+//! and back-to-back pipelined requests parse from a single buffer, each
+//! answered in order. Still no chunked transfer encoding; heads are
+//! capped at 16 KiB and bodies at a configurable limit. That subset is
+//! all `curl`, load generators, and browsers need for a JSON API.
+//!
+//! Error codes on the wire (the server half-closes after each of them):
+//!
+//! | Status | Code | Trigger |
+//! |---|---|---|
+//! | 400 | `bad_request` | malformed head, bad `Content-Length`, chunked TE |
+//! | 408 | `request_timeout` | a partially received request idled past the per-state read deadline (slowloris eviction) |
+//! | 413 | `payload_too_large` | declared body exceeds the cap |
+//! | 503 | `overloaded` | the worker's connection table is full at accept |
+//!
+//! A *fully* idle keep-alive connection (no request bytes pending) is
+//! closed silently at the keep-alive deadline — there is no request to
+//! answer, so no 408.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
 /// Cap on the request line + headers. Anything larger is malformed for
 /// this API (requests carry data in the body, not the headers).
-const MAX_HEAD: usize = 16 * 1024;
+pub(crate) const MAX_HEAD: usize = 16 * 1024;
 
 /// A parsed request.
 #[derive(Debug)]
@@ -24,10 +42,23 @@ pub struct Request {
     pub body: Vec<u8>,
 }
 
+/// A complete request plus its wire framing facts.
+#[derive(Debug)]
+pub struct ParsedRequest {
+    /// The request itself.
+    pub request: Request,
+    /// Bytes this request consumed from the buffer (head + body). The
+    /// caller drains them before parsing the next pipelined request.
+    pub consumed: usize,
+    /// Whether the connection may persist after the response: HTTP/1.1
+    /// default, overridden by `Connection: close` / `keep-alive`.
+    pub keep_alive: bool,
+}
+
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum ReadError {
-    /// Connection closed (or timed out) before a full head arrived.
+    /// Connection closed (or timed out) before a full request arrived.
     Disconnected,
     /// Syntactically broken request (or an unsupported framing such as
     /// `Transfer-Encoding: chunked`) — answer 400.
@@ -36,36 +67,99 @@ pub enum ReadError {
     TooLarge { limit: usize },
 }
 
-/// Read and parse one request from `stream`. `max_body` bounds the
-/// accepted `Content-Length`.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
-    // Read until the blank line that ends the head. The scan is
-    // incremental: only the freshly read bytes (plus 3 bytes of overlap
-    // for a delimiter straddling the chunk boundary) are searched, so a
-    // slowly dripped head costs O(head) total instead of O(head²).
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 1024];
-    let mut scanned = 0usize;
-    let head_end = loop {
-        let start = scanned.saturating_sub(3);
-        if let Some(pos) = find_head_end(&buf[start..]) {
-            break start + pos;
-        }
-        scanned = buf.len();
-        // Enforce the cap *before* reading: never buffer past MAX_HEAD+1
-        // rather than overshooting by up to a whole chunk.
-        if buf.len() > MAX_HEAD {
-            return Err(ReadError::Malformed("request head exceeds 16KiB".into()));
-        }
-        let want = (MAX_HEAD + 1 - buf.len()).min(chunk.len());
-        match stream.read(&mut chunk[..want]) {
-            Ok(0) => return Err(ReadError::Disconnected),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(_) => return Err(ReadError::Disconnected),
-        }
-    };
+/// Validated head facts, cached between [`RequestParser::parse`] calls
+/// so a slowly arriving body never re-parses headers.
+struct HeadMeta {
+    method: String,
+    path: String,
+    body_start: usize,
+    content_length: usize,
+    keep_alive: bool,
+}
 
-    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+/// Incremental single-request parser over an append-only byte buffer.
+///
+/// Call [`parse`](RequestParser::parse) whenever the buffer grows:
+/// `Ok(None)` means "need more bytes", `Ok(Some(parsed))` yields the
+/// request (the caller drains `parsed.consumed` bytes and calls
+/// [`reset`](RequestParser::reset) before the next pipelined request),
+/// and `Err` is a protocol error to answer and close on. The head scan
+/// is incremental — only freshly appended bytes are searched for the
+/// `\r\n\r\n` terminator (3 bytes of overlap for a straddling
+/// delimiter), so a dripped head costs O(head) total, not O(head²).
+#[derive(Default)]
+pub struct RequestParser {
+    scanned: usize,
+    head: Option<HeadMeta>,
+}
+
+impl RequestParser {
+    /// Fresh parser (also the state after [`reset`](Self::reset)).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget per-request state; call after consuming a parsed request.
+    pub fn reset(&mut self) {
+        self.scanned = 0;
+        self.head = None;
+    }
+
+    /// Has this parser seen any bytes of an in-progress request? (Used
+    /// to distinguish "idle connection" from "mid-request" deadlines.)
+    pub fn mid_request(&self) -> bool {
+        self.scanned > 0 || self.head.is_some()
+    }
+
+    /// Try to complete one request from `buf` (which must start at the
+    /// request's first byte). See the type docs for the contract.
+    pub fn parse(
+        &mut self,
+        buf: &[u8],
+        max_body: usize,
+    ) -> Result<Option<ParsedRequest>, ReadError> {
+        if self.head.is_none() {
+            let start = self.scanned.saturating_sub(3);
+            match find_head_end(&buf[start..]) {
+                Some(pos) => {
+                    let head_end = start + pos;
+                    if head_end > MAX_HEAD {
+                        return Err(ReadError::Malformed("request head exceeds 16KiB".into()));
+                    }
+                    self.head = Some(parse_head(&buf[..head_end], head_end, max_body)?);
+                }
+                None => {
+                    self.scanned = buf.len();
+                    if buf.len() > MAX_HEAD {
+                        return Err(ReadError::Malformed("request head exceeds 16KiB".into()));
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+        let head = self.head.as_ref().expect("head parsed above");
+        let total = head.body_start + head.content_length;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let head = self.head.take().expect("head parsed above");
+        let request = Request {
+            method: head.method,
+            path: head.path,
+            body: buf[head.body_start..total].to_vec(),
+        };
+        Ok(Some(ParsedRequest {
+            request,
+            consumed: total,
+            keep_alive: head.keep_alive,
+        }))
+    }
+}
+
+/// Parse and validate a complete head (`buf[..head_end]`, exclusive of
+/// the `\r\n\r\n`).
+fn parse_head(head: &[u8], head_end: usize, max_body: usize) -> Result<HeadMeta, ReadError> {
+    let head = String::from_utf8_lossy(head).into_owned();
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split(' ');
@@ -87,8 +181,10 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
 
-    // Headers: we only care about framing.
+    // Headers: we care about framing and connection persistence.
     let mut content_length: Option<usize> = None;
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -125,6 +221,18 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                     "Transfer-Encoding is not supported; send Content-Length".into(),
                 ));
             }
+            "connection" => {
+                // A comma-separated option list; only the persistence
+                // options matter here.
+                for opt in value.split(',') {
+                    let opt = opt.trim();
+                    if opt.eq_ignore_ascii_case("close") {
+                        keep_alive = false;
+                    } else if opt.eq_ignore_ascii_case("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -132,18 +240,32 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     if content_length > max_body {
         return Err(ReadError::TooLarge { limit: max_body });
     }
+    Ok(HeadMeta {
+        method,
+        path,
+        body_start: head_end + 4,
+        content_length,
+        keep_alive,
+    })
+}
 
-    // Body: whatever arrived past the head plus the remainder.
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
+/// Blocking convenience reader: read and parse one request from
+/// `stream`. Used by unit tests; the server proper drives
+/// [`RequestParser`] from its event loop.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
+    let mut parser = RequestParser::new();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(parsed) = parser.parse(&buf, max_body)? {
+            return Ok(parsed.request);
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Err(ReadError::Disconnected),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return Err(ReadError::Disconnected),
         }
     }
-    body.truncate(content_length);
-    Ok(Request { method, path, body })
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -168,17 +290,30 @@ impl Response {
         }
     }
 
-    /// Serialize onto the wire. Errors are ignored — the peer may already
-    /// be gone, and there is nothing useful to do about it.
-    pub fn write_to(&self, stream: &mut TcpStream) {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-            self.status,
-            reason(self.status),
-            self.body.len()
+    /// Serialize to wire bytes. Identical byte-for-byte to the historic
+    /// one-shot format except for the `Connection` header, which states
+    /// whether the server will keep the connection open.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                self.status,
+                reason(self.status),
+                self.body.len(),
+                if keep_alive { "keep-alive" } else { "close" },
+            )
+            .as_bytes(),
         );
-        let _ = stream.write_all(head.as_bytes());
-        let _ = stream.write_all(self.body.as_bytes());
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Serialize onto the wire with `Connection: close` (one-shot paths:
+    /// accept-time shedding, tests). Errors are ignored — the peer may
+    /// already be gone, and there is nothing useful to do about it.
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let _ = stream.write_all(&self.to_bytes(false));
         let _ = stream.flush();
     }
 }
@@ -187,7 +322,8 @@ impl Response {
 /// whatever request bytes were never read. Closing with unread data in
 /// the receive buffer makes the kernel send RST, which discards the
 /// response we just wrote — exactly the error paths (413, shed 503) where
-/// the client most needs to see the status.
+/// the client most needs to see the status. (The event loop has its own
+/// non-blocking equivalent — a `Draining` connection state.)
 pub fn drain_and_close(stream: &mut TcpStream) {
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
@@ -208,6 +344,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         500 => "Internal Server Error",
@@ -233,6 +370,11 @@ mod tests {
         read_request(&mut server_side, 1024)
     }
 
+    /// Parse a complete buffer through the incremental parser.
+    fn parse_once(raw: &[u8]) -> Result<Option<ParsedRequest>, ReadError> {
+        RequestParser::new().parse(raw, 1024)
+    }
+
     #[test]
     fn parses_post_with_body() {
         let req = roundtrip(b"POST /sessions HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
@@ -248,6 +390,59 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn keep_alive_defaults_follow_the_http_version() {
+        let p = parse_once(b"GET /x HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(p.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let p = parse_once(b"GET /x HTTP/1.0\r\nHost: t\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!p.keep_alive, "HTTP/1.0 defaults to close");
+        let p = parse_once(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!p.keep_alive, "explicit close wins");
+        let p = parse_once(b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(p.keep_alive, "explicit keep-alive wins, case-insensitive");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let raw =
+            b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\nHost: t\r\n\r\n";
+        let mut parser = RequestParser::new();
+        let first = parser.parse(raw, 1024).unwrap().unwrap();
+        assert_eq!(first.request.path, "/a");
+        assert_eq!(first.request.body, b"hi");
+        parser.reset();
+        let second = parser.parse(&raw[first.consumed..], 1024).unwrap().unwrap();
+        assert_eq!(second.request.path, "/b");
+        assert_eq!(second.consumed, raw.len() - first.consumed);
+    }
+
+    #[test]
+    fn incremental_parse_is_restartable_at_every_byte() {
+        let raw: &[u8] = b"POST /drip HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut parser = RequestParser::new();
+        for end in 0..raw.len() {
+            assert!(
+                parser.parse(&raw[..end], 1024).unwrap().is_none(),
+                "complete at only {end} bytes?"
+            );
+            if end >= 1 {
+                assert!(parser.mid_request());
+            }
+        }
+        let done = parser.parse(raw, 1024).unwrap().unwrap();
+        assert_eq!(done.request.path, "/drip");
+        assert_eq!(done.request.body, b"hi");
+        assert_eq!(done.consumed, raw.len());
     }
 
     #[test]
@@ -344,5 +539,17 @@ mod tests {
         assert!(got.contains("Content-Length: 7\r\n"));
         assert!(got.contains("Connection: close\r\n"));
         assert!(got.ends_with("{\"x\":1}"));
+    }
+
+    #[test]
+    fn keep_alive_bytes_differ_only_in_the_connection_header() {
+        let resp = Response::json(200, r#"{"status":"ok"}"#);
+        let close = String::from_utf8(resp.to_bytes(false)).unwrap();
+        let keep = String::from_utf8(resp.to_bytes(true)).unwrap();
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
     }
 }

@@ -24,10 +24,16 @@
 //! session — wire results are bit-identical to library results (proved by
 //! `tests/wire_parity.rs`).
 //!
-//! Robustness: fixed worker pool (sized like [`panda_exec::worker_count`]),
-//! bounded accept queue with 503 shedding, per-connection read/write
-//! timeouts, a request-body cap (413), structured JSON errors, and
-//! graceful drain on `POST /shutdown` or SIGTERM.
+//! The transport is event-driven: each worker (sized like
+//! [`panda_exec::worker_count`]) owns an `SO_REUSEPORT` listener and an
+//! epoll loop ([`net`]) over non-blocking connection state machines, with
+//! HTTP/1.1 keep-alive and pipelining so clients amortize connect cost
+//! across requests. Robustness: per-shard connection caps with 503
+//! shedding, per-state deadlines (slowloris eviction → 408, idle
+//! keep-alive reap, bounded writes), a request-body cap (413), structured
+//! JSON errors, panic isolation per request, and graceful drain on
+//! `POST /shutdown` or SIGTERM (idle persistent connections close
+//! immediately; in-flight requests finish under their deadlines).
 //!
 //! Durability: with `--state-dir` every acknowledged mutating request is
 //! appended (and fsynced) to a per-session WAL before the response goes
@@ -50,6 +56,7 @@
 
 pub mod api;
 pub mod http;
+pub mod net;
 pub mod persist;
 pub mod router;
 pub mod server;

@@ -1,0 +1,458 @@
+//! Raw Linux networking syscalls, without a libc crate.
+//!
+//! std already links the platform C library (the same trick as
+//! [`crate::signal`]), so this module declares exactly the handful of
+//! syscalls the event-driven server needs and wraps them in safe types:
+//!
+//! * [`Epoll`] — a level-triggered `epoll(7)` instance. The event loop
+//!   registers every connection with an interest mask (`EPOLLIN` while
+//!   reading, `EPOLLOUT` while a response is queued) and a 64-bit token,
+//!   and blocks in [`Epoll::wait`] until sockets become ready or a
+//!   deadline is due.
+//! * [`Listener`] — a non-blocking listening socket built with raw
+//!   `socket`/`setsockopt`/`bind`/`listen` so `SO_REUSEPORT` can be set
+//!   *before* bind (std's `TcpListener` cannot), letting every worker
+//!   own its own listener on the same address: the kernel shards
+//!   incoming connections across them and no single accept thread
+//!   serializes admission.
+//! * [`WakePipe`] — a non-blocking self-pipe. Its write end is
+//!   registered with [`crate::signal`] so a SIGTERM handler (or
+//!   `POST /shutdown` from another worker) can wake a parked
+//!   `epoll_wait` immediately; the read end lives in the epoll set.
+//!
+//! Everything is Linux-only by construction (the workspace targets the
+//! CI's Linux runners); the `cfg(unix)` gates mirror `signal.rs`.
+
+use std::ffi::{c_int, c_void};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::{FromRawFd, RawFd};
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+const AF_INET: u16 = 2;
+const AF_INET6: u16 = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const O_NONBLOCK: c_int = 0o4000;
+const O_CLOEXEC: c_int = 0o2000000;
+
+/// The kernel's `struct epoll_event`. x86-64 packs it (a 32-bit-era ABI
+/// quirk); every other architecture uses natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// Caller token, returned verbatim with each event.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct SockaddrIn {
+    sin_family: u16,
+    sin_port: u16, // network byte order
+    sin_addr: u32, // network byte order
+    sin_zero: [u8; 8],
+}
+
+#[repr(C)]
+struct SockaddrIn6 {
+    sin6_family: u16,
+    sin6_port: u16, // network byte order
+    sin6_flowinfo: u32,
+    sin6_addr: [u8; 16],
+    sin6_scope_id: u32,
+}
+
+/// Big enough for either address family.
+#[repr(C)]
+union SockaddrAny {
+    v4: std::mem::ManuallyDrop<SockaddrIn>,
+    v6: std::mem::ManuallyDrop<SockaddrIn6>,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(fd: c_int, level: c_int, name: c_int, val: *const c_void, len: u32) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn accept4(fd: c_int, addr: *mut c_void, len: *mut u32, flags: c_int) -> c_int;
+    fn getsockname(fd: c_int, addr: *mut c_void, len: *mut u32) -> c_int;
+    fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+}
+
+/// A level-triggered epoll instance. Closed on drop.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create an epoll instance (`CLOEXEC`).
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    /// Change the interest mask for an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    /// Deregister `fd`. Errors are ignored — the fd may already be gone
+    /// (close deregisters implicitly), and there is nothing to do about
+    /// it mid-teardown.
+    pub fn del(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Block until readiness or `timeout_ms` (`-1` = forever). Fills
+    /// `events` and returns how many are valid. EINTR reads as zero
+    /// events — the caller's loop re-checks its latches either way.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len() as c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+fn encode_sockaddr(addr: &SocketAddr) -> (SockaddrAny, u32) {
+    match addr {
+        SocketAddr::V4(a) => (
+            SockaddrAny {
+                v4: std::mem::ManuallyDrop::new(SockaddrIn {
+                    sin_family: AF_INET,
+                    sin_port: a.port().to_be(),
+                    sin_addr: u32::from_ne_bytes(a.ip().octets()),
+                    sin_zero: [0; 8],
+                }),
+            },
+            std::mem::size_of::<SockaddrIn>() as u32,
+        ),
+        SocketAddr::V6(a) => (
+            SockaddrAny {
+                v6: std::mem::ManuallyDrop::new(SockaddrIn6 {
+                    sin6_family: AF_INET6,
+                    sin6_port: a.port().to_be(),
+                    sin6_flowinfo: a.flowinfo(),
+                    sin6_addr: a.ip().octets(),
+                    sin6_scope_id: a.scope_id(),
+                }),
+            },
+            std::mem::size_of::<SockaddrIn6>() as u32,
+        ),
+    }
+}
+
+/// Decode a `sockaddr` the kernel filled in (for `getsockname`).
+fn decode_sockaddr(raw: &SockaddrAny) -> io::Result<SocketAddr> {
+    unsafe {
+        let family = raw.v4.sin_family;
+        if family == AF_INET {
+            let v4 = &raw.v4;
+            Ok(SocketAddr::from((
+                v4.sin_addr.to_ne_bytes(),
+                u16::from_be(v4.sin_port),
+            )))
+        } else if family == AF_INET6 {
+            let v6 = &raw.v6;
+            Ok(SocketAddr::from((v6.sin6_addr, u16::from_be(v6.sin6_port))))
+        } else {
+            Err(io::Error::other(format!(
+                "unexpected address family {family}"
+            )))
+        }
+    }
+}
+
+/// A non-blocking listening socket. Closed on drop.
+pub struct Listener {
+    fd: RawFd,
+    addr: SocketAddr,
+}
+
+impl Listener {
+    /// Build a non-blocking listener on `addr`. With `reuseport`, any
+    /// number of listeners may bind the same address — the kernel hashes
+    /// incoming connections across all of them (accept sharding).
+    pub fn bind(addr: &SocketAddr, reuseport: bool) -> io::Result<Listener> {
+        let domain = match addr {
+            SocketAddr::V4(_) => c_int::from(AF_INET),
+            SocketAddr::V6(_) => c_int::from(AF_INET6),
+        };
+        let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let listener = Listener { fd, addr: *addr }; // closes fd on early error
+        let one: c_int = 1;
+        let optlen = std::mem::size_of::<c_int>() as u32;
+        unsafe {
+            // SO_REUSEADDR matches std's TcpListener default (fast restart
+            // past TIME_WAIT); SO_REUSEPORT is the sharding knob and must
+            // be set before bind.
+            if setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                (&one as *const c_int).cast(),
+                optlen,
+            ) < 0
+            {
+                return Err(io::Error::last_os_error());
+            }
+            if reuseport
+                && setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    SO_REUSEPORT,
+                    (&one as *const c_int).cast(),
+                    optlen,
+                ) < 0
+            {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        let (raw, len) = encode_sockaddr(addr);
+        if unsafe { bind(fd, (&raw as *const SockaddrAny).cast(), len) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if unsafe { listen(fd, 1024) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut listener = listener;
+        listener.addr = listener.local_addr()?;
+        Ok(listener)
+    }
+
+    /// The bound address (resolves an ephemeral `:0` to the real port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        let mut raw = SockaddrAny {
+            v6: std::mem::ManuallyDrop::new(SockaddrIn6 {
+                sin6_family: 0,
+                sin6_port: 0,
+                sin6_flowinfo: 0,
+                sin6_addr: [0; 16],
+                sin6_scope_id: 0,
+            }),
+        };
+        let mut len = std::mem::size_of::<SockaddrAny>() as u32;
+        if unsafe { getsockname(self.fd, (&mut raw as *mut SockaddrAny).cast(), &mut len) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        decode_sockaddr(&raw)
+    }
+
+    /// The address this listener is serving.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Accept one connection, already non-blocking. `Ok(None)` means no
+    /// connection is pending right now (or a transient accept error —
+    /// aborted handshake, fd pressure — which the next readiness event
+    /// retries).
+    pub fn accept(&self) -> io::Result<Option<TcpStream>> {
+        let fd = unsafe {
+            accept4(
+                self.fd,
+                std::ptr::null_mut(),
+                std::ptr::null_mut(),
+                SOCK_NONBLOCK | SOCK_CLOEXEC,
+            )
+        };
+        if fd < 0 {
+            let err = io::Error::last_os_error();
+            return match err.kind() {
+                io::ErrorKind::WouldBlock => Ok(None),
+                // ECONNABORTED etc.: the peer vanished mid-handshake;
+                // treat like "nothing pending" rather than killing the
+                // event loop.
+                _ => Ok(None),
+            };
+        }
+        // Safety: accept4 returned a fresh owned socket fd.
+        Ok(Some(unsafe { TcpStream::from_raw_fd(fd) }))
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A non-blocking self-pipe for waking a parked `epoll_wait`. The write
+/// end is registered with [`crate::signal::register_wake_fd`]; anything
+/// written there (a signal handler, another worker's `/shutdown`) makes
+/// the read end readable.
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Create the pipe pair (both ends non-blocking, `CLOEXEC`).
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The read end, for the epoll set.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// The write end, for the signal-wake registry.
+    pub fn write_fd(&self) -> RawFd {
+        self.write_fd
+    }
+
+    /// Discard whatever bytes are pending so the next wake re-triggers.
+    pub fn drain(&self) {
+        let mut sink = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, sink.as_mut_ptr().cast(), sink.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        crate::signal::unregister_wake_fd(self.write_fd);
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn listener_accepts_and_epoll_reports_readiness() {
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let listener = Listener::bind(&addr, false).unwrap();
+        let bound = listener.addr();
+        assert_ne!(bound.port(), 0, "ephemeral port resolved");
+
+        let epoll = Epoll::new().unwrap();
+        epoll.add(listener.fd(), EPOLLIN, 7).unwrap();
+
+        let mut client = std::net::TcpStream::connect(bound).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+        let n = epoll.wait(&mut events, 2_000).unwrap();
+        assert!(n >= 1, "listener should be readable after a connect");
+        assert_eq!({ events[0].data }, 7);
+
+        let mut server_side = listener.accept().unwrap().expect("pending connection");
+        assert!(listener.accept().unwrap().is_none(), "only one pending");
+        client.write_all(b"ping").unwrap();
+        // The accepted socket is non-blocking; poll it via epoll.
+        use std::os::fd::AsRawFd;
+        epoll.add(server_side.as_raw_fd(), EPOLLIN, 9).unwrap();
+        let n = epoll.wait(&mut events, 2_000).unwrap();
+        assert!((0..n).any(|i| { events[i].data } == 9));
+        let mut buf = [0u8; 4];
+        server_side.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn reuseport_allows_two_listeners_on_one_port() {
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let first = Listener::bind(&addr, true).unwrap();
+        let bound = first.addr();
+        let second = Listener::bind(&bound, true).unwrap();
+        assert_eq!(second.addr(), bound);
+        // And without reuseport the same bind must fail.
+        assert!(Listener::bind(&bound, false).is_err());
+    }
+
+    #[test]
+    fn wake_pipe_wakes_epoll() {
+        let epoll = Epoll::new().unwrap();
+        let wake = WakePipe::new().unwrap();
+        epoll.add(wake.read_fd(), EPOLLIN, 1).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing pending: a short wait times out empty.
+        assert_eq!(epoll.wait(&mut events, 10).unwrap(), 0);
+        crate::signal::register_wake_fd(wake.write_fd());
+        crate::signal::wake_all();
+        let n = epoll.wait(&mut events, 2_000).unwrap();
+        assert!(n >= 1, "wake_all should make the pipe readable");
+        wake.drain();
+        crate::signal::unregister_wake_fd(wake.write_fd());
+    }
+}

@@ -1,28 +1,47 @@
-//! The server core: accept loop, bounded queue, fixed worker pool,
-//! graceful drain.
+//! The server core: per-worker epoll event loops over non-blocking
+//! connection state machines, with `SO_REUSEPORT` accept sharding.
 //!
 //! Threading model (std-only, no async runtime):
 //!
-//! * **accept thread** — non-blocking accept; pushes connections onto a
-//!   bounded queue, or answers 503 immediately when the queue is full
-//!   (load shedding beats unbounded buffering). Polls the shutdown latch
-//!   between accepts.
-//! * **N workers** — pop a connection, apply read/write timeouts, parse,
-//!   route (panics become a 500 via `catch_unwind`), respond, close. N
-//!   defaults to [`panda_exec::worker_count`], so `PANDA_WORKERS` governs
-//!   serving parallelism exactly like batch parallelism.
-//! * **drain** — `/shutdown` or SIGTERM flips the latch; the accept
-//!   thread stops, workers finish the queue (in-flight requests complete)
-//!   and exit; [`ServerHandle::join`] then returns.
+//! * **N workers**, each owning its *own* listener (bound with
+//!   `SO_REUSEPORT`, so the kernel shards incoming connections across
+//!   workers — no single accept thread serializes admission) and its own
+//!   [`crate::net::Epoll`] instance. A worker accepts, reads, parses,
+//!   routes (panics become a 500 via `catch_unwind`), and writes
+//!   entirely on its event loop; connections never migrate between
+//!   workers. N defaults to [`panda_exec::worker_count`], so
+//!   `PANDA_WORKERS` governs serving parallelism exactly like batch
+//!   parallelism.
+//! * **Connections** are non-blocking state machines: reading (head +
+//!   body, incrementally parsed), handling, writing, and — on close
+//!   paths — draining (write side shut, unread request bytes discarded
+//!   so the response is not destroyed by a TCP RST). Keep-alive and
+//!   pipelining are native: a connection loops back to reading after
+//!   each response, and back-to-back requests already buffered are
+//!   answered in order without waiting for more readiness events.
+//! * **Deadlines** replace blocking socket timeouts, per state: a
+//!   partially received request must complete within `read_timeout`
+//!   (slowloris eviction → 408), a queued response must drain within
+//!   `write_timeout`, an *idle* persistent connection is closed
+//!   silently after `keep_alive_timeout`, and the TTL session sweep
+//!   rides shard 0's timer — there is no dedicated timer thread.
+//! * **drain** — `/shutdown` or SIGTERM flips the latch and wakes every
+//!   event loop via its self-pipe ([`crate::signal::wake_all`]). Each
+//!   worker stops accepting, closes idle keep-alive connections
+//!   immediately, lets in-flight requests finish (their responses are
+//!   sent with `Connection: close`), and exits; [`ServerHandle::join`]
+//!   then returns. Per-state deadlines bound the whole drain.
 
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::http::{ReadError, RequestParser, Response};
+use crate::net::{Epoll, EpollEvent, Listener, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
 use crate::router;
 use crate::state::{AppState, StateOptions};
-use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,16 +50,27 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:7700` (`:0` for an ephemeral port).
     pub addr: String,
-    /// Worker threads; `0` means [`panda_exec::worker_count`].
+    /// Event-loop workers; `0` means [`panda_exec::worker_count`].
     pub workers: usize,
     /// Request body cap in bytes (larger → 413).
     pub max_body: usize,
-    /// Accepted-but-unserved connection cap (beyond → 503).
-    pub queue_depth: usize,
-    /// Per-connection read timeout.
+    /// Open connections per worker shard; beyond it, new connections are
+    /// answered 503 and closed (load shedding beats unbounded buffering).
+    pub max_conns: usize,
+    /// A partially received request must complete within this, measured
+    /// from its first byte (expiry → 408 and close).
     pub read_timeout: Duration,
-    /// Per-connection write timeout.
+    /// A queued response must drain within this (expiry → close).
     pub write_timeout: Duration,
+    /// Idle persistent connections are closed after this.
+    pub keep_alive_timeout: Duration,
+    /// Requests served per connection before the server forces
+    /// `Connection: close` (0 = unbounded). Bounds per-client
+    /// monopolization of a shard.
+    pub max_requests_per_conn: u64,
+    /// Bind one `SO_REUSEPORT` listener per worker (kernel accept
+    /// sharding). With `false`, all workers poll one shared listener.
+    pub reuseport: bool,
     /// Durable state directory (`None` = fully in-memory). With one set,
     /// startup recovers every persisted session before accepting.
     pub state_dir: Option<PathBuf>,
@@ -59,9 +89,12 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 0,
             max_body: 8 * 1024 * 1024,
-            queue_depth: 128,
+            max_conns: 256,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 0,
+            reuseport: true,
             state_dir: None,
             max_sessions: 0,
             session_ttl: None,
@@ -73,15 +106,34 @@ impl Default for ServerConfig {
 /// The server. Construct via [`Server::start`].
 pub struct Server;
 
-type ConnQueue = Arc<(Mutex<VecDeque<TcpStream>>, Condvar)>;
-
 impl Server {
-    /// Bind, spawn the pool, and return a handle. Serving proceeds on
-    /// background threads — the caller keeps the thread it is on.
+    /// Bind, spawn the event-loop workers, and return a handle. Serving
+    /// proceeds on background threads — the caller keeps its thread.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        let addr = listener.local_addr()?;
+        let requested: SocketAddr =
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::other(format!("cannot resolve {:?}", config.addr))
+            })?;
+        let n_workers = if config.workers == 0 {
+            panda_exec::worker_count()
+        } else {
+            config.workers
+        };
+        // Bind up front so `:0` resolves once and every shard shares the
+        // port. Without reuseport a single listener is shared (each
+        // worker's epoll watches the same fd — correct, just herd-prone).
+        let first = Listener::bind(&requested, config.reuseport)?;
+        let addr = first.addr();
+        let mut listeners = vec![Arc::new(first)];
+        if config.reuseport {
+            for _ in 1..n_workers {
+                listeners.push(Arc::new(Listener::bind(&addr, true)?));
+            }
+        } else {
+            let shared = Arc::clone(&listeners[0]);
+            listeners.extend((1..n_workers).map(|_| Arc::clone(&shared)));
+        }
+
         // Recovery happens here, before the first accept: every session
         // the state dir holds is replayed and digest-verified up front.
         let state = AppState::open(StateOptions {
@@ -92,148 +144,653 @@ impl Server {
         })
         .map_err(std::io::Error::other)?;
         let state = Arc::new(state);
-        let queue: ConnQueue = Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
-        let n_workers = if config.workers == 0 {
-            panda_exec::worker_count()
-        } else {
-            config.workers
-        };
         panda_obs::gauge_set("serve.workers", n_workers as f64);
 
         let mut workers = Vec::with_capacity(n_workers);
-        for i in 0..n_workers {
+        for (shard, listener) in listeners.into_iter().enumerate() {
             let state = Arc::clone(&state);
-            let queue = Arc::clone(&queue);
             let config = config.clone();
             workers.push(
                 std::thread::Builder::new()
-                    .name(format!("panda-serve-{i}"))
-                    .spawn(move || worker_loop(&state, &queue, &config))
+                    .name(format!("panda-serve-{shard}"))
+                    .spawn(
+                        move || match EventLoop::new(state, listener, config, shard) {
+                            Ok(mut el) => el.run(),
+                            Err(e) => eprintln!("panda-serve: worker {shard} failed to start: {e}"),
+                        },
+                    )
                     .expect("spawn worker"),
             );
         }
 
-        let accept = {
-            let state = Arc::clone(&state);
-            let queue = Arc::clone(&queue);
-            let depth = config.queue_depth;
-            std::thread::Builder::new()
-                .name("panda-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &state, &queue, depth))
-                .expect("spawn accept thread")
-        };
-
         Ok(ServerHandle {
             addr,
             state,
-            accept: Some(accept),
             workers,
         })
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &AppState, queue: &ConnQueue, depth: usize) {
-    let (lock, cvar) = &**queue;
-    let mut last_sweep = Instant::now();
-    while !state.shutdown_requested() {
-        // TTL sweep rides the accept thread (~1s cadence) — no dedicated
-        // timer thread, and eviction never blocks a worker.
-        if last_sweep.elapsed() >= Duration::from_secs(1) {
-            state.sweep();
-            last_sweep = Instant::now();
-        }
-        match listener.accept() {
-            Ok((mut stream, _)) => {
-                let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
-                if q.len() >= depth {
-                    // Shed: answer from here rather than queueing — a full
-                    // queue means the workers are already saturated.
-                    drop(q);
-                    panda_obs::counter_add("serve.shed_503", 1);
-                    Response::json(
-                        503,
-                        crate::api::ApiError::new("overloaded", "request queue is full").to_json(),
-                    )
-                    .write_to(&mut stream);
-                    crate::http::drain_and_close(&mut stream);
-                } else {
-                    q.push_back(stream);
-                    drop(q);
-                    cvar.notify_one();
-                }
-            }
-            // 1ms poll: the sleep bounds both accept latency (it is the
-            // p50 floor for tiny requests) and shutdown-notice latency,
-            // at ~1k wakeups/s of idle cost on one thread.
-            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(1)),
-        }
-    }
-    // Wake every worker so they can observe the latch and drain out.
-    cvar.notify_all();
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+/// Token for "this worker's listener became readable".
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// Token for "the wake pipe was poked" (shutdown latch changed).
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+/// Queued-response cap: stop answering further pipelined requests until
+/// the client drains what it already owes us.
+const OUT_CAP: usize = 256 * 1024;
+/// Bytes read per readiness event before yielding to other connections
+/// (level-triggered epoll re-arms if more input is pending).
+const READ_BURST: usize = 64 * 1024;
+/// Accepts per readiness event before yielding (ditto).
+const ACCEPT_BURST: usize = 256;
+/// Close-path grace: how long a `Draining` connection may dribble
+/// unread request bytes before the socket is dropped.
+const DRAIN_GRACE: Duration = Duration::from_secs(1);
+/// Slots beyond `max_conns` usable by shed (503) connections, so the
+/// refusal itself is delivered politely; beyond this, drop outright.
+const SHED_SLACK: usize = 64;
+
+/// Which deadline currently governs a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeadlineKind {
+    /// Forces the next `settle` to recompute (fresh or just-transitioned).
+    Invalid,
+    /// Idle keep-alive connection: close silently at the deadline.
+    Idle,
+    /// Mid-request: 408 at the deadline (anchored at the request's first
+    /// byte — receiving more bytes does not extend it, so a slowloris
+    /// drip cannot hold the slot).
+    Request,
+    /// Response queued: close at the deadline.
+    Write,
+    /// Write side shut, discarding stragglers: close at the deadline.
+    Drain,
 }
 
-fn worker_loop(state: &AppState, queue: &ConnQueue, config: &ServerConfig) {
-    let (lock, cvar) = &**queue;
-    loop {
-        let stream = {
-            let mut q = lock.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                if let Some(s) = q.pop_front() {
-                    break Some(s);
+/// One non-blocking connection.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Received-but-unparsed request bytes.
+    buf: Vec<u8>,
+    /// Queued response bytes (`out[out_pos..]` still unsent).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Current epoll interest mask.
+    interest: u32,
+    deadline: Instant,
+    deadline_kind: DeadlineKind,
+    /// Requests served on this connection (keep-alive reuse count).
+    served: u64,
+    /// Close once `out` is flushed; no further requests are parsed.
+    close_after_write: bool,
+    /// Write side already shut; discarding reads until EOF or deadline.
+    draining: bool,
+    /// Peer sent EOF (no more requests will arrive).
+    eof: bool,
+}
+
+/// Slab slot: a generation counter guards against a readiness event
+/// addressed to a closed connection hitting its slot's next tenant.
+struct Slot {
+    conn: Option<Conn>,
+    gen: u32,
+}
+
+struct EventLoop {
+    state: Arc<AppState>,
+    listener: Arc<Listener>,
+    config: ServerConfig,
+    shard: usize,
+    epoll: Epoll,
+    wake: WakePipe,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    n_conns: usize,
+    draining: bool,
+    drain_deadline: Instant,
+    last_sweep: Instant,
+}
+
+impl EventLoop {
+    fn new(
+        state: Arc<AppState>,
+        listener: Arc<Listener>,
+        config: ServerConfig,
+        shard: usize,
+    ) -> std::io::Result<EventLoop> {
+        let epoll = Epoll::new()?;
+        let wake = WakePipe::new()?;
+        epoll.add(listener.fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.read_fd(), EPOLLIN, TOKEN_WAKE)?;
+        crate::signal::register_wake_fd(wake.write_fd());
+        let now = Instant::now();
+        Ok(EventLoop {
+            state,
+            listener,
+            config,
+            shard,
+            epoll,
+            wake,
+            slots: Vec::new(),
+            free: Vec::new(),
+            n_conns: 0,
+            draining: false,
+            drain_deadline: now,
+            last_sweep: now,
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events = vec![EpollEvent { events: 0, data: 0 }; 256];
+        loop {
+            if !self.draining && self.state.shutdown_requested() {
+                self.begin_drain();
+            }
+            if self.draining && self.n_conns == 0 {
+                break;
+            }
+            let timeout_ms = self.next_timeout_ms();
+            let n = match self.epoll.wait(&mut events, timeout_ms) {
+                Ok(n) => n,
+                Err(e) => {
+                    eprintln!("panda-serve: shard {} epoll_wait failed: {e}", self.shard);
+                    break;
                 }
-                if state.shutdown_requested() {
-                    break None;
+            };
+            for ev in &events[..n] {
+                let (mask, token) = ({ ev.events }, { ev.data });
+                match token {
+                    TOKEN_WAKE => self.wake.drain(),
+                    TOKEN_LISTENER => self.accept_burst(),
+                    token => self.conn_event(token, mask),
                 }
-                // Timed wait: the accept thread's final notify_all can race
-                // a worker that is not yet waiting.
-                let (guard, _) = cvar
-                    .wait_timeout(q, Duration::from_millis(100))
-                    .unwrap_or_else(|e| e.into_inner());
-                q = guard;
+            }
+            self.expire_deadlines();
+            if self.shard == 0 && self.last_sweep.elapsed() >= Duration::from_secs(1) {
+                // TTL sweep rides shard 0's event-loop timer (~1s cadence)
+                // — no dedicated timer thread.
+                self.state.sweep();
+                self.last_sweep = Instant::now();
+            }
+            if self.draining && Instant::now() >= self.drain_deadline {
+                // Hard stop: whatever is still open gets dropped.
+                for idx in 0..self.slots.len() {
+                    self.close(idx);
+                }
+                break;
+            }
+        }
+    }
+
+    /// First observation of the shutdown latch: stop accepting, close
+    /// idle keep-alive connections promptly, let in-flight work finish.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        self.epoll.del(self.listener.fd());
+        // In-flight connections (mid-request, writing, or draining) are
+        // left to finish under their per-state deadlines; `pump` forces
+        // `Connection: close` on every response once the latch is up.
+        let idle: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let conn = slot.conn.as_ref()?;
+                let has_out = conn.out_pos < conn.out.len();
+                let idle = !has_out
+                    && !conn.draining
+                    && conn.buf.is_empty()
+                    && !conn.parser.mid_request()
+                    && !conn.close_after_write;
+                idle.then_some(idx)
+            })
+            .collect();
+        for idx in idle {
+            self.close(idx);
+        }
+        self.drain_deadline = Instant::now()
+            + self.config.read_timeout
+            + self.config.write_timeout
+            + DRAIN_GRACE
+            + Duration::from_secs(1);
+    }
+
+    /// The epoll timeout: the nearest connection deadline (or sweep /
+    /// drain timer), capped so latch flips are never missed for long.
+    fn next_timeout_ms(&self) -> i32 {
+        let now = Instant::now();
+        let mut next: Option<Instant> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.conn.as_ref().map(|c| c.deadline))
+            .min();
+        if self.shard == 0 {
+            let sweep_at = self.last_sweep + Duration::from_secs(1);
+            next = Some(next.map_or(sweep_at, |n| n.min(sweep_at)));
+        }
+        if self.draining {
+            next = Some(next.map_or(self.drain_deadline, |n| n.min(self.drain_deadline)));
+        }
+        let cap = Duration::from_millis(500);
+        let until = next.map_or(cap, |t| t.saturating_duration_since(now).min(cap));
+        // Round up: a deadline 0.4ms away must not busy-spin at 0ms.
+        until.as_millis() as i32 + 1
+    }
+
+    fn accept_burst(&mut self) {
+        for _ in 0..ACCEPT_BURST {
+            let stream = match self.listener.accept() {
+                Ok(Some(s)) => s,
+                Ok(None) => break,
+                Err(_) => break,
+            };
+            if self.draining {
+                drop(stream); // raced the listener deregistration
+                continue;
+            }
+            panda_obs::counter_add("serve.conns_accepted", 1);
+            let shed = self.n_conns >= self.config.max_conns;
+            if shed {
+                panda_obs::counter_add("serve.shed_503", 1);
+                if self.n_conns >= self.config.max_conns + SHED_SLACK {
+                    drop(stream); // severe overload: refuse impolitely
+                    continue;
+                }
+            }
+            let idx = self.insert(stream);
+            if shed {
+                // Queue the 503 through the normal write/drain machinery
+                // so the client reliably sees it (no RST clobbering).
+                let conn = self.conn_mut(idx);
+                let resp = Response::json(
+                    503,
+                    crate::api::ApiError::new("overloaded", "connection table is full").to_json(),
+                );
+                conn.out.extend_from_slice(&resp.to_bytes(false));
+                conn.close_after_write = true;
+                self.flush(idx);
+                if self.slots[idx].conn.is_some() {
+                    self.finish_or_settle(idx);
+                }
+            }
+        }
+    }
+
+    /// Register a fresh connection in the slab and the epoll set.
+    fn insert(&mut self, stream: TcpStream) -> usize {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(Slot { conn: None, gen: 0 });
+                self.slots.len() - 1
             }
         };
-        let Some(mut stream) = stream else {
-            return; // drained and shutting down
+        let fd = stream.as_raw_fd();
+        let conn = Conn {
+            stream,
+            parser: RequestParser::new(),
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            interest: EPOLLIN,
+            // A fresh connection is "idle until its first byte": the
+            // keep-alive deadline governs how long it may sit silent.
+            deadline: Instant::now() + self.config.keep_alive_timeout,
+            deadline_kind: DeadlineKind::Idle,
+            served: 0,
+            close_after_write: false,
+            draining: false,
+            eof: false,
         };
-        let _ = stream.set_read_timeout(Some(config.read_timeout));
-        let _ = stream.set_write_timeout(Some(config.write_timeout));
-        handle_connection(state, &mut stream, config.max_body);
+        self.slots[idx].conn = Some(conn);
+        self.n_conns += 1;
+        let token = self.token(idx);
+        if self.epoll.add(fd, EPOLLIN, token).is_err() {
+            self.close(idx);
+        }
+        idx
+    }
+
+    fn token(&self, idx: usize) -> u64 {
+        (u64::from(self.slots[idx].gen) << 32) | idx as u64
+    }
+
+    fn conn_mut(&mut self, idx: usize) -> &mut Conn {
+        self.slots[idx].conn.as_mut().expect("live connection")
+    }
+
+    /// Tear down one connection (idempotent: a second close of the same
+    /// slot is a no-op thanks to the `Option`).
+    fn close(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].conn.take() else {
+            return;
+        };
+        self.epoll.del(conn.stream.as_raw_fd());
+        drop(conn); // closes the fd
+        self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
+        self.free.push(idx);
+        self.n_conns -= 1;
+    }
+
+    /// Dispatch one readiness event to its connection, ignoring stale
+    /// tokens (connection already closed, slot possibly reused).
+    fn conn_event(&mut self, token: u64, mask: u32) {
+        let idx = (token & 0xFFFF_FFFF) as usize;
+        let gen = (token >> 32) as u32;
+        if idx >= self.slots.len() || self.slots[idx].gen != gen || self.slots[idx].conn.is_none() {
+            return;
+        }
+        let readable = mask & (EPOLLIN | EPOLLERR | EPOLLHUP) != 0;
+        let writable = mask & (EPOLLOUT | EPOLLERR | EPOLLHUP) != 0;
+        if self.conn_mut(idx).draining {
+            if readable && !self.discard(idx) {
+                return; // closed
+            }
+            return;
+        }
+        if readable && !self.read_burst(idx) {
+            return; // closed
+        }
+        if writable {
+            self.flush(idx);
+            if self.slots[idx].conn.is_none() {
+                return;
+            }
+        }
+        self.service(idx);
+    }
+
+    /// Read up to [`READ_BURST`] bytes into the connection buffer.
+    /// Returns `false` if the connection was closed.
+    fn read_burst(&mut self, idx: usize) -> bool {
+        let max_buffered = self.config.max_body + crate::http::MAX_HEAD + 8 * 1024;
+        let mut chunk = [0u8; 16 * 1024];
+        let mut read_total = 0usize;
+        loop {
+            let conn = self.conn_mut(idx);
+            if conn.eof || conn.buf.len() >= max_buffered || read_total >= READ_BURST {
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    read_total += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(idx);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Discard straggler bytes on a draining connection. Returns `false`
+    /// if it reached EOF and was closed.
+    fn discard(&mut self, idx: usize) -> bool {
+        let mut sink = [0u8; 16 * 1024];
+        let mut total = 0usize;
+        loop {
+            let conn = self.conn_mut(idx);
+            match conn.stream.read(&mut sink) {
+                Ok(0) => {
+                    self.close(idx);
+                    return false;
+                }
+                Ok(n) => {
+                    total += n;
+                    if total >= READ_BURST {
+                        return true; // level-triggered epoll will re-arm
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(idx);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Parse-and-route every complete request currently buffered, then
+    /// flush; repeat while pipelined requests keep completing. Ends by
+    /// settling the connection's interest mask and deadline.
+    fn service(&mut self, idx: usize) {
+        loop {
+            let processed = self.pump(idx);
+            if self.slots[idx].conn.is_none() {
+                return;
+            }
+            self.flush(idx);
+            if self.slots[idx].conn.is_none() {
+                return;
+            }
+            let conn = self.conn_mut(idx);
+            let out_pending = conn.out_pos < conn.out.len();
+            if processed == 0 || out_pending || conn.close_after_write {
+                break;
+            }
+        }
+        self.finish_or_settle(idx);
+    }
+
+    /// Process buffered complete requests into queued responses. Returns
+    /// how many requests were handled. May close the connection (partial
+    /// request at EOF).
+    fn pump(&mut self, idx: usize) -> usize {
+        let max_body = self.config.max_body;
+        let max_requests = self.config.max_requests_per_conn;
+        let state = Arc::clone(&self.state);
+        let mut processed = 0usize;
+        loop {
+            let conn = self.conn_mut(idx);
+            if conn.close_after_write || conn.out.len() - conn.out_pos > OUT_CAP {
+                break;
+            }
+            match conn.parser.parse(&conn.buf, max_body) {
+                Ok(None) => {
+                    if conn.eof {
+                        if conn.parser.mid_request() {
+                            // Peer vanished mid-request: nothing to answer.
+                            self.close(idx);
+                            return processed;
+                        }
+                        conn.close_after_write = true;
+                    }
+                    break;
+                }
+                Ok(Some(parsed)) => {
+                    conn.buf.drain(..parsed.consumed);
+                    conn.parser.reset();
+                    // Each request gets its own read deadline.
+                    conn.deadline_kind = DeadlineKind::Invalid;
+                    conn.served += 1;
+                    let served = conn.served;
+                    let eof = conn.eof;
+                    let response = route_safely(&state, &parsed.request);
+                    let conn = self.conn_mut(idx); // re-borrow after routing
+                    let mut keep = parsed.keep_alive && !eof;
+                    if max_requests > 0 && served >= max_requests {
+                        keep = false;
+                    }
+                    if state.shutdown_requested() {
+                        keep = false; // drain: every response says close
+                    }
+                    conn.out.extend_from_slice(&response.to_bytes(keep));
+                    if !keep {
+                        conn.close_after_write = true;
+                    }
+                    processed += 1;
+                }
+                Err(e) => {
+                    let response = match e {
+                        ReadError::Malformed(msg) => error_response(400, "bad_request", &msg),
+                        ReadError::TooLarge { limit } => error_response(
+                            413,
+                            "payload_too_large",
+                            &format!("request body exceeds the {limit}-byte cap"),
+                        ),
+                        ReadError::Disconnected => {
+                            self.close(idx);
+                            return processed;
+                        }
+                    };
+                    conn.out.extend_from_slice(&response.to_bytes(false));
+                    conn.close_after_write = true;
+                    break;
+                }
+            }
+        }
+        processed
+    }
+
+    /// Write queued response bytes until done or `WouldBlock`. May close
+    /// the connection (peer gone).
+    fn flush(&mut self, idx: usize) {
+        loop {
+            let conn = self.conn_mut(idx);
+            if conn.out_pos >= conn.out.len() {
+                conn.out.clear();
+                conn.out_pos = 0;
+                return;
+            }
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => {
+                    self.close(idx);
+                    return;
+                }
+                Ok(n) => self.conn_mut(idx).out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// After I/O: either finish a close-after-write connection (enter
+    /// the draining state, or close outright at EOF) or settle its
+    /// deadline and interest mask.
+    fn finish_or_settle(&mut self, idx: usize) {
+        let conn = self.conn_mut(idx);
+        let out_pending = conn.out_pos < conn.out.len();
+        if !out_pending && conn.close_after_write {
+            if conn.eof {
+                self.close(idx);
+                return;
+            }
+            // Half-close politely: FIN the write side, then discard any
+            // unread request bytes until the peer closes (or the grace
+            // deadline passes) so the response is never RST-clobbered.
+            let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+            conn.draining = true;
+            conn.deadline = Instant::now() + DRAIN_GRACE;
+            conn.deadline_kind = DeadlineKind::Drain;
+            self.set_interest(idx, EPOLLIN);
+            return;
+        }
+        self.settle(idx);
+    }
+
+    /// Recompute the governing deadline and epoll interest mask.
+    fn settle(&mut self, idx: usize) {
+        let write_timeout = self.config.write_timeout;
+        let read_timeout = self.config.read_timeout;
+        let keep_alive_timeout = self.config.keep_alive_timeout;
+        let conn = self.conn_mut(idx);
+        let out_pending = conn.out_pos < conn.out.len();
+        let kind = if out_pending {
+            DeadlineKind::Write
+        } else if conn.parser.mid_request() || !conn.buf.is_empty() {
+            DeadlineKind::Request
+        } else {
+            DeadlineKind::Idle
+        };
+        if kind != conn.deadline_kind {
+            conn.deadline_kind = kind;
+            conn.deadline = Instant::now()
+                + match kind {
+                    DeadlineKind::Write => write_timeout,
+                    DeadlineKind::Request => read_timeout,
+                    _ => keep_alive_timeout,
+                };
+        }
+        // Backpressure: while a response is queued, stop reading — the
+        // client gets more answers when it drains what it owes.
+        let want = if out_pending { EPOLLOUT } else { EPOLLIN };
+        self.set_interest(idx, want);
+    }
+
+    fn set_interest(&mut self, idx: usize, want: u32) {
+        let token = self.token(idx);
+        let conn = self.conn_mut(idx);
+        if conn.interest != want {
+            conn.interest = want;
+            let fd = conn.stream.as_raw_fd();
+            if self.epoll.modify(fd, want, token).is_err() {
+                self.close(idx);
+            }
+        }
+    }
+
+    /// Enforce per-state deadlines across all connections.
+    fn expire_deadlines(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.slots.len() {
+            let Some(conn) = self.slots[idx].conn.as_ref() else {
+                continue;
+            };
+            if now < conn.deadline {
+                continue;
+            }
+            match conn.deadline_kind {
+                DeadlineKind::Request => {
+                    // Slowloris eviction: the request never completed.
+                    panda_obs::counter_add("serve.request_timeout_408", 1);
+                    let resp = error_response(
+                        408,
+                        "request_timeout",
+                        "request did not complete within the read deadline",
+                    );
+                    let conn = self.conn_mut(idx);
+                    conn.out.extend_from_slice(&resp.to_bytes(false));
+                    conn.close_after_write = true;
+                    self.flush(idx);
+                    if self.slots[idx].conn.is_some() {
+                        self.finish_or_settle(idx);
+                    }
+                }
+                // Idle keep-alive, stuck write, stuck drain: just close.
+                _ => self.close(idx),
+            }
+        }
     }
 }
 
-/// One connection: parse, route, respond. All failure modes produce a
-/// response (or a silent close when the peer vanished mid-read).
-fn handle_connection(state: &AppState, stream: &mut TcpStream, max_body: usize) {
-    let request = match read_request(stream, max_body) {
-        Ok(r) => r,
-        Err(ReadError::Disconnected) => return,
-        Err(ReadError::Malformed(msg)) => {
-            error_response(400, "bad_request", &msg).write_to(stream);
-            crate::http::drain_and_close(stream);
-            return;
-        }
-        Err(ReadError::TooLarge { limit }) => {
-            error_response(
-                413,
-                "payload_too_large",
-                &format!("request body exceeds the {limit}-byte cap"),
-            )
-            .write_to(stream);
-            crate::http::drain_and_close(stream);
-            return;
-        }
-    };
-    let response = route_safely(state, &request);
-    response.write_to(stream);
-    crate::http::drain_and_close(stream);
+impl Drop for EventLoop {
+    fn drop(&mut self) {
+        crate::signal::unregister_wake_fd(self.wake.write_fd());
+    }
 }
 
 /// Route with panic isolation: a handler bug answers 500 and the worker
 /// lives on.
-fn route_safely(state: &AppState, request: &Request) -> Response {
+fn route_safely(state: &AppState, request: &crate::http::Request) -> Response {
     catch_unwind(AssertUnwindSafe(|| router::handle(state, request))).unwrap_or_else(|payload| {
         let msg = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
@@ -255,7 +812,6 @@ fn error_response(status: u16, code: &str, message: &str) -> Response {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
-    accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -275,12 +831,9 @@ impl ServerHandle {
         self.state.request_shutdown();
     }
 
-    /// Block until the accept thread and every worker have exited. Call
-    /// after [`ServerHandle::shutdown`] (or let a client hit `/shutdown`).
+    /// Block until every worker has exited. Call after
+    /// [`ServerHandle::shutdown`] (or let a client hit `/shutdown`).
     pub fn join(mut self) {
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -293,11 +846,14 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read, Write};
 
     fn get(addr: SocketAddr, path: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         let status: u16 = raw.split(' ').nth(1).unwrap().parse().unwrap();
@@ -327,6 +883,10 @@ mod tests {
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.contains("draining"));
+        assert!(
+            raw.contains("Connection: close"),
+            "drain responses must announce the close: {raw}"
+        );
         handle.join();
     }
 
@@ -357,6 +917,24 @@ mod tests {
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
 
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn ephemeral_port_is_shared_across_reuseport_shards() {
+        // 4 shards on one `:0` bind: every request must land somewhere
+        // that answers, whichever shard the kernel hashes it to.
+        let handle = Server::start(ServerConfig {
+            workers: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = handle.addr();
+        for _ in 0..16 {
+            let (status, _) = get(addr, "/healthz");
+            assert_eq!(status, 200);
+        }
         handle.shutdown();
         handle.join();
     }

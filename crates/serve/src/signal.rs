@@ -1,13 +1,24 @@
 //! SIGTERM → graceful drain, without a libc crate.
 //!
 //! std already links the platform C library, so on Unix we can declare
-//! `signal(2)` ourselves and install a handler that flips one atomic —
-//! the only async-signal-safe thing a handler may do. The accept loop
-//! polls the flag alongside the `/shutdown` latch.
+//! `signal(2)` ourselves and install a handler that does the only two
+//! async-signal-safe things a handler may do here: flip one atomic and
+//! `write(2)` a byte to each registered wake pipe. The event-loop
+//! workers park in `epoll_wait`; the wake byte makes their self-pipe
+//! readable so they observe the latch immediately instead of at the
+//! next timer tick. `POST /shutdown` reuses the same registry via
+//! [`wake_all`].
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// One slot per event-loop worker; plenty for any sane `--workers`.
+const MAX_WAKE_FDS: usize = 128;
+
+/// Registered wake-pipe write fds (−1 = empty slot). Written with CAS so
+/// registration is lock-free — the signal handler only ever reads.
+static WAKE_FDS: [AtomicI32; MAX_WAKE_FDS] = [const { AtomicI32::new(-1) }; MAX_WAKE_FDS];
 
 /// Has SIGTERM (or SIGINT, when installed) been delivered?
 pub fn sigterm_received() -> bool {
@@ -18,12 +29,41 @@ pub fn sigterm_received() -> bool {
 #[doc(hidden)]
 pub fn raise_for_test() {
     SIGTERM.store(true, Ordering::SeqCst);
+    wake_all();
+}
+
+/// Register a wake-pipe write fd; [`wake_all`] will poke it. Silently
+/// drops the registration if every slot is taken (the worker then falls
+/// back to noticing the latch at its next epoll timeout).
+pub fn register_wake_fd(fd: i32) {
+    for slot in &WAKE_FDS {
+        if slot
+            .compare_exchange(-1, fd, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            return;
+        }
+    }
+}
+
+/// Remove a previously registered wake fd (worker teardown).
+pub fn unregister_wake_fd(fd: i32) {
+    for slot in &WAKE_FDS {
+        let _ = slot.compare_exchange(fd, -1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+}
+
+/// Write one byte to every registered wake pipe. Async-signal-safe
+/// (atomic loads + `write(2)` only), so the SIGTERM handler may call it;
+/// so may ordinary code (`/shutdown`, [`crate::state::AppState`]).
+pub fn wake_all() {
+    imp::wake_all();
 }
 
 #[cfg(unix)]
 mod imp {
-    use super::SIGTERM;
-    use std::ffi::c_int;
+    use super::{SIGTERM, WAKE_FDS};
+    use std::ffi::{c_int, c_void};
     use std::sync::atomic::Ordering;
 
     const SIGINT: c_int = 2;
@@ -31,10 +71,23 @@ mod imp {
 
     extern "C" {
         fn signal(signum: c_int, handler: usize) -> usize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    pub fn wake_all() {
+        for slot in &WAKE_FDS {
+            let fd = slot.load(Ordering::SeqCst);
+            if fd >= 0 {
+                // Non-blocking pipe: if it is already full the worker has
+                // a wake pending anyway, so a failed write is fine.
+                unsafe { write(fd, b"w".as_ptr().cast(), 1) };
+            }
+        }
     }
 
     extern "C" fn on_signal(_signum: c_int) {
         SIGTERM.store(true, Ordering::SeqCst);
+        wake_all();
     }
 
     /// Route SIGTERM and SIGINT to the drain flag.
@@ -50,6 +103,7 @@ mod imp {
 mod imp {
     /// No-op off Unix: `/shutdown` remains the only drain trigger.
     pub fn install() {}
+    pub fn wake_all() {}
 }
 
 /// Install the termination handlers (call once, from the CLI entry point;

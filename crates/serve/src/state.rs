@@ -336,7 +336,8 @@ impl AppState {
         }
     }
 
-    /// Evict idle sessions past the TTL. Driven from the accept loop.
+    /// Evict idle sessions past the TTL. Driven from shard 0's
+    /// event-loop timer (~1s cadence).
     pub fn sweep(&self) {
         let Some(ttl) = self.ttl else {
             return;
@@ -416,9 +417,12 @@ impl AppState {
         }
     }
 
-    /// Ask the server to stop accepting and drain.
+    /// Ask the server to stop accepting and drain. Wakes every parked
+    /// event loop so idle keep-alive connections are closed promptly
+    /// instead of at the next timer tick.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        crate::signal::wake_all();
     }
 
     /// Has shutdown been requested (by `/shutdown` or a signal)?

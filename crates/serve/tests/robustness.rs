@@ -54,12 +54,12 @@ fn oversized_bodies_get_413() {
 }
 
 #[test]
-fn zero_depth_queue_sheds_with_503() {
-    // depth 0 makes every request shed — a deterministic probe of the
-    // overload path that normally needs saturated workers.
+fn zero_conn_budget_sheds_with_503() {
+    // a 0-connection budget makes every request shed — a deterministic
+    // probe of the overload path that normally needs a saturated shard.
     let handle = Server::start(ServerConfig {
         workers: 1,
-        queue_depth: 0,
+        max_conns: 0,
         ..Default::default()
     })
     .unwrap();
@@ -84,8 +84,8 @@ fn shutdown_drains_inflight_requests() {
     // shutdown: the worker must still serve the straggler to completion.
     let mut slow = TcpStream::connect(addr).unwrap();
     write!(slow, "GET /healthz HTTP/1.1\r\n").unwrap();
-    // Let the accept thread hand the straggler to a worker before the
-    // latch flips, so it is genuinely in flight at shutdown.
+    // Let the event loop read the partial head before the latch flips,
+    // so the straggler is genuinely mid-request at shutdown.
     std::thread::sleep(std::time::Duration::from_millis(200));
 
     let (status, _) = common::request(addr, "POST", "/shutdown", "");
