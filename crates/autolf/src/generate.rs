@@ -9,7 +9,7 @@ use panda_text::config::default_config_grid;
 use panda_text::prepared::{ColumnKey, PreparedColumn, TokenCache, WeightKey};
 use panda_text::preprocess::standard_pipeline;
 use panda_text::tokenize::Tokenizer;
-use panda_text::weight::WeightedTokens;
+use panda_text::weight::SortedWeights;
 use panda_text::{CorpusStats, SimilarityConfig, Weighting};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -184,8 +184,8 @@ pub fn generate_auto_lfs(
         corpus: Option<Arc<CorpusStats>>,
         left_col: Arc<PreparedColumn>,
         right_col: Arc<PreparedColumn>,
-        left_weights: Option<Arc<Vec<WeightedTokens>>>,
-        right_weights: Option<Arc<Vec<WeightedTokens>>>,
+        left_weights: Option<Arc<Vec<SortedWeights>>>,
+        right_weights: Option<Arc<Vec<SortedWeights>>>,
     }
     let mut cells: Vec<Cell> = Vec::with_capacity(attr_pairs.len() * grid.len());
     for (la, ra) in &attr_pairs {

@@ -6,6 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use panda_embed::{HyperplaneLsh, TupleEmbedder};
+use panda_lf::{Label, PackedVotes};
 use panda_regex::Regex;
 use panda_text::preprocess::{apply_pipeline, standard_pipeline};
 use panda_text::{sim, stem, tokenize::Tokenizer};
@@ -39,6 +40,14 @@ fn bench_text(c: &mut Criterion) {
     g.bench_function("sim/jaccard", |b| {
         b.iter(|| black_box(sim::jaccard(black_box(&ta), black_box(&tb))));
     });
+    let ha = sim::sorted_token_hashes(&ta);
+    let hb = sim::sorted_token_hashes(&tb);
+    g.bench_function("sim/jaccard_sorted_prehashed", |b| {
+        b.iter(|| black_box(sim::jaccard_sorted(black_box(&ha), black_box(&hb))));
+    });
+    g.bench_function("sim/sorted_token_hashes", |b| {
+        b.iter(|| black_box(sim::sorted_token_hashes(black_box(&ta))));
+    });
     g.bench_function("sim/levenshtein", |b| {
         b.iter(|| black_box(sim::levenshtein(black_box(NAME_A), black_box(NAME_B))));
     });
@@ -56,6 +65,15 @@ fn bench_text(c: &mut Criterion) {
     });
     g.bench_function("sim/monge_elkan_jw", |b| {
         b.iter(|| black_box(sim::monge_elkan_sym(&ta, &tb, sim::jaro_winkler)));
+    });
+    g.bench_function("sim/levenshtein_exceeds_0.8", |b| {
+        b.iter(|| {
+            black_box(sim::levenshtein_similarity_exceeds(
+                black_box(NAME_A),
+                black_box(NAME_B),
+                0.8,
+            ))
+        });
     });
     g.finish();
 }
@@ -87,5 +105,42 @@ fn bench_embedding(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_text, bench_regex, bench_embedding);
+fn bench_votes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("votes");
+    let mut packed = PackedVotes::with_capacity(100_000);
+    for i in 0..100_000u32 {
+        packed.push(match i % 5 {
+            0 => Label::Match,
+            1 | 2 => Label::NonMatch,
+            _ => Label::Abstain,
+        });
+    }
+    let scalar = packed.decode();
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("counts_packed_100k", |b| {
+        b.iter(|| black_box(black_box(&packed).counts()));
+    });
+    g.bench_function("counts_scalar_100k", |b| {
+        b.iter(|| {
+            let (mut m, mut nm, mut a) = (0usize, 0usize, 0usize);
+            for &v in black_box(&scalar).iter() {
+                match v {
+                    1.. => m += 1,
+                    0 => a += 1,
+                    _ => nm += 1,
+                }
+            }
+            black_box((m, nm, a))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_text,
+    bench_regex,
+    bench_embedding,
+    bench_votes
+);
 criterion_main!(benches);

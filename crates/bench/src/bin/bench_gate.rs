@@ -1,12 +1,15 @@
 //! **Bench-regression gate** — the CI half of the committed
-//! `BENCH_autolf.json` / `BENCH_serve.json` baselines (see
-//! `.github/workflows/ci.yml`).
+//! `BENCH_autolf.json` / `BENCH_emfit.json` / `BENCH_serve.json`
+//! baselines (see `.github/workflows/ci.yml`).
 //!
 //! Re-runs the two `p2_autolf_grid` workloads with telemetry enabled and
 //! compares the `autolf.generate` span mean against the committed
 //! `after.ns_per_iter` medians. A case fails when its mean exceeds
 //! `baseline × 1.25 × PANDA_BENCH_GATE_SLACK` (slack defaults to 1.0;
-//! CI sets it higher to absorb shared-runner noise). It then boots an
+//! CI sets it higher to absorb shared-runner noise). It then replays the
+//! `p3_em_fit` planted workload through `PandaModel`/`SnorkelModel`
+//! `fit_predict` and holds each against its `em_fit/*` line the same
+//! way. Finally it boots an
 //! in-process `panda-serve` and drives a short keep-alive `/healthz`
 //! burst: measured throughput must stay above the committed `healthz`
 //! number divided by the same limit factor (throughput gates divide
@@ -100,6 +103,66 @@ fn load_baselines() -> Result<Vec<(String, f64)>, String> {
         out.push((id, ns));
     }
     Ok(out)
+}
+
+/// `em_fit/<model> → after.ns_per_iter` from `BENCH_emfit.json` (the
+/// `em_step/*` kernel-comparison case has no gate — it documents the
+/// packed-vote speedup, not a line to hold).
+fn load_emfit_baselines() -> Result<Vec<(String, f64)>, String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_emfit.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::parse_value(&text).map_err(|e| format!("bad JSON in {path}: {e}"))?;
+    let Some(Value::Array(cases)) = doc.get_field("cases") else {
+        return Err(format!("{path}: missing \"cases\" array"));
+    };
+    let mut out = Vec::new();
+    for c in cases {
+        let Some(Value::Str(name)) = c.get_field("case") else {
+            return Err(format!("{path}: case entry without \"case\" string"));
+        };
+        if !name.starts_with("em_fit/") {
+            continue;
+        }
+        let ns = c
+            .get_field("after")
+            .and_then(|a| a.get_field("ns_per_iter"))
+            .and_then(|v| match v {
+                Value::Int(n) => Some(*n as f64),
+                Value::UInt(n) => Some(*n as f64),
+                Value::Float(n) => Some(*n),
+                _ => None,
+            })
+            .ok_or_else(|| format!("{path}: {name}: missing after.ns_per_iter"))?;
+        // "em_fit/panda/20k_pairs_10lfs" → "panda".
+        let id = name
+            .split('/')
+            .nth(1)
+            .ok_or_else(|| format!("{path}: {name}: expected em_fit/<model>/<size>"))?
+            .to_string();
+        out.push((id, ns));
+    }
+    if out.is_empty() {
+        return Err(format!("{path}: no em_fit/ cases"));
+    }
+    Ok(out)
+}
+
+/// The same planted workload as `benches/p3_em_fit.rs`.
+fn emfit_workload() -> panda_model::testutil::Planted {
+    use panda_model::testutil::{plant, PlantedLf};
+    let lfs = [
+        PlantedLf::symmetric(0.9, 0.85),
+        PlantedLf::symmetric(0.8, 0.9),
+        PlantedLf::symmetric(0.7, 0.75),
+        PlantedLf::symmetric(0.5, 0.8),
+        PlantedLf::symmetric(0.9, 0.7),
+        PlantedLf::symmetric(0.3, 0.95),
+        PlantedLf::symmetric(0.6, 0.65),
+        PlantedLf::symmetric(0.8, 0.8),
+        PlantedLf::symmetric(0.4, 0.7),
+        PlantedLf::symmetric(0.7, 0.9),
+    ];
+    plant(20_000, 0.15, &lfs, 4242)
 }
 
 /// Committed keep-alive `/healthz` throughput from `BENCH_serve.json`.
@@ -268,6 +331,61 @@ fn main() -> ExitCode {
             failed = true;
         } else {
             println!("       metrics → {}", mpath.display());
+        }
+    }
+
+    // EM-fit gate: label-model fit time on the planted matrix must hold
+    // the BENCH_emfit.json line.
+    match load_emfit_baselines() {
+        Ok(emfit_baselines) => {
+            use panda_model::{LabelModel, PandaModel, SnorkelModel};
+            let planted = emfit_workload();
+            let mut report = String::from("{\n  \"cases\": [\n");
+            for (idx, (id, baseline_ns)) in emfit_baselines.iter().enumerate() {
+                let fit: fn(&panda_lf::LabelMatrix) -> Vec<f64> = match id.as_str() {
+                    "panda" => |m| PandaModel::new().fit_predict(m, None),
+                    "snorkel" => |m| SnorkelModel::new().fit_predict(m, None),
+                    other => {
+                        eprintln!("bench_gate: unknown em_fit model {other:?}");
+                        failed = true;
+                        continue;
+                    }
+                };
+                black_box(fit(&planted.matrix));
+                let started = std::time::Instant::now();
+                for _ in 0..ITERS {
+                    black_box(fit(&planted.matrix));
+                }
+                let mean_ns = started.elapsed().as_nanos() as f64 / f64::from(ITERS);
+                let limit_ns = baseline_ns * limit_factor;
+                let ratio = mean_ns / baseline_ns;
+                let verdict = if mean_ns <= limit_ns { "PASS" } else { "FAIL" };
+                println!(
+                    "  {verdict} em_fit/{:<9} mean {:>12.0} ns/iter  baseline {:>12.0}  ratio {:.2} (limit {:.2})",
+                    id, mean_ns, baseline_ns, ratio, limit_factor
+                );
+                if mean_ns > limit_ns {
+                    failed = true;
+                }
+                if idx > 0 {
+                    report.push_str(",\n");
+                }
+                report.push_str(&format!(
+                    "    {{ \"case\": \"em_fit/{id}\", \"mean_ns\": {mean_ns:.0}, \"baseline_ns\": {baseline_ns:.0}, \"verdict\": \"{verdict}\" }}"
+                ));
+            }
+            report.push_str("\n  ]\n}\n");
+            let mpath = panda_bench::experiments_dir().join("bench_gate_emfit.metrics.json");
+            if let Err(e) = std::fs::write(&mpath, report) {
+                eprintln!("bench_gate: cannot write {}: {e}", mpath.display());
+                failed = true;
+            } else {
+                println!("       metrics → {}", mpath.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_gate: em_fit gate: {e}");
+            failed = true;
         }
     }
 

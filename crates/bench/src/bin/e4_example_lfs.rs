@@ -56,7 +56,7 @@ fn main() {
     ]);
     for name in ["name_overlap", "size_unmatch"] {
         let col = matrix.column(name).unwrap();
-        let stats = vote_accuracy(col, &gold);
+        let stats = vote_accuracy(&col, &gold);
         table.row(&[
             name.to_string(),
             format!("{:.3}", stats.coverage),

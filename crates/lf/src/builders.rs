@@ -163,10 +163,23 @@ impl LabelingFunction for SimilarityLf {
     }
 
     fn label(&self, pair: &PairRef<'_>) -> Label {
-        match self.score(pair) {
-            Some(s) if s > self.upper => Label::Match,
-            Some(s) if s < self.lower => Label::NonMatch,
-            _ => Label::Abstain,
+        let l = pair.left.get(&self.left_attr);
+        let r = pair.right.get(&self.right_attr);
+        if l.is_missing() || r.is_missing() {
+            return Label::Abstain;
+        }
+        // classify_thresholds == scoring then comparing, but edit-distance
+        // measures get the banded DP instead of the full one.
+        match self.config.classify_thresholds(
+            &l.to_text(),
+            &r.to_text(),
+            self.stats.as_deref(),
+            self.upper,
+            self.lower,
+        ) {
+            std::cmp::Ordering::Greater => Label::Match,
+            std::cmp::Ordering::Less => Label::NonMatch,
+            std::cmp::Ordering::Equal => Label::Abstain,
         }
     }
 

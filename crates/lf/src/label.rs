@@ -41,6 +41,21 @@ impl Label {
         }
     }
 
+    /// Strict decode from the compact encoding: only `+1`, `0`, and `-1`
+    /// are accepted. This is the decode the persistence/recovery path must
+    /// use — a corrupt vote byte has to quarantine the session, not be
+    /// silently reinterpreted as a vote (which [`Label::from_i8`] would
+    /// do). Returns the offending value on failure.
+    #[inline]
+    pub fn try_from_i8(v: i8) -> Result<Label, i8> {
+        match v {
+            1 => Ok(Label::Match),
+            0 => Ok(Label::Abstain),
+            -1 => Ok(Label::NonMatch),
+            other => Err(other),
+        }
+    }
+
     /// True unless the vote is [`Label::Abstain`].
     #[inline]
     pub fn is_vote(self) -> bool {
@@ -89,6 +104,16 @@ mod tests {
         }
         assert_eq!(Label::from_i8(5), Label::Match);
         assert_eq!(Label::from_i8(-3), Label::NonMatch);
+    }
+
+    #[test]
+    fn strict_decode_rejects_out_of_range() {
+        assert_eq!(Label::try_from_i8(1), Ok(Label::Match));
+        assert_eq!(Label::try_from_i8(0), Ok(Label::Abstain));
+        assert_eq!(Label::try_from_i8(-1), Ok(Label::NonMatch));
+        for bad in [2i8, 5, -2, -128, 127] {
+            assert_eq!(Label::try_from_i8(bad), Err(bad));
+        }
     }
 
     #[test]

@@ -59,5 +59,5 @@ pub use builders::{
 pub use label::Label;
 pub use lf::{BoxedLf, LabelingFunction, LfRegistry};
 pub use library::{address_matcher, organization_matcher, people_matcher, phone_matcher};
-pub use matrix::{ApplyReport, ColumnSnapshot, LabelMatrix};
+pub use matrix::{ApplyReport, ColumnSnapshot, LabelMatrix, PackedVotes, VOTES_PER_WORD};
 pub use stats::{lf_stats, LfStatsRow};

@@ -10,12 +10,125 @@ use panda_table::{CandidateSet, TablePair};
 /// over all workers instead of serializing a whole column.
 const PAIR_BLOCK: usize = 1024;
 
+/// Votes per packed `u64` word (2 bits each).
+pub const VOTES_PER_WORD: usize = 32;
+
+/// 2-bit vote codes. `0b11` is reserved and never stored.
+const CODE_ABSTAIN: u64 = 0b00;
+const CODE_MATCH: u64 = 0b01;
+const CODE_NONMATCH: u64 = 0b10;
+
+/// Code → historical `i8` encoding. The reserved code decodes to abstain
+/// defensively; it is unreachable through any constructor.
+const CODE_TO_I8: [i8; 4] = [0, 1, -1, 0];
+
+/// Every-other-bit mask for word-at-a-time vote counting.
+const LO_MASK: u64 = 0x5555_5555_5555_5555;
+
+/// One LF's votes packed 2-bit, 32 per `u64` word.
+///
+/// Layout: vote `i` occupies bits `2·(i%32) .. 2·(i%32)+2` of word
+/// `i/32` — `00` abstain, `01` match, `10` non-match, `11` reserved.
+/// Unused tail lanes of the final word are always `00`, so word-at-a-time
+/// consumers count matches/non-matches without a tail mask: with
+/// `lo = w & 0x5555…` and `hi = (w >> 1) & 0x5555…`, match lanes are
+/// `lo & !hi`, non-match lanes `hi & !lo`, and a popcount of each gives
+/// the per-word tallies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PackedVotes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedVotes {
+    /// Empty storage with room for `n` votes.
+    pub fn with_capacity(n: usize) -> Self {
+        PackedVotes {
+            words: Vec::with_capacity(n.div_ceil(VOTES_PER_WORD)),
+            len: 0,
+        }
+    }
+
+    /// Number of votes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no votes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one vote.
+    #[inline]
+    pub fn push(&mut self, label: Label) {
+        let code = match label {
+            Label::Abstain => CODE_ABSTAIN,
+            Label::Match => CODE_MATCH,
+            Label::NonMatch => CODE_NONMATCH,
+        };
+        let lane = self.len % VOTES_PER_WORD;
+        if lane == 0 {
+            self.words.push(0);
+        }
+        *self.words.last_mut().expect("word pushed above") |= code << (2 * lane);
+        self.len += 1;
+    }
+
+    /// Strict-decode a persisted `i8` vote column. An out-of-range byte is
+    /// rejected with its index and value — the recovery path's quarantine
+    /// trigger (see [`LabelMatrix::restore`]).
+    pub fn try_from_i8s(labels: &[i8]) -> Result<Self, (usize, i8)> {
+        let mut out = Self::with_capacity(labels.len());
+        for (i, &v) in labels.iter().enumerate() {
+            out.push(Label::try_from_i8(v).map_err(|bad| (i, bad))?);
+        }
+        Ok(out)
+    }
+
+    /// Raw 2-bit code of vote `i`.
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        ((self.words[i / VOTES_PER_WORD] >> (2 * (i % VOTES_PER_WORD))) & 0b11) as u8
+    }
+
+    /// Vote `i` in the historical `+1/0/-1` encoding.
+    #[inline]
+    pub fn get(&self, i: usize) -> i8 {
+        CODE_TO_I8[self.code(i) as usize]
+    }
+
+    /// The packed words (zero-padded tail — see the type docs).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Decode to the historical `Vec<i8>` representation.
+    pub fn decode(&self) -> Vec<i8> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// `(matches, non-matches, abstains)` via word-at-a-time popcounts.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut m = 0usize;
+        let mut u = 0usize;
+        for &w in &self.words {
+            let lo = w & LO_MASK;
+            let hi = (w >> 1) & LO_MASK;
+            m += (lo & !hi).count_ones() as usize;
+            u += (hi & !lo).count_ones() as usize;
+        }
+        (m, u, self.len - m - u)
+    }
+}
+
 /// One LF's votes over the candidate set.
 #[derive(Debug, Clone)]
 struct Column {
     name: String,
     version: u64,
-    labels: Vec<i8>,
+    votes: PackedVotes,
 }
 
 /// What one `apply` call did — surfaced in the IDE after
@@ -66,40 +179,44 @@ impl LabelMatrix {
         self.columns.iter().map(|c| c.name.as_str()).collect()
     }
 
-    /// One LF's votes (`+1/0/-1` per pair).
-    pub fn column(&self, name: &str) -> Option<&[i8]> {
+    /// One LF's votes (`+1/0/-1` per pair), decoded from packed storage.
+    pub fn column(&self, name: &str) -> Option<Vec<i8>> {
+        self.packed_column(name).map(PackedVotes::decode)
+    }
+
+    /// One LF's packed votes — the zero-copy accessor the EM hot loops
+    /// iterate word-at-a-time.
+    pub fn packed_column(&self, name: &str) -> Option<&PackedVotes> {
         self.columns
             .iter()
             .find(|c| c.name == name)
-            .map(|c| c.labels.as_slice())
+            .map(|c| &c.votes)
     }
 
-    /// Iterate `(lf name, votes)` in registry order.
-    pub fn columns(&self) -> impl Iterator<Item = (&str, &[i8])> {
+    /// Iterate `(lf name, decoded votes)` in registry order.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, Vec<i8>)> {
         self.columns
             .iter()
-            .map(|c| (c.name.as_str(), c.labels.as_slice()))
+            .map(|c| (c.name.as_str(), c.votes.decode()))
+    }
+
+    /// Iterate `(lf name, packed votes)` in registry order (hot paths).
+    pub fn packed_columns(&self) -> impl Iterator<Item = (&str, &PackedVotes)> {
+        self.columns.iter().map(|c| (c.name.as_str(), &c.votes))
     }
 
     /// The votes of all LFs on pair `i` (registry order).
     pub fn row(&self, i: usize) -> Vec<i8> {
-        self.columns.iter().map(|c| c.labels[i]).collect()
+        self.columns.iter().map(|c| c.votes.get(i)).collect()
     }
 
-    /// `(matches, non-matches, abstains)` voted by one LF.
+    /// `(matches, non-matches, abstains)` voted by one LF —
+    /// word-at-a-time popcounts over the packed column.
     pub fn counts(&self, name: &str) -> Option<(usize, usize, usize)> {
-        let col = self.column(name)?;
-        let mut m = 0;
-        let mut u = 0;
-        let mut a = 0;
-        for &v in col {
-            match v {
-                1.. => m += 1,
-                0 => a += 1,
-                _ => u += 1,
-            }
-        }
-        Some((m, u, a))
+        self.columns
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.votes.counts())
     }
 
     /// Apply the registry to the candidate set, reusing any column whose
@@ -137,7 +254,7 @@ impl LabelMatrix {
         for (idx, lf) in registry.lfs().iter().enumerate() {
             let version = registry.version(lf.name()).unwrap_or(0);
             match self.columns.iter().find(|c| c.name == lf.name()) {
-                Some(c) if c.version == version && c.labels.len() == candidates.len() => {
+                Some(c) if c.version == version && c.votes.len() == candidates.len() => {
                     report.reused.push(lf.name().to_string());
                 }
                 _ => jobs.push(idx),
@@ -165,7 +282,7 @@ impl LabelMatrix {
                     Ok(p) => lf.label(&p),
                     Err(_) => Label::Abstain,
                 };
-                out.push(label.as_i8());
+                out.push(label);
             }
             out
         });
@@ -174,11 +291,11 @@ impl LabelMatrix {
             let lf = &registry.lfs()[idx];
             let name = lf.name().to_string();
             let version = registry.version(&name).unwrap_or(0);
-            let mut labels: Vec<i8> = Vec::with_capacity(pairs.len());
+            let mut votes = PackedVotes::with_capacity(pairs.len());
             let mut failure: Option<String> = None;
             for block in &results[j * n_blocks..(j + 1) * n_blocks] {
                 match block {
-                    Ok(part) => labels.extend_from_slice(part),
+                    Ok(part) => part.iter().for_each(|&l| votes.push(l)),
                     Err(payload) => {
                         // First failing block wins (deterministic message).
                         failure = Some(panic_message(payload.as_ref()));
@@ -192,12 +309,12 @@ impl LabelMatrix {
                     match self.columns.iter_mut().find(|c| c.name == name) {
                         Some(c) => {
                             c.version = version;
-                            c.labels = labels;
+                            c.votes = votes;
                         }
                         None => self.columns.push(Column {
                             name,
                             version,
-                            labels,
+                            votes,
                         }),
                     }
                 }
@@ -288,15 +405,15 @@ impl LabelMatrix {
                     Ok(p) => lf.label(&p),
                     Err(_) => Label::Abstain,
                 };
-                out.push(label.as_i8());
+                out.push(label);
             }
             out
         });
 
-        let mut labels: Vec<i8> = Vec::with_capacity(pairs.len());
+        let mut votes = PackedVotes::with_capacity(pairs.len());
         for block in &results {
             match block {
-                Ok(part) => labels.extend_from_slice(part),
+                Ok(part) => part.iter().for_each(|&l| votes.push(l)),
                 Err(payload) => {
                     let msg = panic_message(payload.as_ref());
                     if panda_obs::journal_enabled() {
@@ -315,12 +432,12 @@ impl LabelMatrix {
         match self.columns.iter_mut().find(|c| c.name == name) {
             Some(c) => {
                 c.version = version;
-                c.labels = labels;
+                c.votes = votes;
             }
             None => self.columns.push(Column {
                 name: name.clone(),
                 version,
-                labels,
+                votes,
             }),
         }
         if panda_obs::journal_enabled() {
@@ -377,8 +494,12 @@ impl LabelMatrix {
             for b in c.version.to_le_bytes() {
                 mix(b);
             }
-            for &l in &c.labels {
-                mix(l as u8);
+            // Decode each packed vote back to the exact historical byte
+            // (`+1` → 0x01, `0` → 0x00, `-1` → 0xff) so digests stay
+            // byte-stable across the packed-storage change — the serve
+            // wire-parity and WAL/snapshot recovery checks depend on it.
+            for i in 0..c.votes.len() {
+                mix(c.votes.get(i) as u8);
             }
         }
         h
@@ -391,7 +512,7 @@ impl LabelMatrix {
             .map(|c| ColumnSnapshot {
                 name: c.name.clone(),
                 version: c.version,
-                labels: c.labels.clone(),
+                labels: c.votes.decode(),
             })
             .collect()
     }
@@ -401,12 +522,16 @@ impl LabelMatrix {
     /// (never trusted from disk), so a caller that afterwards compares
     /// [`LabelMatrix::digest`] against the persisted digest has also
     /// proven the candidate set matches the one the columns were computed
-    /// over. Errors when a column's length disagrees with the pair count.
+    /// over. Errors when a column's length disagrees with the pair count
+    /// **or any persisted vote byte is outside `{-1, 0, +1}`** — corrupt
+    /// votes must quarantine the session, never decode
+    /// ([`Label::try_from_i8`]).
     pub fn restore(
         candidates: &CandidateSet,
         columns: Vec<ColumnSnapshot>,
     ) -> Result<LabelMatrix, String> {
         let n_pairs = candidates.len();
+        let mut packed = Vec::with_capacity(columns.len());
         for c in &columns {
             if c.labels.len() != n_pairs {
                 return Err(format!(
@@ -415,16 +540,24 @@ impl LabelMatrix {
                     c.labels.len()
                 ));
             }
+            let votes = PackedVotes::try_from_i8s(&c.labels).map_err(|(i, bad)| {
+                format!(
+                    "column {:?} has out-of-range vote {bad} at pair {i} (valid: -1/0/+1)",
+                    c.name
+                )
+            })?;
+            packed.push(votes);
         }
         Ok(LabelMatrix {
             n_pairs,
             fingerprint: fingerprint(candidates),
             columns: columns
                 .into_iter()
-                .map(|c| Column {
+                .zip(packed)
+                .map(|(c, votes)| Column {
                     name: c.name,
                     version: c.version,
-                    labels: c.labels,
+                    votes,
                 })
                 .collect(),
         })
@@ -750,5 +883,87 @@ mod tests {
                 Ok(())
             })
             .unwrap();
+    }
+
+    // ---- packed 2-bit vote storage ------------------------------------
+
+    #[test]
+    fn packed_round_trips_near_word_boundaries() {
+        // Lengths straddling the 32-votes-per-word boundary: push/get/
+        // decode must agree with the source exactly.
+        for n in [0usize, 1, 31, 32, 33, 63, 64, 65, 100] {
+            let src: Vec<i8> = (0..n).map(|i| [1i8, 0, -1][i % 3]).collect();
+            let packed = PackedVotes::try_from_i8s(&src).unwrap();
+            assert_eq!(packed.len(), n);
+            assert_eq!(packed.decode(), src);
+            for (i, &v) in src.iter().enumerate() {
+                assert_eq!(packed.get(i), v);
+            }
+            assert_eq!(packed.words().len(), n.div_ceil(VOTES_PER_WORD));
+        }
+    }
+
+    #[test]
+    fn packed_tail_lanes_are_zero() {
+        // The zero-tail invariant word-at-a-time counting relies on.
+        let mut v = PackedVotes::with_capacity(33);
+        for _ in 0..33 {
+            v.push(Label::Match);
+        }
+        let last = *v.words().last().unwrap();
+        assert_eq!(last, 0b01, "only lane 0 of the tail word is set");
+    }
+
+    #[test]
+    fn packed_counts_match_scalar_counts() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let strategy = proptest::collection::vec(-1i8..=1, 0..200);
+        runner
+            .run(&strategy, |src| {
+                let packed = PackedVotes::try_from_i8s(&src).unwrap();
+                let m = src.iter().filter(|&&v| v == 1).count();
+                let u = src.iter().filter(|&&v| v == -1).count();
+                let a = src.iter().filter(|&&v| v == 0).count();
+                prop_assert_eq!(packed.counts(), (m, u, a));
+                prop_assert_eq!(packed.decode(), src);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn all_abstain_column_counts_word_at_a_time() {
+        let src = vec![0i8; 77];
+        let packed = PackedVotes::try_from_i8s(&src).unwrap();
+        assert_eq!(packed.counts(), (0, 0, 77));
+        assert!(packed.words().iter().all(|&w| w == 0));
+    }
+
+    /// The recovery-path satellite: a persisted column with a vote byte
+    /// outside `{-1, 0, +1}` must refuse to restore (quarantine), not be
+    /// reinterpreted as a vote.
+    #[test]
+    fn restore_quarantines_out_of_range_votes() {
+        let cands = CandidateSet::from_pairs([CandidatePair::new(0, 0), CandidatePair::new(0, 1)]);
+        for bad in [2i8, 5, -3, 127, -128] {
+            let snap = vec![ColumnSnapshot {
+                name: "corrupt".into(),
+                version: 1,
+                labels: vec![1, bad],
+            }];
+            let err = LabelMatrix::restore(&cands, snap).unwrap_err();
+            assert!(
+                err.contains("out-of-range vote") && err.contains("pair 1"),
+                "unexpected error: {err}"
+            );
+        }
+        // Valid bytes still restore.
+        let ok = vec![ColumnSnapshot {
+            name: "fine".into(),
+            version: 1,
+            labels: vec![1, -1],
+        }];
+        assert!(LabelMatrix::restore(&cands, ok).is_ok());
     }
 }

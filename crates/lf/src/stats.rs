@@ -54,7 +54,7 @@ pub fn lf_stats(
     if let Some(g) = gold {
         assert_eq!(g.len(), n, "gold length must equal pair count");
     }
-    let columns: Vec<(&str, &[i8])> = matrix.columns().collect();
+    let columns: Vec<(&str, Vec<i8>)> = matrix.columns().collect();
 
     // votes_per_pair[i] = number of non-abstain votes on pair i.
     let mut votes_per_pair = vec![0usize; n];

@@ -42,7 +42,7 @@ pub fn vote_agreement(a: &[i8], b: &[i8], min_overlap: usize) -> Option<f64> {
 /// Cluster LFs whose pairwise agreement exceeds `threshold` (single-link,
 /// greedy over matrix column order). Returns cluster ids per LF.
 pub fn redundancy_clusters(matrix: &LabelMatrix, threshold: f64, min_overlap: usize) -> Vec<usize> {
-    let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
+    let cols: Vec<Vec<i8>> = matrix.columns().map(|(_, c)| c).collect();
     let m = cols.len();
     let mut cluster = vec![usize::MAX; m];
     let mut next = 0usize;
@@ -55,7 +55,7 @@ pub fn redundancy_clusters(matrix: &LabelMatrix, threshold: f64, min_overlap: us
             if cluster[j] != usize::MAX {
                 continue;
             }
-            if let Some(a) = vote_agreement(cols[i], cols[j], min_overlap) {
+            if let Some(a) = vote_agreement(&cols[i], &cols[j], min_overlap) {
                 if a >= threshold {
                     cluster[j] = next;
                 }

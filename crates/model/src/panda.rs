@@ -19,8 +19,12 @@
 
 use crate::transitivity::{TransitivityGraph, TransitivityMode};
 use crate::{logit, sigmoid, LabelModel};
-use panda_lf::LabelMatrix;
+use panda_lf::{LabelMatrix, PackedVotes, VOTES_PER_WORD};
 use panda_table::CandidateSet;
+
+/// 2-bit vote code → θ slot (`0` = +1, `1` = −1, `2` = abstain). The
+/// reserved code `0b11` maps to abstain defensively; it is never stored.
+const CODE_SLOT: [usize; 4] = [2, 0, 1, 2];
 
 /// One multi-start EM run's outcome (diagnostics).
 #[derive(Debug, Clone)]
@@ -196,22 +200,59 @@ impl EmSolution {
 /// is unusable here: the mixture can absorb all votes into one class, and
 /// the abstention structure — which the E-step clamps for the same reason
 /// — dominates the full likelihood.)
-fn informativeness(cols: &[&[i8]], sol: &EmSolution) -> f64 {
+fn informativeness(cols: &[&PackedVotes], sol: &EmSolution) -> f64 {
     cols.iter()
         .enumerate()
         .map(|(j, col)| {
-            let votes = col.iter().filter(|&&v| v != 0).count() as f64;
+            let (n_match, n_unmatch, _) = col.counts();
+            let votes = (n_match + n_unmatch) as f64;
             let youden = (sol.acc_match(j) + sol.acc_unmatch(j) - 1.0).max(0.0);
             votes * youden
         })
         .sum()
 }
 
+/// Per-LF lookup tables for the E-step: 2-bit vote code → discounted,
+/// clamped log-odds term. Entries use exactly the expression
+/// [`LabelModel::posterior_for_votes`] replicates, so the table-driven
+/// E-step and ad-hoc scoring agree bit-exactly. The reserved code `0b11`
+/// maps to 0 (never stored).
+fn vote_term_tables(
+    theta_m: &[[f64; 3]],
+    theta_u: &[[f64; 3]],
+    discounts: &[f64],
+) -> Vec<[f64; 4]> {
+    theta_m
+        .iter()
+        .zip(theta_u)
+        .zip(discounts)
+        .map(|((tm, tu), &d)| {
+            let term = |slot: usize| {
+                let t = tm[slot].ln() - tu[slot].ln();
+                let t = if slot == 2 {
+                    t.clamp(-0.35, 0.35)
+                } else {
+                    t.clamp(-2.5, 2.5)
+                };
+                d * t
+            };
+            [term(2), term(0), term(1), 0.0]
+        })
+        .collect()
+}
+
 impl PandaModel {
     /// Run EM to convergence from one initial posterior vector.
+    ///
+    /// Both steps iterate the **packed** vote columns word-at-a-time
+    /// (32 votes per `u64`, branch-free slot lookup) in LF-major order.
+    /// The per-pair float addition sequence is identical to the historical
+    /// pair-major scalar loop, so posteriors are bit-identical to it —
+    /// the property `posterior_for_votes` and the wire-parity tests rely
+    /// on.
     fn em_run(
         &self,
-        cols: &[&[i8]],
+        cols: &[&PackedVotes],
         discounts: &[f64],
         n: usize,
         mut gamma: Vec<f64>,
@@ -223,6 +264,8 @@ impl PandaModel {
         let mut theta_u = vec![[0.3f64, 0.3, 0.4]; m];
         let mut iters = 0usize;
         let mut final_delta = f64::INFINITY;
+        // Per-pair accumulated log-odds, reused across iterations.
+        let mut lo = vec![0.0f64; n];
 
         for _iter in 0..self.max_iters {
             iters += 1;
@@ -235,14 +278,16 @@ impl PandaModel {
             for (j, col) in cols.iter().enumerate() {
                 let mut cm = [ALPHA; 3];
                 let mut cu = [ALPHA; 3];
-                for (i, &v) in col.iter().enumerate() {
-                    let slot = match v {
-                        1.. => 0,
-                        0 => 2,
-                        _ => 1,
-                    };
-                    cm[slot] += gamma[i];
-                    cu[slot] += 1.0 - gamma[i];
+                for (w_idx, &word) in col.words().iter().enumerate() {
+                    let start = w_idx * VOTES_PER_WORD;
+                    let lanes = (n - start).min(VOTES_PER_WORD);
+                    let mut w = word;
+                    for &g in &gamma[start..start + lanes] {
+                        let slot = CODE_SLOT[(w & 0b11) as usize];
+                        cm[slot] += g;
+                        cu[slot] += 1.0 - g;
+                        w >>= 2;
+                    }
                 }
                 let zm = s_m + 3.0 * ALPHA;
                 let zu = s_u + 3.0 * ALPHA;
@@ -281,34 +326,38 @@ impl PandaModel {
                 pi = (s_m / n as f64).clamp(1e-4, self.max_prior);
             }
 
-            // E-step.
-            let mut delta = 0.0;
-            for i in 0..n {
-                let mut lo = logit(pi);
-                for (j, col) in cols.iter().enumerate() {
-                    let slot = match col[i] {
-                        1.. => 0,
-                        0 => 2,
-                        _ => 1,
-                    };
-                    let term = theta_m[j][slot].ln() - theta_u[j][slot].ln();
-                    // Abstention is evidence, but weak evidence: clamp its
-                    // log-odds so systematic abstention patterns cannot
-                    // flip the cluster semantics on their own. Vote
-                    // evidence is clamped too (generously): no single LF
-                    // may contribute more than ±2.5 nats, the equivalent
-                    // of ~92% accuracy — the same role the accuracy
-                    // ceiling plays in the Snorkel baseline.
-                    let term = if slot == 2 {
-                        term.clamp(-0.35, 0.35)
-                    } else {
-                        term.clamp(-2.5, 2.5)
-                    };
-                    lo += discounts[j] * term;
+            // E-step, LF-major over packed words. Each LF contributes one
+            // of four precomputed terms per pair, selected by the 2-bit
+            // vote code — the inner loop is a table lookup plus an add,
+            // with no per-vote branches. Per pair the additions still
+            // happen in ascending-j order on top of `logit(pi)`, so the
+            // result is bit-identical to the historical per-pair loop.
+            //
+            // Abstention is evidence, but weak evidence: clamp its
+            // log-odds so systematic abstention patterns cannot flip the
+            // cluster semantics on their own. Vote evidence is clamped
+            // too (generously): no single LF may contribute more than
+            // ±2.5 nats, the equivalent of ~92% accuracy — the same role
+            // the accuracy ceiling plays in the Snorkel baseline.
+            let term_tables = vote_term_tables(&theta_m, &theta_u, discounts);
+            lo.fill(logit(pi));
+            for (j, col) in cols.iter().enumerate() {
+                let table = &term_tables[j];
+                for (w_idx, &word) in col.words().iter().enumerate() {
+                    let start = w_idx * VOTES_PER_WORD;
+                    let lanes = (n - start).min(VOTES_PER_WORD);
+                    let mut w = word;
+                    for lo_i in &mut lo[start..start + lanes] {
+                        *lo_i += table[(w & 0b11) as usize];
+                        w >>= 2;
+                    }
                 }
-                let g = sigmoid(lo);
-                delta += (g - gamma[i]).abs();
-                gamma[i] = g;
+            }
+            let mut delta = 0.0;
+            for (g_i, &lo_i) in gamma.iter_mut().zip(&lo) {
+                let g = sigmoid(lo_i);
+                delta += (g - *g_i).abs();
+                *g_i = g;
             }
 
             final_delta = delta / n as f64;
@@ -321,11 +370,7 @@ impl PandaModel {
                     let mut lm = pi.ln();
                     let mut lu = (1.0 - pi).ln();
                     for (j, col) in cols.iter().enumerate() {
-                        let slot = match col[i] {
-                            1.. => 0,
-                            0 => 2,
-                            _ => 1,
-                        };
+                        let slot = CODE_SLOT[col.code(i) as usize];
                         lm += theta_m[j][slot].ln();
                         lu += theta_u[j][slot].ln();
                     }
@@ -383,7 +428,7 @@ impl LabelModel for PandaModel {
     fn fit_predict(&mut self, matrix: &LabelMatrix, candidates: Option<&CandidateSet>) -> Vec<f64> {
         let _span = panda_obs::span("model.panda.fit");
         let n = matrix.n_pairs();
-        let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
+        let cols: Vec<&PackedVotes> = matrix.packed_columns().map(|(_, c)| c).collect();
         let m = cols.len();
         // Reset ALL fitted state on every entry: a degenerate matrix must
         // not leave diagnostics or parameters from a previous fit visible
@@ -525,7 +570,9 @@ impl LabelModel for PandaModel {
             }
             // Pairs with no LF votes carry no evidence of their own: their
             // posterior is free to be set by the implication γ_x·γ_y.
-            let movable: Vec<bool> = (0..n).map(|i| cols.iter().all(|c| c[i] == 0)).collect();
+            let movable: Vec<bool> = (0..n)
+                .map(|i| cols.iter().all(|c| c.code(i) == 0))
+                .collect();
             let raised = crate::transitivity::transitive_boost(
                 &mut gamma,
                 g,
@@ -535,7 +582,7 @@ impl LabelModel for PandaModel {
             // Residual violations among voted pairs: evidence-weighted
             // half-space projection (more votes = harder to move).
             let weights: Vec<f64> = (0..n)
-                .map(|i| 0.5 + cols.iter().filter(|c| c[i] != 0).count() as f64)
+                .map(|i| 0.5 + cols.iter().filter(|c| c.code(i) != 0).count() as f64)
                 .collect();
             let sweeps = crate::transitivity::project_transitivity_weighted(
                 &mut gamma,
@@ -778,8 +825,8 @@ mod tests {
         let p = plant(2000, 0.1, &specs, 73);
         let base = PandaModel::new().fit_predict(&p.matrix, None);
 
-        let c0: Vec<i8> = p.matrix.column("planted_0").unwrap().to_vec();
-        let c1: Vec<i8> = p.matrix.column("planted_1").unwrap().to_vec();
+        let c0: Vec<i8> = p.matrix.column("planted_0").unwrap();
+        let c1: Vec<i8> = p.matrix.column("planted_1").unwrap();
         let mut reg = panda_lf::LfRegistry::new();
         for (name, col) in [("a", c0), ("b", c1)] {
             reg.upsert(Arc::new(ClosureLf::new(name, move |pr| {

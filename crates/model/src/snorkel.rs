@@ -14,7 +14,7 @@
 //! imbalance.
 
 use crate::{logit, sigmoid, LabelModel};
-use panda_lf::LabelMatrix;
+use panda_lf::{LabelMatrix, PackedVotes, VOTES_PER_WORD};
 use panda_table::CandidateSet;
 
 /// Snorkel-style generative labeling model.
@@ -109,9 +109,15 @@ fn clamp_param(p: f64) -> f64 {
 
 impl SnorkelModel {
     /// Run EM to convergence from one initial posterior vector.
+    ///
+    /// Iterates the packed vote columns word-at-a-time (32 votes per
+    /// `u64`). Per pair the E-step still adds terms in ascending-LF order
+    /// on top of `logit(pi)` — abstains contribute an exact `+0.0` — so
+    /// posteriors stay bit-identical to the historical per-pair loop and
+    /// to `posterior_for_votes`.
     fn em_run(
         &self,
-        cols: &[&[i8]],
+        cols: &[&PackedVotes],
         discounts: &[f64],
         n: usize,
         mut gamma: Vec<f64>,
@@ -121,19 +127,26 @@ impl SnorkelModel {
         let mut acc = vec![0.7f64; m];
         let mut pi = self.prior;
         let mut iters = 0usize;
+        let mut lo = vec![0.0f64; n];
         for _iter in 0..self.max_iters {
             iters += 1;
             // M-step first (consumes the warm start on iteration 0):
-            // α_j = E[#agreements] / E[#votes], Laplace-smoothed.
+            // α_j = E[#agreements] / E[#votes], Laplace-smoothed. The vote
+            // count comes from the packed popcount; the agreement mass is
+            // a branch-free table-select over the 2-bit codes (abstain
+            // lanes add an exact 0).
             for (j, col) in cols.iter().enumerate() {
-                let mut agree = 1.0; // pseudo-counts
-                let mut votes = 2.0;
-                for (i, &v) in col.iter().enumerate() {
-                    if v == 0 {
-                        continue;
+                let (n_match, n_unmatch, _) = col.counts();
+                let votes = 2.0 + (n_match + n_unmatch) as f64; // pseudo-counts
+                let mut agree = 1.0;
+                for (w_idx, &word) in col.words().iter().enumerate() {
+                    let start = w_idx * VOTES_PER_WORD;
+                    let lanes = (n - start).min(VOTES_PER_WORD);
+                    let mut w = word;
+                    for &g in &gamma[start..start + lanes] {
+                        agree += [0.0, g, 1.0 - g, 0.0][(w & 0b11) as usize];
+                        w >>= 2;
                     }
-                    votes += 1.0;
-                    agree += if v > 0 { gamma[i] } else { 1.0 - gamma[i] };
                 }
                 acc[j] = clamp_param(agree / votes);
             }
@@ -141,21 +154,33 @@ impl SnorkelModel {
                 pi = (gamma.iter().sum::<f64>() / n as f64).clamp(1e-4, self.max_prior);
             }
 
-            // E-step.
-            let mut delta = 0.0;
-            for i in 0..n {
-                let mut lo = logit(pi);
-                for (j, col) in cols.iter().enumerate() {
-                    let a = acc[j];
-                    match col[i] {
-                        1.. => lo += discounts[j] * (a / (1.0 - a)).ln(),
-                        0 => {}
-                        _ => lo += discounts[j] * ((1.0 - a) / a).ln(),
+            // E-step, LF-major over packed words with a per-LF 4-entry
+            // term table (code → discounted log-odds; abstain and the
+            // reserved code map to 0).
+            lo.fill(logit(pi));
+            for (j, col) in cols.iter().enumerate() {
+                let a = acc[j];
+                let table = [
+                    0.0,
+                    discounts[j] * (a / (1.0 - a)).ln(),
+                    discounts[j] * ((1.0 - a) / a).ln(),
+                    0.0,
+                ];
+                for (w_idx, &word) in col.words().iter().enumerate() {
+                    let start = w_idx * VOTES_PER_WORD;
+                    let lanes = (n - start).min(VOTES_PER_WORD);
+                    let mut w = word;
+                    for lo_i in &mut lo[start..start + lanes] {
+                        *lo_i += table[(w & 0b11) as usize];
+                        w >>= 2;
                     }
                 }
-                let g = sigmoid(lo);
-                delta += (g - gamma[i]).abs();
-                gamma[i] = g;
+            }
+            let mut delta = 0.0;
+            for (g_i, &lo_i) in gamma.iter_mut().zip(&lo) {
+                let g = sigmoid(lo_i);
+                delta += (g - *g_i).abs();
+                *g_i = g;
             }
 
             // Per-iteration provenance (journal only): the vote-pattern
@@ -170,7 +195,7 @@ impl SnorkelModel {
                     let mut lu = (1.0 - pi).ln();
                     for (j, col) in cols.iter().enumerate() {
                         let a = acc[j];
-                        match col[i] {
+                        match col.get(i) {
                             1.. => {
                                 lm += a.ln();
                                 lu += (1.0 - a).ln();
@@ -215,7 +240,7 @@ impl LabelModel for SnorkelModel {
     fn fit_predict(&mut self, matrix: &LabelMatrix, _: Option<&CandidateSet>) -> Vec<f64> {
         let _span = panda_obs::span("model.snorkel.fit");
         let n = matrix.n_pairs();
-        let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
+        let cols: Vec<&PackedVotes> = matrix.packed_columns().map(|(_, c)| c).collect();
         let m = cols.len();
         // Reset ALL fitted state on every entry (same audit as
         // `PandaModel::fit_predict`): a degenerate matrix must not leave a
@@ -238,8 +263,8 @@ impl LabelModel for SnorkelModel {
         let prop: Vec<f64> = cols
             .iter()
             .map(|c| {
-                let voted = c.iter().filter(|&&v| v != 0).count();
-                (voted as f64 / n as f64).clamp(1e-6, 1.0)
+                let (n_match, n_unmatch, _) = c.counts();
+                ((n_match + n_unmatch) as f64 / n as f64).clamp(1e-6, 1.0)
             })
             .collect();
         let discounts: Vec<f64> = match self.correlation_threshold {
@@ -285,8 +310,8 @@ impl LabelModel for SnorkelModel {
                 .iter()
                 .enumerate()
                 .map(|(j, col)| {
-                    let votes = col.iter().filter(|&&v| v != 0).count() as f64;
-                    votes * (2.0 * run_acc[j] - 1.0).max(0.0)
+                    let (n_match, n_unmatch, _) = col.counts();
+                    (n_match + n_unmatch) as f64 * (2.0 * run_acc[j] - 1.0).max(0.0)
                 })
                 .sum();
             if best.as_ref().map(|(b, ..)| score > *b).unwrap_or(true) {

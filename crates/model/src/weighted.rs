@@ -69,7 +69,7 @@ impl LabelModel for WeightedVote {
 
     fn fit_predict(&mut self, matrix: &LabelMatrix, _: Option<&CandidateSet>) -> Vec<f64> {
         let n = matrix.n_pairs();
-        let cols: Vec<&[i8]> = matrix.columns().map(|(_, c)| c).collect();
+        let cols: Vec<Vec<i8>> = matrix.columns().map(|(_, c)| c).collect();
         (0..n)
             .map(|i| {
                 let mut lo = logit(self.prior);

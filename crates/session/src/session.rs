@@ -348,12 +348,13 @@ impl PandaSession {
         if !panda_obs::journal_enabled() {
             return;
         }
-        let all: Vec<&[i8]> = self.matrix.columns().map(|(_, c)| c).collect();
+        let owned: Vec<Vec<i8>> = self.matrix.columns().map(|(_, c)| c).collect();
+        let all: Vec<&[i8]> = owned.iter().map(|c| c.as_slice()).collect();
         for row in self.lf_stats() {
             let Some(col) = self.matrix.column(&row.name) else {
                 continue;
             };
-            let count = |q| run_query(q, col, &all, &self.posteriors).len();
+            let count = |q| run_query(q, &col, &all, &self.posteriors).len();
             let mut ev = panda_obs::event("lf.stats")
                 .field("lf", row.name.as_str())
                 .field("n_match", row.n_match)
@@ -439,7 +440,8 @@ impl PandaSession {
     /// Disagreement sampling: up to `k` unseen pairs where LFs conflict —
     /// the Step-4 debugging material.
     pub fn disagreement_sample(&mut self, k: usize) -> Vec<DataViewerRow> {
-        let cols: Vec<&[i8]> = self.matrix.columns().map(|(_, c)| c).collect();
+        let owned: Vec<Vec<i8>> = self.matrix.columns().map(|(_, c)| c).collect();
+        let cols: Vec<&[i8]> = owned.iter().map(|c| c.as_slice()).collect();
         let picked = sampling::disagreement_sample(&cols, &self.shown, k);
         for &i in &picked {
             self.shown[i] = true;
@@ -478,8 +480,9 @@ impl PandaSession {
         let Some(col) = self.matrix.column(lf_name) else {
             return Vec::new();
         };
-        let all: Vec<&[i8]> = self.matrix.columns().map(|(_, c)| c).collect();
-        run_query(query, col, &all, &self.posteriors)
+        let owned: Vec<Vec<i8>> = self.matrix.columns().map(|(_, c)| c).collect();
+        let all: Vec<&[i8]> = owned.iter().map(|c| c.as_slice()).collect();
+        run_query(query, &col, &all, &self.posteriors)
             .into_iter()
             .take(limit)
             .map(|i| self.viewer_row(i))
@@ -996,7 +999,7 @@ mod tests {
             assert!(a <= b + 1e-12, "sorted by uncertainty");
         }
         let dis = s.disagreement_sample(5);
-        let cols: Vec<&[i8]> = s.matrix().columns().map(|(_, c)| c).collect();
+        let cols: Vec<Vec<i8>> = s.matrix().columns().map(|(_, c)| c).collect();
         for row in &dis {
             let i = row.candidate_index;
             assert!(cols.iter().any(|c| c[i] > 0) && cols.iter().any(|c| c[i] < 0));

@@ -60,4 +60,4 @@ pub use config::{Measure, SimilarityConfig, Weighting};
 pub use prepared::{ColumnKey, PreparedColumn, PreparedRef, TokenCache, WeightKey};
 pub use preprocess::{apply_pipeline, Preprocess};
 pub use tokenize::Tokenizer;
-pub use weight::CorpusStats;
+pub use weight::{CorpusStats, SortedWeights};

@@ -23,8 +23,9 @@
 
 use crate::config::Weighting;
 use crate::preprocess::{apply_pipeline, Preprocess};
+use crate::sim::sorted_token_hashes;
 use crate::tokenize::Tokenizer;
-use crate::weight::{tf_weights, tfidf_weights, uniform_weights, CorpusStats, WeightedTokens};
+use crate::weight::{tf_weights, tfidf_weights, uniform_weights, CorpusStats, SortedWeights};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -49,6 +50,7 @@ pub fn pipeline_id(pipeline: &[Preprocess]) -> String {
 pub struct PreparedColumn {
     cleaned: Vec<String>,
     tokens: Vec<Vec<String>>,
+    hashes: Vec<Vec<u64>>,
     blank: Vec<bool>,
 }
 
@@ -63,17 +65,21 @@ impl PreparedColumn {
     ) -> Self {
         let mut cleaned = Vec::with_capacity(texts.len());
         let mut tokens = Vec::with_capacity(texts.len());
+        let mut hashes = Vec::with_capacity(texts.len());
         let mut blank = Vec::with_capacity(texts.len());
         for t in texts {
             let raw = t.as_ref();
             blank.push(raw.trim().is_empty());
             let c = apply_pipeline(pipeline, raw);
-            tokens.push(tokenizer.tokens(&c));
+            let toks = tokenizer.tokens(&c);
+            hashes.push(sorted_token_hashes(&toks));
+            tokens.push(toks);
             cleaned.push(c);
         }
         PreparedColumn {
             cleaned,
             tokens,
+            hashes,
             blank,
         }
     }
@@ -98,6 +104,13 @@ impl PreparedColumn {
         &self.tokens[i]
     }
 
+    /// Record `i`'s token set as a sorted, deduplicated hash array — the
+    /// form the `*_sorted` similarity kernels consume (see
+    /// [`crate::sim::sorted_token_hashes`]).
+    pub fn token_hashes(&self, i: usize) -> &[u64] {
+        &self.hashes[i]
+    }
+
     /// Was record `i`'s raw text blank (empty after trimming)?
     pub fn is_blank(&self, i: usize) -> bool {
         self.blank[i]
@@ -108,6 +121,7 @@ impl PreparedColumn {
         PreparedRef {
             cleaned: &self.cleaned[i],
             tokens: &self.tokens[i],
+            hashes: &self.hashes[i],
             weights: None,
         }
     }
@@ -116,11 +130,12 @@ impl PreparedColumn {
     pub fn record_weighted<'a>(
         &'a self,
         i: usize,
-        weights: &'a [WeightedTokens],
+        weights: &'a [SortedWeights],
     ) -> PreparedRef<'a> {
         PreparedRef {
             cleaned: &self.cleaned[i],
             tokens: &self.tokens[i],
+            hashes: &self.hashes[i],
             weights: Some(&weights[i]),
         }
     }
@@ -141,13 +156,15 @@ impl PreparedColumn {
         &self,
         weighting: Weighting,
         stats: Option<&CorpusStats>,
-    ) -> Vec<WeightedTokens> {
+    ) -> Vec<SortedWeights> {
         self.tokens
             .iter()
-            .map(|toks| match (weighting, stats) {
-                (Weighting::Uniform, _) => uniform_weights(toks),
-                (Weighting::Tf, _) | (Weighting::TfIdf, None) => tf_weights(toks),
-                (Weighting::TfIdf, Some(s)) => tfidf_weights(toks, s),
+            .map(|toks| {
+                SortedWeights::from_weighted(&match (weighting, stats) {
+                    (Weighting::Uniform, _) => uniform_weights(toks),
+                    (Weighting::Tf, _) | (Weighting::TfIdf, None) => tf_weights(toks),
+                    (Weighting::TfIdf, Some(s)) => tfidf_weights(toks, s),
+                })
             })
             .collect()
     }
@@ -159,11 +176,13 @@ impl PreparedColumn {
 pub struct PreparedRef<'a> {
     /// Preprocessed text (string measures).
     pub cleaned: &'a str,
-    /// Token vector (set measures).
+    /// Token vector (Monge-Elkan and anything else that needs content).
     pub tokens: &'a [String],
-    /// Prebuilt weight vector (weighted set measures); `None` falls back
-    /// to building weights from `tokens` on the fly.
-    pub weights: Option<&'a WeightedTokens>,
+    /// Sorted deduplicated token hashes (unweighted set measures).
+    pub hashes: &'a [u64],
+    /// Prebuilt sorted weight vector (weighted set measures); `None` falls
+    /// back to building weights from `tokens` on the fly.
+    pub weights: Option<&'a SortedWeights>,
 }
 
 /// Cache key: one column of one table under one pipeline and tokenizer.
@@ -217,7 +236,7 @@ pub struct WeightKey {
 #[derive(Debug, Default)]
 pub struct TokenCache {
     columns: HashMap<ColumnKey, Arc<PreparedColumn>>,
-    weighted: HashMap<WeightKey, Arc<Vec<WeightedTokens>>>,
+    weighted: HashMap<WeightKey, Arc<Vec<SortedWeights>>>,
 }
 
 impl TokenCache {
@@ -251,7 +270,7 @@ impl TokenCache {
     }
 
     /// Look up a derived weight-vector entry.
-    pub fn weights(&self, key: &WeightKey) -> Option<Arc<Vec<WeightedTokens>>> {
+    pub fn weights(&self, key: &WeightKey) -> Option<Arc<Vec<SortedWeights>>> {
         self.weighted.get(key).cloned()
     }
 
@@ -263,7 +282,7 @@ impl TokenCache {
         key: WeightKey,
         weighting: Weighting,
         stats: Option<&CorpusStats>,
-    ) -> Arc<Vec<WeightedTokens>> {
+    ) -> Arc<Vec<SortedWeights>> {
         if let Some(w) = self.weighted.get(&key) {
             panda_obs::counter_add("text.weight_cache.hits", 1);
             return w.clone();

@@ -5,31 +5,75 @@
 //! weighted measures take [`WeightedTokens`] maps; string measures take
 //! `&str`.
 
-use crate::weight::WeightedTokens;
-use std::collections::HashSet;
+use crate::weight::{SortedWeights, WeightedTokens};
+
+// ---------------------------------------------------------------------------
+// Token hashing
+// ---------------------------------------------------------------------------
+//
+// Token-set measures only need *identity* between tokens, never their
+// content, so sets are represented as sorted, deduplicated `u64` FNV-1a
+// hash arrays. Sort+dedup gives exactly `HashSet` semantics modulo hash
+// collisions: two distinct tokens with equal hashes **merge into one set
+// element** (never a panic, never a broken sort invariant), shifting set
+// cardinalities by at most the number of colliding pairs. At 64 bits a
+// collision within one attribute's vocabulary is a ~2^-64-per-pair event,
+// so the drift is theoretical; the forced-collision tests below pin the
+// merge behaviour down anyway.
+
+/// FNV-1a 64-bit hash of one token. Stable across runs and platforms (pure
+/// function of the bytes), which keeps every downstream artifact that
+/// hashes tokens — prepared columns, cached weight vectors — deterministic.
+#[inline]
+pub fn token_hash(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in token.as_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash every token and normalise to set form: sorted ascending, no
+/// duplicates. The output is what the `*_sorted` kernels consume.
+pub fn sorted_token_hashes<S: AsRef<str>>(tokens: &[S]) -> Vec<u64> {
+    let mut out: Vec<u64> = tokens.iter().map(|t| token_hash(t.as_ref())).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `|A∩B|` of two sorted deduplicated hash arrays, by merge walk.
+#[inline]
+fn sorted_intersection_len(a: &[u64], b: &[u64]) -> usize {
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        inter += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    inter
+}
 
 // ---------------------------------------------------------------------------
 // Token-set measures
 // ---------------------------------------------------------------------------
 
-fn to_set<S: AsRef<str>>(tokens: &[S]) -> HashSet<&str> {
-    tokens.iter().map(AsRef::as_ref).collect()
-}
-
-/// Jaccard similarity `|A∩B| / |A∪B|`. Two empty sets are identical (1).
-pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    let (a, b) = (to_set(a), to_set(b));
+/// Jaccard `|A∩B| / |A∪B|` over sorted deduplicated hash arrays (see
+/// [`sorted_token_hashes`]). Two empty sets are identical (1).
+pub fn jaccard_sorted(a: &[u64], b: &[u64]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    let inter = a.intersection(&b).count() as f64;
+    let inter = sorted_intersection_len(a, b) as f64;
     let union = (a.len() + b.len()) as f64 - inter;
     inter / union
 }
 
-/// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
-pub fn overlap_coefficient<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    let (a, b) = (to_set(a), to_set(b));
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)` over sorted hash arrays.
+pub fn overlap_sorted(a: &[u64], b: &[u64]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -37,22 +81,19 @@ pub fn overlap_coefficient<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    a.intersection(&b).count() as f64 / denom
+    sorted_intersection_len(a, b) as f64 / denom
 }
 
-/// Dice coefficient `2|A∩B| / (|A|+|B|)`.
-pub fn dice<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    let (a, b) = (to_set(a), to_set(b));
+/// Dice coefficient `2|A∩B| / (|A|+|B|)` over sorted hash arrays.
+pub fn dice_sorted(a: &[u64], b: &[u64]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
-    2.0 * a.intersection(&b).count() as f64 / (a.len() + b.len()) as f64
+    2.0 * sorted_intersection_len(a, b) as f64 / (a.len() + b.len()) as f64
 }
 
-/// Cosine similarity of the *binary* token-incidence vectors:
-/// `|A∩B| / sqrt(|A||B|)`.
-pub fn cosine_sets<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
-    let (a, b) = (to_set(a), to_set(b));
+/// Binary cosine `|A∩B| / sqrt(|A||B|)` over sorted hash arrays.
+pub fn cosine_sorted(a: &[u64], b: &[u64]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -60,7 +101,28 @@ pub fn cosine_sets<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    a.intersection(&b).count() as f64 / denom
+    sorted_intersection_len(a, b) as f64 / denom
+}
+
+/// Jaccard similarity `|A∩B| / |A∪B|`. Two empty sets are identical (1).
+pub fn jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    jaccard_sorted(&sorted_token_hashes(a), &sorted_token_hashes(b))
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
+pub fn overlap_coefficient<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    overlap_sorted(&sorted_token_hashes(a), &sorted_token_hashes(b))
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)`.
+pub fn dice<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    dice_sorted(&sorted_token_hashes(a), &sorted_token_hashes(b))
+}
+
+/// Cosine similarity of the *binary* token-incidence vectors:
+/// `|A∩B| / sqrt(|A||B|)`.
+pub fn cosine_sets<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    cosine_sorted(&sorted_token_hashes(a), &sorted_token_hashes(b))
 }
 
 // ---------------------------------------------------------------------------
@@ -109,6 +171,66 @@ pub fn weighted_cosine(a: &WeightedTokens, b: &WeightedTokens) -> f64 {
     (dot / (na * nb)).clamp(0.0, 1.0)
 }
 
+/// Weighted Jaccard `Σ min(w_a, w_b) / Σ max(w_a, w_b)` over sorted weight
+/// vectors — the merge-walk twin of [`weighted_jaccard`]. Unlike the
+/// `HashMap` version, the accumulation order is fixed by the hash sort, so
+/// the result is bit-stable across runs and vector instances.
+pub fn weighted_jaccard_sorted(a: &SortedWeights, b: &SortedWeights) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (a, b) = (a.entries(), b.entries());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (ha, wa) = a[i];
+        let (hb, wb) = b[j];
+        if ha == hb {
+            num += wa.min(wb);
+            den += wa.max(wb);
+            i += 1;
+            j += 1;
+        } else if ha < hb {
+            den += wa;
+            i += 1;
+        } else {
+            den += wb;
+            j += 1;
+        }
+    }
+    den += a[i..].iter().map(|&(_, w)| w).sum::<f64>();
+    den += b[j..].iter().map(|&(_, w)| w).sum::<f64>();
+    if den == 0.0 {
+        return 1.0; // all-zero weights on both sides
+    }
+    num / den
+}
+
+/// Cosine of sorted weight vectors — the merge-walk twin of
+/// [`weighted_cosine`], with the same empty/zero-norm handling.
+pub fn weighted_cosine_sorted(a: &SortedWeights, b: &SortedWeights) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let (ea, eb) = (a.entries(), b.entries());
+    let mut dot = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ea.len() && j < eb.len() {
+        let (ha, wa) = ea[i];
+        let (hb, wb) = eb[j];
+        dot += if ha == hb { wa * wb } else { 0.0 };
+        i += usize::from(ha <= hb);
+        j += usize::from(hb <= ha);
+    }
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return if na == nb { 1.0 } else { 0.0 };
+    }
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
 // ---------------------------------------------------------------------------
 // String (edit-based) measures
 // ---------------------------------------------------------------------------
@@ -117,6 +239,12 @@ pub fn weighted_cosine(a: &WeightedTokens, b: &WeightedTokens) -> f64 {
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// [`levenshtein`] over already-collected char slices — lets callers that
+/// need the char counts anyway (normalised similarity) collect once.
+fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
     let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
     if a.is_empty() {
         return b.len();
@@ -183,12 +311,45 @@ pub fn levenshtein_bounded(a: &str, b: &str, max: usize) -> Option<usize> {
 
 /// Normalised Levenshtein similarity `1 − d / max(|a|,|b|)`.
 pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let maxlen = a.len().max(b.len());
+    1.0 - levenshtein_chars(&a, &b) as f64 / maxlen as f64
+}
+
+/// Does `levenshtein_similarity(a, b) > threshold` hold? Decides the
+/// comparison through the banded kernel instead of the full DP: the
+/// largest edit distance `d_max` still satisfying the *exact* float
+/// predicate `1 − d/maxlen > threshold` is found by binary search, and
+/// [`levenshtein_bounded`] with that band answers in
+/// O((|a|+|b|)·d_max) — with an O(1) early exit on a length gap — instead
+/// of O(|a|·|b|). Exactly equivalent to computing the similarity and
+/// comparing, including ties lost to float rounding.
+pub fn levenshtein_similarity_exceeds(a: &str, b: &str, threshold: f64) -> bool {
     let la = a.chars().count();
     let lb = b.chars().count();
     if la == 0 && lb == 0 {
-        return 1.0;
+        return 1.0 > threshold;
     }
-    1.0 - levenshtein(a, b) as f64 / la.max(lb) as f64
+    let maxlen = la.max(lb);
+    let sim = |d: usize| 1.0 - d as f64 / maxlen as f64;
+    if sim(0) <= threshold || threshold.is_nan() {
+        return false; // even identical strings wouldn't clear it
+    }
+    // Largest d with sim(d) > threshold; sim is nonincreasing in d.
+    let (mut lo, mut hi) = (0usize, maxlen); // invariant: sim(lo) passes
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if sim(mid) > threshold {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    levenshtein_bounded(a, b, lo).is_some()
 }
 
 /// Jaro similarity.
@@ -306,9 +467,105 @@ pub fn relative_numeric(a: f64, b: f64) -> f64 {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::HashSet;
 
     fn toks(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_string).collect()
+    }
+
+    // Reference implementations: the pre-rewrite `HashSet<&str>` kernels,
+    // kept verbatim so property tests can pin the sorted-hash rewrite to
+    // the old semantics bit for bit.
+    fn ref_set<S: AsRef<str>>(tokens: &[S]) -> HashSet<&str> {
+        tokens.iter().map(AsRef::as_ref).collect()
+    }
+
+    fn ref_jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+        let (a, b) = (ref_set(a), ref_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let inter = a.intersection(&b).count() as f64;
+        let union = (a.len() + b.len()) as f64 - inter;
+        inter / union
+    }
+
+    fn ref_overlap<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+        let (a, b) = (ref_set(a), ref_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let denom = a.len().min(b.len()) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        a.intersection(&b).count() as f64 / denom
+    }
+
+    fn ref_dice<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+        let (a, b) = (ref_set(a), ref_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        2.0 * a.intersection(&b).count() as f64 / (a.len() + b.len()) as f64
+    }
+
+    fn ref_cosine<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+        let (a, b) = (ref_set(a), ref_set(b));
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        let denom = ((a.len() * b.len()) as f64).sqrt();
+        if denom == 0.0 {
+            return 0.0;
+        }
+        a.intersection(&b).count() as f64 / denom
+    }
+
+    #[test]
+    fn sorted_hashes_are_sorted_and_deduped() {
+        let h = sorted_token_hashes(&["tv", "sony", "tv", "", "sony"]);
+        assert_eq!(
+            h.len(),
+            3,
+            "duplicates collapse, empty token is one element"
+        );
+        assert!(h.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert!(sorted_token_hashes::<String>(&[]).is_empty());
+    }
+
+    /// Collision contract: a hash collision merges the colliding tokens
+    /// into one set element — identical to how a *duplicate* token behaves
+    /// — and never breaks the sorted/dedup invariant. Real FNV-1a 64
+    /// collisions are infeasible to construct, so the collision is forced
+    /// by feeding the kernels hash arrays in which distinct upstream
+    /// tokens were assigned the same hash.
+    #[test]
+    fn forced_collision_merges_tokens_in_set_kernels() {
+        // Side A held three distinct tokens, two of which collided on 9.
+        let a = vec![5u64, 9];
+        let b = vec![9u64];
+        // The merged element intersects once; |A| counts it once.
+        assert_eq!(jaccard_sorted(&a, &b), 0.5);
+        assert_eq!(overlap_sorted(&a, &b), 1.0);
+        assert_eq!(dice_sorted(&a, &b), 2.0 / 3.0);
+        // Identical to the duplicate-token case by construction:
+        let dup = sorted_token_hashes(&["x", "y", "y"]);
+        assert_eq!(dup.len(), 2);
+    }
+
+    #[test]
+    fn forced_collision_sums_weights_in_sorted_weights() {
+        use crate::weight::SortedWeights;
+        // Two distinct tokens collided on hash 42 with weights 1 and 2.
+        let w = SortedWeights::from_hashed_entries(vec![(42, 1.0), (7, 1.0), (42, 2.0)]);
+        assert_eq!(
+            w.entries(),
+            &[(7, 1.0), (42, 3.0)],
+            "mass summed, order kept"
+        );
+        let other = SortedWeights::from_hashed_entries(vec![(42, 3.0)]);
+        assert!((weighted_jaccard_sorted(&w, &other) - 3.0 / 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -360,6 +617,55 @@ mod tests {
         assert_eq!(levenshtein("flaw", "lawn"), 2);
     }
 
+    /// The banded DP at both band edges: `max == d` must return the exact
+    /// distance, `max == d − 1` must bail — including on multi-byte
+    /// (unicode) inputs where char and byte lengths diverge.
+    #[test]
+    fn bounded_band_edges() {
+        for (a, b) in [
+            ("kitten", "sitting"),
+            ("naïve", "naive"),
+            ("héllo wörld", "hello world"),
+            ("ベータマックス", "ベーターマックス"),
+            ("", "abc"),
+        ] {
+            let d = levenshtein(a, b);
+            assert_eq!(
+                levenshtein_bounded(a, b, d),
+                Some(d),
+                "{a:?} vs {b:?} at max=d"
+            );
+            assert_eq!(
+                levenshtein_bounded(a, b, d + 1),
+                Some(d),
+                "{a:?} vs {b:?} at max=d+1"
+            );
+            if d > 0 {
+                assert_eq!(
+                    levenshtein_bounded(a, b, d - 1),
+                    None,
+                    "{a:?} vs {b:?} at max=d-1"
+                );
+            }
+        }
+    }
+
+    /// `levenshtein_similarity_exceeds` at thresholds sitting *exactly* on
+    /// achievable similarity values — the `>` vs `>=` boundary.
+    #[test]
+    fn exceeds_is_strict_at_achievable_thresholds() {
+        let (a, b) = ("kitten", "sitting"); // d = 3, maxlen = 7
+        let s = levenshtein_similarity(a, b);
+        assert!(
+            !levenshtein_similarity_exceeds(a, b, s),
+            "strictly-greater: ties fail"
+        );
+        assert!(levenshtein_similarity_exceeds(a, b, s - 1e-9));
+        assert!(!levenshtein_similarity_exceeds(a, b, 1.0));
+        assert!(levenshtein_similarity_exceeds("", "", 0.9));
+        assert!(!levenshtein_similarity_exceeds(a, b, f64::NAN));
+    }
+
     #[test]
     fn bounded_levenshtein_agrees_or_bails() {
         for (a, b) in [
@@ -408,6 +714,79 @@ mod tests {
     }
 
     proptest! {
+        /// The sorted-hash kernels agree with the old `HashSet<&str>`
+        /// implementations **bit for bit** — same intersection and set
+        /// sizes, so the same float divisions — across random token
+        /// vectors including empty sets and multi-byte unicode tokens.
+        #[test]
+        fn sorted_kernels_match_hashset_reference_bit_exactly(
+            a in proptest::collection::vec("[a-cé本]{0,3}", 0..8),
+            b in proptest::collection::vec("[a-cé本]{0,3}", 0..8),
+        ) {
+            for (new, old) in [
+                (jaccard::<String> as fn(&[String], &[String]) -> f64, ref_jaccard::<String> as fn(&[String], &[String]) -> f64),
+                (overlap_coefficient::<String>, ref_overlap::<String>),
+                (dice::<String>, ref_dice::<String>),
+                (cosine_sets::<String>, ref_cosine::<String>),
+            ] {
+                prop_assert_eq!(new(&a, &b).to_bits(), old(&a, &b).to_bits());
+            }
+        }
+
+        /// Uniform weights make the weighted sorted kernel collapse to the
+        /// plain set kernel, bit for bit (min/max of unit weights count
+        /// exactly like set membership).
+        #[test]
+        fn uniform_sorted_weights_equal_set_jaccard(
+            a in proptest::collection::vec("[a-d]{0,3}", 0..8),
+            b in proptest::collection::vec("[a-d]{0,3}", 0..8),
+        ) {
+            use crate::weight::{uniform_weights, SortedWeights};
+            let wa = SortedWeights::from_weighted(&uniform_weights(&a));
+            let wb = SortedWeights::from_weighted(&uniform_weights(&b));
+            prop_assert_eq!(
+                weighted_jaccard_sorted(&wa, &wb).to_bits(),
+                jaccard(&a, &b).to_bits()
+            );
+        }
+
+        /// The sorted weighted kernels match the `HashMap` versions to
+        /// summation-order tolerance for every weighting's value range.
+        #[test]
+        fn sorted_weighted_kernels_match_hashmap_reference(
+            a in proptest::collection::vec("[a-d]{1,3}", 0..8),
+            b in proptest::collection::vec("[a-d]{1,3}", 0..8),
+        ) {
+            use crate::weight::{tf_weights, SortedWeights};
+            let (ma, mb) = (tf_weights(&a), tf_weights(&b));
+            let (sa, sb) = (SortedWeights::from_weighted(&ma), SortedWeights::from_weighted(&mb));
+            prop_assert!((weighted_jaccard_sorted(&sa, &sb) - weighted_jaccard(&ma, &mb)).abs() < 1e-12);
+            prop_assert!((weighted_cosine_sorted(&sa, &sb) - weighted_cosine(&ma, &mb)).abs() < 1e-12);
+        }
+
+        /// The banded threshold decision is exactly `similarity > t`, for
+        /// arbitrary thresholds including out-of-range ones.
+        #[test]
+        fn exceeds_matches_similarity_comparison(
+            a in "[abé]{0,8}",
+            b in "[abé]{0,8}",
+            t in -0.5f64..1.5,
+        ) {
+            prop_assert_eq!(
+                levenshtein_similarity_exceeds(&a, &b, t),
+                levenshtein_similarity(&a, &b) > t
+            );
+            // And at every achievable similarity value exactly.
+            let maxlen = a.chars().count().max(b.chars().count());
+            for d in 0..=maxlen {
+                let t = 1.0 - d as f64 / maxlen as f64;
+                prop_assert_eq!(
+                    levenshtein_similarity_exceeds(&a, &b, t),
+                    levenshtein_similarity(&a, &b) > t
+                );
+            }
+        }
+
         /// All set measures stay in [0,1], are symmetric, and are 1 on
         /// identical inputs.
         #[test]

@@ -91,6 +91,73 @@ pub fn tfidf_weights<S: AsRef<str>>(tokens: &[S], stats: &CorpusStats) -> Weight
     out
 }
 
+/// A weighted token vector in scoring form: `(token_hash, weight)` entries
+/// sorted by hash, plus the precomputed L2 norm. This is what the
+/// merge-walk kernels ([`crate::sim::weighted_jaccard_sorted`],
+/// [`crate::sim::weighted_cosine_sorted`]) consume — no hashing, no map
+/// lookups, and a summation order fixed once at build time, so scores are
+/// bit-stable across runs (a `HashMap`'s iteration order is not).
+///
+/// Hash collisions merge the colliding tokens into one entry whose weight
+/// is the **sum** of theirs (total mass is preserved); entries with equal
+/// hashes are summed in ascending weight order so even that case is
+/// deterministic. See the collision notes on
+/// [`crate::sim::sorted_token_hashes`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SortedWeights {
+    entries: Vec<(u64, f64)>,
+    norm: f64,
+}
+
+impl SortedWeights {
+    /// Convert a token→weight map (hashes the keys, sorts, merges).
+    pub fn from_weighted(w: &WeightedTokens) -> Self {
+        Self::from_hashed_entries(
+            w.iter()
+                .map(|(t, &wt)| (crate::sim::token_hash(t), wt))
+                .collect(),
+        )
+    }
+
+    /// Build from already-hashed `(hash, weight)` entries in any order.
+    /// Entries sharing a hash are merged by summing their weights.
+    pub fn from_hashed_entries(mut entries: Vec<(u64, f64)>) -> Self {
+        entries.sort_unstable_by_key(|&(h, w)| (h, w.to_bits()));
+        let mut merged: Vec<(u64, f64)> = Vec::with_capacity(entries.len());
+        for (h, w) in entries {
+            match merged.last_mut() {
+                Some((ph, pw)) if *ph == h => *pw += w,
+                _ => merged.push((h, w)),
+            }
+        }
+        let norm = merged.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        SortedWeights {
+            entries: merged,
+            norm,
+        }
+    }
+
+    /// The sorted `(hash, weight)` entries.
+    pub fn entries(&self) -> &[(u64, f64)] {
+        &self.entries
+    }
+
+    /// Precomputed L2 norm of the weight vector.
+    pub fn norm(&self) -> f64 {
+        self.norm
+    }
+
+    /// Number of distinct (post-merge) tokens.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

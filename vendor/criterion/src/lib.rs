@@ -65,6 +65,24 @@ impl Bencher {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         self.ns_per_iter = samples[samples.len() / 2];
     }
+
+    /// Real-criterion-style custom timing: the routine receives an
+    /// iteration count and returns the measured duration for that many
+    /// iterations (letting the bench exclude setup from the clock).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        // Warm-up batch doubles as the per-iteration cost estimate.
+        let est_ns = (routine(1).as_nanos() as f64).max(1.0);
+        // Aim for ~25ms per sample, at least one iteration.
+        let iters_per_sample = ((25_000_000.0 / est_ns) as u64).clamp(1, 10_000_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let elapsed = routine(iters_per_sample);
+            samples.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
 }
 
 pub struct BenchmarkGroup<'a> {
