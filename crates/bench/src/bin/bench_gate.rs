@@ -32,6 +32,10 @@ use std::process::ExitCode;
 const ITERS: u32 = 3;
 /// Allowed regression before slack: mean may be up to 25% above baseline.
 const THRESHOLD: f64 = 1.25;
+/// The full observability plane (labelled RED metrics + journal ring)
+/// may cost at most this factor of `/healthz` throughput versus the
+/// same burst with telemetry off (× slack).
+const OBS_OVERHEAD_LIMIT: f64 = 1.25;
 
 struct Case {
     /// Key in `BENCH_autolf.json` (`cases[].case` is `"<id>/..."`).
@@ -193,9 +197,15 @@ fn load_serve_baseline() -> Result<f64, String> {
 /// Measure keep-alive `/healthz` throughput against an in-process server.
 /// Client count matches `bench_serve` — closed-loop throughput depends on
 /// the offered concurrency, so the gate must replay the baseline's shape.
-fn measure_serve_healthz_rps() -> Result<f64, String> {
+/// `obs_on` selects the full observability plane (labelled per-request
+/// metrics + journal ring) or none — the pair of runs feeds the
+/// overhead gate.
+fn measure_serve_healthz_rps(obs_on: bool) -> Result<f64, String> {
     const GATE_CLIENTS: usize = 4;
     const GATE_REQUESTS: usize = 3000;
+    panda_obs::reset();
+    panda_obs::set_enabled(obs_on);
+    panda_obs::set_journal_enabled(obs_on);
     let handle = panda_serve::Server::start(panda_serve::ServerConfig {
         workers: panda_exec::worker_count(),
         ..Default::default()
@@ -390,10 +400,13 @@ fn main() -> ExitCode {
     }
 
     // Serve gate: keep-alive /healthz throughput must hold the line.
-    match (load_serve_baseline(), measure_serve_healthz_rps()) {
+    // Measured with the full observability plane live — that is how
+    // `panda serve` actually runs.
+    let rps_on = measure_serve_healthz_rps(true);
+    match (load_serve_baseline(), &rps_on) {
         (Ok(baseline_rps), Ok(measured_rps)) => {
             let floor_rps = baseline_rps / limit_factor;
-            let verdict = if measured_rps >= floor_rps {
+            let verdict = if *measured_rps >= floor_rps {
                 "PASS"
             } else {
                 failed = true;
@@ -404,8 +417,41 @@ fn main() -> ExitCode {
                 measured_rps, baseline_rps, floor_rps
             );
         }
-        (Err(e), _) | (_, Err(e)) => {
+        (Err(e), _) => {
             eprintln!("bench_gate: serve gate: {e}");
+            failed = true;
+        }
+        (_, Err(e)) => {
+            eprintln!("bench_gate: serve gate: {e}");
+            failed = true;
+        }
+    }
+
+    // Observability-overhead gate: the plane (labelled RED counters +
+    // latency histograms + journal events per request) must not cost
+    // more than OBS_OVERHEAD_LIMIT of /healthz throughput.
+    match (measure_serve_healthz_rps(false), &rps_on) {
+        (Ok(rps_off), Ok(rps_on)) => {
+            let obs_limit = OBS_OVERHEAD_LIMIT * slack;
+            let floor_rps = rps_off / obs_limit;
+            let ratio = rps_off / rps_on;
+            let verdict = if *rps_on >= floor_rps {
+                "PASS"
+            } else {
+                failed = true;
+                "FAIL"
+            };
+            println!(
+                "  {verdict} obs_overhead     {:>9.0} req/s on   obs-off {:>9.0}  cost {:.2}x (limit {:.2})",
+                rps_on, rps_off, ratio, obs_limit
+            );
+        }
+        (Err(e), _) => {
+            eprintln!("bench_gate: obs overhead gate: {e}");
+            failed = true;
+        }
+        (_, Err(e)) => {
+            eprintln!("bench_gate: obs overhead gate: {e}");
             failed = true;
         }
     }

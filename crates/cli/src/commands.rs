@@ -17,11 +17,15 @@ USAGE:
               [--threshold T] [--seed N] [--no-auto-lfs] [--out <csv>]
               [--metrics <json>] [--journal <jsonl>]
   panda report --journal <jsonl> [--top N]
+  panda report --follow <url> [--since N] [--max-polls N]
+              [--poll-timeout-ms N]
   panda serve --addr <host:port> [--workers N] [--state-dir <dir>]
               [--max-sessions N] [--session-ttl <secs>]
               [--reuseport on|off] [--keep-alive-timeout <secs>]
               [--max-requests-per-conn N] [--max-conns N]
+              [--slow-request-ms N]
               [--metrics <json>] [--journal <jsonl>]
+  panda promcheck [--file <text>] [--require <name,name,...>]
   panda families
   panda help
 
@@ -30,7 +34,14 @@ USAGE:
 tables (first line = header) and writes predicted match row pairs.
 `report` renders a recorded journal as a debugging report: span tree,
 EM convergence per warm start, auto-LF grid decisions, and per-LF
-model-disagreement counts.
+model-disagreement counts. With --follow it instead tails a live
+server's journal over GET /events long-polls, printing each event as a
+JSON line (--since resumes from a sequence number; --max-polls bounds
+the number of polls, 0 = follow forever).
+`promcheck` validates a Prometheus text exposition (from --file or
+stdin) against the 0.0.4 format rules — TYPE lines, family membership,
+duplicate series, histogram bucket monotonicity — and exits non-zero
+on any violation; --require asserts named families are present.
 `serve` runs the IDE loop as a JSON HTTP API (sessions, incremental LF
 edits, refits, spot labels, debug queries, ad-hoc matching); drains
 gracefully on SIGTERM or POST /shutdown, then writes --metrics /
@@ -54,7 +65,15 @@ OBSERVABILITY:
                      transitivity sweeps, auto-LF decisions, LF stats)
                      as JSON lines for `panda report`
   PANDA_LOG=summary  print a per-stage timing summary to stderr
-  PANDA_LOG=spans    also print every counter and gauge";
+  PANDA_LOG=spans    also print every counter and gauge
+
+Under `serve` the plane is live while the server runs: GET /metrics
+serves the snapshot as JSON, GET /metrics?format=prometheus as
+Prometheus 0.0.4 text (labelled RED series per route/status/shard);
+every response carries a correlation X-Request-Id echoed on journal
+events; GET /events?since=N long-polls the journal ring for new
+events; --slow-request-ms N journals a serve.slow event for any
+request slower than N milliseconds (0 = off).";
 
 fn parse_family(name: &str) -> Result<DatasetFamily, String> {
     match name {
@@ -299,11 +318,12 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         ensure_writable(path, "journal")?;
     }
     // Telemetry on before the first request: /metrics should never be
-    // empty, and the journal must capture session loads.
+    // empty. The journal ring backs GET /events long-polls and
+    // request-id correlation, so it is always live under serve; the
+    // ring is bounded (drop-oldest), and --journal additionally dumps
+    // whatever it holds to a file at shutdown.
     panda_obs::set_enabled(true);
-    if journal_path.is_some() {
-        panda_obs::set_journal_enabled(true);
-    }
+    panda_obs::set_journal_enabled(true);
     let state_dir = args.optional("state-dir").map(std::path::PathBuf::from);
     let max_sessions: usize = args.get_or("max-sessions", 0)?;
     let session_ttl_secs: u64 = args.get_or("session-ttl", 0)?;
@@ -329,6 +349,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         max_requests_per_conn: args
             .get_or("max-requests-per-conn", defaults.max_requests_per_conn)?,
         max_conns: args.get_or("max-conns", defaults.max_conns)?,
+        slow_request_ms: args.get_or("slow-request-ms", defaults.slow_request_ms)?,
         state_dir: state_dir.clone(),
         max_sessions,
         session_ttl: (session_ttl_secs > 0)
@@ -359,6 +380,38 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         std::fs::write(path, dump.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {n} journal events to {path}");
     }
+    Ok(())
+}
+
+/// `panda promcheck` — validate a Prometheus text exposition with the
+/// same in-tree parser the test suite uses, so CI can pipe a live
+/// `GET /metrics?format=prometheus` scrape through it.
+pub fn promcheck(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let text = match args.optional("file") {
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None => {
+            use std::io::Read as _;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            buf
+        }
+    };
+    let families =
+        panda_obs::prom::parse(&text).map_err(|e| format!("invalid Prometheus exposition: {e}"))?;
+    if let Some(required) = args.optional("require") {
+        for name in required.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            if !families.iter().any(|f| f.name == name) {
+                return Err(format!(
+                    "required metric family {name:?} missing from exposition"
+                ));
+            }
+        }
+    }
+    let samples: usize = families.iter().map(|f| f.samples.len()).sum();
+    println!("ok: {} metric families, {samples} samples", families.len());
     Ok(())
 }
 

@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         "match" => commands::run_match(rest),
         "serve" => commands::serve(rest),
         "report" => report::run_report(rest),
+        "promcheck" => commands::promcheck(rest),
         "families" => commands::families(),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

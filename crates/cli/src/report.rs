@@ -288,9 +288,152 @@ pub fn render(text: &str, path: &str, top: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Serialize a parsed [`Value`] back to compact JSON (the vendored
+/// `serde_json::to_string` needs `Serialize`, which `Value` itself does
+/// not implement).
+fn json_of(v: &Value) -> String {
+    fn escape_into(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    fn write(v: &Value, out: &mut String) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => escape_into(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write(item, out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, val)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    write(val, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write(v, &mut out);
+    out
+}
+
+/// Split `--follow`'s URL into a connect address and a request path.
+/// Accepts `http://host:port[/path]` or bare `host:port[/path]`; the
+/// path defaults to `/events`.
+fn parse_follow_url(url: &str) -> Result<(String, String), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let (host, path) = match rest.find('/') {
+        Some(i) => (&rest[..i], &rest[i..]),
+        None => (rest, "/events"),
+    };
+    if host.is_empty() || !host.contains(':') {
+        return Err(format!("--follow expects host:port[/path], got {url:?}"));
+    }
+    let path = if path == "/" { "/events" } else { path };
+    Ok((host.to_string(), path.to_string()))
+}
+
+/// One blocking `GET` over a fresh connection; returns the body of a
+/// 200 response. `Connection: close` keeps the framing trivial: read
+/// to EOF, split at the blank line.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("writing to {addr}: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("reading from {addr}: {e}"))?;
+    let raw = String::from_utf8_lossy(&raw);
+    let Some((head, body)) = raw.split_once("\r\n\r\n") else {
+        return Err(format!("{addr}{path}: malformed HTTP response"));
+    };
+    let status = head.split_whitespace().nth(1).unwrap_or("?");
+    if status != "200" {
+        return Err(format!("{addr}{path}: HTTP {status}: {body}"));
+    }
+    Ok(body.to_string())
+}
+
+/// `panda report --follow`: tail a live server's journal ring over
+/// `GET /events?since=N` long-polls, printing each event as a JSON
+/// line and resuming from the returned cursor.
+fn follow(url: &str, mut since: u64, max_polls: usize, timeout_ms: u64) -> Result<(), String> {
+    let (addr, base_path) = parse_follow_url(url)?;
+    let mut polls = 0usize;
+    loop {
+        let sep = if base_path.contains('?') { '&' } else { '?' };
+        let path = format!("{base_path}{sep}since={since}&timeout_ms={timeout_ms}");
+        let body = http_get(&addr, &path)?;
+        let v = serde_json::parse_value(&body)
+            .map_err(|e| format!("{addr}{path}: bad /events body: {e}"))?;
+        let next = field(&v, "next")
+            .and_then(as_u64)
+            .ok_or_else(|| format!("{addr}{path}: response has no \"next\" cursor"))?;
+        let missed = field(&v, "missed").and_then(as_u64).unwrap_or(0);
+        if missed > 0 {
+            eprintln!("# {missed} event(s) dropped by the ring before seq {next}");
+        }
+        if let Some(Value::Array(events)) = field(&v, "events") {
+            for e in events {
+                println!("{}", json_of(e));
+            }
+        }
+        since = next;
+        polls += 1;
+        if max_polls > 0 && polls >= max_polls {
+            return Ok(());
+        }
+    }
+}
+
 /// `panda report`
 pub fn run_report(argv: &[String]) -> Result<(), String> {
     let args = crate::args::Args::parse(argv, &[])?;
+    if let Some(url) = args.optional("follow") {
+        let since: u64 = args.get_or("since", 0)?;
+        let max_polls: usize = args.get_or("max-polls", 0)?;
+        let timeout_ms: u64 = args.get_or("poll-timeout-ms", 10_000)?;
+        return follow(url, since, max_polls, timeout_ms);
+    }
     let path = args.required("journal")?;
     let top: usize = args.get_or("top", 10)?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -365,6 +508,31 @@ mod tests {
         assert!(render("{\"no_kind\":1}\n", "x.jsonl", 10)
             .unwrap_err()
             .contains("without a kind"));
+    }
+
+    #[test]
+    fn follow_url_parsing() {
+        assert_eq!(
+            parse_follow_url("http://127.0.0.1:7700").unwrap(),
+            ("127.0.0.1:7700".to_string(), "/events".to_string())
+        );
+        assert_eq!(
+            parse_follow_url("127.0.0.1:7700/").unwrap(),
+            ("127.0.0.1:7700".to_string(), "/events".to_string())
+        );
+        assert_eq!(
+            parse_follow_url("http://localhost:80/custom?x=1").unwrap(),
+            ("localhost:80".to_string(), "/custom?x=1".to_string())
+        );
+        assert!(parse_follow_url("http:///events").is_err());
+        assert!(parse_follow_url("no-port").is_err());
+    }
+
+    #[test]
+    fn json_round_trips_through_local_renderer() {
+        let line = r#"{"seq":3,"kind":"serve.slow","fields":{"rid":"0-17","dur_us":1500,"ok":true,"note":"a\"b\\c","arr":[1,-2,3.5],"none":null}}"#;
+        let v = serde_json::parse_value(line).unwrap();
+        assert_eq!(json_of(&v), line);
     }
 
     #[test]

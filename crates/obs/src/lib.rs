@@ -56,10 +56,12 @@
 //! clears the journal.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+pub mod prom;
 
 /// Environment variable selecting the end-of-run report
 /// (`summary` or `spans`). Any other value (or unset) means no report.
@@ -77,6 +79,18 @@ static FLAGS: AtomicU8 = AtomicU8::new(0);
 static SPANS: Mutex<BTreeMap<String, SpanStats>> = Mutex::new(BTreeMap::new());
 static COUNTERS: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 static GAUGES: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// One series' identity inside a labeled family: `(key, value)` pairs,
+/// sorted by key (the recording APIs normalize, so `[("a","1"),("b","2")]`
+/// and `[("b","2"),("a","1")]` are the same series).
+pub type LabelSet = Vec<(String, String)>;
+
+static LABELED_COUNTERS: Mutex<BTreeMap<String, BTreeMap<LabelSet, u64>>> =
+    Mutex::new(BTreeMap::new());
+static LABELED_GAUGES: Mutex<BTreeMap<String, BTreeMap<LabelSet, f64>>> =
+    Mutex::new(BTreeMap::new());
+static LABELED_HISTS: Mutex<BTreeMap<String, BTreeMap<LabelSet, SpanStats>>> =
+    Mutex::new(BTreeMap::new());
 
 /// Recover the map even if a panic unwound through a recording call
 /// (poisoning would otherwise turn one quarantined LF panic into a
@@ -140,6 +154,9 @@ pub fn reset() {
     lock(&SPANS).clear();
     lock(&COUNTERS).clear();
     lock(&GAUGES).clear();
+    lock(&LABELED_COUNTERS).clear();
+    lock(&LABELED_GAUGES).clear();
+    lock(&LABELED_HISTS).clear();
     let mut j = lock(&JOURNAL);
     j.events.clear();
     j.dropped = 0;
@@ -409,6 +426,94 @@ pub fn gauge_add(name: &str, delta: f64) {
 }
 
 // ---------------------------------------------------------------------------
+// Labeled (dimensional) metrics
+// ---------------------------------------------------------------------------
+//
+// A thin dimensional layer over the same registry discipline: one family
+// per dotted name, one series per sorted `(key, value)` label set. Label
+// *keys* come from a small fixed vocabulary at each call site (`route`,
+// `status`, `shard`); label *values* must be low-cardinality — route
+// patterns, status codes, shard indices — never raw paths, session ids,
+// or user input, or the registry becomes an unbounded memory leak. The
+// disabled path is the same single relaxed load as the unlabeled APIs.
+
+/// Normalize a call-site label slice into the canonical sorted form.
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+/// Add `delta` to the labeled counter series `name{labels}`. No-op when
+/// disabled.
+#[inline]
+pub fn counter_add_labeled(name: &str, labels: &[(&str, &str)], delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let set = label_set(labels);
+    let mut map = lock(&LABELED_COUNTERS);
+    if !map.contains_key(name) {
+        map.insert(name.to_string(), BTreeMap::new());
+    }
+    let family = map.get_mut(name).expect("family ensured above");
+    *family.entry(set).or_insert(0) += delta;
+}
+
+/// Set the labeled gauge series `name{labels}` (last write wins). No-op
+/// when disabled.
+#[inline]
+pub fn gauge_set_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if !enabled() {
+        return;
+    }
+    let set = label_set(labels);
+    let mut map = lock(&LABELED_GAUGES);
+    if !map.contains_key(name) {
+        map.insert(name.to_string(), BTreeMap::new());
+    }
+    let family = map.get_mut(name).expect("family ensured above");
+    family.insert(set, value);
+}
+
+/// Add `delta` to the labeled gauge series `name{labels}`. No-op when
+/// disabled.
+#[inline]
+pub fn gauge_add_labeled(name: &str, labels: &[(&str, &str)], delta: f64) {
+    if !enabled() {
+        return;
+    }
+    let set = label_set(labels);
+    let mut map = lock(&LABELED_GAUGES);
+    if !map.contains_key(name) {
+        map.insert(name.to_string(), BTreeMap::new());
+    }
+    let family = map.get_mut(name).expect("family ensured above");
+    *family.entry(set).or_insert(0.0) += delta;
+}
+
+/// Record one observation into the labeled log₂ histogram series
+/// `name{labels}`. The value is conventionally nanoseconds (latency
+/// series), but any magnitude works — e.g. requests-served-per-connection
+/// for the keep-alive reuse histogram. No-op when disabled.
+#[inline]
+pub fn hist_record_labeled(name: &str, labels: &[(&str, &str)], value: u128) {
+    if !enabled() {
+        return;
+    }
+    let set = label_set(labels);
+    let mut map = lock(&LABELED_HISTS);
+    if !map.contains_key(name) {
+        map.insert(name.to_string(), BTreeMap::new());
+    }
+    let family = map.get_mut(name).expect("family ensured above");
+    family.entry(set).or_default().record(value);
+}
+
+// ---------------------------------------------------------------------------
 // The event journal
 // ---------------------------------------------------------------------------
 
@@ -528,8 +633,15 @@ impl Event {
     }
 }
 
+/// The journal is a **drop-oldest ring**: at the capacity bound the
+/// oldest buffered event is evicted (and counted in `dropped`) to make
+/// room for the new one. A long-running server therefore always holds
+/// the *most recent* window of events — exactly what a live tail
+/// ([`journal_tail`]) and post-incident triage want — and sequence
+/// numbers keep counting, so a reader can tell how much history it
+/// missed.
 struct JournalBuf {
-    events: Vec<Event>,
+    events: VecDeque<Event>,
     dropped: u64,
     capacity: usize,
     next_seq: u64,
@@ -537,23 +649,48 @@ struct JournalBuf {
 }
 
 static JOURNAL: Mutex<JournalBuf> = Mutex::new(JournalBuf {
-    events: Vec::new(),
+    events: VecDeque::new(),
     dropped: 0,
     capacity: DEFAULT_JOURNAL_CAPACITY,
     next_seq: 0,
     epoch: None,
 });
 
+thread_local! {
+    /// The request id stamped onto every journal event emitted on this
+    /// thread (as a trailing `rid` field) while set. The serve event
+    /// loop sets it around routing so a response's `X-Request-Id` links
+    /// to every event its handler emitted.
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Stamp journal events emitted on this thread with `rid` (pass `None`
+/// to clear). Callers should guard on [`journal_enabled`] — the stamp
+/// only affects journal events.
+pub fn set_request_id(rid: Option<String>) {
+    REQUEST_ID.with(|r| *r.borrow_mut() = rid);
+}
+
 fn push_event(mut e: Event) {
+    REQUEST_ID.with(|r| {
+        if let Some(rid) = r.borrow().as_deref() {
+            e.fields
+                .push(("rid".to_string(), FieldValue::Str(rid.to_string())));
+        }
+    });
     let mut j = lock(&JOURNAL);
     e.seq = j.next_seq;
     j.next_seq += 1;
     e.ts_us = j.epoch.map(|t| t.elapsed().as_micros() as u64).unwrap_or(0);
-    if j.events.len() >= j.capacity {
+    if j.capacity == 0 {
         j.dropped += 1;
-    } else {
-        j.events.push(e);
+        return;
     }
+    while j.events.len() >= j.capacity {
+        j.events.pop_front();
+        j.dropped += 1;
+    }
+    j.events.push_back(e);
 }
 
 /// Builder for one journal event. Obtained from [`event`]; a no-op shell
@@ -639,7 +776,7 @@ impl JournalDump {
 pub fn journal_drain() -> JournalDump {
     let mut j = lock(&JOURNAL);
     JournalDump {
-        events: std::mem::take(&mut j.events),
+        events: std::mem::take(&mut j.events).into_iter().collect(),
         dropped: std::mem::take(&mut j.dropped),
     }
 }
@@ -649,10 +786,62 @@ pub fn journal_len() -> usize {
     lock(&JOURNAL).events.len()
 }
 
-/// Bound the journal buffer (events past the bound are counted in
-/// [`JournalDump::dropped`] instead of stored).
+/// The sequence number the *next* event will get. A cheap "anything new
+/// past my cursor?" probe for live tails: `journal_next_seq() > since`
+/// iff [`journal_tail`]`(since, ..)` would return events.
+pub fn journal_next_seq() -> u64 {
+    lock(&JOURNAL).next_seq
+}
+
+/// A non-destructive read of the journal from a client cursor — the
+/// payload behind the server's `GET /events?since=<seq>` live tail.
+#[derive(Debug, Default)]
+pub struct JournalTail {
+    /// Buffered events with `seq >= since`, oldest first, at most `max`.
+    pub events: Vec<Event>,
+    /// The resume cursor: pass this as the next `since` for no gaps and
+    /// no duplicates (it is one past the last returned event, or the
+    /// current head when nothing matched).
+    pub next: u64,
+    /// Events with `seq >= since` that were already evicted from the
+    /// ring before this read (the client's cursor fell behind the
+    /// drop-oldest bound). 0 means the tail is gap-free.
+    pub missed: u64,
+}
+
+/// Copy out up to `max` events with `seq >= since`, without disturbing
+/// the journal (drains and tails can interleave; a tail never resets the
+/// drop counter). See [`JournalTail`] for the cursor contract.
+pub fn journal_tail(since: u64, max: usize) -> JournalTail {
+    let j = lock(&JOURNAL);
+    let oldest = j.events.front().map(|e| e.seq).unwrap_or(j.next_seq);
+    let missed = oldest
+        .saturating_sub(since)
+        .min(j.next_seq.saturating_sub(since));
+    // The ring holds the contiguous range [oldest, next_seq): index the
+    // cursor directly instead of scanning.
+    let skip = since.saturating_sub(oldest) as usize;
+    let events: Vec<Event> = j.events.iter().skip(skip).take(max).cloned().collect();
+    let next = match events.last() {
+        Some(last) => last.seq + 1,
+        None => j.next_seq.max(since),
+    };
+    JournalTail {
+        events,
+        next,
+        missed,
+    }
+}
+
+/// Bound the journal ring (the oldest event is evicted — and counted as
+/// dropped — when a push would exceed the bound).
 pub fn set_journal_capacity(capacity: usize) {
-    lock(&JOURNAL).capacity = capacity;
+    let mut j = lock(&JOURNAL);
+    j.capacity = capacity;
+    while j.events.len() > capacity {
+        j.events.pop_front();
+        j.dropped += 1;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -669,6 +858,12 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Gauges by name.
     pub gauges: BTreeMap<String, f64>,
+    /// Labeled counter families: name → series (sorted label set → value).
+    pub labeled_counters: BTreeMap<String, BTreeMap<LabelSet, u64>>,
+    /// Labeled gauge families.
+    pub labeled_gauges: BTreeMap<String, BTreeMap<LabelSet, f64>>,
+    /// Labeled log₂ histogram families.
+    pub labeled_hists: BTreeMap<String, BTreeMap<LabelSet, SpanStats>>,
 }
 
 /// Freeze the current registry contents into a [`Snapshot`].
@@ -677,6 +872,9 @@ pub fn snapshot() -> Snapshot {
         spans: lock(&SPANS).clone(),
         counters: lock(&COUNTERS).clone(),
         gauges: lock(&GAUGES).clone(),
+        labeled_counters: lock(&LABELED_COUNTERS).clone(),
+        labeled_gauges: lock(&LABELED_GAUGES).clone(),
+        labeled_hists: lock(&LABELED_HISTS).clone(),
     }
 }
 
@@ -694,6 +892,20 @@ fn escape_json(s: &str, out: &mut String) {
         }
     }
     out.push('"');
+}
+
+/// Render a sorted label set as a JSON object (`{"route": "/x", ...}`).
+fn labels_json(labels: &[(String, String)], out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        escape_json(k, out);
+        out.push_str(": ");
+        escape_json(v, out);
+    }
+    out.push('}');
 }
 
 fn json_f64(v: f64) -> String {
@@ -773,8 +985,93 @@ impl Snapshot {
             out.push_str(&json_f64(*v));
         }
         out.push_str(if self.gauges.is_empty() { "}" } else { "\n  }" });
+        out.push_str(",\n  \"labeled_counters\": {");
+        for (i, (name, family)) in self.labeled_counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_json(name, &mut out);
+            out.push_str(": [");
+            for (k, (labels, v)) in family.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"labels\": ");
+                labels_json(labels, &mut out);
+                out.push_str(&format!(", \"value\": {v}}}"));
+            }
+            out.push(']');
+        }
+        out.push_str(if self.labeled_counters.is_empty() {
+            "}"
+        } else {
+            "\n  }"
+        });
+        out.push_str(",\n  \"labeled_gauges\": {");
+        for (i, (name, family)) in self.labeled_gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_json(name, &mut out);
+            out.push_str(": [");
+            for (k, (labels, v)) in family.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"labels\": ");
+                labels_json(labels, &mut out);
+                out.push_str(", \"value\": ");
+                out.push_str(&json_f64(*v));
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push_str(if self.labeled_gauges.is_empty() {
+            "}"
+        } else {
+            "\n  }"
+        });
+        out.push_str(",\n  \"labeled_hists\": {");
+        for (i, (name, family)) in self.labeled_hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            escape_json(name, &mut out);
+            out.push_str(": [");
+            for (k, (labels, s)) in family.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"labels\": ");
+                labels_json(labels, &mut out);
+                out.push_str(&format!(
+                    ", \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"hist\": [",
+                    s.count, s.total_ns, s.min_ns, s.max_ns
+                ));
+                let mut first = true;
+                for (b, &c) in s.hist.iter().enumerate() {
+                    if c > 0 {
+                        if !first {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{b}, {c}]"));
+                        first = false;
+                    }
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        out.push_str(if self.labeled_hists.is_empty() {
+            "}"
+        } else {
+            "\n  }"
+        });
         out.push_str("\n}\n");
         out
+    }
+
+    /// Render this snapshot in the Prometheus text exposition format
+    /// (version 0.0.4). See [`prom::render`] for the mapping.
+    pub fn to_prometheus(&self) -> String {
+        prom::render(self)
     }
 
     /// Render a human-readable report. [`LogMode::Summary`] prints
@@ -1119,10 +1416,163 @@ mod tests {
         all_off();
         assert_eq!(dump.events.len(), 3);
         assert_eq!(dump.dropped, 2);
+        // Drop-oldest ring: the survivors are the *newest* three.
+        let kept: Vec<u64> = dump.events.iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
         let jsonl = dump.to_jsonl();
         assert_eq!(jsonl.lines().count(), 4, "3 events + dropped marker");
         assert!(jsonl.contains("\"journal.dropped\""));
         assert!(jsonl.contains("\"dropped\":2"));
+    }
+
+    #[test]
+    fn journal_tail_resumes_without_gaps_or_duplicates() {
+        let _g = lock(&TEST_LOCK);
+        set_journal_enabled(true);
+        reset();
+        for i in 0..6u64 {
+            event("tail.test").field("i", i).emit();
+        }
+        // Page through with max=4: two reads cover everything exactly once.
+        let first = journal_tail(0, 4);
+        assert_eq!(first.missed, 0);
+        assert_eq!(
+            first.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(first.next, 4);
+        let second = journal_tail(first.next, 4);
+        assert_eq!(
+            second.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(second.next, 6);
+        // Caught up: an empty tail parks the cursor at the head.
+        let third = journal_tail(second.next, 4);
+        assert!(third.events.is_empty());
+        assert_eq!(third.next, 6);
+        // Tails are non-destructive: the events are all still there.
+        assert_eq!(journal_len(), 6);
+        let dump = journal_drain();
+        all_off();
+        assert_eq!(dump.events.len(), 6);
+    }
+
+    #[test]
+    fn journal_tail_reports_missed_events_after_wraparound() {
+        let _g = lock(&TEST_LOCK);
+        set_journal_enabled(true);
+        reset();
+        set_journal_capacity(3);
+        for i in 0..8u64 {
+            event("wrap.test").field("i", i).emit();
+        }
+        // Ring holds seqs 5..=7; a cursor at 1 missed 4 events (1..=4).
+        let tail = journal_tail(1, 100);
+        set_journal_capacity(DEFAULT_JOURNAL_CAPACITY);
+        all_off();
+        assert_eq!(
+            tail.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        assert_eq!(tail.missed, 4);
+        assert_eq!(tail.next, 8);
+    }
+
+    #[test]
+    fn request_id_is_stamped_onto_journal_events() {
+        let _g = lock(&TEST_LOCK);
+        set_journal_enabled(true);
+        reset();
+        event("rid.none").emit();
+        set_request_id(Some("3-42".to_string()));
+        event("rid.some").field("k", 1u64).emit();
+        {
+            let _s = span("rid.span");
+        }
+        set_request_id(None);
+        event("rid.cleared").emit();
+        let dump = journal_drain();
+        all_off();
+        assert_eq!(dump.events[0].field("rid"), None);
+        assert_eq!(
+            dump.events[1].field("rid"),
+            Some(&FieldValue::Str("3-42".into()))
+        );
+        // Span-close events inside the request window carry it too.
+        assert_eq!(dump.events[2].kind, "span");
+        assert_eq!(
+            dump.events[2].field("rid"),
+            Some(&FieldValue::Str("3-42".into()))
+        );
+        assert_eq!(dump.events[3].field("rid"), None);
+    }
+
+    #[test]
+    fn labeled_metrics_aggregate_and_normalize_label_order() {
+        let _g = lock(&TEST_LOCK);
+        set_enabled(true);
+        reset();
+        counter_add_labeled(
+            "serve.http.requests",
+            &[("route", "/healthz"), ("status", "200")],
+            2,
+        );
+        // Reversed label order is the same series.
+        counter_add_labeled(
+            "serve.http.requests",
+            &[("status", "200"), ("route", "/healthz")],
+            3,
+        );
+        counter_add_labeled(
+            "serve.http.requests",
+            &[("route", "/healthz"), ("status", "404")],
+            1,
+        );
+        gauge_set_labeled("serve.loop.connections", &[("shard", "0")], 7.0);
+        gauge_add_labeled("serve.loop.connections", &[("shard", "0")], -2.0);
+        hist_record_labeled("serve.http.latency", &[("route", "/match")], 100);
+        hist_record_labeled("serve.http.latency", &[("route", "/match")], 300);
+        let snap = snapshot();
+        all_off();
+        let family = &snap.labeled_counters["serve.http.requests"];
+        assert_eq!(family.len(), 2);
+        let ok_series = vec![
+            ("route".to_string(), "/healthz".to_string()),
+            ("status".to_string(), "200".to_string()),
+        ];
+        assert_eq!(family[&ok_series], 5);
+        let conns = &snap.labeled_gauges["serve.loop.connections"];
+        assert_eq!(conns[&vec![("shard".to_string(), "0".to_string())]], 5.0);
+        let lat = &snap.labeled_hists["serve.http.latency"]
+            [&vec![("route".to_string(), "/match".to_string())]];
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.total_ns, 400);
+        assert_eq!(lat.min_ns, 100);
+        assert_eq!(lat.max_ns, 300);
+        // And the JSON snapshot carries the labeled families.
+        let json = snap.to_json();
+        assert!(json.contains("\"labeled_counters\""), "{json}");
+        assert!(
+            json.contains(r#"{"labels": {"route": "/healthz", "status": "200"}, "value": 5}"#),
+            "{json}"
+        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn labeled_metrics_are_noops_when_disabled() {
+        let _g = lock(&TEST_LOCK);
+        all_off();
+        reset();
+        counter_add_labeled("off.counter", &[("a", "b")], 1);
+        gauge_set_labeled("off.gauge", &[("a", "b")], 1.0);
+        gauge_add_labeled("off.gauge", &[("a", "b")], 1.0);
+        hist_record_labeled("off.hist", &[("a", "b")], 1);
+        let snap = snapshot();
+        assert!(snap.labeled_counters.is_empty());
+        assert!(snap.labeled_gauges.is_empty());
+        assert!(snap.labeled_hists.is_empty());
     }
 
     #[test]

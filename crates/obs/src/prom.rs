@@ -1,0 +1,655 @@
+//! Prometheus text exposition (format version 0.0.4): a renderer for
+//! [`Snapshot`] and a small conformance parser.
+//!
+//! The mapping from the registry to exposition families:
+//!
+//! * **Counters** (labeled and unlabeled, merged by name) render as
+//!   `# TYPE <name>_total counter` — dots become underscores, the
+//!   conventional `_total` suffix is appended.
+//! * **Gauges** render as `# TYPE <name> gauge`.
+//! * **Spans and labeled log₂ histograms** render as
+//!   `# TYPE <name>_seconds histogram`: each occupied log₂ bucket `b`
+//!   becomes a *cumulative* `_bucket` sample with
+//!   `le = 2^(b+1) ns / 1e9` seconds, the terminal bucket is
+//!   `le="+Inf"` (the last log₂ bucket is open-ended — everything
+//!   ≥ 2^31 ns lands there — so it folds into `+Inf` rather than lying
+//!   about an upper bound), `_sum` is total seconds, and `_count` the
+//!   observation count. Non-latency histograms (e.g. keep-alive reuse
+//!   depth) use the same pipeline; their "seconds" are raw magnitudes
+//!   divided by 1e9, which preserves ordering and shape.
+//!
+//! Within a family, the unlabeled series (if any) renders first, then
+//! labeled series in sorted label-set order; label values escape `\`,
+//! `"`, and newline per the exposition spec. All of this is pinned by
+//! unit tests — scrape consumers can rely on it.
+//!
+//! The parser ([`parse`]) understands exactly this dialect (plus `# HELP`
+//! and arbitrary comments), and *validates* while parsing: name/label
+//! syntax, samples belonging to their `# TYPE` family, no duplicate
+//! series, histogram bucket monotonicity, `+Inf` presence, and
+//! `_count`/`+Inf` agreement. CI pipes a live server's
+//! `GET /metrics?format=prometheus` through it (`panda promcheck`).
+
+use crate::{Snapshot, SpanStats, HIST_BUCKETS};
+use std::collections::{BTreeMap, BTreeSet};
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Render a snapshot in the exposition format. See the module docs for
+/// the mapping.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    let counter_names: BTreeSet<&String> = snap
+        .counters
+        .keys()
+        .chain(snap.labeled_counters.keys())
+        .collect();
+    for name in counter_names {
+        let pname = format!("{}_total", sanitize(name));
+        out.push_str(&format!("# TYPE {pname} counter\n"));
+        if let Some(v) = snap.counters.get(name) {
+            out.push_str(&format!("{pname} {v}\n"));
+        }
+        if let Some(family) = snap.labeled_counters.get(name) {
+            for (labels, v) in family {
+                out.push_str(&pname);
+                render_labels(&mut out, labels, None);
+                out.push_str(&format!(" {v}\n"));
+            }
+        }
+    }
+
+    let gauge_names: BTreeSet<&String> = snap
+        .gauges
+        .keys()
+        .chain(snap.labeled_gauges.keys())
+        .collect();
+    for name in gauge_names {
+        let pname = sanitize(name);
+        out.push_str(&format!("# TYPE {pname} gauge\n"));
+        if let Some(v) = snap.gauges.get(name) {
+            out.push_str(&format!("{pname} {}\n", fmt_value(*v)));
+        }
+        if let Some(family) = snap.labeled_gauges.get(name) {
+            for (labels, v) in family {
+                out.push_str(&pname);
+                render_labels(&mut out, labels, None);
+                out.push_str(&format!(" {}\n", fmt_value(*v)));
+            }
+        }
+    }
+
+    let hist_names: BTreeSet<&String> =
+        snap.spans.keys().chain(snap.labeled_hists.keys()).collect();
+    for name in hist_names {
+        let pname = format!("{}_seconds", sanitize(name));
+        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        if let Some(stats) = snap.spans.get(name) {
+            render_histogram(&mut out, &pname, &[], stats);
+        }
+        if let Some(family) = snap.labeled_hists.get(name) {
+            for (labels, stats) in family {
+                render_histogram(&mut out, &pname, labels, stats);
+            }
+        }
+    }
+
+    out
+}
+
+/// One histogram series: cumulative occupied buckets, `+Inf`, `_sum`,
+/// `_count`.
+fn render_histogram(out: &mut String, pname: &str, labels: &[(String, String)], s: &SpanStats) {
+    let mut cumulative = 0u64;
+    for (b, &c) in s.hist.iter().enumerate().take(HIST_BUCKETS - 1) {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = (1u64 << (b + 1)) as f64 / 1e9;
+        out.push_str(pname);
+        out.push_str("_bucket");
+        render_labels(out, labels, Some(&fmt_value(le)));
+        out.push_str(&format!(" {cumulative}\n"));
+    }
+    out.push_str(pname);
+    out.push_str("_bucket");
+    render_labels(out, labels, Some("+Inf"));
+    out.push_str(&format!(" {}\n", s.count));
+    out.push_str(pname);
+    out.push_str("_sum");
+    render_labels(out, labels, None);
+    out.push_str(&format!(" {}\n", fmt_value(s.total_ns as f64 / 1e9)));
+    out.push_str(pname);
+    out.push_str("_count");
+    render_labels(out, labels, None);
+    out.push_str(&format!(" {}\n", s.count));
+}
+
+/// Append `{k="v",...}` (sorted keys; `le` last when given); appends
+/// nothing for an empty set with no `le`.
+fn render_labels(out: &mut String, labels: &[(String, String)], le: Option<&str>) {
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label_value(v, out);
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Exposition-format label value escaping: `\` → `\\`, `"` → `\"`,
+/// newline → `\n`.
+fn escape_label_value(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// `.` → `_`: registry names are dotted `[a-z0-9_.]`, so the result is a
+/// valid exposition metric name.
+fn sanitize(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// Sample value formatting: plain decimal (Rust's shortest round-trip
+/// `Display`, never scientific), with the spec spellings for the
+/// non-finite values.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing / validation
+// ---------------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (`serve_http_requests_total`,
+    /// `serve_request_seconds_bucket`, …).
+    pub name: String,
+    /// Label pairs in source order (including `le` for buckets).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Fetch a label by name.
+    pub fn label(&self, name: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One `# TYPE` family and the samples that followed it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// The family name from the `# TYPE` line.
+    pub name: String,
+    /// `counter`, `gauge`, `histogram`, `summary`, or `untyped`.
+    pub kind: String,
+    /// Samples, in source order.
+    pub samples: Vec<Sample>,
+}
+
+/// Parse and validate an exposition document. Returns the families, or
+/// the first conformance violation found. Validations: `# TYPE` syntax
+/// and known kinds; metric/label name character sets; every sample
+/// belonging to the family announced above it; no duplicate series;
+/// counter values finite and non-negative; histogram buckets cumulative
+/// (non-decreasing with increasing `le`), terminated by `le="+Inf"`,
+/// with `_count` equal to the `+Inf` bucket.
+pub fn parse(text: &str) -> Result<Vec<Family>, String> {
+    let mut families: Vec<Family> = Vec::new();
+    let mut seen_types: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: # TYPE without a name"))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {n}: # TYPE {name} without a kind"))?;
+            if parts.next().is_some() {
+                return Err(format!("line {n}: trailing tokens after # TYPE"));
+            }
+            check_metric_name(name).map_err(|e| format!("line {n}: {e}"))?;
+            if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                return Err(format!("line {n}: unknown TYPE kind {kind:?}"));
+            }
+            if !seen_types.insert(name.to_string()) {
+                return Err(format!("line {n}: duplicate # TYPE for {name}"));
+            }
+            families.push(Family {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        let family = families
+            .last_mut()
+            .ok_or_else(|| format!("line {n}: sample before any # TYPE"))?;
+        let belongs = if family.kind == "histogram" {
+            sample.name == format!("{}_bucket", family.name)
+                || sample.name == format!("{}_sum", family.name)
+                || sample.name == format!("{}_count", family.name)
+        } else {
+            sample.name == family.name
+        };
+        if !belongs {
+            return Err(format!(
+                "line {n}: sample {} does not belong to family {} ({})",
+                sample.name, family.name, family.kind
+            ));
+        }
+        let series_key = format!("{}|{:?}", sample.name, sample.labels);
+        if !seen_series.insert(series_key) {
+            return Err(format!("line {n}: duplicate series {}", sample.name));
+        }
+        if family.kind == "counter" && !(sample.value.is_finite() && sample.value >= 0.0) {
+            return Err(format!(
+                "line {n}: counter {} has non-monotonic value {}",
+                sample.name, sample.value
+            ));
+        }
+        family.samples.push(sample);
+    }
+    for family in &families {
+        if family.kind == "histogram" {
+            validate_histogram(family)?;
+        }
+    }
+    Ok(families)
+}
+
+/// One histogram series grouped by base label set: `(le, count)` bucket
+/// pairs plus the `_sum` and `_count` samples once seen.
+type HistSeries = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+
+/// Check every histogram invariant for one family: buckets cumulative,
+/// `+Inf` present, `_count` == `+Inf`, `_sum` present per series.
+fn validate_histogram(family: &Family) -> Result<(), String> {
+    // Group by the label set minus `le`.
+    let mut series: BTreeMap<String, HistSeries> = BTreeMap::new();
+    let bucket_name = format!("{}_bucket", family.name);
+    let sum_name = format!("{}_sum", family.name);
+    let count_name = format!("{}_count", family.name);
+    for s in &family.samples {
+        let base: Vec<&(String, String)> = s.labels.iter().filter(|(k, _)| k != "le").collect();
+        let key = format!("{base:?}");
+        let entry = series.entry(key).or_default();
+        if s.name == bucket_name {
+            let le = s
+                .label("le")
+                .ok_or_else(|| format!("{}: bucket without le", family.name))?;
+            let le = parse_value(le).map_err(|e| format!("{}: bad le: {e}", family.name))?;
+            entry.0.push((le, s.value));
+        } else if s.name == sum_name {
+            entry.1 = Some(s.value);
+        } else if s.name == count_name {
+            entry.2 = Some(s.value);
+        }
+    }
+    for (key, (mut buckets, sum, count)) in series {
+        if buckets.is_empty() {
+            return Err(format!("{} {key}: no buckets", family.name));
+        }
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le is never NaN"));
+        let last = buckets.last().expect("non-empty");
+        if last.0 != f64::INFINITY {
+            return Err(format!("{} {key}: missing le=\"+Inf\" bucket", family.name));
+        }
+        for w in buckets.windows(2) {
+            if w[1].1 < w[0].1 {
+                return Err(format!(
+                    "{} {key}: bucket counts not cumulative ({} after {})",
+                    family.name, w[1].1, w[0].1
+                ));
+            }
+        }
+        let count = count.ok_or_else(|| format!("{} {key}: missing _count sample", family.name))?;
+        if count != last.1 {
+            return Err(format!(
+                "{} {key}: _count {} disagrees with +Inf bucket {}",
+                family.name, count, last.1
+            ));
+        }
+        if sum.is_none() {
+            return Err(format!("{} {key}: missing _sum sample", family.name));
+        }
+    }
+    Ok(())
+}
+
+/// Parse `name{labels} value` (an optional trailing timestamp is
+/// tolerated and ignored).
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name, rest) = match line.find(['{', ' ']) {
+        Some(pos) => (&line[..pos], &line[pos..]),
+        None => return Err(format!("unparseable sample line {line:?}")),
+    };
+    check_metric_name(name)?;
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        parse_labels(body)?
+    } else {
+        (Vec::new(), rest)
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| format!("sample {name} has no value"))?;
+    let value = parse_value(value)?;
+    if let Some(ts) = parts.next() {
+        // An optional timestamp is integer milliseconds.
+        ts.parse::<i64>()
+            .map_err(|_| format!("sample {name}: bad timestamp {ts:?}"))?;
+    }
+    if parts.next().is_some() {
+        return Err(format!("sample {name}: trailing tokens"));
+    }
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Parsed label pairs plus the remainder of the line after `}`.
+type ParsedLabels<'a> = (Vec<(String, String)>, &'a str);
+
+/// Parse the label body after `{` up to the matching `}`; returns the
+/// pairs and the remainder of the line.
+fn parse_labels(body: &str) -> Result<ParsedLabels<'_>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    loop {
+        // End of the set (possibly after a trailing comma).
+        if let Some(&(i, c)) = chars.peek() {
+            if c == '}' {
+                return Ok((labels, &body[i + 1..]));
+            }
+        } else {
+            return Err("unterminated label set".to_string());
+        }
+        // Label name up to '='.
+        let mut name = String::new();
+        for (_, c) in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+        }
+        check_label_name(&name)?;
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => {
+                return Err(format!(
+                    "label {name}: expected opening quote, got {other:?}"
+                ))
+            }
+        }
+        // Quoted value with escapes.
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => break,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("label {name}: bad escape {other:?}")),
+                },
+                Some((_, c)) => value.push(c),
+                None => return Err(format!("label {name}: unterminated value")),
+            }
+        }
+        labels.push((name, value));
+        // Separator: ',' continues, '}' ends.
+        match chars.peek() {
+            Some(&(_, ',')) => {
+                chars.next();
+            }
+            Some(&(_, '}')) => {}
+            other => return Err(format!("expected ',' or '}}' after label, got {other:?}")),
+        }
+    }
+}
+
+fn parse_value(v: &str) -> Result<f64, String> {
+    match v {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        v => v.parse().map_err(|_| format!("bad sample value {v:?}")),
+    }
+}
+
+fn check_metric_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(())
+}
+
+fn check_label_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if !ok_first || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(format!("bad label name {name:?}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LabelSet;
+
+    fn series(labels: &[(&str, &str)]) -> LabelSet {
+        labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    fn demo_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("serve.requests".into(), 9);
+        snap.labeled_counters.insert(
+            "serve.http.requests".into(),
+            BTreeMap::from([
+                (series(&[("route", "/healthz"), ("status", "200")]), 7),
+                (series(&[("route", "/match"), ("status", "422")]), 2),
+            ]),
+        );
+        snap.gauges.insert("serve.workers".into(), 2.0);
+        snap.labeled_gauges.insert(
+            "serve.loop.connections".into(),
+            BTreeMap::from([(series(&[("shard", "0")]), 3.0)]),
+        );
+        let mut stats = SpanStats::default();
+        stats.record(100); // bucket 6
+        stats.record(200); // bucket 7
+        stats.record(5_000_000_000); // ≥ 2^31: open-ended last bucket
+        snap.spans.insert("serve.request".into(), stats);
+        let mut lat = SpanStats::default();
+        lat.record(1_000); // bucket 9
+        snap.labeled_hists.insert(
+            "serve.http.latency".into(),
+            BTreeMap::from([(series(&[("route", "/healthz")]), lat)]),
+        );
+        snap
+    }
+
+    #[test]
+    fn exposition_pins_names_ordering_and_structure() {
+        let text = render(&demo_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        // Counters: _total suffix, unlabeled before labeled, sorted series.
+        let i = lines
+            .iter()
+            .position(|l| *l == "# TYPE serve_http_requests_total counter")
+            .expect("counter family");
+        assert_eq!(
+            lines[i + 1],
+            "serve_http_requests_total{route=\"/healthz\",status=\"200\"} 7"
+        );
+        assert_eq!(
+            lines[i + 2],
+            "serve_http_requests_total{route=\"/match\",status=\"422\"} 2"
+        );
+        assert!(lines.contains(&"serve_requests_total 9"));
+        assert!(lines.contains(&"# TYPE serve_workers gauge"));
+        assert!(lines.contains(&"serve_workers 2"));
+        assert!(lines.contains(&"serve_loop_connections{shard=\"0\"} 3"));
+        // Histogram: cumulative buckets, open-ended tail in +Inf only.
+        assert!(lines.contains(&"# TYPE serve_request_seconds histogram"));
+        assert!(
+            lines.contains(&"serve_request_seconds_bucket{le=\"0.000000128\"} 1"),
+            "{text}"
+        );
+        assert!(lines.contains(&"serve_request_seconds_bucket{le=\"0.000000256\"} 2"));
+        assert!(lines.contains(&"serve_request_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(lines.contains(&"serve_request_seconds_count 3"));
+        assert!(lines.contains(
+            &"serve_http_latency_seconds_bucket{route=\"/healthz\",le=\"0.000001024\"} 1"
+        ));
+        assert!(lines.contains(&"serve_http_latency_seconds_count{route=\"/healthz\"} 1"));
+    }
+
+    #[test]
+    fn exposition_escapes_label_values() {
+        let mut snap = Snapshot::default();
+        snap.labeled_counters.insert(
+            "x.weird".into(),
+            BTreeMap::from([(series(&[("v", "a\\b\"c\nd")]), 1)]),
+        );
+        let text = render(&snap);
+        assert!(
+            text.contains("x_weird_total{v=\"a\\\\b\\\"c\\nd\"} 1"),
+            "{text}"
+        );
+        // And the parser round-trips the escapes back to the raw value.
+        let families = parse(&text).expect("parses");
+        assert_eq!(families[0].samples[0].label("v"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn renderer_output_passes_the_conformance_parser() {
+        let text = render(&demo_snapshot());
+        let families = parse(&text).expect("conformant");
+        let hist = families
+            .iter()
+            .find(|f| f.name == "serve_request_seconds")
+            .expect("histogram family");
+        assert_eq!(hist.kind, "histogram");
+        // _sum is 5.0000003 seconds, parsed back as a plain float.
+        let sum = hist
+            .samples
+            .iter()
+            .find(|s| s.name == "serve_request_seconds_sum")
+            .expect("sum");
+        assert!((sum.value - 5.0000003).abs() < 1e-9, "{}", sum.value);
+    }
+
+    #[test]
+    fn parser_rejects_non_cumulative_buckets() {
+        let bad = "# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\n\
+                   h_bucket{le=\"2\"} 3\n\
+                   h_bucket{le=\"+Inf\"} 5\n\
+                   h_sum 1\n\
+                   h_count 5\n";
+        let err = parse(bad).expect_err("non-cumulative");
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn parser_rejects_missing_inf_and_count_mismatch() {
+        let no_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(parse(no_inf).expect_err("no inf").contains("+Inf"));
+        let mismatch = "# TYPE h histogram\n\
+                        h_bucket{le=\"+Inf\"} 5\n\
+                        h_sum 1\n\
+                        h_count 4\n";
+        assert!(parse(mismatch).expect_err("mismatch").contains("disagrees"));
+    }
+
+    #[test]
+    fn parser_rejects_duplicates_strays_and_garbage() {
+        let dup = "# TYPE c counter\nc 1\nc 2\n";
+        assert!(parse(dup).expect_err("dup").contains("duplicate series"));
+        let stray = "# TYPE c counter\nother 1\n";
+        assert!(parse(stray).expect_err("stray").contains("does not belong"));
+        let orphan = "c 1\n";
+        assert!(parse(orphan).expect_err("orphan").contains("before any"));
+        let garbage = "# TYPE c counter\nc{=\"x\"} 1\n";
+        assert!(parse(garbage).is_err());
+        let negative = "# TYPE c counter\nc -1\n";
+        assert!(parse(negative).expect_err("negative").contains("monotonic"));
+    }
+
+    #[test]
+    fn parser_accepts_help_comments_and_timestamps() {
+        let text =
+            "# HELP c says things\n# TYPE c counter\n# a comment\nc{a=\"b\"} 3 1700000000000\n";
+        let families = parse(text).expect("parses");
+        assert_eq!(families.len(), 1);
+        assert_eq!(families[0].samples[0].value, 3.0);
+    }
+}

@@ -38,8 +38,23 @@ pub struct Request {
     pub method: String,
     /// Path without query string (`/sessions/3/lfs`).
     pub path: String,
+    /// Raw query string after the `?` (no leading `?`; empty when the
+    /// target had none). Routes parse their own parameters with
+    /// [`Request::query_param`].
+    pub query: String,
     /// Raw body bytes (UTF-8 JSON for every route that takes one).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Look up a `key=value` query parameter (first match; no percent
+    /// decoding — the API's parameter values are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// A complete request plus its wire framing facts.
@@ -72,6 +87,7 @@ pub enum ReadError {
 struct HeadMeta {
     method: String,
     path: String,
+    query: String,
     body_start: usize,
     content_length: usize,
     keep_alive: bool,
@@ -146,6 +162,7 @@ impl RequestParser {
         let request = Request {
             method: head.method,
             path: head.path,
+            query: head.query,
             body: buf[head.body_start..total].to_vec(),
         };
         Ok(Some(ParsedRequest {
@@ -179,7 +196,10 @@ fn parse_head(head: &[u8], head_end: usize, max_body: usize) -> Result<HeadMeta,
             "unsupported version {version}"
         )));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     // Headers: we care about framing and connection persistence.
     let mut content_length: Option<usize> = None;
@@ -243,6 +263,7 @@ fn parse_head(head: &[u8], head_end: usize, max_body: usize) -> Result<HeadMeta,
     Ok(HeadMeta {
         method,
         path,
+        query,
         body_start: head_end + 4,
         content_length,
         keep_alive,
@@ -272,13 +293,20 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// A response ready to serialize. Body is always JSON.
+/// A response ready to serialize. Body is JSON unless a route opted
+/// into another media type (the Prometheus exposition endpoint).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body.
+    /// Body bytes (a `String`: every body the API emits is UTF-8 text).
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Correlation id echoed as `X-Request-Id`. The event loop stamps
+    /// this on every response it writes; `None` only in unit tests and
+    /// one-shot helper paths that predate correlation.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -287,20 +315,40 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+            request_id: None,
+        }
+    }
+
+    /// A plain-text response (Prometheus exposition format version
+    /// 0.0.4 advertises itself via the content type).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            request_id: None,
         }
     }
 
     /// Serialize to wire bytes. Identical byte-for-byte to the historic
-    /// one-shot format except for the `Connection` header, which states
-    /// whether the server will keep the connection open.
+    /// one-shot format except for the `Connection` header (states
+    /// whether the server will keep the connection open) and the
+    /// `X-Request-Id` correlation header when one is stamped.
     pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.body.len());
+        let mut out = Vec::with_capacity(160 + self.body.len());
+        let rid_header = match &self.request_id {
+            Some(rid) => format!("X-Request-Id: {rid}\r\n"),
+            None => String::new(),
+        };
         out.extend_from_slice(
             format!(
-                "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{}Connection: {}\r\n\r\n",
                 self.status,
                 reason(self.status),
+                self.content_type,
                 self.body.len(),
+                rid_header,
                 if keep_alive { "keep-alive" } else { "close" },
             )
             .as_bytes(),
@@ -389,7 +437,33 @@ mod tests {
         let req = roundtrip(b"get /metrics?pretty=1 HTTP/1.0\r\n\r\n").unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, "pretty=1");
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn query_params_are_parsed_on_demand() {
+        let req =
+            roundtrip(b"GET /events?since=42&format=prometheus&flag HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("since"), Some("42"));
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("flag"), Some(""));
+        assert_eq!(req.query_param("absent"), None);
+        let bare = roundtrip(b"GET /events HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("since"), None);
+    }
+
+    #[test]
+    fn request_id_and_content_type_surface_as_headers() {
+        let mut resp = Response::text(200, "x_total 1\n");
+        resp.request_id = Some("3-17".to_string());
+        let wire = String::from_utf8(resp.to_bytes(true)).unwrap();
+        assert!(wire.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(wire.contains("X-Request-Id: 3-17\r\n"));
+        // The correlation header sits inside the head, before the blank line.
+        let head_end = wire.find("\r\n\r\n").unwrap();
+        assert!(wire.find("X-Request-Id").unwrap() < head_end);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! one JSONL [`WalRecord`] — create (with the full table CSVs + a config
 //! digest), LF upsert/remove, fit, spot label — and fsyncs it *before*
 //! the HTTP response is written (the fsync runs under the
-//! `serve.wal.fsync` span, so `/metrics` exposes its latency histogram
+//! `persist.wal.fsync` span, so `/metrics` exposes its latency histogram
 //! for free). Records carry a monotonically increasing `seq` and the
 //! [`panda_lf::LabelMatrix::digest`] taken **after** applying the op, so
 //! replay can verify every step. A torn final line (crash mid-append) is
@@ -227,7 +227,7 @@ impl SessionStore {
     /// (digest-verified per record). Errors quarantine the session —
     /// its directory is left untouched for inspection.
     pub fn recover(&self, id: u64) -> Result<Recovered, String> {
-        let _span = panda_obs::span("serve.session.recover");
+        let _span = panda_obs::span("persist.session.recover");
         let dir = self.session_dir(id);
         let snap_path = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
@@ -282,7 +282,7 @@ impl SessionStore {
                             // Torn tail from a crash mid-append: the op
                             // was never acknowledged, dropping it is the
                             // correct recovery.
-                            panda_obs::counter_add("serve.wal.torn_tail", 1);
+                            panda_obs::counter_add("persist.wal.torn_tail", 1);
                             break;
                         }
                         return Err(format!("WAL line {}: {}", i + 1, e.0));
@@ -443,17 +443,17 @@ impl SessionPersist {
         let written = (|| -> std::io::Result<()> {
             self.wal.write_all(line.as_bytes())?;
             self.wal.write_all(b"\n")?;
-            let _fsync = panda_obs::span("serve.wal.fsync");
+            let _fsync = panda_obs::span("persist.wal.fsync");
             self.wal.sync_data()
         })();
         if let Err(e) = written {
             self.broken = true;
-            panda_obs::counter_add("serve.wal.append_failed", 1);
+            panda_obs::counter_add("persist.wal.append_failed", 1);
             return Err(format!("WAL append failed: {e}"));
         }
         self.seq += 1;
         self.ops_since_snapshot += 1;
-        panda_obs::counter_add("serve.wal.appends", 1);
+        panda_obs::counter_add("persist.wal.appends", 1);
         match (&rec.op, spec_entry) {
             (WalOp::UpsertLf { .. }, Some((name, json))) => {
                 self.specs.insert(name, json);
@@ -481,7 +481,7 @@ impl SessionPersist {
         if self.broken {
             return Err(BROKEN_MSG.into());
         }
-        let _span = panda_obs::span("serve.snapshot.write");
+        let _span = panda_obs::span("persist.snapshot.write");
         let specs = &self.specs;
         let state = session.dehydrate(&|name| specs.get(name).cloned())?;
         let snap = SnapshotFile {
@@ -510,7 +510,7 @@ impl SessionPersist {
         match result {
             Ok(()) => {
                 self.ops_since_snapshot = 0;
-                panda_obs::counter_add("serve.snapshots.written", 1);
+                panda_obs::counter_add("persist.snapshots.written", 1);
                 Ok(())
             }
             Err(e) => {

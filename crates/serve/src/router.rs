@@ -17,6 +17,12 @@ use serde::{Deserialize, Serialize};
 
 /// Handle one parsed request against the shared state.
 pub fn handle(state: &AppState, req: &Request) -> Response {
+    handle_routed(state, req).1
+}
+
+/// [`handle`], but also returning the matched route pattern so the event
+/// loop can label its per-route×status metrics without re-routing.
+pub fn handle_routed(state: &AppState, req: &Request) -> (&'static str, Response) {
     let _span = panda_obs::span("serve.request");
     let (route, resp) = dispatch(state, req);
     panda_obs::counter_add("serve.requests", 1);
@@ -28,7 +34,7 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
             .field("status", i64::from(resp.status))
             .emit();
     }
-    resp
+    (route, resp)
 }
 
 /// Route and handle; returns the route *pattern* (for telemetry — never
@@ -42,11 +48,24 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             _ => ("/healthz", method_not_allowed("GET")),
         },
         ["metrics"] => match method {
-            "GET" => (
-                "/metrics",
-                Response::json(200, panda_obs::snapshot().to_json()),
-            ),
+            "GET" => {
+                let snap = panda_obs::snapshot();
+                let resp = match req.query_param("format") {
+                    Some("prometheus") => Response::text(200, snap.to_prometheus()),
+                    Some(other) => error(
+                        400,
+                        "bad_format",
+                        format!("unknown metrics format {other:?} (try \"prometheus\")"),
+                    ),
+                    None => Response::json(200, snap.to_json()),
+                };
+                ("/metrics", resp)
+            }
             _ => ("/metrics", method_not_allowed("GET")),
+        },
+        ["events"] => match method {
+            "GET" => ("/events", events_tail(req)),
+            _ => ("/events", method_not_allowed("GET")),
         },
         ["shutdown"] => match method {
             "POST" => {
@@ -342,9 +361,62 @@ fn with_session(
     with_slot(state, id, |id, slot| f(id, &mut slot.session))
 }
 
+/// Cap on events returned per `/events` poll, whatever the client asks
+/// for: bounds response size against the journal capacity.
+const EVENTS_MAX: usize = 512;
+
+/// Parse the `since` cursor off a `/events` request. `Err` carries the
+/// 400 to answer with.
+pub(crate) fn events_since(req: &Request) -> Result<u64, Response> {
+    req.query_param("since")
+        .unwrap_or("0")
+        .parse::<u64>()
+        .map_err(|_| error(400, "bad_since", "since must be an integer sequence number"))
+}
+
+/// Parse the `max` batch-size parameter (default 256, capped).
+pub(crate) fn events_max(req: &Request) -> usize {
+    req.query_param("max")
+        .and_then(|m| m.parse::<usize>().ok())
+        .unwrap_or(256)
+        .min(EVENTS_MAX)
+}
+
+/// `GET /events?since=<seq>[&max=<n>]`: non-destructive journal tail
+/// from a sequence cursor. The event loop upgrades an empty tail to a
+/// long-poll; this immediate form is what dispatch (and tests) use.
+fn events_tail(req: &Request) -> Response {
+    let since = match events_since(req) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    let tail = panda_obs::journal_tail(since, events_max(req));
+    Response::json(200, render_events_body(&tail))
+}
+
+/// Serialize a journal tail as the `/events` response body:
+/// `{"next":N,"missed":M,"events":[...]}`. `next` is the cursor for the
+/// next poll; `missed` counts events that aged out of the bounded
+/// journal before this read (a follower reports them as a gap).
+pub(crate) fn render_events_body(tail: &panda_obs::JournalTail) -> String {
+    let mut body = format!(
+        "{{\"next\":{},\"missed\":{},\"events\":[",
+        tail.next, tail.missed
+    );
+    for (i, e) in tail.events.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&e.to_json_line());
+    }
+    body.push_str("]}");
+    body
+}
+
 /// The edit was applied in memory but could not be made durable: the
 /// client sees a 500 and must treat the op as not acknowledged.
 fn persist_error(msg: String) -> Response {
+    panda_obs::counter_add("serve.persist_failed_500", 1);
     error(500, "persist_failed", msg)
 }
 
@@ -398,9 +470,14 @@ mod tests {
     use super::*;
 
     fn req(method: &str, path: &str, body: &str) -> Request {
+        let (path, query) = match path.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path, ""),
+        };
         Request {
             method: method.to_string(),
             path: path.to_string(),
+            query: query.to_string(),
             body: body.as_bytes().to_vec(),
         }
     }
@@ -565,5 +642,33 @@ mod tests {
         let resp = handle(&state, &req("POST", "/shutdown", ""));
         assert_eq!(resp.status, 200);
         assert!(state.shutdown_requested());
+    }
+
+    #[test]
+    fn metrics_format_negotiation() {
+        let state = AppState::new();
+        let resp = handle(&state, &req("GET", "/metrics?format=prometheus", ""));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain"));
+        // Whatever series exist, the output must satisfy the in-tree
+        // conformance parser.
+        panda_obs::prom::parse(&resp.body).expect("conformant exposition");
+        let resp = handle(&state, &req("GET", "/metrics?format=xml", ""));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("bad_format"));
+    }
+
+    #[test]
+    fn events_tail_resumes_from_a_cursor() {
+        let state = AppState::new();
+        let resp = handle(&state, &req("GET", "/events", ""));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = serde_json::parse_value(&resp.body).unwrap();
+        assert!(v.get_field("next").is_some(), "{}", resp.body);
+        assert!(v.get_field("events").is_some(), "{}", resp.body);
+        let resp = handle(&state, &req("GET", "/events?since=borked", ""));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("bad_since"));
+        assert_eq!(handle(&state, &req("POST", "/events", "")).status, 405);
     }
 }

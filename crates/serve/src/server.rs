@@ -81,6 +81,9 @@ pub struct ServerConfig {
     pub session_ttl: Option<Duration>,
     /// WAL appends between snapshot compactions.
     pub snapshot_every: u64,
+    /// Requests slower than this emit a `serve.slow` journal event
+    /// (route, status, duration, request id). 0 disables the check.
+    pub slow_request_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +102,7 @@ impl Default for ServerConfig {
             max_sessions: 0,
             session_ttl: None,
             snapshot_every: crate::persist::DEFAULT_SNAPSHOT_EVERY,
+            slow_request_ms: 0,
         }
     }
 }
@@ -194,6 +198,10 @@ const DRAIN_GRACE: Duration = Duration::from_secs(1);
 /// Slots beyond `max_conns` usable by shed (503) connections, so the
 /// refusal itself is delivered politely; beyond this, drop outright.
 const SHED_SLACK: usize = 64;
+/// Default `/events` long-poll park time when the client names none.
+const POLL_TIMEOUT_DEFAULT: Duration = Duration::from_secs(10);
+/// Cap on the client-requested `/events` long-poll park time.
+const POLL_TIMEOUT_MAX: Duration = Duration::from_secs(30);
 
 /// Which deadline currently governs a connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -210,6 +218,23 @@ enum DeadlineKind {
     Write,
     /// Write side shut, discarding stragglers: close at the deadline.
     Drain,
+    /// Parked `/events` long-poll: *answer* (empty tail) at the
+    /// deadline — never close. New journal events resolve it earlier via
+    /// [`EventLoop::resolve_pollers`], riding the ≤500ms epoll timeout.
+    Poll,
+}
+
+/// A parked `GET /events` long-poll, waiting for the journal to move
+/// past its cursor.
+struct PollWait {
+    /// The client's `since` cursor (respond once `next_seq` exceeds it).
+    since: u64,
+    /// Max events in the response.
+    max: usize,
+    /// Keep-alive decision captured at park time.
+    keep: bool,
+    /// Request id assigned at park time (the response echoes it).
+    rid: String,
 }
 
 /// One non-blocking connection.
@@ -233,6 +258,8 @@ struct Conn {
     draining: bool,
     /// Peer sent EOF (no more requests will arrive).
     eof: bool,
+    /// Parked `/events` long-poll (pipelined parsing pauses while set).
+    poll: Option<PollWait>,
 }
 
 /// Slab slot: a generation counter guards against a readiness event
@@ -255,6 +282,11 @@ struct EventLoop {
     draining: bool,
     drain_deadline: Instant,
     last_sweep: Instant,
+    /// Per-shard monotonic request counter; `X-Request-Id` is
+    /// `{shard}-{n}`, unique process-wide by the shard prefix.
+    next_request_id: u64,
+    /// The shard number as a string, reused as a metric label.
+    shard_label: String,
 }
 
 impl EventLoop {
@@ -283,7 +315,15 @@ impl EventLoop {
             draining: false,
             drain_deadline: now,
             last_sweep: now,
+            next_request_id: 0,
+            shard_label: shard.to_string(),
         })
+    }
+
+    /// Mint the next request id on this shard.
+    fn next_rid(&mut self) -> String {
+        self.next_request_id += 1;
+        format!("{}-{}", self.shard, self.next_request_id)
     }
 
     fn run(&mut self) {
@@ -311,6 +351,7 @@ impl EventLoop {
                     token => self.conn_event(token, mask),
                 }
             }
+            self.resolve_pollers();
             self.expire_deadlines();
             if self.shard == 0 && self.last_sweep.elapsed() >= Duration::from_secs(1) {
                 // TTL sweep rides shard 0's event-loop timer (~1s cadence)
@@ -347,7 +388,10 @@ impl EventLoop {
                     && !conn.draining
                     && conn.buf.is_empty()
                     && !conn.parser.mid_request()
-                    && !conn.close_after_write;
+                    && !conn.close_after_write
+                    // A parked long-poll is not idle: resolve_pollers
+                    // answers it (with Connection: close) next pass.
+                    && conn.poll.is_none();
                 idle.then_some(idx)
             })
             .collect();
@@ -395,9 +439,19 @@ impl EventLoop {
                 continue;
             }
             panda_obs::counter_add("serve.conns_accepted", 1);
+            panda_obs::counter_add_labeled(
+                "serve.loop.accepts",
+                &[("shard", &self.shard_label)],
+                1,
+            );
             let shed = self.n_conns >= self.config.max_conns;
             if shed {
                 panda_obs::counter_add("serve.shed_503", 1);
+                panda_obs::counter_add_labeled(
+                    "serve.loop.shed_503",
+                    &[("shard", &self.shard_label)],
+                    1,
+                );
                 if self.n_conns >= self.config.max_conns + SHED_SLACK {
                     drop(stream); // severe overload: refuse impolitely
                     continue;
@@ -407,11 +461,13 @@ impl EventLoop {
             if shed {
                 // Queue the 503 through the normal write/drain machinery
                 // so the client reliably sees it (no RST clobbering).
+                let rid = self.next_rid();
                 let conn = self.conn_mut(idx);
-                let resp = Response::json(
+                let mut resp = Response::json(
                     503,
                     crate::api::ApiError::new("overloaded", "connection table is full").to_json(),
                 );
+                resp.request_id = Some(rid);
                 conn.out.extend_from_slice(&resp.to_bytes(false));
                 conn.close_after_write = true;
                 self.flush(idx);
@@ -447,9 +503,15 @@ impl EventLoop {
             close_after_write: false,
             draining: false,
             eof: false,
+            poll: None,
         };
         self.slots[idx].conn = Some(conn);
         self.n_conns += 1;
+        panda_obs::gauge_add_labeled(
+            "serve.loop.connections",
+            &[("shard", &self.shard_label)],
+            1.0,
+        );
         let token = self.token(idx);
         if self.epoll.add(fd, EPOLLIN, token).is_err() {
             self.close(idx);
@@ -472,6 +534,18 @@ impl EventLoop {
             return;
         };
         self.epoll.del(conn.stream.as_raw_fd());
+        panda_obs::gauge_add_labeled(
+            "serve.loop.connections",
+            &[("shard", &self.shard_label)],
+            -1.0,
+        );
+        // Keep-alive reuse depth: how many requests this connection
+        // carried over its lifetime (0 = shed or never spoke).
+        panda_obs::hist_record_labeled(
+            "serve.loop.reuse_depth",
+            &[("shard", &self.shard_label)],
+            u128::from(conn.served),
+        );
         drop(conn); // closes the fd
         self.slots[idx].gen = self.slots[idx].gen.wrapping_add(1);
         self.free.push(idx);
@@ -597,6 +671,11 @@ impl EventLoop {
         let mut processed = 0usize;
         loop {
             let conn = self.conn_mut(idx);
+            if conn.poll.is_some() {
+                // A parked long-poll must answer before anything
+                // pipelined behind it; stop parsing until it resolves.
+                break;
+            }
             if conn.close_after_write || conn.out.len() - conn.out_pos > OUT_CAP {
                 break;
             }
@@ -620,8 +699,7 @@ impl EventLoop {
                     conn.served += 1;
                     let served = conn.served;
                     let eof = conn.eof;
-                    let response = route_safely(&state, &parsed.request);
-                    let conn = self.conn_mut(idx); // re-borrow after routing
+                    let rid = self.next_rid();
                     let mut keep = parsed.keep_alive && !eof;
                     if max_requests > 0 && served >= max_requests {
                         keep = false;
@@ -629,6 +707,58 @@ impl EventLoop {
                     if state.shutdown_requested() {
                         keep = false; // drain: every response says close
                     }
+                    if let Some(park) = self.try_park_events_poll(&parsed.request, keep, &rid) {
+                        let conn = self.conn_mut(idx);
+                        conn.deadline = Instant::now() + park.1;
+                        conn.deadline_kind = DeadlineKind::Poll;
+                        conn.poll = Some(park.0);
+                        break;
+                    }
+                    let journal_on = panda_obs::journal_enabled();
+                    if journal_on {
+                        // Every journal event emitted while routing this
+                        // request carries its id.
+                        panda_obs::set_request_id(Some(rid.clone()));
+                    }
+                    let t0 = Instant::now();
+                    let (route, mut response) = route_safely(&state, &parsed.request);
+                    let dur = t0.elapsed();
+                    let st = status_label(response.status);
+                    panda_obs::counter_add_labeled(
+                        "serve.http.requests",
+                        &[
+                            ("route", route),
+                            ("status", st),
+                            ("shard", &self.shard_label),
+                        ],
+                        1,
+                    );
+                    panda_obs::hist_record_labeled(
+                        "serve.http.latency",
+                        &[("route", route), ("status", st)],
+                        dur.as_nanos(),
+                    );
+                    if journal_on
+                        && self.config.slow_request_ms > 0
+                        && dur >= Duration::from_millis(self.config.slow_request_ms)
+                    {
+                        panda_obs::event("serve.slow")
+                            .field("route", route)
+                            .field("status", i64::from(response.status))
+                            .field("dur_us", dur.as_micros() as u64)
+                            .emit();
+                    }
+                    if journal_on {
+                        panda_obs::set_request_id(None);
+                    }
+                    if state.shutdown_requested() {
+                        // The handler may have flipped the latch just now
+                        // (`POST /shutdown`): its own response must
+                        // already announce the close.
+                        keep = false;
+                    }
+                    response.request_id = Some(rid);
+                    let conn = self.conn_mut(idx); // re-borrow after routing
                     conn.out.extend_from_slice(&response.to_bytes(keep));
                     if !keep {
                         conn.close_after_write = true;
@@ -636,18 +766,44 @@ impl EventLoop {
                     processed += 1;
                 }
                 Err(e) => {
-                    let response = match e {
-                        ReadError::Malformed(msg) => error_response(400, "bad_request", &msg),
-                        ReadError::TooLarge { limit } => error_response(
-                            413,
-                            "payload_too_large",
-                            &format!("request body exceeds the {limit}-byte cap"),
-                        ),
+                    let (status, response) = match e {
+                        ReadError::Malformed(msg) => {
+                            panda_obs::counter_add("serve.bad_request_400", 1);
+                            (400, error_response(400, "bad_request", &msg))
+                        }
+                        ReadError::TooLarge { limit } => {
+                            panda_obs::counter_add("serve.body_cap_413", 1);
+                            panda_obs::counter_add_labeled(
+                                "serve.loop.body_cap_413",
+                                &[("shard", &self.shard_label)],
+                                1,
+                            );
+                            (
+                                413,
+                                error_response(
+                                    413,
+                                    "payload_too_large",
+                                    &format!("request body exceeds the {limit}-byte cap"),
+                                ),
+                            )
+                        }
                         ReadError::Disconnected => {
                             self.close(idx);
                             return processed;
                         }
                     };
+                    panda_obs::counter_add_labeled(
+                        "serve.http.requests",
+                        &[
+                            ("route", "<wire>"),
+                            ("status", status_label(status)),
+                            ("shard", &self.shard_label),
+                        ],
+                        1,
+                    );
+                    let mut response = response;
+                    response.request_id = Some(self.next_rid());
+                    let conn = self.conn_mut(idx);
                     conn.out.extend_from_slice(&response.to_bytes(false));
                     conn.close_after_write = true;
                     break;
@@ -655,6 +811,98 @@ impl EventLoop {
             }
         }
         processed
+    }
+
+    /// Decide whether a `GET /events` request should park as a
+    /// long-poll instead of routing: the journal must be enabled, the
+    /// cursor at or past the journal head (nothing to return yet), the
+    /// server not draining, and the client's timeout non-zero. Returns
+    /// the park state and its deadline duration.
+    fn try_park_events_poll(
+        &self,
+        request: &crate::http::Request,
+        keep: bool,
+        rid: &str,
+    ) -> Option<(PollWait, Duration)> {
+        if request.method != "GET"
+            || request.path != "/events"
+            || !panda_obs::journal_enabled()
+            || self.draining
+            || self.state.shutdown_requested()
+        {
+            return None;
+        }
+        let since = router::events_since(request).ok()?;
+        if panda_obs::journal_next_seq() > since {
+            return None; // events already waiting: answer immediately
+        }
+        let timeout = match request.query_param("timeout_ms") {
+            Some(raw) => Duration::from_millis(raw.parse::<u64>().ok()?),
+            None => POLL_TIMEOUT_DEFAULT,
+        };
+        if timeout.is_zero() {
+            return None; // explicit non-blocking poll
+        }
+        let poll = PollWait {
+            since,
+            max: router::events_max(request),
+            keep,
+            rid: rid.to_string(),
+        };
+        Some((poll, timeout.min(POLL_TIMEOUT_MAX)))
+    }
+
+    /// Answer every parked long-poll whose journal cursor has been
+    /// passed (or that must resolve because the server is draining).
+    /// Rides the event loop's ≤500ms epoll timeout — no threads, no
+    /// wakeup plumbing; worst-case notification latency is the cap.
+    fn resolve_pollers(&mut self) {
+        let force = self.draining || self.state.shutdown_requested();
+        let next_seq = panda_obs::journal_next_seq();
+        let ready: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let poll = slot.conn.as_ref()?.poll.as_ref()?;
+                (force || next_seq > poll.since).then_some(idx)
+            })
+            .collect();
+        for idx in ready {
+            self.finish_poll(idx);
+        }
+    }
+
+    /// Resolve one parked long-poll: respond with whatever the journal
+    /// holds past the cursor (possibly nothing, at the poll deadline)
+    /// and resume normal request processing on the connection.
+    fn finish_poll(&mut self, idx: usize) {
+        let force_close = self.draining || self.state.shutdown_requested();
+        let conn = self.conn_mut(idx);
+        let Some(poll) = conn.poll.take() else {
+            return;
+        };
+        let tail = panda_obs::journal_tail(poll.since, poll.max);
+        let mut resp = Response::json(200, router::render_events_body(&tail));
+        resp.request_id = Some(poll.rid);
+        let keep = poll.keep && !force_close;
+        panda_obs::counter_add_labeled(
+            "serve.http.requests",
+            &[
+                ("route", "/events"),
+                ("status", "200"),
+                ("shard", &self.shard_label),
+            ],
+            1,
+        );
+        let conn = self.conn_mut(idx);
+        conn.out.extend_from_slice(&resp.to_bytes(keep));
+        if !keep {
+            conn.close_after_write = true;
+        }
+        conn.deadline_kind = DeadlineKind::Invalid;
+        // Flush, answer anything pipelined behind the poll, settle.
+        self.service(idx);
     }
 
     /// Write queued response bytes until done or `WouldBlock`. May close
@@ -714,6 +962,14 @@ impl EventLoop {
         let keep_alive_timeout = self.config.keep_alive_timeout;
         let conn = self.conn_mut(idx);
         let out_pending = conn.out_pos < conn.out.len();
+        if conn.poll.is_some() {
+            // Parked long-poll: its deadline stands (set at park time);
+            // only the interest mask is recomputed, so earlier pipelined
+            // responses still drain and peer reads are still seen.
+            let want = if out_pending { EPOLLOUT } else { EPOLLIN };
+            self.set_interest(idx, want);
+            return;
+        }
         let kind = if out_pending {
             DeadlineKind::Write
         } else if conn.parser.mid_request() || !conn.buf.is_empty() {
@@ -733,6 +989,15 @@ impl EventLoop {
         // Backpressure: while a response is queued, stop reading — the
         // client gets more answers when it drains what it owes.
         let want = if out_pending { EPOLLOUT } else { EPOLLIN };
+        if want == EPOLLOUT && conn.interest == EPOLLIN {
+            // The socket's send buffer filled mid-response: the loop now
+            // waits on writability for this connection.
+            panda_obs::counter_add_labeled(
+                "serve.loop.backpressure_stalls",
+                &[("shard", &self.shard_label)],
+                1,
+            );
+        }
         self.set_interest(idx, want);
     }
 
@@ -758,15 +1023,31 @@ impl EventLoop {
             if now < conn.deadline {
                 continue;
             }
+            // Loop lag: how far past the deadline this pass observed it.
+            // Persistently fat buckets mean the loop is starved (slow
+            // handlers or oversized bursts), not that clients are slow.
+            panda_obs::hist_record_labeled(
+                "serve.loop.lag",
+                &[("shard", &self.shard_label)],
+                (now - conn.deadline).as_nanos(),
+            );
             match conn.deadline_kind {
+                DeadlineKind::Poll => self.finish_poll(idx),
                 DeadlineKind::Request => {
                     // Slowloris eviction: the request never completed.
                     panda_obs::counter_add("serve.request_timeout_408", 1);
-                    let resp = error_response(
+                    panda_obs::counter_add_labeled(
+                        "serve.loop.timeouts_408",
+                        &[("shard", &self.shard_label)],
+                        1,
+                    );
+                    let rid = self.next_rid();
+                    let mut resp = error_response(
                         408,
                         "request_timeout",
                         "request did not complete within the read deadline",
                     );
+                    resp.request_id = Some(rid);
                     let conn = self.conn_mut(idx);
                     conn.out.extend_from_slice(&resp.to_bytes(false));
                     conn.close_after_write = true;
@@ -789,19 +1070,41 @@ impl Drop for EventLoop {
 }
 
 /// Route with panic isolation: a handler bug answers 500 and the worker
-/// lives on.
-fn route_safely(state: &AppState, request: &crate::http::Request) -> Response {
-    catch_unwind(AssertUnwindSafe(|| router::handle(state, request))).unwrap_or_else(|payload| {
-        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "handler panicked (non-string payload)".to_string()
-        };
-        panda_obs::counter_add("serve.handler_panics", 1);
-        error_response(500, "internal_error", &msg)
-    })
+/// lives on. Returns the matched route pattern for metric labels.
+fn route_safely(state: &AppState, request: &crate::http::Request) -> (&'static str, Response) {
+    catch_unwind(AssertUnwindSafe(|| router::handle_routed(state, request))).unwrap_or_else(
+        |payload| {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "handler panicked (non-string payload)".to_string()
+            };
+            panda_obs::counter_add("serve.handler_panics", 1);
+            ("<panic>", error_response(500, "internal_error", &msg))
+        },
+    )
+}
+
+/// Status code as a low-cardinality metric label: the statuses the API
+/// actually emits get their own series, anything else folds to a class.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        413 => "413",
+        422 => "422",
+        500 => "500",
+        503 => "503",
+        s if s < 300 => "2xx",
+        s if s < 400 => "3xx",
+        s if s < 500 => "4xx",
+        _ => "5xx",
+    }
 }
 
 fn error_response(status: u16, code: &str, message: &str) -> Response {

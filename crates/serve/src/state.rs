@@ -386,6 +386,12 @@ impl AppState {
             map.remove(&id);
         }
         panda_obs::counter_add("serve.sessions.evicted", 1);
+        if panda_obs::journal_enabled() {
+            panda_obs::event("serve.session.evicted")
+                .field("session", id)
+                .field("rehydratable", self.store.is_some())
+                .emit();
+        }
         publish_live_gauge(map);
         true
     }

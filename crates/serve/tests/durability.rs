@@ -22,6 +22,7 @@ fn req(method: &str, path: &str, body: &str) -> Request {
     Request {
         method: method.to_string(),
         path: path.to_string(),
+        query: String::new(),
         body: body.as_bytes().to_vec(),
     }
 }

@@ -77,13 +77,21 @@ fn keep_alive_responses_match_fresh_connection_bytes() {
         raw
     };
 
+    // Each response carries a unique X-Request-Id; strip it (and assert
+    // presence) before comparing the remaining bytes.
+    fn strip_rid(raw: &str) -> String {
+        let start = raw.find("X-Request-Id: ").expect("correlation id present");
+        let end = raw[start..].find("\r\n").unwrap() + start + 2;
+        format!("{}{}", &raw[..start], &raw[end..])
+    }
+
     let mut client = KeepAliveClient::connect(addr);
     for path in ["/healthz", "/metrics-not-a-route", "/healthz"] {
         let reused = client.roundtrip_raw("GET", path, "");
         let once = fresh(path);
         assert_eq!(
-            reused.replace("Connection: keep-alive", "Connection: close"),
-            once,
+            strip_rid(&reused).replace("Connection: keep-alive", "Connection: close"),
+            strip_rid(&once),
             "byte parity violated for {path}"
         );
     }
