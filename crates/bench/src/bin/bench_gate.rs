@@ -13,7 +13,11 @@
 //! in-process `panda-serve` and drives a short keep-alive `/healthz`
 //! burst: measured throughput must stay above the committed `healthz`
 //! number divided by the same limit factor (throughput gates divide
-//! where latency gates multiply). Exits nonzero on any failure and
+//! where latency gates multiply). A replication-overhead gate then
+//! drives the durable `lf_upsert` write path twice — once solo, once
+//! with a follower subscribed over the WAL-shipping channel — and
+//! requires the replicated run to hold `REPL_OVERHEAD_LIMIT` of the
+//! solo throughput. Exits nonzero on any failure and
 //! writes one `bench_gate_<case>.metrics.json` snapshot per case to
 //! `target/experiments/` for artifact upload.
 //!
@@ -36,6 +40,16 @@ const THRESHOLD: f64 = 1.25;
 /// may cost at most this factor of `/healthz` throughput versus the
 /// same burst with telemetry off (× slack).
 const OBS_OVERHEAD_LIMIT: f64 = 1.25;
+/// Shipping every acknowledged WAL record to a live follower may cost
+/// at most this factor of durable `lf_upsert` throughput versus the
+/// same burst with no follower attached (× slack). The primary-side
+/// cost is an in-memory enqueue to the hub thread, but the in-process
+/// follower *replays* every shipped record (a full LF-column recompute)
+/// on the same cores — so this line bounds the combined primary+replica
+/// cost of the topology, not just the enqueue. On a single-core box the
+/// two nodes contend fully, so the line sits at 2x; a regression to
+/// synchronous shipping or double-fsync still lands well past it.
+const REPL_OVERHEAD_LIMIT: f64 = 2.0;
 
 struct Case {
     /// Key in `BENCH_autolf.json` (`cases[].case` is `"<id>/..."`).
@@ -261,6 +275,180 @@ fn measure_serve_healthz_rps(obs_on: bool) -> Result<f64, String> {
     }
 }
 
+/// One-shot request on a fresh connection (topology setup, not timed).
+fn http_once(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: gate\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("recv: {e}"))?;
+    let status = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw.split("\r\n\r\n").nth(1).unwrap_or_default().to_string();
+    Ok((status, body))
+}
+
+/// A small table pair for the replication gate — big enough that the
+/// LF upsert recomputes a real matrix column, small enough that the
+/// fsync (not the similarity kernel) stays the dominant cost.
+fn repl_gate_csvs() -> (String, String) {
+    let brands = [
+        "acme", "zenith", "orion", "vertex", "nimbus", "quartz", "ember", "cobalt",
+    ];
+    let mut left = String::from("id,name,price\n");
+    let mut right = String::from("id,name,price\n");
+    for (row, brand) in brands.iter().enumerate() {
+        left.push_str(&format!(
+            "{row},{brand} turbo widget model {row},{}\n",
+            100 + row * 3
+        ));
+        right.push_str(&format!(
+            "{row},{brand} widget turbo mk {row},{}\n",
+            101 + row * 3
+        ));
+    }
+    (left, right)
+}
+
+/// Measure keep-alive `POST /sessions/1/lfs` throughput against a
+/// durable in-process primary — optionally with a follower subscribed,
+/// so every acknowledged WAL record is also shipped over the
+/// replication channel. The solo/replicated pair feeds the
+/// replication-overhead gate.
+fn measure_lf_upsert_rps(replicated: bool) -> Result<f64, String> {
+    const GATE_CLIENTS: usize = 2;
+    const GATE_REQUESTS: usize = 250;
+    let dir = std::env::temp_dir().join(format!(
+        "panda-gate-repl-{}-{}",
+        std::process::id(),
+        if replicated { "on" } else { "off" }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let primary = panda_serve::Server::start(panda_serve::ServerConfig {
+        workers: panda_exec::worker_count(),
+        state_dir: Some(dir.clone()),
+        repl_addr: replicated.then(|| "127.0.0.1:0".into()),
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot start primary: {e}"))?;
+    let addr = primary.addr();
+    let follower = if replicated {
+        let repl = primary.repl_addr().ok_or("primary has no repl addr")?;
+        Some(
+            panda_serve::Server::start(panda_serve::ServerConfig {
+                workers: panda_exec::worker_count(),
+                follow: Some(repl.to_string()),
+                ..Default::default()
+            })
+            .map_err(|e| format!("cannot start follower: {e}"))?,
+        )
+    } else {
+        None
+    };
+
+    let (left, right) = repl_gate_csvs();
+    let create = format!(
+        r#"{{"left_csv":{},"right_csv":{},"config":{{"auto_lfs":false}}}}"#,
+        serde_json::to_string(&left).unwrap(),
+        serde_json::to_string(&right).unwrap()
+    );
+    let lf = r#"{"name":"name_overlap","kind":"similarity","attr":"name","upper":0.5,"lower":0.1}"#;
+    for (path, body) in [("/sessions", create.as_str()), ("/sessions/1/lfs", lf)] {
+        let (status, resp) = http_once(addr, "POST", path, body)?;
+        if status != 200 {
+            return Err(format!("POST {path}: {status} {resp}"));
+        }
+    }
+    if let Some(f) = &follower {
+        // Shipping must be live (subscription up, session synced) before
+        // the burst, or the "replicated" run measures an unreplicated
+        // prefix.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let (status, body) = http_once(f.addr(), "GET", "/sessions", "")?;
+            if status == 200 && body.contains("\"wal_seq\":2") {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(format!("follower never caught up: {body}"));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let clients: Vec<_> = (0..GATE_CLIENTS)
+        .map(|_| {
+            let lf = lf.to_string();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut stream =
+                    std::net::TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let wire = format!(
+                    "POST /sessions/1/lfs HTTP/1.1\r\nHost: gate\r\nContent-Length: {}\r\n\r\n{lf}",
+                    lf.len()
+                );
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                for _ in 0..GATE_REQUESTS {
+                    stream
+                        .write_all(wire.as_bytes())
+                        .map_err(|e| format!("send: {e}"))?;
+                    loop {
+                        if let Some(end) = full_response_len(&buf) {
+                            if !buf.starts_with(b"HTTP/1.1 200") {
+                                return Err(format!(
+                                    "non-200: {:?}",
+                                    String::from_utf8_lossy(&buf[..end.min(64)])
+                                ));
+                            }
+                            buf.drain(..end);
+                            break;
+                        }
+                        let n = stream.read(&mut chunk).map_err(|e| format!("recv: {e}"))?;
+                        if n == 0 {
+                            return Err("server closed mid-burst".into());
+                        }
+                        buf.extend_from_slice(&chunk[..n]);
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    let mut err = None;
+    for c in clients {
+        if let Err(e) = c.join().expect("gate client") {
+            err = Some(e);
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    primary.shutdown();
+    primary.join();
+    if let Some(f) = follower {
+        f.shutdown();
+        f.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    match err {
+        Some(e) => Err(e),
+        None => Ok((GATE_CLIENTS * GATE_REQUESTS) as f64 / elapsed),
+    }
+}
+
 /// If `buf` starts with one complete `Content-Length`-framed response,
 /// return its total length.
 fn full_response_len(buf: &[u8]) -> Option<usize> {
@@ -452,6 +640,35 @@ fn main() -> ExitCode {
         }
         (_, Err(e)) => {
             eprintln!("bench_gate: obs overhead gate: {e}");
+            failed = true;
+        }
+    }
+
+    // Replication-overhead gate: the durable lf_upsert write path with a
+    // follower subscribed (one shipped frame per acknowledged record)
+    // must hold REPL_OVERHEAD_LIMIT of the solo durable throughput.
+    match (measure_lf_upsert_rps(false), measure_lf_upsert_rps(true)) {
+        (Ok(rps_solo), Ok(rps_repl)) => {
+            let repl_limit = REPL_OVERHEAD_LIMIT * slack;
+            let floor_rps = rps_solo / repl_limit;
+            let ratio = rps_solo / rps_repl;
+            let verdict = if rps_repl >= floor_rps {
+                "PASS"
+            } else {
+                failed = true;
+                "FAIL"
+            };
+            println!(
+                "  {verdict} repl_overhead    {:>9.0} req/s repl  solo {:>9.0}  cost {:.2}x (limit {:.2})",
+                rps_repl, rps_solo, ratio, repl_limit
+            );
+        }
+        (Err(e), _) => {
+            eprintln!("bench_gate: repl overhead gate: {e}");
+            failed = true;
+        }
+        (_, Err(e)) => {
+            eprintln!("bench_gate: repl overhead gate: {e}");
             failed = true;
         }
     }

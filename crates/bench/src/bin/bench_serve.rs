@@ -20,7 +20,11 @@
 //! Set `PANDA_BENCH_STATE_DIR=<dir>` to run the server with the durable
 //! session store attached and add an `lf_upsert_durable` case (one WAL
 //! append + fsync per request) — measuring the durability tax without
-//! touching the committed default-mode snapshot.
+//! touching the committed default-mode snapshot. Durable mode also
+//! boots a second topology — a primary shipping its WAL to an
+//! in-process follower — and drives `lf_upsert_replicated` (the same
+//! write path with record shipping live) plus `follower_read_match`
+//! (keep-alive `/match` answered by the follower's replica).
 //!
 //! Run: `cargo run --release -p panda-bench --bin bench_serve`
 
@@ -341,6 +345,75 @@ fn main() {
             lf.to_string(),
             Mode::KeepAlive,
         ));
+
+        // Replication topology: a second primary (its own state dir and
+        // replication listener) with an in-process follower subscribed.
+        // `lf_upsert_replicated` is the durable write path with record
+        // shipping live — its gap to `lf_upsert_durable` is the
+        // replication tax bench_gate holds a line on — and
+        // `follower_read_match` is read throughput off the replica.
+        let repl_dir =
+            std::env::temp_dir().join(format!("panda-bench-repl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&repl_dir);
+        let primary = Server::start(ServerConfig {
+            workers,
+            state_dir: Some(repl_dir.clone()),
+            repl_addr: Some("127.0.0.1:0".into()),
+            ..Default::default()
+        })
+        .expect("start replicated primary");
+        let paddr = primary.addr();
+        let follower = Server::start(ServerConfig {
+            workers,
+            follow: Some(primary.repl_addr().expect("repl addr").to_string()),
+            ..Default::default()
+        })
+        .expect("start follower");
+        let faddr = follower.addr();
+
+        let (status, body) = request(paddr, "POST", "/sessions", &create);
+        assert_eq!(status, 200, "create replicated session: {body}");
+        let (status, body) = request(paddr, "POST", "/sessions/1/lfs", lf);
+        assert_eq!(status, 200, "add lf (replicated): {body}");
+        let (status, body) = request(paddr, "POST", "/sessions/1/fit", "");
+        assert_eq!(status, 200, "fit (replicated): {body}");
+        // The follower must hold the full session (seq 3) before its
+        // read case runs.
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let (status, body) = request(faddr, "GET", "/sessions", "");
+            if status == 200 && body.contains("\"wal_seq\":3") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "follower never caught up: {body}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+
+        cases.push(run_case(
+            "lf_upsert_replicated",
+            paddr,
+            "POST",
+            "/sessions/1/lfs".into(),
+            lf.to_string(),
+            Mode::KeepAlive,
+        ));
+        cases.push(run_case(
+            "follower_read_match",
+            faddr,
+            "POST",
+            "/match".into(),
+            match_body.into(),
+            Mode::KeepAlive,
+        ));
+
+        primary.shutdown();
+        primary.join();
+        follower.shutdown();
+        follower.join();
+        let _ = std::fs::remove_dir_all(&repl_dir);
     }
 
     println!(

@@ -24,6 +24,8 @@ USAGE:
               [--reuseport on|off] [--keep-alive-timeout <secs>]
               [--max-requests-per-conn N] [--max-conns N]
               [--slow-request-ms N]
+              [--repl-addr <host:port>] [--follow <host:port>]
+              [--peers <addr,addr,...>] [--advertise <host:port>]
               [--metrics <json>] [--journal <jsonl>]
   panda promcheck [--file <text>] [--require <name,name,...>]
   panda families
@@ -57,6 +59,14 @@ falls back to one shared listener; --keep-alive-timeout bounds idle
 persistent connections; --max-requests-per-conn forces Connection:
 close after N requests (0 = unbounded); --max-conns caps open
 connections per worker shard (beyond it new connections get 503).
+Replication: --repl-addr (requires --state-dir) streams every
+acknowledged WAL record to followers started with --follow <addr>;
+followers serve reads, answer mutations 421 with the primary's
+address, and POST /promote flips one to primary. --peers builds a
+consistent-hash shard ring over the listed HTTP addresses (must
+include this server's --advertise, default its bound address);
+misrouted sessions answer 421 naming the owner, and POST /rebalance
+moves a session between shards by snapshot + WAL-tail handoff.
 
 OBSERVABILITY:
   --metrics <json>   write a pipeline telemetry snapshot (per-stage span
@@ -337,6 +347,45 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         "off" => false,
         other => return Err(format!("--reuseport takes on|off, got {other:?}")),
     };
+    // Replication & sharding topology. Conflicts are rejected here with
+    // the offending flag named, before anything binds.
+    let repl_addr = args.optional("repl-addr").map(str::to_string);
+    let follow = args.optional("follow").map(str::to_string);
+    let advertise = args.optional("advertise").map(str::to_string);
+    let peers: Vec<String> = args
+        .optional("peers")
+        .map(|raw| {
+            raw.split(',')
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    if follow.is_some() && state_dir.is_some() {
+        return Err(
+            "--follow conflicts with --state-dir: a follower replicates the primary's \
+             WAL in memory instead of writing its own"
+                .into(),
+        );
+    }
+    if follow.is_some() && repl_addr.is_some() {
+        return Err(
+            "--follow conflicts with --repl-addr: a follower subscribes to a primary, \
+             it does not ship a WAL of its own"
+                .into(),
+        );
+    }
+    if repl_addr.is_some() && state_dir.is_none() {
+        return Err(
+            "--repl-addr requires --state-dir: only fsynced WAL records are shipped \
+             to followers"
+                .into(),
+        );
+    }
+    if args.optional("peers").is_some() && peers.is_empty() {
+        return Err("--peers must list at least one address (comma-separated)".into());
+    }
     let defaults = panda_serve::ServerConfig::default();
     let keep_alive_secs: u64 =
         args.get_or("keep-alive-timeout", defaults.keep_alive_timeout.as_secs())?;
@@ -354,10 +403,20 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         max_sessions,
         session_ttl: (session_ttl_secs > 0)
             .then(|| std::time::Duration::from_secs(session_ttl_secs)),
+        repl_addr: repl_addr.clone(),
+        follow: follow.clone(),
+        peers,
+        advertise,
         ..Default::default()
     })
     .map_err(|e| format!("cannot start server on {addr}: {e}"))?;
     println!("panda serve listening on http://{}", handle.addr());
+    if let Some(repl) = handle.repl_addr() {
+        println!("replication listener on {repl} (followers: panda serve --follow {repl})");
+    }
+    if let Some(primary) = &follow {
+        println!("following primary at {primary} (read-only; POST /promote to take over)");
+    }
     if let Some(dir) = &state_dir {
         println!(
             "durable state in {} ({} session(s) recovered)",

@@ -153,6 +153,10 @@ pub struct SessionResponse {
 pub struct SessionListResponse {
     /// Every known session, live or evicted, sorted by id.
     pub sessions: Vec<SessionListEntry>,
+    /// `"primary"` or `"follower"`.
+    pub role: String,
+    /// The shard map, when `--peers` was configured.
+    pub shards: Option<ShardMapDto>,
 }
 
 /// One row of the `GET /sessions` listing.
@@ -160,12 +164,60 @@ pub struct SessionListResponse {
 pub struct SessionListEntry {
     /// Session handle.
     pub session: u64,
-    /// `"live"` (in memory) or `"evicted"` (snapshot on disk, rehydrates
-    /// on next touch).
+    /// `"live"` (in memory), `"evicted"` (snapshot on disk, rehydrates
+    /// on next touch), or `"quarantined"` (replication apply failed;
+    /// awaiting a full resync from the primary).
     pub status: String,
     /// True when the session was rebuilt from the state directory at
     /// server startup (WAL-on-top-of-snapshot replay).
     pub recovered: bool,
+    /// Sequence number of the last acknowledged WAL record. A follower
+    /// whose `wal_seq` equals the primary's has applied everything.
+    pub wal_seq: u64,
+    /// Label-matrix digest after that record, as zero-padded hex (a
+    /// string, so 64-bit values survive JSON number parsers).
+    pub matrix_digest: String,
+    /// The peer owning this session in the shard map (absent when
+    /// unsharded).
+    pub shard: Option<String>,
+}
+
+/// The shard map inside `GET /sessions`, when `--peers` is configured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardMapDto {
+    /// This server's advertised address.
+    pub self_addr: String,
+    /// Every peer in the consistent-hash ring (including `self_addr`).
+    pub peers: Vec<String>,
+}
+
+/// `POST /promote` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PromoteResponse {
+    /// Always `"primary"` after the call returns.
+    pub role: String,
+    /// True when this call flipped the role (false = already primary).
+    pub promoted: bool,
+}
+
+/// `POST /rebalance` request: move one session to another shard.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RebalanceRequest {
+    /// Session to move (must live on this server).
+    pub session: u64,
+    /// Receiving peer's HTTP address (its `/handoff` route is called).
+    pub target: String,
+}
+
+/// `POST /rebalance` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RebalanceResponse {
+    /// The moved session.
+    pub session: u64,
+    /// Where it now lives.
+    pub target: String,
+    /// `"moved"`.
+    pub status: String,
 }
 
 /// `POST /sessions/{id}/labels` request: one user spot label (the

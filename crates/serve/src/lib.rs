@@ -16,6 +16,9 @@
 //! | `POST /sessions/{id}/query` | [`panda_session::PandaSession::debug_pairs`] |
 //! | `POST /match` | [`panda_session::PandaSession::score_pair`] |
 //! | `GET /metrics` | [`panda_obs::snapshot`] |
+//! | `POST /promote` | [`state::AppState::promote`] (follower → primary) |
+//! | `POST /rebalance` | snapshot + WAL-tail handoff to another shard |
+//! | `POST /handoff` | receiving side of `/rebalance` ([`state::AppState::adopt_handoff`]) |
 //!
 //! LF edits are **incremental**: adding an LF computes exactly one new
 //! label-matrix column ([`panda_lf::LabelMatrix::add_column`]) instead of
@@ -44,6 +47,15 @@
 //! (they rehydrate transparently on the next touch) and `--session-ttl`
 //! sweeps idle ones ([`state::AppState`]).
 //!
+//! Replication ([`repl`]): `--repl-addr` streams every acknowledged WAL
+//! record to subscribed followers (`--follow`) which replay it through
+//! the digest-verified recovery path and serve read-only routes
+//! (mutations answer 421 naming the primary; `POST /promote` flips a
+//! follower to primary). `--peers` arranges servers on an FNV-1a
+//! consistent-hash ring: each session lives on one shard, foreign
+//! requests answer 421 with the owner, and `POST /rebalance` moves a
+//! session between shards by snapshot + WAL-tail handoff.
+//!
 //! ```no_run
 //! let handle = panda_serve::Server::start(panda_serve::ServerConfig {
 //!     addr: "127.0.0.1:7700".to_string(),
@@ -58,6 +70,7 @@ pub mod api;
 pub mod http;
 pub mod net;
 pub mod persist;
+pub mod repl;
 pub mod router;
 pub mod server;
 pub mod signal;

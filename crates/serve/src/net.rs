@@ -45,7 +45,9 @@ const SOCK_NONBLOCK: c_int = 0o4000;
 const SOCK_CLOEXEC: c_int = 0o2000000;
 const SOL_SOCKET: c_int = 1;
 const SO_REUSEADDR: c_int = 2;
+const SO_ERROR: c_int = 4;
 const SO_REUSEPORT: c_int = 15;
+const EINPROGRESS: i32 = 115;
 const O_NONBLOCK: c_int = 0o4000;
 const O_CLOEXEC: c_int = 0o2000000;
 
@@ -93,11 +95,25 @@ extern "C" {
     fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
     fn setsockopt(fd: c_int, level: c_int, name: c_int, val: *const c_void, len: u32) -> c_int;
     fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    fn getsockopt(fd: c_int, level: c_int, name: c_int, val: *mut c_void, len: *mut u32) -> c_int;
     fn listen(fd: c_int, backlog: c_int) -> c_int;
     fn accept4(fd: c_int, addr: *mut c_void, len: *mut u32, flags: c_int) -> c_int;
     fn getsockname(fd: c_int, addr: *mut c_void, len: *mut u32) -> c_int;
     fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
     fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// Write one byte to a wake-pipe fd (non-blocking; a full pipe already
+/// means a wake is pending, so the error is ignored). The targeted
+/// counterpart of [`crate::signal::wake_all`] for loops that should not
+/// stampede every other parked thread.
+pub fn notify_fd(fd: RawFd) {
+    let byte = 1u8;
+    unsafe {
+        let _ = write(fd, (&byte as *const u8).cast(), 1);
+    }
 }
 
 /// A level-triggered epoll instance. Closed on drop.
@@ -341,6 +357,61 @@ impl Drop for Listener {
     }
 }
 
+/// Start a non-blocking outbound connect to `addr`. Returns the socket
+/// (already a `TcpStream`, non-blocking) plus whether the three-way
+/// handshake finished synchronously. When it did not (`false`, the
+/// common case), the caller registers the fd for `EPOLLOUT` and calls
+/// [`take_connect_error`] once writability fires to learn whether the
+/// connect actually succeeded.
+pub fn connect_start(addr: &SocketAddr) -> io::Result<(TcpStream, bool)> {
+    let domain = match addr {
+        SocketAddr::V4(_) => c_int::from(AF_INET),
+        SocketAddr::V6(_) => c_int::from(AF_INET6),
+    };
+    let fd = unsafe { socket(domain, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // Safety: socket returned a fresh owned fd; the stream closes it on
+    // drop, including the early-error paths below.
+    let stream = unsafe { TcpStream::from_raw_fd(fd) };
+    let (raw, len) = encode_sockaddr(addr);
+    let rc = unsafe { connect(fd, (&raw as *const SockaddrAny).cast(), len) };
+    if rc == 0 {
+        return Ok((stream, true));
+    }
+    let err = io::Error::last_os_error();
+    if err.raw_os_error() == Some(EINPROGRESS) {
+        return Ok((stream, false));
+    }
+    Err(err)
+}
+
+/// Resolve a pending non-blocking connect after `EPOLLOUT` fired:
+/// reads and clears `SO_ERROR`. `Ok(())` means the stream is connected
+/// and ready for traffic.
+pub fn take_connect_error(stream: &TcpStream) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    let mut err: c_int = 0;
+    let mut len = std::mem::size_of::<c_int>() as u32;
+    let rc = unsafe {
+        getsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_ERROR,
+            (&mut err as *mut c_int).cast(),
+            &mut len,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if err != 0 {
+        return Err(io::Error::from_raw_os_error(err));
+    }
+    Ok(())
+}
+
 /// A non-blocking self-pipe for waking a parked `epoll_wait`. The write
 /// end is registered with [`crate::signal::register_wake_fd`]; anything
 /// written there (a signal handler, another worker's `/shutdown`) makes
@@ -438,6 +509,23 @@ mod tests {
         assert_eq!(second.addr(), bound);
         // And without reuseport the same bind must fail.
         assert!(Listener::bind(&bound, false).is_err());
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_epollout() {
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let listener = Listener::bind(&addr, false).unwrap();
+        let (stream, done) = connect_start(&listener.addr()).unwrap();
+        if !done {
+            use std::os::fd::AsRawFd;
+            let epoll = Epoll::new().unwrap();
+            epoll.add(stream.as_raw_fd(), EPOLLOUT, 3).unwrap();
+            let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+            let n = epoll.wait(&mut events, 2_000).unwrap();
+            assert!(n >= 1, "connect should become writable");
+        }
+        take_connect_error(&stream).unwrap();
+        assert!(listener.accept().unwrap().is_some());
     }
 
     #[test]

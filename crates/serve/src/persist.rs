@@ -136,6 +136,167 @@ pub fn build_from_spec(name: &str, spec_json: &str) -> Result<BoxedLf, String> {
     spec.build()
 }
 
+/// The digest-verified replay engine shared by crash recovery, the
+/// follower apply loop, and cross-shard handoff: applies [`WalRecord`]s
+/// in sequence, skipping snapshot-covered duplicates, rejecting gaps,
+/// and verifying the post-op matrix digest after every applied record.
+pub struct Replayer {
+    /// The session being rebuilt (`None` until a snapshot or create).
+    pub session: Option<PandaSession>,
+    /// The original create request (travels with the session).
+    pub request: Option<CreateSessionRequest>,
+    /// LF name → wire-spec JSON: the dehydration recipe map.
+    pub specs: HashMap<String, String>,
+    /// Highest applied (or snapshot-covered) sequence number.
+    pub last_seq: u64,
+}
+
+impl Replayer {
+    /// An empty replayer: the first record must be a create.
+    pub fn new() -> Replayer {
+        Replayer {
+            session: None,
+            request: None,
+            specs: HashMap::new(),
+            last_seq: 0,
+        }
+    }
+
+    /// Seed from a snapshot: verifies the format and config digest, then
+    /// rehydrates (which re-runs deterministic blocking and checks the
+    /// persisted matrix digest).
+    pub fn from_snapshot(snap: SnapshotFile) -> Result<Replayer, String> {
+        if snap.format != SNAPSHOT_FORMAT {
+            return Err(format!(
+                "snapshot format {} unsupported (expected {SNAPSHOT_FORMAT})",
+                snap.format
+            ));
+        }
+        if snap.config_digest != config_digest(&snap.request) {
+            return Err("snapshot create-request digest mismatch".into());
+        }
+        let config = snap.request.config.clone().unwrap_or_default().resolve()?;
+        let tables = build_tables(&snap.request)?;
+        let session = PandaSession::rehydrate(tables, config, &snap.state, &build_from_spec)?;
+        let mut specs = HashMap::new();
+        for lf in &snap.state.lfs {
+            if let Some(spec) = &lf.spec {
+                specs.insert(lf.name.clone(), spec.clone());
+            }
+        }
+        Ok(Replayer {
+            session: Some(session),
+            request: Some(snap.request),
+            specs,
+            last_seq: snap.last_seq,
+        })
+    }
+
+    /// Apply one record. `Ok(false)` means the record was skipped as a
+    /// duplicate already covered by the seeded snapshot (crash between
+    /// snapshot rename and WAL reset, or a replication resend); any gap,
+    /// digest mismatch, or misplaced create is an error — the caller
+    /// quarantines instead of serving wrong state.
+    pub fn apply(&mut self, rec: &WalRecord) -> Result<bool, String> {
+        if rec.seq <= self.last_seq {
+            return Ok(false);
+        }
+        if let WalOp::Create {
+            request,
+            config_digest: logged,
+        } = &rec.op
+        {
+            if rec.seq != self.last_seq + 1 {
+                return Err(format!(
+                    "seq gap: record {} follows {}",
+                    rec.seq, self.last_seq
+                ));
+            }
+            if self.session.is_some() {
+                return Err(format!("duplicate create record at seq {}", rec.seq));
+            }
+            if *logged != config_digest(request) {
+                return Err("create record digest mismatch".into());
+            }
+            let config = request.config.clone().unwrap_or_default().resolve()?;
+            let tables = build_tables(request)?;
+            let session = PandaSession::load(tables, config);
+            let got = session.matrix().digest();
+            if got != rec.digest {
+                return Err(format!(
+                    "matrix digest mismatch at WAL seq {}: logged {:#018x}, replayed {got:#018x}",
+                    rec.seq, rec.digest
+                ));
+            }
+            self.request = Some(request.clone());
+            self.session = Some(session);
+            self.last_seq = rec.seq;
+            return Ok(true);
+        }
+        let session = self
+            .session
+            .as_mut()
+            .ok_or_else(|| format!("WAL op at seq {} before create", rec.seq))?;
+        apply_record(session, &mut self.specs, &mut self.last_seq, rec)
+    }
+}
+
+/// Apply one non-create record to a live session under the recovery
+/// rules: skip duplicates, reject gaps, verify the post-op matrix
+/// digest. The follower apply loop runs this directly against the slot
+/// it replicates into.
+pub(crate) fn apply_record(
+    session: &mut PandaSession,
+    specs: &mut HashMap<String, String>,
+    last_seq: &mut u64,
+    rec: &WalRecord,
+) -> Result<bool, String> {
+    if rec.seq <= *last_seq {
+        return Ok(false);
+    }
+    if rec.seq != *last_seq + 1 {
+        return Err(format!("seq gap: record {} follows {}", rec.seq, *last_seq));
+    }
+    if matches!(rec.op, WalOp::Create { .. }) {
+        return Err(format!("duplicate create record at seq {}", rec.seq));
+    }
+    apply_wal_op(session, &rec.op, specs).map_err(|e| format!("WAL seq {}: {e}", rec.seq))?;
+    let got = session.matrix().digest();
+    if got != rec.digest {
+        return Err(format!(
+            "matrix digest mismatch at WAL seq {}: logged {:#018x}, replayed {got:#018x}",
+            rec.seq, rec.digest
+        ));
+    }
+    *last_seq = rec.seq;
+    Ok(true)
+}
+
+impl Default for Replayer {
+    fn default() -> Self {
+        Replayer::new()
+    }
+}
+
+/// Rebuild a session from handed-off parts (optional snapshot + WAL
+/// tail), enforcing the same gap and digest rules as recovery. Strict:
+/// an out-of-order or digest-mismatched record is an error — the
+/// receiving shard refuses the handoff rather than installing a wrong
+/// session.
+pub fn rebuild(snapshot: Option<SnapshotFile>, tail: &[WalRecord]) -> Result<Replayer, String> {
+    let mut replayer = match snapshot {
+        Some(snap) => Replayer::from_snapshot(snap)?,
+        None => Replayer::new(),
+    };
+    for rec in tail {
+        replayer.apply(rec)?;
+    }
+    if replayer.session.is_none() {
+        return Err("handoff carries no snapshot and no create record".into());
+    }
+    Ok(replayer)
+}
+
 /// A recovered session plus its re-attached persistence handle.
 pub struct Recovered {
     /// The rebuilt session, digest-verified.
@@ -187,13 +348,14 @@ impl SessionStore {
     }
 
     /// Start persisting a freshly created session: opens a fresh WAL and
-    /// logs the create record (fsynced before this returns).
+    /// logs the create record (fsynced before this returns). Also yields
+    /// the appended create record so a primary can ship it to followers.
     pub fn create(
         &self,
         id: u64,
         request: &CreateSessionRequest,
         session: &PandaSession,
-    ) -> Result<SessionPersist, String> {
+    ) -> Result<(SessionPersist, Appended), String> {
         let dir = self.session_dir(id);
         fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         let wal_path = dir.join(WAL_FILE);
@@ -213,13 +375,47 @@ impl SessionStore {
             specs: HashMap::new(),
             broken: false,
         };
-        persist.append(
+        let appended = persist.append(
             WalOp::Create {
                 request: request.clone(),
                 config_digest: config_digest(request),
             },
             session,
         )?;
+        Ok((persist, appended))
+    }
+
+    /// Install a handed-off session under a fresh directory: an empty
+    /// WAL positioned at `last_seq` plus an immediate snapshot, so the
+    /// moved state is durable before the handoff is acknowledged.
+    pub fn adopt(
+        &self,
+        id: u64,
+        request: &CreateSessionRequest,
+        session: &PandaSession,
+        specs: HashMap<String, String>,
+        last_seq: u64,
+    ) -> Result<SessionPersist, String> {
+        let dir = self.session_dir(id);
+        fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let wal_path = dir.join(WAL_FILE);
+        let wal = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&wal_path)
+            .map_err(|e| format!("open {}: {e}", wal_path.display()))?;
+        let mut persist = SessionPersist {
+            dir,
+            wal,
+            seq: last_seq,
+            ops_since_snapshot: 0,
+            snapshot_every: self.snapshot_every,
+            request: request.clone(),
+            specs,
+            broken: false,
+        };
+        persist.write_snapshot(session)?;
         Ok(persist)
     }
 
@@ -232,39 +428,16 @@ impl SessionStore {
         let snap_path = dir.join(SNAPSHOT_FILE);
         let wal_path = dir.join(WAL_FILE);
 
-        let mut specs: HashMap<String, String> = HashMap::new();
-        let mut last_seq = 0u64;
-        let mut session: Option<PandaSession> = None;
-        let mut request: Option<CreateSessionRequest> = None;
-
-        if snap_path.exists() {
+        let mut replayer = if snap_path.exists() {
             let text = fs::read_to_string(&snap_path)
                 .map_err(|e| format!("read {}: {e}", snap_path.display()))?;
             let snap: SnapshotFile =
                 serde_json::from_str(&text).map_err(|e| format!("snapshot: {}", e.0))?;
-            if snap.format != SNAPSHOT_FORMAT {
-                return Err(format!(
-                    "snapshot format {} unsupported (expected {SNAPSHOT_FORMAT})",
-                    snap.format
-                ));
-            }
-            if snap.config_digest != config_digest(&snap.request) {
-                return Err("snapshot create-request digest mismatch".into());
-            }
-            let config = snap.request.config.clone().unwrap_or_default().resolve()?;
-            let tables = build_tables(&snap.request)?;
-            let rebuilt = PandaSession::rehydrate(tables, config, &snap.state, &build_from_spec)?;
-            for lf in &snap.state.lfs {
-                if let Some(spec) = &lf.spec {
-                    specs.insert(lf.name.clone(), spec.clone());
-                }
-            }
-            last_seq = snap.last_seq;
-            session = Some(rebuilt);
-            request = Some(snap.request);
-        }
+            Replayer::from_snapshot(snap)?
+        } else {
+            Replayer::new()
+        };
 
-        let mut max_seq = last_seq;
         let mut replayed = 0u64;
         if wal_path.exists() {
             let text = fs::read_to_string(&wal_path)
@@ -288,61 +461,26 @@ impl SessionStore {
                         return Err(format!("WAL line {}: {}", i + 1, e.0));
                     }
                 };
-                match prev_seq {
-                    Some(p) if rec.seq != p + 1 => {
+                // In-file contiguity: even records the snapshot already
+                // covers must be gap-free, or the log is corrupt.
+                if let Some(p) = prev_seq {
+                    if rec.seq != p + 1 {
                         return Err(format!("WAL gap: record {} follows {p}", rec.seq));
                     }
-                    None if rec.seq > last_seq + 1 => {
-                        return Err(format!(
-                            "WAL gap: first record is {} but the snapshot covers up to {last_seq}",
-                            rec.seq
-                        ));
-                    }
-                    _ => {}
                 }
                 prev_seq = Some(rec.seq);
-                max_seq = max_seq.max(rec.seq);
-                if rec.seq <= last_seq {
-                    // Already folded into the snapshot (crash between
-                    // snapshot rename and WAL reset).
-                    continue;
+                if replayer.apply(&rec)? {
+                    replayed += 1;
                 }
-                match rec.op {
-                    WalOp::Create {
-                        request: req,
-                        config_digest: logged,
-                    } => {
-                        if session.is_some() {
-                            return Err(format!("duplicate create record at seq {}", rec.seq));
-                        }
-                        if logged != config_digest(&req) {
-                            return Err("create record digest mismatch".into());
-                        }
-                        let config = req.config.clone().unwrap_or_default().resolve()?;
-                        let tables = build_tables(&req)?;
-                        session = Some(PandaSession::load(tables, config));
-                        request = Some(req);
-                    }
-                    ref op => {
-                        let s = session
-                            .as_mut()
-                            .ok_or_else(|| format!("WAL op at seq {} before create", rec.seq))?;
-                        apply_wal_op(s, op, &mut specs)
-                            .map_err(|e| format!("WAL seq {}: {e}", rec.seq))?;
-                    }
-                }
-                let got = session.as_ref().expect("create seen").matrix().digest();
-                if got != rec.digest {
-                    return Err(format!(
-                        "matrix digest mismatch at WAL seq {}: logged {:#018x}, replayed \
-                         {got:#018x}",
-                        rec.seq, rec.digest
-                    ));
-                }
-                replayed += 1;
             }
         }
 
+        let Replayer {
+            session,
+            request,
+            specs,
+            last_seq,
+        } = replayer;
         let session = session.ok_or("no snapshot and no create record — nothing to recover")?;
         let request = request.expect("request travels with session");
         let wal = OpenOptions::new()
@@ -355,7 +493,7 @@ impl SessionStore {
             persist: SessionPersist {
                 dir,
                 wal,
-                seq: max_seq,
+                seq: last_seq,
                 ops_since_snapshot: replayed,
                 snapshot_every: self.snapshot_every,
                 request,
@@ -402,6 +540,19 @@ fn apply_wal_op(
     Ok(())
 }
 
+/// Metadata of one durably appended WAL record, for replication: the
+/// primary ships `line` verbatim so followers replay byte-identical
+/// records.
+#[derive(Debug, Clone)]
+pub struct Appended {
+    /// The record's sequence number.
+    pub seq: u64,
+    /// Post-op matrix digest logged with the record.
+    pub digest: u64,
+    /// The serialized JSONL line (no trailing newline).
+    pub line: String,
+}
+
 /// Per-session persistence handle: the open WAL plus the bookkeeping to
 /// compact it. All calls happen under the session's mutex, so WAL writes
 /// and the snapshot-then-truncate sequence are never concurrent.
@@ -422,8 +573,9 @@ impl SessionPersist {
     /// Durably log one applied op: serialize, append, fsync — then
     /// compact when the snapshot cadence is due. Must be called *after*
     /// the op was applied to `session` (the record carries the resulting
-    /// matrix digest) and *before* the response is acknowledged.
-    pub fn append(&mut self, op: WalOp, session: &PandaSession) -> Result<(), String> {
+    /// matrix digest) and *before* the response is acknowledged. Returns
+    /// the appended record so the caller can ship it to followers.
+    pub fn append(&mut self, op: WalOp, session: &PandaSession) -> Result<Appended, String> {
         if self.broken {
             return Err(BROKEN_MSG.into());
         }
@@ -471,7 +623,11 @@ impl SessionPersist {
                 eprintln!("panda-serve: snapshot compaction failed: {msg}");
             }
         }
-        Ok(())
+        Ok(Appended {
+            seq: self.seq,
+            digest: rec.digest,
+            line,
+        })
     }
 
     /// Dehydrate the session into `snapshot.json` (tmp + fsync + rename,
@@ -482,15 +638,7 @@ impl SessionPersist {
             return Err(BROKEN_MSG.into());
         }
         let _span = panda_obs::span("persist.snapshot.write");
-        let specs = &self.specs;
-        let state = session.dehydrate(&|name| specs.get(name).cloned())?;
-        let snap = SnapshotFile {
-            format: SNAPSHOT_FORMAT,
-            last_seq: self.seq,
-            config_digest: config_digest(&self.request),
-            request: self.request.clone(),
-            state,
-        };
+        let snap = self.snapshot_file(session)?;
         let json = serde_json::to_string(&snap).map_err(|e| e.0)?;
         let tmp = self.dir.join(SNAPSHOT_TMP);
         let result = (|| -> std::io::Result<()> {
@@ -523,6 +671,71 @@ impl SessionPersist {
     /// Records appended since the last snapshot (replay cost on crash).
     pub fn wal_depth(&self) -> u64 {
         self.ops_since_snapshot
+    }
+
+    /// Sequence number of the last durably appended record.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The original create request this handle persists for.
+    pub fn request(&self) -> &CreateSessionRequest {
+        &self.request
+    }
+
+    /// Build (without writing) the snapshot `write_snapshot` would
+    /// persist right now — the full-sync payload replication ships to a
+    /// freshly subscribed follower.
+    pub fn snapshot_file(&self, session: &PandaSession) -> Result<SnapshotFile, String> {
+        let specs = &self.specs;
+        let state = session.dehydrate(&|name| specs.get(name).cloned())?;
+        Ok(SnapshotFile {
+            format: SNAPSHOT_FORMAT,
+            last_seq: self.seq,
+            config_digest: config_digest(&self.request),
+            request: self.request.clone(),
+            state,
+        })
+    }
+
+    /// Read the on-disk snapshot + WAL tail for a cross-shard handoff.
+    /// Runs under the session lock, so the files are quiescent. A torn
+    /// final WAL line is dropped (its op was never acknowledged); any
+    /// other parse failure is an error.
+    pub fn disk_parts(&self) -> Result<(Option<SnapshotFile>, Vec<WalRecord>), String> {
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        let snapshot = if snap_path.exists() {
+            let text = fs::read_to_string(&snap_path)
+                .map_err(|e| format!("read {}: {e}", snap_path.display()))?;
+            Some(
+                serde_json::from_str::<SnapshotFile>(&text)
+                    .map_err(|e| format!("snapshot: {}", e.0))?,
+            )
+        } else {
+            None
+        };
+        let wal_path = self.dir.join(WAL_FILE);
+        let mut tail = Vec::new();
+        if wal_path.exists() {
+            let text = fs::read_to_string(&wal_path)
+                .map_err(|e| format!("read {}: {e}", wal_path.display()))?;
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<WalRecord>(line) {
+                    Ok(rec) => tail.push(rec),
+                    Err(e) => {
+                        if i + 1 == lines.len() {
+                            break;
+                        }
+                        return Err(format!("WAL line {}: {}", i + 1, e.0));
+                    }
+                }
+            }
+        }
+        Ok((snapshot, tail))
     }
 }
 

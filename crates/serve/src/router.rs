@@ -6,14 +6,17 @@
 
 use crate::api::{
     ApiError, CreateSessionRequest, LabelRequest, LabelResponse, LfResponse, LfSpec, MatchRequest,
-    MatchResponse, QueryRequest, SessionListEntry, SessionListResponse, SessionResponse,
+    MatchResponse, PromoteResponse, QueryRequest, RebalanceRequest, RebalanceResponse,
+    SessionListEntry, SessionListResponse, SessionResponse, ShardMapDto,
 };
 use crate::http::{Request, Response};
 use crate::persist::WalOp;
+use crate::repl::{self, HandoffRequest};
 use crate::state::{AppState, SessionSlot};
 use panda_session::PandaSession;
 use panda_table::CandidatePair;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Handle one parsed request against the shared state.
 pub fn handle(state: &AppState, req: &Request) -> Response {
@@ -78,8 +81,38 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             "POST" => ("/match", score_pairs(state, req)),
             _ => ("/match", method_not_allowed("POST")),
         },
+        ["promote"] => match method {
+            "POST" => {
+                // Idempotent failover lever: flips a follower to
+                // primary (stopping its apply loop), no-ops on one.
+                let promoted = state.promote();
+                let resp = json_200(&PromoteResponse {
+                    role: "primary".to_string(),
+                    promoted,
+                });
+                ("/promote", resp)
+            }
+            _ => ("/promote", method_not_allowed("POST")),
+        },
+        ["rebalance"] => match method {
+            "POST" => (
+                "/rebalance",
+                primary_only(state).unwrap_or_else(|| rebalance(state, req)),
+            ),
+            _ => ("/rebalance", method_not_allowed("POST")),
+        },
+        ["handoff"] => match method {
+            "POST" => (
+                "/handoff",
+                primary_only(state).unwrap_or_else(|| adopt_handoff(state, req)),
+            ),
+            _ => ("/handoff", method_not_allowed("POST")),
+        },
         ["sessions"] => match method {
-            "POST" => ("/sessions", create_session(state, req)),
+            "POST" => (
+                "/sessions",
+                primary_only(state).unwrap_or_else(|| create_session(state, req)),
+            ),
             "GET" => ("/sessions", list_sessions(state)),
             _ => ("/sessions", method_not_allowed("GET, POST")),
         },
@@ -87,7 +120,10 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             let route = "/sessions/{id}";
             match method {
                 "GET" => (route, with_session(state, id, session_body)),
-                "DELETE" => (route, delete_session(state, id)),
+                "DELETE" => (
+                    route,
+                    primary_only(state).unwrap_or_else(|| delete_session(state, id)),
+                ),
                 _ => (route, method_not_allowed("GET, DELETE")),
             }
         }
@@ -96,12 +132,14 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
             match method {
                 "POST" => (
                     route,
-                    with_slot(state, id, |id, slot| {
-                        slot.session.fit();
-                        if let Err(msg) = slot.log_op(WalOp::Fit) {
-                            return persist_error(msg);
-                        }
-                        session_body(id, &mut slot.session)
+                    primary_only(state).unwrap_or_else(|| {
+                        with_slot(state, id, |id, slot| {
+                            slot.session.fit();
+                            if let Err(msg) = slot.log_op(WalOp::Fit) {
+                                return persist_error(msg);
+                            }
+                            session_body(id, &mut slot.session)
+                        })
                     }),
                 ),
                 _ => (route, method_not_allowed("POST")),
@@ -110,21 +148,30 @@ fn dispatch(state: &AppState, req: &Request) -> (&'static str, Response) {
         ["sessions", id, "labels"] => {
             let route = "/sessions/{id}/labels";
             match method {
-                "POST" => (route, label_candidate(state, id, req)),
+                "POST" => (
+                    route,
+                    primary_only(state).unwrap_or_else(|| label_candidate(state, id, req)),
+                ),
                 _ => (route, method_not_allowed("POST")),
             }
         }
         ["sessions", id, "lfs"] => {
             let route = "/sessions/{id}/lfs";
             match method {
-                "POST" => (route, add_lf(state, id, req)),
+                "POST" => (
+                    route,
+                    primary_only(state).unwrap_or_else(|| add_lf(state, id, req)),
+                ),
                 _ => (route, method_not_allowed("POST")),
             }
         }
         ["sessions", id, "lfs", name] => {
             let route = "/sessions/{id}/lfs/{name}";
             match method {
-                "DELETE" => (route, remove_lf(state, id, name)),
+                "DELETE" => (
+                    route,
+                    primary_only(state).unwrap_or_else(|| remove_lf(state, id, name)),
+                ),
                 _ => (route, method_not_allowed("DELETE")),
             }
         }
@@ -180,16 +227,39 @@ fn create_session(state: &AppState, req: &Request) -> Response {
 }
 
 fn list_sessions(state: &AppState) -> Response {
+    let ring = state.ring();
     let sessions = state
         .list()
         .into_iter()
         .map(|info| SessionListEntry {
             session: info.id,
-            status: if info.live { "live" } else { "evicted" }.to_string(),
+            status: if info.quarantined {
+                "quarantined"
+            } else if info.live {
+                "live"
+            } else {
+                "evicted"
+            }
+            .to_string(),
             recovered: info.recovered,
+            wal_seq: info.wal_seq,
+            matrix_digest: format!("{:#018x}", info.matrix_digest),
+            shard: ring.map(|r| r.owner_of(info.id).to_string()),
         })
         .collect();
-    json_200(&SessionListResponse { sessions })
+    json_200(&SessionListResponse {
+        sessions,
+        role: if state.is_follower() {
+            "follower"
+        } else {
+            "primary"
+        }
+        .to_string(),
+        shards: ring.map(|r| ShardMapDto {
+            self_addr: r.self_addr().to_string(),
+            peers: r.peers().to_vec(),
+        }),
+    })
 }
 
 fn delete_session(state: &AppState, id: &str) -> Response {
@@ -305,6 +375,12 @@ fn score_pairs(state: &AppState, req: &Request) -> Response {
     if body.pairs.is_empty() {
         return error(422, "no_pairs", "`pairs` must be non-empty");
     }
+    if let Some(resp) = misdirected_421(state, body.session) {
+        return resp;
+    }
+    if let Some(resp) = quarantined_409(state, body.session) {
+        return resp;
+    }
     let Some(guard) = state.get(body.session) else {
         return error(
             404,
@@ -331,12 +407,168 @@ fn score_pairs(state: &AppState, req: &Request) -> Response {
     json_200(&MatchResponse { scores })
 }
 
+/// `POST /rebalance` (primary only): move one session to another shard
+/// by snapshot + WAL-tail handoff. The slot lock is held while the
+/// handoff payload is built, so the shipped state is a consistent
+/// cut; requests racing the move see the session vanish (404/421
+/// toward the new owner), never half-moved state.
+fn rebalance(state: &AppState, req: &Request) -> Response {
+    let body: RebalanceRequest = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    let id = body.session;
+    if let Some(resp) = quarantined_409(state, id) {
+        return resp;
+    }
+    let Some(guard) = state.get(id) else {
+        return error(404, "unknown_session", format!("no session {id}"));
+    };
+    let handoff = {
+        let slot = guard.lock().unwrap_or_else(|e| e.into_inner());
+        match slot.handoff_parts() {
+            Ok((snapshot, tail)) => HandoffRequest {
+                session: id,
+                snapshot,
+                tail,
+            },
+            Err(msg) => return error(422, "not_rebalancable", msg),
+        }
+    };
+    let payload = match serde_json::to_string(&handoff) {
+        Ok(p) => p,
+        Err(e) => return error(500, "encode_failed", e.0),
+    };
+    match repl::http_post(&body.target, "/handoff", &payload, Duration::from_secs(30)) {
+        Ok((200, _)) => {
+            // The target holds the session now; dropping it here also
+            // ships a Delete to this shard's own followers.
+            state.remove(id);
+            panda_obs::counter_add_labeled("repl.rebalance_moves", &[("direction", "out")], 1);
+            json_200(&RebalanceResponse {
+                session: id,
+                target: body.target,
+                status: "moved".to_string(),
+            })
+        }
+        Ok((status, resp_body)) => error(
+            502,
+            "handoff_rejected",
+            format!("target {} answered {status}: {resp_body}", body.target),
+        ),
+        Err(msg) => error(
+            502,
+            "handoff_failed",
+            format!("target {} unreachable: {msg}", body.target),
+        ),
+    }
+}
+
+/// `POST /handoff` (primary only): the receiving side of a rebalance.
+/// The moved session is rebuilt through the same digest-verified replay
+/// path as crash recovery — a seq gap or digest mismatch in the shipped
+/// tail rejects the whole handoff (422) and installs nothing.
+fn adopt_handoff(state: &AppState, req: &Request) -> Response {
+    let body: HandoffRequest = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return resp,
+    };
+    if let Some(ring) = state.ring() {
+        if !ring.owns(body.session) {
+            return error(
+                421,
+                "misdirected",
+                format!(
+                    "session {} belongs to shard {}, not this server ({})",
+                    body.session,
+                    ring.owner_of(body.session),
+                    ring.self_addr()
+                ),
+            );
+        }
+    }
+    match crate::persist::rebuild(body.snapshot, &body.tail) {
+        Ok(replayer) => match state.adopt_handoff(body.session, replayer) {
+            Ok(()) => Response::json(200, r#"{"status":"adopted"}"#),
+            Err(msg) => error(409, "adopt_failed", msg),
+        },
+        Err(msg) => {
+            panda_obs::counter_add_labeled("repl.quarantines", &[("reason", "handoff")], 1);
+            error(422, "handoff_invalid", msg)
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Plumbing
 // ---------------------------------------------------------------------------
 
+/// `Some(421)` when this server is a follower — mutating routes answer
+/// it instead of dispatching. The body names the primary when known.
+fn primary_only(state: &AppState) -> Option<Response> {
+    if !state.is_follower() {
+        return None;
+    }
+    panda_obs::counter_add("serve.not_primary_421", 1);
+    let primary = state.primary_http();
+    let msg = match &primary {
+        Some(addr) => {
+            format!("this server is a read-only follower; send writes to the primary at {addr}")
+        }
+        None => "this server is a read-only follower; no primary announced yet".to_string(),
+    };
+    let mut body = ApiError::new("not_primary", msg).to_json();
+    if let Some(addr) = &primary {
+        // Splice a machine-readable `primary` field next to the error.
+        if let Ok(quoted) = serde_json::to_string(addr) {
+            body.truncate(body.len() - 1);
+            body.push_str(",\"primary\":");
+            body.push_str(&quoted);
+            body.push('}');
+        }
+    }
+    Some(Response::json(421, body))
+}
+
+/// `Some(421)` when the shard map says another peer owns `id` and the
+/// session is not resident here (a leftover from before a ring change
+/// keeps being served until it is rebalanced away).
+fn misdirected_421(state: &AppState, id: u64) -> Option<Response> {
+    let ring = state.ring()?;
+    if ring.owns(id) || state.contains(id) {
+        return None;
+    }
+    panda_obs::counter_add("serve.misdirected_421", 1);
+    Some(error(
+        421,
+        "misdirected",
+        format!(
+            "session {id} belongs to shard {}; this server is {}",
+            ring.owner_of(id),
+            ring.self_addr()
+        ),
+    ))
+}
+
+/// `Some(409)` when the session is quarantined on this follower
+/// (replication apply failed; a full resync from the primary clears it).
+fn quarantined_409(state: &AppState, id: u64) -> Option<Response> {
+    if !state.quarantined(id) {
+        return None;
+    }
+    Some(error(
+        409,
+        "session_quarantined",
+        format!(
+            "session {id} is quarantined on this server (replication apply failed); \
+             awaiting a full resync from the primary"
+        ),
+    ))
+}
+
 /// Look up a session slot (rehydrating it if evicted) and run `f` under
-/// its lock; 404 on a bad handle.
+/// its lock; 404 on a bad handle, 421 when another shard owns it, 409
+/// when it is quarantined.
 fn with_slot(
     state: &AppState,
     id: &str,
@@ -345,6 +577,12 @@ fn with_slot(
     let Some(id) = parse_id(id) else {
         return error(404, "unknown_session", format!("bad session id {id:?}"));
     };
+    if let Some(resp) = misdirected_421(state, id) {
+        return resp;
+    }
+    if let Some(resp) = quarantined_409(state, id) {
+        return resp;
+    }
     let Some(guard) = state.get(id) else {
         return error(404, "unknown_session", format!("no session {id}"));
     };

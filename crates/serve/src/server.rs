@@ -34,6 +34,7 @@
 
 use crate::http::{ReadError, RequestParser, Response};
 use crate::net::{Epoll, EpollEvent, Listener, WakePipe, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT};
+use crate::repl::{self, ReplHub, ShardRing};
 use crate::router;
 use crate::state::{AppState, StateOptions};
 use std::io::{Read, Write};
@@ -84,6 +85,23 @@ pub struct ServerConfig {
     /// Requests slower than this emit a `serve.slow` journal event
     /// (route, status, duration, request id). 0 disables the check.
     pub slow_request_ms: u64,
+    /// Replication listener address (primary side, `:0` for ephemeral).
+    /// With one set, every acknowledged WAL record is shipped to
+    /// subscribed followers. Requires `state_dir` — only fsynced records
+    /// are shipped.
+    pub repl_addr: Option<String>,
+    /// Follow a primary's replication listener (follower mode): apply
+    /// shipped records in memory, serve read-only routes, answer
+    /// mutations 421 with the primary's address.
+    pub follow: Option<String>,
+    /// Shard peers (advertised HTTP addresses, must include this
+    /// server's). Builds the consistent-hash ring for session routing;
+    /// empty means unsharded.
+    pub peers: Vec<String>,
+    /// This server's advertised HTTP address in the shard map and
+    /// follower `Hello` frames (defaults to the bound address — set it
+    /// when clients reach the server through a different name).
+    pub advertise: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -103,6 +121,10 @@ impl Default for ServerConfig {
             session_ttl: None,
             snapshot_every: crate::persist::DEFAULT_SNAPSHOT_EVERY,
             slow_request_ms: 0,
+            repl_addr: None,
+            follow: None,
+            peers: Vec::new(),
+            advertise: None,
         }
     }
 }
@@ -138,6 +160,33 @@ impl Server {
             listeners.extend((1..n_workers).map(|_| Arc::clone(&shared)));
         }
 
+        // Replication topology checks — every rejection names the flag
+        // that caused it.
+        if config.follow.is_some() && config.state_dir.is_some() {
+            return Err(std::io::Error::other(
+                "--follow conflicts with --state-dir: a follower replicates the \
+                 primary's WAL in memory instead of writing its own",
+            ));
+        }
+        if config.follow.is_some() && config.repl_addr.is_some() {
+            return Err(std::io::Error::other(
+                "--follow conflicts with --repl-addr: a follower subscribes to a \
+                 primary, it does not ship a WAL of its own",
+            ));
+        }
+        if config.repl_addr.is_some() && config.state_dir.is_none() {
+            return Err(std::io::Error::other(
+                "--repl-addr requires --state-dir: only fsynced WAL records are \
+                 shipped to followers",
+            ));
+        }
+        let advertised = config.advertise.clone().unwrap_or_else(|| addr.to_string());
+        let ring = if config.peers.is_empty() {
+            None
+        } else {
+            Some(ShardRing::new(config.peers.clone(), &advertised).map_err(std::io::Error::other)?)
+        };
+
         // Recovery happens here, before the first accept: every session
         // the state dir holds is replayed and digest-verified up front.
         let state = AppState::open(StateOptions {
@@ -145,10 +194,52 @@ impl Server {
             max_sessions: config.max_sessions,
             session_ttl: config.session_ttl,
             snapshot_every: config.snapshot_every,
+            follower: config.follow.is_some(),
+            ring,
         })
         .map_err(std::io::Error::other)?;
         let state = Arc::new(state);
         panda_obs::gauge_set("serve.workers", n_workers as f64);
+
+        // Replication plane: the hub thread (primary) owns the repl
+        // listener and ships queued WAL frames; the follower thread
+        // dials the primary and applies what arrives. Both are single
+        // background threads outside the HTTP event loops.
+        let mut hub = None;
+        let mut hub_thread = None;
+        let mut follower_thread = None;
+        let mut repl_addr = None;
+        if let Some(raw) = &config.repl_addr {
+            let want: SocketAddr = raw
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::other(format!("cannot resolve {raw:?}")))?;
+            let listener = Listener::bind(&want, false)?;
+            repl_addr = Some(listener.addr());
+            let h = Arc::new(ReplHub::new(advertised.clone()));
+            // The wake pipe exists before the thread: no enqueue can
+            // miss its wake.
+            let wake = WakePipe::new()?;
+            h.set_wake_fd(wake.write_fd());
+            state.set_hub(Arc::clone(&h));
+            let (h2, state2) = (Arc::clone(&h), Arc::clone(&state));
+            hub_thread = Some(
+                std::thread::Builder::new()
+                    .name("panda-repl-hub".to_string())
+                    .spawn(move || repl::run_hub(h2, listener, state2, wake))
+                    .expect("spawn repl hub"),
+            );
+            hub = Some(h);
+        }
+        if let Some(primary) = config.follow.clone() {
+            let state2 = Arc::clone(&state);
+            follower_thread = Some(
+                std::thread::Builder::new()
+                    .name("panda-repl-follow".to_string())
+                    .spawn(move || repl::run_follower(state2, primary))
+                    .expect("spawn repl follower"),
+            );
+        }
 
         let mut workers = Vec::with_capacity(n_workers);
         for (shard, listener) in listeners.into_iter().enumerate() {
@@ -171,6 +262,10 @@ impl Server {
             addr,
             state,
             workers,
+            repl_addr,
+            hub,
+            hub_thread,
+            follower_thread,
         })
     }
 }
@@ -1096,7 +1191,9 @@ fn status_label(status: u16) -> &'static str {
         404 => "404",
         405 => "405",
         408 => "408",
+        409 => "409",
         413 => "413",
+        421 => "421",
         422 => "422",
         500 => "500",
         503 => "503",
@@ -1116,12 +1213,22 @@ pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
     workers: Vec<JoinHandle<()>>,
+    repl_addr: Option<SocketAddr>,
+    hub: Option<Arc<ReplHub>>,
+    hub_thread: Option<JoinHandle<()>>,
+    follower_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (resolves `:0` to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound replication listener address, when `repl_addr` was
+    /// configured (resolves `:0` to the actual port).
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.repl_addr
     }
 
     /// The shared state (embedding servers may pre-register sessions).
@@ -1140,8 +1247,21 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        // Workers are gone — compact every dirty session so the next
-        // start replays zero WAL records.
+        // HTTP plane drained — now the replication plane: everything
+        // the workers acknowledged is already queued on the hub, so
+        // `finish` ships the unreplicated tail to connected followers
+        // (bounded by a grace deadline) before the hub exits.
+        if let Some(hub) = self.hub.take() {
+            hub.finish();
+        }
+        if let Some(t) = self.hub_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.follower_thread.take() {
+            let _ = t.join();
+        }
+        // Compact every dirty session so the next start replays zero
+        // WAL records.
         self.state.compact_all();
     }
 }

@@ -17,13 +17,55 @@
 //! on the next touch), and a TTL sweep evicts idle sessions.
 
 use crate::api::CreateSessionRequest;
-use crate::persist::{SessionPersist, SessionStore, WalOp};
+use crate::persist::{
+    self, config_digest, SessionPersist, SessionStore, SnapshotFile, WalOp, WalRecord,
+    SNAPSHOT_FORMAT,
+};
+use crate::repl::{ReplHub, ReplMsg, SessionCursor, ShardRing};
 use panda_session::PandaSession;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, TryLockError};
 use std::time::{Duration, Instant};
+
+/// Lock-free per-session replication metadata, shared between the slot
+/// (writers: `log_op`, the follower apply loop) and the session-table
+/// entry (reader: `GET /sessions`), so listings report `wal_seq` +
+/// `matrix_digest` without taking session locks behind a long fit.
+pub struct SlotMeta {
+    wal_seq: AtomicU64,
+    digest: AtomicU64,
+}
+
+impl SlotMeta {
+    fn new(wal_seq: u64, digest: u64) -> Arc<SlotMeta> {
+        Arc::new(SlotMeta {
+            wal_seq: AtomicU64::new(wal_seq),
+            digest: AtomicU64::new(digest),
+        })
+    }
+
+    fn set(&self, wal_seq: u64, digest: u64) {
+        self.wal_seq.store(wal_seq, Ordering::SeqCst);
+        self.digest.store(digest, Ordering::SeqCst);
+    }
+}
+
+/// The replay recipe a session carries when it has no on-disk persist
+/// handle: follower replicas and sessions adopted on a store-less shard.
+/// Holds exactly what `SessionPersist` would — the create request, the
+/// LF spec map, and the applied seq — so the session can still be
+/// dehydrated for sync frames and onward rebalances.
+pub(crate) struct ReplayRecipe {
+    pub(crate) last_seq: u64,
+    pub(crate) specs: HashMap<String, String>,
+    pub(crate) request: CreateSessionRequest,
+}
+
+/// The hub handle shared by every slot: set once by `Server::start`
+/// when `--repl-addr` is configured, read on every logged op.
+type HubCell = Arc<OnceLock<Arc<ReplHub>>>;
 
 /// A live session plus its persistence handle (absent when the server
 /// runs without `--state-dir`).
@@ -31,25 +73,130 @@ pub struct SessionSlot {
     /// The session itself.
     pub session: PandaSession,
     persist: Option<SessionPersist>,
+    recipe: Option<ReplayRecipe>,
+    meta: Arc<SlotMeta>,
+    id: u64,
+    hub: HubCell,
 }
 
 impl SessionSlot {
-    /// Durably log an already-applied op (no-op without a store). Called
+    /// Durably log an already-applied op (no-op without a store), update
+    /// the listing metadata, and ship the record to followers. Called
     /// before the response is acknowledged; an error must surface as a
     /// 500 so the client knows the edit is not durable.
     pub fn log_op(&mut self, op: WalOp) -> Result<(), String> {
         match &mut self.persist {
-            Some(p) => p.append(op, &self.session),
-            None => Ok(()),
+            Some(p) => {
+                let appended = p.append(op, &self.session)?;
+                self.meta.set(appended.seq, appended.digest);
+                if let Some(hub) = self.hub.get() {
+                    hub.ship_record(self.id, &appended.line);
+                }
+                Ok(())
+            }
+            None => {
+                // No WAL: keep the recipe and listing metadata coherent
+                // so a promoted ex-follower can still be listed, synced,
+                // and rebalanced accurately.
+                let seq = self.meta.wal_seq.load(Ordering::SeqCst) + 1;
+                if let Some(recipe) = &mut self.recipe {
+                    recipe.last_seq = seq;
+                    match &op {
+                        WalOp::UpsertLf { spec } => {
+                            recipe.specs.insert(
+                                spec.name.clone(),
+                                serde_json::to_string(spec).map_err(|e| e.0)?,
+                            );
+                        }
+                        WalOp::RemoveLf { name } => {
+                            recipe.specs.remove(name);
+                        }
+                        _ => {}
+                    }
+                }
+                self.meta.set(seq, self.session.matrix().digest());
+                Ok(())
+            }
         }
+    }
+
+    /// The highest acknowledged sequence number for this session.
+    pub fn wal_seq(&self) -> u64 {
+        self.meta.wal_seq.load(Ordering::SeqCst)
+    }
+
+    /// Build the full-state snapshot replication ships to a follower.
+    /// `Ok(None)` for sessions with no replay recipe (library/test
+    /// inserts) — they cannot be replicated.
+    pub(crate) fn sync_snapshot(&self) -> Result<Option<SnapshotFile>, String> {
+        if let Some(p) = &self.persist {
+            return Ok(Some(p.snapshot_file(&self.session)?));
+        }
+        if let Some(recipe) = &self.recipe {
+            let specs = &recipe.specs;
+            let state = self.session.dehydrate(&|name| specs.get(name).cloned())?;
+            return Ok(Some(SnapshotFile {
+                format: SNAPSHOT_FORMAT,
+                last_seq: recipe.last_seq,
+                config_digest: config_digest(&recipe.request),
+                request: recipe.request.clone(),
+                state,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// The snapshot + WAL-tail parts `/rebalance` ships to the target
+    /// shard: the on-disk pair when persisted, a fresh dehydration when
+    /// only a recipe exists.
+    pub(crate) fn handoff_parts(&self) -> Result<(Option<SnapshotFile>, Vec<WalRecord>), String> {
+        if let Some(p) = &self.persist {
+            return p.disk_parts();
+        }
+        match self.sync_snapshot()? {
+            Some(snap) => Ok((Some(snap), Vec::new())),
+            None => Err(
+                "session has no replay recipe (library insert without a create request); \
+                 it cannot be rebalanced"
+                    .into(),
+            ),
+        }
+    }
+
+    /// Apply one shipped WAL record through the same digest-verified
+    /// rules crash recovery uses. `Ok(false)` = duplicate skipped.
+    fn apply_replica_record(&mut self, rec: &WalRecord) -> Result<bool, String> {
+        let recipe = self
+            .recipe
+            .as_mut()
+            .ok_or("session is not a replica (no replay recipe)")?;
+        if rec.seq <= recipe.last_seq {
+            return Ok(false);
+        }
+        if let WalOp::Create { .. } = &rec.op {
+            return Err(format!("duplicate create record at seq {}", rec.seq));
+        }
+        let applied = persist::apply_record(
+            &mut self.session,
+            &mut recipe.specs,
+            &mut recipe.last_seq,
+            rec,
+        )?;
+        if applied {
+            self.meta.set(recipe.last_seq, rec.digest);
+        }
+        Ok(applied)
     }
 }
 
-/// One session-table entry. `slot: None` means evicted-to-snapshot.
+/// One session-table entry. `slot: None` means evicted-to-snapshot (or
+/// quarantined, when the flag is set).
 struct Entry {
     slot: Option<Arc<Mutex<SessionSlot>>>,
     last_touch: Instant,
     recovered: bool,
+    quarantined: bool,
+    meta: Arc<SlotMeta>,
 }
 
 /// A `GET /sessions` listing row, pre-wire.
@@ -61,6 +208,13 @@ pub struct SessionInfo {
     pub live: bool,
     /// Rebuilt from disk at server startup.
     pub recovered: bool,
+    /// Replication apply failed (digest mismatch / seq gap); reads are
+    /// refused until a full resync replaces the session.
+    pub quarantined: bool,
+    /// Highest acknowledged WAL sequence number.
+    pub wal_seq: u64,
+    /// Label-matrix digest after the last acknowledged op.
+    pub matrix_digest: u64,
 }
 
 /// Durability and capacity knobs for [`AppState::open`].
@@ -76,6 +230,11 @@ pub struct StateOptions {
     pub session_ttl: Option<Duration>,
     /// Appended WAL ops between snapshot compactions (0 = never).
     pub snapshot_every: u64,
+    /// Start as a read-only follower (`panda serve --follow`): mutations
+    /// answer 421 and state arrives over the replication link.
+    pub follower: bool,
+    /// Consistent-hash shard map (`--peers`); `None` = unsharded.
+    pub ring: Option<ShardRing>,
 }
 
 /// Everything the worker threads share.
@@ -89,6 +248,14 @@ pub struct AppState {
     rehydrate_lock: Mutex<()>,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// True while this server is a read-only follower; `POST /promote`
+    /// clears it.
+    follower: AtomicBool,
+    /// The primary's HTTP address (learned from its `Hello` frame),
+    /// quoted in 421 mutation rejections.
+    primary_http: Mutex<Option<String>>,
+    ring: Option<ShardRing>,
+    hub: HubCell,
 }
 
 impl Default for AppState {
@@ -117,6 +284,7 @@ impl AppState {
             Some(dir) => Some(SessionStore::open(dir, options.snapshot_every)?),
             None => None,
         };
+        let hub: HubCell = Arc::new(OnceLock::new());
         let mut entries = HashMap::new();
         let mut next_id = 1u64;
         if let Some(store) = &store {
@@ -127,15 +295,22 @@ impl AppState {
                 next_id = next_id.max(id + 1);
                 match store.recover(id) {
                     Ok(rec) => {
+                        let meta = SlotMeta::new(rec.persist.seq(), rec.session.matrix().digest());
                         entries.insert(
                             id,
                             Entry {
                                 slot: Some(Arc::new(Mutex::new(SessionSlot {
                                     session: rec.session,
                                     persist: Some(rec.persist),
+                                    recipe: None,
+                                    meta: Arc::clone(&meta),
+                                    id,
+                                    hub: Arc::clone(&hub),
                                 }))),
                                 last_touch: Instant::now(),
                                 recovered: true,
+                                quarantined: false,
+                                meta,
                             },
                         );
                         panda_obs::counter_add("serve.sessions.recovered", 1);
@@ -156,6 +331,10 @@ impl AppState {
             rehydrate_lock: Mutex::new(()),
             next_id: AtomicU64::new(next_id),
             shutdown: AtomicBool::new(false),
+            follower: AtomicBool::new(options.follower),
+            primary_http: Mutex::new(None),
+            ring: options.ring,
+            hub,
         };
         state.enforce_capacity(None);
         Ok(state)
@@ -169,12 +348,46 @@ impl AppState {
         session: PandaSession,
         request: Option<&CreateSessionRequest>,
     ) -> Result<u64, String> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // With a shard map, only ids this shard owns are handed out, so
+        // the same id can never be minted on two shards. The ring mixes
+        // peers evenly, so the expected number of skipped ids is the
+        // peer count — cheap, and ids stay unique-per-shard forever.
+        let id = loop {
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            match &self.ring {
+                Some(ring) if !ring.owns(id) => continue,
+                _ => break id,
+            }
+        };
+        let mut shipped_create: Option<String> = None;
         let persist = match (&self.store, request) {
-            (Some(store), Some(req)) => Some(store.create(id, req, &session)?),
+            (Some(store), Some(req)) => {
+                let (persist, appended) = store.create(id, req, &session)?;
+                shipped_create = Some(appended.line);
+                Some(persist)
+            }
             _ => None,
         };
-        let slot = Arc::new(Mutex::new(SessionSlot { session, persist }));
+        let meta = match &persist {
+            Some(p) => SlotMeta::new(p.seq(), session.matrix().digest()),
+            None => SlotMeta::new(0, session.matrix().digest()),
+        };
+        let recipe = match (&persist, request) {
+            (None, Some(req)) => Some(ReplayRecipe {
+                last_seq: 0,
+                specs: HashMap::new(),
+                request: req.clone(),
+            }),
+            _ => None,
+        };
+        let slot = Arc::new(Mutex::new(SessionSlot {
+            session,
+            persist,
+            recipe,
+            meta: Arc::clone(&meta),
+            id,
+            hub: Arc::clone(&self.hub),
+        }));
         {
             let mut map = lock_map(self);
             map.insert(
@@ -183,11 +396,16 @@ impl AppState {
                     slot: Some(slot),
                     last_touch: Instant::now(),
                     recovered: false,
+                    quarantined: false,
+                    meta,
                 },
             );
             // Gauge published under the map lock: a concurrent insert
             // cannot interleave between the mutation and the publish.
             publish_live_gauge(&map);
+        }
+        if let (Some(line), Some(hub)) = (shipped_create, self.hub.get()) {
+            hub.ship_record(id, &line);
         }
         self.enforce_capacity(Some(id));
         Ok(id)
@@ -222,13 +440,24 @@ impl AppState {
         let _span = panda_obs::span("serve.session.rehydrate");
         match store.recover(id) {
             Ok(rec) => {
-                let slot = Arc::new(Mutex::new(SessionSlot {
+                let wal_seq = rec.persist.seq();
+                let digest = rec.session.matrix().digest();
+                let slot_inner = SessionSlot {
                     session: rec.session,
                     persist: Some(rec.persist),
-                }));
+                    recipe: None,
+                    meta: SlotMeta::new(wal_seq, digest), // replaced below
+                    id,
+                    hub: Arc::clone(&self.hub),
+                };
+                let slot = Arc::new(Mutex::new(slot_inner));
                 {
                     let mut map = lock_map(self);
                     let entry = map.get_mut(&id)?; // deleted meanwhile
+                    entry.meta.set(wal_seq, digest);
+                    // Share the entry's meta so listings keep tracking
+                    // this slot's ops.
+                    slot.lock().unwrap_or_else(|e| e.into_inner()).meta = Arc::clone(&entry.meta);
                     entry.slot = Some(Arc::clone(&slot));
                     entry.last_touch = Instant::now();
                     publish_live_gauge(&map);
@@ -272,6 +501,9 @@ impl AppState {
             if let Some(store) = &self.store {
                 store.delete(id);
             }
+            if let Some(hub) = self.hub.get() {
+                hub.ship_delete(id);
+            }
         }
         existed
     }
@@ -291,7 +523,9 @@ impl AppState {
         lock_map(self).values().filter(|e| e.slot.is_some()).count()
     }
 
-    /// Listing rows for `GET /sessions`, sorted by id.
+    /// Listing rows for `GET /sessions`, sorted by id. Sequence numbers
+    /// and digests come from the shared per-entry metadata, so a long
+    /// fit holding a session lock never blocks the listing.
     pub fn list(&self) -> Vec<SessionInfo> {
         let map = lock_map(self);
         let mut rows: Vec<SessionInfo> = map
@@ -300,11 +534,25 @@ impl AppState {
                 id,
                 live: e.slot.is_some(),
                 recovered: e.recovered,
+                quarantined: e.quarantined,
+                wal_seq: e.meta.wal_seq.load(Ordering::SeqCst),
+                matrix_digest: e.meta.digest.load(Ordering::SeqCst),
             })
             .collect();
         drop(map);
         rows.sort_by_key(|r| r.id);
         rows
+    }
+
+    /// Is this session known (live, evicted, or quarantined)? Does not
+    /// touch the LRU clock — used by the shard misdirect check.
+    pub fn contains(&self, id: u64) -> bool {
+        lock_map(self).contains_key(&id)
+    }
+
+    /// Is this session quarantined (replication apply failed)?
+    pub fn quarantined(&self, id: u64) -> bool {
+        lock_map(self).get(&id).is_some_and(|e| e.quarantined)
     }
 
     /// Evict LRU live sessions down to the `max_sessions` bound. Victims
@@ -370,7 +618,9 @@ impl AppState {
             Err(TryLockError::WouldBlock) => return false, // a worker is in it
         };
         if self.store.is_some() {
-            let SessionSlot { session, persist } = &mut *locked;
+            let SessionSlot {
+                session, persist, ..
+            } = &mut *locked;
             let Some(p) = persist.as_mut() else {
                 return false; // request-less session: nothing to rehydrate from
             };
@@ -411,7 +661,9 @@ impl AppState {
         };
         for (id, slot) in slots {
             let mut locked = slot.lock().unwrap_or_else(|e| e.into_inner());
-            let SessionSlot { session, persist } = &mut *locked;
+            let SessionSlot {
+                session, persist, ..
+            } = &mut *locked;
             if let Some(p) = persist.as_mut() {
                 if p.wal_depth() == 0 {
                     continue; // already compact
@@ -421,6 +673,326 @@ impl AppState {
                 }
             }
         }
+    }
+
+    /// Is this server currently a read-only follower?
+    pub fn is_follower(&self) -> bool {
+        self.follower.load(Ordering::SeqCst)
+    }
+
+    /// Flip a follower to primary (`POST /promote`). Returns whether the
+    /// role actually changed. Wakes the parked apply loop so it exits;
+    /// everything already applied stays — at most the in-flight record
+    /// is lost.
+    pub fn promote(&self) -> bool {
+        let was_follower = self.follower.swap(false, Ordering::SeqCst);
+        if was_follower {
+            panda_obs::counter_add("repl.promotions", 1);
+            crate::signal::wake_all();
+        }
+        was_follower
+    }
+
+    /// The primary's HTTP address (learned from its `Hello` frame).
+    pub fn primary_http(&self) -> Option<String> {
+        self.primary_http
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Record the primary's HTTP address for 421 redirects.
+    pub fn set_primary_http(&self, addr: String) {
+        *self.primary_http.lock().unwrap_or_else(|e| e.into_inner()) = Some(addr);
+    }
+
+    /// The consistent-hash shard map, when `--peers` was configured.
+    pub fn ring(&self) -> Option<&ShardRing> {
+        self.ring.as_ref()
+    }
+
+    /// Attach the replication hub (primary with `--repl-addr`). Called
+    /// once at server start, before any request is accepted.
+    pub fn set_hub(&self, hub: Arc<ReplHub>) {
+        let _ = self.hub.set(hub);
+    }
+
+    /// The replication hub, when WAL shipping is active.
+    pub fn hub(&self) -> Option<Arc<ReplHub>> {
+        self.hub.get().cloned()
+    }
+
+    /// Per-session cursors for the subscribe handshake. Quarantined
+    /// sessions are omitted, so the primary answers with a full sync
+    /// that replaces the quarantined state wholesale.
+    pub fn replica_cursors(&self) -> Vec<SessionCursor> {
+        let map = lock_map(self);
+        let mut cursors: Vec<SessionCursor> = map
+            .iter()
+            .filter(|(_, e)| !e.quarantined)
+            .map(|(&id, e)| SessionCursor {
+                session: id,
+                seq: e.meta.wal_seq.load(Ordering::SeqCst),
+            })
+            .collect();
+        drop(map);
+        cursors.sort_by_key(|c| c.session);
+        cursors
+    }
+
+    /// Serialized `Sync` frames for every replicable session a fresh
+    /// subscriber is behind on (runs on the hub thread). Sessions whose
+    /// cursor already matches are skipped — a reconnect after a clean
+    /// link drop resyncs nothing.
+    pub fn sync_frames(&self, cursors: &[SessionCursor]) -> Vec<String> {
+        let by_id: HashMap<u64, u64> = cursors.iter().map(|c| (c.session, c.seq)).collect();
+        let mut ids: Vec<u64> = {
+            let map = lock_map(self);
+            map.keys().copied().collect()
+        };
+        ids.sort_unstable();
+        let mut frames = Vec::new();
+        for id in ids {
+            let Some(slot) = self.get(id) else { continue };
+            let locked = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if by_id.get(&id).copied() == Some(locked.wal_seq()) {
+                continue;
+            }
+            match locked.sync_snapshot() {
+                Ok(Some(snapshot)) => {
+                    if let Ok(frame) = serde_json::to_string(&ReplMsg::Sync {
+                        session: id,
+                        snapshot,
+                    }) {
+                        panda_obs::counter_add_labeled("repl.shipped", &[("kind", "sync")], 1);
+                        frames.push(frame);
+                    }
+                }
+                Ok(None) => {} // request-less library insert: not replicable
+                Err(msg) => {
+                    eprintln!("panda-serve: session {id} sync snapshot failed: {msg}");
+                }
+            }
+        }
+        frames
+    }
+
+    /// Apply one replication frame (follower side). Failures quarantine
+    /// the affected session — they never crash the apply loop.
+    pub fn apply_repl_frame(&self, msg: ReplMsg) {
+        match msg {
+            ReplMsg::Hello { http_addr } => self.set_primary_http(http_addr),
+            ReplMsg::Sync { session, snapshot } => match persist::Replayer::from_snapshot(snapshot)
+            {
+                Ok(replayer) => match self.install_replica(session, replayer) {
+                    Ok(()) => {
+                        panda_obs::counter_add_labeled("repl.applied", &[("kind", "sync")], 1);
+                    }
+                    Err(msg) => self.quarantine(session, &msg),
+                },
+                Err(msg) => self.quarantine(session, &msg),
+            },
+            ReplMsg::Record { session, record } => self.apply_replica_record(session, &record),
+            ReplMsg::Delete { session } => {
+                if self.remove_replica(session) {
+                    panda_obs::counter_add_labeled("repl.applied", &[("kind", "delete")], 1);
+                }
+            }
+            // Primary-bound frames; nothing to do on this side.
+            ReplMsg::Subscribe { .. } | ReplMsg::Ack { .. } => {}
+        }
+    }
+
+    /// Install (or replace) a replicated session. Replacing is how a
+    /// full sync clears a quarantine.
+    fn install_replica(&self, id: u64, replayer: persist::Replayer) -> Result<(), String> {
+        let persist::Replayer {
+            session,
+            request,
+            specs,
+            last_seq,
+        } = replayer;
+        let session = session.ok_or("sync carries no session")?;
+        let request = request.ok_or("sync carries no create request")?;
+        let meta = SlotMeta::new(last_seq, session.matrix().digest());
+        let slot = Arc::new(Mutex::new(SessionSlot {
+            session,
+            persist: None,
+            recipe: Some(ReplayRecipe {
+                last_seq,
+                specs,
+                request,
+            }),
+            meta: Arc::clone(&meta),
+            id,
+            hub: Arc::clone(&self.hub),
+        }));
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        let mut map = lock_map(self);
+        map.insert(
+            id,
+            Entry {
+                slot: Some(slot),
+                last_touch: Instant::now(),
+                recovered: false,
+                quarantined: false,
+                meta,
+            },
+        );
+        publish_live_gauge(&map);
+        Ok(())
+    }
+
+    /// Apply one shipped WAL record to the replica it belongs to.
+    fn apply_replica_record(&self, id: u64, rec: &WalRecord) {
+        let slot = {
+            let map = lock_map(self);
+            map.get(&id).and_then(|e| e.slot.clone())
+        };
+        match slot {
+            Some(slot) => {
+                let mut locked = slot.lock().unwrap_or_else(|e| e.into_inner());
+                match locked.apply_replica_record(rec) {
+                    Ok(true) => {
+                        panda_obs::counter_add_labeled("repl.applied", &[("kind", "record")], 1);
+                    }
+                    Ok(false) => {} // duplicate already covered by a sync
+                    Err(msg) => {
+                        drop(locked);
+                        self.quarantine(id, &msg);
+                    }
+                }
+            }
+            None => {
+                if self.quarantined(id) {
+                    return; // awaiting the resync that clears it
+                }
+                // Unknown session: only a create record is
+                // self-contained; anything else is a gap.
+                let mut replayer = persist::Replayer::new();
+                match replayer.apply(rec) {
+                    Ok(_) => match self.install_replica(id, replayer) {
+                        Ok(()) => {
+                            panda_obs::counter_add_labeled(
+                                "repl.applied",
+                                &[("kind", "record")],
+                                1,
+                            );
+                        }
+                        Err(msg) => self.quarantine(id, &msg),
+                    },
+                    Err(msg) => self.quarantine(id, &msg),
+                }
+            }
+        }
+    }
+
+    /// Quarantine a session after a failed replication apply: the slot
+    /// is dropped, reads answer 409, and a later full sync replaces it.
+    fn quarantine(&self, id: u64, msg: &str) {
+        let reason = if msg.contains("digest") {
+            "digest"
+        } else if msg.contains("gap") {
+            "gap"
+        } else {
+            "apply"
+        };
+        panda_obs::counter_add_labeled("repl.quarantines", &[("reason", reason)], 1);
+        eprintln!("panda-serve: session {id} quarantined ({msg}); awaiting full resync");
+        let mut map = lock_map(self);
+        let entry = map.entry(id).or_insert_with(|| Entry {
+            slot: None,
+            last_touch: Instant::now(),
+            recovered: false,
+            quarantined: true,
+            meta: SlotMeta::new(0, 0),
+        });
+        entry.slot = None;
+        entry.quarantined = true;
+        publish_live_gauge(&map);
+        if panda_obs::journal_enabled() {
+            panda_obs::event("repl.session.quarantined")
+                .field("session", id)
+                .emit();
+        }
+    }
+
+    /// Remove a replicated session (shipped delete) — memory only, no
+    /// store involvement and no onward shipping.
+    fn remove_replica(&self, id: u64) -> bool {
+        let mut map = lock_map(self);
+        let existed = map.remove(&id).is_some();
+        publish_live_gauge(&map);
+        existed
+    }
+
+    /// Install a handed-off session on this shard (the receiving side
+    /// of `/rebalance`). With a store the moved state is snapshotted
+    /// durably before this returns, and the session is announced to
+    /// this shard's own followers as a full sync.
+    pub fn adopt_handoff(&self, id: u64, replayer: persist::Replayer) -> Result<(), String> {
+        let persist::Replayer {
+            session,
+            request,
+            specs,
+            last_seq,
+        } = replayer;
+        let session = session.ok_or("handoff carries no session")?;
+        let request = request.ok_or("handoff carries no create request")?;
+        if self.contains(id) {
+            return Err(format!("session {id} already exists on this shard"));
+        }
+        let persist_handle = match &self.store {
+            Some(store) => Some(store.adopt(id, &request, &session, specs.clone(), last_seq)?),
+            None => None,
+        };
+        let recipe = if persist_handle.is_none() {
+            Some(ReplayRecipe {
+                last_seq,
+                specs,
+                request,
+            })
+        } else {
+            None
+        };
+        let meta = SlotMeta::new(last_seq, session.matrix().digest());
+        let slot = Arc::new(Mutex::new(SessionSlot {
+            session,
+            persist: persist_handle,
+            recipe,
+            meta: Arc::clone(&meta),
+            id,
+            hub: Arc::clone(&self.hub),
+        }));
+        self.next_id.fetch_max(id + 1, Ordering::Relaxed);
+        {
+            let mut map = lock_map(self);
+            map.insert(
+                id,
+                Entry {
+                    slot: Some(Arc::clone(&slot)),
+                    last_touch: Instant::now(),
+                    recovered: false,
+                    quarantined: false,
+                    meta,
+                },
+            );
+            publish_live_gauge(&map);
+        }
+        panda_obs::counter_add_labeled("repl.rebalance_moves", &[("direction", "in")], 1);
+        if let Some(hub) = self.hub.get() {
+            let locked = slot.lock().unwrap_or_else(|e| e.into_inner());
+            if let Ok(Some(snapshot)) = locked.sync_snapshot() {
+                if let Ok(frame) = serde_json::to_string(&ReplMsg::Sync {
+                    session: id,
+                    snapshot,
+                }) {
+                    hub.ship_sync_frame(frame);
+                }
+            }
+        }
+        self.enforce_capacity(Some(id));
+        Ok(())
     }
 
     /// Ask the server to stop accepting and drain. Wakes every parked

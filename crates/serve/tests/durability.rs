@@ -40,6 +40,7 @@ fn open(dir: &std::path::Path, snapshot_every: u64, max_sessions: usize) -> AppS
         max_sessions,
         session_ttl: None,
         snapshot_every,
+        ..Default::default()
     })
     .expect("open state dir")
 }
